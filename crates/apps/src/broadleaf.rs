@@ -1,0 +1,480 @@
+//! Broadleaf Commerce (Java/Hibernate): carts, items, SKUs.
+//!
+//! Scenarios reproduced:
+//! * **Figure 1a** — `add_to_cart` keeps `carts.total` consistent with the
+//!   cart's items using a single app-side map lock over the associated
+//!   accesses (carts + items, §3.3.1).
+//! * **Table 6 `RMW`** — `check_out` decrements SKU stock: the ad hoc
+//!   variant takes an exclusive lock *before* the first read; the database
+//!   variant runs at MySQL Serializable and deadlocks on the
+//!   shared→exclusive upgrade under contention (§3.3.1, §5.2).
+//! * **§4.2 omitted critical operations** (issue \[67\]) — the
+//!   `omit_sku_coordination` switch leaves the SKU RMW outside the lock,
+//!   so `quantity + sold` drifts from the initial stock.
+//! * The lock itself is injected, so pairing this model with
+//!   [`MemLruLock`](adhoc_core::locks::MemLruLock) reproduces the evicted
+//!   session-lock bug (issue \[66\]).
+
+use crate::{Mode, Result, DBT_RETRIES};
+use adhoc_core::locks::AdHocLock;
+use adhoc_orm::{EntityDef, Orm, Registry};
+use adhoc_storage::{Column, ColumnType, Database, IsolationLevel, Predicate, Schema, Value};
+use std::sync::Arc;
+
+/// Create Broadleaf's tables and entity registry on a database.
+pub fn setup(db: &Database) -> Result<Orm> {
+    db.create_table(Schema::new(
+        "carts",
+        vec![
+            Column::new("id", ColumnType::Int),
+            Column::new("total", ColumnType::Int),
+        ],
+        "id",
+    )?)?;
+    db.create_table(
+        Schema::new(
+            "items",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("cart_id", ColumnType::Int),
+                Column::new("qty", ColumnType::Int),
+                Column::new("price", ColumnType::Int),
+            ],
+            "id",
+        )?
+        .with_index("cart_id")?,
+    )?;
+    db.create_table(Schema::new(
+        "skus",
+        vec![
+            Column::new("id", ColumnType::Int),
+            Column::new("quantity", ColumnType::Int),
+            Column::new("sold", ColumnType::Int),
+        ],
+        "id",
+    )?)?;
+    let registry = Registry::new()
+        .register(EntityDef::new("carts"))
+        .register(EntityDef::new("items"))
+        .register(EntityDef::new("skus"));
+    Ok(Orm::new(db.clone(), registry))
+}
+
+/// The Broadleaf application model.
+pub struct Broadleaf {
+    orm: Orm,
+    lock: Arc<dyn AdHocLock>,
+    mode: Mode,
+    omit_sku_coordination: bool,
+    /// Application-server CPU burned per request attempt (see
+    /// [`crate::busy_work`]). Zero by default.
+    pub request_cpu_work: std::time::Duration,
+}
+
+impl Broadleaf {
+    /// Build the application model over `orm`, coordinating with `lock` in the given [`Mode`].
+    pub fn new(orm: Orm, lock: Arc<dyn AdHocLock>, mode: Mode) -> Self {
+        Self {
+            orm,
+            lock,
+            mode,
+            omit_sku_coordination: false,
+            request_cpu_work: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Set the per-attempt application-server CPU cost.
+    pub fn with_request_cpu_work(mut self, d: std::time::Duration) -> Self {
+        self.request_cpu_work = d;
+        self
+    }
+
+    /// Fault injection (§4.2, issue \[67\]): the check-out ad hoc transaction
+    /// "omits coordination for all SKU-related operations".
+    pub fn omit_sku_coordination(mut self) -> Self {
+        self.omit_sku_coordination = true;
+        self
+    }
+
+    /// The underlying ORM handle (for assertions and seeding).
+    pub fn orm(&self) -> &Orm {
+        &self.orm
+    }
+
+    /// Seed a cart with no items.
+    pub fn seed_cart(&self, cart_id: i64) -> Result<()> {
+        self.orm
+            .create("carts", &[("id", cart_id.into()), ("total", 0.into())])?;
+        Ok(())
+    }
+
+    /// Seed a SKU with initial stock.
+    pub fn seed_sku(&self, sku_id: i64, quantity: i64) -> Result<()> {
+        self.orm.create(
+            "skus",
+            &[
+                ("id", sku_id.into()),
+                ("quantity", quantity.into()),
+                ("sold", 0.into()),
+            ],
+        )?;
+        Ok(())
+    }
+
+    /// Figure 1a: append an item and recompute the cart total.
+    pub fn add_to_cart(&self, cart_id: i64, price: i64, qty: i64) -> Result<()> {
+        match self.mode {
+            Mode::AdHoc => {
+                let guard = self.lock.lock(&format!("cart:{cart_id}"))?;
+                // Statements run in their own (default-isolation) ORM
+                // transactions — the coordination is the map lock.
+                self.orm.transaction(|t| {
+                    t.create(
+                        "items",
+                        &[
+                            ("cart_id", cart_id.into()),
+                            ("qty", qty.into()),
+                            ("price", price.into()),
+                        ],
+                    )?;
+                    Ok(())
+                })?;
+                let total = self.recompute_total(cart_id)?;
+                // Request-processing work between the read and the write —
+                // the window the cart lock exists to protect.
+                std::thread::yield_now();
+                self.orm.transaction(|t| {
+                    let mut cart = t.find_required("carts", cart_id)?;
+                    cart.set("total", total)?;
+                    t.save(&mut cart)?;
+                    Ok(())
+                })?;
+                guard.unlock()?;
+                Ok(())
+            }
+            Mode::DatabaseTxn => {
+                let iso = serializable();
+                self.orm.db().run_with_retries(iso, DBT_RETRIES, |t| {
+                    t.insert(
+                        "items",
+                        &[
+                            ("cart_id", cart_id.into()),
+                            ("qty", qty.into()),
+                            ("price", price.into()),
+                        ],
+                    )?;
+                    let items = t.scan("items", &Predicate::eq("cart_id", cart_id))?;
+                    let schema = self.orm.db().schema("items")?;
+                    let mut total = 0;
+                    for (_, item) in &items {
+                        total += item.get_int(&schema, "qty")? * item.get_int(&schema, "price")?;
+                    }
+                    t.update("carts", cart_id, &[("total", total.into())])?;
+                    Ok(())
+                })?;
+                Ok(())
+            }
+        }
+    }
+
+    fn recompute_total(&self, cart_id: i64) -> Result<i64> {
+        let schema = self.orm.db().schema("items")?;
+        let items = self
+            .orm
+            .transaction(|t| Ok(t.raw().scan("items", &Predicate::eq("cart_id", cart_id))?))?;
+        let mut total = 0;
+        for (_, item) in &items {
+            total += item.get_int(&schema, "qty")? * item.get_int(&schema, "price")?;
+        }
+        Ok(total)
+    }
+
+    /// Table 6 `RMW`: purchase `qty` units of a SKU. Returns `false` when
+    /// stock is insufficient.
+    pub fn check_out(&self, sku_id: i64, qty: i64) -> Result<bool> {
+        match self.mode {
+            Mode::AdHoc => {
+                // Non-critical request work happens before the lock and is
+                // pipelined with other requests' critical sections (§5.2).
+                crate::busy_work(self.request_cpu_work);
+                let guard = if self.omit_sku_coordination {
+                    None
+                } else {
+                    Some(self.lock.lock(&format!("sku:{sku_id}"))?)
+                };
+                let result = self.rmw_sku(sku_id, qty)?;
+                if let Some(g) = guard {
+                    g.unlock()?;
+                }
+                Ok(result)
+            }
+            Mode::DatabaseTxn => {
+                let iso = serializable();
+                Ok(self.orm.db().run_with_retries(iso, DBT_RETRIES, |t| {
+                    // Each retry re-executes the whole request handler.
+                    crate::busy_work(self.request_cpu_work);
+                    let sku = t
+                        .get("skus", sku_id)?
+                        .ok_or(adhoc_storage::DbError::NoSuchRow {
+                            table: "skus".into(),
+                            id: sku_id,
+                        })?;
+                    let schema = self.orm.db().schema("skus")?;
+                    let quantity = sku.get_int(&schema, "quantity")?;
+                    let sold = sku.get_int(&schema, "sold")?;
+                    if quantity < qty {
+                        return Ok(false);
+                    }
+                    t.update(
+                        "skus",
+                        sku_id,
+                        &[
+                            ("quantity", (quantity - qty).into()),
+                            ("sold", (sold + qty).into()),
+                        ],
+                    )?;
+                    Ok(true)
+                })?)
+            }
+        }
+    }
+
+    /// The uncoordinated (or lock-guarded) SKU read–modify–write.
+    fn rmw_sku(&self, sku_id: i64, qty: i64) -> Result<bool> {
+        let sku = self.orm.find_required("skus", sku_id)?;
+        let quantity = sku.get_int("quantity")?;
+        let sold = sku.get_int("sold")?;
+        if quantity < qty {
+            return Ok(false);
+        }
+        // Widen the race window the way real request handlers do (business
+        // logic between read and write).
+        std::thread::yield_now();
+        self.orm.transaction(|t| {
+            t.raw().update(
+                "skus",
+                sku_id,
+                &[
+                    ("quantity", (quantity - qty).into()),
+                    ("sold", (sold + qty).into()),
+                ],
+            )?;
+            Ok(())
+        })?;
+        Ok(true)
+    }
+
+    /// Invariant (Fig. 1a): the cart total equals the sum of its items.
+    pub fn cart_total_consistent(&self, cart_id: i64) -> Result<bool> {
+        let total = self.orm.find_required("carts", cart_id)?.get_int("total")?;
+        Ok(total == self.recompute_total(cart_id)?)
+    }
+
+    /// Invariant (issue \[67\]): stock conservation — `quantity + sold`
+    /// equals the seeded amount, and quantity never goes negative.
+    pub fn sku_conserved(&self, sku_id: i64, seeded: i64) -> Result<bool> {
+        let sku = self.orm.find_required("skus", sku_id)?;
+        let quantity = sku.get_int("quantity")?;
+        let sold = sku.get_int("sold")?;
+        Ok(quantity >= 0 && quantity + sold == seeded)
+    }
+}
+
+/// The DBT isolation for Broadleaf's workloads (Table 6: MySQL,
+/// Serializable — weaker levels lose updates, per §3.1.1's footnote).
+fn serializable() -> IsolationLevel {
+    IsolationLevel::Serializable
+}
+
+/// Convenience: split a `Value` vector row into ints (test helper).
+pub fn int_at(row: &adhoc_storage::Row, idx: usize) -> i64 {
+    match row.at(idx) {
+        Value::Int(v) => *v,
+        other => panic!("expected Int at {idx}, found {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_core::locks::{MemLock, MemLruLock};
+    use adhoc_storage::EngineProfile;
+
+    fn fixture(mode: Mode) -> Broadleaf {
+        let db = Database::in_memory(EngineProfile::MySqlLike);
+        let orm = setup(&db).unwrap();
+        let app = Broadleaf::new(orm, Arc::new(MemLock::new()), mode);
+        app.seed_cart(1).unwrap();
+        app.seed_sku(1, 1000).unwrap();
+        app
+    }
+
+    #[test]
+    fn add_to_cart_updates_total() {
+        for mode in [Mode::AdHoc, Mode::DatabaseTxn] {
+            let app = fixture(mode);
+            app.add_to_cart(1, 7, 2).unwrap();
+            app.add_to_cart(1, 8, 3).unwrap();
+            assert!(app.cart_total_consistent(1).unwrap(), "{mode:?}");
+            assert_eq!(
+                app.orm
+                    .find_required("carts", 1)
+                    .unwrap()
+                    .get_int("total")
+                    .unwrap(),
+                7 * 2 + 8 * 3
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_add_to_cart_stays_consistent_adhoc() {
+        let app = Arc::new(fixture(Mode::AdHoc));
+        std::thread::scope(|s| {
+            for t in 0..6 {
+                let app = Arc::clone(&app);
+                s.spawn(move || {
+                    for i in 0..10 {
+                        app.add_to_cart(1, (t * 10 + i) % 9 + 1, 1).unwrap();
+                    }
+                });
+            }
+        });
+        assert!(app.cart_total_consistent(1).unwrap());
+    }
+
+    #[test]
+    fn concurrent_add_to_cart_stays_consistent_dbt() {
+        let app = Arc::new(fixture(Mode::DatabaseTxn));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let app = Arc::clone(&app);
+                s.spawn(move || {
+                    for _ in 0..8 {
+                        app.add_to_cart(1, 5, 1).unwrap();
+                    }
+                });
+            }
+        });
+        assert!(app.cart_total_consistent(1).unwrap());
+    }
+
+    #[test]
+    fn check_out_decrements_and_respects_stock() {
+        for mode in [Mode::AdHoc, Mode::DatabaseTxn] {
+            let db = Database::in_memory(EngineProfile::MySqlLike);
+            let orm = setup(&db).unwrap();
+            let app = Broadleaf::new(orm, Arc::new(MemLock::new()), mode);
+            app.seed_sku(1, 3).unwrap();
+            assert!(app.check_out(1, 2).unwrap());
+            assert!(
+                !app.check_out(1, 2).unwrap(),
+                "{mode:?} must refuse oversell"
+            );
+            assert!(app.check_out(1, 1).unwrap());
+            assert!(app.sku_conserved(1, 3).unwrap());
+        }
+    }
+
+    #[test]
+    fn concurrent_checkout_conserves_stock_both_modes() {
+        for mode in [Mode::AdHoc, Mode::DatabaseTxn] {
+            let db = Database::in_memory(EngineProfile::MySqlLike);
+            let orm = setup(&db).unwrap();
+            let app = Arc::new(Broadleaf::new(orm, Arc::new(MemLock::new()), mode));
+            app.seed_sku(1, 10_000).unwrap();
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    let app = Arc::clone(&app);
+                    s.spawn(move || {
+                        for _ in 0..25 {
+                            app.check_out(1, 1).unwrap();
+                        }
+                    });
+                }
+            });
+            assert!(app.sku_conserved(1, 10_000).unwrap(), "{mode:?}");
+            let sku = app.orm.find_required("skus", 1).unwrap();
+            assert_eq!(sku.get_int("sold").unwrap(), 200, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn omitted_sku_coordination_loses_updates() {
+        // §4.2 [67]: leaving the SKU RMW uncoordinated breaks conservation.
+        let db = Database::in_memory(EngineProfile::MySqlLike);
+        let orm = setup(&db).unwrap();
+        let app = Arc::new(
+            Broadleaf::new(orm, Arc::new(MemLock::new()), Mode::AdHoc).omit_sku_coordination(),
+        );
+        app.seed_sku(1, 100_000).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let app = Arc::clone(&app);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        app.check_out(1, 1).unwrap();
+                    }
+                });
+            }
+        });
+        let sku = app.orm.find_required("skus", 1).unwrap();
+        let q = sku.get_int("quantity").unwrap();
+        let sold = sku.get_int("sold").unwrap();
+        assert!(
+            q + sold != 100_000 || sold != 400,
+            "uncoordinated RMW virtually always drifts (q={q} sold={sold})"
+        );
+    }
+
+    #[test]
+    fn lru_evicted_lock_breaks_cart_consistency() {
+        // §4.1.1 [66]: a tiny LRU lock table evicts held cart locks, so two
+        // carts' operations interleave with a third stealing the entry.
+        for _round in 0..50 {
+            let db = Database::in_memory(EngineProfile::MySqlLike);
+            let orm = setup(&db).unwrap();
+            let lru = Arc::new(MemLruLock::new(1));
+            let app = Arc::new(Broadleaf::new(orm, Arc::clone(&lru) as _, Mode::AdHoc));
+            app.seed_sku(1, 100_000).unwrap();
+            app.seed_sku(2, 100_000).unwrap();
+            let barrier = Arc::new(std::sync::Barrier::new(4));
+            let per_thread = 40;
+            std::thread::scope(|s| {
+                // Two threads check out SKU 1; two more churn SKU 2 so the
+                // capacity-1 table keeps evicting SKU 1's *held* lock,
+                // letting the SKU-1 threads overlap in their RMW.
+                for sku in [1, 1, 2, 2] {
+                    let app = Arc::clone(&app);
+                    let barrier = Arc::clone(&barrier);
+                    s.spawn(move || {
+                        barrier.wait();
+                        for _ in 0..per_thread {
+                            assert!(app.check_out(sku, 1).unwrap());
+                        }
+                    });
+                }
+            });
+            // Every check-out reported success, so `sold` should equal the
+            // number of successful calls; an evicted (revoked) lock lets
+            // two RMWs interleave and lose an update.
+            let sold_1 = app
+                .orm
+                .find_required("skus", 1)
+                .unwrap()
+                .get_int("sold")
+                .unwrap();
+            let sold_2 = app
+                .orm
+                .find_required("skus", 2)
+                .unwrap()
+                .get_int("sold")
+                .unwrap();
+            if sold_1 != 2 * per_thread || sold_2 != 2 * per_thread {
+                assert!(lru.evictions() > 0);
+                return; // lost update demonstrated
+            }
+        }
+        panic!("with capacity-1 LRU eviction a checkout update must be lost");
+    }
+}

@@ -1,0 +1,574 @@
+//! Mastodon (Ruby/Active Record + Redis): posts, timelines, invites, polls.
+//!
+//! Scenarios reproduced:
+//! * **§3.1.3** — `create_post`/`delete_post` coordinate an RDBMS insert
+//!   with a Redis timeline-set update under one post lock (coordination of
+//!   database and non-database operations).
+//! * **Figure 1b** — `redeem_invite`: a Redis `SETNX` lock around the
+//!   invitation read–modify–write.
+//! * **Figure 1c** — `vote`: the optimistic retry loop over
+//!   `UPDATE … WHERE id = ? AND ver = ?`.
+//! * **§4.1.1 (issue \[65\]) / Table 5b** — every Mastodon lock has lease
+//!   semantics (Redis TTL) and the application never checks expiry;
+//!   `critical_section_delay` lets tests stretch the critical section past
+//!   the TTL, producing the "deleted posts appearing in timelines" class
+//!   of inconsistency.
+
+use crate::{Mode, Result, DBT_RETRIES};
+use adhoc_core::locks::AdHocLock;
+use adhoc_orm::{EntityDef, Orm, Registry};
+use adhoc_storage::{Column, ColumnType, Database, DbError, IsolationLevel, Predicate, Schema};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Create Mastodon's tables and entity registry.
+pub fn setup(db: &Database) -> Result<Orm> {
+    db.create_table(Schema::new(
+        "posts",
+        vec![
+            Column::new("id", ColumnType::Int),
+            Column::new("content", ColumnType::Str),
+        ],
+        "id",
+    )?)?;
+    db.create_table(Schema::new(
+        "invites",
+        vec![
+            Column::new("id", ColumnType::Int),
+            Column::new("redeems", ColumnType::Int),
+            Column::new("max_redeems", ColumnType::Int),
+        ],
+        "id",
+    )?)?;
+    db.create_table(Schema::new(
+        "polls",
+        vec![
+            Column::new("id", ColumnType::Int),
+            Column::new("tally_a", ColumnType::Int),
+            Column::new("tally_b", ColumnType::Int),
+            Column::new("ver", ColumnType::Int),
+        ],
+        "id",
+    )?)?;
+    db.create_table(
+        Schema::new(
+            "notifications",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("user_id", ColumnType::Int),
+                Column::new("event", ColumnType::Str),
+            ],
+            "id",
+        )?
+        .with_index("user_id")?,
+    )?;
+    let registry = Registry::new()
+        .register(EntityDef::new("posts"))
+        .register(EntityDef::new("invites"))
+        .register(EntityDef::new("polls"))
+        .register(EntityDef::new("notifications"));
+    Ok(Orm::new(db.clone(), registry))
+}
+
+/// A poll choice (tallies are two columns, like `{1: …, 2: …}` in Fig. 1c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Choice {
+    /// The first option.
+    A,
+    /// The second option.
+    B,
+}
+
+/// The Mastodon application model.
+pub struct Mastodon {
+    orm: Orm,
+    kv: adhoc_kv::Client,
+    lock: Arc<dyn AdHocLock>,
+    mode: Mode,
+    /// Stretches critical sections (past a lease TTL, when injected).
+    pub critical_section_delay: Duration,
+}
+
+impl Mastodon {
+    /// Build the application model over `orm`, coordinating with `lock` in the given [`Mode`].
+    pub fn new(orm: Orm, kv: adhoc_kv::Client, lock: Arc<dyn AdHocLock>, mode: Mode) -> Self {
+        Self {
+            orm,
+            kv,
+            lock,
+            mode,
+            critical_section_delay: Duration::ZERO,
+        }
+    }
+
+    /// Stretch every critical section by `d` (drives the lease-expiry scenarios).
+    pub fn with_critical_section_delay(mut self, d: Duration) -> Self {
+        self.critical_section_delay = d;
+        self
+    }
+
+    /// The underlying ORM handle (for assertions and seeding).
+    pub fn orm(&self) -> &Orm {
+        &self.orm
+    }
+
+    /// The Redis-like client (for assertions and checkers).
+    pub fn kv(&self) -> &adhoc_kv::Client {
+        &self.kv
+    }
+
+    /// Seed an invitation with a redemption limit.
+    pub fn seed_invite(&self, invite_id: i64, max_redeems: i64) -> Result<()> {
+        self.orm.create(
+            "invites",
+            &[
+                ("id", invite_id.into()),
+                ("redeems", 0.into()),
+                ("max_redeems", max_redeems.into()),
+            ],
+        )?;
+        Ok(())
+    }
+
+    /// Seed a poll with empty tallies.
+    pub fn seed_poll(&self, poll_id: i64) -> Result<()> {
+        self.orm.create(
+            "polls",
+            &[
+                ("id", poll_id.into()),
+                ("tally_a", 0.into()),
+                ("tally_b", 0.into()),
+                ("ver", 0.into()),
+            ],
+        )?;
+        Ok(())
+    }
+
+    fn timeline_key(follower_id: i64) -> String {
+        format!("timeline:{follower_id}")
+    }
+
+    /// §3.1.3: insert the post row and add its id to the follower's Redis
+    /// timeline, under one post lock.
+    pub fn create_post(&self, follower_id: i64, post_id: i64, content: &str) -> Result<()> {
+        let guard = self.lock.lock(&format!("post:{post_id}"))?;
+        self.orm.create(
+            "posts",
+            &[("id", post_id.into()), ("content", content.into())],
+        )?;
+        std::thread::sleep(self.critical_section_delay);
+        self.kv
+            .sadd(&Self::timeline_key(follower_id), &post_id.to_string())
+            .map_err(|e| adhoc_core::LockError::Backend(e.to_string()))?;
+        // Mastodon releases unconditionally; an expired lease makes this a
+        // no-op (the Guard refuses to clobber the next holder).
+        let _ = guard.unlock();
+        Ok(())
+    }
+
+    /// §3.1.3: remove the timeline entry, then the post row.
+    pub fn delete_post(&self, follower_id: i64, post_id: i64) -> Result<()> {
+        let guard = self.lock.lock(&format!("post:{post_id}"))?;
+        self.kv
+            .srem(&Self::timeline_key(follower_id), &post_id.to_string())
+            .map_err(|e| adhoc_core::LockError::Backend(e.to_string()))?;
+        std::thread::sleep(self.critical_section_delay);
+        self.orm.delete("posts", post_id)?;
+        let _ = guard.unlock();
+        Ok(())
+    }
+
+    /// The follower's timeline (post ids).
+    pub fn timeline(&self, follower_id: i64) -> Result<Vec<i64>> {
+        let members = self
+            .kv
+            .smembers(&Self::timeline_key(follower_id))
+            .map_err(|e| adhoc_core::LockError::Backend(e.to_string()))?;
+        Ok(members.iter().filter_map(|m| m.parse().ok()).collect())
+    }
+
+    /// Invariant (§3.1.3): every timeline id references a live post row.
+    pub fn timeline_consistent(&self, follower_id: i64) -> Result<bool> {
+        for post_id in self.timeline(follower_id)? {
+            if self.orm.find("posts", post_id)?.is_none() {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Figure 1b: redeem an invitation; `false` when exhausted.
+    pub fn redeem_invite(&self, invite_id: i64) -> Result<bool> {
+        match self.mode {
+            Mode::AdHoc => {
+                let guard = self.lock.lock(&format!("redeem:{invite_id}"))?;
+                let invite = self.orm.find_required("invites", invite_id)?;
+                let redeems = invite.get_int("redeems")?;
+                let max = invite.get_int("max_redeems")?;
+                std::thread::sleep(self.critical_section_delay);
+                let ok = if redeems < max {
+                    self.orm.transaction(|t| {
+                        t.raw().update(
+                            "invites",
+                            invite_id,
+                            &[("redeems", (redeems + 1).into())],
+                        )?;
+                        Ok(())
+                    })?;
+                    true
+                } else {
+                    false
+                };
+                // Fig. 1b deletes the lock key unconditionally; our Guard
+                // does the owner-checked equivalent (the unchecked variant
+                // is covered by the lock's own fault switch).
+                let _ = guard.unlock();
+                Ok(ok)
+            }
+            Mode::DatabaseTxn => {
+                let schema = self.orm.db().schema("invites")?;
+                Ok(self.orm.db().run_with_retries(
+                    IsolationLevel::Serializable,
+                    DBT_RETRIES,
+                    |t| {
+                        let invite = t.get("invites", invite_id)?.ok_or(DbError::NoSuchRow {
+                            table: "invites".into(),
+                            id: invite_id,
+                        })?;
+                        let redeems = invite.get_int(&schema, "redeems")?;
+                        let max = invite.get_int(&schema, "max_redeems")?;
+                        if redeems >= max {
+                            return Ok(false);
+                        }
+                        t.update("invites", invite_id, &[("redeems", (redeems + 1).into())])?;
+                        Ok(true)
+                    },
+                )?)
+            }
+        }
+    }
+
+    /// Deliver a notification at most once per (user, event) — the
+    /// `mastodon/notification-dedupe` case. Coordination is lock-free: a
+    /// `SETNX` marker *is* the uniqueness check (the winner delivers), a
+    /// different use of the same primitive the locks build on.
+    pub fn notify_once(&self, user_id: i64, event: &str) -> Result<bool> {
+        let marker = format!("notified:{user_id}:{event}");
+        let won = self
+            .kv
+            .set_nx(&marker, "1")
+            .map_err(|e| adhoc_core::LockError::Backend(e.to_string()))?;
+        if !won {
+            return Ok(false); // someone already delivered this event
+        }
+        self.orm.create(
+            "notifications",
+            &[("user_id", user_id.into()), ("event", event.into())],
+        )?;
+        Ok(true)
+    }
+
+    /// The uncoordinated variant: check the table, then insert — the
+    /// check-then-act window admits duplicates.
+    pub fn notify_unchecked(&self, user_id: i64, event: &str) -> Result<bool> {
+        let schema = self.orm.db().schema("notifications")?;
+        let existing = self.orm.transaction(|t| {
+            Ok(t.raw()
+                .scan("notifications", &Predicate::eq("user_id", user_id))?)
+        })?;
+        for (_, row) in &existing {
+            if row.get_str(&schema, "event")? == event {
+                return Ok(false);
+            }
+        }
+        std::thread::yield_now(); // the race window
+        self.orm.create(
+            "notifications",
+            &[("user_id", user_id.into()), ("event", event.into())],
+        )?;
+        Ok(true)
+    }
+
+    /// Invariant: no (user, event) pair is notified twice.
+    pub fn notifications_unique(&self, user_id: i64) -> Result<bool> {
+        let schema = self.orm.db().schema("notifications")?;
+        let rows = self.orm.transaction(|t| {
+            Ok(t.raw()
+                .scan("notifications", &Predicate::eq("user_id", user_id))?)
+        })?;
+        let mut events: Vec<String> = rows
+            .iter()
+            .map(|(_, row)| row.get_str(&schema, "event"))
+            .collect::<std::result::Result<_, _>>()?;
+        let before = events.len();
+        events.sort_unstable();
+        events.dedup();
+        Ok(events.len() == before)
+    }
+
+    /// Invariant (Fig. 1b): an invitation is never redeemed past its max.
+    pub fn invite_within_limit(&self, invite_id: i64) -> Result<bool> {
+        let invite = self.orm.find_required("invites", invite_id)?;
+        Ok(invite.get_int("redeems")? <= invite.get_int("max_redeems")?)
+    }
+
+    /// Figure 1c: optimistic vote with the version-checked retry loop.
+    pub fn vote(&self, poll_id: i64, choice: Choice) -> Result<()> {
+        loop {
+            let poll = self.orm.find_required("polls", poll_id)?;
+            let ver = poll.get_int("ver")?;
+            let (col, tally) = match choice {
+                Choice::A => ("tally_a", poll.get_int("tally_a")?),
+                Choice::B => ("tally_b", poll.get_int("tally_b")?),
+            };
+            let pred = Predicate::And(vec![
+                Predicate::eq("id", poll_id),
+                Predicate::eq("ver", ver),
+            ]);
+            let affected = self.orm.transaction(|t| {
+                Ok(t.raw().update_where(
+                    "polls",
+                    &pred,
+                    &[(col, (tally + 1).into()), ("ver", (ver + 1).into())],
+                )?)
+            })?;
+            if affected == 1 {
+                return Ok(());
+            }
+            // Validation failed: loop and retry with fresh state (Fig. 1c).
+        }
+    }
+
+    /// Total votes recorded for a poll.
+    pub fn poll_totals(&self, poll_id: i64) -> Result<(i64, i64)> {
+        let poll = self.orm.find_required("polls", poll_id)?;
+        Ok((poll.get_int("tally_a")?, poll.get_int("tally_b")?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_core::locks::{KvSetNxLock, MemLock};
+    use adhoc_kv::{Client, Store};
+    use adhoc_sim::{LatencyModel, RealClock};
+    use adhoc_storage::EngineProfile;
+
+    fn fixture(mode: Mode) -> Mastodon {
+        let db = Database::in_memory(EngineProfile::PostgresLike);
+        let orm = setup(&db).unwrap();
+        let kv = Client::new(Store::new(), RealClock::shared(), LatencyModel::zero());
+        Mastodon::new(orm, kv, Arc::new(MemLock::new()), mode)
+    }
+
+    #[test]
+    fn notifications_deduplicate_via_setnx() {
+        let app = Arc::new(fixture(Mode::AdHoc));
+        let delivered: usize = std::thread::scope(|s| {
+            (0..6)
+                .map(|_| {
+                    let app = Arc::clone(&app);
+                    s.spawn(move || app.notify_once(7, "mention:42").unwrap() as usize)
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(delivered, 1, "exactly one winner delivers");
+        assert!(app.notifications_unique(7).unwrap());
+        // A different event for the same user still goes through.
+        assert!(app.notify_once(7, "follow:9").unwrap());
+        assert!(app.notifications_unique(7).unwrap());
+    }
+
+    #[test]
+    fn unchecked_notifications_can_duplicate() {
+        let mut duplicated = false;
+        for _ in 0..200 {
+            let app = Arc::new(fixture(Mode::AdHoc));
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    let app = Arc::clone(&app);
+                    s.spawn(move || {
+                        let _ = app.notify_unchecked(7, "mention:42").unwrap();
+                    });
+                }
+            });
+            if !app.notifications_unique(7).unwrap() {
+                duplicated = true;
+                break;
+            }
+        }
+        assert!(
+            duplicated,
+            "the check-then-act window must admit duplicates"
+        );
+    }
+
+    #[test]
+    fn timeline_tracks_posts() {
+        let app = fixture(Mode::AdHoc);
+        app.create_post(7, 1, "hello").unwrap();
+        app.create_post(7, 2, "world").unwrap();
+        assert_eq!(app.timeline(7).unwrap(), vec![1, 2]);
+        assert!(app.timeline_consistent(7).unwrap());
+        app.delete_post(7, 1).unwrap();
+        assert_eq!(app.timeline(7).unwrap(), vec![2]);
+        assert!(app.timeline_consistent(7).unwrap());
+    }
+
+    #[test]
+    fn concurrent_create_delete_with_correct_lock_stays_consistent() {
+        let app = Arc::new(fixture(Mode::AdHoc));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let app = Arc::clone(&app);
+                s.spawn(move || {
+                    for i in 0..10 {
+                        let post_id = t * 100 + i;
+                        app.create_post(7, post_id, "x").unwrap();
+                        if i % 2 == 0 {
+                            app.delete_post(7, post_id).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        assert!(app.timeline_consistent(7).unwrap());
+    }
+
+    #[test]
+    fn invite_limit_holds_in_both_modes() {
+        for mode in [Mode::AdHoc, Mode::DatabaseTxn] {
+            let app = Arc::new(fixture(mode));
+            app.seed_invite(1, 10).unwrap();
+            let successes: usize = std::thread::scope(|s| {
+                (0..6)
+                    .map(|_| {
+                        let app = Arc::clone(&app);
+                        s.spawn(move || {
+                            let mut ok = 0;
+                            for _ in 0..5 {
+                                if app.redeem_invite(1).unwrap() {
+                                    ok += 1;
+                                }
+                            }
+                            ok
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .sum()
+            });
+            assert_eq!(successes, 10, "{mode:?}: exactly max redemptions");
+            assert!(app.invite_within_limit(1).unwrap(), "{mode:?}");
+            assert_eq!(
+                app.orm
+                    .find_required("invites", 1)
+                    .unwrap()
+                    .get_int("redeems")
+                    .unwrap(),
+                10,
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn expired_lease_with_unchecked_expiry_overuses_invites() {
+        // §4.1.1 [65]: the TTL is shorter than the critical section and
+        // nobody checks `is_valid` — two redeemers read the same count.
+        let db = Database::in_memory(EngineProfile::PostgresLike);
+        let orm = setup(&db).unwrap();
+        let kv = Client::new(Store::new(), RealClock::shared(), LatencyModel::zero());
+        let lease = KvSetNxLock::new(kv.clone()).with_ttl(Duration::from_millis(5));
+        let app = Arc::new(
+            Mastodon::new(orm, kv, Arc::new(lease), Mode::AdHoc)
+                .with_critical_section_delay(Duration::from_millis(12)),
+        );
+        app.seed_invite(1, 1).unwrap();
+        let successes: usize = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    let app = Arc::clone(&app);
+                    s.spawn(move || app.redeem_invite(1).unwrap() as usize)
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert!(
+            successes > 1,
+            "expired leases must let multiple redeemers through (got {successes})"
+        );
+    }
+
+    #[test]
+    fn expired_lease_breaks_timeline_consistency() {
+        // The Table 5b consequence: deleted posts shown in timelines.
+        let db = Database::in_memory(EngineProfile::PostgresLike);
+        let orm = setup(&db).unwrap();
+        let kv = Client::new(Store::new(), RealClock::shared(), LatencyModel::zero());
+        let lease = KvSetNxLock::new(kv.clone()).with_ttl(Duration::from_millis(4));
+        let app = Arc::new(
+            Mastodon::new(orm, kv, Arc::new(lease), Mode::AdHoc)
+                .with_critical_section_delay(Duration::from_millis(10)),
+        );
+        let mut broken = false;
+        for post_id in 0..20 {
+            // create & delete race on the same post id: with the lease
+            // expiring mid-create, delete interleaves between the DB insert
+            // and the timeline add, leaving a dangling timeline entry.
+            std::thread::scope(|s| {
+                let a = Arc::clone(&app);
+                s.spawn(move || {
+                    a.create_post(7, post_id, "x").unwrap();
+                });
+                let b = Arc::clone(&app);
+                s.spawn(move || {
+                    std::thread::sleep(Duration::from_millis(6));
+                    let _ = b.delete_post(7, post_id);
+                });
+            });
+            if !app.timeline_consistent(7).unwrap() {
+                broken = true;
+                break;
+            }
+        }
+        assert!(
+            broken,
+            "an expired lease must eventually dangle a timeline entry"
+        );
+    }
+
+    #[test]
+    fn poll_votes_are_never_lost() {
+        let app = Arc::new(fixture(Mode::AdHoc));
+        app.seed_poll(1).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..6 {
+                let app = Arc::clone(&app);
+                s.spawn(move || {
+                    for _ in 0..20 {
+                        app.vote(1, if t % 2 == 0 { Choice::A } else { Choice::B })
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let (a, b) = app.poll_totals(1).unwrap();
+        assert_eq!(a, 60);
+        assert_eq!(b, 60);
+        assert_eq!(
+            app.orm
+                .find_required("polls", 1)
+                .unwrap()
+                .get_int("ver")
+                .unwrap(),
+            120
+        );
+    }
+}

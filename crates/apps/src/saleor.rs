@@ -1,0 +1,354 @@
+//! Saleor (Python/Django): stock allocations and payment capture.
+//!
+//! Scenarios reproduced:
+//! * **§3.2.1's Saleor listing** — `allocate`: `SELECT … FOR UPDATE` on
+//!   the allocation and its stock inside one Read Committed transaction;
+//!   the database locks *are* the ad hoc lock.
+//! * **Payment capture** — guarded by Saleor's re-entrant `SETNX` lock;
+//!   pairing it with a short TTL and a long critical section reproduces
+//!   the Table 5b "overcharging" consequence.
+
+use crate::{Mode, Result, DBT_RETRIES};
+use adhoc_core::locks::AdHocLock;
+use adhoc_orm::{EntityDef, Orm, Registry};
+use adhoc_storage::{Column, ColumnType, Database, DbError, IsolationLevel, Predicate, Schema};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Create Saleor's tables and entity registry.
+pub fn setup(db: &Database) -> Result<Orm> {
+    db.create_table(Schema::new(
+        "stocks",
+        vec![
+            Column::new("id", ColumnType::Int),
+            Column::new("qty", ColumnType::Int),
+        ],
+        "id",
+    )?)?;
+    db.create_table(
+        Schema::new(
+            "allocations",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("stock_id", ColumnType::Int),
+                Column::new("item_id", ColumnType::Int),
+                Column::new("qty", ColumnType::Int),
+            ],
+            "id",
+        )?
+        .with_index("item_id")?,
+    )?;
+    db.create_table(Schema::new(
+        "captures",
+        vec![
+            Column::new("id", ColumnType::Int),
+            Column::new("order_id", ColumnType::Int),
+            Column::new("authorized_cents", ColumnType::Int),
+            Column::new("captured_cents", ColumnType::Int),
+        ],
+        "id",
+    )?)?;
+    let registry = Registry::new()
+        .register(EntityDef::new("stocks"))
+        .register(EntityDef::new("allocations"))
+        .register(EntityDef::new("captures"));
+    Ok(Orm::new(db.clone(), registry))
+}
+
+/// The Saleor application model.
+pub struct Saleor {
+    orm: Orm,
+    /// The capture lock (public so tests can exercise re-entrancy).
+    pub lock: Arc<dyn AdHocLock>,
+    mode: Mode,
+    /// Stretches the capture critical section (past a lease TTL when the
+    /// injected lock has one).
+    pub capture_delay: Duration,
+}
+
+impl Saleor {
+    /// Build the application model over `orm`, coordinating with `lock` in the given [`Mode`].
+    pub fn new(orm: Orm, lock: Arc<dyn AdHocLock>, mode: Mode) -> Self {
+        Self {
+            orm,
+            lock,
+            mode,
+            capture_delay: Duration::ZERO,
+        }
+    }
+
+    /// Stretch the capture critical section by `d`.
+    pub fn with_capture_delay(mut self, d: Duration) -> Self {
+        self.capture_delay = d;
+        self
+    }
+
+    /// The underlying ORM handle (for assertions and seeding).
+    pub fn orm(&self) -> &Orm {
+        &self.orm
+    }
+
+    /// Seed a stock record.
+    pub fn seed_stock(&self, stock_id: i64, qty: i64) -> Result<()> {
+        self.orm
+            .create("stocks", &[("id", stock_id.into()), ("qty", qty.into())])?;
+        Ok(())
+    }
+
+    /// Seed a stock allocation for an item; returns its id.
+    pub fn seed_allocation(&self, item_id: i64, stock_id: i64, qty: i64) -> Result<i64> {
+        let obj = self.orm.create(
+            "allocations",
+            &[
+                ("stock_id", stock_id.into()),
+                ("item_id", item_id.into()),
+                ("qty", qty.into()),
+            ],
+        )?;
+        Ok(obj.id)
+    }
+
+    /// Seed an authorized-but-uncaptured payment.
+    pub fn seed_capture(&self, order_id: i64, authorized_cents: i64) -> Result<()> {
+        self.orm.create(
+            "captures",
+            &[
+                ("id", order_id.into()),
+                ("order_id", order_id.into()),
+                ("authorized_cents", authorized_cents.into()),
+                ("captured_cents", 0.into()),
+            ],
+        )?;
+        Ok(())
+    }
+
+    /// §3.2.1's listing: apply an item's allocation against its stock.
+    /// Returns `false` when stock is insufficient (the listing's abort).
+    pub fn allocate(&self, item_id: i64) -> Result<bool> {
+        let alloc_schema = self.orm.db().schema("allocations")?;
+        let stock_schema = self.orm.db().schema("stocks")?;
+        let run = |t: &mut adhoc_storage::Transaction| -> std::result::Result<bool, DbError> {
+            let allocs = t.select_for_update("allocations", &Predicate::eq("item_id", item_id))?;
+            let Some((alloc_id, alloc)) = allocs.into_iter().next() else {
+                return Ok(false);
+            };
+            let stock_id = alloc.get_int(&alloc_schema, "stock_id")?;
+            let stock = t
+                .get_for_update("stocks", stock_id)?
+                .ok_or(DbError::NoSuchRow {
+                    table: "stocks".into(),
+                    id: stock_id,
+                })?;
+            let alloc_qty = alloc.get_int(&alloc_schema, "qty")?;
+            let stock_qty = stock.get_int(&stock_schema, "qty")?;
+            if alloc_qty > stock_qty {
+                return Ok(false);
+            }
+            t.update("allocations", alloc_id, &[("qty", 0.into())])?;
+            t.update(
+                "stocks",
+                stock_id,
+                &[("qty", (stock_qty - alloc_qty).into())],
+            )?;
+            Ok(true)
+        };
+        match self.mode {
+            // The ad hoc transaction *is* a Read Committed transaction
+            // whose FOR UPDATE locks do the coordination (§3.2.1: "this
+            // database transaction could be configured with a weak
+            // isolation level such as Read Committed").
+            Mode::AdHoc => Ok(self.orm.db().run_with_retries(
+                IsolationLevel::ReadCommitted,
+                DBT_RETRIES,
+                run,
+            )?),
+            Mode::DatabaseTxn => Ok(self.orm.db().run_with_retries(
+                IsolationLevel::Serializable,
+                DBT_RETRIES,
+                run,
+            )?),
+        }
+    }
+
+    /// Capture part of an authorized payment under the re-entrant KV lock.
+    /// Returns `false` when the capture would exceed the authorization.
+    pub fn capture_payment(&self, order_id: i64, cents: i64) -> Result<bool> {
+        let guard = self.lock.lock(&format!("capture:{order_id}"))?;
+        let capture = self.orm.find_required("captures", order_id)?;
+        let authorized = capture.get_int("authorized_cents")?;
+        let captured = capture.get_int("captured_cents")?;
+        std::thread::sleep(self.capture_delay);
+        let ok = if captured + cents <= authorized {
+            self.orm.transaction(|t| {
+                t.raw().update(
+                    "captures",
+                    order_id,
+                    &[("captured_cents", (captured + cents).into())],
+                )?;
+                Ok(())
+            })?;
+            true
+        } else {
+            false
+        };
+        let _ = guard.unlock();
+        Ok(ok)
+    }
+
+    /// Invariant: captured never exceeds authorized (Table 5b's Saleor
+    /// "overcharging" is this invariant breaking).
+    pub fn capture_within_authorization(&self, order_id: i64) -> Result<bool> {
+        let c = self.orm.find_required("captures", order_id)?;
+        Ok(c.get_int("captured_cents")? <= c.get_int("authorized_cents")?)
+    }
+
+    /// Current quantity of a stock record.
+    pub fn stock_qty(&self, stock_id: i64) -> Result<i64> {
+        Ok(self.orm.find_required("stocks", stock_id)?.get_int("qty")?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_core::locks::KvSetNxLock;
+    use adhoc_kv::{Client, Store};
+    use adhoc_sim::{LatencyModel, RealClock};
+    use adhoc_storage::EngineProfile;
+
+    fn kv_lock(ttl: Option<Duration>) -> Arc<dyn AdHocLock> {
+        let kv = Client::new(Store::new(), RealClock::shared(), LatencyModel::zero());
+        let mut lock = KvSetNxLock::new(kv).reentrant();
+        if let Some(ttl) = ttl {
+            lock = lock.with_ttl(ttl);
+        }
+        Arc::new(lock)
+    }
+
+    fn fixture(mode: Mode) -> Saleor {
+        let db = Database::in_memory(EngineProfile::PostgresLike);
+        let orm = setup(&db).unwrap();
+        Saleor::new(orm, kv_lock(None), mode)
+    }
+
+    #[test]
+    fn allocate_applies_once_and_respects_stock() {
+        for mode in [Mode::AdHoc, Mode::DatabaseTxn] {
+            let app = fixture(mode);
+            app.seed_stock(1, 10).unwrap();
+            app.seed_allocation(100, 1, 4).unwrap();
+            assert!(app.allocate(100).unwrap());
+            assert_eq!(app.stock_qty(1).unwrap(), 6, "{mode:?}");
+            // Second run: allocation qty is now 0, so it "succeeds" as a
+            // no-op against stock.
+            assert!(app.allocate(100).unwrap());
+            assert_eq!(app.stock_qty(1).unwrap(), 6, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn allocate_refuses_oversized_allocations() {
+        let app = fixture(Mode::AdHoc);
+        app.seed_stock(1, 3).unwrap();
+        app.seed_allocation(100, 1, 5).unwrap();
+        assert!(!app.allocate(100).unwrap());
+        assert_eq!(app.stock_qty(1).unwrap(), 3);
+    }
+
+    #[test]
+    fn concurrent_allocations_never_oversell() {
+        let app = Arc::new(fixture(Mode::AdHoc));
+        app.seed_stock(1, 10).unwrap();
+        for i in 0..8 {
+            app.seed_allocation(100 + i, 1, 3).unwrap();
+        }
+        let applied: usize = std::thread::scope(|s| {
+            (0..8)
+                .map(|i| {
+                    let app = Arc::clone(&app);
+                    s.spawn(move || {
+                        // Each thread allocates a distinct item against the
+                        // same stock row.
+                        let before = app.stock_qty(1).unwrap();
+                        let _ = before;
+                        app.allocate(100 + i).unwrap() as usize
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        // 10 units, 3 per allocation: exactly 3 can apply.
+        assert_eq!(applied, 3);
+        assert_eq!(app.stock_qty(1).unwrap(), 1);
+    }
+
+    #[test]
+    fn capture_respects_authorization_with_correct_lock() {
+        let app = Arc::new(fixture(Mode::AdHoc));
+        app.seed_capture(1, 100).unwrap();
+        let successes: usize = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let app = Arc::clone(&app);
+                    s.spawn(move || app.capture_payment(1, 30).unwrap() as usize)
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(successes, 3, "3 × 30 fits in 100, a 4th does not");
+        assert!(app.capture_within_authorization(1).unwrap());
+    }
+
+    #[test]
+    fn reentrant_lock_permits_nested_capture_flows() {
+        // Saleor's re-entrancy: an outer checkout step already holding the
+        // capture lock can call capture_payment without deadlocking.
+        let app = fixture(Mode::AdHoc);
+        app.seed_capture(1, 100).unwrap();
+        let outer = app.lock.lock("capture:1").unwrap();
+        assert!(app.capture_payment(1, 40).unwrap());
+        outer.unlock().unwrap();
+        assert!(app.capture_within_authorization(1).unwrap());
+    }
+
+    #[test]
+    fn expired_lease_overcharges() {
+        // Table 5b (Saleor, overcharging): TTL shorter than the capture
+        // critical section, expiry unchecked.
+        let app = Arc::new(
+            Saleor::new(
+                {
+                    let db = Database::in_memory(EngineProfile::PostgresLike);
+                    setup(&db).unwrap()
+                },
+                kv_lock(Some(Duration::from_millis(4))),
+                Mode::AdHoc,
+            )
+            .with_capture_delay(Duration::from_millis(10)),
+        );
+        app.seed_capture(1, 100).unwrap();
+        let successes: usize = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    let app = Arc::clone(&app);
+                    s.spawn(move || app.capture_payment(1, 100).unwrap() as usize)
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        // Each racer read captured = 0 and "successfully" captured the
+        // full authorization: the customer was charged more than once even
+        // though the column ends at 100 — the overcharge is the number of
+        // captures, which a correct lock would hold to exactly one.
+        assert!(
+            successes > 1,
+            "expired capture leases must double-capture (got {successes})"
+        );
+    }
+}

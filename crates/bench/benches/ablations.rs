@@ -1,0 +1,219 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! 1. **Gap-granularity conflict detection on/off** — the PBC scan+insert
+//!    pattern at Serializable (range certification aborts) vs Read
+//!    Committed (no ranges): the cost of false conflicts.
+//! 2. **KV round-trip count** — `SETNX` vs `WATCH/MULTI` lock cycles across
+//!    simulated RTTs: why Figure 2's KV bars split.
+//! 3. **Early exclusive locking vs upgrade-on-write** — the §3.3.1 RMW
+//!    deadlock: `FOR UPDATE` first vs read-then-write at MySQL
+//!    Serializable, under contention.
+
+use adhoc_core::locks::{AdHocLock, KvMultiLock, KvSetNxLock};
+use adhoc_kv::{Client, Store};
+use adhoc_sim::{LatencyModel, RealClock};
+use adhoc_storage::{
+    Column, ColumnType, Database, DbConfig, EngineProfile, IsolationLevel, Predicate, Schema,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn lan() -> LatencyModel {
+    LatencyModel {
+        kv_round_trip: Duration::from_micros(25),
+        sql_round_trip: Duration::from_micros(50),
+        durable_flush: Duration::from_micros(100),
+        in_memory_op: Duration::ZERO,
+    }
+}
+
+/// Ablation 1: scan-empty-then-insert over a non-unique index, contended
+/// on the open tail interval, at two isolation levels.
+fn bench_gap_granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_gap_certification");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for (label, iso) in [
+        ("serializable_ranges", IsolationLevel::Serializable),
+        ("read_committed_no_ranges", IsolationLevel::ReadCommitted),
+    ] {
+        group.bench_function(label, |b| {
+            let db = Database::new(DbConfig::networked(
+                EngineProfile::PostgresLike,
+                RealClock::shared(),
+                lan(),
+            ));
+            db.create_table(
+                Schema::new(
+                    "payments",
+                    vec![
+                        Column::new("id", ColumnType::Int),
+                        Column::new("order_id", ColumnType::Int),
+                    ],
+                    "id",
+                )
+                .unwrap()
+                .with_index("order_id")
+                .unwrap(),
+            )
+            .unwrap();
+            let next = AtomicI64::new(1);
+            let db2 = db.clone();
+            // Background contender inserting into the same tail interval.
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let stop2 = Arc::clone(&stop);
+            let contender = std::thread::spawn(move || {
+                let mut k = 1_000_000i64;
+                while !stop2.load(Ordering::Relaxed) {
+                    k += 1;
+                    let _ = db2.run_with_retries(IsolationLevel::ReadCommitted, 100, |t| {
+                        t.insert("payments", &[("order_id", k.into())]).map(|_| ())
+                    });
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            });
+            b.iter(|| {
+                let order = next.fetch_add(1, Ordering::Relaxed) + 2_000_000;
+                db.run_with_retries(iso, 1000, |t| {
+                    let existing = t.scan("payments", &Predicate::eq("order_id", order))?;
+                    if existing.is_empty() {
+                        t.insert("payments", &[("order_id", order.into())])?;
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            });
+            stop.store(true, Ordering::Relaxed);
+            contender.join().unwrap();
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 2: the two Redis lock protocols across network RTTs.
+fn bench_kv_rtt_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_kv_round_trips");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for rtt_us in [10u64, 100, 400] {
+        let latency = LatencyModel {
+            kv_round_trip: Duration::from_micros(rtt_us),
+            ..LatencyModel::zero()
+        };
+        let setnx = KvSetNxLock::new(Client::new(Store::new(), RealClock::shared(), latency));
+        let multi = KvMultiLock::new(Client::new(Store::new(), RealClock::shared(), latency));
+        group.bench_function(BenchmarkId::new("SETNX", rtt_us), |b| {
+            b.iter(|| setnx.lock("k").unwrap().unlock().unwrap())
+        });
+        group.bench_function(BenchmarkId::new("MULTI", rtt_us), |b| {
+            b.iter(|| multi.lock("k").unwrap().unlock().unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 3: RMW with early exclusive locks vs shared-then-upgrade,
+/// under two contending threads on a MySQL-like engine.
+fn bench_early_lock_vs_upgrade(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_rmw_locking");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for (label, early_lock) in [("early_for_update", true), ("upgrade_on_write", false)] {
+        group.bench_function(label, |b| {
+            let db = Database::new(DbConfig::networked(
+                EngineProfile::MySqlLike,
+                RealClock::shared(),
+                lan(),
+            ));
+            db.create_table(
+                Schema::new(
+                    "skus",
+                    vec![
+                        Column::new("id", ColumnType::Int),
+                        Column::new("qty", ColumnType::Int),
+                    ],
+                    "id",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+            db.run(IsolationLevel::ReadCommitted, |t| {
+                t.insert("skus", &[("id", 1.into()), ("qty", i64::MAX.into())])
+                    .map(|_| ())
+            })
+            .unwrap();
+            let rmw = |db: &Database| {
+                db.run_with_retries(IsolationLevel::Serializable, 1000, |t| {
+                    let row = if early_lock {
+                        t.get_for_update("skus", 1)?
+                    } else {
+                        t.get("skus", 1)?
+                    }
+                    .expect("sku");
+                    let qty = row.values[1].as_int();
+                    t.update("skus", 1, &[("qty", (qty - 1).into())])
+                })
+                .unwrap();
+            };
+            // One background contender creates the §3.3.1 deadlock recipe.
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let stop2 = Arc::clone(&stop);
+            let db2 = db.clone();
+            let contender = std::thread::spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    db2.run_with_retries(IsolationLevel::Serializable, 1000, |t| {
+                        let row = t.get("skus", 1)?.expect("sku");
+                        let qty = row.values[1].as_int();
+                        t.update("skus", 1, &[("qty", (qty - 1).into())])
+                    })
+                    .unwrap();
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            });
+            b.iter(|| rmw(&db));
+            stop.store(true, Ordering::Relaxed);
+            contender.join().unwrap();
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 4: per-operation isolation hints (Table 7b). One measured
+/// configuration per side; throughput and abort counts are reported in
+/// detail by `paper-eval ablation-isolation` — here Criterion tracks the
+/// wall-clock of a full run of each configuration.
+fn bench_per_op_isolation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_per_op_isolation");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for hinted in [false, true] {
+        let label = if hinted {
+            "per_op_rc_hint"
+        } else {
+            "all_serializable"
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let row =
+                    adhoc_bench::isolation_ablation::run_isolation_ablation_config(hinted, 100);
+                criterion::black_box(row)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gap_granularity,
+    bench_kv_rtt_sweep,
+    bench_early_lock_vs_upgrade,
+    bench_per_op_isolation
+);
+criterion_main!(benches);

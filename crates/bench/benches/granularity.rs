@@ -1,0 +1,52 @@
+//! Criterion bench regenerating Figure 3: throughput of the four Table 6
+//! workloads, AHT vs DBT, with and without contention.
+//!
+//! Each sample runs the full multi-threaded workload for a fixed window and
+//! reports *time per completed request* (criterion's inverse of
+//! throughput), so lower is better and the AHT/DBT gap in contended groups
+//! mirrors the figure.
+
+use adhoc_apps::Mode;
+use adhoc_bench::fig3::{run_granularity, Fig3Config, SETUPS};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_granularities(c: &mut Criterion) {
+    for contention in [true, false] {
+        let group_name = if contention {
+            "figure3a_with_contention"
+        } else {
+            "figure3b_without_contention"
+        };
+        let mut group = c.benchmark_group(group_name);
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(100))
+            .measurement_time(Duration::from_secs(3));
+        for setup in SETUPS {
+            for mode in [Mode::AdHoc, Mode::DatabaseTxn] {
+                let id = BenchmarkId::new(setup.granularity.label(), mode.label());
+                group.bench_function(id, |b| {
+                    b.iter_custom(|iters| {
+                        let mut per_request = Duration::ZERO;
+                        for _ in 0..iters {
+                            let cfg = Fig3Config {
+                                duration: Duration::from_millis(200),
+                                contention,
+                                ..Fig3Config::default()
+                            };
+                            let row = run_granularity(setup.granularity, mode, &cfg);
+                            per_request +=
+                                Duration::from_secs_f64(1.0 / row.throughput_rps.max(1.0));
+                        }
+                        per_request
+                    })
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_granularities);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion bench regenerating Figure 2: lock()+unlock() cycle latency
+//! for the seven lock implementations.
+//!
+//! Uses the scaled-down latency model (one tenth of the paper deployment)
+//! with a real clock, so criterion measures true elapsed time including the
+//! simulated network/flush costs. The orders-of-magnitude gaps of Figure 2
+//! appear directly in the report.
+
+use adhoc_core::locks::{
+    AdHocLock, DbTableLock, KvMultiLock, KvSetNxLock, MemLock, MemLruLock, SfuLock, SyncLock,
+};
+use adhoc_kv::{Client, Store};
+use adhoc_sim::{LatencyModel, RealClock};
+use adhoc_storage::{Database, DbConfig, EngineProfile};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_lock_cycle(c: &mut Criterion) {
+    let latency = LatencyModel::paper_scaled_down();
+    let mut group = c.benchmark_group("figure2_lock_unlock_cycle");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+
+    let locks: Vec<(&str, Box<dyn AdHocLock>)> = vec![
+        ("SYNC", Box::new(SyncLock::new())),
+        ("MEM", Box::new(MemLock::new())),
+        ("MEM-LRU", Box::new(MemLruLock::new(1024))),
+        (
+            "KV-SETNX",
+            Box::new(KvSetNxLock::new(Client::new(
+                Store::new(),
+                RealClock::shared(),
+                latency,
+            ))),
+        ),
+        (
+            "KV-MULTI",
+            Box::new(KvMultiLock::new(Client::new(
+                Store::new(),
+                RealClock::shared(),
+                latency,
+            ))),
+        ),
+        (
+            "SFU",
+            Box::new(SfuLock::new(Database::new(DbConfig::networked(
+                EngineProfile::PostgresLike,
+                RealClock::shared(),
+                latency,
+            )))),
+        ),
+        (
+            "DB",
+            Box::new(DbTableLock::new(Database::new(DbConfig::networked(
+                EngineProfile::PostgresLike,
+                RealClock::shared(),
+                latency,
+            )))),
+        ),
+    ];
+
+    for (label, lock) in &locks {
+        // Warm up (creates backing rows where needed).
+        lock.lock("bench").unwrap().unlock().unwrap();
+        group.bench_function(*label, |b| {
+            b.iter(|| {
+                let guard = lock.lock("bench").unwrap();
+                guard.unlock().unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lock_cycle);
+criterion_main!(benches);

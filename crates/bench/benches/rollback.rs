@@ -1,0 +1,43 @@
+//! Criterion bench regenerating Figure 4: shrink-image latency per
+//! rollback strategy, with and without conflicting edit-post load.
+
+use adhoc_bench::fig4::{run_rollback, strategies, strategy_label, Fig4Config};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_rollback(c: &mut Criterion) {
+    for conflicts in [true, false] {
+        let group_name = if conflicts {
+            "figure4a_with_conflicts"
+        } else {
+            "figure4b_without_conflicts"
+        };
+        let mut group = c.benchmark_group(group_name);
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(100))
+            .measurement_time(Duration::from_secs(3));
+        for strategy in strategies() {
+            group.bench_function(BenchmarkId::from_parameter(strategy_label(strategy)), |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let cfg = Fig4Config {
+                            images: 2,
+                            image_cost: Duration::from_millis(5),
+                            conflicts,
+                            ..Fig4Config::default()
+                        };
+                        let row = run_rollback(strategy, &cfg);
+                        total += row.mean_latency;
+                    }
+                    total
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_rollback);
+criterion_main!(benches);

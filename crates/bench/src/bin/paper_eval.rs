@@ -1,0 +1,200 @@
+//! `paper-eval`: regenerate every table and figure of the paper.
+//!
+//! Usage:
+//! ```text
+//! paper-eval [table1|table2|table3|table4|table5a|table5b|table6|table7a|table7b]
+//! paper-eval [findings|fig2|fig3|fig4|tables|all]
+//! ```
+//! With no arguments, prints everything (`all`).
+
+use adhoc_apps::Mode;
+use adhoc_bench::{fig2, fig3, fig4, isolation_ablation, ttl_ablation};
+use adhoc_sim::stats::{fmt_duration, geometric_mean};
+use adhoc_sim::LatencyModel;
+use adhoc_study::report;
+
+fn print_table6() {
+    println!("Table 6: APIs and setups for evaluating coordination granularities.");
+    println!(
+        "  {:<5} {:<28} {:<12} {:<16} {:<16}",
+        "Gran.", "API(s)", "Application", "RDBMS", "DBT isolation"
+    );
+    for s in fig3::SETUPS {
+        println!(
+            "  {:<5} {:<28} {:<12} {:<16} {:<16}",
+            s.granularity.label(),
+            s.api,
+            s.application,
+            s.rdbms.name(),
+            s.dbt_isolation.name()
+        );
+        println!(
+            "        workload w/ contention: {}",
+            s.workload_with_contention
+        );
+    }
+    println!();
+}
+
+fn run_fig2() {
+    println!("Figure 2: Latencies of different lock implementations.");
+    println!("  (latency model: paper deployment — KV RTT 250 us, SQL RTT 300 us, flush 10 ms)");
+    println!("  {:<10} {:>14} {:>14}", "impl", "lock()", "unlock()");
+    for row in fig2::lock_latencies(LatencyModel::paper(), 200) {
+        println!(
+            "  {:<10} {:>14} {:>14}",
+            row.implementation.label(),
+            fmt_duration(row.lock),
+            fmt_duration(row.unlock)
+        );
+    }
+    println!();
+}
+
+fn run_fig3() {
+    println!("Figure 3: API throughputs using different coordination granularities.");
+    for contention in [true, false] {
+        println!(
+            "  ({}) {} contention:",
+            if contention { "a" } else { "b" },
+            if contention { "with" } else { "without" }
+        );
+        let mut ratios = Vec::new();
+        for setup in fig3::SETUPS {
+            let cfg = fig3::Fig3Config {
+                contention,
+                ..fig3::Fig3Config::default()
+            };
+            let aht = fig3::run_granularity(setup.granularity, Mode::AdHoc, &cfg);
+            let dbt = fig3::run_granularity(setup.granularity, Mode::DatabaseTxn, &cfg);
+            let ratio = aht.throughput_rps / dbt.throughput_rps;
+            ratios.push(ratio);
+            println!(
+                "    {:<4} AHT {:>8.0} req/s   DBT {:>8.0} req/s   (AHT/DBT = {:.2}; DBT deadlocks {}, serialization failures {})",
+                setup.granularity.label(),
+                aht.throughput_rps,
+                dbt.throughput_rps,
+                ratio,
+                dbt.deadlocks,
+                dbt.serialization_failures
+            );
+        }
+        if let Some(geo) = geometric_mean(&ratios) {
+            println!("    geometric-mean AHT/DBT = {geo:.2}");
+        }
+    }
+    println!();
+}
+
+fn run_fig4() {
+    println!("Figure 4: API latencies using different rollback methods (shrink-image).");
+    for conflicts in [true, false] {
+        println!(
+            "  ({}) {} conflicting edit-post load:",
+            if conflicts { "a" } else { "b" },
+            if conflicts { "with" } else { "without" }
+        );
+        let cfg = fig4::Fig4Config {
+            conflicts,
+            ..fig4::Fig4Config::default()
+        };
+        for strategy in fig4::strategies() {
+            let row = fig4::run_rollback(strategy, &cfg);
+            println!(
+                "    {:<7} mean latency {:>12}   (image-processing restarts: {})",
+                fig4::strategy_label(strategy),
+                fmt_duration(row.mean_latency),
+                row.restarts
+            );
+        }
+    }
+    println!();
+}
+
+fn print_tables() {
+    for render in [
+        report::render_table1(),
+        report::render_table2(),
+        report::render_table3(),
+        report::render_table4(),
+        report::render_table5a(),
+        report::render_table5b(),
+    ] {
+        println!("{render}");
+    }
+    print_table6();
+    println!("{}", report::render_table7a());
+    println!("{}", report::render_table7b());
+}
+
+fn run_ttl_ablation() {
+    println!("Ablation: lease TTL vs critical-section length (Mastodon, issue [65]).");
+    println!("  4 redeemers race a 1-use invitation; overuse = more than one succeeds.");
+    println!("  {:<14} {:>16}", "cs / ttl", "overuse trials");
+    for row in ttl_ablation::run_ttl_ablation(&[0.25, 0.5, 1.0, 2.0, 4.0], 20) {
+        println!(
+            "  {:<14} {:>9} / {}",
+            format!("{:.2}x", row.cs_over_ttl),
+            row.overuse_trials,
+            row.trials
+        );
+    }
+    println!();
+}
+
+fn run_isolation_ablation() {
+    println!("Ablation: per-operation isolation hints (Table 7b / §3.1.1 flexibility).");
+    println!("  Serializable workers mix a hot-counter RMW with 4 dashboard reads");
+    println!("  while a background writer churns the dashboard rows.");
+    println!(
+        "  {:<34} {:>12} {:>22}",
+        "configuration", "txn/s", "serialization aborts"
+    );
+    for row in isolation_ablation::run_isolation_ablation() {
+        println!(
+            "  {:<34} {:>12.0} {:>22}",
+            row.label, row.throughput_rps, row.serialization_failures
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match arg.as_str() {
+        "table1" => print!("{}", report::render_table1()),
+        "table2" => print!("{}", report::render_table2()),
+        "table3" => print!("{}", report::render_table3()),
+        "table4" => print!("{}", report::render_table4()),
+        "table5a" => print!("{}", report::render_table5a()),
+        "table5b" => print!("{}", report::render_table5b()),
+        "table6" => print_table6(),
+        "table7a" => print!("{}", report::render_table7a()),
+        "table7b" => print!("{}", report::render_table7b()),
+        "findings" => print!("{}", report::render_findings()),
+        "playbook" => print!("{}", report::render_playbook()),
+        "fig2" => run_fig2(),
+        "fig3" => run_fig3(),
+        "fig4" => run_fig4(),
+        "ablation-ttl" => run_ttl_ablation(),
+        "ablation-isolation" => run_isolation_ablation(),
+        "tables" => print_tables(),
+        "all" => {
+            print_tables();
+            println!("{}", report::render_findings());
+            println!("{}", report::render_playbook());
+            run_fig2();
+            run_fig3();
+            run_fig4();
+            run_ttl_ablation();
+            run_isolation_ablation();
+        }
+        other => {
+            eprintln!("unknown target {other:?}");
+            eprintln!(
+                "usage: paper-eval [table1|table2|table3|table4|table5a|table5b|table6|table7a|table7b|findings|playbook|fig2|fig3|fig4|ablation-ttl|ablation-isolation|tables|all]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

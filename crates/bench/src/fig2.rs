@@ -1,0 +1,154 @@
+//! Figure 2: latencies of the seven lock implementations.
+//!
+//! A single client repeatedly invokes `lock()` and `unlock()` in a loop
+//! (the paper's microbenchmark). Network round trips and durable flushes
+//! are charged onto a virtual clock, so the measured latency is
+//! `simulated physical cost + real compute cost`, and the run finishes in
+//! milliseconds regardless of the model.
+
+use adhoc_core::locks::{
+    AdHocLock, DbTableLock, KvMultiLock, KvSetNxLock, MemLock, MemLruLock, SfuLock, SyncLock,
+};
+use adhoc_core::taxonomy::LockImpl;
+use adhoc_kv::{Client, Store};
+use adhoc_sim::{Clock, LatencyModel, VirtualClock};
+use adhoc_storage::{Database, DbConfig, EngineProfile};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One Figure 2 bar pair.
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    /// The measured lock implementation.
+    pub implementation: LockImpl,
+    /// Mean `lock()` latency.
+    pub lock: Duration,
+    /// Mean `unlock()` latency.
+    pub unlock: Duration,
+}
+
+/// Build one lock implementation over fresh substrates sharing `clock`.
+fn build(which: LockImpl, clock: &Arc<VirtualClock>, latency: LatencyModel) -> Box<dyn AdHocLock> {
+    match which {
+        LockImpl::Sync => Box::new(SyncLock::new()),
+        LockImpl::Mem => Box::new(MemLock::new()),
+        LockImpl::MemLru => Box::new(MemLruLock::new(1024)),
+        LockImpl::KvSetNx => {
+            let client = Client::new(Store::new(), clock.clone(), latency);
+            Box::new(KvSetNxLock::new(client))
+        }
+        LockImpl::KvMulti => {
+            let client = Client::new(Store::new(), clock.clone(), latency);
+            Box::new(KvMultiLock::new(client))
+        }
+        LockImpl::Sfu => {
+            let db = Database::new(DbConfig::networked(
+                EngineProfile::PostgresLike,
+                clock.clone(),
+                latency,
+            ));
+            Box::new(SfuLock::new(db))
+        }
+        LockImpl::DbTable => {
+            let db = Database::new(DbConfig::networked(
+                EngineProfile::PostgresLike,
+                clock.clone(),
+                latency,
+            ));
+            Box::new(DbTableLock::new(db))
+        }
+    }
+}
+
+/// Run the Figure 2 microbenchmark: `iterations` lock/unlock cycles per
+/// implementation, reporting mean latencies per operation.
+pub fn lock_latencies(latency: LatencyModel, iterations: u32) -> Vec<Fig2Row> {
+    assert!(iterations > 0);
+    LockImpl::all()
+        .into_iter()
+        .map(|which| {
+            let clock = Arc::new(VirtualClock::new());
+            let lock = build(which, &clock, latency);
+            // Warm up: first acquisition may create backing rows.
+            lock.lock("bench")
+                .expect("warmup lock")
+                .unlock()
+                .expect("warmup unlock");
+
+            let mut lock_total = Duration::ZERO;
+            let mut unlock_total = Duration::ZERO;
+            for _ in 0..iterations {
+                let v0 = clock.now();
+                let r0 = Instant::now();
+                let guard = lock.lock("bench").expect("lock");
+                lock_total += (clock.now() - v0) + r0.elapsed();
+
+                let v1 = clock.now();
+                let r1 = Instant::now();
+                guard.unlock().expect("unlock");
+                unlock_total += (clock.now() - v1) + r1.elapsed();
+            }
+            Fig2Row {
+                implementation: which,
+                lock: lock_total / iterations,
+                unlock: unlock_total / iterations,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 2 shape: in-memory locks ≪ KV locks ≤ SFU ≪ DB, and
+    /// KV-MULTI pays more round trips than KV-SETNX.
+    #[test]
+    fn figure2_ordering_holds() {
+        let _serial = crate::SERIAL_MEASUREMENTS.lock();
+        let rows = lock_latencies(LatencyModel::paper(), 50);
+        let get = |which: LockImpl| {
+            let r = rows
+                .iter()
+                .find(|r| r.implementation == which)
+                .expect("present");
+            r.lock + r.unlock
+        };
+        let sync = get(LockImpl::Sync);
+        let mem = get(LockImpl::Mem);
+        let mem_lru = get(LockImpl::MemLru);
+        let kv_setnx = get(LockImpl::KvSetNx);
+        let kv_multi = get(LockImpl::KvMulti);
+        let sfu = get(LockImpl::Sfu);
+        let db = get(LockImpl::DbTable);
+
+        let ms = Duration::from_millis(1);
+        // In-memory locks are sub-RTT.
+        for (label, v) in [("SYNC", sync), ("MEM", mem), ("MEM-LRU", mem_lru)] {
+            assert!(v < Duration::from_micros(100), "{label} took {v:?}");
+        }
+        // KV and SFU are round-trip bound: hundreds of µs to a few ms.
+        assert!(kv_setnx > Duration::from_micros(200), "{kv_setnx:?}");
+        assert!(
+            kv_setnx < kv_multi,
+            "SETNX ({kv_setnx:?}) < MULTI ({kv_multi:?})"
+        );
+        assert!(kv_multi >= 2 * kv_setnx, "MULTI pays several extra RTTs");
+        assert!(sfu < 5 * ms);
+        // The DB lock's durable flushes put it an order of magnitude above.
+        assert!(db > 5 * kv_multi, "DB ({db:?}) must dominate (flushes)");
+        assert!(db >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn zero_latency_model_measures_compute_only() {
+        let rows = lock_latencies(LatencyModel::zero(), 20);
+        for r in rows {
+            assert!(
+                r.lock + r.unlock < Duration::from_millis(5),
+                "{:?} too slow for a zero model",
+                r.implementation
+            );
+        }
+    }
+}

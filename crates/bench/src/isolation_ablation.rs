@@ -1,0 +1,178 @@
+//! Ablation: per-operation isolation hints (§6, Table 7b).
+//!
+//! The paper's developers "tailor isolation levels per operation" — the
+//! flexibility argument of §3.1.1 — and §6 proposes surfacing that as a
+//! coordination hint. This ablation measures it: a serializable
+//! transaction that mixes a critical hot-row RMW with non-critical reads
+//! of frequently-updated statistics rows. Reading the statistics at
+//! Serializable drags them into commit certification and aborts the
+//! transaction whenever the background writer touches them; reading them
+//! through [`HintProxy::read_committed_read`] keeps them out.
+
+use adhoc_core::hints::HintProxy;
+use adhoc_storage::{Column, ColumnType, Database, DbError, EngineProfile, IsolationLevel, Schema};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One ablation configuration's outcome.
+#[derive(Debug, Clone)]
+pub struct IsolationAblationRow {
+    /// Configuration label.
+    pub label: &'static str,
+    /// Committed worker transactions per second.
+    pub throughput_rps: f64,
+    /// Serialization failures the workers retried through.
+    pub serialization_failures: u64,
+}
+
+const WORKERS: usize = 3;
+const TXNS_PER_WORKER: usize = 400;
+const STATS_ROWS: i64 = 4;
+
+/// Run one configuration with a caller-chosen per-worker transaction
+/// count (the Criterion bench uses a smaller count per iteration).
+pub fn run_isolation_ablation_config(hinted: bool, txns_per_worker: usize) -> IsolationAblationRow {
+    run_config_n(hinted, txns_per_worker)
+}
+
+fn build_db() -> Database {
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    for table in ["counters", "statistics"] {
+        db.create_table(
+            Schema::new(
+                table,
+                vec![
+                    Column::new("id", ColumnType::Int),
+                    Column::new("value", ColumnType::Int),
+                ],
+                "id",
+            )
+            .expect("schema"),
+        )
+        .expect("create table");
+    }
+    db.run(IsolationLevel::ReadCommitted, |t| {
+        t.insert("counters", &[("id", 1.into()), ("value", 0.into())])?;
+        for id in 1..=STATS_ROWS {
+            t.insert("statistics", &[("id", id.into()), ("value", 0.into())])?;
+        }
+        Ok(())
+    })
+    .expect("seed");
+    db
+}
+
+fn run_config(hinted: bool) -> IsolationAblationRow {
+    run_config_n(hinted, TXNS_PER_WORKER)
+}
+
+fn run_config_n(hinted: bool, txns_per_worker: usize) -> IsolationAblationRow {
+    let db = Arc::new(build_db());
+    let proxy = Arc::new(HintProxy::new((*db).clone()));
+    let counters_schema = db.schema("counters").expect("schema");
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        // Background writer: keeps the statistics rows hot.
+        {
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut i = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    let id = (i % STATS_ROWS) + 1;
+                    db.run(IsolationLevel::ReadCommitted, |t| {
+                        t.update("statistics", id, &[("value", i.into())])
+                    })
+                    .expect("stats update");
+                    i += 1;
+                    std::thread::yield_now();
+                }
+            });
+        }
+        let workers: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                let db = Arc::clone(&db);
+                let proxy = Arc::clone(&proxy);
+                let schema = counters_schema.clone();
+                s.spawn(move || {
+                    for i in 0..txns_per_worker {
+                        db.run_with_retries(IsolationLevel::Serializable, 100_000, |t| {
+                            // Non-critical reads: the order dashboard numbers.
+                            for id in 1..=STATS_ROWS {
+                                if hinted {
+                                    // Infallible here (engine supports the
+                                    // hint); `expect` keeps the closure's error
+                                    // type the engine's own.
+                                    proxy
+                                        .read_committed_read(t, "statistics", id)
+                                        .expect("per-op isolation hint");
+                                } else {
+                                    t.get("statistics", id)?;
+                                }
+                            }
+                            std::thread::yield_now(); // request "think time"
+                                                      // Critical RMW: the hot counter.
+                            let row = t.get("counters", 1)?.ok_or(DbError::NoSuchRow {
+                                table: "counters".into(),
+                                id: 1,
+                            })?;
+                            let value = row.get_int(&schema, "value")?;
+                            t.update("counters", 1, &[("value", (value + 1).into())])?;
+                            Ok(())
+                        })
+                        .expect("worker txn");
+                        let _ = i;
+                    }
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().expect("worker join");
+        }
+        // All worker transactions are done; release the background writer.
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = started.elapsed();
+
+    IsolationAblationRow {
+        label: if hinted {
+            "per-op RC hint for stats reads"
+        } else {
+            "all reads at Serializable"
+        },
+        throughput_rps: (WORKERS * txns_per_worker) as f64 / elapsed.as_secs_f64(),
+        serialization_failures: db.stats().serialization_failures,
+    }
+}
+
+/// Run both configurations and return their rows (unhinted first).
+pub fn run_isolation_ablation() -> Vec<IsolationAblationRow> {
+    vec![run_config(false), run_config(true)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The hint's promise: taking the non-critical reads out of
+    /// certification eliminates almost all serialization failures. (The
+    /// few remaining come from the hot-counter ww conflicts both
+    /// configurations share.)
+    #[test]
+    fn per_op_hint_slashes_serialization_failures() {
+        let _serial = crate::SERIAL_MEASUREMENTS.lock();
+        let rows = run_isolation_ablation();
+        let (plain, hinted) = (&rows[0], &rows[1]);
+        assert!(
+            plain.serialization_failures > hinted.serialization_failures * 2,
+            "hint must remove most aborts: {rows:?}"
+        );
+        // Every worker transaction still committed exactly once in both
+        // configurations (the counter is exact) — checked implicitly by
+        // run_with_retries succeeding; the failure counts above are
+        // retries, not losses.
+    }
+}

@@ -1,0 +1,31 @@
+//! Evaluation harness: regenerates every figure of the paper's §5.
+//!
+//! * [`fig2`] — lock/unlock latency for the seven lock implementations.
+//! * [`fig3`] — API throughput, ad hoc vs database transactions, for the
+//!   four coordination granularities of Table 6, with and without
+//!   contention.
+//! * [`fig4`] — shrink-image API latency for the four rollback strategies,
+//!   with and without conflicting edit-post load.
+//! * [`ttl_ablation`] — the lease-TTL safety cliff behind the Mastodon bug.
+//!
+//! Absolute numbers depend on the simulated latency model and the host;
+//! the *shapes* (orderings and ratios) are the reproduction targets — see
+//! EXPERIMENTS.md at the repository root.
+
+#![warn(missing_docs)]
+
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod isolation_ablation;
+pub mod ttl_ablation;
+
+pub use fig2::{lock_latencies, Fig2Row};
+pub use fig3::{run_granularity, Fig3Config, Fig3Row, GranularitySetup, SETUPS};
+pub use fig4::{run_rollback, Fig4Config, Fig4Row};
+pub use ttl_ablation::{run_ttl_ablation, TtlAblationRow};
+
+/// Measurement tests take this lock so they never run concurrently —
+/// on small machines a sibling CPU-bound test skews throughput numbers.
+#[doc(hidden)]
+pub static SERIAL_MEASUREMENTS: parking_lot::Mutex<()> = parking_lot::Mutex::new(());

@@ -1,0 +1,293 @@
+//! Periodic database consistency checking — "fsck for the database".
+//!
+//! §3.4.2 of the paper: because many ad hoc transactions skip rollback,
+//! applications tolerate intermediate states and run periodic checkers
+//! instead — "every twelve hours, Discourse checks and fixes inconsistent
+//! references, such as missing avatars, thumbnails, and topics". This
+//! module is a small framework for exactly such rules, with optional
+//! auto-fix, used by the application models and the crash-recovery tests.
+
+use adhoc_storage::{Database, Predicate, Value};
+use std::collections::HashSet;
+use std::fmt;
+
+/// One detected inconsistency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Name of the rule that fired.
+    pub rule: String,
+    /// Table containing the offending row.
+    pub table: String,
+    /// Offending primary key.
+    pub row_id: i64,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} #{}: {}",
+            self.rule, self.table, self.row_id, self.message
+        )
+    }
+}
+
+type CheckFn = Box<dyn Fn(&Database) -> Vec<Violation> + Send + Sync>;
+type FixFn = Box<dyn Fn(&Database, &Violation) -> bool + Send + Sync>;
+
+/// One named rule, with an optional fixer.
+pub struct CheckRule {
+    /// Rule name (appears in violations).
+    pub name: String,
+    check: CheckFn,
+    fix: Option<FixFn>,
+}
+
+impl CheckRule {
+    /// A detection-only rule.
+    pub fn new(
+        name: &str,
+        check: impl Fn(&Database) -> Vec<Violation> + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            check: Box::new(check),
+            fix: None,
+        }
+    }
+
+    /// Attach a fixer invoked per violation by `run_and_fix`.
+    pub fn with_fix(
+        mut self,
+        fix: impl Fn(&Database, &Violation) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.fix = Some(Box::new(fix));
+        self
+    }
+}
+
+/// Result of one checker run.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Violations still standing after the run.
+    pub violations: Vec<Violation>,
+    /// Violations repaired (only via `run_and_fix`).
+    pub fixed: usize,
+}
+
+impl Report {
+    /// True when no violations remain.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// A set of rules run together (the periodic job).
+#[derive(Default)]
+pub struct ConsistencyChecker {
+    rules: Vec<CheckRule>,
+}
+
+impl ConsistencyChecker {
+    /// A checker with no rules.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a rule.
+    pub fn rule(mut self, rule: CheckRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Run all rules, reporting violations without touching data.
+    pub fn run(&self, db: &Database) -> Report {
+        let mut report = Report::default();
+        for rule in &self.rules {
+            report.violations.extend((rule.check)(db));
+        }
+        report
+    }
+
+    /// Run all rules and apply fixes where available (Discourse's mode).
+    pub fn run_and_fix(&self, db: &Database) -> Report {
+        let mut report = Report::default();
+        for rule in &self.rules {
+            for v in (rule.check)(db) {
+                let fixed = rule.fix.as_ref().map(|f| f(db, &v)).unwrap_or(false);
+                if fixed {
+                    report.fixed += 1;
+                } else {
+                    report.violations.push(v);
+                }
+            }
+        }
+        report
+    }
+}
+
+/// Rule builder: every `child.fk_column` must reference a live row of
+/// `parent` — the missing-avatar / dangling-thumbnail class of check.
+pub fn referential_integrity(child: &str, fk_column: &str, parent: &str) -> CheckRule {
+    let child = child.to_string();
+    let fk = fk_column.to_string();
+    let parent = parent.to_string();
+    let name = format!("ref:{child}.{fk}->{parent}");
+    CheckRule::new(&name.clone(), move |db| {
+        let Ok(children) = db.dump_table(&child) else {
+            return Vec::new();
+        };
+        let Ok(parents) = db.dump_table(&parent) else {
+            return Vec::new();
+        };
+        let live: HashSet<i64> = parents.iter().map(|(id, _)| *id).collect();
+        let Ok(schema) = db.schema(&child) else {
+            return Vec::new();
+        };
+        children
+            .iter()
+            .filter_map(|(id, row)| {
+                let fk_val = row.get(&schema, &fk).ok()?;
+                match fk_val {
+                    Value::Int(p) if !live.contains(p) => Some(Violation {
+                        rule: name.clone(),
+                        table: child.clone(),
+                        row_id: *id,
+                        message: format!("{fk} = {p} references a missing {parent} row"),
+                    }),
+                    _ => None,
+                }
+            })
+            .collect()
+    })
+}
+
+/// Rule builder: `table.column` must satisfy `pred` on every live row
+/// (e.g., "no payment stuck in 'processing'").
+pub fn column_invariant(table: &str, rule_name: &str, pred: Predicate, message: &str) -> CheckRule {
+    let table = table.to_string();
+    let name = rule_name.to_string();
+    let message = message.to_string();
+    CheckRule::new(&name.clone(), move |db| {
+        let Ok(rows) = db.dump_table(&table) else {
+            return Vec::new();
+        };
+        let Ok(schema) = db.schema(&table) else {
+            return Vec::new();
+        };
+        rows.iter()
+            .filter_map(|(id, row)| match pred.matches(&schema, row) {
+                Ok(true) => None,
+                _ => Some(Violation {
+                    rule: name.clone(),
+                    table: table.clone(),
+                    row_id: *id,
+                    message: message.clone(),
+                }),
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_storage::{Column, ColumnType, EngineProfile, IsolationLevel, Schema};
+
+    fn fixture() -> Database {
+        let db = Database::in_memory(EngineProfile::PostgresLike);
+        db.create_table(
+            Schema::new("topics", vec![Column::new("id", ColumnType::Int)], "id").unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            Schema::new(
+                "posts",
+                vec![
+                    Column::new("id", ColumnType::Int),
+                    Column::new("topic_id", ColumnType::Int),
+                ],
+                "id",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.run(IsolationLevel::ReadCommitted, |t| {
+            t.insert("topics", &[("id", 1.into())])?;
+            t.insert("posts", &[("id", 10.into()), ("topic_id", 1.into())])?;
+            t.insert("posts", &[("id", 11.into()), ("topic_id", 99.into())])?; // dangling
+            Ok(())
+        })
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn referential_rule_finds_dangling_references() {
+        let db = fixture();
+        let checker =
+            ConsistencyChecker::new().rule(referential_integrity("posts", "topic_id", "topics"));
+        let report = checker.run(&db);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].row_id, 11);
+        assert!(!report.is_clean());
+        assert!(report.violations[0].to_string().contains("topic_id"));
+    }
+
+    #[test]
+    fn fixer_repairs_and_reports_clean() {
+        let db = fixture();
+        let checker = ConsistencyChecker::new().rule(
+            referential_integrity("posts", "topic_id", "topics").with_fix(|db, v| {
+                db.run(IsolationLevel::ReadCommitted, |t| {
+                    t.delete(&v.table, v.row_id)
+                })
+                .is_ok()
+            }),
+        );
+        let report = checker.run_and_fix(&db);
+        assert_eq!(report.fixed, 1);
+        assert!(report.is_clean());
+        // Second run: nothing left.
+        assert!(checker.run(&db).is_clean());
+        assert!(db.latest_committed("posts", 11).unwrap().is_none());
+    }
+
+    #[test]
+    fn column_invariant_rule() {
+        let db = fixture();
+        let checker = ConsistencyChecker::new().rule(column_invariant(
+            "posts",
+            "posts-have-positive-topic",
+            Predicate::ge("topic_id", 1),
+            "topic_id must be positive",
+        ));
+        assert!(checker.run(&db).is_clean());
+        db.run(IsolationLevel::ReadCommitted, |t| {
+            t.insert("posts", &[("id", 12.into()), ("topic_id", (-5).into())])
+                .map(|_| ())
+        })
+        .unwrap();
+        let report = checker.run(&db);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].row_id, 12);
+    }
+
+    #[test]
+    fn unfixable_violations_stay_reported() {
+        let db = fixture();
+        let checker = ConsistencyChecker::new()
+            .rule(referential_integrity("posts", "topic_id", "topics").with_fix(|_, _| false));
+        let report = checker.run_and_fix(&db);
+        assert_eq!(report.fixed, 0);
+        assert_eq!(report.violations.len(), 1);
+    }
+
+    #[test]
+    fn empty_checker_is_clean() {
+        let db = fixture();
+        assert!(ConsistencyChecker::new().run(&db).is_clean());
+    }
+}

@@ -1,0 +1,404 @@
+//! The §6 "proxy module for existing hints".
+//!
+//! Table 7a shows that engines disagree on which coordination hints exist
+//! (explicit user/table/row locks, per-operation isolation) and on their
+//! semantics. The paper proposes an application-level proxy that exposes
+//! one interface and falls back gracefully — "the module should provide a
+//! database table–based lock implementation as the fallback of explicit
+//! user locks". [`HintProxy`] is that module.
+
+use crate::locks::{AdHocLock, DbTableLock, Guard, LockError};
+use crate::Result;
+use adhoc_storage::{Database, LockMode, Transaction};
+
+/// Capability flags for the engine behind the proxy (Table 7a rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HintSupport {
+    /// Explicit user (advisory) locks: PostgreSQL, MySQL, Oracle.
+    pub user_locks: bool,
+    /// Explicit table locks.
+    pub table_locks: bool,
+    /// Explicit row locks (`SELECT … FOR UPDATE`).
+    pub row_locks: bool,
+    /// Per-operation isolation (SQL Server / Db2 table hints).
+    pub per_op_isolation: bool,
+}
+
+impl HintSupport {
+    /// Everything available (our engines implement all four).
+    pub fn full() -> Self {
+        Self {
+            user_locks: true,
+            table_locks: true,
+            row_locks: true,
+            per_op_isolation: true,
+        }
+    }
+
+    /// An engine without advisory locks (e.g., SQL Server per Table 7a) —
+    /// exercises the fallback path.
+    pub fn without_user_locks() -> Self {
+        Self {
+            user_locks: false,
+            ..Self::full()
+        }
+    }
+
+    /// An engine without per-operation isolation (e.g., PostgreSQL per
+    /// Table 7a).
+    pub fn without_per_op_isolation() -> Self {
+        Self {
+            per_op_isolation: false,
+            ..Self::full()
+        }
+    }
+}
+
+/// A held user-lock hint: advisory when the engine supports it, a
+/// database-table lock otherwise.
+pub enum UserLockGuard {
+    /// Backed by the engine's advisory locks.
+    Advisory {
+        /// Database the session lives on.
+        db: Database,
+        /// The advisory-lock session.
+        session: adhoc_storage::db::SessionId,
+        /// Hashed lock key.
+        key: i64,
+        /// Whether release already happened.
+        released: bool,
+    },
+    /// Backed by the database-table fallback lock.
+    Fallback(Option<Guard>),
+}
+
+impl UserLockGuard {
+    /// Release the lock.
+    pub fn unlock(mut self) -> Result<()> {
+        self.release()
+    }
+
+    fn release(&mut self) -> Result<()> {
+        match self {
+            UserLockGuard::Advisory {
+                db,
+                session,
+                key,
+                released,
+            } => {
+                if !*released {
+                    *released = true;
+                    db.advisory_unlock(*session, *key);
+                    db.end_session(*session);
+                }
+                Ok(())
+            }
+            UserLockGuard::Fallback(guard) => {
+                if let Some(g) = guard.take() {
+                    g.unlock().map_err(crate::ToolkitError::from)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Which mechanism backs this guard (diagnostics / tests).
+    pub fn mechanism(&self) -> &'static str {
+        match self {
+            UserLockGuard::Advisory { .. } => "advisory",
+            UserLockGuard::Fallback(_) => "db-table-fallback",
+        }
+    }
+}
+
+impl Drop for UserLockGuard {
+    fn drop(&mut self) {
+        let _ = self.release();
+    }
+}
+
+/// One portable interface over the engines' coordination hints.
+pub struct HintProxy {
+    db: Database,
+    support: HintSupport,
+    fallback: DbTableLock,
+}
+
+impl HintProxy {
+    /// A proxy assuming full hint support (see [`HintSupport::full`]).
+    pub fn new(db: Database) -> Self {
+        Self {
+            fallback: DbTableLock::new(db.clone()),
+            support: HintSupport::full(),
+            db,
+        }
+    }
+
+    /// Pretend the engine lacks some hints, to exercise fallbacks.
+    pub fn with_support(mut self, support: HintSupport) -> Self {
+        self.support = support;
+        self
+    }
+
+    /// Explicit user lock on an application-chosen key. Uses the engine's
+    /// advisory locks when available; otherwise the database-table
+    /// fallback the paper calls for.
+    pub fn user_lock(&self, key: &str) -> Result<UserLockGuard> {
+        if self.support.user_locks {
+            let session = self.db.new_session();
+            let key_hash = hash_key(key);
+            self.db
+                .advisory_lock(session, key_hash)
+                .map_err(crate::ToolkitError::from)?;
+            Ok(UserLockGuard::Advisory {
+                db: self.db.clone(),
+                session,
+                key: key_hash,
+                released: false,
+            })
+        } else {
+            let guard = self.fallback.lock(key).map_err(crate::ToolkitError::from)?;
+            Ok(UserLockGuard::Fallback(Some(guard)))
+        }
+    }
+
+    /// Try-variant of [`user_lock`](Self::user_lock): `None` when held
+    /// elsewhere. Only available on the advisory path (the table fallback
+    /// would need a polling probe).
+    pub fn try_user_lock(&self, key: &str) -> Result<Option<UserLockGuard>> {
+        if !self.support.user_locks {
+            return self.user_lock(key).map(Some);
+        }
+        let session = self.db.new_session();
+        let key_hash = hash_key(key);
+        if self.db.try_advisory_lock(session, key_hash) {
+            Ok(Some(UserLockGuard::Advisory {
+                db: self.db.clone(),
+                session,
+                key: key_hash,
+                released: false,
+            }))
+        } else {
+            self.db.end_session(session);
+            Ok(None)
+        }
+    }
+
+    /// Explicit row lock inside an open transaction (SQL Server's
+    /// `HOLDLOCK`-style hint; our engines spell it `FOR UPDATE`). The lock
+    /// persists until the transaction ends.
+    pub fn row_lock(&self, txn: &mut Transaction, table: &str, id: i64) -> Result<()> {
+        if !self.support.row_locks {
+            return Err(
+                LockError::Backend("engine does not support explicit row locks".into()).into(),
+            );
+        }
+        txn.get_for_update(table, id)
+            .map_err(crate::ToolkitError::from)?;
+        Ok(())
+    }
+
+    /// Explicit table lock inside an open transaction.
+    pub fn table_lock(&self, txn: &mut Transaction, table: &str, mode: LockMode) -> Result<()> {
+        if !self.support.table_locks {
+            return Err(
+                LockError::Backend("engine does not support explicit table locks".into()).into(),
+            );
+        }
+        txn.lock_table(table, mode)
+            .map_err(crate::ToolkitError::from)?;
+        Ok(())
+    }
+
+    /// Per-operation isolation hint: read this row at Read Committed even
+    /// inside a snapshot transaction (Table 7b: supports coarse-grained
+    /// and *partial* coordination — §3.1.1's non-critical reads can opt
+    /// out of the strict level).
+    pub fn read_committed_read(
+        &self,
+        txn: &mut Transaction,
+        table: &str,
+        id: i64,
+    ) -> Result<Option<adhoc_storage::Row>> {
+        if !self.support.per_op_isolation {
+            return Err(LockError::Backend(
+                "engine does not support per-operation isolation".into(),
+            )
+            .into());
+        }
+        txn.get_read_committed(table, id)
+            .map_err(crate::ToolkitError::from)
+    }
+}
+
+fn hash_key(key: &str) -> i64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h & (i64::MAX as u64)) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_storage::EngineProfile;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    fn db() -> Database {
+        Database::in_memory(EngineProfile::PostgresLike)
+    }
+
+    #[test]
+    fn user_lock_uses_advisory_when_supported() {
+        let proxy = HintProxy::new(db());
+        let g = proxy.user_lock("checkout:42").unwrap();
+        assert_eq!(g.mechanism(), "advisory");
+        assert!(proxy.try_user_lock("checkout:42").unwrap().is_none());
+        g.unlock().unwrap();
+        let g2 = proxy.try_user_lock("checkout:42").unwrap();
+        assert!(g2.is_some());
+    }
+
+    #[test]
+    fn user_lock_falls_back_to_db_table() {
+        let proxy = HintProxy::new(db()).with_support(HintSupport::without_user_locks());
+        let g = proxy.user_lock("checkout:42").unwrap();
+        assert_eq!(g.mechanism(), "db-table-fallback");
+        g.unlock().unwrap();
+        // Reacquirable after release.
+        proxy.user_lock("checkout:42").unwrap().unlock().unwrap();
+    }
+
+    #[test]
+    fn user_lock_blocks_across_mechanism_users() {
+        let proxy = std::sync::Arc::new(HintProxy::new(db()));
+        let g = proxy.user_lock("k").unwrap();
+        let done = std::sync::Arc::new(AtomicBool::new(false));
+        let p2 = std::sync::Arc::clone(&proxy);
+        let d2 = std::sync::Arc::clone(&done);
+        let h = std::thread::spawn(move || {
+            let g2 = p2.user_lock("k").unwrap();
+            d2.store(true, Ordering::SeqCst);
+            g2.unlock().unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(!done.load(Ordering::SeqCst));
+        g.unlock().unwrap();
+        h.join().unwrap();
+        assert!(done.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn drop_releases_user_lock() {
+        let proxy = HintProxy::new(db());
+        {
+            let _g = proxy.user_lock("k").unwrap();
+        }
+        assert!(proxy.try_user_lock("k").unwrap().is_some());
+    }
+
+    #[test]
+    fn row_lock_holds_until_commit() {
+        let database = db();
+        database
+            .create_table(
+                adhoc_storage::Schema::new(
+                    "orders",
+                    vec![
+                        adhoc_storage::Column::new("id", adhoc_storage::ColumnType::Int),
+                        adhoc_storage::Column::new("total", adhoc_storage::ColumnType::Int),
+                    ],
+                    "id",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        database
+            .run(adhoc_storage::IsolationLevel::ReadCommitted, |t| {
+                t.insert("orders", &[("id", 1.into()), ("total", 0.into())])
+                    .map(|_| ())
+            })
+            .unwrap();
+        let proxy = HintProxy::new(database.clone());
+        let mut txn = database.begin();
+        proxy.row_lock(&mut txn, "orders", 1).unwrap();
+        // A concurrent writer blocks until we commit.
+        let done = std::sync::Arc::new(AtomicBool::new(false));
+        let d2 = std::sync::Arc::clone(&done);
+        let db2 = database.clone();
+        let h = std::thread::spawn(move || {
+            db2.run(adhoc_storage::IsolationLevel::ReadCommitted, |t| {
+                t.update("orders", 1, &[("total", 5.into())])
+            })
+            .unwrap();
+            d2.store(true, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(!done.load(Ordering::SeqCst));
+        txn.commit().unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn per_op_isolation_hint_reads_latest() {
+        let database = db();
+        database
+            .create_table(
+                adhoc_storage::Schema::new(
+                    "orders",
+                    vec![
+                        adhoc_storage::Column::new("id", adhoc_storage::ColumnType::Int),
+                        adhoc_storage::Column::new("total", adhoc_storage::ColumnType::Int),
+                    ],
+                    "id",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        database
+            .run(adhoc_storage::IsolationLevel::ReadCommitted, |t| {
+                t.insert("orders", &[("id", 1.into()), ("total", 10.into())])
+                    .map(|_| ())
+            })
+            .unwrap();
+        let proxy = HintProxy::new(database.clone());
+        let mut txn = database.begin_with(adhoc_storage::IsolationLevel::RepeatableRead);
+        assert_eq!(
+            txn.get("orders", 1).unwrap().unwrap().values[1].as_int(),
+            10
+        );
+        database
+            .run(adhoc_storage::IsolationLevel::ReadCommitted, |t| {
+                t.update("orders", 1, &[("total", 99.into())])
+            })
+            .unwrap();
+        let hinted = proxy
+            .read_committed_read(&mut txn, "orders", 1)
+            .unwrap()
+            .unwrap();
+        assert_eq!(hinted.values[1].as_int(), 99);
+        txn.commit().unwrap();
+        // Unsupported engines error cleanly.
+        let limited =
+            HintProxy::new(database.clone()).with_support(HintSupport::without_per_op_isolation());
+        let mut txn = database.begin();
+        assert!(limited.read_committed_read(&mut txn, "orders", 1).is_err());
+    }
+
+    #[test]
+    fn unsupported_hints_error_cleanly() {
+        let database = db();
+        let proxy = HintProxy::new(database.clone()).with_support(HintSupport {
+            user_locks: true,
+            table_locks: false,
+            row_locks: false,
+            per_op_isolation: false,
+        });
+        let mut txn = database.begin();
+        assert!(proxy.row_lock(&mut txn, "any", 1).is_err());
+        assert!(proxy.table_lock(&mut txn, "any", LockMode::Shared).is_err());
+    }
+}

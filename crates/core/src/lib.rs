@@ -1,0 +1,53 @@
+//! The ad hoc transaction toolkit — the paper's findings turned into a
+//! library.
+//!
+//! The paper's closing discussion (§6) argues that "new abstractions and
+//! tools are needed" because developers keep hand-rolling coordination in
+//! application code. This crate is that toolkit, built from the paper's own
+//! catalog:
+//!
+//! * [`taxonomy`] — the study's classification vocabulary (pessimistic vs
+//!   optimistic, lock/validation implementations, coordination
+//!   granularities, failure-handling strategies, issue categories), shared
+//!   with the `adhoc-study` corpus.
+//! * [`locks`] — all **seven** lock implementations found in the wild
+//!   (§3.2.1, Figure 2): `SYNC`, `MEM`, `MEM-LRU`, `KV-SETNX`, `KV-MULTI`,
+//!   `SFU`, and `DB`, behind one [`locks::AdHocLock`] trait. Every bug the
+//!   paper found in these primitives (§4.1.1) is available as an explicit
+//!   fault-injection switch, off by default.
+//! * [`validation`] — the two validation-procedure implementations
+//!   (§3.2.2): ORM-assisted (atomic) and hand-crafted (atomic or, as found
+//!   in Discourse/SCM Suite, non-atomic).
+//! * [`optimistic`] — the §6 proposal made concrete: an ORM-layer
+//!   optimistic transaction with tracked read/write sets, atomic
+//!   validate-and-commit, and save/restore *continuations* for
+//!   multi-request interactions (§3.1.2).
+//! * [`hints`] — the §6 "proxy module for existing hints": one interface
+//!   over explicit user/row/table locks with a database-table fallback when
+//!   the engine lacks advisory locks (Table 7).
+//! * [`checker`] — the periodic consistency checker ("fsck for the
+//!   database") the paper observed applications running (§3.4.2).
+//! * [`monitor`] — a runtime hazard detector (the §6 "development support
+//!   tools"): flags lock-after-read RMWs, expired-lease releases and
+//!   mixed-coordination tables as they happen.
+//! * [`saga`] — the classic Sagas alternative to multi-request ad hoc
+//!   transactions (§3.1.2), for the semantic comparison the paper draws.
+
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod error;
+pub mod hints;
+pub mod locks;
+pub mod monitor;
+pub mod optimistic;
+pub mod saga;
+pub mod taxonomy;
+pub mod validation;
+
+pub use error::ToolkitError;
+pub use locks::{AdHocLock, Guard, LockError};
+
+/// Result alias for toolkit operations.
+pub type Result<T> = std::result::Result<T, ToolkitError>;
+pub use taxonomy::*;

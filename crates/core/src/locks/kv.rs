@@ -1,0 +1,513 @@
+//! `KV-SETNX` and `KV-MULTI`: Redis-backed locks (§3.2.1).
+//!
+//! Mastodon acquires with a single `SETNX`; Discourse drives a
+//! `WATCH`/`GET`/`MULTI`/`SET`/`EXEC` conversation, paying several extra
+//! round trips per cycle (the paper counts six). Saleor's variant adds
+//! re-entrancy. The Mastodon lease bug (§4.1.1, issue \[65\]) — an
+//! auto-expiring entry released early, with no expiry check before the
+//! critical section's writes — reproduces here by combining
+//! [`KvSetNxLock::with_ttl`] with ignoring [`Guard::is_valid`], and the
+//! unconditional-`DEL` unlock is available via
+//! [`KvSetNxLock::unlock_without_owner_check`].
+//!
+//! [`Guard::is_valid`]: super::Guard::is_valid
+
+use super::{AcquireConfig, AdHocLock, Guard, LockError, LockGuard};
+use adhoc_kv::Client;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::ThreadId;
+use std::time::{Duration, Instant};
+
+static OWNER_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_owner() -> String {
+    format!("owner-{}", OWNER_COUNTER.fetch_add(1, Ordering::SeqCst))
+}
+
+/// Re-entrancy bookkeeping per lock instance: key → (holding thread,
+/// owner token, depth). Shared (not thread-local) so a guard that
+/// migrates threads still decrements the right entry; nested acquisition
+/// is only granted to the *holding* thread, matching Saleor's semantics.
+type ReentrantTable = Mutex<HashMap<String, (ThreadId, String, u32)>>;
+
+/// `KV-SETNX`: Mastodon/Saleor-style Redis lock.
+#[derive(Clone)]
+pub struct KvSetNxLock {
+    client: Client,
+    config: AcquireConfig,
+    ttl: Option<Duration>,
+    check_owner_on_unlock: bool,
+    reentrant: bool,
+    /// Per-instance re-entrancy table (see [`ReentrantTable`]).
+    reentrancy: Arc<ReentrantTable>,
+}
+
+impl KvSetNxLock {
+    /// A correct, non-leased, non-re-entrant `SETNX` lock.
+    pub fn new(client: Client) -> Self {
+        Self {
+            client,
+            config: AcquireConfig::default(),
+            ttl: None,
+            check_owner_on_unlock: true,
+            reentrant: false,
+            reentrancy: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Override the acquisition retry/timeout policy.
+    pub fn with_config(mut self, config: AcquireConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Lease semantics: entries auto-expire after `ttl` (Redis `PX`).
+    /// Correct users check [`Guard::is_valid`] before acting on the lock;
+    /// Mastodon did not (§4.1.1).
+    ///
+    /// [`Guard::is_valid`]: super::Guard::is_valid
+    pub fn with_ttl(mut self, ttl: Duration) -> Self {
+        self.ttl = Some(ttl);
+        self
+    }
+
+    /// Fault injection: unlock with a bare `DEL`, without verifying the
+    /// entry is still ours — after a lease expiry this deletes somebody
+    /// else's lock.
+    pub fn unlock_without_owner_check(mut self) -> Self {
+        self.check_owner_on_unlock = false;
+        self
+    }
+
+    /// Saleor's re-entrant variant: the same thread may acquire the same
+    /// key repeatedly; the entry is removed when the outermost guard
+    /// releases.
+    pub fn reentrant(mut self) -> Self {
+        self.reentrant = true;
+        self
+    }
+}
+
+struct KvGuard {
+    client: Client,
+    key: String,
+    owner: String,
+    check_owner: bool,
+    /// Whether the entry carries a TTL (lease). Without a lease the entry
+    /// cannot be stolen, so a bare `DEL` on unlock is safe and costs one
+    /// round trip; with a lease the unlock must be atomic (see `unlock`).
+    leased: bool,
+    released: bool,
+    /// Re-entrancy table this guard participates in, when any.
+    reentrancy: Option<Arc<ReentrantTable>>,
+}
+
+impl KvGuard {
+    fn depth_decrement(&self) -> bool {
+        // Returns true when this was the outermost guard (entry removable).
+        let Some(table) = &self.reentrancy else {
+            return true;
+        };
+        let mut table = table.lock();
+        match table.get_mut(&self.key) {
+            Some((_, _, depth)) => {
+                *depth -= 1;
+                if *depth == 0 {
+                    table.remove(&self.key);
+                    true
+                } else {
+                    false
+                }
+            }
+            None => true,
+        }
+    }
+}
+
+impl LockGuard for KvGuard {
+    fn unlock(&mut self) -> Result<(), LockError> {
+        if self.released {
+            return Ok(());
+        }
+        self.released = true;
+        if !self.depth_decrement() {
+            return Ok(()); // inner re-entrant level: nothing to delete yet
+        }
+        if self.check_owner && self.leased {
+            // A leased entry can expire and be re-acquired at any moment,
+            // so check-then-delete must be atomic: WATCH the key, verify
+            // ownership, and DEL inside MULTI/EXEC (aborting if the entry
+            // changed in between).
+            let mut session = self.client.session();
+            session.watch(&self.key);
+            let current = session
+                .get(&self.key)
+                .map_err(|e| LockError::Backend(e.to_string()))?;
+            if current.as_deref() != Some(self.owner.as_str()) {
+                // Lease expired (and possibly re-acquired by someone else):
+                // deleting now would clobber them. Report instead.
+                return Err(LockError::NotHeld {
+                    key: self.key.clone(),
+                });
+            }
+            session.multi();
+            session.del(&self.key);
+            let committed = session
+                .exec()
+                .map_err(|e| LockError::Backend(e.to_string()))?;
+            if !committed {
+                return Err(LockError::NotHeld {
+                    key: self.key.clone(),
+                });
+            }
+            return Ok(());
+        }
+        // No lease: only this guard can remove the entry, so an
+        // unconditional single-round-trip DEL is safe (and is what the
+        // studied applications issue).
+        self.client.del(&self.key);
+        Ok(())
+    }
+
+    fn is_valid(&self) -> bool {
+        !self.released
+            && self.client.get(&self.key).ok().flatten().as_deref() == Some(self.owner.as_str())
+    }
+
+    fn leak(&mut self) {
+        self.released = true;
+        if let Some(table) = &self.reentrancy {
+            table.lock().remove(&self.key);
+        }
+    }
+}
+
+impl AdHocLock for KvSetNxLock {
+    fn lock(&self, key: &str) -> Result<Guard, LockError> {
+        // Re-entrant fast path: this thread already holds the key.
+        if self.reentrant {
+            let existing = {
+                let mut table = self.reentrancy.lock();
+                match table.get_mut(key) {
+                    Some((holder, owner, depth)) if *holder == std::thread::current().id() => {
+                        *depth += 1;
+                        Some(owner.clone())
+                    }
+                    _ => None,
+                }
+            };
+            if let Some(owner) = existing {
+                return Ok(Guard::new(Box::new(KvGuard {
+                    client: self.client.clone(),
+                    key: key.to_string(),
+                    owner,
+                    check_owner: self.check_owner_on_unlock,
+                    leased: self.ttl.is_some(),
+                    released: false,
+                    reentrancy: Some(Arc::clone(&self.reentrancy)),
+                })));
+            }
+        }
+
+        let owner = fresh_owner();
+        let deadline = Instant::now() + self.config.timeout;
+        loop {
+            let acquired = match self.ttl {
+                Some(ttl) => self
+                    .client
+                    .set_nx_px(key, &owner, ttl)
+                    .map_err(|e| LockError::Backend(e.to_string()))?,
+                None => self
+                    .client
+                    .set_nx(key, &owner)
+                    .map_err(|e| LockError::Backend(e.to_string()))?,
+            };
+            if acquired {
+                let reentrancy = if self.reentrant {
+                    self.reentrancy.lock().insert(
+                        key.to_string(),
+                        (std::thread::current().id(), owner.clone(), 1),
+                    );
+                    Some(Arc::clone(&self.reentrancy))
+                } else {
+                    None
+                };
+                return Ok(Guard::new(Box::new(KvGuard {
+                    client: self.client.clone(),
+                    key: key.to_string(),
+                    owner,
+                    check_owner: self.check_owner_on_unlock,
+                    leased: self.ttl.is_some(),
+                    released: false,
+                    reentrancy,
+                })));
+            }
+            if Instant::now() >= deadline {
+                return Err(LockError::Timeout {
+                    key: key.to_string(),
+                });
+            }
+            std::thread::sleep(self.config.retry_interval);
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "KV-SETNX"
+    }
+}
+
+/// `KV-MULTI`: Discourse's optimistic check-then-set lock protocol.
+#[derive(Clone)]
+pub struct KvMultiLock {
+    client: Client,
+    config: AcquireConfig,
+    ttl: Option<Duration>,
+}
+
+impl KvMultiLock {
+    /// A correct, non-leased `WATCH`/`MULTI` lock.
+    pub fn new(client: Client) -> Self {
+        Self {
+            client,
+            config: AcquireConfig::default(),
+            ttl: None,
+        }
+    }
+
+    /// Override the acquisition retry/timeout policy.
+    pub fn with_config(mut self, config: AcquireConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Lease semantics: entries auto-expire after `ttl`.
+    pub fn with_ttl(mut self, ttl: Duration) -> Self {
+        self.ttl = Some(ttl);
+        self
+    }
+}
+
+impl AdHocLock for KvMultiLock {
+    fn lock(&self, key: &str) -> Result<Guard, LockError> {
+        let owner = fresh_owner();
+        let deadline = Instant::now() + self.config.timeout;
+        loop {
+            // WATCH key; GET key; if free: MULTI; SET; EXEC.
+            let mut session = self.client.session();
+            session.watch(key);
+            let current = session
+                .get(key)
+                .map_err(|e| LockError::Backend(e.to_string()))?;
+            if current.is_none() {
+                session.multi();
+                match self.ttl {
+                    Some(ttl) => session.set_px(key, &owner, ttl),
+                    None => session.set(key, &owner),
+                }
+                let committed = session
+                    .exec()
+                    .map_err(|e| LockError::Backend(e.to_string()))?;
+                if committed {
+                    return Ok(Guard::new(Box::new(KvGuard {
+                        client: self.client.clone(),
+                        key: key.to_string(),
+                        owner,
+                        check_owner: true,
+                        leased: self.ttl.is_some(),
+                        released: false,
+                        reentrancy: None,
+                    })));
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(LockError::Timeout {
+                    key: key.to_string(),
+                });
+            }
+            std::thread::sleep(self.config.retry_interval);
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "KV-MULTI"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locks::mutual_exclusion_trial;
+    use adhoc_kv::Store;
+    use adhoc_sim::{LatencyModel, VirtualClock};
+
+    fn client() -> Client {
+        Client::new(Store::new(), VirtualClock::shared(), LatencyModel::zero())
+    }
+
+    fn fast_config() -> AcquireConfig {
+        AcquireConfig {
+            retry_interval: Duration::from_micros(200),
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    #[test]
+    fn setnx_mutual_exclusion() {
+        let lock = KvSetNxLock::new(client()).with_config(fast_config());
+        assert_eq!(mutual_exclusion_trial(&lock, "invite-1", 6, 60), 6 * 60);
+    }
+
+    #[test]
+    fn multi_mutual_exclusion() {
+        let lock = KvMultiLock::new(client()).with_config(fast_config());
+        assert_eq!(mutual_exclusion_trial(&lock, "post-1", 6, 40), 6 * 40);
+    }
+
+    #[test]
+    fn setnx_costs_one_round_trip_per_acquire() {
+        let c = client();
+        let lock = KvSetNxLock::new(c.clone());
+        let before = c.round_trips();
+        let g = lock.lock("k").unwrap();
+        assert_eq!(c.round_trips() - before, 1, "SETNX acquire = 1 round trip");
+        let before = c.round_trips();
+        g.unlock().unwrap();
+        // Unleased entries cannot be stolen, so unlock is a bare DEL.
+        assert_eq!(c.round_trips() - before, 1);
+    }
+
+    #[test]
+    fn leased_unlock_is_atomic_and_costs_the_protocol() {
+        let c = client();
+        let lock = KvSetNxLock::new(c.clone()).with_ttl(Duration::from_secs(60));
+        let g = lock.lock("k").unwrap();
+        let before = c.round_trips();
+        g.unlock().unwrap();
+        // WATCH + GET + MULTI + DEL + EXEC.
+        assert_eq!(c.round_trips() - before, 5);
+        assert!(c.get("k").unwrap().is_none());
+    }
+
+    #[test]
+    fn reentrant_guard_unlocked_on_another_thread_keeps_outer_hold() {
+        let lock = KvSetNxLock::new(client()).reentrant();
+        let outer = lock.lock("k").unwrap();
+        let inner = lock.lock("k").unwrap();
+        // Hand the inner guard to another thread and release it there.
+        std::thread::spawn(move || inner.unlock().unwrap())
+            .join()
+            .unwrap();
+        // The outer hold must survive the cross-thread inner release.
+        assert!(outer.is_valid());
+        outer.unlock().unwrap();
+        lock.lock("k").unwrap().unlock().unwrap();
+    }
+
+    #[test]
+    fn reentrancy_is_per_thread_not_per_process() {
+        // A different thread must NOT get the re-entrant fast path.
+        let lock = KvSetNxLock::new(client())
+            .reentrant()
+            .with_config(AcquireConfig {
+                retry_interval: Duration::from_micros(100),
+                timeout: Duration::from_millis(30),
+            });
+        let _outer = lock.lock("k").unwrap();
+        let lock2 = lock.clone();
+        let result = std::thread::spawn(move || lock2.lock("k").map(|_| ()))
+            .join()
+            .unwrap();
+        assert!(matches!(result, Err(LockError::Timeout { .. })));
+    }
+
+    #[test]
+    fn multi_costs_the_extra_round_trips() {
+        let c = client();
+        let lock = KvMultiLock::new(c.clone());
+        let before = c.round_trips();
+        let g = lock.lock("k").unwrap();
+        // WATCH + GET + MULTI + SET + EXEC.
+        assert_eq!(c.round_trips() - before, 5);
+        g.unlock().unwrap();
+    }
+
+    #[test]
+    fn lease_expiry_is_detectable_via_is_valid() {
+        let clock = Arc::new(VirtualClock::new());
+        let c = Client::new(Store::new(), clock.clone(), LatencyModel::zero());
+        let lock = KvSetNxLock::new(c).with_ttl(Duration::from_millis(100));
+        let g = lock.lock("status-1").unwrap();
+        assert!(g.is_valid());
+        clock.advance(Duration::from_millis(200));
+        assert!(!g.is_valid(), "lease must have expired");
+        // Another worker can take the lock now — mutual exclusion is gone
+        // unless the first holder checks is_valid (Mastodon didn't).
+        let g2 = lock.lock("status-1").unwrap();
+        assert!(g2.is_valid());
+        // Owner-checked unlock refuses to clobber g2's entry.
+        assert!(matches!(g.unlock(), Err(LockError::NotHeld { .. })));
+        assert!(g2.is_valid());
+    }
+
+    #[test]
+    fn unchecked_unlock_clobbers_the_next_holder() {
+        // The buggy unlock: bare DEL after our lease expired deletes the
+        // *next* holder's lock, cascading the race.
+        let clock = Arc::new(VirtualClock::new());
+        let c = Client::new(Store::new(), clock.clone(), LatencyModel::zero());
+        let lock = KvSetNxLock::new(c)
+            .with_ttl(Duration::from_millis(100))
+            .unlock_without_owner_check();
+        let g = lock.lock("status-1").unwrap();
+        clock.advance(Duration::from_millis(200));
+        let g2 = lock.lock("status-1").unwrap();
+        assert!(g2.is_valid());
+        g.unlock().unwrap(); // bare DEL
+        assert!(!g2.is_valid(), "the second holder's lock was deleted");
+    }
+
+    #[test]
+    fn reentrant_lock_allows_nested_acquires() {
+        let lock = KvSetNxLock::new(client()).reentrant();
+        let outer = lock.lock("k").unwrap();
+        let inner = lock.lock("k").unwrap(); // would deadlock if not reentrant
+        inner.unlock().unwrap();
+        assert!(outer.is_valid(), "inner release keeps the outer hold");
+        outer.unlock().unwrap();
+        // Fully released: a different owner can acquire.
+        let g = lock.lock("k").unwrap();
+        g.unlock().unwrap();
+    }
+
+    #[test]
+    fn non_reentrant_lock_times_out_on_nested_acquire() {
+        let lock = KvSetNxLock::new(client()).with_config(AcquireConfig {
+            retry_interval: Duration::from_micros(100),
+            timeout: Duration::from_millis(30),
+        });
+        let _outer = lock.lock("k").unwrap();
+        assert!(matches!(lock.lock("k"), Err(LockError::Timeout { .. })));
+    }
+
+    #[test]
+    fn leak_leaves_entry_for_ttl_to_reap() {
+        let clock = Arc::new(VirtualClock::new());
+        let c = Client::new(Store::new(), clock.clone(), LatencyModel::zero());
+        let lock = KvSetNxLock::new(c)
+            .with_ttl(Duration::from_millis(50))
+            .with_config(AcquireConfig {
+                retry_interval: Duration::from_micros(100),
+                timeout: Duration::from_millis(20),
+            });
+        lock.lock("k").unwrap().leak(); // holder crashes
+                                        // Immediately after: still locked.
+        assert!(matches!(lock.lock("k"), Err(LockError::Timeout { .. })));
+        // After the TTL, the lease expires and service resumes (§3.4.2:
+        // Redis locks "expire after a given period").
+        clock.advance(Duration::from_millis(60));
+        lock.lock("k").unwrap().unlock().unwrap();
+    }
+}

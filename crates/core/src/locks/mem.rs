@@ -1,0 +1,284 @@
+//! `MEM` and `MEM-LRU`: Broadleaf's in-memory map lock tables (§3.2.1).
+//!
+//! `MEM` keeps lock entries in a concurrent map keyed by lock name —
+//! equivalent to a `ConcurrentHashMap`-based table. `MEM-LRU` is the
+//! customized variant where "developers added a least recently used (LRU)
+//! eviction policy to remove excessive lock entries": when the table
+//! exceeds its capacity, the least-recently-acquired entries are evicted
+//! *even if currently held*, silently revoking the lock (§4.1.1, issue
+//! \[66\] — users "not paying for concurrently added items").
+
+use super::{AdHocLock, Guard, LockError, LockGuard};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// State of one lock table entry.
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Fencing token: increments on every grant, so a revoked-then-
+    /// re-granted entry is distinguishable from the original.
+    grant: u64,
+    /// Recency stamp for LRU eviction.
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct TableInner {
+    entries: HashMap<String, Entry>,
+    grant_counter: u64,
+    use_counter: u64,
+    evictions: u64,
+}
+
+struct LockTable {
+    inner: Mutex<TableInner>,
+    cv: Condvar,
+    /// `None` = unbounded (`MEM`); `Some(cap)` = LRU-evicting (`MEM-LRU`).
+    capacity: Option<usize>,
+}
+
+impl LockTable {
+    fn acquire(&self, key: &str) -> u64 {
+        let mut inner = self.inner.lock();
+        while inner.entries.contains_key(key) {
+            self.cv.wait(&mut inner);
+        }
+        inner.grant_counter += 1;
+        inner.use_counter += 1;
+        let entry = Entry {
+            grant: inner.grant_counter,
+            last_used: inner.use_counter,
+        };
+        let grant = entry.grant;
+        inner.entries.insert(key.to_string(), entry);
+        if let Some(cap) = self.capacity {
+            while inner.entries.len() > cap {
+                // Evict the least recently used entry — even when that
+                // entry is a lock somebody is holding right now.
+                let victim = inner
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                    .expect("non-empty over capacity");
+                inner.entries.remove(&victim);
+                inner.evictions += 1;
+                self.cv.notify_all();
+            }
+        }
+        grant
+    }
+
+    /// Release only when the entry is still ours (same grant).
+    fn release(&self, key: &str, grant: u64) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.entries.get(key) {
+            Some(e) if e.grant == grant => {
+                inner.entries.remove(key);
+                self.cv.notify_all();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn is_held(&self, key: &str, grant: u64) -> bool {
+        let inner = self.inner.lock();
+        matches!(inner.entries.get(key), Some(e) if e.grant == grant)
+    }
+
+    fn evictions(&self) -> u64 {
+        self.inner.lock().evictions
+    }
+}
+
+/// `MEM`: unbounded concurrent-map lock table.
+#[derive(Clone)]
+pub struct MemLock {
+    table: Arc<LockTable>,
+}
+
+impl MemLock {
+    /// An empty, unbounded lock table.
+    pub fn new() -> Self {
+        Self {
+            table: Arc::new(LockTable {
+                inner: Mutex::new(TableInner::default()),
+                cv: Condvar::new(),
+                capacity: None,
+            }),
+        }
+    }
+}
+
+impl Default for MemLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct MemGuard {
+    table: Arc<LockTable>,
+    key: String,
+    grant: u64,
+    released: bool,
+}
+
+impl LockGuard for MemGuard {
+    fn unlock(&mut self) -> Result<(), LockError> {
+        if self.released {
+            return Ok(());
+        }
+        self.released = true;
+        self.table.release(&self.key, self.grant);
+        Ok(())
+    }
+
+    fn is_valid(&self) -> bool {
+        !self.released && self.table.is_held(&self.key, self.grant)
+    }
+
+    fn leak(&mut self) {
+        // In-memory lock info vanishes with a process crash (§3.4.2); for
+        // an in-process simulation the entry simply stays until evicted or
+        // the table is recreated.
+        self.released = true;
+    }
+}
+
+impl AdHocLock for MemLock {
+    fn lock(&self, key: &str) -> Result<Guard, LockError> {
+        let grant = self.table.acquire(key);
+        Ok(Guard::new(Box::new(MemGuard {
+            table: Arc::clone(&self.table),
+            key: key.to_string(),
+            grant,
+            released: false,
+        })))
+    }
+
+    fn label(&self) -> &'static str {
+        "MEM"
+    }
+}
+
+/// `MEM-LRU`: capacity-bounded lock table with LRU eviction — Broadleaf's
+/// lease-semantics bug built in (eviction is the point of this variant;
+/// there is no "fixed" configuration other than using [`MemLock`]).
+#[derive(Clone)]
+pub struct MemLruLock {
+    table: Arc<LockTable>,
+}
+
+impl MemLruLock {
+    /// `capacity` is the maximum number of resident lock entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            table: Arc::new(LockTable {
+                inner: Mutex::new(TableInner::default()),
+                cv: Condvar::new(),
+                capacity: Some(capacity),
+            }),
+        }
+    }
+
+    /// How many held-or-idle entries have been evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.table.evictions()
+    }
+}
+
+impl AdHocLock for MemLruLock {
+    fn lock(&self, key: &str) -> Result<Guard, LockError> {
+        let grant = self.table.acquire(key);
+        Ok(Guard::new(Box::new(MemGuard {
+            table: Arc::clone(&self.table),
+            key: key.to_string(),
+            grant,
+            released: false,
+        })))
+    }
+
+    fn label(&self) -> &'static str {
+        "MEM-LRU"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locks::mutual_exclusion_trial;
+
+    #[test]
+    fn mem_lock_mutual_exclusion() {
+        let lock = MemLock::new();
+        assert_eq!(mutual_exclusion_trial(&lock, "cart-1", 8, 200), 8 * 200);
+    }
+
+    #[test]
+    fn mem_lock_blocks_second_acquirer() {
+        let lock = MemLock::new();
+        let g = lock.lock("k").unwrap();
+        let lock2 = lock.clone();
+        let h = std::thread::spawn(move || {
+            let g2 = lock2.lock("k").unwrap();
+            g2.unlock().unwrap();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!h.is_finished());
+        g.unlock().unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn lru_eviction_revokes_held_locks() {
+        // Capacity 2: acquiring a third key evicts the least recently used
+        // held entry — the Broadleaf lease bug.
+        let lock = MemLruLock::new(2);
+        let g1 = lock.lock("order-1").unwrap();
+        let _g2 = lock.lock("order-2").unwrap();
+        assert!(g1.is_valid());
+        let _g3 = lock.lock("order-3").unwrap();
+        assert!(!g1.is_valid(), "order-1 must have been evicted");
+        assert_eq!(lock.evictions(), 1);
+        // A second acquirer can now take "order-1" while g1 thinks it holds
+        // it: mutual exclusion is gone.
+        let g1b = lock.lock("order-1").unwrap();
+        assert!(g1b.is_valid());
+        // g1's release must not clobber g1b's entry (fencing tokens).
+        g1.unlock().unwrap();
+        assert!(g1b.is_valid());
+    }
+
+    #[test]
+    fn lru_below_capacity_behaves_like_mem() {
+        let lock = MemLruLock::new(64);
+        assert_eq!(mutual_exclusion_trial(&lock, "k", 4, 100), 4 * 100);
+        assert_eq!(lock.evictions(), 0);
+    }
+
+    #[test]
+    fn leak_keeps_entry_resident() {
+        let lock = MemLock::new();
+        let g = lock.lock("crashed").unwrap();
+        g.leak();
+        // The entry is still in the table: a second acquirer would block.
+        let lock2 = lock.clone();
+        let h = std::thread::spawn(move || lock2.lock("crashed").map(|g| g.unlock()));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!h.is_finished(), "leaked lock must still block");
+        // Clean up so the thread can finish: a fresh guard with the same
+        // grant does not exist, so release directly via a new table entry
+        // is impossible — simulate process restart by dropping the table.
+        // (We just detach the thread; test process teardown reaps it.)
+        drop(h);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        MemLruLock::new(0);
+    }
+}

@@ -1,0 +1,226 @@
+//! The seven ad hoc lock implementations (§3.2.1, Figure 2) behind one
+//! trait.
+//!
+//! Every implementation is correct by default. The specific defects the
+//! paper found in the wild (§4.1.1) are reproduced behind explicit
+//! fault-injection switches on each type, so tests and the bug gallery can
+//! demonstrate both the failure and the fix:
+//!
+//! | Switch | Paper bug |
+//! |---|---|
+//! | [`sync::SyncLock::synchronize_on_thread_local`] | SCM Suite synchronizes on thread-local ORM objects — no mutual exclusion |
+//! | [`mem::MemLruLock`] capacity | Broadleaf's LRU-evicting lock table drops held locks |
+//! | [`kv::KvSetNxLock::with_ttl`] + not checking [`Guard::is_valid`] | Mastodon's lease expires mid-critical-section, unchecked |
+//! | [`db::SfuLock::outside_transaction`] | Spree's `SELECT FOR UPDATE` without an enclosing transaction releases immediately |
+//! | [`db::DbTableLock::ignore_boot_uuid`] | Without the boot-UUID check, pre-crash locks deadlock the reboot |
+
+//! # Example
+//!
+//! ```
+//! use adhoc_core::locks::{AdHocLock, MemLock};
+//!
+//! let lock = MemLock::new();
+//! let guard = lock.lock("cart:1")?;
+//! // ... the Figure 1a critical section ...
+//! assert!(guard.is_valid());
+//! guard.unlock()?;
+//! # Ok::<(), adhoc_core::locks::LockError>(())
+//! ```
+
+pub mod db;
+pub mod kv;
+pub mod mem;
+pub mod sync;
+pub mod watchdog;
+
+use std::fmt;
+use std::time::Duration;
+
+pub use db::{DbTableLock, SfuLock};
+pub use kv::{KvMultiLock, KvSetNxLock};
+pub use mem::{MemLock, MemLruLock};
+pub use sync::SyncLock;
+pub use watchdog::WatchdogLock;
+
+/// Errors from lock operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockError {
+    /// Could not acquire within the configured timeout.
+    Timeout {
+        /// The contended lock key.
+        key: String,
+    },
+    /// The backing system failed (database/KV error text).
+    Backend(String),
+    /// Unlock of a lock this guard no longer holds.
+    NotHeld {
+        /// The lock key that was no longer held.
+        key: String,
+    },
+    /// Granting the lock would complete a wait cycle; the requester is the
+    /// victim and should retry ([`WatchdogLock`]).
+    Deadlock {
+        /// The lock key whose acquisition closed the cycle.
+        key: String,
+    },
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::Timeout { key } => write!(f, "timed out acquiring lock {key:?}"),
+            LockError::Backend(msg) => write!(f, "lock backend error: {msg}"),
+            LockError::NotHeld { key } => write!(f, "lock {key:?} is not held by this guard"),
+            LockError::Deadlock { key } => {
+                write!(
+                    f,
+                    "acquiring lock {key:?} would deadlock; requester aborted"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+/// Acquisition policy shared by the blocking implementations that poll
+/// (KV and table-based locks have no wait queue to park on).
+#[derive(Debug, Clone, Copy)]
+pub struct AcquireConfig {
+    /// Delay between acquisition attempts.
+    pub retry_interval: Duration,
+    /// Give up (with [`LockError::Timeout`]) after this long.
+    pub timeout: Duration,
+}
+
+impl Default for AcquireConfig {
+    fn default() -> Self {
+        Self {
+            retry_interval: Duration::from_millis(5),
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// What a held lock can do. Implementations are driven through
+/// [`Guard`], which owns the boxed state.
+pub trait LockGuard: Send {
+    /// Release the lock. Idempotent: a second call is a no-op `Ok`.
+    fn unlock(&mut self) -> Result<(), LockError>;
+
+    /// Is the lock still held by this guard? Lease-based locks (TTL'd
+    /// Redis entries, LRU-evictable tables) can answer `false` — the check
+    /// Mastodon forgot to make (§4.1.1).
+    fn is_valid(&self) -> bool;
+
+    /// Stop releasing on drop — simulates the holder crashing while inside
+    /// the critical section (§3.4.2 crash handling).
+    fn leak(&mut self);
+}
+
+/// An owned, droppable lock guard. Dropping releases the lock unless
+/// [`Guard::leak`] was called.
+pub struct Guard(Box<dyn LockGuard>);
+
+impl Guard {
+    /// Wrap an implementation-specific guard.
+    pub fn new(inner: Box<dyn LockGuard>) -> Self {
+        Self(inner)
+    }
+
+    /// Explicit release (the `unlock()` of the paper's listings).
+    pub fn unlock(mut self) -> Result<(), LockError> {
+        self.0.unlock()
+    }
+
+    /// Whether the lease is still held (correct lease users check this
+    /// before committing their critical section's writes).
+    pub fn is_valid(&self) -> bool {
+        self.0.is_valid()
+    }
+
+    /// Simulate the holder crashing: the lock is never released by us.
+    pub fn leak(mut self) {
+        self.0.leak();
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        let _ = self.0.unlock();
+    }
+}
+
+impl fmt::Debug for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Guard")
+            .field("valid", &self.is_valid())
+            .finish()
+    }
+}
+
+/// An ad hoc lock implementation: string-keyed, exclusive.
+pub trait AdHocLock: Send + Sync {
+    /// Block until the lock on `key` is acquired (or the policy times out).
+    fn lock(&self, key: &str) -> Result<Guard, LockError>;
+
+    /// Figure 2 label of this implementation.
+    fn label(&self) -> &'static str;
+}
+
+/// Exercise any implementation with `threads × iterations` increments of an
+/// unsynchronized counter. Returns the final count; equal to
+/// `threads * iterations` iff the lock provided mutual exclusion. Shared by
+/// the per-implementation test suites and the bug gallery.
+pub fn mutual_exclusion_trial(
+    lock: &dyn AdHocLock,
+    key: &str,
+    threads: usize,
+    iterations: usize,
+) -> usize {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let counter = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                for _ in 0..iterations {
+                    let guard = lock.lock(key).expect("acquire");
+                    // Deliberately racy read-modify-write with a widened
+                    // window: only mutual exclusion makes it add up.
+                    let v = counter.load(Ordering::Relaxed);
+                    std::thread::yield_now();
+                    counter.store(v + 1, Ordering::Relaxed);
+                    guard.unlock().expect("release");
+                }
+            });
+        }
+    });
+    counter.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_config_defaults_are_sane() {
+        let c = AcquireConfig::default();
+        assert!(c.retry_interval < c.timeout);
+    }
+
+    #[test]
+    fn lock_error_display() {
+        assert!(LockError::Timeout { key: "k".into() }
+            .to_string()
+            .contains("k"));
+        assert!(LockError::Backend("boom".into())
+            .to_string()
+            .contains("boom"));
+        assert!(LockError::NotHeld { key: "k".into() }
+            .to_string()
+            .contains("not held"));
+        assert!(LockError::Deadlock { key: "k".into() }
+            .to_string()
+            .contains("deadlock"));
+    }
+}

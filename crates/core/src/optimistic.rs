@@ -1,0 +1,376 @@
+//! The §6 "OCC primitives" proposal, made concrete.
+//!
+//! The paper argues that since major engines are 2PL/MVCC, applications
+//! needing optimistic coordination (notably multi-request interactions,
+//! §3.1.2) are forced to hand-roll it — and proposes ORM-layer primitives
+//! instead: an optimistic transaction declaration whose read/write sets the
+//! framework tracks, with atomic validate-and-commit, plus *continuations*
+//! (`save(trans)→tid` / `restore(tid)→trans`) so an optimistic transaction
+//! can span HTTP requests without holding any lock in between.
+//!
+//! [`OptimisticTransaction`] is that declaration. Reads record value
+//! snapshots; writes buffer; [`OptimisticTransaction::commit`] re-locks the
+//! read rows, validates the snapshots, and applies the writes in one
+//! database transaction. [`ContinuationStore`] is the save/restore side.
+
+use crate::error::ToolkitError;
+use crate::validation::CommitOutcome;
+use crate::Result;
+use adhoc_orm::{Obj, Orm};
+use adhoc_storage::{Row, Value};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A tracked read: the row as this transaction saw it.
+#[derive(Debug, Clone)]
+struct ReadRecord {
+    entity: String,
+    id: i64,
+    snapshot: Row,
+}
+
+/// A buffered write.
+#[derive(Debug, Clone)]
+struct WriteRecord {
+    entity: String,
+    id: i64,
+    pairs: Vec<(String, Value)>,
+}
+
+/// A buffered insert.
+#[derive(Debug, Clone)]
+struct InsertRecord {
+    entity: String,
+    pairs: Vec<(String, Value)>,
+}
+
+/// An ORM-layer optimistic transaction (the proposed
+/// `@OptimisticallyTransactional`).
+#[derive(Debug, Default, Clone)]
+pub struct OptimisticTransaction {
+    reads: Vec<ReadRecord>,
+    writes: Vec<WriteRecord>,
+    inserts: Vec<InsertRecord>,
+}
+
+impl OptimisticTransaction {
+    /// An empty optimistic transaction.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read a row, recording its value snapshot in the read set.
+    pub fn read(&mut self, orm: &Orm, entity: &str, id: i64) -> Result<Option<Obj>> {
+        let obj = orm.find(entity, id)?;
+        if let Some(obj) = &obj {
+            self.reads.push(ReadRecord {
+                entity: entity.to_string(),
+                id,
+                snapshot: obj.row().clone(),
+            });
+        }
+        Ok(obj)
+    }
+
+    /// Buffer an update to be applied at commit.
+    pub fn write(&mut self, entity: &str, id: i64, pairs: &[(&str, Value)]) {
+        self.writes.push(WriteRecord {
+            entity: entity.to_string(),
+            id,
+            pairs: pairs
+                .iter()
+                .map(|(n, v)| (n.to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    /// Buffer an insert to be applied at commit.
+    pub fn insert(&mut self, entity: &str, pairs: &[(&str, Value)]) {
+        self.inserts.push(InsertRecord {
+            entity: entity.to_string(),
+            pairs: pairs
+                .iter()
+                .map(|(n, v)| (n.to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    /// Number of tracked reads (diagnostics).
+    pub fn read_set_len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Validate the read set and apply the write set in one database
+    /// transaction. Validation locks each read row and compares its
+    /// current value against the recorded snapshot (value-based, so
+    /// commutative updates to *other* columns of unread rows never
+    /// conflict).
+    pub fn commit(self, orm: &Orm) -> Result<CommitOutcome> {
+        let outcome = orm.transaction(|t| {
+            for read in &self.reads {
+                let current = t.raw().get_for_update(&read.entity, read.id)?;
+                match current {
+                    Some(row) if row == read.snapshot => {}
+                    _ => return Ok(CommitOutcome::Conflict),
+                }
+            }
+            for w in &self.writes {
+                let pairs: Vec<(&str, Value)> = w
+                    .pairs
+                    .iter()
+                    .map(|(n, v)| (n.as_str(), v.clone()))
+                    .collect();
+                t.raw().update(&w.entity, w.id, &pairs)?;
+            }
+            for ins in &self.inserts {
+                let pairs: Vec<(&str, Value)> = ins
+                    .pairs
+                    .iter()
+                    .map(|(n, v)| (n.as_str(), v.clone()))
+                    .collect();
+                t.raw().insert(&ins.entity, &pairs)?;
+            }
+            Ok(CommitOutcome::Committed)
+        });
+        match outcome {
+            Ok(o) => Ok(o),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+/// Saved optimistic transactions, keyed by continuation id — the proposed
+/// `save(trans) → tid` / `restore(tid) → trans` pair for multi-request
+/// interactions. Unlike the long-lived database transactions of §3.1.2,
+/// nothing is locked while a continuation is parked.
+#[derive(Debug, Default)]
+pub struct ContinuationStore {
+    slots: Mutex<HashMap<u64, OptimisticTransaction>>,
+    counter: AtomicU64,
+}
+
+impl ContinuationStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Park a transaction; returns the continuation id to embed in the
+    /// response (the Discourse edit-post flow embeds a version the same
+    /// way).
+    pub fn save(&self, txn: OptimisticTransaction) -> u64 {
+        let id = self.counter.fetch_add(1, Ordering::SeqCst) + 1;
+        self.slots.lock().insert(id, txn);
+        id
+    }
+
+    /// Resume a parked transaction.
+    pub fn restore(&self, id: u64) -> Result<OptimisticTransaction> {
+        self.slots
+            .lock()
+            .remove(&id)
+            .ok_or(ToolkitError::NoSuchContinuation { id })
+    }
+
+    /// Parked continuations (diagnostics).
+    pub fn len(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    /// True when no continuations are parked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_orm::{EntityDef, Registry};
+    use adhoc_storage::{Column, ColumnType, Database, EngineProfile, Schema};
+
+    fn fixture() -> Orm {
+        let db = Database::in_memory(EngineProfile::PostgresLike);
+        db.create_table(
+            Schema::new(
+                "posts",
+                vec![
+                    Column::new("id", ColumnType::Int),
+                    Column::new("content", ColumnType::Str),
+                    Column::new("view_cnt", ColumnType::Int),
+                ],
+                "id",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let orm = Orm::new(db, Registry::new().register(EntityDef::new("posts")));
+        orm.create(
+            "posts",
+            &[
+                ("id", 1.into()),
+                ("content", "v0".into()),
+                ("view_cnt", 0.into()),
+            ],
+        )
+        .unwrap();
+        orm
+    }
+
+    #[test]
+    fn commit_applies_buffered_writes() {
+        let orm = fixture();
+        let mut txn = OptimisticTransaction::new();
+        let post = txn.read(&orm, "posts", 1).unwrap().unwrap();
+        assert_eq!(post.get_str("content").unwrap(), "v0");
+        txn.write("posts", 1, &[("content", "edited".into())]);
+        txn.insert(
+            "posts",
+            &[
+                ("id", 2.into()),
+                ("content", "new".into()),
+                ("view_cnt", 0.into()),
+            ],
+        );
+        assert_eq!(txn.commit(&orm).unwrap(), CommitOutcome::Committed);
+        assert_eq!(
+            orm.find_required("posts", 1)
+                .unwrap()
+                .get_str("content")
+                .unwrap(),
+            "edited"
+        );
+        assert!(orm.find("posts", 2).unwrap().is_some());
+    }
+
+    #[test]
+    fn conflicting_write_is_detected() {
+        let orm = fixture();
+        let mut txn = OptimisticTransaction::new();
+        txn.read(&orm, "posts", 1).unwrap().unwrap();
+        txn.write("posts", 1, &[("content", "mine".into())]);
+        // Interloper commits first.
+        orm.transaction(|t| {
+            t.raw()
+                .update("posts", 1, &[("content", "theirs".into())])?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(txn.commit(&orm).unwrap(), CommitOutcome::Conflict);
+        assert_eq!(
+            orm.find_required("posts", 1)
+                .unwrap()
+                .get_str("content")
+                .unwrap(),
+            "theirs",
+            "conflict must leave the interloper's write intact"
+        );
+    }
+
+    #[test]
+    fn deleted_read_row_conflicts() {
+        let orm = fixture();
+        let mut txn = OptimisticTransaction::new();
+        txn.read(&orm, "posts", 1).unwrap().unwrap();
+        orm.delete("posts", 1).unwrap();
+        txn.write("posts", 1, &[("content", "mine".into())]);
+        assert_eq!(txn.commit(&orm).unwrap(), CommitOutcome::Conflict);
+    }
+
+    #[test]
+    fn continuations_span_requests() {
+        // The §3.1.2 edit-post flow: request 1 reads and parks; request 2
+        // restores, validates, writes.
+        let orm = fixture();
+        let store = ContinuationStore::new();
+
+        // Request 1.
+        let tid = {
+            let mut txn = OptimisticTransaction::new();
+            txn.read(&orm, "posts", 1).unwrap().unwrap();
+            store.save(txn)
+        };
+        assert_eq!(store.len(), 1);
+
+        // Between requests: a *commutative* change to an unread row would
+        // not interfere; here nothing changes, so the edit lands.
+        let mut txn = store.restore(tid).unwrap();
+        txn.write("posts", 1, &[("content", "edited across requests".into())]);
+        assert_eq!(txn.commit(&orm).unwrap(), CommitOutcome::Committed);
+        assert!(store.is_empty());
+        assert!(matches!(
+            store.restore(tid),
+            Err(ToolkitError::NoSuchContinuation { .. })
+        ));
+    }
+
+    #[test]
+    fn continuation_conflict_on_concurrent_edit() {
+        let orm = fixture();
+        let store = ContinuationStore::new();
+        let tid = {
+            let mut txn = OptimisticTransaction::new();
+            txn.read(&orm, "posts", 1).unwrap().unwrap();
+            store.save(txn)
+        };
+        // Someone else edits between the requests.
+        orm.transaction(|t| {
+            t.raw()
+                .update("posts", 1, &[("content", "sniped".into())])?;
+            Ok(())
+        })
+        .unwrap();
+        let mut txn = store.restore(tid).unwrap();
+        txn.write("posts", 1, &[("content", "mine".into())]);
+        assert_eq!(txn.commit(&orm).unwrap(), CommitOutcome::Conflict);
+    }
+
+    #[test]
+    fn read_of_missing_row_returns_none_and_tracks_nothing() {
+        let orm = fixture();
+        let mut txn = OptimisticTransaction::new();
+        assert!(txn.read(&orm, "posts", 99).unwrap().is_none());
+        assert_eq!(txn.read_set_len(), 0);
+    }
+
+    #[test]
+    fn empty_transaction_commits_trivially() {
+        let orm = fixture();
+        let txn = OptimisticTransaction::new();
+        assert_eq!(txn.commit(&orm).unwrap(), CommitOutcome::Committed);
+    }
+
+    #[test]
+    fn concurrent_commits_serialize_correctly() {
+        // Many optimistic increments with retry: none lost.
+        let orm = fixture();
+        let threads = 6;
+        let per = 20;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let orm = orm.clone();
+                s.spawn(move || {
+                    for _ in 0..per {
+                        loop {
+                            let mut txn = OptimisticTransaction::new();
+                            let post = txn.read(&orm, "posts", 1).unwrap().unwrap();
+                            let v = post.get_int("view_cnt").unwrap();
+                            txn.write("posts", 1, &[("view_cnt", (v + 1).into())]);
+                            if txn.commit(&orm).unwrap() == CommitOutcome::Committed {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            orm.find_required("posts", 1)
+                .unwrap()
+                .get_int("view_cnt")
+                .unwrap(),
+            (threads * per) as i64
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! The study's classification vocabulary.
+//!
+//! These enums are the paper's §3–§4 taxonomy, shared between the toolkit
+//! (which implements the mechanisms) and the `adhoc-study` corpus (which
+//! tags each of the 91 cases with them). Keeping them in one place means
+//! the corpus can only reference mechanisms the toolkit actually has.
+
+use std::fmt;
+
+/// Pessimistic (lock-based, 65/91 cases) vs. optimistic (validation-based,
+/// 26/91 cases) — §3's top-level split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CcAlgorithm {
+    /// Lock-based coordination (2PL-flavoured).
+    Pessimistic,
+    /// Validation-based coordination (OCC-flavoured).
+    Optimistic,
+}
+
+/// The seven lock implementations of §3.2.1 / Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LockImpl {
+    /// Language-runtime monitor (Java `synchronized`; SCM Suite, Broadleaf).
+    Sync,
+    /// In-memory concurrent map lock table (Broadleaf).
+    Mem,
+    /// In-memory map with LRU eviction of lock entries (Broadleaf).
+    MemLru,
+    /// Redis `SETNX` (Mastodon, Saleor — the latter re-entrant).
+    KvSetNx,
+    /// Redis `WATCH`/`GET`/`MULTI`/`SET` protocol (Discourse).
+    KvMulti,
+    /// Database `SELECT … FOR UPDATE` (Spree, Saleor, Redmine).
+    Sfu,
+    /// Dedicated database lock table with a boot UUID (Broadleaf).
+    DbTable,
+}
+
+impl LockImpl {
+    /// Label used by Figure 2.
+    pub fn label(self) -> &'static str {
+        match self {
+            LockImpl::Sync => "SYNC",
+            LockImpl::Mem => "MEM",
+            LockImpl::MemLru => "MEM-LRU",
+            LockImpl::KvSetNx => "KV-SETNX",
+            LockImpl::KvMulti => "KV-MULTI",
+            LockImpl::Sfu => "SFU",
+            LockImpl::DbTable => "DB",
+        }
+    }
+
+    /// All seven, in Figure 2's order.
+    pub fn all() -> [LockImpl; 7] {
+        [
+            LockImpl::Sync,
+            LockImpl::Mem,
+            LockImpl::MemLru,
+            LockImpl::KvSetNx,
+            LockImpl::KvMulti,
+            LockImpl::Sfu,
+            LockImpl::DbTable,
+        ]
+    }
+}
+
+impl fmt::Display for LockImpl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The two validation implementations of §3.2.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValidationImpl {
+    /// ORM-provided (Active Record `lock_version`): atomic by construction.
+    OrmAssisted,
+    /// Hand-written by application developers; atomicity is on them.
+    HandCrafted,
+}
+
+/// Coordination granularities of §3.3 / Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// One exclusive lock taken before a read–modify–write.
+    Rmw,
+    /// One lock covering associatively-accessed rows (carts + items).
+    AssociatedAccess,
+    /// Column-level coordination (separate lock namespaces per column).
+    ColumnBased,
+    /// Predicate-level coordination (lock exact equality predicates).
+    PredicateBased,
+}
+
+impl Granularity {
+    /// Table 6 / Figure 3 label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Granularity::Rmw => "RMW",
+            Granularity::AssociatedAccess => "AA",
+            Granularity::ColumnBased => "CBC",
+            Granularity::PredicateBased => "PBC",
+        }
+    }
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Failure-handling strategies of §3.4.1 / Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureHandling {
+    /// Return an error to the user; nothing persisted (19/26 optimistic).
+    ErrorReturn,
+    /// Enclose in a database transaction and abort on validation failure.
+    DbtRollback,
+    /// Hand-written compensation statements.
+    ManualRollback,
+    /// Repair (“roll forward”): redo only the affected operations.
+    Repair,
+}
+
+impl FailureHandling {
+    /// Figure 4 label (see `adhoc-bench`'s `strategy_label` for the
+    /// DBT-S mapping used there).
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureHandling::ErrorReturn => "ERROR",
+            FailureHandling::DbtRollback => "DBT-W",
+            FailureHandling::ManualRollback => "MANUAL",
+            FailureHandling::Repair => "REPAIR",
+        }
+    }
+}
+
+/// Correctness-issue categories of Table 5a.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IssueCategory {
+    /// Locking primitive implementation/usage issues (36 cases, 6 apps).
+    IncorrectLockPrimitive,
+    /// Non-atomic validate-and-commit (11 cases, 3 apps).
+    NonAtomicValidateCommit,
+    /// Omitting critical operations from the scope (11 cases, 4 apps).
+    OmittedCriticalOperations,
+    /// Forgetting the ad hoc transaction entirely (5 cases, 3 apps).
+    ForgottenTransaction,
+    /// Incomplete transaction repair (1 case, 1 app).
+    IncompleteRepair,
+    /// Not rolling back after crashes (3 cases, 1 app).
+    NoRollbackAfterCrash,
+}
+
+impl IssueCategory {
+    /// All six categories, in Table 5a's row order.
+    pub fn all() -> [IssueCategory; 6] {
+        [
+            IssueCategory::IncorrectLockPrimitive,
+            IssueCategory::NonAtomicValidateCommit,
+            IssueCategory::OmittedCriticalOperations,
+            IssueCategory::ForgottenTransaction,
+            IssueCategory::IncompleteRepair,
+            IssueCategory::NoRollbackAfterCrash,
+        ]
+    }
+
+    /// Table 5a's top-level grouping.
+    pub fn group(self) -> IssueGroup {
+        match self {
+            IssueCategory::IncorrectLockPrimitive | IssueCategory::NonAtomicValidateCommit => {
+                IssueGroup::IncorrectSyncPrimitives
+            }
+            IssueCategory::OmittedCriticalOperations | IssueCategory::ForgottenTransaction => {
+                IssueGroup::IncorrectScope
+            }
+            IssueCategory::IncompleteRepair | IssueCategory::NoRollbackAfterCrash => {
+                IssueGroup::IncorrectFailureHandling
+            }
+        }
+    }
+
+    /// Table 5a's description column.
+    pub fn description(self) -> &'static str {
+        match self {
+            IssueCategory::IncorrectLockPrimitive => "Locking primitive impl./usage issues.",
+            IssueCategory::NonAtomicValidateCommit => "Non-atomic validate-and-commit.",
+            IssueCategory::OmittedCriticalOperations => "Omitting critical operations.",
+            IssueCategory::ForgottenTransaction => "Forgetting ad hoc transactions.",
+            IssueCategory::IncompleteRepair => "Incomplete transaction repair.",
+            IssueCategory::NoRollbackAfterCrash => "Not rolling back after crashes.",
+        }
+    }
+}
+
+/// Table 5a's three issue families (§4.1–§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IssueGroup {
+    /// §4.1: wrong lock implementations/usage, non-atomic validation.
+    IncorrectSyncPrimitives,
+    /// §4.2: omitted operations, forgotten transactions.
+    IncorrectScope,
+    /// §4.3: incomplete repair, missing crash rollback.
+    IncorrectFailureHandling,
+}
+
+impl IssueGroup {
+    /// Table 5a's category-group label.
+    pub fn label(self) -> &'static str {
+        match self {
+            IssueGroup::IncorrectSyncPrimitives => "Incorrect sync. primitives",
+            IssueGroup::IncorrectScope => "Incorrect ad hoc trans. scope",
+            IssueGroup::IncorrectFailureHandling => "Incorrect failure handling",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_impl_labels_match_figure2() {
+        let labels: Vec<&str> = LockImpl::all().iter().map(|l| l.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["SYNC", "MEM", "MEM-LRU", "KV-SETNX", "KV-MULTI", "SFU", "DB"]
+        );
+    }
+
+    #[test]
+    fn issue_categories_group_like_table5a() {
+        use IssueCategory::*;
+        assert_eq!(
+            IncorrectLockPrimitive.group(),
+            IssueGroup::IncorrectSyncPrimitives
+        );
+        assert_eq!(
+            NonAtomicValidateCommit.group(),
+            IssueGroup::IncorrectSyncPrimitives
+        );
+        assert_eq!(
+            OmittedCriticalOperations.group(),
+            IssueGroup::IncorrectScope
+        );
+        assert_eq!(ForgottenTransaction.group(), IssueGroup::IncorrectScope);
+        assert_eq!(
+            IncompleteRepair.group(),
+            IssueGroup::IncorrectFailureHandling
+        );
+        assert_eq!(
+            NoRollbackAfterCrash.group(),
+            IssueGroup::IncorrectFailureHandling
+        );
+        assert_eq!(IssueCategory::all().len(), 6);
+    }
+
+    #[test]
+    fn granularity_labels_match_table6() {
+        assert_eq!(Granularity::Rmw.to_string(), "RMW");
+        assert_eq!(Granularity::AssociatedAccess.to_string(), "AA");
+        assert_eq!(Granularity::ColumnBased.to_string(), "CBC");
+        assert_eq!(Granularity::PredicateBased.to_string(), "PBC");
+    }
+}

@@ -1,0 +1,409 @@
+//! The two validation-procedure implementations of optimistic ad hoc
+//! transactions (§3.2.2), including the non-atomic variant behind 11 of the
+//! paper's correctness issues (§4.1.2).
+//!
+//! A validated write is the commit half of an optimistic ad hoc
+//! transaction: re-check that the data the business logic read is still
+//! current, and persist the update only if so. The paper found exactly two
+//! check styles in the wild — version columns (Figure 1c) and value
+//! comparison on the updated column (the edit-post listing of §3.3.2) —
+//! and exactly two implementation routes:
+//!
+//! * **ORM-assisted** (`lock_version`): the framework compiles the check
+//!   into the `UPDATE`'s `WHERE` clause; atomicity is structural.
+//! * **Hand-crafted**: the developer writes the check. Done as a single
+//!   `UPDATE … WHERE` it is atomic; done as a separate query — especially
+//!   one issued through an interface the ORM cannot fold into the ambient
+//!   transaction, like Discourse's MiniSql — it is not.
+
+use crate::Result;
+use adhoc_orm::{Obj, Orm, OrmError};
+use adhoc_storage::{Predicate, Value};
+use std::sync::Arc;
+
+/// What the validation compares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationCheck {
+    /// A version counter column: check equality with the value read, and
+    /// increment it in the same write (Figure 1c).
+    Version {
+        /// The version column.
+        column: String,
+    },
+    /// Value-based: check the *content* column itself is unchanged
+    /// (§3.3.2's column-level validation — concurrent updates to other
+    /// columns don't interfere).
+    ValueEquals {
+        /// The compared column.
+        column: String,
+    },
+}
+
+/// How the check-and-write is implemented.
+#[derive(Clone)]
+pub enum ValidationStrategy {
+    /// ORM-provided optimistic locking. Requires the entity to be
+    /// registered `with_lock_version`. Always atomic (§4.1.2: "ad hoc
+    /// transactions using ORM-generated validation procedures ensure
+    /// atomicity").
+    OrmAssisted,
+    /// Hand-written single-statement `UPDATE … WHERE check` — atomic.
+    HandCraftedAtomic(ValidationCheck),
+    /// Hand-written two-step check-then-write, with the check issued in
+    /// its own transaction (the MiniSql pattern). The window between the
+    /// two steps is a real race; `pause_between` lets tests and the bug
+    /// gallery occupy it deterministically.
+    HandCraftedNonAtomic {
+        /// What the validation step compares.
+        check: ValidationCheck,
+        /// Hook invoked between validation and commit (deterministic race
+        /// injection). `None` leaves the race to the scheduler.
+        pause_between: Option<Arc<dyn Fn() + Send + Sync>>,
+    },
+}
+
+impl std::fmt::Debug for ValidationStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationStrategy::OrmAssisted => write!(f, "OrmAssisted"),
+            ValidationStrategy::HandCraftedAtomic(c) => write!(f, "HandCraftedAtomic({c:?})"),
+            ValidationStrategy::HandCraftedNonAtomic { check, .. } => {
+                write!(f, "HandCraftedNonAtomic({check:?})")
+            }
+        }
+    }
+}
+
+/// Outcome of a validated write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// The check held and the write is committed.
+    Committed,
+    /// The check failed: data changed since the read. Nothing written —
+    /// 19 of the paper's 26 optimistic cases surface this to the user as
+    /// an error; others retry (Figure 1c's loop).
+    Conflict,
+}
+
+/// Execute the validate-and-commit step for an object read earlier.
+///
+/// `obj` carries the values as of the read; `updates` are the assignments
+/// the business logic computed from them.
+pub fn validated_write(
+    orm: &Orm,
+    obj: &Obj,
+    updates: &[(&str, Value)],
+    strategy: &ValidationStrategy,
+) -> Result<CommitOutcome> {
+    match strategy {
+        ValidationStrategy::OrmAssisted => {
+            let mut staged = obj.clone();
+            for (col, v) in updates {
+                staged
+                    .set(col, v.clone())
+                    .map_err(crate::ToolkitError::from)?;
+            }
+            match orm.save(&mut staged) {
+                Ok(()) => Ok(CommitOutcome::Committed),
+                Err(OrmError::StaleObject { .. }) => Ok(CommitOutcome::Conflict),
+                Err(e) => Err(e.into()),
+            }
+        }
+        ValidationStrategy::HandCraftedAtomic(check) => {
+            let (pred, extra) = check_predicate(obj, check)?;
+            let affected = orm.transaction(|t| {
+                let mut pairs: Vec<(&str, Value)> = updates.to_vec();
+                for (col, v) in &extra {
+                    pairs.push((col.as_str(), v.clone()));
+                }
+                Ok(t.raw().update_where(&obj.entity, &pred, &pairs)?)
+            })?;
+            Ok(if affected == 1 {
+                CommitOutcome::Committed
+            } else {
+                CommitOutcome::Conflict
+            })
+        }
+        ValidationStrategy::HandCraftedNonAtomic {
+            check,
+            pause_between,
+        } => {
+            // Step 1: validate in a transaction of its own (MiniSql-style).
+            let (pred, extra) = check_predicate(obj, check)?;
+            let mini = orm.mini_sql();
+            let still_current = !mini.query(&obj.entity, &pred)?.is_empty();
+            if !still_current {
+                return Ok(CommitOutcome::Conflict);
+            }
+            // The race window the atomicity violation lives in.
+            if let Some(hook) = pause_between {
+                hook();
+            }
+            // Step 2: commit *without* re-checking — a conflicting write
+            // that landed in the window is silently overwritten.
+            orm.transaction(|t| {
+                let mut pairs: Vec<(&str, Value)> = updates.to_vec();
+                for (col, v) in &extra {
+                    pairs.push((col.as_str(), v.clone()));
+                }
+                t.raw()
+                    .update_where(&obj.entity, &Predicate::eq("id", obj.id), &pairs)?;
+                Ok(())
+            })?;
+            Ok(CommitOutcome::Committed)
+        }
+    }
+}
+
+/// Build the WHERE predicate for a check, plus any extra assignments the
+/// check requires (version increments).
+fn check_predicate(
+    obj: &Obj,
+    check: &ValidationCheck,
+) -> Result<(Predicate, Vec<(String, Value)>)> {
+    match check {
+        ValidationCheck::Version { column } => {
+            let read = obj.get_int(column).map_err(crate::ToolkitError::from)?;
+            Ok((
+                Predicate::And(vec![
+                    Predicate::eq("id", obj.id),
+                    Predicate::eq(column.as_str(), read),
+                ]),
+                vec![(column.clone(), Value::Int(read + 1))],
+            ))
+        }
+        ValidationCheck::ValueEquals { column } => {
+            let read = obj.get(column).map_err(crate::ToolkitError::from)?.clone();
+            Ok((
+                Predicate::And(vec![
+                    Predicate::eq("id", obj.id),
+                    Predicate::Eq(column.clone(), read),
+                ]),
+                Vec::new(),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_orm::{EntityDef, Registry};
+    use adhoc_storage::{Column, ColumnType, Database, EngineProfile, Schema};
+
+    fn fixture(optimistic: bool) -> Orm {
+        let db = Database::in_memory(EngineProfile::PostgresLike);
+        db.create_table(
+            Schema::new(
+                "posts",
+                vec![
+                    Column::new("id", ColumnType::Int),
+                    Column::new("content", ColumnType::Str),
+                    Column::new("view_cnt", ColumnType::Int),
+                    Column::new("lock_version", ColumnType::Int),
+                ],
+                "id",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut def = EntityDef::new("posts");
+        if optimistic {
+            def = def.with_lock_version();
+        }
+        let orm = Orm::new(db, Registry::new().register(def));
+        orm.create(
+            "posts",
+            &[
+                ("id", 1.into()),
+                ("content", "v0".into()),
+                ("view_cnt", 0.into()),
+                ("lock_version", 0.into()),
+            ],
+        )
+        .unwrap();
+        orm
+    }
+
+    #[test]
+    fn orm_assisted_commits_and_conflicts() {
+        let orm = fixture(true);
+        let a = orm.find_required("posts", 1).unwrap();
+        let b = orm.find_required("posts", 1).unwrap();
+        assert_eq!(
+            validated_write(
+                &orm,
+                &a,
+                &[("content", "A".into())],
+                &ValidationStrategy::OrmAssisted
+            )
+            .unwrap(),
+            CommitOutcome::Committed
+        );
+        assert_eq!(
+            validated_write(
+                &orm,
+                &b,
+                &[("content", "B".into())],
+                &ValidationStrategy::OrmAssisted
+            )
+            .unwrap(),
+            CommitOutcome::Conflict
+        );
+        assert_eq!(
+            orm.find_required("posts", 1)
+                .unwrap()
+                .get_str("content")
+                .unwrap(),
+            "A"
+        );
+    }
+
+    #[test]
+    fn hand_crafted_atomic_version_check() {
+        let orm = fixture(false);
+        let strategy = ValidationStrategy::HandCraftedAtomic(ValidationCheck::Version {
+            column: "lock_version".into(),
+        });
+        let a = orm.find_required("posts", 1).unwrap();
+        let b = orm.find_required("posts", 1).unwrap();
+        assert_eq!(
+            validated_write(&orm, &a, &[("content", "A".into())], &strategy).unwrap(),
+            CommitOutcome::Committed
+        );
+        assert_eq!(
+            validated_write(&orm, &b, &[("content", "B".into())], &strategy).unwrap(),
+            CommitOutcome::Conflict
+        );
+        let current = orm.find_required("posts", 1).unwrap();
+        assert_eq!(current.get_str("content").unwrap(), "A");
+        assert_eq!(current.get_int("lock_version").unwrap(), 1);
+    }
+
+    #[test]
+    fn hand_crafted_value_check_ignores_other_columns() {
+        // §3.3.2: content-based validation is not disturbed by concurrent
+        // view_cnt bumps.
+        let orm = fixture(false);
+        let strategy = ValidationStrategy::HandCraftedAtomic(ValidationCheck::ValueEquals {
+            column: "content".into(),
+        });
+        let a = orm.find_required("posts", 1).unwrap();
+        // Concurrent view-count increment (different column).
+        orm.transaction(|t| {
+            t.raw().update("posts", 1, &[("view_cnt", 100.into())])?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(
+            validated_write(&orm, &a, &[("content", "edited".into())], &strategy).unwrap(),
+            CommitOutcome::Committed,
+            "view_cnt change must not fail a content check"
+        );
+        // But a concurrent *content* change does conflict.
+        let stale = a; // still carries content "v0"
+        assert_eq!(
+            validated_write(&orm, &stale, &[("content", "other".into())], &strategy).unwrap(),
+            CommitOutcome::Conflict
+        );
+    }
+
+    #[test]
+    fn non_atomic_validation_loses_the_race() {
+        // §4.1.2 (Discourse/MiniSql): a write that lands between the
+        // validation query and the commit is silently overwritten.
+        let orm = fixture(false);
+        let orm_for_hook = orm.clone();
+        let strategy = ValidationStrategy::HandCraftedNonAtomic {
+            check: ValidationCheck::Version {
+                column: "lock_version".into(),
+            },
+            pause_between: Some(Arc::new(move || {
+                // The interloper commits in the window, bumping the version.
+                orm_for_hook
+                    .transaction(|t| {
+                        t.raw().update(
+                            "posts",
+                            1,
+                            &[
+                                ("content", "interloper".into()),
+                                ("lock_version", 99.into()),
+                            ],
+                        )?;
+                        Ok(())
+                    })
+                    .unwrap();
+            })),
+        };
+        let a = orm.find_required("posts", 1).unwrap();
+        // The validation passed (version was current when checked), so the
+        // write commits — clobbering the interloper.
+        assert_eq!(
+            validated_write(&orm, &a, &[("content", "mine".into())], &strategy).unwrap(),
+            CommitOutcome::Committed
+        );
+        let current = orm.find_required("posts", 1).unwrap();
+        assert_eq!(
+            current.get_str("content").unwrap(),
+            "mine",
+            "the interloper's update was silently lost"
+        );
+    }
+
+    #[test]
+    fn atomic_validation_wins_the_same_race() {
+        // Identical interleaving with the atomic strategy: the conflict is
+        // detected and nothing is lost.
+        let orm = fixture(false);
+        let a = orm.find_required("posts", 1).unwrap();
+        orm.transaction(|t| {
+            t.raw().update(
+                "posts",
+                1,
+                &[
+                    ("content", "interloper".into()),
+                    ("lock_version", 99.into()),
+                ],
+            )?;
+            Ok(())
+        })
+        .unwrap();
+        let strategy = ValidationStrategy::HandCraftedAtomic(ValidationCheck::Version {
+            column: "lock_version".into(),
+        });
+        assert_eq!(
+            validated_write(&orm, &a, &[("content", "mine".into())], &strategy).unwrap(),
+            CommitOutcome::Conflict
+        );
+        assert_eq!(
+            orm.find_required("posts", 1)
+                .unwrap()
+                .get_str("content")
+                .unwrap(),
+            "interloper"
+        );
+    }
+
+    #[test]
+    fn non_atomic_detects_conflicts_that_happen_before_validation() {
+        // The non-atomic strategy is not *always* wrong — changes landing
+        // before the check are caught. (That's what made it look correct.)
+        let orm = fixture(false);
+        let a = orm.find_required("posts", 1).unwrap();
+        orm.transaction(|t| {
+            t.raw().update("posts", 1, &[("lock_version", 5.into())])?;
+            Ok(())
+        })
+        .unwrap();
+        let strategy = ValidationStrategy::HandCraftedNonAtomic {
+            check: ValidationCheck::Version {
+                column: "lock_version".into(),
+            },
+            pause_between: None,
+        };
+        assert_eq!(
+            validated_write(&orm, &a, &[("content", "mine".into())], &strategy).unwrap(),
+            CommitOutcome::Conflict
+        );
+    }
+}

@@ -1,0 +1,297 @@
+//! The application-side client: one simulated network round trip per
+//! command, plus a `WATCH`/`MULTI`/`EXEC` session that mirrors how
+//! Discourse's Redis lock drives the protocol (§3.2.1 of the paper).
+
+use crate::store::{KvError, SetMode, Store, Ttl, WriteOp};
+use adhoc_sim::latency::Cost;
+use adhoc_sim::{LatencyModel, SharedClock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A connection to a [`Store`] that charges `kv_round_trip` per command.
+///
+/// Clones share the round-trip counter (they model one process talking to
+/// one server, possibly from several threads).
+#[derive(Clone)]
+pub struct Client {
+    store: Store,
+    clock: SharedClock,
+    latency: LatencyModel,
+    round_trips: Arc<AtomicU64>,
+}
+
+impl Client {
+    /// Connect to `store`, charging `latency.kv_round_trip` per command
+    /// onto `clock`.
+    pub fn new(store: Store, clock: SharedClock, latency: LatencyModel) -> Self {
+        Self {
+            store,
+            clock,
+            latency,
+            round_trips: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The underlying store (for assertions in tests).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Round trips this client (and its clones) have paid so far.
+    pub fn round_trips(&self) -> u64 {
+        self.round_trips.load(Ordering::SeqCst)
+    }
+
+    fn pay(&self) -> Duration {
+        self.round_trips.fetch_add(1, Ordering::SeqCst);
+        self.latency.charge(&*self.clock, Cost::KvRoundTrip);
+        self.clock.now()
+    }
+
+    /// `GET key`.
+    pub fn get(&self, key: &str) -> Result<Option<String>, KvError> {
+        let now = self.pay();
+        self.store.get(key, now)
+    }
+
+    /// `SET key value`.
+    pub fn set(&self, key: &str, value: &str) -> Result<(), KvError> {
+        let now = self.pay();
+        self.store.set(key, value, SetMode::Always, None, now)?;
+        Ok(())
+    }
+
+    /// `SET key value NX` — returns whether the key was acquired.
+    pub fn set_nx(&self, key: &str, value: &str) -> Result<bool, KvError> {
+        let now = self.pay();
+        self.store.set(key, value, SetMode::IfAbsent, None, now)
+    }
+
+    /// `SET key value NX PX ttl` — lease-style acquisition.
+    pub fn set_nx_px(&self, key: &str, value: &str, ttl: Duration) -> Result<bool, KvError> {
+        let now = self.pay();
+        self.store
+            .set(key, value, SetMode::IfAbsent, Some(ttl), now)
+    }
+
+    /// `DEL key`; true when a live key was removed.
+    pub fn del(&self, key: &str) -> bool {
+        let now = self.pay();
+        self.store.del(key, now)
+    }
+
+    /// `EXISTS key`.
+    pub fn exists(&self, key: &str) -> bool {
+        let now = self.pay();
+        self.store.exists(key, now)
+    }
+
+    /// `EXPIRE key ttl`; false when the key is missing.
+    pub fn expire(&self, key: &str, ttl: Duration) -> bool {
+        let now = self.pay();
+        self.store.expire(key, ttl, now)
+    }
+
+    /// `TTL key`.
+    pub fn ttl(&self, key: &str) -> Ttl {
+        let now = self.pay();
+        self.store.ttl(key, now)
+    }
+
+    /// `INCR key`; creates the counter at 0.
+    pub fn incr(&self, key: &str) -> Result<i64, KvError> {
+        let now = self.pay();
+        self.store.incr(key, now)
+    }
+
+    /// `SADD key member`; true when newly added.
+    pub fn sadd(&self, key: &str, member: &str) -> Result<bool, KvError> {
+        let now = self.pay();
+        self.store.sadd(key, member, now)
+    }
+
+    /// `SREM key member`; true when removed.
+    pub fn srem(&self, key: &str, member: &str) -> Result<bool, KvError> {
+        let now = self.pay();
+        self.store.srem(key, member, now)
+    }
+
+    /// `SMEMBERS key` in sorted order.
+    pub fn smembers(&self, key: &str) -> Result<Vec<String>, KvError> {
+        let now = self.pay();
+        self.store.smembers(key, now)
+    }
+
+    /// `SISMEMBER key member`.
+    pub fn sismember(&self, key: &str, member: &str) -> Result<bool, KvError> {
+        let now = self.pay();
+        self.store.sismember(key, member, now)
+    }
+
+    /// Begin an optimistic transaction session (`WATCH`-based).
+    pub fn session(&self) -> Session<'_> {
+        Session {
+            client: self,
+            watched: Vec::new(),
+            queued: Vec::new(),
+            in_multi: false,
+        }
+    }
+}
+
+/// An in-flight `WATCH` … `MULTI` … `EXEC` conversation.
+///
+/// Each protocol step is a separate round trip, matching the paper's count
+/// of Discourse's lock needing "six additional round trips" over a single
+/// `SETNX`: `WATCH` + `GET` + `MULTI` + `SET` + `EXEC` (and the unlock side)
+/// all pay the network individually.
+pub struct Session<'a> {
+    client: &'a Client,
+    watched: Vec<(String, u64)>,
+    queued: Vec<WriteOp>,
+    in_multi: bool,
+}
+
+impl Session<'_> {
+    /// `WATCH key`: snapshot the key's modification counter.
+    pub fn watch(&mut self, key: &str) {
+        let now = self.client.pay();
+        let v = self.client.store.version(key, now);
+        self.watched.push((key.to_string(), v));
+    }
+
+    /// `GET` inside the session (still a plain read, one round trip).
+    pub fn get(&mut self, key: &str) -> Result<Option<String>, KvError> {
+        self.client.get(key)
+    }
+
+    /// `MULTI`: subsequent writes are queued rather than applied.
+    pub fn multi(&mut self) {
+        self.client.pay();
+        self.in_multi = true;
+    }
+
+    /// Queue `SET` (requires `multi()` first).
+    pub fn set(&mut self, key: &str, value: &str) {
+        assert!(self.in_multi, "SET queued outside MULTI");
+        self.client.pay();
+        self.queued.push(WriteOp::Set {
+            key: key.to_string(),
+            value: value.to_string(),
+            mode: SetMode::Always,
+            ttl: None,
+        });
+    }
+
+    /// Queue `SET … PX ttl`.
+    pub fn set_px(&mut self, key: &str, value: &str, ttl: Duration) {
+        assert!(self.in_multi, "SET queued outside MULTI");
+        self.client.pay();
+        self.queued.push(WriteOp::Set {
+            key: key.to_string(),
+            value: value.to_string(),
+            mode: SetMode::Always,
+            ttl: Some(ttl),
+        });
+    }
+
+    /// Queue `DEL`.
+    pub fn del(&mut self, key: &str) {
+        assert!(self.in_multi, "DEL queued outside MULTI");
+        self.client.pay();
+        self.queued.push(WriteOp::Del {
+            key: key.to_string(),
+        });
+    }
+
+    /// `EXEC`: atomically validate the watch set and apply the queue.
+    /// Returns `true` when the transaction committed.
+    pub fn exec(self) -> Result<bool, KvError> {
+        let now = self.client.pay();
+        self.client.store.exec(&self.watched, &self.queued, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_sim::{Clock, VirtualClock};
+
+    fn client() -> Client {
+        Client::new(Store::new(), VirtualClock::shared(), LatencyModel::paper())
+    }
+
+    #[test]
+    fn every_command_costs_one_round_trip() {
+        let c = client();
+        c.set("a", "1").unwrap();
+        c.get("a").unwrap();
+        c.del("a");
+        assert_eq!(c.round_trips(), 3);
+    }
+
+    #[test]
+    fn round_trips_advance_the_clock() {
+        let clock = Arc::new(VirtualClock::new());
+        let c = Client::new(Store::new(), clock.clone(), LatencyModel::paper());
+        c.set("a", "1").unwrap();
+        assert_eq!(clock.now(), LatencyModel::paper().kv_round_trip);
+    }
+
+    #[test]
+    fn watch_multi_exec_costs_the_paper_round_trips() {
+        let c = client();
+        // The Discourse lock acquire sequence: WATCH, GET, MULTI, SET, EXEC.
+        let mut s = c.session();
+        s.watch("lock");
+        s.get("lock").unwrap();
+        s.multi();
+        s.set("lock", "held");
+        assert!(s.exec().unwrap());
+        assert_eq!(c.round_trips(), 5);
+    }
+
+    #[test]
+    fn session_aborts_on_conflict() {
+        let c = client();
+        let interloper = c.clone();
+        let mut s = c.session();
+        s.watch("lock");
+        let existing = s.get("lock").unwrap();
+        assert!(existing.is_none());
+        interloper.set("lock", "stolen").unwrap();
+        s.multi();
+        s.set("lock", "mine");
+        assert!(!s.exec().unwrap());
+        assert_eq!(c.get("lock").unwrap(), Some("stolen".into()));
+    }
+
+    #[test]
+    fn setnx_px_grants_leases() {
+        let clock = Arc::new(VirtualClock::new());
+        let c = Client::new(Store::new(), clock.clone(), LatencyModel::zero());
+        assert!(c.set_nx_px("lease", "a", Duration::from_secs(5)).unwrap());
+        assert!(!c.set_nx_px("lease", "b", Duration::from_secs(5)).unwrap());
+        clock.advance(Duration::from_secs(6));
+        assert!(c.set_nx_px("lease", "b", Duration::from_secs(5)).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside MULTI")]
+    fn queueing_before_multi_panics() {
+        let c = client();
+        let mut s = c.session();
+        s.set("k", "v");
+    }
+
+    #[test]
+    fn clones_share_round_trip_counter() {
+        let c = client();
+        let d = c.clone();
+        c.set("a", "1").unwrap();
+        d.set("b", "2").unwrap();
+        assert_eq!(c.round_trips(), 2);
+        assert_eq!(d.round_trips(), 2);
+    }
+}

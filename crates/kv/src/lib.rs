@@ -1,0 +1,42 @@
+//! A Redis-like key–value store, as used by the studied applications.
+//!
+//! Discourse, Mastodon, JumpServer and Saleor all build ad hoc transaction
+//! locks on top of Redis (§3.2.1 of the paper), and Mastodon additionally
+//! keeps timeline sets in Redis next to post rows in the RDBMS (§3.1.3).
+//! This crate reproduces the subset of Redis those usages rely on:
+//!
+//! * string values with `GET`/`SET`/`SETNX`/`DEL`/`INCR`;
+//! * key expiry (`PX` TTLs, `EXPIRE`, `TTL`) driven by a [`Clock`] — the
+//!   lease semantics behind the Mastodon early-expiry bug (§4.1.1);
+//! * sets (`SADD`/`SREM`/`SMEMBERS`/`SISMEMBER`) for timelines;
+//! * `WATCH`/`MULTI`/`EXEC` optimistic transactions — the primitive behind
+//!   Discourse's lock, which costs "six additional round trips" compared to
+//!   Mastodon's single `SETNX` (§3.2.1);
+//! * a [`Client`] that charges one simulated network round trip per command,
+//!   so the Figure 2 latency reproduction sees the same decisive costs the
+//!   paper measured.
+//!
+//! [`Clock`]: adhoc_sim::Clock
+//!
+//! # Example
+//!
+//! ```
+//! use adhoc_kv::{Client, Store};
+//! use adhoc_sim::{LatencyModel, VirtualClock};
+//! use std::time::Duration;
+//!
+//! let client = Client::new(Store::new(), VirtualClock::shared(), LatencyModel::zero());
+//! // A lease-style lock entry, Figure 1b's `SETNX`:
+//! assert!(client.set_nx_px("redeem:1", "owner-a", Duration::from_secs(5))?);
+//! assert!(!client.set_nx_px("redeem:1", "owner-b", Duration::from_secs(5))?);
+//! client.del("redeem:1");
+//! # Ok::<(), adhoc_kv::KvError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod store;
+
+pub use client::Client;
+pub use store::{KvError, SetMode, Store, Ttl, Value, WriteOp};

@@ -1,0 +1,725 @@
+//! The server-side state machine.
+//!
+//! All operations take an explicit `now` so the store itself holds no clock;
+//! the [`Client`](crate::client::Client) supplies time and charges network
+//! costs. Expiry is lazy, like Redis: an expired entry is treated as absent
+//! (and reaped) by the first command that touches it.
+
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A stored value: Redis strings or sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A plain string value.
+    Str(String),
+    /// An unordered collection of unique members.
+    Set(BTreeSet<String>),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Set(_) => "set",
+        }
+    }
+}
+
+/// Errors surfaced to callers. Mirrors Redis' `WRONGTYPE` and integer-parse
+/// failures; everything else is encoded in return values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// Operation applied against a key holding the wrong value type.
+    WrongType {
+        /// The offending key.
+        key: String,
+        /// Type name actually stored there.
+        found: &'static str,
+    },
+    /// `INCR` on a non-integer string.
+    NotAnInteger {
+        /// The offending key.
+        key: String,
+    },
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::WrongType { key, found } => {
+                write!(f, "WRONGTYPE key {key:?} holds a {found}")
+            }
+            KvError::NotAnInteger { key } => {
+                write!(f, "value at key {key:?} is not an integer")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// Conditional-set behaviour for `SET`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetMode {
+    /// Unconditional set.
+    Always,
+    /// `NX`: only set when the key does not exist.
+    IfAbsent,
+    /// `XX`: only set when the key already exists.
+    IfPresent,
+}
+
+/// Result of a `TTL` query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ttl {
+    /// Key does not exist (Redis returns -2).
+    Missing,
+    /// Key exists with no expiry (Redis returns -1).
+    NoExpiry,
+    /// Remaining time to live.
+    Remaining(Duration),
+}
+
+/// A buffered write queued inside `MULTI`, applied atomically by `EXEC`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteOp {
+    /// `SET key value [NX|XX] [PX ttl]`.
+    Set {
+        /// Target key.
+        key: String,
+        /// Value to store.
+        value: String,
+        /// Conditional-set behaviour.
+        mode: SetMode,
+        /// Optional expiry.
+        ttl: Option<Duration>,
+    },
+    /// `DEL key`.
+    Del {
+        /// Target key.
+        key: String,
+    },
+    /// `SADD key member`.
+    SAdd {
+        /// Target set key.
+        key: String,
+        /// Member to add.
+        member: String,
+    },
+    /// `SREM key member`.
+    SRem {
+        /// Target set key.
+        key: String,
+        /// Member to remove.
+        member: String,
+    },
+    /// `EXPIRE key ttl`.
+    Expire {
+        /// Target key.
+        key: String,
+        /// Time to live from now.
+        ttl: Duration,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    value: Value,
+    /// Absolute expiry deadline on the store's timeline.
+    expires_at: Option<Duration>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<String, Entry>,
+    /// Per-key modification counters used by `WATCH`. Counters survive
+    /// deletion so that delete→recreate is visible to watchers.
+    versions: HashMap<String, u64>,
+    /// Total commands processed (diagnostics for tests and the harness).
+    commands: u64,
+}
+
+impl Inner {
+    fn bump(&mut self, key: &str) {
+        *self.versions.entry(key.to_string()).or_insert(0) += 1;
+    }
+
+    /// Reap `key` if expired; returns true when the key is live afterwards.
+    fn reap(&mut self, key: &str, now: Duration) -> bool {
+        match self.entries.get(key) {
+            None => false,
+            Some(e) => match e.expires_at {
+                Some(deadline) if now >= deadline => {
+                    self.entries.remove(key);
+                    self.bump(key);
+                    false
+                }
+                _ => true,
+            },
+        }
+    }
+
+    fn apply(&mut self, op: &WriteOp, now: Duration) -> Result<bool, KvError> {
+        match op {
+            WriteOp::Set {
+                key,
+                value,
+                mode,
+                ttl,
+            } => {
+                let live = self.reap(key, now);
+                let proceed = match mode {
+                    SetMode::Always => true,
+                    SetMode::IfAbsent => !live,
+                    SetMode::IfPresent => live,
+                };
+                if !proceed {
+                    return Ok(false);
+                }
+                self.entries.insert(
+                    key.clone(),
+                    Entry {
+                        value: Value::Str(value.clone()),
+                        expires_at: ttl.map(|t| now + t),
+                    },
+                );
+                self.bump(key);
+                Ok(true)
+            }
+            WriteOp::Del { key } => {
+                let live = self.reap(key, now);
+                if live {
+                    self.entries.remove(key);
+                    self.bump(key);
+                }
+                Ok(live)
+            }
+            WriteOp::SAdd { key, member } => {
+                self.reap(key, now);
+                let entry = self.entries.entry(key.clone()).or_insert(Entry {
+                    value: Value::Set(BTreeSet::new()),
+                    expires_at: None,
+                });
+                match &mut entry.value {
+                    Value::Set(s) => {
+                        let added = s.insert(member.clone());
+                        self.bump(key);
+                        Ok(added)
+                    }
+                    other => Err(KvError::WrongType {
+                        key: key.clone(),
+                        found: other.type_name(),
+                    }),
+                }
+            }
+            WriteOp::SRem { key, member } => {
+                if !self.reap(key, now) {
+                    return Ok(false);
+                }
+                let entry = self.entries.get_mut(key).expect("reap said live");
+                match &mut entry.value {
+                    Value::Set(s) => {
+                        let removed = s.remove(member);
+                        let emptied = s.is_empty();
+                        if removed {
+                            if emptied {
+                                self.entries.remove(key);
+                            }
+                            self.bump(key);
+                        }
+                        Ok(removed)
+                    }
+                    other => Err(KvError::WrongType {
+                        key: key.clone(),
+                        found: other.type_name(),
+                    }),
+                }
+            }
+            WriteOp::Expire { key, ttl } => {
+                if !self.reap(key, now) {
+                    return Ok(false);
+                }
+                let entry = self.entries.get_mut(key).expect("reap said live");
+                entry.expires_at = Some(now + *ttl);
+                self.bump(key);
+                Ok(true)
+            }
+        }
+    }
+}
+
+/// The shared server. Cheap to clone (`Arc` inside).
+#[derive(Debug, Clone, Default)]
+pub struct Store {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn locked<R>(&self, f: impl FnOnce(&mut Inner) -> R) -> R {
+        let mut inner = self.inner.lock();
+        inner.commands += 1;
+        f(&mut inner)
+    }
+
+    /// `GET key`.
+    pub fn get(&self, key: &str, now: Duration) -> Result<Option<String>, KvError> {
+        self.locked(|i| {
+            if !i.reap(key, now) {
+                return Ok(None);
+            }
+            match &i.entries[key].value {
+                Value::Str(s) => Ok(Some(s.clone())),
+                other => Err(KvError::WrongType {
+                    key: key.to_string(),
+                    found: other.type_name(),
+                }),
+            }
+        })
+    }
+
+    /// `SET key value [NX|XX] [PX ttl]`. Returns whether the set happened.
+    pub fn set(
+        &self,
+        key: &str,
+        value: &str,
+        mode: SetMode,
+        ttl: Option<Duration>,
+        now: Duration,
+    ) -> Result<bool, KvError> {
+        self.locked(|i| {
+            i.apply(
+                &WriteOp::Set {
+                    key: key.to_string(),
+                    value: value.to_string(),
+                    mode,
+                    ttl,
+                },
+                now,
+            )
+        })
+    }
+
+    /// `DEL key`. Returns whether a live key was removed.
+    pub fn del(&self, key: &str, now: Duration) -> bool {
+        self.locked(|i| {
+            i.apply(
+                &WriteOp::Del {
+                    key: key.to_string(),
+                },
+                now,
+            )
+            .expect("DEL is type-agnostic")
+        })
+    }
+
+    /// `EXISTS key`.
+    pub fn exists(&self, key: &str, now: Duration) -> bool {
+        self.locked(|i| i.reap(key, now))
+    }
+
+    /// `EXPIRE key ttl`. Returns false when the key is missing.
+    pub fn expire(&self, key: &str, ttl: Duration, now: Duration) -> bool {
+        self.locked(|i| {
+            i.apply(
+                &WriteOp::Expire {
+                    key: key.to_string(),
+                    ttl,
+                },
+                now,
+            )
+            .expect("EXPIRE is type-agnostic")
+        })
+    }
+
+    /// `TTL key`.
+    pub fn ttl(&self, key: &str, now: Duration) -> Ttl {
+        self.locked(|i| {
+            if !i.reap(key, now) {
+                return Ttl::Missing;
+            }
+            match i.entries[key].expires_at {
+                None => Ttl::NoExpiry,
+                Some(deadline) => Ttl::Remaining(deadline - now),
+            }
+        })
+    }
+
+    /// `INCR key`: increments an integer string, creating it at 0.
+    pub fn incr(&self, key: &str, now: Duration) -> Result<i64, KvError> {
+        self.locked(|i| {
+            let live = i.reap(key, now);
+            let current = if live {
+                match &i.entries[key].value {
+                    Value::Str(s) => s.parse::<i64>().map_err(|_| KvError::NotAnInteger {
+                        key: key.to_string(),
+                    })?,
+                    other => {
+                        return Err(KvError::WrongType {
+                            key: key.to_string(),
+                            found: other.type_name(),
+                        })
+                    }
+                }
+            } else {
+                0
+            };
+            let next = current + 1;
+            let expires_at = if live {
+                i.entries[key].expires_at
+            } else {
+                None
+            };
+            i.entries.insert(
+                key.to_string(),
+                Entry {
+                    value: Value::Str(next.to_string()),
+                    expires_at,
+                },
+            );
+            i.bump(key);
+            Ok(next)
+        })
+    }
+
+    /// `SADD key member`.
+    pub fn sadd(&self, key: &str, member: &str, now: Duration) -> Result<bool, KvError> {
+        self.locked(|i| {
+            i.apply(
+                &WriteOp::SAdd {
+                    key: key.to_string(),
+                    member: member.to_string(),
+                },
+                now,
+            )
+        })
+    }
+
+    /// `SREM key member`.
+    pub fn srem(&self, key: &str, member: &str, now: Duration) -> Result<bool, KvError> {
+        self.locked(|i| {
+            i.apply(
+                &WriteOp::SRem {
+                    key: key.to_string(),
+                    member: member.to_string(),
+                },
+                now,
+            )
+        })
+    }
+
+    /// `SMEMBERS key`.
+    pub fn smembers(&self, key: &str, now: Duration) -> Result<Vec<String>, KvError> {
+        self.locked(|i| {
+            if !i.reap(key, now) {
+                return Ok(Vec::new());
+            }
+            match &i.entries[key].value {
+                Value::Set(s) => Ok(s.iter().cloned().collect()),
+                other => Err(KvError::WrongType {
+                    key: key.to_string(),
+                    found: other.type_name(),
+                }),
+            }
+        })
+    }
+
+    /// `SISMEMBER key member`.
+    pub fn sismember(&self, key: &str, member: &str, now: Duration) -> Result<bool, KvError> {
+        self.locked(|i| {
+            if !i.reap(key, now) {
+                return Ok(false);
+            }
+            match &i.entries[key].value {
+                Value::Set(s) => Ok(s.contains(member)),
+                other => Err(KvError::WrongType {
+                    key: key.to_string(),
+                    found: other.type_name(),
+                }),
+            }
+        })
+    }
+
+    /// Current modification counter for a key (the `WATCH` snapshot).
+    pub fn version(&self, key: &str, now: Duration) -> u64 {
+        self.locked(|i| {
+            i.reap(key, now);
+            i.versions.get(key).copied().unwrap_or(0)
+        })
+    }
+
+    /// `EXEC` of a `MULTI` block with a prior `WATCH` set.
+    ///
+    /// Atomically: if every `(key, version)` pair still matches, apply all
+    /// ops and return `Ok(true)`; otherwise apply nothing and return
+    /// `Ok(false)` (Redis reports a nil reply — the transaction aborted).
+    pub fn exec(
+        &self,
+        watched: &[(String, u64)],
+        ops: &[WriteOp],
+        now: Duration,
+    ) -> Result<bool, KvError> {
+        self.locked(|i| {
+            for (key, ver) in watched {
+                i.reap(key, now);
+                if i.versions.get(key.as_str()).copied().unwrap_or(0) != *ver {
+                    return Ok(false);
+                }
+            }
+            for op in ops {
+                i.apply(op, now)?;
+            }
+            Ok(true)
+        })
+    }
+
+    /// Number of live keys (test/diagnostic helper).
+    pub fn len(&self, now: Duration) -> usize {
+        self.locked(|i| {
+            let keys: Vec<String> = i.entries.keys().cloned().collect();
+            keys.iter().filter(|k| i.reap(k, now)).count()
+        })
+    }
+
+    /// True when no live keys remain.
+    pub fn is_empty(&self, now: Duration) -> bool {
+        self.len(now) == 0
+    }
+
+    /// Total commands processed since creation.
+    pub fn command_count(&self) -> u64 {
+        self.inner.lock().commands
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: Duration = Duration::ZERO;
+
+    fn at(ms: u64) -> Duration {
+        Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn get_set_del_roundtrip() {
+        let s = Store::new();
+        assert_eq!(s.get("k", T0).unwrap(), None);
+        assert!(s.set("k", "v", SetMode::Always, None, T0).unwrap());
+        assert_eq!(s.get("k", T0).unwrap(), Some("v".into()));
+        assert!(s.del("k", T0));
+        assert!(!s.del("k", T0));
+        assert_eq!(s.get("k", T0).unwrap(), None);
+    }
+
+    #[test]
+    fn setnx_only_sets_when_absent() {
+        let s = Store::new();
+        assert!(s.set("lock", "a", SetMode::IfAbsent, None, T0).unwrap());
+        assert!(!s.set("lock", "b", SetMode::IfAbsent, None, T0).unwrap());
+        assert_eq!(s.get("lock", T0).unwrap(), Some("a".into()));
+    }
+
+    #[test]
+    fn setxx_only_sets_when_present() {
+        let s = Store::new();
+        assert!(!s.set("k", "a", SetMode::IfPresent, None, T0).unwrap());
+        s.set("k", "a", SetMode::Always, None, T0).unwrap();
+        assert!(s.set("k", "b", SetMode::IfPresent, None, T0).unwrap());
+        assert_eq!(s.get("k", T0).unwrap(), Some("b".into()));
+    }
+
+    #[test]
+    fn ttl_expires_keys_lazily() {
+        let s = Store::new();
+        s.set("lease", "v", SetMode::Always, Some(at(100)), T0)
+            .unwrap();
+        assert_eq!(s.ttl("lease", at(40)), Ttl::Remaining(at(60)));
+        assert_eq!(s.get("lease", at(99)).unwrap(), Some("v".into()));
+        assert_eq!(s.get("lease", at(100)).unwrap(), None);
+        assert_eq!(s.ttl("lease", at(100)), Ttl::Missing);
+        // Expired key can be re-acquired with NX — the Mastodon lease bug's
+        // enabling behaviour.
+        assert!(s
+            .set("lease", "other", SetMode::IfAbsent, None, at(101))
+            .unwrap());
+    }
+
+    #[test]
+    fn expire_command_sets_deadline() {
+        let s = Store::new();
+        assert!(!s.expire("k", at(50), T0));
+        s.set("k", "v", SetMode::Always, None, T0).unwrap();
+        assert_eq!(s.ttl("k", T0), Ttl::NoExpiry);
+        assert!(s.expire("k", at(50), T0));
+        assert!(!s.exists("k", at(60)));
+    }
+
+    #[test]
+    fn incr_counts_and_rejects_garbage() {
+        let s = Store::new();
+        assert_eq!(s.incr("n", T0).unwrap(), 1);
+        assert_eq!(s.incr("n", T0).unwrap(), 2);
+        s.set("junk", "abc", SetMode::Always, None, T0).unwrap();
+        assert!(matches!(
+            s.incr("junk", T0),
+            Err(KvError::NotAnInteger { .. })
+        ));
+    }
+
+    #[test]
+    fn sets_behave_like_redis_sets() {
+        let s = Store::new();
+        assert!(s.sadd("tl", "p1", T0).unwrap());
+        assert!(!s.sadd("tl", "p1", T0).unwrap());
+        assert!(s.sadd("tl", "p2", T0).unwrap());
+        assert_eq!(s.smembers("tl", T0).unwrap(), vec!["p1", "p2"]);
+        assert!(s.sismember("tl", "p1", T0).unwrap());
+        assert!(s.srem("tl", "p1", T0).unwrap());
+        assert!(!s.srem("tl", "p1", T0).unwrap());
+        assert!(!s.sismember("tl", "p1", T0).unwrap());
+        // Removing the last member removes the key, like Redis.
+        s.srem("tl", "p2", T0).unwrap();
+        assert!(!s.exists("tl", T0));
+    }
+
+    #[test]
+    fn wrong_type_errors() {
+        let s = Store::new();
+        s.set("str", "v", SetMode::Always, None, T0).unwrap();
+        assert!(matches!(
+            s.sadd("str", "m", T0),
+            Err(KvError::WrongType { .. })
+        ));
+        s.sadd("set", "m", T0).unwrap();
+        assert!(matches!(s.get("set", T0), Err(KvError::WrongType { .. })));
+        assert!(matches!(s.incr("set", T0), Err(KvError::WrongType { .. })));
+    }
+
+    #[test]
+    fn watch_exec_detects_interleaved_writes() {
+        let s = Store::new();
+        let v = s.version("k", T0);
+        // Interleaved writer changes the key after the WATCH snapshot.
+        s.set("k", "sneaky", SetMode::Always, None, T0).unwrap();
+        let applied = s
+            .exec(
+                &[("k".into(), v)],
+                &[WriteOp::Set {
+                    key: "k".into(),
+                    value: "mine".into(),
+                    mode: SetMode::Always,
+                    ttl: None,
+                }],
+                T0,
+            )
+            .unwrap();
+        assert!(!applied);
+        assert_eq!(s.get("k", T0).unwrap(), Some("sneaky".into()));
+    }
+
+    #[test]
+    fn watch_exec_applies_when_unchanged() {
+        let s = Store::new();
+        let v = s.version("k", T0);
+        let applied = s
+            .exec(
+                &[("k".into(), v)],
+                &[WriteOp::Set {
+                    key: "k".into(),
+                    value: "mine".into(),
+                    mode: SetMode::Always,
+                    ttl: None,
+                }],
+                T0,
+            )
+            .unwrap();
+        assert!(applied);
+        assert_eq!(s.get("k", T0).unwrap(), Some("mine".into()));
+    }
+
+    #[test]
+    fn watch_sees_delete_then_recreate() {
+        let s = Store::new();
+        s.set("k", "v1", SetMode::Always, None, T0).unwrap();
+        let v = s.version("k", T0);
+        s.del("k", T0);
+        s.set("k", "v1", SetMode::Always, None, T0).unwrap();
+        // Same value, but the version moved: EXEC must abort (ABA handled).
+        assert!(!s.exec(&[("k".into(), v)], &[], T0).unwrap());
+    }
+
+    #[test]
+    fn watch_sees_expiry_as_modification() {
+        let s = Store::new();
+        s.set("k", "v", SetMode::Always, Some(at(10)), T0).unwrap();
+        let v = s.version("k", at(5));
+        // Key expires before EXEC touches it.
+        assert!(!s.exec(&[("k".into(), v)], &[], at(20)).unwrap());
+    }
+
+    #[test]
+    fn exec_is_atomic_over_multiple_ops() {
+        let s = Store::new();
+        let applied = s
+            .exec(
+                &[],
+                &[
+                    WriteOp::Set {
+                        key: "a".into(),
+                        value: "1".into(),
+                        mode: SetMode::Always,
+                        ttl: None,
+                    },
+                    WriteOp::SAdd {
+                        key: "b".into(),
+                        member: "m".into(),
+                    },
+                ],
+                T0,
+            )
+            .unwrap();
+        assert!(applied);
+        assert_eq!(s.get("a", T0).unwrap(), Some("1".into()));
+        assert!(s.sismember("b", "m", T0).unwrap());
+    }
+
+    #[test]
+    fn len_counts_only_live_keys() {
+        let s = Store::new();
+        s.set("a", "1", SetMode::Always, Some(at(10)), T0).unwrap();
+        s.set("b", "2", SetMode::Always, None, T0).unwrap();
+        assert_eq!(s.len(T0), 2);
+        assert_eq!(s.len(at(11)), 1);
+        assert!(!s.is_empty(at(11)));
+    }
+
+    #[test]
+    fn concurrent_setnx_grants_exactly_one_winner() {
+        let s = Store::new();
+        let winners: Vec<bool> = std::thread::scope(|scope| {
+            (0..16)
+                .map(|i| {
+                    let s = s.clone();
+                    scope.spawn(move || {
+                        s.set("lock", &format!("t{i}"), SetMode::IfAbsent, None, T0)
+                            .unwrap()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(winners.iter().filter(|w| **w).count(), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Concurrency tests for the WATCH/MULTI/EXEC machinery — the primitive
+//! Discourse's lock is built on (§3.2.1).
+
+use adhoc_kv::{Client, Store};
+use adhoc_sim::{LatencyModel, RealClock};
+use std::sync::Arc;
+
+fn client() -> Client {
+    Client::new(Store::new(), RealClock::shared(), LatencyModel::zero())
+}
+
+/// A WATCH/GET/MULTI/SET/EXEC compare-and-swap loop never loses an
+/// increment under contention.
+#[test]
+fn watch_exec_cas_loop_is_lossless() {
+    let c = client();
+    c.set("counter", "0").unwrap();
+    let threads = 8;
+    let per = 50;
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let c = c.clone();
+            s.spawn(move || {
+                for _ in 0..per {
+                    loop {
+                        let mut session = c.session();
+                        session.watch("counter");
+                        let current: i64 =
+                            session.get("counter").unwrap().unwrap().parse().unwrap();
+                        std::thread::yield_now(); // widen the race window
+                        session.multi();
+                        session.set("counter", &(current + 1).to_string());
+                        if session.exec().unwrap() {
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(
+        c.get("counter").unwrap().unwrap(),
+        (threads * per).to_string()
+    );
+}
+
+/// The same loop WITHOUT the watch (blind read-then-set) loses increments —
+/// the control demonstrating what EXEC's validation buys.
+#[test]
+fn blind_read_then_set_loses_increments() {
+    let mut lost = false;
+    for _ in 0..20 {
+        let c = client();
+        c.set("counter", "0").unwrap();
+        let threads = 8;
+        let per = 50;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..per {
+                        let current: i64 = c.get("counter").unwrap().unwrap().parse().unwrap();
+                        std::thread::yield_now();
+                        c.set("counter", &(current + 1).to_string()).unwrap();
+                    }
+                });
+            }
+        });
+        let total: i64 = c.get("counter").unwrap().unwrap().parse().unwrap();
+        if total < (threads * per) as i64 {
+            lost = true;
+            break;
+        }
+    }
+    assert!(lost, "blind read-modify-write must lose increments");
+}
+
+/// INCR is atomic server-side: no CAS loop needed.
+#[test]
+fn incr_is_atomic() {
+    let c = client();
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let c = c.clone();
+            s.spawn(move || {
+                for _ in 0..100 {
+                    c.incr("n").unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(c.get("n").unwrap().unwrap(), "800");
+}
+
+/// Concurrent SETNX + DEL churn never grants two holders simultaneously.
+#[test]
+fn setnx_del_churn_maintains_exclusion() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let c = client();
+    let inside = Arc::new(AtomicUsize::new(0));
+    let max_seen = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            let c = c.clone();
+            let inside = Arc::clone(&inside);
+            let max_seen = Arc::clone(&max_seen);
+            s.spawn(move || {
+                for i in 0..100 {
+                    if c.set_nx("mutex", &format!("t{t}-{i}")).unwrap() {
+                        let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                        max_seen.fetch_max(now, Ordering::SeqCst);
+                        std::thread::yield_now();
+                        inside.fetch_sub(1, Ordering::SeqCst);
+                        c.del("mutex");
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(max_seen.load(Ordering::SeqCst), 1, "never two holders");
+}

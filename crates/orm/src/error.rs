@@ -1,0 +1,115 @@
+//! ORM error surface.
+
+use adhoc_storage::DbError;
+use std::fmt;
+
+/// Every error the ORM can surface to application code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrmError {
+    /// Underlying database error.
+    Db(DbError),
+    /// Optimistic-lock conflict: the row's `lock_version` moved underneath
+    /// us (Active Record's `ActiveRecord::StaleObjectError`).
+    StaleObject {
+        /// Entity name.
+        entity: String,
+        /// Primary key of the stale object.
+        id: i64,
+    },
+    /// An application-level `validates` rule failed.
+    ValidationFailed {
+        /// Entity name.
+        entity: String,
+        /// Column the rule applies to.
+        column: String,
+        /// The violated rule ("uniqueness", "presence", "non_negative").
+        rule: &'static str,
+    },
+    /// Entity name not registered.
+    UnknownEntity {
+        /// The unknown name.
+        entity: String,
+    },
+    /// `find` found nothing where a record was required.
+    RecordNotFound {
+        /// Entity name.
+        entity: String,
+        /// The missing primary key.
+        id: i64,
+    },
+}
+
+impl OrmError {
+    /// Retryable in the database-driver sense (deadlock victim etc.).
+    /// Stale objects are *application-level* conflicts: the caller decides
+    /// whether to re-read and retry.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, OrmError::Db(e) if e.is_retryable())
+    }
+}
+
+impl From<DbError> for OrmError {
+    fn from(e: DbError) -> Self {
+        OrmError::Db(e)
+    }
+}
+
+impl fmt::Display for OrmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrmError::Db(e) => write!(f, "database error: {e}"),
+            OrmError::StaleObject { entity, id } => {
+                write!(f, "stale object: {entity} #{id} was updated concurrently")
+            }
+            OrmError::ValidationFailed {
+                entity,
+                column,
+                rule,
+            } => write!(f, "validation failed: {entity}.{column} violates {rule}"),
+            OrmError::UnknownEntity { entity } => write!(f, "unknown entity {entity:?}"),
+            OrmError::RecordNotFound { entity, id } => {
+                write!(f, "record not found: {entity} #{id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OrmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OrmError::Db(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_follows_db_errors() {
+        assert!(OrmError::Db(DbError::Deadlock { txn: 1 }).is_retryable());
+        assert!(!OrmError::StaleObject {
+            entity: "post".into(),
+            id: 1
+        }
+        .is_retryable());
+        assert!(!OrmError::ValidationFailed {
+            entity: "sku".into(),
+            column: "quantity".into(),
+            rule: "non_negative"
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn display_and_source() {
+        let e = OrmError::Db(DbError::Deadlock { txn: 3 });
+        assert!(e.to_string().contains("deadlock"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(
+            std::error::Error::source(&OrmError::UnknownEntity { entity: "x".into() }).is_none()
+        );
+    }
+}

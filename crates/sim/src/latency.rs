@@ -1,0 +1,156 @@
+//! Named physical costs charged by the substrates.
+//!
+//! §5.1 of the paper: "Disk I/Os and network round trips are the decisive
+//! factors" behind the order-of-magnitude latency differences between lock
+//! implementations. The substrates charge these costs at exactly the points
+//! where the real systems pay them:
+//!
+//! * the KV client charges `kv_round_trip` once per command;
+//! * the SQL session charges `sql_round_trip` once per statement issued by a
+//!   remote client;
+//! * a durable commit charges `durable_flush` (the `DB` lock's table write);
+//! * in-process work charges `in_memory_op` (close to zero).
+
+use crate::clock::Clock;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Cost constants for one deployment scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// One application-server → Redis → application-server round trip.
+    pub kv_round_trip: Duration,
+    /// One application-server → RDBMS → application-server round trip.
+    pub sql_round_trip: Duration,
+    /// Synchronous log/data flush performed by a durable commit.
+    pub durable_flush: Duration,
+    /// An in-process operation (map lookup, mutex acquire). Usually zero;
+    /// non-zero values model very slow machines in tests.
+    pub in_memory_op: Duration,
+}
+
+impl LatencyModel {
+    /// All costs zero: unit tests that only care about interleavings.
+    pub fn zero() -> Self {
+        Self {
+            kv_round_trip: Duration::ZERO,
+            sql_round_trip: Duration::ZERO,
+            durable_flush: Duration::ZERO,
+            in_memory_op: Duration::ZERO,
+        }
+    }
+
+    /// The deployment the paper evaluates: applications, Redis and the RDBMS
+    /// on separate machines connected by a 1 Gbit/s LAN, RDBMS flushing to
+    /// disk on commit. Round trips are a few hundred microseconds and a
+    /// durable flush costs milliseconds; these match the bands visible in
+    /// the paper's Figure 2 (in-memory locks ≪ 1 µs, KV/SFU locks around a
+    /// millisecond, DB-table lock tens of milliseconds).
+    pub fn paper() -> Self {
+        Self {
+            kv_round_trip: Duration::from_micros(250),
+            sql_round_trip: Duration::from_micros(300),
+            durable_flush: Duration::from_millis(10),
+            in_memory_op: Duration::ZERO,
+        }
+    }
+
+    /// A scaled-down variant for wall-clock benchmarks that need many
+    /// iterations: same *ratios* as [`LatencyModel::paper`], ten times
+    /// smaller absolute values.
+    pub fn paper_scaled_down() -> Self {
+        let p = Self::paper();
+        Self {
+            kv_round_trip: p.kv_round_trip / 10,
+            sql_round_trip: p.sql_round_trip / 10,
+            durable_flush: p.durable_flush / 10,
+            in_memory_op: Duration::ZERO,
+        }
+    }
+
+    /// Charge a cost onto a clock (blocking or advancing virtual time).
+    pub fn charge(&self, clock: &dyn Clock, cost: Cost) {
+        let d = self.duration_of(cost);
+        if !d.is_zero() {
+            clock.sleep(d);
+        }
+    }
+
+    /// Look up the duration of a named cost.
+    pub fn duration_of(&self, cost: Cost) -> Duration {
+        match cost {
+            Cost::KvRoundTrip => self.kv_round_trip,
+            Cost::SqlRoundTrip => self.sql_round_trip,
+            Cost::DurableFlush => self.durable_flush,
+            Cost::InMemoryOp => self.in_memory_op,
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+/// The named cost categories charged by substrates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cost {
+    /// One application ↔ KV-store network round trip.
+    KvRoundTrip,
+    /// One application ↔ RDBMS network round trip.
+    SqlRoundTrip,
+    /// A synchronous durable flush at commit.
+    DurableFlush,
+    /// An in-process operation (usually free).
+    InMemoryOp,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+
+    #[test]
+    fn paper_model_orders_costs_as_figure2_expects() {
+        let m = LatencyModel::paper();
+        assert!(m.in_memory_op < m.kv_round_trip);
+        assert!(m.kv_round_trip < m.durable_flush);
+        assert!(m.sql_round_trip < m.durable_flush);
+        // The flush is at least an order of magnitude above a round trip.
+        assert!(m.durable_flush >= m.sql_round_trip * 10);
+    }
+
+    #[test]
+    fn charge_advances_virtual_clock() {
+        let clock = VirtualClock::new();
+        let m = LatencyModel::paper();
+        m.charge(&clock, Cost::KvRoundTrip);
+        assert_eq!(clock.now(), m.kv_round_trip);
+        m.charge(&clock, Cost::DurableFlush);
+        assert_eq!(clock.now(), m.kv_round_trip + m.durable_flush);
+    }
+
+    #[test]
+    fn zero_model_charges_nothing() {
+        let clock = VirtualClock::new();
+        let m = LatencyModel::zero();
+        for c in [
+            Cost::KvRoundTrip,
+            Cost::SqlRoundTrip,
+            Cost::DurableFlush,
+            Cost::InMemoryOp,
+        ] {
+            m.charge(&clock, c);
+        }
+        assert_eq!(clock.now(), Duration::ZERO);
+    }
+
+    #[test]
+    fn scaled_model_preserves_ratios() {
+        let p = LatencyModel::paper();
+        let s = LatencyModel::paper_scaled_down();
+        assert_eq!(p.kv_round_trip.as_nanos() / s.kv_round_trip.as_nanos(), 10);
+        assert_eq!(p.durable_flush.as_nanos() / s.durable_flush.as_nanos(), 10);
+    }
+}

@@ -1,0 +1,27 @@
+//! Simulation substrate shared by every other crate in the workspace.
+//!
+//! The paper's evaluation (§5) attributes the order-of-magnitude latency
+//! differences between lock implementations to two physical costs: network
+//! round trips and durable disk flushes. This crate makes those costs
+//! explicit and injectable:
+//!
+//! * [`Clock`] — a time source that can either be the wall clock
+//!   ([`RealClock`], used by the multi-threaded throughput benchmarks) or a
+//!   deterministic virtual counter ([`VirtualClock`], used by unit tests and
+//!   the single-client latency benchmarks so they finish instantly).
+//! * [`LatencyModel`] — named cost constants (KV round trip, SQL round trip,
+//!   durable flush) charged by the substrates at the points where the real
+//!   systems would pay them.
+//! * [`stats`] — summary statistics used by the evaluation harness.
+//! * [`rng`] — seeded RNG construction so experiments are reproducible.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod latency;
+pub mod rng;
+pub mod stats;
+
+pub use clock::{Clock, RealClock, SharedClock, VirtualClock};
+pub use latency::LatencyModel;
+pub use stats::Summary;

@@ -1,0 +1,141 @@
+//! Summary statistics for the evaluation harness.
+//!
+//! The harness reports the same quantities the paper's figures plot:
+//! latency distributions (Figures 2 and 4), throughput (Figure 3), and the
+//! geometric mean of improvements quoted in §5.2.
+
+use std::time::Duration;
+
+/// Latency distribution summary over a batch of samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Median (50th percentile).
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Smallest sample.
+    pub min: Duration,
+    /// Largest sample.
+    pub max: Duration,
+}
+
+impl Summary {
+    /// Summarize a set of samples. Returns `None` for an empty batch.
+    pub fn from_samples(samples: &[Duration]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let total: Duration = sorted.iter().sum();
+        let pick = |q: f64| -> Duration {
+            let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+            sorted[idx]
+        };
+        Some(Self {
+            count: sorted.len(),
+            mean: total / sorted.len() as u32,
+            p50: pick(0.50),
+            p95: pick(0.95),
+            p99: pick(0.99),
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
+}
+
+/// Requests per second given a completed-request count and elapsed time.
+pub fn throughput(completed: usize, elapsed: Duration) -> f64 {
+    if elapsed.is_zero() {
+        return f64::INFINITY;
+    }
+    completed as f64 / elapsed.as_secs_f64()
+}
+
+/// Geometric mean of a set of ratios (e.g., AHT/DBT speedups).
+///
+/// Returns `None` when the input is empty or contains a non-positive ratio.
+pub fn geometric_mean(ratios: &[f64]) -> Option<f64> {
+    if ratios.is_empty() || ratios.iter().any(|r| *r <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = ratios.iter().map(|r| r.ln()).sum();
+    Some((log_sum / ratios.len() as f64).exp())
+}
+
+/// Render a duration the way the harness tables print it: µs below 1 ms,
+/// ms below 1 s, seconds above.
+pub fn fmt_duration(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1000.0 {
+        format!("{us:.2} us")
+    } else if us < 1_000_000.0 {
+        format!("{:.2} ms", us / 1000.0)
+    } else {
+        format!("{:.2} s", us / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(Summary::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_basics() {
+        let samples: Vec<Duration> = (1..=100).map(ms).collect();
+        let s = Summary::from_samples(&samples).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, ms(1));
+        assert_eq!(s.max, ms(100));
+        assert_eq!(s.mean, Duration::from_micros(50_500));
+        assert_eq!(s.p50, ms(51)); // round((99)*0.5)=50 -> sorted[50]=51ms
+        assert_eq!(s.p99, ms(99));
+    }
+
+    #[test]
+    fn summary_is_order_insensitive() {
+        let a = Summary::from_samples(&[ms(3), ms(1), ms(2)]).unwrap();
+        let b = Summary::from_samples(&[ms(1), ms(2), ms(3)]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn throughput_computes_rps() {
+        assert_eq!(throughput(500, Duration::from_secs(5)), 100.0);
+        assert!(throughput(1, Duration::ZERO).is_infinite());
+    }
+
+    #[test]
+    fn geometric_mean_matches_paper_usage() {
+        // Four equal speedups: the geomean is the speedup itself.
+        let g = geometric_mean(&[1.3, 1.3, 1.3, 1.3]).unwrap();
+        assert!((g - 1.3).abs() < 1e-12);
+        // Mixed: geomean of 2 and 0.5 is 1.
+        let g = geometric_mean(&[2.0, 0.5]).unwrap();
+        assert!((g - 1.0).abs() < 1e-12);
+        assert!(geometric_mean(&[]).is_none());
+        assert!(geometric_mean(&[1.0, -2.0]).is_none());
+    }
+
+    #[test]
+    fn fmt_duration_picks_scales() {
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 us");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -1,0 +1,413 @@
+//! The database: table registry, transaction lifecycle, commit protocol,
+//! and SSI-style commit-time certification for the PostgreSQL-like profile.
+
+use crate::engine::{AccessEvent, DbConfig, EngineProfile, IsolationLevel, StatementObserver};
+use crate::error::{DbError, TxnId};
+use crate::lock::{LockManager, LockStats};
+use crate::predicate::ValueInterval;
+use crate::schema::{Row, Schema};
+use crate::table::{CommitTs, Table};
+use crate::txn::Transaction;
+use crate::value::Value;
+use crate::Result;
+use adhoc_sim::latency::Cost;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A committed transaction's footprint, retained for SSI certification of
+/// concurrent readers (pruned once no active snapshot predates it).
+#[derive(Debug)]
+pub(crate) struct CommittedTxn {
+    pub commit_ts: CommitTs,
+    /// Rows written: (table, primary key).
+    pub rows: HashSet<(usize, i64)>,
+    /// Indexed keys touched (old and new): (table, column, key value).
+    pub keys: Vec<(usize, usize, Value)>,
+}
+
+/// Aggregate counters exposed for benches and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbStats {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted transactions (explicit, dropped, or failed).
+    pub aborts: u64,
+    /// Statements executed.
+    pub statements: u64,
+    /// First-committer/updater and certification aborts.
+    pub serialization_failures: u64,
+    /// Lock-manager counters.
+    pub lock_stats: LockStats,
+}
+
+pub(crate) struct DbInner {
+    pub config: DbConfig,
+    /// Observer installed after construction (in addition to any in the
+    /// config); used by monitors that attach to an existing database.
+    pub late_observer: parking_lot::RwLock<Option<Arc<dyn StatementObserver>>>,
+    pub tables: RwLock<Tables>,
+    pub locks: LockManager,
+    next_txn: AtomicU64,
+    pub commit_counter: AtomicU64,
+    /// Active transactions and their begin snapshots.
+    pub active: Mutex<HashMap<TxnId, CommitTs>>,
+    /// Recently committed footprints for certification, newest last.
+    pub commit_log: Mutex<VecDeque<CommittedTxn>>,
+    /// Serializes the certify→apply critical section.
+    pub commit_gate: Mutex<()>,
+    pub commits: AtomicU64,
+    pub aborts: AtomicU64,
+    pub statements: AtomicU64,
+    pub serialization_failures: AtomicU64,
+}
+
+#[derive(Default)]
+pub(crate) struct Tables {
+    pub by_name: HashMap<String, usize>,
+    pub list: Vec<Table>,
+}
+
+impl Tables {
+    pub fn resolve(&self, name: &str) -> Result<usize> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| DbError::NoSuchTable {
+                table: name.to_string(),
+            })
+    }
+
+    pub fn get(&self, id: usize) -> &Table {
+        &self.list[id]
+    }
+
+    pub fn get_mut(&mut self, id: usize) -> &mut Table {
+        &mut self.list[id]
+    }
+}
+
+/// The database handle. Cheap to clone and share across threads.
+#[derive(Clone)]
+pub struct Database {
+    pub(crate) inner: Arc<DbInner>,
+}
+
+impl Database {
+    /// A database from an explicit configuration.
+    pub fn new(config: DbConfig) -> Self {
+        let timeout = config.lock_wait_timeout;
+        Self {
+            inner: Arc::new(DbInner {
+                config,
+                late_observer: parking_lot::RwLock::new(None),
+                tables: RwLock::new(Tables::default()),
+                locks: LockManager::new(timeout),
+                next_txn: AtomicU64::new(1),
+                commit_counter: AtomicU64::new(0),
+                active: Mutex::new(HashMap::new()),
+                commit_log: Mutex::new(VecDeque::new()),
+                commit_gate: Mutex::new(()),
+                commits: AtomicU64::new(0),
+                aborts: AtomicU64::new(0),
+                statements: AtomicU64::new(0),
+                serialization_failures: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Shorthand: an in-memory database with the given profile.
+    pub fn in_memory(profile: EngineProfile) -> Self {
+        Self::new(DbConfig::in_memory(profile))
+    }
+
+    /// The configured engine profile.
+    pub fn profile(&self) -> EngineProfile {
+        self.inner.config.profile
+    }
+
+    /// The engine's default isolation level.
+    pub fn default_isolation(&self) -> IsolationLevel {
+        self.inner.config.profile.default_isolation()
+    }
+
+    /// Create a table from a schema.
+    pub fn create_table(&self, schema: Schema) -> Result<()> {
+        let mut tables = self.inner.tables.write();
+        if tables.by_name.contains_key(&schema.table) {
+            return Err(DbError::DuplicateTable {
+                table: schema.table,
+            });
+        }
+        let id = tables.list.len();
+        tables.by_name.insert(schema.table.clone(), id);
+        tables.list.push(Table::new(id, schema));
+        Ok(())
+    }
+
+    /// A clone of a table's schema.
+    pub fn schema(&self, table: &str) -> Result<Schema> {
+        let tables = self.inner.tables.read();
+        let id = tables.resolve(table)?;
+        Ok(tables.get(id).schema.clone())
+    }
+
+    /// Begin a transaction at the engine's default isolation level.
+    pub fn begin(&self) -> Transaction {
+        self.begin_with(self.default_isolation())
+    }
+
+    /// Begin a transaction at an explicit isolation level.
+    pub fn begin_with(&self, iso: IsolationLevel) -> Transaction {
+        let id = self.inner.next_txn.fetch_add(1, Ordering::SeqCst);
+        // Snapshot assignment and registration are atomic with respect to
+        // [`log_commit`]'s pruning (both hold the `active` lock): a
+        // transaction is always registered before any entry newer than its
+        // snapshot can be pruned, so certification never misses a conflict.
+        let snapshot = {
+            let mut active = self.inner.active.lock();
+            let snapshot = self.inner.commit_counter.load(Ordering::SeqCst);
+            active.insert(id, snapshot);
+            snapshot
+        };
+        Transaction::new(self.clone(), id, iso, snapshot)
+    }
+
+    /// Run a closure inside a transaction, committing on `Ok` and aborting
+    /// on `Err`. No retry: callers handle retryable errors themselves
+    /// (that choice is exactly what §3.4 of the paper catalogs).
+    pub fn run<R>(
+        &self,
+        iso: IsolationLevel,
+        f: impl FnOnce(&mut Transaction) -> Result<R>,
+    ) -> Result<R> {
+        let mut txn = self.begin_with(iso);
+        match f(&mut txn) {
+            Ok(r) => {
+                txn.commit()?;
+                Ok(r)
+            }
+            Err(e) => {
+                txn.abort();
+                Err(e)
+            }
+        }
+    }
+
+    /// Like [`run`](Self::run), retrying on retryable errors (deadlock /
+    /// serialization failure / lock timeout) up to `max_retries` times.
+    pub fn run_with_retries<R>(
+        &self,
+        iso: IsolationLevel,
+        max_retries: usize,
+        mut f: impl FnMut(&mut Transaction) -> Result<R>,
+    ) -> Result<R> {
+        let mut attempt: u32 = 0;
+        loop {
+            match self.run(iso, &mut f) {
+                Err(e) if e.is_retryable() && (attempt as usize) < max_retries => {
+                    attempt += 1;
+                    // Exponential backoff (capped) so symmetric deadlock
+                    // victims don't re-collide forever; stagger by thread.
+                    let base = std::time::Duration::from_micros(50);
+                    let shift = attempt.min(6);
+                    let jitter = {
+                        use std::collections::hash_map::RandomState;
+                        use std::hash::{BuildHasher, Hasher};
+                        let mut h = RandomState::new().build_hasher();
+                        h.write_u64(attempt as u64);
+                        (h.finish() % 64) as u32
+                    };
+                    std::thread::sleep(base * (1u32 << shift) / 8 + base * jitter / 16);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Allocate a session id for session-scoped advisory locks (the
+    /// PostgreSQL "explicit user locks" of §6 / Table 7a). The id shares
+    /// the transaction-id space so the lock manager's deadlock detector
+    /// covers advisory waits too.
+    pub fn new_session(&self) -> SessionId {
+        SessionId(self.inner.next_txn.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// Blockingly acquire a session-scoped advisory lock.
+    pub fn advisory_lock(&self, session: SessionId, key: i64) -> Result<()> {
+        self.inner.locks.lock_advisory(session.0, key)
+    }
+
+    /// Try to acquire a session-scoped advisory lock without blocking.
+    pub fn try_advisory_lock(&self, session: SessionId, key: i64) -> bool {
+        self.inner.locks.try_lock_advisory(session.0, key)
+    }
+
+    /// Release one level of a session-scoped advisory lock.
+    pub fn advisory_unlock(&self, session: SessionId, key: i64) -> bool {
+        self.inner.locks.unlock_advisory(session.0, key)
+    }
+
+    /// Release everything a session holds (disconnect).
+    pub fn end_session(&self, session: SessionId) {
+        self.inner.locks.release_all(session.0);
+    }
+
+    /// The latest committed version of a row, outside any transaction.
+    /// Used by consistency checkers ("fsck", §3.4.2) and tests.
+    pub fn latest_committed(&self, table: &str, id: i64) -> Result<Option<Row>> {
+        let tables = self.inner.tables.read();
+        let tid = tables.resolve(table)?;
+        Ok(tables.get(tid).chain(id).and_then(|c| c.latest()).cloned())
+    }
+
+    /// All live rows of a table (latest committed versions), for checkers.
+    pub fn dump_table(&self, table: &str) -> Result<Vec<(i64, Row)>> {
+        let tables = self.inner.tables.read();
+        let tid = tables.resolve(table)?;
+        let t = tables.get(tid);
+        Ok(t.all_ids()
+            .into_iter()
+            .filter_map(|id| {
+                t.chain(id)
+                    .and_then(|c| c.latest())
+                    .map(|r| (id, r.clone()))
+            })
+            .collect())
+    }
+
+    /// Simulate an RDBMS crash: every active transaction is forgotten and
+    /// its locks released; committed state survives (it was durable).
+    /// Client-side `Transaction` handles become zombies whose commit fails
+    /// with [`DbError::TxnNotActive`] — the "connection lost" exception the
+    /// paper's §3.4.2 describes drivers throwing.
+    pub fn simulate_crash(&self) {
+        let ids: Vec<TxnId> = self.inner.active.lock().drain().map(|(id, _)| id).collect();
+        for id in ids {
+            self.inner.locks.release_all(id);
+        }
+        self.inner.commit_log.lock().clear();
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> DbStats {
+        DbStats {
+            commits: self.inner.commits.load(Ordering::Relaxed),
+            aborts: self.inner.aborts.load(Ordering::Relaxed),
+            statements: self.inner.statements.load(Ordering::Relaxed),
+            serialization_failures: self.inner.serialization_failures.load(Ordering::Relaxed),
+            lock_stats: self.inner.locks.stats(),
+        }
+    }
+
+    /// Direct access to the lock manager (used by the toolkit crate for
+    /// explicit lock hints and by tests).
+    pub(crate) fn locks(&self) -> &LockManager {
+        &self.inner.locks
+    }
+
+    /// Attach (or replace) a statement observer on a live database.
+    pub fn attach_observer(&self, observer: Arc<dyn StatementObserver>) {
+        *self.inner.late_observer.write() = Some(observer);
+    }
+
+    /// Deliver an access event to any installed observers.
+    pub(crate) fn observe(&self, event: AccessEvent) {
+        if let Some(obs) = &self.inner.config.observer {
+            obs.on_event(&event);
+        }
+        if let Some(obs) = self.inner.late_observer.read().as_ref() {
+            obs.on_event(&event);
+        }
+    }
+
+    /// Charge one client↔server round trip.
+    pub(crate) fn charge_statement(&self) {
+        self.inner.statements.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .config
+            .latency
+            .charge(&*self.inner.config.clock, Cost::SqlRoundTrip);
+    }
+
+    /// Charge the durable-commit flush (only when configured durable).
+    pub(crate) fn charge_flush(&self) {
+        if self.inner.config.durable {
+            self.inner
+                .config
+                .latency
+                .charge(&*self.inner.config.clock, Cost::DurableFlush);
+        }
+    }
+
+    /// Certify a PostgreSQL-like Serializable transaction against the
+    /// commit log: abort when any transaction that committed after our
+    /// snapshot wrote a row we read or touched an indexed key inside a
+    /// range we scanned (rw-antidependency; backward validation).
+    pub(crate) fn certify(
+        &self,
+        txn: TxnId,
+        snapshot: CommitTs,
+        read_rows: &HashSet<(usize, i64)>,
+        read_ranges: &[(usize, usize, ValueInterval)],
+    ) -> Result<()> {
+        let log = self.inner.commit_log.lock();
+        for committed in log.iter().rev() {
+            if committed.commit_ts <= snapshot {
+                break;
+            }
+            if committed.rows.iter().any(|r| read_rows.contains(r)) {
+                return Err(DbError::SerializationFailure {
+                    txn,
+                    reason: "rw-antidependency on a read row".into(),
+                });
+            }
+            for (table, column, key) in &committed.keys {
+                if read_ranges
+                    .iter()
+                    .any(|(t, c, iv)| t == table && c == column && iv.contains(key))
+                {
+                    return Err(DbError::SerializationFailure {
+                        txn,
+                        reason: "rw-antidependency on a scanned range".into(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Append a committed footprint and prune entries no active snapshot
+    /// can still conflict with.
+    pub(crate) fn log_commit(&self, entry: CommittedTxn) {
+        // Hold the `active` lock across the prune decision so no new
+        // transaction can register an older snapshot concurrently (see
+        // [`begin_with`]). Lock order: active -> commit_log, nowhere
+        // reversed.
+        let active = self.inner.active.lock();
+        let min_snapshot = active.values().copied().min().unwrap_or(entry.commit_ts);
+        let mut log = self.inner.commit_log.lock();
+        log.push_back(entry);
+        while log
+            .front()
+            .map(|e| e.commit_ts <= min_snapshot)
+            .unwrap_or(false)
+        {
+            log.pop_front();
+        }
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("profile", &self.inner.config.profile)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Opaque session identifier for advisory locks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId(pub(crate) TxnId);

@@ -1,0 +1,218 @@
+//! Engine profiles and isolation levels.
+
+use adhoc_sim::{LatencyModel, RealClock, SharedClock};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A data-access event, delivered synchronously on the issuing thread.
+///
+/// The hook behind the §6 "development support tools": external monitors
+/// (see `adhoc-core`'s `monitor` module) subscribe to reconstruct each
+/// request's access trace and flag suspicious coordination patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessEvent {
+    /// A row was returned by a read (point read, scan hit, locking read).
+    Read {
+        /// Issuing transaction.
+        txn: u64,
+        /// Table name.
+        table: String,
+        /// Primary key read.
+        row: i64,
+        /// Whether the read itself acquired an exclusive engine lock
+        /// (`SELECT … FOR UPDATE`).
+        locking: bool,
+    },
+    /// A row was inserted, updated or deleted (buffered until commit).
+    Write {
+        /// Issuing transaction.
+        txn: u64,
+        /// Table name.
+        table: String,
+        /// Primary key written.
+        row: i64,
+    },
+    /// The transaction committed.
+    Committed {
+        /// The committing transaction.
+        txn: u64,
+    },
+    /// The transaction aborted (explicitly, by error, or on drop).
+    Aborted {
+        /// The aborting transaction.
+        txn: u64,
+    },
+}
+
+/// Receives [`AccessEvent`]s. Implementations must be cheap and re-entrant;
+/// they run inline on the statement path.
+pub trait StatementObserver: Send + Sync {
+    /// Receive one event, synchronously on the issuing thread.
+    fn on_event(&self, event: &AccessEvent);
+}
+
+/// Which real-world engine's concurrency-control behaviour to emulate.
+///
+/// §3.1.1 of the paper shows the same application code behaving differently
+/// on MySQL and PostgreSQL; both profiles are first-class here so every
+/// experiment can run on the engine the paper used (Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineProfile {
+    /// InnoDB-style: 2PL with record + gap locks; non-locking snapshot
+    /// reads below Serializable; shared locking reads at Serializable.
+    MySqlLike,
+    /// PostgreSQL-style: MVCC snapshots; first-committer-wins under
+    /// Repeatable Read (Snapshot Isolation); commit-time certification
+    /// under Serializable (SSI-flavoured).
+    PostgresLike,
+}
+
+impl EngineProfile {
+    /// The default isolation level of the emulated engine (§2.1, footnote 2:
+    /// "MySQL defaults to Repeatable Read; PostgreSQL defaults to Read
+    /// Committed").
+    pub fn default_isolation(self) -> IsolationLevel {
+        match self {
+            EngineProfile::MySqlLike => IsolationLevel::RepeatableRead,
+            EngineProfile::PostgresLike => IsolationLevel::ReadCommitted,
+        }
+    }
+
+    /// Human-readable profile name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineProfile::MySqlLike => "MySQL-like",
+            EngineProfile::PostgresLike => "PostgreSQL-like",
+        }
+    }
+}
+
+/// ANSI isolation levels supported by both profiles.
+///
+/// Read Uncommitted is omitted: neither the paper nor the studied
+/// applications use it, and PostgreSQL treats it as Read Committed anyway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IsolationLevel {
+    /// Per-statement snapshots; no lost-update protection.
+    ReadCommitted,
+    /// Transaction-wide snapshot (Snapshot Isolation on the
+    /// PostgreSQL-like profile).
+    RepeatableRead,
+    /// Full serializability (locking reads on MySQL-like, SSI-style
+    /// certification on PostgreSQL-like).
+    Serializable,
+}
+
+impl IsolationLevel {
+    /// Human-readable level name.
+    pub fn name(self) -> &'static str {
+        match self {
+            IsolationLevel::ReadCommitted => "Read Committed",
+            IsolationLevel::RepeatableRead => "Repeatable Read",
+            IsolationLevel::Serializable => "Serializable",
+        }
+    }
+}
+
+/// Database configuration.
+#[derive(Clone)]
+pub struct DbConfig {
+    /// Which engine's concurrency control to emulate.
+    pub profile: EngineProfile,
+    /// Time source for lock waits and latency charging.
+    pub clock: SharedClock,
+    /// Physical costs charged per statement / commit.
+    pub latency: LatencyModel,
+    /// Commits charge a durable flush when true.
+    pub durable: bool,
+    /// Upper bound on any single lock wait before `LockWaitTimeout`.
+    pub lock_wait_timeout: Duration,
+    /// Optional statement observer (access-trace monitoring).
+    pub observer: Option<Arc<dyn StatementObserver>>,
+}
+
+impl DbConfig {
+    /// In-process test configuration: no latency charges, generous timeout.
+    pub fn in_memory(profile: EngineProfile) -> Self {
+        Self {
+            profile,
+            clock: RealClock::shared(),
+            latency: LatencyModel::zero(),
+            durable: false,
+            lock_wait_timeout: Duration::from_secs(10),
+            observer: None,
+        }
+    }
+
+    /// The paper's deployment: remote RDBMS, durable commits.
+    pub fn networked(profile: EngineProfile, clock: SharedClock, latency: LatencyModel) -> Self {
+        Self {
+            profile,
+            clock,
+            latency,
+            durable: true,
+            lock_wait_timeout: Duration::from_secs(10),
+            observer: None,
+        }
+    }
+
+    /// Override the lock-wait timeout.
+    pub fn with_lock_wait_timeout(mut self, timeout: Duration) -> Self {
+        self.lock_wait_timeout = timeout;
+        self
+    }
+
+    /// Attach a statement observer.
+    pub fn with_observer(mut self, observer: Arc<dyn StatementObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+}
+
+impl std::fmt::Debug for DbConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbConfig")
+            .field("profile", &self.profile)
+            .field("latency", &self.latency)
+            .field("durable", &self.durable)
+            .field("lock_wait_timeout", &self.lock_wait_timeout)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_defaults_match_paper_footnote() {
+        assert_eq!(
+            EngineProfile::MySqlLike.default_isolation(),
+            IsolationLevel::RepeatableRead
+        );
+        assert_eq!(
+            EngineProfile::PostgresLike.default_isolation(),
+            IsolationLevel::ReadCommitted
+        );
+    }
+
+    #[test]
+    fn isolation_levels_are_ordered_by_strength() {
+        assert!(IsolationLevel::ReadCommitted < IsolationLevel::RepeatableRead);
+        assert!(IsolationLevel::RepeatableRead < IsolationLevel::Serializable);
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = DbConfig::in_memory(EngineProfile::MySqlLike)
+            .with_lock_wait_timeout(Duration::from_millis(50));
+        assert_eq!(c.lock_wait_timeout, Duration::from_millis(50));
+        assert!(!c.durable);
+        let n = DbConfig::networked(
+            EngineProfile::PostgresLike,
+            RealClock::shared(),
+            LatencyModel::paper(),
+        );
+        assert!(n.durable);
+    }
+}

@@ -1,0 +1,219 @@
+//! Error types surfaced by the storage engine.
+//!
+//! The variants mirror the failure modes the paper discusses: deadlock
+//! victims (§3.3.1), snapshot-isolation serialization failures (§3.1.1),
+//! SSI certification aborts (§5.2), and lock-wait timeouts. Application
+//! code in `adhoc-apps` matches on these to drive its retry loops exactly
+//! as the studied applications match on driver exceptions.
+
+use crate::value::ColumnType;
+use std::fmt;
+
+/// Transaction identifier (monotonically assigned).
+pub type TxnId = u64;
+
+/// Every error the engine can surface to a client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// The engine chose this transaction as a deadlock victim
+    /// (MySQL error 1213 / PostgreSQL 40P01).
+    Deadlock {
+        /// The victim transaction.
+        txn: TxnId,
+    },
+    /// Snapshot-isolation first-committer-wins or SSI certification failure
+    /// (PostgreSQL 40001 "could not serialize access").
+    SerializationFailure {
+        /// The aborted transaction.
+        txn: TxnId,
+        /// Human-readable conflict description.
+        reason: String,
+    },
+    /// A lock wait exceeded the configured timeout (MySQL error 1205).
+    LockWaitTimeout {
+        /// The timed-out transaction.
+        txn: TxnId,
+    },
+    /// Statement issued on a transaction that already committed or aborted.
+    TxnNotActive {
+        /// The inactive transaction.
+        txn: TxnId,
+    },
+    /// Unique index violation.
+    UniqueViolation {
+        /// Table owning the unique index.
+        table: String,
+        /// Indexed column.
+        column: String,
+        /// The duplicated value (rendered).
+        value: String,
+    },
+    /// The named table does not exist.
+    NoSuchTable {
+        /// Requested table name.
+        table: String,
+    },
+    /// The named column does not exist on the table.
+    NoSuchColumn {
+        /// Table name.
+        table: String,
+        /// Requested column name.
+        column: String,
+    },
+    /// `CREATE TABLE` with an existing name.
+    DuplicateTable {
+        /// The already-taken name.
+        table: String,
+    },
+    /// A schema declared the same column twice.
+    DuplicateColumn {
+        /// Table name.
+        table: String,
+        /// The repeated column name.
+        column: String,
+    },
+    /// A point operation addressed a missing row.
+    NoSuchRow {
+        /// Table name.
+        table: String,
+        /// Requested primary key.
+        id: i64,
+    },
+    /// A row literal has the wrong number of values for its schema.
+    ArityMismatch {
+        /// Table name.
+        table: String,
+        /// Columns in the schema.
+        expected: usize,
+        /// Values supplied.
+        found: usize,
+    },
+    /// A value's type does not match the column declaration.
+    TypeMismatch {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+        /// Declared column type.
+        expected: ColumnType,
+        /// Supplied value's type (`None` for NULL).
+        found: Option<ColumnType>,
+    },
+    /// NULL supplied for a non-nullable column.
+    NotNullViolation {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// Scan predicate references a column without an index where one is
+    /// required (locking scans need an index to derive gap intervals).
+    NoIndex {
+        /// Table name.
+        table: String,
+        /// Column lacking an index.
+        column: String,
+    },
+    /// A savepoint name was not found in this transaction.
+    NoSuchSavepoint {
+        /// Requested savepoint name.
+        name: String,
+    },
+}
+
+impl DbError {
+    /// True for errors that a client is expected to handle by retrying the
+    /// whole transaction (the paper's "failure handling" category, §3.4).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            DbError::Deadlock { .. }
+                | DbError::SerializationFailure { .. }
+                | DbError::LockWaitTimeout { .. }
+        )
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Deadlock { txn } => write!(f, "deadlock detected; txn {txn} chosen as victim"),
+            DbError::SerializationFailure { txn, reason } => {
+                write!(f, "could not serialize access (txn {txn}): {reason}")
+            }
+            DbError::LockWaitTimeout { txn } => write!(f, "lock wait timeout (txn {txn})"),
+            DbError::TxnNotActive { txn } => write!(f, "transaction {txn} is not active"),
+            DbError::UniqueViolation {
+                table,
+                column,
+                value,
+            } => write!(f, "unique violation on {table}.{column} = {value}"),
+            DbError::NoSuchTable { table } => write!(f, "no such table {table:?}"),
+            DbError::NoSuchColumn { table, column } => {
+                write!(f, "no such column {table}.{column}")
+            }
+            DbError::DuplicateTable { table } => write!(f, "table {table:?} already exists"),
+            DbError::DuplicateColumn { table, column } => {
+                write!(f, "duplicate column {table}.{column}")
+            }
+            DbError::NoSuchRow { table, id } => write!(f, "no row {id} in {table}"),
+            DbError::ArityMismatch {
+                table,
+                expected,
+                found,
+            } => write!(f, "row for {table} has {found} values, expected {expected}"),
+            DbError::TypeMismatch {
+                table,
+                column,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type mismatch on {table}.{column}: expected {expected}, found {found:?}"
+            ),
+            DbError::NotNullViolation { table, column } => {
+                write!(f, "NULL in non-nullable column {table}.{column}")
+            }
+            DbError::NoIndex { table, column } => {
+                write!(f, "no index on {table}.{column}")
+            }
+            DbError::NoSuchSavepoint { name } => write!(f, "no such savepoint {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_classification_matches_drivers() {
+        assert!(DbError::Deadlock { txn: 1 }.is_retryable());
+        assert!(DbError::SerializationFailure {
+            txn: 1,
+            reason: "ww".into()
+        }
+        .is_retryable());
+        assert!(DbError::LockWaitTimeout { txn: 1 }.is_retryable());
+        assert!(!DbError::NoSuchTable { table: "t".into() }.is_retryable());
+        assert!(!DbError::UniqueViolation {
+            table: "t".into(),
+            column: "c".into(),
+            value: "v".into()
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = DbError::SerializationFailure {
+            txn: 7,
+            reason: "concurrent update".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("serialize"));
+        assert!(s.contains('7'));
+    }
+}

@@ -1,0 +1,962 @@
+//! Transactions and the statement API.
+//!
+//! Statement semantics vary by engine profile and isolation level exactly
+//! where the paper's arguments need them to (the matrix is spelled out on
+//! each method). Writes buffer in a per-transaction write set; record locks
+//! are taken at statement time (strict 2PL) and released at commit/abort.
+
+use crate::db::{CommittedTxn, Database};
+use crate::engine::{AccessEvent, EngineProfile, IsolationLevel};
+use crate::error::{DbError, TxnId};
+use crate::lock::LockMode;
+use crate::predicate::{Predicate, ValueInterval};
+use crate::schema::{row_from_pairs, Row, Schema};
+use crate::table::CommitTs;
+use crate::value::Value;
+use crate::Result;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::Ordering;
+
+/// One buffered write: `row = None` is a deletion.
+#[derive(Debug, Clone)]
+struct Pending {
+    table: usize,
+    id: i64,
+    row: Option<Row>,
+}
+
+/// How a scan found its candidates, and the interval gap/SSI tracking uses.
+struct ScanPlan {
+    ids: Vec<i64>,
+    /// Column position the interval ranges over (primary key for full and
+    /// pk scans) and the next-key-widened interval.
+    gap_column: usize,
+    gap: ValueInterval,
+}
+
+/// An open transaction. Single-threaded by design (`&mut self` statements);
+/// share the [`Database`] handle across threads, not the transaction.
+///
+/// Dropping an active transaction aborts it.
+pub struct Transaction {
+    db: Database,
+    id: TxnId,
+    iso: IsolationLevel,
+    snapshot: CommitTs,
+    pending: Vec<Pending>,
+    read_rows: HashSet<(usize, i64)>,
+    read_ranges: Vec<(usize, usize, ValueInterval)>,
+    savepoints: Vec<(String, usize)>,
+    active: bool,
+}
+
+impl Transaction {
+    pub(crate) fn new(db: Database, id: TxnId, iso: IsolationLevel, snapshot: CommitTs) -> Self {
+        Self {
+            db,
+            id,
+            iso,
+            snapshot,
+            pending: Vec::new(),
+            read_rows: HashSet::new(),
+            read_ranges: Vec::new(),
+            savepoints: Vec::new(),
+            active: true,
+        }
+    }
+
+    /// This transaction's id.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// The isolation level the transaction runs at.
+    pub fn isolation(&self) -> IsolationLevel {
+        self.iso
+    }
+
+    /// True while the transaction can still issue statements.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// True when the transaction has buffered writes.
+    pub fn has_writes(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    fn profile(&self) -> EngineProfile {
+        self.db.profile()
+    }
+
+    fn observe_read(&self, table: &str, row: i64, locking: bool) {
+        self.db.observe(AccessEvent::Read {
+            txn: self.id,
+            table: table.to_string(),
+            row,
+            locking,
+        });
+    }
+
+    fn observe_write(&self, table: &str, row: i64) {
+        self.db.observe(AccessEvent::Write {
+            txn: self.id,
+            table: table.to_string(),
+            row,
+        });
+    }
+
+    fn ensure_active(&self) -> Result<()> {
+        if self.active {
+            Ok(())
+        } else {
+            Err(DbError::TxnNotActive { txn: self.id })
+        }
+    }
+
+    /// Snapshot a statement reads at: Read Committed refreshes per
+    /// statement; higher levels pin the begin snapshot.
+    fn stmt_snapshot(&self) -> CommitTs {
+        if self.iso == IsolationLevel::ReadCommitted {
+            self.db.inner.commit_counter.load(Ordering::SeqCst)
+        } else {
+            self.snapshot
+        }
+    }
+
+    /// Newest pending write for a row, if any. `Some(None)` = deleted.
+    fn pending_row(&self, table: usize, id: i64) -> Option<Option<&Row>> {
+        self.pending
+            .iter()
+            .rev()
+            .find(|p| p.table == table && p.id == id)
+            .map(|p| p.row.as_ref())
+    }
+
+    fn resolve(&self, table: &str) -> Result<(usize, Schema)> {
+        let tables = self.db.inner.tables.read();
+        let tid = tables.resolve(table)?;
+        Ok((tid, tables.get(tid).schema.clone()))
+    }
+
+    /// Plan a scan against the latest committed index state.
+    fn plan(&self, tid: usize, schema: &Schema, pred: &Predicate) -> Result<ScanPlan> {
+        let tables = self.db.inner.tables.read();
+        let t = tables.get(tid);
+        if let Some((col_name, interval)) = pred.index_column() {
+            let col = schema.column_index(col_name)?;
+            if col == schema.primary_key {
+                let ids = t.pk_candidates(&interval);
+                let (prev, next) = t.pk_neighbors(&interval);
+                return Ok(ScanPlan {
+                    ids,
+                    gap_column: col,
+                    gap: interval.widen_to_gap(prev, next),
+                });
+            }
+            if t.index_on(col).is_some() {
+                let ids = t.index_candidates(col, &interval)?;
+                let (prev, next) = t.index_neighbors(col, &interval)?;
+                return Ok(ScanPlan {
+                    ids,
+                    gap_column: col,
+                    gap: interval.widen_to_gap(prev, next),
+                });
+            }
+        }
+        // Full scan: ranges over the whole primary-key space.
+        Ok(ScanPlan {
+            ids: t.all_ids(),
+            gap_column: schema.primary_key,
+            gap: ValueInterval::all(),
+        })
+    }
+
+    /// `SELECT * FROM table WHERE pk = id` (plain read).
+    ///
+    /// * MySQL-like Serializable: shared-locking read of the latest
+    ///   committed version (InnoDB turns plain reads into `LOCK IN SHARE
+    ///   MODE` — the ingredient of the §3.3.1 RMW deadlock).
+    /// * Anything else: non-locking snapshot read (statement snapshot under
+    ///   Read Committed, transaction snapshot above).
+    /// * PostgreSQL-like Serializable additionally records the row in the
+    ///   SSI read set.
+    pub fn get(&mut self, table: &str, id: i64) -> Result<Option<Row>> {
+        let result = self.get_inner(table, id)?;
+        if result.is_some() {
+            self.observe_read(table, id, false);
+        }
+        Ok(result)
+    }
+
+    fn get_inner(&mut self, table: &str, id: i64) -> Result<Option<Row>> {
+        self.ensure_active()?;
+        self.db.charge_statement();
+        let (tid, _schema) = self.resolve(table)?;
+        if let Some(p) = self.pending_row(tid, id) {
+            return Ok(p.cloned());
+        }
+        match (self.profile(), self.iso) {
+            (EngineProfile::MySqlLike, IsolationLevel::Serializable) => {
+                self.db
+                    .locks()
+                    .lock_record(self.id, tid, id, LockMode::Shared)?;
+                let tables = self.db.inner.tables.read();
+                Ok(tables.get(tid).chain(id).and_then(|c| c.latest()).cloned())
+            }
+            (profile, iso) => {
+                if profile == EngineProfile::PostgresLike && iso == IsolationLevel::Serializable {
+                    self.read_rows.insert((tid, id));
+                }
+                let snap = self.stmt_snapshot();
+                let tables = self.db.inner.tables.read();
+                Ok(tables
+                    .get(tid)
+                    .chain(id)
+                    .and_then(|c| c.visible(snap))
+                    .cloned())
+            }
+        }
+    }
+
+    /// `SELECT * FROM table WHERE pred` (plain scan). Same matrix as
+    /// [`get`](Self::get); MySQL-like Serializable additionally takes a gap
+    /// (next-key) lock over the scanned index interval, and
+    /// PostgreSQL-like Serializable records the interval in the SSI read
+    /// set — both at the gap granularity §3.3.2 describes.
+    pub fn scan(&mut self, table: &str, pred: &Predicate) -> Result<Vec<(i64, Row)>> {
+        self.ensure_active()?;
+        self.db.charge_statement();
+        let (tid, schema) = self.resolve(table)?;
+        let plan = self.plan(tid, &schema, pred)?;
+
+        let mut matched: BTreeMap<i64, Row> = BTreeMap::new();
+        if self.profile() == EngineProfile::MySqlLike && self.iso == IsolationLevel::Serializable {
+            for id in &plan.ids {
+                self.db
+                    .locks()
+                    .lock_record(self.id, tid, *id, LockMode::Shared)?;
+            }
+            self.db
+                .locks()
+                .lock_gap(self.id, tid, plan.gap_column, plan.gap.clone());
+            let tables = self.db.inner.tables.read();
+            let t = tables.get(tid);
+            for id in &plan.ids {
+                if let Some(row) = t.chain(*id).and_then(|c| c.latest()) {
+                    if pred.matches(&schema, row)? {
+                        matched.insert(*id, row.clone());
+                    }
+                }
+            }
+        } else {
+            if self.profile() == EngineProfile::PostgresLike
+                && self.iso == IsolationLevel::Serializable
+            {
+                self.read_ranges
+                    .push((tid, plan.gap_column, plan.gap.clone()));
+            }
+            let snap = self.stmt_snapshot();
+            let tables = self.db.inner.tables.read();
+            let t = tables.get(tid);
+            for id in &plan.ids {
+                if let Some(row) = t.chain(*id).and_then(|c| c.visible(snap)) {
+                    if pred.matches(&schema, row)? {
+                        if self.profile() == EngineProfile::PostgresLike
+                            && self.iso == IsolationLevel::Serializable
+                        {
+                            self.read_rows.insert((tid, *id));
+                        }
+                        matched.insert(*id, row.clone());
+                    }
+                }
+            }
+        }
+        self.overlay(tid, &schema, pred, &mut matched)?;
+        for id in matched.keys() {
+            self.observe_read(table, *id, false);
+        }
+        Ok(matched.into_iter().collect())
+    }
+
+    /// Apply this transaction's own pending writes on top of a scan result.
+    fn overlay(
+        &self,
+        tid: usize,
+        schema: &Schema,
+        pred: &Predicate,
+        matched: &mut BTreeMap<i64, Row>,
+    ) -> Result<()> {
+        for p in &self.pending {
+            if p.table != tid {
+                continue;
+            }
+            match &p.row {
+                Some(row) if pred.matches(schema, row)? => {
+                    matched.insert(p.id, row.clone());
+                }
+                _ => {
+                    matched.remove(&p.id);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Point read at Read Committed regardless of the transaction's own
+    /// isolation level — the "per-operation isolation" hint of Table 7a
+    /// (SQL Server's `READCOMMITTED` table hint inside a snapshot
+    /// transaction). Reads the latest committed version without locking
+    /// and without entering the SSI read set: the caller explicitly opts
+    /// this access out of coordination (§3.1.1's partial coordination).
+    pub fn get_read_committed(&mut self, table: &str, id: i64) -> Result<Option<Row>> {
+        self.ensure_active()?;
+        self.db.charge_statement();
+        let (tid, _schema) = self.resolve(table)?;
+        if let Some(p) = self.pending_row(tid, id) {
+            return Ok(p.cloned());
+        }
+        let result = {
+            let tables = self.db.inner.tables.read();
+            tables.get(tid).chain(id).and_then(|c| c.latest()).cloned()
+        };
+        if result.is_some() {
+            self.observe_read(table, id, false);
+        }
+        Ok(result)
+    }
+
+    /// `SELECT … FOR UPDATE`: exclusive-locking read of the latest
+    /// committed versions.
+    ///
+    /// * MySQL-like at Repeatable Read and above: also takes the next-key
+    ///   gap lock over the scanned interval.
+    /// * PostgreSQL-like at Repeatable Read and above: fails with a
+    ///   serialization error when a matched row was updated since the
+    ///   transaction snapshot (first-updater-wins).
+    pub fn select_for_update(&mut self, table: &str, pred: &Predicate) -> Result<Vec<(i64, Row)>> {
+        self.ensure_active()?;
+        self.db.charge_statement();
+        let (tid, schema) = self.resolve(table)?;
+        let plan = self.plan(tid, &schema, pred)?;
+        for id in &plan.ids {
+            self.db
+                .locks()
+                .lock_record(self.id, tid, *id, LockMode::Exclusive)?;
+        }
+        if self.profile() == EngineProfile::MySqlLike && self.iso >= IsolationLevel::RepeatableRead
+        {
+            self.db
+                .locks()
+                .lock_gap(self.id, tid, plan.gap_column, plan.gap.clone());
+        }
+        if self.profile() == EngineProfile::PostgresLike && self.iso == IsolationLevel::Serializable
+        {
+            self.read_ranges
+                .push((tid, plan.gap_column, plan.gap.clone()));
+        }
+        let mut matched: BTreeMap<i64, Row> = BTreeMap::new();
+        {
+            let tables = self.db.inner.tables.read();
+            let t = tables.get(tid);
+            for id in &plan.ids {
+                let Some(chain) = t.chain(*id) else { continue };
+                let Some(row) = chain.latest() else { continue };
+                if !pred.matches(&schema, row)? {
+                    continue;
+                }
+                if self.profile() == EngineProfile::PostgresLike
+                    && self.iso >= IsolationLevel::RepeatableRead
+                    && chain.latest_ts() > self.snapshot
+                    && self.pending_row(tid, *id).is_none()
+                {
+                    return Err(self.serialization_failure("row updated since snapshot"));
+                }
+                if self.profile() == EngineProfile::PostgresLike
+                    && self.iso == IsolationLevel::Serializable
+                {
+                    self.read_rows.insert((tid, *id));
+                }
+                matched.insert(*id, row.clone());
+            }
+        }
+        self.overlay(tid, &schema, pred, &mut matched)?;
+        for id in matched.keys() {
+            self.observe_read(table, *id, true);
+        }
+        Ok(matched.into_iter().collect())
+    }
+
+    /// Point-read `FOR UPDATE` by primary key.
+    pub fn get_for_update(&mut self, table: &str, id: i64) -> Result<Option<Row>> {
+        let result = self.get_for_update_inner(table, id)?;
+        if result.is_some() {
+            self.observe_read(table, id, true);
+        }
+        Ok(result)
+    }
+
+    fn get_for_update_inner(&mut self, table: &str, id: i64) -> Result<Option<Row>> {
+        self.ensure_active()?;
+        self.db.charge_statement();
+        let (tid, _schema) = self.resolve(table)?;
+        self.db
+            .locks()
+            .lock_record(self.id, tid, id, LockMode::Exclusive)?;
+        if let Some(p) = self.pending_row(tid, id) {
+            return Ok(p.cloned());
+        }
+        let tables = self.db.inner.tables.read();
+        let chain = tables.get(tid).chain(id);
+        if let Some(chain) = chain {
+            if self.profile() == EngineProfile::PostgresLike
+                && self.iso >= IsolationLevel::RepeatableRead
+                && chain.latest_ts() > self.snapshot
+                && chain.latest().is_some()
+            {
+                return Err(self.serialization_failure("row updated since snapshot"));
+            }
+            if self.profile() == EngineProfile::PostgresLike
+                && self.iso == IsolationLevel::Serializable
+            {
+                drop(tables);
+                self.read_rows.insert((tid, id));
+                let tables = self.db.inner.tables.read();
+                return Ok(tables.get(tid).chain(id).and_then(|c| c.latest()).cloned());
+            }
+            return Ok(chain.latest().cloned());
+        }
+        Ok(None)
+    }
+
+    fn serialization_failure(&self, reason: &str) -> DbError {
+        self.db
+            .inner
+            .serialization_failures
+            .fetch_add(1, Ordering::Relaxed);
+        DbError::SerializationFailure {
+            txn: self.id,
+            reason: reason.to_string(),
+        }
+    }
+
+    /// `INSERT INTO table (…) VALUES (…)`. Auto-assigns the primary key
+    /// when omitted or NULL; returns the key.
+    ///
+    /// MySQL-like profile: the insert waits on other transactions' gap
+    /// locks covering any of the new row's indexed keys (insert-intention
+    /// semantics, the blocking side of §3.3.2's false conflicts).
+    pub fn insert(&mut self, table: &str, pairs: &[(&str, Value)]) -> Result<i64> {
+        self.ensure_active()?;
+        self.db.charge_statement();
+        let (tid, schema) = self.resolve(table)?;
+        let pk_name = schema.columns[schema.primary_key].name.clone();
+
+        // Assign the primary key.
+        let explicit_pk = pairs
+            .iter()
+            .find(|(n, _)| *n == pk_name)
+            .map(|(_, v)| v.clone())
+            .filter(|v| !v.is_null());
+        let id = match explicit_pk {
+            Some(Value::Int(v)) => v,
+            Some(other) => {
+                return Err(DbError::TypeMismatch {
+                    table: table.to_string(),
+                    column: pk_name,
+                    expected: crate::value::ColumnType::Int,
+                    found: other.column_type(),
+                })
+            }
+            None => {
+                let tables = self.db.inner.tables.read();
+                tables.get(tid).alloc_id()
+            }
+        };
+        let mut full_pairs: Vec<(&str, Value)> = pairs
+            .iter()
+            .filter(|(n, _)| *n != pk_name)
+            .map(|(n, v)| (*n, v.clone()))
+            .collect();
+        full_pairs.push((pk_name.as_str(), Value::Int(id)));
+        let row = row_from_pairs(&schema, &full_pairs)?;
+
+        // Gap-lock (insert intention) checks, MySQL-like only.
+        let indexed: Vec<usize> = {
+            let tables = self.db.inner.tables.read();
+            tables.get(tid).indexed_columns()
+        };
+        if self.profile() == EngineProfile::MySqlLike {
+            self.db
+                .locks()
+                .check_insert(self.id, tid, schema.primary_key, &Value::Int(id))?;
+            for col in &indexed {
+                self.db
+                    .locks()
+                    .check_insert(self.id, tid, *col, row.at(*col))?;
+            }
+        }
+
+        // Lock the record and any unique keys, then check uniqueness.
+        self.db
+            .locks()
+            .lock_record(self.id, tid, id, LockMode::Exclusive)?;
+        {
+            let unique_cols: Vec<usize> = {
+                let tables = self.db.inner.tables.read();
+                indexed
+                    .iter()
+                    .copied()
+                    .filter(|c| tables.get(tid).index_on(*c) == Some(true))
+                    .collect()
+            };
+            for col in unique_cols {
+                let key = row.at(col).clone();
+                if !key.is_null() {
+                    self.db.locks().lock_unique_key(self.id, tid, col, key)?;
+                }
+            }
+        }
+        {
+            let tables = self.db.inner.tables.read();
+            let t = tables.get(tid);
+            t.check_unique(&row, None)?;
+            if t.chain(id).and_then(|c| c.latest()).is_some() {
+                return Err(DbError::UniqueViolation {
+                    table: table.to_string(),
+                    column: pk_name,
+                    value: id.to_string(),
+                });
+            }
+        }
+        if matches!(self.pending_row(tid, id), Some(Some(_))) {
+            return Err(DbError::UniqueViolation {
+                table: table.to_string(),
+                column: pk_name,
+                value: id.to_string(),
+            });
+        }
+
+        self.pending.push(Pending {
+            table: tid,
+            id,
+            row: Some(row),
+        });
+        self.observe_write(table, id);
+        Ok(id)
+    }
+
+    /// `UPDATE table SET … WHERE pk = id`.
+    ///
+    /// The update is applied to the latest committed version (plus this
+    /// transaction's own writes) — *not* the snapshot. An application that
+    /// computed its assignment from a stale snapshot read therefore loses
+    /// updates, exactly the §3.1.1 footnote's MySQL Repeatable Read
+    /// behaviour. PostgreSQL-like Repeatable Read and above instead abort
+    /// with a serialization failure when the row changed since the
+    /// snapshot (first-committer/updater-wins).
+    pub fn update(&mut self, table: &str, id: i64, pairs: &[(&str, Value)]) -> Result<()> {
+        self.ensure_active()?;
+        self.db.charge_statement();
+        let (tid, schema) = self.resolve(table)?;
+        self.db
+            .locks()
+            .lock_record(self.id, tid, id, LockMode::Exclusive)?;
+
+        let base: Row = match self.pending_row(tid, id) {
+            Some(Some(row)) => row.clone(),
+            Some(None) => {
+                return Err(DbError::NoSuchRow {
+                    table: table.to_string(),
+                    id,
+                })
+            }
+            None => {
+                let tables = self.db.inner.tables.read();
+                let chain = tables.get(tid).chain(id);
+                let Some(chain) = chain else {
+                    return Err(DbError::NoSuchRow {
+                        table: table.to_string(),
+                        id,
+                    });
+                };
+                let Some(latest) = chain.latest() else {
+                    return Err(DbError::NoSuchRow {
+                        table: table.to_string(),
+                        id,
+                    });
+                };
+                if self.profile() == EngineProfile::PostgresLike
+                    && self.iso >= IsolationLevel::RepeatableRead
+                    && chain.latest_ts() > self.snapshot
+                {
+                    return Err(self.serialization_failure("concurrent update"));
+                }
+                latest.clone()
+            }
+        };
+
+        let mut new_row = base.clone();
+        for (col, value) in pairs {
+            new_row = new_row.with(&schema, col, value.clone())?;
+        }
+        schema.validate_row(&new_row)?;
+        self.lock_and_check_unique_changes(tid, &schema, id, &base, &new_row)?;
+
+        self.pending.push(Pending {
+            table: tid,
+            id,
+            row: Some(new_row),
+        });
+        self.observe_write(table, id);
+        Ok(())
+    }
+
+    /// Lock and re-check unique keys whose value this write actually
+    /// changes. Unchanged keys need no lock: the row's record lock already
+    /// serializes writers, and taking the key lock anyway would needlessly
+    /// serialize unrelated updates of rows sharing the value.
+    fn lock_and_check_unique_changes(
+        &mut self,
+        tid: usize,
+        schema: &Schema,
+        id: i64,
+        base: &Row,
+        new_row: &Row,
+    ) -> Result<()> {
+        let unique_cols: Vec<usize> = {
+            let tables = self.db.inner.tables.read();
+            tables
+                .get(tid)
+                .indexed_columns()
+                .into_iter()
+                .filter(|c| tables.get(tid).index_on(*c) == Some(true))
+                .collect()
+        };
+        for col in unique_cols {
+            let key = new_row.at(col).clone();
+            if key.is_null() || base.at(col) == &key {
+                continue;
+            }
+            self.db.locks().lock_unique_key(self.id, tid, col, key)?;
+            let tables = self.db.inner.tables.read();
+            tables.get(tid).check_unique(new_row, Some(id))?;
+        }
+        let _ = schema;
+        Ok(())
+    }
+
+    /// `UPDATE table SET … WHERE pred`, returning the number of affected
+    /// rows. The predicate is re-evaluated against the latest committed
+    /// version after the row lock is acquired (PostgreSQL's EvalPlanQual
+    /// behaviour under Read Committed) — this is what makes the
+    /// `UPDATE … WHERE id = ? AND ver = ?` validate-and-commit idiom of
+    /// Figure 1c atomic: a concurrent bump of `ver` yields 0 affected rows.
+    pub fn update_where(
+        &mut self,
+        table: &str,
+        pred: &Predicate,
+        pairs: &[(&str, Value)],
+    ) -> Result<usize> {
+        self.ensure_active()?;
+        self.db.charge_statement();
+        let (tid, schema) = self.resolve(table)?;
+        let plan = self.plan(tid, &schema, pred)?;
+        for id in &plan.ids {
+            self.db
+                .locks()
+                .lock_record(self.id, tid, *id, LockMode::Exclusive)?;
+        }
+        if self.profile() == EngineProfile::MySqlLike && self.iso >= IsolationLevel::RepeatableRead
+        {
+            self.db
+                .locks()
+                .lock_gap(self.id, tid, plan.gap_column, plan.gap.clone());
+        }
+
+        // Collect matches against latest committed + own overlay.
+        let mut targets: Vec<(i64, Row)> = Vec::new();
+        {
+            let tables = self.db.inner.tables.read();
+            let t = tables.get(tid);
+            for id in &plan.ids {
+                let base = match self.pending_row(tid, *id) {
+                    Some(Some(row)) => Some(row.clone()),
+                    Some(None) => None,
+                    None => {
+                        let chain = t.chain(*id);
+                        match chain {
+                            Some(chain) => {
+                                let latest = chain.latest().cloned();
+                                if let Some(ref row) = latest {
+                                    if pred.matches(&schema, row)?
+                                        && self.profile() == EngineProfile::PostgresLike
+                                        && self.iso >= IsolationLevel::RepeatableRead
+                                        && chain.latest_ts() > self.snapshot
+                                    {
+                                        return Err(self.serialization_failure("concurrent update"));
+                                    }
+                                }
+                                latest
+                            }
+                            None => None,
+                        }
+                    }
+                };
+                if let Some(row) = base {
+                    if pred.matches(&schema, &row)? {
+                        targets.push((*id, row));
+                    }
+                }
+            }
+        }
+        // Own pending inserts that match.
+        let mut extra: Vec<(i64, Row)> = Vec::new();
+        for p in &self.pending {
+            if p.table == tid && !plan.ids.contains(&p.id) {
+                if let Some(row) = &p.row {
+                    if pred.matches(&schema, row)? {
+                        extra.push((p.id, row.clone()));
+                    }
+                }
+            }
+        }
+        targets.extend(extra);
+
+        let count = targets.len();
+        for (id, base) in targets {
+            let mut new_row = base.clone();
+            for (col, value) in pairs {
+                new_row = new_row.with(&schema, col, value.clone())?;
+            }
+            schema.validate_row(&new_row)?;
+            self.lock_and_check_unique_changes(tid, &schema, id, &base, &new_row)?;
+            self.pending.push(Pending {
+                table: tid,
+                id,
+                row: Some(new_row),
+            });
+            self.observe_write(table, id);
+        }
+        Ok(count)
+    }
+
+    /// `DELETE FROM table WHERE pk = id`. Returns whether a row existed.
+    pub fn delete(&mut self, table: &str, id: i64) -> Result<bool> {
+        self.ensure_active()?;
+        self.db.charge_statement();
+        let (tid, _schema) = self.resolve(table)?;
+        self.db
+            .locks()
+            .lock_record(self.id, tid, id, LockMode::Exclusive)?;
+        let existed = match self.pending_row(tid, id) {
+            Some(Some(_)) => true,
+            Some(None) => false,
+            None => {
+                let tables = self.db.inner.tables.read();
+                let chain = tables.get(tid).chain(id);
+                match chain {
+                    Some(chain) => {
+                        let live = chain.latest().is_some();
+                        if live
+                            && self.profile() == EngineProfile::PostgresLike
+                            && self.iso >= IsolationLevel::RepeatableRead
+                            && chain.latest_ts() > self.snapshot
+                        {
+                            return Err(self.serialization_failure("concurrent update"));
+                        }
+                        live
+                    }
+                    None => false,
+                }
+            }
+        };
+        if existed {
+            self.pending.push(Pending {
+                table: tid,
+                id,
+                row: None,
+            });
+            self.observe_write(table, id);
+        }
+        Ok(existed)
+    }
+
+    /// Explicit table lock (the coordination hint of §6 / Table 7a).
+    pub fn lock_table(&mut self, table: &str, mode: LockMode) -> Result<()> {
+        self.ensure_active()?;
+        self.db.charge_statement();
+        let (tid, _schema) = self.resolve(table)?;
+        self.db.locks().lock_table(self.id, tid, mode)
+    }
+
+    /// Transaction-scoped advisory lock (released at commit/abort), like
+    /// PostgreSQL's `pg_advisory_xact_lock`.
+    pub fn advisory_lock(&mut self, key: i64) -> Result<()> {
+        self.ensure_active()?;
+        self.db.charge_statement();
+        self.db.locks().lock_advisory(self.id, key)
+    }
+
+    /// `SAVEPOINT name`.
+    pub fn savepoint(&mut self, name: &str) {
+        self.savepoints.push((name.to_string(), self.pending.len()));
+    }
+
+    /// `ROLLBACK TO SAVEPOINT name`: discards writes made after the
+    /// savepoint. Locks acquired since are retained, as in real engines.
+    pub fn rollback_to(&mut self, name: &str) -> Result<()> {
+        let Some(pos) = self.savepoints.iter().rposition(|(n, _)| n == name) else {
+            return Err(DbError::NoSuchSavepoint {
+                name: name.to_string(),
+            });
+        };
+        let mark = self.savepoints[pos].1;
+        self.pending.truncate(mark);
+        self.savepoints.truncate(pos + 1);
+        Ok(())
+    }
+
+    /// Commit. Consumes the transaction; on a serialization failure the
+    /// transaction is rolled back and the error returned.
+    pub fn commit(mut self) -> Result<()> {
+        self.commit_inner()
+    }
+
+    fn commit_inner(&mut self) -> Result<()> {
+        self.ensure_active()?;
+        let result = self.try_commit();
+        match &result {
+            Ok(()) => self.finish(true),
+            Err(_) => self.finish(false),
+        }
+        result
+    }
+
+    fn try_commit(&mut self) -> Result<()> {
+        let gate = self.db.inner.commit_gate.lock();
+        if !self.db.inner.active.lock().contains_key(&self.id) {
+            // The server forgot us (simulated crash): connection lost.
+            return Err(DbError::TxnNotActive { txn: self.id });
+        }
+        if self.profile() == EngineProfile::PostgresLike && self.iso == IsolationLevel::Serializable
+        {
+            // Rows this transaction itself wrote are excluded from read
+            // certification: any conflicting commit on them necessarily
+            // happened before our update statement, which already failed
+            // with a first-updater serialization error — re-checking here
+            // would only produce false aborts.
+            let written: HashSet<(usize, i64)> =
+                self.pending.iter().map(|p| (p.table, p.id)).collect();
+            let reads: HashSet<(usize, i64)> = self
+                .read_rows
+                .iter()
+                .filter(|r| !written.contains(r))
+                .copied()
+                .collect();
+            if let Err(e) = self
+                .db
+                .certify(self.id, self.snapshot, &reads, &self.read_ranges)
+            {
+                self.db
+                    .inner
+                    .serialization_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        }
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let commit_ts = self.db.inner.commit_counter.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut rows = HashSet::new();
+        let mut keys = Vec::new();
+        {
+            let mut tables = self.db.inner.tables.write();
+            for p in std::mem::take(&mut self.pending) {
+                let t = tables.get_mut(p.table);
+                let indexed: Vec<usize> = {
+                    let mut cols = t.indexed_columns();
+                    cols.push(t.schema.primary_key);
+                    cols
+                };
+                // Log index keys only where membership changes (inserts,
+                // deletes, key-changing updates). A key-preserving update
+                // does not move the row in or out of any scanned interval;
+                // its content change is covered by row-level certification.
+                let old = t.chain(p.id).and_then(|c| c.latest()).cloned();
+                match (&old, &p.row) {
+                    (None, Some(new)) => {
+                        for col in &indexed {
+                            keys.push((p.table, *col, new.at(*col).clone()));
+                        }
+                    }
+                    (Some(old), None) => {
+                        for col in &indexed {
+                            keys.push((p.table, *col, old.at(*col).clone()));
+                        }
+                    }
+                    (Some(old), Some(new)) => {
+                        for col in &indexed {
+                            if old.at(*col) != new.at(*col) {
+                                keys.push((p.table, *col, old.at(*col).clone()));
+                                keys.push((p.table, *col, new.at(*col).clone()));
+                            }
+                        }
+                    }
+                    (None, None) => {}
+                }
+                rows.insert((p.table, p.id));
+                t.apply_committed(p.id, p.row, commit_ts);
+            }
+        }
+        self.db.log_commit(CommittedTxn {
+            commit_ts,
+            rows,
+            keys,
+        });
+        drop(gate);
+        self.db.charge_flush();
+        Ok(())
+    }
+
+    /// Roll back explicitly.
+    pub fn abort(mut self) {
+        self.finish(false);
+    }
+
+    fn finish(&mut self, committed: bool) {
+        if !self.active {
+            return;
+        }
+        self.active = false;
+        self.pending.clear();
+        self.db.inner.active.lock().remove(&self.id);
+        self.db.locks().release_all(self.id);
+        if committed {
+            self.db.inner.commits.fetch_add(1, Ordering::Relaxed);
+            self.db.observe(AccessEvent::Committed { txn: self.id });
+        } else {
+            self.db.inner.aborts.fetch_add(1, Ordering::Relaxed);
+            self.db.observe(AccessEvent::Aborted { txn: self.id });
+        }
+    }
+}
+
+impl Drop for Transaction {
+    fn drop(&mut self) {
+        self.finish(false);
+    }
+}
+
+impl std::fmt::Debug for Transaction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Transaction")
+            .field("id", &self.id)
+            .field("iso", &self.iso)
+            .field("snapshot", &self.snapshot)
+            .field("pending", &self.pending.len())
+            .field("active", &self.active)
+            .finish()
+    }
+}

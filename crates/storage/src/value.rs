@@ -1,0 +1,206 @@
+//! Column values.
+//!
+//! The studied schemas only need integers, strings, booleans and NULL;
+//! monetary amounts are stored as integer cents, which also keeps values
+//! totally ordered (required by the ordered secondary indexes that gap
+//! locks operate on).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single column value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer (also used for money as cents and for timestamps).
+    Int(i64),
+    /// UTF-8 text.
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl Value {
+    /// Column type of this value, or `None` for NULL (which types as any).
+    pub fn column_type(&self) -> Option<ColumnType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(ColumnType::Int),
+            Value::Str(_) => Some(ColumnType::Str),
+            Value::Bool(_) => Some(ColumnType::Bool),
+        }
+    }
+
+    /// True for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Integer accessor; panics with a descriptive message on mismatch.
+    /// Schema validation upstream makes a mismatch a logic error, not a
+    /// recoverable condition.
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            other => panic!("expected Int value, found {other:?}"),
+        }
+    }
+
+    /// String accessor; panics on mismatch (see [`Value::as_int`]).
+    pub fn as_str(&self) -> &str {
+        match self {
+            Value::Str(v) => v,
+            other => panic!("expected Str value, found {other:?}"),
+        }
+    }
+
+    /// Boolean accessor; panics on mismatch (see [`Value::as_int`]).
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(v) => *v,
+            other => panic!("expected Bool value, found {other:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v:?}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Total order across values, used by ordered indexes. SQL three-valued
+/// NULL comparison is irrelevant for index storage: NULL sorts first, then
+/// Bool < Int < Str, then natural order within a type (like SQLite's type
+/// ordering).
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Bool(_) => 1,
+                Int(_) => 2,
+                Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// Declared column types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// UTF-8 text.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnType::Int => write!(f, "INT"),
+            ColumnType::Str => write!(f, "TEXT"),
+            ColumnType::Bool => write!(f, "BOOL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_ordering_is_total_and_ranked() {
+        let mut vals = vec![
+            Value::Str("b".into()),
+            Value::Int(2),
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-1),
+            Value::Str("a".into()),
+            Value::Bool(false),
+        ];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![
+                Value::Null,
+                Value::Bool(false),
+                Value::Bool(true),
+                Value::Int(-1),
+                Value::Int(2),
+                Value::Str("a".into()),
+                Value::Str("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn conversions_and_accessors() {
+        assert_eq!(Value::from(5i64).as_int(), 5);
+        assert_eq!(Value::from("x").as_str(), "x");
+        assert!(Value::from(true).as_bool());
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::from(5i64).column_type(), Some(ColumnType::Int));
+        assert_eq!(Value::Null.column_type(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Int")]
+    fn as_int_panics_on_mismatch() {
+        Value::from("oops").as_int();
+    }
+
+    #[test]
+    fn display_renders_sql_ish() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::Str("a".into()).to_string(), "\"a\"");
+    }
+}

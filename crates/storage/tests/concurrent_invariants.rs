@@ -1,0 +1,261 @@
+//! Concurrency stress: invariant preservation across the engine matrix.
+//!
+//! Classic bank-transfer conservation, run multi-threaded on every
+//! (profile, coordination) combination that is supposed to preserve it —
+//! and one that is supposed to break it, as a control.
+
+use adhoc_storage::{
+    Column, ColumnType, Database, EngineProfile, IsolationLevel, Predicate, Schema,
+};
+use std::sync::Arc;
+
+const ACCOUNTS: i64 = 6;
+const INITIAL: i64 = 1000;
+const THREADS: usize = 6;
+const TRANSFERS: usize = 30;
+
+fn bank(profile: EngineProfile) -> Database {
+    let db = Database::in_memory(profile);
+    db.create_table(
+        Schema::new(
+            "accounts",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("balance", ColumnType::Int),
+            ],
+            "id",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.run(IsolationLevel::ReadCommitted, |t| {
+        for id in 1..=ACCOUNTS {
+            t.insert(
+                "accounts",
+                &[("id", id.into()), ("balance", INITIAL.into())],
+            )?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    db
+}
+
+fn total(db: &Database) -> i64 {
+    let schema = db.schema("accounts").unwrap();
+    db.run(IsolationLevel::ReadCommitted, |t| {
+        let rows = t.scan("accounts", &Predicate::All)?;
+        let mut sum = 0;
+        for (_, row) in &rows {
+            sum += row.get_int(&schema, "balance")?;
+        }
+        Ok(sum)
+    })
+    .unwrap()
+}
+
+/// Pseudo-random but deterministic account pair per (thread, iteration).
+fn pair(thread: usize, i: usize) -> (i64, i64) {
+    let from = ((thread * 7 + i * 13) % ACCOUNTS as usize) as i64 + 1;
+    let to = ((thread * 11 + i * 5 + 1) % ACCOUNTS as usize) as i64 + 1;
+    if from == to {
+        (from, (to % ACCOUNTS) + 1)
+    } else {
+        (from, to)
+    }
+}
+
+fn run_transfers(db: &Database, f: impl Fn(&Database, i64, i64) + Sync) {
+    let db = Arc::new(db.clone());
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let db = Arc::clone(&db);
+            let f = &f;
+            s.spawn(move || {
+                for i in 0..TRANSFERS {
+                    let (from, to) = pair(t, i);
+                    f(&db, from, to);
+                }
+            });
+        }
+    });
+}
+
+/// Serializable transactions preserve conservation on both profiles.
+#[test]
+fn serializable_transfers_conserve_money() {
+    for profile in [EngineProfile::MySqlLike, EngineProfile::PostgresLike] {
+        let db = bank(profile);
+        run_transfers(&db, |db, from, to| {
+            db.run_with_retries(IsolationLevel::Serializable, 10_000, |t| {
+                let schema = db.schema("accounts")?;
+                let a = t.get("accounts", from)?.expect("account");
+                let b = t.get("accounts", to)?.expect("account");
+                let ab = a.get_int(&schema, "balance")?;
+                let bb = b.get_int(&schema, "balance")?;
+                if ab < 1 {
+                    return Ok(());
+                }
+                t.update("accounts", from, &[("balance", (ab - 1).into())])?;
+                t.update("accounts", to, &[("balance", (bb + 1).into())])?;
+                Ok(())
+            })
+            .unwrap();
+        });
+        assert_eq!(total(&db), ACCOUNTS * INITIAL, "{profile:?}");
+    }
+}
+
+/// FOR UPDATE at Read Committed preserves conservation on both profiles —
+/// the Saleor pattern (§3.2.1), provided locks are taken in id order.
+#[test]
+fn select_for_update_transfers_conserve_money() {
+    for profile in [EngineProfile::MySqlLike, EngineProfile::PostgresLike] {
+        let db = bank(profile);
+        run_transfers(&db, |db, from, to| {
+            let (first, second) = if from < to { (from, to) } else { (to, from) };
+            db.run_with_retries(IsolationLevel::ReadCommitted, 10_000, |t| {
+                let schema = db.schema("accounts")?;
+                let r1 = t.get_for_update("accounts", first)?.expect("account");
+                let r2 = t.get_for_update("accounts", second)?.expect("account");
+                let (a, b) = if first == from { (r1, r2) } else { (r2, r1) };
+                let ab = a.get_int(&schema, "balance")?;
+                let bb = b.get_int(&schema, "balance")?;
+                if ab < 1 {
+                    return Ok(());
+                }
+                t.update("accounts", from, &[("balance", (ab - 1).into())])?;
+                t.update("accounts", to, &[("balance", (bb + 1).into())])?;
+                Ok(())
+            })
+            .unwrap();
+        });
+        assert_eq!(total(&db), ACCOUNTS * INITIAL, "{profile:?}");
+    }
+}
+
+/// PostgreSQL Repeatable Read (SI) also conserves: every conflicting pair
+/// triggers first-committer-wins, and retries re-read fresh balances.
+#[test]
+fn postgres_snapshot_isolation_transfers_conserve_money() {
+    let db = bank(EngineProfile::PostgresLike);
+    run_transfers(&db, |db, from, to| {
+        db.run_with_retries(IsolationLevel::RepeatableRead, 10_000, |t| {
+            let schema = db.schema("accounts")?;
+            let a = t.get("accounts", from)?.expect("account");
+            let b = t.get("accounts", to)?.expect("account");
+            let ab = a.get_int(&schema, "balance")?;
+            let bb = b.get_int(&schema, "balance")?;
+            if ab < 1 {
+                return Ok(());
+            }
+            t.update("accounts", from, &[("balance", (ab - 1).into())])?;
+            t.update("accounts", to, &[("balance", (bb + 1).into())])?;
+            Ok(())
+        })
+        .unwrap();
+    });
+    assert_eq!(total(&db), ACCOUNTS * INITIAL);
+}
+
+/// Control: MySQL Repeatable Read with plain reads loses money under
+/// contention (the §3.1.1 footnote made quantitative). This is the anomaly
+/// the correct configurations above exist to prevent.
+#[test]
+fn mysql_repeatable_read_plain_reads_lose_money() {
+    let mut lost = false;
+    for _ in 0..20 {
+        let db = bank(EngineProfile::MySqlLike);
+        // Hot-spot variant: every thread debits account 1, so concurrent
+        // snapshot reads of the same balance are guaranteed.
+        run_transfers(&db, |db, _from, to| {
+            let from = 1;
+            let to = if to == 1 { 2 } else { to };
+            let result = db.run(IsolationLevel::RepeatableRead, |t| {
+                let schema = db.schema("accounts")?;
+                let a = t.get("accounts", from)?.expect("account");
+                let b = t.get("accounts", to)?.expect("account");
+                let ab = a.get_int(&schema, "balance")?;
+                let bb = b.get_int(&schema, "balance")?;
+                std::thread::yield_now(); // widen the RMW window
+                t.update("accounts", from, &[("balance", (ab - 1).into())])?;
+                t.update("accounts", to, &[("balance", (bb + 1).into())])?;
+                Ok(())
+            });
+            // Deadlock victims among the X-lock acquisitions simply drop
+            // their transfer (a dropped transfer conserves money, so it
+            // cannot mask the lost-update drift this test looks for).
+            if let Err(e) = result {
+                assert!(e.is_retryable(), "unexpected error: {e}");
+            }
+        });
+        if total(&db) != ACCOUNTS * INITIAL {
+            lost = true;
+            break;
+        }
+    }
+    assert!(
+        lost,
+        "uncoordinated snapshot RMWs must eventually lose money"
+    );
+}
+
+/// Advisory locks as the coordination layer (the §6 user-lock hint):
+/// Read Committed plus per-account advisory locks conserves.
+#[test]
+fn advisory_lock_transfers_conserve_money() {
+    let db = bank(EngineProfile::PostgresLike);
+    run_transfers(&db, |db, from, to| {
+        let session = db.new_session();
+        let (first, second) = if from < to { (from, to) } else { (to, from) };
+        db.advisory_lock(session, first).unwrap();
+        db.advisory_lock(session, second).unwrap();
+        db.run(IsolationLevel::ReadCommitted, |t| {
+            let schema = db.schema("accounts")?;
+            let a = t.get("accounts", from)?.expect("account");
+            let b = t.get("accounts", to)?.expect("account");
+            let ab = a.get_int(&schema, "balance")?;
+            let bb = b.get_int(&schema, "balance")?;
+            if ab < 1 {
+                return Ok(());
+            }
+            t.update("accounts", from, &[("balance", (ab - 1).into())])?;
+            t.update("accounts", to, &[("balance", (bb + 1).into())])?;
+            Ok(())
+        })
+        .unwrap();
+        db.end_session(session);
+    });
+    assert_eq!(total(&db), ACCOUNTS * INITIAL);
+}
+
+/// No balance ever observed negative under the guarded configurations.
+#[test]
+fn balances_never_go_negative_under_for_update() {
+    let db = bank(EngineProfile::MySqlLike);
+    run_transfers(&db, |db, from, to| {
+        db.run_with_retries(IsolationLevel::ReadCommitted, 10_000, |t| {
+            let schema = db.schema("accounts")?;
+            let (first, second) = if from < to { (from, to) } else { (to, from) };
+            let r1 = t.get_for_update("accounts", first)?.expect("account");
+            let r2 = t.get_for_update("accounts", second)?.expect("account");
+            let (a, b) = if first == from { (r1, r2) } else { (r2, r1) };
+            let ab = a.get_int(&schema, "balance")?;
+            let bb = b.get_int(&schema, "balance")?;
+            // Drain aggressively to stress the lower bound.
+            let amount = ab.min(700);
+            if amount == 0 {
+                return Ok(());
+            }
+            t.update("accounts", from, &[("balance", (ab - amount).into())])?;
+            t.update("accounts", to, &[("balance", (bb + amount).into())])?;
+            Ok(())
+        })
+        .unwrap();
+    });
+    let schema = db.schema("accounts").unwrap();
+    for (_, row) in db.dump_table("accounts").unwrap() {
+        assert!(row.get_int(&schema, "balance").unwrap() >= 0);
+    }
+    assert_eq!(total(&db), ACCOUNTS * INITIAL);
+}

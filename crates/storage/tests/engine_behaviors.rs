@@ -1,0 +1,771 @@
+//! Behavioural tests: the engine must exhibit exactly the concurrency
+//! anomalies and protections the paper's arguments rest on, per profile and
+//! isolation level. Each test names the paper section it reproduces.
+
+use adhoc_storage::{
+    Column, ColumnType, Database, DbError, EngineProfile, IsolationLevel, Predicate, Schema,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+fn skus_db(profile: EngineProfile) -> Database {
+    let db = Database::in_memory(profile);
+    db.create_table(
+        Schema::new(
+            "skus",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("quantity", ColumnType::Int),
+            ],
+            "id",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let mut t = db.begin();
+    t.insert("skus", &[("id", 1.into()), ("quantity", 10.into())])
+        .unwrap();
+    t.commit().unwrap();
+    db
+}
+
+fn payments_db(profile: EngineProfile) -> Database {
+    let db = Database::in_memory(profile);
+    db.create_table(
+        Schema::new(
+            "payments",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("order_id", ColumnType::Int),
+            ],
+            "id",
+        )
+        .unwrap()
+        .with_index("order_id")
+        .unwrap(),
+    )
+    .unwrap();
+    // Committed order_ids {9, 12} — the §3.3.2 running example.
+    let mut t = db.begin();
+    t.insert("payments", &[("order_id", 9.into())]).unwrap();
+    t.insert("payments", &[("order_id", 12.into())]).unwrap();
+    t.commit().unwrap();
+    db
+}
+
+/// §3.1.1 footnote: MySQL's non-Serializable levels permit lost updates on
+/// application-level read–modify–writes (snapshot read, blind write).
+#[test]
+fn mysql_repeatable_read_loses_updates_on_rmw() {
+    let db = skus_db(EngineProfile::MySqlLike);
+    let mut t1 = db.begin_with(IsolationLevel::RepeatableRead);
+    let mut t2 = db.begin_with(IsolationLevel::RepeatableRead);
+    let q1 = t1.get("skus", 1).unwrap().unwrap().values[1].as_int();
+    let q2 = t2.get("skus", 1).unwrap().unwrap().values[1].as_int();
+    assert_eq!((q1, q2), (10, 10));
+    // Both decrement "their" copy by 4 and write back the computed value.
+    t1.update("skus", 1, &[("quantity", (q1 - 4).into())])
+        .unwrap();
+    t1.commit().unwrap();
+    t2.update("skus", 1, &[("quantity", (q2 - 4).into())])
+        .unwrap();
+    t2.commit().unwrap();
+    // 10 - 4 - 4 should be 2; the lost update leaves 6.
+    let q = db.latest_committed("skus", 1).unwrap().unwrap().values[1].as_int();
+    assert_eq!(q, 6, "MySQL-like RR must lose one of the two decrements");
+}
+
+/// §3.3.1: under MySQL Serializable, two concurrent RMWs deadlock on the
+/// shared→exclusive upgrade; one is chosen as victim.
+#[test]
+fn mysql_serializable_rmw_deadlocks() {
+    let db = skus_db(EngineProfile::MySqlLike);
+    let mut t1 = db.begin_with(IsolationLevel::Serializable);
+    let mut t2 = db.begin_with(IsolationLevel::Serializable);
+    // Both read (S lock).
+    t1.get("skus", 1).unwrap().unwrap();
+    t2.get("skus", 1).unwrap().unwrap();
+    // t1 tries to upgrade in a helper thread; it blocks on t2's S lock.
+    let db2 = db.clone();
+    let h = thread::spawn(move || {
+        let r = t1.update("skus", 1, &[("quantity", 6.into())]);
+        match r {
+            Ok(()) => t1.commit(),
+            Err(e) => {
+                drop(t1);
+                Err(e)
+            }
+        }
+    });
+    thread::sleep(Duration::from_millis(60));
+    // t2 upgrades too, closing the cycle: t2 is the victim.
+    let err = t2.update("skus", 1, &[("quantity", 6.into())]).unwrap_err();
+    assert!(matches!(err, DbError::Deadlock { .. }));
+    drop(t2); // release victim's locks
+    h.join().unwrap().unwrap();
+    assert!(db2.stats().lock_stats.deadlocks >= 1);
+}
+
+/// §3.1.1: PostgreSQL Repeatable Read (Snapshot Isolation) aborts the
+/// second writer of a write–write conflict (first-committer-wins), instead
+/// of losing the update.
+#[test]
+fn postgres_repeatable_read_aborts_second_writer() {
+    let db = skus_db(EngineProfile::PostgresLike);
+    let mut t1 = db.begin_with(IsolationLevel::RepeatableRead);
+    let mut t2 = db.begin_with(IsolationLevel::RepeatableRead);
+    let q1 = t1.get("skus", 1).unwrap().unwrap().values[1].as_int();
+    t2.get("skus", 1).unwrap().unwrap();
+    t1.update("skus", 1, &[("quantity", (q1 - 4).into())])
+        .unwrap();
+    t1.commit().unwrap();
+    let err = t2.update("skus", 1, &[("quantity", 6.into())]).unwrap_err();
+    assert!(matches!(err, DbError::SerializationFailure { .. }));
+}
+
+/// PostgreSQL Read Committed: the same interleaving succeeds (per-statement
+/// snapshots; the blind write applies) — which is why ad hoc transactions
+/// run their statements at the default level without engine pushback.
+#[test]
+fn postgres_read_committed_allows_blind_overwrite() {
+    let db = skus_db(EngineProfile::PostgresLike);
+    let mut t1 = db.begin_with(IsolationLevel::ReadCommitted);
+    let mut t2 = db.begin_with(IsolationLevel::ReadCommitted);
+    t1.get("skus", 1).unwrap().unwrap();
+    t2.get("skus", 1).unwrap().unwrap();
+    t1.update("skus", 1, &[("quantity", 6.into())]).unwrap();
+    t1.commit().unwrap();
+    t2.update("skus", 1, &[("quantity", 3.into())]).unwrap();
+    t2.commit().unwrap();
+    let q = db.latest_committed("skus", 1).unwrap().unwrap().values[1].as_int();
+    assert_eq!(q, 3);
+}
+
+/// Read Committed sees data committed mid-transaction; Repeatable Read
+/// keeps the begin snapshot.
+#[test]
+fn statement_vs_transaction_snapshots() {
+    for profile in [EngineProfile::MySqlLike, EngineProfile::PostgresLike] {
+        let db = skus_db(profile);
+        let mut rc = db.begin_with(IsolationLevel::ReadCommitted);
+        let mut rr = db.begin_with(IsolationLevel::RepeatableRead);
+        assert_eq!(rc.get("skus", 1).unwrap().unwrap().values[1].as_int(), 10);
+        assert_eq!(rr.get("skus", 1).unwrap().unwrap().values[1].as_int(), 10);
+        let mut w = db.begin();
+        w.update("skus", 1, &[("quantity", 99.into())]).unwrap();
+        w.commit().unwrap();
+        assert_eq!(
+            rc.get("skus", 1).unwrap().unwrap().values[1].as_int(),
+            99,
+            "{profile:?} RC must see the new commit"
+        );
+        assert_eq!(
+            rr.get("skus", 1).unwrap().unwrap().values[1].as_int(),
+            10,
+            "{profile:?} RR must keep its snapshot"
+        );
+        rc.commit().unwrap();
+        rr.commit().unwrap();
+    }
+}
+
+/// §3.3.2: a locking scan for `order_id = 10` over a non-unique index with
+/// committed neighbours {9, 12} gap-locks (9, 12); an unrelated insert of
+/// order_id = 11 blocks until the scanner finishes (MySQL-like, RR+).
+#[test]
+fn mysql_gap_lock_blocks_unrelated_insert() {
+    let db = payments_db(EngineProfile::MySqlLike);
+    let mut scanner = db.begin_with(IsolationLevel::RepeatableRead);
+    let found = scanner
+        .select_for_update("payments", &Predicate::eq("order_id", 10))
+        .unwrap();
+    assert!(found.is_empty());
+
+    let inserted = Arc::new(AtomicBool::new(false));
+    let db2 = db.clone();
+    let flag = Arc::clone(&inserted);
+    let h = thread::spawn(move || {
+        let mut t = db2.begin_with(IsolationLevel::ReadCommitted);
+        t.insert("payments", &[("order_id", 11.into())]).unwrap();
+        flag.store(true, Ordering::SeqCst);
+        t.commit().unwrap();
+    });
+    thread::sleep(Duration::from_millis(80));
+    assert!(
+        !inserted.load(Ordering::SeqCst),
+        "insert into the locked gap must block"
+    );
+    scanner.commit().unwrap();
+    h.join().unwrap();
+    assert!(inserted.load(Ordering::SeqCst));
+}
+
+/// The same scan at Read Committed takes no gap lock; the insert proceeds.
+#[test]
+fn mysql_read_committed_scan_takes_no_gap_lock() {
+    let db = payments_db(EngineProfile::MySqlLike);
+    let mut scanner = db.begin_with(IsolationLevel::ReadCommitted);
+    scanner
+        .select_for_update("payments", &Predicate::eq("order_id", 10))
+        .unwrap();
+    let mut t = db.begin_with(IsolationLevel::ReadCommitted);
+    t.insert("payments", &[("order_id", 11.into())]).unwrap();
+    t.commit().unwrap();
+    scanner.commit().unwrap();
+}
+
+/// PostgreSQL-like profile never blocks inserts on gaps…
+#[test]
+fn postgres_has_no_gap_blocking() {
+    let db = payments_db(EngineProfile::PostgresLike);
+    let mut scanner = db.begin_with(IsolationLevel::Serializable);
+    scanner
+        .scan("payments", &Predicate::eq("order_id", 10))
+        .unwrap();
+    let mut t = db.begin_with(IsolationLevel::ReadCommitted);
+    t.insert("payments", &[("order_id", 11.into())]).unwrap();
+    t.commit().unwrap();
+}
+
+/// …but its Serializable level aborts the reader at commit when a
+/// concurrent insert landed inside the scanned index gap (SSI-style
+/// rw-antidependency at gap granularity — the §5.2 PBC false conflict).
+#[test]
+fn postgres_serializable_certification_catches_gap_insert() {
+    let db = payments_db(EngineProfile::PostgresLike);
+    let mut reader = db.begin_with(IsolationLevel::Serializable);
+    let found = reader
+        .scan("payments", &Predicate::eq("order_id", 10))
+        .unwrap();
+    assert!(found.is_empty());
+    // Writer inserts order_id = 11 (a *different* order) and commits.
+    let mut writer = db.begin_with(IsolationLevel::ReadCommitted);
+    writer
+        .insert("payments", &[("order_id", 11.into())])
+        .unwrap();
+    writer.commit().unwrap();
+    // The reader writes something (making it a pivot) and tries to commit.
+    reader
+        .insert("payments", &[("order_id", 10.into())])
+        .unwrap();
+    let err = reader.commit().unwrap_err();
+    assert!(matches!(err, DbError::SerializationFailure { .. }));
+}
+
+/// Classic write skew: allowed under Snapshot Isolation (PG Repeatable
+/// Read), refused under PG Serializable.
+#[test]
+fn postgres_write_skew_matrix() {
+    let run = |iso: IsolationLevel| -> Result<(), DbError> {
+        let db = Database::in_memory(EngineProfile::PostgresLike);
+        db.create_table(
+            Schema::new(
+                "oncall",
+                vec![
+                    Column::new("id", ColumnType::Int),
+                    Column::new("on_duty", ColumnType::Bool),
+                ],
+                "id",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut t = db.begin();
+        t.insert("oncall", &[("id", 1.into()), ("on_duty", true.into())])
+            .unwrap();
+        t.insert("oncall", &[("id", 2.into()), ("on_duty", true.into())])
+            .unwrap();
+        t.commit().unwrap();
+
+        // Each doctor checks the other is on duty, then goes off duty.
+        let mut t1 = db.begin_with(iso);
+        let mut t2 = db.begin_with(iso);
+        assert!(t1.get("oncall", 2).unwrap().unwrap().values[1].as_bool());
+        assert!(t2.get("oncall", 1).unwrap().unwrap().values[1].as_bool());
+        t1.update("oncall", 1, &[("on_duty", false.into())])?;
+        t2.update("oncall", 2, &[("on_duty", false.into())])?;
+        t1.commit()?;
+        t2.commit()?;
+        Ok(())
+    };
+    // Snapshot isolation: both commit — write skew.
+    run(IsolationLevel::RepeatableRead).expect("SI must allow write skew");
+    // Serializable: certification aborts one.
+    let err = run(IsolationLevel::Serializable).unwrap_err();
+    assert!(matches!(err, DbError::SerializationFailure { .. }));
+}
+
+/// SELECT FOR UPDATE blocks a concurrent FOR UPDATE until commit — the
+/// Saleor stock-allocation pattern (§3.2.1).
+#[test]
+fn select_for_update_serializes_rmw() {
+    for profile in [EngineProfile::MySqlLike, EngineProfile::PostgresLike] {
+        let db = skus_db(profile);
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let db = db.clone();
+            let barrier = Arc::clone(&barrier);
+            handles.push(thread::spawn(move || {
+                barrier.wait();
+                // Read Committed is enough when the lock does the work.
+                db.run(IsolationLevel::ReadCommitted, |t| {
+                    let row = t.get_for_update("skus", 1)?.expect("sku exists");
+                    let q = row.values[1].as_int();
+                    t.update("skus", 1, &[("quantity", (q - 4).into())])
+                })
+                .unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let q = db.latest_committed("skus", 1).unwrap().unwrap().values[1].as_int();
+        assert_eq!(q, 2, "{profile:?}: FOR UPDATE must serialize the RMW");
+    }
+}
+
+/// §4.1.1 (Spree): a SELECT FOR UPDATE in its own auto-commit transaction
+/// releases the lock immediately — the RMW race returns.
+#[test]
+fn select_for_update_outside_transaction_is_useless() {
+    let db = skus_db(EngineProfile::PostgresLike);
+    // "Auto-commit": the locking read commits (and unlocks) before the
+    // update runs in a second transaction.
+    let read = db
+        .run(IsolationLevel::ReadCommitted, |t| {
+            Ok(t.get_for_update("skus", 1)?.unwrap())
+        })
+        .unwrap();
+    let q = read.values[1].as_int();
+    // A concurrent writer slips in between the two statements.
+    db.run(IsolationLevel::ReadCommitted, |t| {
+        t.update("skus", 1, &[("quantity", 1.into())])
+    })
+    .unwrap();
+    db.run(IsolationLevel::ReadCommitted, |t| {
+        t.update("skus", 1, &[("quantity", (q - 4).into())])
+    })
+    .unwrap();
+    let final_q = db.latest_committed("skus", 1).unwrap().unwrap().values[1].as_int();
+    assert_eq!(final_q, 6, "the concurrent write was silently lost");
+}
+
+/// The OCC idiom of Figure 1c: UPDATE … WHERE id AND ver atomically
+/// validates-and-commits; a racing version bump yields 0 affected rows.
+#[test]
+fn update_where_version_check_is_atomic() {
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    db.create_table(
+        Schema::new(
+            "polls",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("tallies", ColumnType::Int),
+                Column::new("ver", ColumnType::Int),
+            ],
+            "id",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.run(IsolationLevel::ReadCommitted, |t| {
+        t.insert(
+            "polls",
+            &[("id", 1.into()), ("tallies", 0.into()), ("ver", 0.into())],
+        )
+        .map(|_| ())
+    })
+    .unwrap();
+
+    let vote = |db: &Database| {
+        db.run(IsolationLevel::ReadCommitted, |t| {
+            let poll = t.get("polls", 1)?.unwrap();
+            let (tallies, ver) = (poll.values[1].as_int(), poll.values[2].as_int());
+            let pred = Predicate::And(vec![Predicate::eq("id", 1), Predicate::eq("ver", ver)]);
+            t.update_where(
+                "polls",
+                &pred,
+                &[("tallies", (tallies + 1).into()), ("ver", (ver + 1).into())],
+            )
+        })
+    };
+    assert_eq!(vote(&db).unwrap(), 1);
+    assert_eq!(vote(&db).unwrap(), 1);
+    // Concurrent interleave: read, then someone else bumps ver, then write.
+    let stale = db
+        .run(IsolationLevel::ReadCommitted, |t| {
+            let poll = t.get("polls", 1)?.unwrap();
+            Ok(poll.values[2].as_int())
+        })
+        .unwrap();
+    assert_eq!(vote(&db).unwrap(), 1); // someone else votes
+    let affected = db
+        .run(IsolationLevel::ReadCommitted, |t| {
+            let pred = Predicate::And(vec![Predicate::eq("id", 1), Predicate::eq("ver", stale)]);
+            t.update_where("polls", &pred, &[("tallies", 999.into())])
+        })
+        .unwrap();
+    assert_eq!(affected, 0, "stale version must match nothing");
+    let tallies = db.latest_committed("polls", 1).unwrap().unwrap().values[1].as_int();
+    assert_eq!(tallies, 3);
+}
+
+/// Stress: 8 threads vote concurrently with the Figure 1c retry loop; no
+/// vote is lost.
+#[test]
+fn occ_retry_loop_under_contention() {
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    db.create_table(
+        Schema::new(
+            "polls",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("tallies", ColumnType::Int),
+                Column::new("ver", ColumnType::Int),
+            ],
+            "id",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.run(IsolationLevel::ReadCommitted, |t| {
+        t.insert(
+            "polls",
+            &[("id", 1.into()), ("tallies", 0.into()), ("ver", 0.into())],
+        )
+        .map(|_| ())
+    })
+    .unwrap();
+
+    let votes_per_thread = 25;
+    thread::scope(|s| {
+        for _ in 0..8 {
+            let db = db.clone();
+            s.spawn(move || {
+                for _ in 0..votes_per_thread {
+                    loop {
+                        let done = db
+                            .run(IsolationLevel::ReadCommitted, |t| {
+                                let poll = t.get("polls", 1)?.unwrap();
+                                let (tallies, ver) =
+                                    (poll.values[1].as_int(), poll.values[2].as_int());
+                                let pred = Predicate::And(vec![
+                                    Predicate::eq("id", 1),
+                                    Predicate::eq("ver", ver),
+                                ]);
+                                t.update_where(
+                                    "polls",
+                                    &pred,
+                                    &[("tallies", (tallies + 1).into()), ("ver", (ver + 1).into())],
+                                )
+                            })
+                            .unwrap();
+                        if done == 1 {
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let tallies = db.latest_committed("polls", 1).unwrap().unwrap().values[1].as_int();
+    assert_eq!(tallies, 8 * votes_per_thread);
+}
+
+/// Savepoints discard later writes but keep earlier ones (§3.1.2's
+/// alternative to multi-request ad hoc transactions).
+#[test]
+fn savepoints_partial_rollback() {
+    let db = skus_db(EngineProfile::PostgresLike);
+    let mut t = db.begin();
+    t.update("skus", 1, &[("quantity", 8.into())]).unwrap();
+    t.savepoint("after_first");
+    t.update("skus", 1, &[("quantity", 4.into())]).unwrap();
+    assert_eq!(t.get("skus", 1).unwrap().unwrap().values[1].as_int(), 4);
+    t.rollback_to("after_first").unwrap();
+    assert_eq!(t.get("skus", 1).unwrap().unwrap().values[1].as_int(), 8);
+    assert!(matches!(
+        t.rollback_to("nope"),
+        Err(DbError::NoSuchSavepoint { .. })
+    ));
+    t.commit().unwrap();
+    let q = db.latest_committed("skus", 1).unwrap().unwrap().values[1].as_int();
+    assert_eq!(q, 8);
+}
+
+/// Advisory (user) locks: blocking, reentrant, session-scoped (§6).
+#[test]
+fn advisory_locks_are_session_scoped() {
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    let s1 = db.new_session();
+    let s2 = db.new_session();
+    db.advisory_lock(s1, 42).unwrap();
+    assert!(!db.try_advisory_lock(s2, 42));
+    // Reentrant.
+    db.advisory_lock(s1, 42).unwrap();
+    assert!(db.advisory_unlock(s1, 42));
+    assert!(!db.try_advisory_lock(s2, 42));
+    db.end_session(s1);
+    assert!(db.try_advisory_lock(s2, 42));
+}
+
+/// After a simulated server crash, in-flight transactions cannot commit
+/// (connection lost), and committed state survives (§3.4.2).
+#[test]
+fn crash_kills_in_flight_transactions() {
+    let db = skus_db(EngineProfile::PostgresLike);
+    let mut t = db.begin();
+    t.update("skus", 1, &[("quantity", 0.into())]).unwrap();
+    db.simulate_crash();
+    let err = t.commit().unwrap_err();
+    assert!(matches!(err, DbError::TxnNotActive { .. }));
+    let q = db.latest_committed("skus", 1).unwrap().unwrap().values[1].as_int();
+    assert_eq!(q, 10, "pre-crash committed state survives");
+}
+
+/// Unique secondary indexes reject duplicates, including racing inserts.
+#[test]
+fn unique_index_rejects_duplicates_across_transactions() {
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    db.create_table(
+        Schema::new(
+            "users",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("email", ColumnType::Str),
+            ],
+            "id",
+        )
+        .unwrap()
+        .with_unique_index("email")
+        .unwrap(),
+    )
+    .unwrap();
+    db.run(IsolationLevel::ReadCommitted, |t| {
+        t.insert("users", &[("email", "a@example.com".into())])
+            .map(|_| ())
+    })
+    .unwrap();
+    let err = db
+        .run(IsolationLevel::ReadCommitted, |t| {
+            t.insert("users", &[("email", "a@example.com".into())])
+                .map(|_| ())
+        })
+        .unwrap_err();
+    assert!(matches!(err, DbError::UniqueViolation { .. }));
+
+    // 8 racing inserts of the same fresh email: exactly one wins.
+    let wins: usize = thread::scope(|s| {
+        (0..8)
+            .map(|_| {
+                let db = db.clone();
+                s.spawn(move || {
+                    db.run(IsolationLevel::ReadCommitted, |t| {
+                        t.insert("users", &[("email", "race@example.com".into())])
+                            .map(|_| ())
+                    })
+                    .is_ok()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap() as usize)
+            .sum()
+    });
+    assert_eq!(wins, 1);
+}
+
+/// Scans see the transaction's own pending writes (read-your-writes).
+#[test]
+fn scans_overlay_own_writes() {
+    let db = payments_db(EngineProfile::PostgresLike);
+    let mut t = db.begin();
+    t.insert("payments", &[("order_id", 10.into())]).unwrap();
+    let mine = t.scan("payments", &Predicate::eq("order_id", 10)).unwrap();
+    assert_eq!(mine.len(), 1);
+    // Another transaction does not see it.
+    let mut other = db.begin();
+    let theirs = other
+        .scan("payments", &Predicate::eq("order_id", 10))
+        .unwrap();
+    assert!(theirs.is_empty());
+    // Deleting within the transaction hides it again.
+    let id = mine[0].0;
+    assert!(t.delete("payments", id).unwrap());
+    assert!(t
+        .scan("payments", &Predicate::eq("order_id", 10))
+        .unwrap()
+        .is_empty());
+    t.commit().unwrap();
+}
+
+/// Dropping an active transaction aborts it and releases its locks.
+#[test]
+fn drop_aborts_and_releases() {
+    let db = skus_db(EngineProfile::MySqlLike);
+    {
+        let mut t = db.begin();
+        t.update("skus", 1, &[("quantity", 0.into())]).unwrap();
+        // dropped without commit
+    }
+    let q = db.latest_committed("skus", 1).unwrap().unwrap().values[1].as_int();
+    assert_eq!(q, 10);
+    // Lock is free for the next writer.
+    db.run(IsolationLevel::ReadCommitted, |t| {
+        t.update("skus", 1, &[("quantity", 7.into())])
+    })
+    .unwrap();
+}
+
+/// run_with_retries retries deadlock victims to completion.
+#[test]
+fn run_with_retries_recovers_from_deadlocks() {
+    let db = skus_db(EngineProfile::MySqlLike);
+    let total = 6;
+    thread::scope(|s| {
+        for _ in 0..total {
+            let db = db.clone();
+            s.spawn(move || {
+                db.run_with_retries(IsolationLevel::Serializable, 50, |t| {
+                    let row = t.get("skus", 1)?.unwrap();
+                    let q = row.values[1].as_int();
+                    t.update("skus", 1, &[("quantity", (q - 1).into())])
+                })
+                .unwrap();
+            });
+        }
+    });
+    let q = db.latest_committed("skus", 1).unwrap().unwrap().values[1].as_int();
+    assert_eq!(q, 10 - total);
+}
+
+/// Full scans fall back gracefully (no index on the predicate column).
+#[test]
+fn full_scan_predicates_work() {
+    let db = skus_db(EngineProfile::PostgresLike);
+    db.run(IsolationLevel::ReadCommitted, |t| {
+        t.insert("skus", &[("id", 2.into()), ("quantity", 0.into())])
+            .map(|_| ())
+    })
+    .unwrap();
+    let rows = db
+        .run(IsolationLevel::ReadCommitted, |t| {
+            t.scan("skus", &Predicate::ge("quantity", 1))
+        })
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].0, 1);
+    let all = db
+        .run(IsolationLevel::ReadCommitted, |t| {
+            t.scan("skus", &Predicate::All)
+        })
+        .unwrap();
+    assert_eq!(all.len(), 2);
+}
+
+/// Value-typed errors for missing tables/rows.
+#[test]
+fn missing_table_and_row_errors() {
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    let mut t = db.begin();
+    assert!(matches!(
+        t.get("ghosts", 1),
+        Err(DbError::NoSuchTable { .. })
+    ));
+    drop(t);
+    let db = skus_db(EngineProfile::PostgresLike);
+    let err = db
+        .run(IsolationLevel::ReadCommitted, |t| {
+            t.update("skus", 99, &[("quantity", 0.into())])
+        })
+        .unwrap_err();
+    assert!(matches!(err, DbError::NoSuchRow { .. }));
+}
+
+/// PG Serializable point reads participate in certification: read a row,
+/// concurrent writer updates it and commits, reader's write-commit aborts.
+#[test]
+fn postgres_serializable_read_row_certification() {
+    let db = skus_db(EngineProfile::PostgresLike);
+    let mut reader = db.begin_with(IsolationLevel::Serializable);
+    reader.get("skus", 1).unwrap().unwrap();
+    db.run(IsolationLevel::ReadCommitted, |t| {
+        t.update("skus", 1, &[("quantity", 5.into())])
+    })
+    .unwrap();
+    // Reader writes elsewhere, so it is not read-only.
+    reader
+        .insert("skus", &[("id", 2.into()), ("quantity", 1.into())])
+        .unwrap();
+    let err = reader.commit().unwrap_err();
+    assert!(matches!(err, DbError::SerializationFailure { .. }));
+}
+
+/// Per-operation isolation (Table 7a): a Read-Committed-hinted read inside
+/// a Repeatable Read transaction sees the latest committed version while
+/// the transaction's plain reads keep their snapshot.
+#[test]
+fn per_operation_isolation_hint() {
+    for profile in [EngineProfile::MySqlLike, EngineProfile::PostgresLike] {
+        let db = skus_db(profile);
+        let mut rr = db.begin_with(IsolationLevel::RepeatableRead);
+        assert_eq!(rr.get("skus", 1).unwrap().unwrap().values[1].as_int(), 10);
+        db.run(IsolationLevel::ReadCommitted, |t| {
+            t.update("skus", 1, &[("quantity", 42.into())])
+        })
+        .unwrap();
+        // Snapshot read: unchanged. Hinted read: latest.
+        assert_eq!(rr.get("skus", 1).unwrap().unwrap().values[1].as_int(), 10);
+        assert_eq!(
+            rr.get_read_committed("skus", 1).unwrap().unwrap().values[1].as_int(),
+            42,
+            "{profile:?}"
+        );
+        rr.commit().unwrap();
+    }
+}
+
+/// The hinted read does not poison PG Serializable certification: reading a
+/// concurrently-updated row through the hint opts it out of the read set.
+#[test]
+fn per_op_isolation_read_is_outside_ssi_read_set() {
+    let db = skus_db(EngineProfile::PostgresLike);
+    let mut reader = db.begin_with(IsolationLevel::Serializable);
+    reader.get_read_committed("skus", 1).unwrap().unwrap();
+    db.run(IsolationLevel::ReadCommitted, |t| {
+        t.update("skus", 1, &[("quantity", 5.into())])
+    })
+    .unwrap();
+    reader
+        .insert("skus", &[("id", 2.into()), ("quantity", 1.into())])
+        .unwrap();
+    reader.commit().expect("hinted reads must not certify");
+}
+
+/// Table locks: an exclusive explicit table lock blocks a concurrent
+/// explicit lock until commit (Table 7a's "explicit table locks").
+#[test]
+fn explicit_table_locks() {
+    let db = skus_db(EngineProfile::MySqlLike);
+    let mut t1 = db.begin();
+    t1.lock_table("skus", adhoc_storage::LockMode::Exclusive)
+        .unwrap();
+    let locked = Arc::new(AtomicBool::new(false));
+    let db2 = db.clone();
+    let flag = Arc::clone(&locked);
+    let h = thread::spawn(move || {
+        let mut t2 = db2.begin();
+        t2.lock_table("skus", adhoc_storage::LockMode::Shared)
+            .unwrap();
+        flag.store(true, Ordering::SeqCst);
+        t2.commit().unwrap();
+    });
+    thread::sleep(Duration::from_millis(60));
+    assert!(!locked.load(Ordering::SeqCst));
+    t1.commit().unwrap();
+    h.join().unwrap();
+    assert!(locked.load(Ordering::SeqCst));
+}

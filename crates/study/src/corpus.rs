@@ -1,0 +1,168 @@
+//! Application metadata (Table 2) and corpus-wide accessors.
+
+use crate::case::{App, Case};
+use crate::corpus_data::CASES;
+
+/// One Table 2 row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppInfo {
+    /// The application.
+    pub app: App,
+    /// Application category (forum, e-commerce, …).
+    pub category: &'static str,
+    /// Implementation language.
+    pub language: &'static str,
+    /// ORM framework used.
+    pub orm: &'static str,
+    /// Supported RDBMSs ("+" marks additional engines beyond those listed).
+    pub rdbms: &'static str,
+    /// GitHub stars at study time, in thousands ×10 (33.8k → 338).
+    pub stars_tenths_k: u32,
+    /// GitHub contributor count at study time.
+    pub contributors: u32,
+    /// Core APIs using ad hoc transactions (Table 3's middle column).
+    pub core_apis: &'static str,
+}
+
+impl AppInfo {
+    /// Render the star count the way Table 2 prints it.
+    pub fn stars(&self) -> String {
+        format!("{}.{}k", self.stars_tenths_k / 10, self.stars_tenths_k % 10)
+    }
+}
+
+/// Table 2, in the paper's row order.
+pub static APPLICATIONS: &[AppInfo] = &[
+    AppInfo {
+        app: App::Discourse,
+        category: "Forum",
+        language: "Ruby",
+        orm: "Active Record",
+        rdbms: "PG",
+        stars_tenths_k: 338,
+        contributors: 776,
+        core_apis: "Posting, image upload, notification.",
+    },
+    AppInfo {
+        app: App::Mastodon,
+        category: "Social network",
+        language: "Ruby",
+        orm: "Active Record",
+        rdbms: "PG",
+        stars_tenths_k: 246,
+        contributors: 644,
+        core_apis: "Posting, polls, messaging, viewing.",
+    },
+    AppInfo {
+        app: App::Spree,
+        category: "E-commerce",
+        language: "Ruby",
+        orm: "Active Record",
+        rdbms: "PG, MY",
+        stars_tenths_k: 114,
+        contributors: 855,
+        core_apis: "Check-out, cart modification.",
+    },
+    AppInfo {
+        app: App::Redmine,
+        category: "Project mgmt.",
+        language: "Ruby",
+        orm: "Active Record",
+        rdbms: "PG, MY, +",
+        stars_tenths_k: 42,
+        contributors: 8,
+        core_apis: "Issue tracking, metadata mgmt., attachments.",
+    },
+    AppInfo {
+        app: App::Broadleaf,
+        category: "E-commerce",
+        language: "Java",
+        orm: "Hibernate",
+        rdbms: "PG, MY, +",
+        stars_tenths_k: 15,
+        contributors: 73,
+        core_apis: "Check-out, cart modification.",
+    },
+    AppInfo {
+        app: App::ScmSuite,
+        category: "Supply chain",
+        language: "Java",
+        orm: "Hibernate",
+        rdbms: "PG, MY",
+        stars_tenths_k: 15,
+        contributors: 2,
+        core_apis: "Account mgmt., merchandise info. tracking.",
+    },
+    AppInfo {
+        app: App::JumpServer,
+        category: "Access control",
+        language: "Python",
+        orm: "Django",
+        rdbms: "PG, MY, +",
+        stars_tenths_k: 168,
+        contributors: 88,
+        core_apis: "Granting privileges, asset updates.",
+    },
+    AppInfo {
+        app: App::Saleor,
+        category: "E-commerce",
+        language: "Python",
+        orm: "Django",
+        rdbms: "PG, MY, +",
+        stars_tenths_k: 139,
+        contributors: 181,
+        core_apis: "Check-out, payment, refund, stock mgmt.",
+    },
+];
+
+/// Metadata for one application.
+pub fn app_info(app: App) -> &'static AppInfo {
+    APPLICATIONS
+        .iter()
+        .find(|i| i.app == app)
+        .expect("all apps present in APPLICATIONS")
+}
+
+/// All cases for one application.
+pub fn cases_for(app: App) -> Vec<&'static Case> {
+    CASES.iter().filter(|c| c.app == app).collect()
+}
+
+/// Look a case up by id.
+pub fn case(id: &str) -> Option<&'static Case> {
+    CASES.iter().find(|c| c.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_all_eight_apps_in_order() {
+        let order: Vec<App> = APPLICATIONS.iter().map(|i| i.app).collect();
+        assert_eq!(order, App::all().to_vec());
+    }
+
+    #[test]
+    fn star_rendering_matches_paper() {
+        assert_eq!(app_info(App::Discourse).stars(), "33.8k");
+        assert_eq!(app_info(App::Saleor).stars(), "13.9k");
+        assert_eq!(app_info(App::ScmSuite).stars(), "1.5k");
+    }
+
+    #[test]
+    fn lookup_by_id_and_app() {
+        assert!(case("discourse/create-post").is_some());
+        assert!(case("nope/nope").is_none());
+        assert_eq!(cases_for(App::JumpServer).len(), 5);
+    }
+
+    #[test]
+    fn case_ids_are_unique() {
+        let mut ids: Vec<&str> = CASES.iter().map(|c| c.id).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "duplicate case ids");
+    }
+}

@@ -1,0 +1,408 @@
+//! Findings 1–8, computed from the corpus.
+//!
+//! Each function returns the statistic the corresponding numbered finding
+//! quotes; the tests pin them to the paper's published values, so the
+//! corpus reconstruction cannot drift from the paper.
+
+use crate::case::App;
+use crate::corpus_data::CASES;
+use adhoc_core::taxonomy::{CcAlgorithm, FailureHandling, IssueCategory, LockImpl, ValidationImpl};
+use std::collections::BTreeSet;
+
+/// Finding 1: every application uses ad hoc transactions; 71/91 critical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Finding1 {
+    /// Applications with at least one case (all eight).
+    pub apps_with_cases: usize,
+    /// Total cases in the corpus (91).
+    pub total_cases: usize,
+    /// Cases in core APIs (71).
+    pub critical_cases: usize,
+}
+
+/// Compute Finding 1 from the corpus.
+pub fn finding1() -> Finding1 {
+    let apps: BTreeSet<App> = CASES.iter().map(|c| c.app).collect();
+    Finding1 {
+        apps_with_cases: apps.len(),
+        total_cases: CASES.len(),
+        critical_cases: CASES.iter().filter(|c| c.critical).count(),
+    }
+}
+
+/// Finding 2: what ad hoc transactions coordinate (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Finding2 {
+    /// Cases coordinating only part of their scope (22).
+    pub partial_coordination: usize,
+    /// Cases spanning multiple HTTP requests (10).
+    pub multi_request: usize,
+    /// Cases coordinating non-database operations (8).
+    pub non_db_operations: usize,
+}
+
+/// Compute Finding 2 from the corpus.
+pub fn finding2() -> Finding2 {
+    Finding2 {
+        partial_coordination: CASES.iter().filter(|c| c.partial_coordination).count(),
+        multi_request: CASES.iter().filter(|c| c.multi_request).count(),
+        non_db_operations: CASES.iter().filter(|c| c.non_db_ops).count(),
+    }
+}
+
+/// Finding 3: implementation diversity (§3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding3 {
+    /// Distinct lock implementation labels (seven).
+    pub lock_impls: BTreeSet<&'static str>,
+    /// Distinct validation implementation labels (two).
+    pub validation_impls: BTreeSet<&'static str>,
+    /// Applications mixing more than one lock implementation.
+    pub mixed_impl_apps: Vec<App>,
+}
+
+/// Compute Finding 3 from the corpus.
+pub fn finding3() -> Finding3 {
+    let lock_impls: BTreeSet<&'static str> = CASES
+        .iter()
+        .filter_map(|c| c.lock_impl)
+        .map(LockImpl::label)
+        .collect();
+    let validation_impls: BTreeSet<&'static str> = CASES
+        .iter()
+        .filter_map(|c| c.validation_impl)
+        .map(|v| match v {
+            ValidationImpl::OrmAssisted => "ORM-assisted",
+            ValidationImpl::HandCrafted => "hand-crafted",
+        })
+        .collect();
+    let mixed_impl_apps = App::all()
+        .into_iter()
+        .filter(|app| {
+            let impls: BTreeSet<LockImpl> = CASES
+                .iter()
+                .filter(|c| c.app == *app)
+                .filter_map(|c| c.lock_impl)
+                .collect();
+            impls.len() > 1
+        })
+        .collect();
+    Finding3 {
+        lock_impls,
+        validation_impls,
+        mixed_impl_apps,
+    }
+}
+
+/// Finding 4: coordination granularities (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Finding4 {
+    /// Column- or predicate-based cases (14).
+    pub fine_grained: usize,
+    /// Single-lock-over-multiple-accesses cases (58).
+    pub coarse_grained: usize,
+    /// Cases with both coordination styles (9).
+    pub both: usize,
+    /// Associated-access exploiters (37).
+    pub associated_access: usize,
+    /// Read–modify–write exploiters (56).
+    pub rmw: usize,
+    /// Cases exploiting both patterns (35).
+    pub rmw_and_aa: usize,
+    /// Column-based coordination (5).
+    pub column_based: usize,
+    /// Predicate-based coordination (10).
+    pub predicate_based: usize,
+    /// Cases with both fine granularities (1).
+    pub column_and_predicate: usize,
+}
+
+/// Compute Finding 4 from the corpus.
+pub fn finding4() -> Finding4 {
+    Finding4 {
+        fine_grained: CASES.iter().filter(|c| c.fine_grained()).count(),
+        coarse_grained: CASES.iter().filter(|c| c.coarse_grained()).count(),
+        both: CASES
+            .iter()
+            .filter(|c| c.fine_grained() && c.coarse_grained())
+            .count(),
+        associated_access: CASES.iter().filter(|c| c.associated_access).count(),
+        rmw: CASES.iter().filter(|c| c.rmw).count(),
+        rmw_and_aa: CASES
+            .iter()
+            .filter(|c| c.rmw && c.associated_access)
+            .count(),
+        column_based: CASES.iter().filter(|c| c.column_based).count(),
+        predicate_based: CASES.iter().filter(|c| c.predicate_based).count(),
+        column_and_predicate: CASES
+            .iter()
+            .filter(|c| c.column_based && c.predicate_based)
+            .count(),
+    }
+}
+
+/// Finding 5: failure handling (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Finding5 {
+    /// Pessimistic cases using one lock (52).
+    pub pessimistic_single_lock: usize,
+    /// Pessimistic cases acquiring multiple locks in order (13).
+    pub pessimistic_ordered_locks: usize,
+    /// Optimistic cases returning an error on conflict (19).
+    pub optimistic_error_return: usize,
+    /// Optimistic cases rolling back via a database transaction (1).
+    pub optimistic_dbt_rollback: usize,
+    /// Optimistic cases with hand-written rollback (2).
+    pub optimistic_manual_rollback: usize,
+    /// Optimistic cases repairing and rolling forward (4).
+    pub optimistic_repair: usize,
+}
+
+/// Compute Finding 5 from the corpus.
+pub fn finding5() -> Finding5 {
+    let pess = |single: bool| {
+        CASES
+            .iter()
+            .filter(|c| c.cc == CcAlgorithm::Pessimistic && c.single_lock == single)
+            .count()
+    };
+    let opt = |f: FailureHandling| {
+        CASES
+            .iter()
+            .filter(|c| c.failure_handling == Some(f))
+            .count()
+    };
+    Finding5 {
+        pessimistic_single_lock: pess(true),
+        pessimistic_ordered_locks: pess(false),
+        optimistic_error_return: opt(FailureHandling::ErrorReturn),
+        optimistic_dbt_rollback: opt(FailureHandling::DbtRollback),
+        optimistic_manual_rollback: opt(FailureHandling::ManualRollback),
+        optimistic_repair: opt(FailureHandling::Repair),
+    }
+}
+
+/// Finding 6: incorrect primitives (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Finding6 {
+    /// All pessimistic cases (65).
+    pub pessimistic_total: usize,
+    /// Pessimistic cases with lock-primitive issues (36).
+    pub pessimistic_with_lock_issues: usize,
+    /// All optimistic cases (26).
+    pub optimistic_total: usize,
+    /// Optimistic cases lacking validate-and-commit atomicity (11).
+    pub optimistic_non_atomic: usize,
+}
+
+/// Compute Finding 6 from the corpus.
+pub fn finding6() -> Finding6 {
+    Finding6 {
+        pessimistic_total: CASES
+            .iter()
+            .filter(|c| c.cc == CcAlgorithm::Pessimistic)
+            .count(),
+        pessimistic_with_lock_issues: CASES
+            .iter()
+            .filter(|c| c.issues.contains(&IssueCategory::IncorrectLockPrimitive))
+            .count(),
+        optimistic_total: CASES
+            .iter()
+            .filter(|c| c.cc == CcAlgorithm::Optimistic)
+            .count(),
+        optimistic_non_atomic: CASES
+            .iter()
+            .filter(|c| c.issues.contains(&IssueCategory::NonAtomicValidateCommit))
+            .count(),
+    }
+}
+
+/// Finding 7: incorrect coordination scope (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Finding7 {
+    /// Cases omitting critical operations from the scope (11).
+    pub omitted_operations: usize,
+    /// Business procedures with no ad hoc transaction at all (5).
+    pub forgotten_transactions: usize,
+}
+
+/// Compute Finding 7 from the corpus.
+pub fn finding7() -> Finding7 {
+    Finding7 {
+        omitted_operations: CASES
+            .iter()
+            .filter(|c| c.issues.contains(&IssueCategory::OmittedCriticalOperations))
+            .count(),
+        forgotten_transactions: CASES
+            .iter()
+            .filter(|c| c.issues.contains(&IssueCategory::ForgottenTransaction))
+            .count(),
+    }
+}
+
+/// Finding 8: incorrect failure handling (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Finding8 {
+    /// Incomplete transaction repair (1).
+    pub incomplete_repair: usize,
+    /// Intermediate states left un-rolled-back after crashes (3).
+    pub no_rollback_after_crash: usize,
+}
+
+/// Compute Finding 8 from the corpus.
+pub fn finding8() -> Finding8 {
+    Finding8 {
+        incomplete_repair: CASES
+            .iter()
+            .filter(|c| c.issues.contains(&IssueCategory::IncompleteRepair))
+            .count(),
+        no_rollback_after_crash: CASES
+            .iter()
+            .filter(|c| c.issues.contains(&IssueCategory::NoRollbackAfterCrash))
+            .count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finding1_matches_paper() {
+        let f = finding1();
+        assert_eq!(f.apps_with_cases, 8, "every studied application");
+        assert_eq!(f.total_cases, 91);
+        assert_eq!(f.critical_cases, 71);
+    }
+
+    #[test]
+    fn finding2_matches_paper() {
+        let f = finding2();
+        assert_eq!(f.partial_coordination, 22);
+        assert_eq!(f.multi_request, 10);
+        assert_eq!(f.non_db_operations, 8);
+    }
+
+    #[test]
+    fn finding3_matches_paper() {
+        let f = finding3();
+        assert_eq!(f.lock_impls.len(), 7, "7 different lock implementations");
+        assert_eq!(f.validation_impls.len(), 2, "2 validation implementations");
+        assert_eq!(
+            f.mixed_impl_apps,
+            vec![App::Broadleaf],
+            "except for Broadleaf, apps use one implementation"
+        );
+    }
+
+    #[test]
+    fn finding4_matches_paper() {
+        let f = finding4();
+        assert_eq!(f.fine_grained, 14);
+        assert_eq!(f.coarse_grained, 58);
+        assert_eq!(f.both, 9);
+        assert_eq!(
+            f.associated_access, 37,
+            "about 37 leverage associated access"
+        );
+        assert_eq!(f.rmw, 56, "56 leverage the RMW pattern");
+        assert_eq!(f.rmw_and_aa, 35, "35 utilize both");
+        assert_eq!(f.column_based, 5);
+        assert_eq!(f.predicate_based, 10);
+        assert_eq!(f.column_and_predicate, 1);
+    }
+
+    #[test]
+    fn finding5_matches_paper() {
+        let f = finding5();
+        assert_eq!(f.pessimistic_single_lock, 52);
+        assert_eq!(f.pessimistic_ordered_locks, 13);
+        assert_eq!(f.optimistic_error_return, 19);
+        assert_eq!(f.optimistic_dbt_rollback, 1);
+        assert_eq!(f.optimistic_manual_rollback, 2);
+        assert_eq!(f.optimistic_repair, 4);
+    }
+
+    #[test]
+    fn finding6_matches_paper() {
+        let f = finding6();
+        assert_eq!(f.pessimistic_with_lock_issues, 36);
+        assert_eq!(f.pessimistic_total, 65);
+        assert_eq!(f.optimistic_non_atomic, 11);
+        assert_eq!(f.optimistic_total, 26);
+    }
+
+    #[test]
+    fn finding7_matches_paper() {
+        let f = finding7();
+        assert_eq!(f.omitted_operations, 11);
+        assert_eq!(f.forgotten_transactions, 5);
+        assert_eq!(f.omitted_operations + f.forgotten_transactions, 16);
+    }
+
+    #[test]
+    fn finding8_matches_paper() {
+        let f = finding8();
+        assert_eq!(f.incomplete_repair, 1);
+        assert_eq!(f.no_rollback_after_crash, 3);
+    }
+
+    /// Structural sanity: lock issues only on pessimistic cases, atomicity
+    /// issues only on optimistic ones, lock/validation impls present iff
+    /// the CC algorithm calls for them, and failure handling declared for
+    /// every optimistic case.
+    #[test]
+    fn corpus_is_internally_consistent() {
+        for c in CASES {
+            match c.cc {
+                CcAlgorithm::Pessimistic => {
+                    assert!(c.lock_impl.is_some(), "{}", c.id);
+                    assert!(c.validation_impl.is_none(), "{}", c.id);
+                    assert!(c.failure_handling.is_none(), "{}", c.id);
+                    assert!(
+                        !c.issues.contains(&IssueCategory::NonAtomicValidateCommit),
+                        "{}",
+                        c.id
+                    );
+                }
+                CcAlgorithm::Optimistic => {
+                    assert!(c.lock_impl.is_none(), "{}", c.id);
+                    assert!(c.validation_impl.is_some(), "{}", c.id);
+                    assert!(c.failure_handling.is_some(), "{}", c.id);
+                    assert!(!c.single_lock, "{}: single_lock is pessimistic-only", c.id);
+                    assert!(
+                        !c.issues.contains(&IssueCategory::IncorrectLockPrimitive),
+                        "{}",
+                        c.id
+                    );
+                }
+            }
+            if c.severe_consequence.is_some() {
+                assert!(c.is_buggy(), "{}: severe but not buggy", c.id);
+            }
+            // ORM-assisted validation guarantees atomicity (§4.1.2).
+            if c.validation_impl == Some(ValidationImpl::OrmAssisted) {
+                assert!(
+                    !c.issues.contains(&IssueCategory::NonAtomicValidateCommit),
+                    "{}: ORM-assisted cases cannot be non-atomic",
+                    c.id
+                );
+            }
+        }
+    }
+
+    /// §3.2.2: 10 ORM-assisted vs 16 hand-crafted validation procedures,
+    /// and all 11 non-atomic cases are hand-crafted.
+    #[test]
+    fn validation_impl_split_matches_paper() {
+        let orm = CASES
+            .iter()
+            .filter(|c| c.validation_impl == Some(ValidationImpl::OrmAssisted))
+            .count();
+        let hand = CASES
+            .iter()
+            .filter(|c| c.validation_impl == Some(ValidationImpl::HandCrafted))
+            .count();
+        assert_eq!((orm, hand), (10, 16));
+    }
+}

@@ -1,0 +1,171 @@
+//! Table 7: coordination hints in the top-ranking RDBMSs and their
+//! relationship to ad hoc transactions (§6).
+
+/// Surveyed database systems (Table 7a's columns; SQLite, MS Access and
+/// Hive are skipped as in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vendor {
+    /// Oracle Database.
+    Oracle,
+    /// MySQL and MariaDB.
+    MySqlMariaDb,
+    /// Microsoft SQL Server and Azure SQL.
+    SqlServerAzure,
+    /// PostgreSQL.
+    PostgreSql,
+    /// IBM Db2.
+    IbmDb2,
+}
+
+impl Vendor {
+    /// All surveyed vendor groups, in Table 7a's column order.
+    pub fn all() -> [Vendor; 5] {
+        [
+            Vendor::Oracle,
+            Vendor::MySqlMariaDb,
+            Vendor::SqlServerAzure,
+            Vendor::PostgreSql,
+            Vendor::IbmDb2,
+        ]
+    }
+
+    /// Display name, as in the table header.
+    pub fn name(self) -> &'static str {
+        match self {
+            Vendor::Oracle => "Oracle",
+            Vendor::MySqlMariaDb => "MySQL, MariaDB",
+            Vendor::SqlServerAzure => "SQL Server, Azure SQL",
+            Vendor::PostgreSql => "PostgreSQL",
+            Vendor::IbmDb2 => "IBM Db2",
+        }
+    }
+}
+
+/// The hint kinds of Table 7a's rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hint {
+    /// `LOCK TABLE`-style explicit table locks.
+    ExplicitTableLocks,
+    /// `SELECT … FOR UPDATE`-style explicit row locks.
+    ExplicitRowLocks,
+    /// Application-keyed advisory (user) locks.
+    ExplicitUserLocks,
+    /// Per-statement isolation hints (`READCOMMITTED` table hints).
+    PerOperationIsolation,
+    /// `SAVEPOINT` / partial rollback.
+    Savepoints,
+}
+
+impl Hint {
+    /// All hint kinds, in Table 7a's row order.
+    pub fn all() -> [Hint; 5] {
+        [
+            Hint::ExplicitTableLocks,
+            Hint::ExplicitRowLocks,
+            Hint::ExplicitUserLocks,
+            Hint::PerOperationIsolation,
+            Hint::Savepoints,
+        ]
+    }
+
+    /// Display name, as in Table 7a's row labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hint::ExplicitTableLocks => "Explicit table locks",
+            Hint::ExplicitRowLocks => "Explicit row locks",
+            Hint::ExplicitUserLocks => "Explicit user locks",
+            Hint::PerOperationIsolation => "Per-op isolation",
+            Hint::Savepoints => "Savepoints",
+        }
+    }
+
+    /// Table 7a: does `vendor` support this hint? (All five support table
+    /// locks, row locks and savepoints, with differing restrictions; user
+    /// locks exist in Oracle, MySQL/MariaDB and PostgreSQL; per-operation
+    /// isolation in SQL Server and IBM Db2.)
+    pub fn supported_by(self, vendor: Vendor) -> bool {
+        match self {
+            Hint::ExplicitTableLocks | Hint::ExplicitRowLocks | Hint::Savepoints => true,
+            Hint::ExplicitUserLocks => matches!(
+                vendor,
+                Vendor::Oracle | Vendor::MySqlMariaDb | Vendor::PostgreSql
+            ),
+            Hint::PerOperationIsolation => {
+                matches!(vendor, Vendor::SqlServerAzure | Vendor::IbmDb2)
+            }
+        }
+    }
+
+    /// Table 7b: what the hint can potentially support.
+    pub fn supports(self) -> &'static [&'static str] {
+        match self {
+            Hint::ExplicitTableLocks => &["Coarse-grained coordination (§3.3.1)"],
+            Hint::ExplicitRowLocks | Hint::PerOperationIsolation => &[
+                "Coarse-grained coordination (§3.3.1)",
+                "Partial coordination (§3.1.1)",
+            ],
+            Hint::ExplicitUserLocks => &[
+                "Fine-grained coordination (§3.3.2)",
+                "Non-database operations (§3.1.3)",
+            ],
+            Hint::Savepoints => &["Partial rollback in long interactions (§3.1.2)"],
+        }
+    }
+
+    /// Table 7b: what the hint can potentially avoid.
+    pub fn avoids(self) -> &'static [&'static str] {
+        match self {
+            Hint::ExplicitTableLocks | Hint::ExplicitRowLocks | Hint::PerOperationIsolation => &[
+                "Incorrect lock implementations and ORM-related misuses (§4.1.1)",
+                "Incorrect failure handling (§4.3)",
+            ],
+            Hint::ExplicitUserLocks => {
+                &["Incorrect lock implementations and transaction-related misuses (§4.1.1)"]
+            }
+            Hint::Savepoints => &["Full-transaction aborts on partial failures"],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table7a_support_matrix_matches_paper() {
+        // User locks: Oracle, MySQL/MariaDB, PostgreSQL only.
+        assert!(Hint::ExplicitUserLocks.supported_by(Vendor::Oracle));
+        assert!(Hint::ExplicitUserLocks.supported_by(Vendor::MySqlMariaDb));
+        assert!(Hint::ExplicitUserLocks.supported_by(Vendor::PostgreSql));
+        assert!(!Hint::ExplicitUserLocks.supported_by(Vendor::SqlServerAzure));
+        assert!(!Hint::ExplicitUserLocks.supported_by(Vendor::IbmDb2));
+        // Per-op isolation: SQL Server and Db2.
+        assert!(Hint::PerOperationIsolation.supported_by(Vendor::SqlServerAzure));
+        assert!(Hint::PerOperationIsolation.supported_by(Vendor::IbmDb2));
+        assert!(!Hint::PerOperationIsolation.supported_by(Vendor::PostgreSql));
+        // Table/row locks and savepoints everywhere.
+        for v in Vendor::all() {
+            assert!(Hint::ExplicitTableLocks.supported_by(v));
+            assert!(Hint::ExplicitRowLocks.supported_by(v));
+            assert!(Hint::Savepoints.supported_by(v));
+        }
+    }
+
+    #[test]
+    fn no_vendor_supports_everything() {
+        // The paper's point: "database systems usually support only a
+        // subset of the listed hints" — hence the proxy module.
+        for v in Vendor::all() {
+            let all = Hint::all().iter().all(|h| h.supported_by(v));
+            assert!(!all, "{} should not support every hint", v.name());
+        }
+    }
+
+    #[test]
+    fn table7b_mappings_are_nonempty() {
+        for h in Hint::all() {
+            assert!(!h.supports().is_empty(), "{h:?}");
+            assert!(!h.avoids().is_empty(), "{h:?}");
+        }
+    }
+}

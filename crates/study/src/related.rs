@@ -1,0 +1,76 @@
+//! Table 1: comparison with Feral CC (Bailis et al.) and ACIDRain
+//! (Warszawski and Bailis).
+
+/// One column of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelatedWork {
+    /// Short study name.
+    pub name: &'static str,
+    /// The paper's citation for it.
+    pub citation: &'static str,
+    /// The coordination mechanism studied.
+    pub target: &'static str,
+    /// Aspects examined (characteristics / correctness / performance).
+    pub aspects: &'static [&'static str],
+    /// Issue families the study identifies.
+    pub issue_types: &'static [&'static str],
+}
+
+/// The three compared studies, in Table 1's column order.
+pub static RELATED: &[RelatedWork] = &[
+    RelatedWork {
+        name: "Feral CC",
+        citation: "Bailis et al. [5]",
+        target: "ORMs' invariant validation APIs",
+        aspects: &["Characteristics", "Correctness"],
+        issue_types: &["Insufficient isolation"],
+    },
+    RelatedWork {
+        name: "ACIDRain",
+        citation: "Warszawski and Bailis [83]",
+        target: "Database transactions",
+        aspects: &["Correctness"],
+        issue_types: &["Insufficient isolation", "Incorrect trans. scope"],
+    },
+    RelatedWork {
+        name: "This work",
+        citation: "Tang et al. (SIGMOD '22)",
+        target: "Ad hoc transactions",
+        aspects: &["Characteristics", "Correctness", "Performance"],
+        issue_types: &[
+            "Incorrect sync. primitives",
+            "Incorrect ad hoc trans. scope",
+            "Incorrect failure handling",
+        ],
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_structure_matches_paper() {
+        assert_eq!(RELATED.len(), 3);
+        assert_eq!(RELATED[0].name, "Feral CC");
+        assert_eq!(RELATED[1].name, "ACIDRain");
+        assert_eq!(RELATED[2].name, "This work");
+        // This work studies three aspects and three issue families.
+        assert_eq!(RELATED[2].aspects.len(), 3);
+        assert_eq!(RELATED[2].issue_types.len(), 3);
+        // The issue families match the Table 5a grouping labels.
+        use adhoc_core::taxonomy::IssueGroup;
+        assert_eq!(
+            RELATED[2].issue_types[0],
+            IssueGroup::IncorrectSyncPrimitives.label()
+        );
+        assert_eq!(
+            RELATED[2].issue_types[1],
+            IssueGroup::IncorrectScope.label()
+        );
+        assert_eq!(
+            RELATED[2].issue_types[2],
+            IssueGroup::IncorrectFailureHandling.label()
+        );
+    }
+}

@@ -1,0 +1,320 @@
+//! Tables 3, 4, 5a and 5b, derived from the corpus by aggregation.
+
+use crate::case::App;
+use crate::corpus::cases_for;
+use crate::corpus_data::CASES;
+use adhoc_core::taxonomy::{CcAlgorithm, IssueCategory};
+use std::collections::BTreeSet;
+
+/// One Table 3 row: criticality per application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table3Row {
+    /// The application.
+    pub app: App,
+    /// Cases residing in core APIs.
+    pub critical: usize,
+    /// All cases in the application.
+    pub total: usize,
+}
+
+/// Table 3: "Ad hoc transactions are mainly used in core APIs."
+pub fn table3() -> Vec<Table3Row> {
+    App::all()
+        .into_iter()
+        .map(|app| {
+            let cases = cases_for(app);
+            Table3Row {
+                app,
+                critical: cases.iter().filter(|c| c.critical).count(),
+                total: cases.len(),
+            }
+        })
+        .collect()
+}
+
+/// One Table 4 row: per-application case statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table4Row {
+    /// The application.
+    pub app: App,
+    /// Total identified cases.
+    pub total: usize,
+    /// Cases with at least one correctness issue.
+    pub buggy: usize,
+    /// Pessimistic (lock-coordinated) cases.
+    pub lock_based: usize,
+    /// Optimistic (validation-coordinated) cases.
+    pub validation_based: usize,
+}
+
+/// Table 4: "Statistics of identified ad hoc transactions."
+pub fn table4() -> Vec<Table4Row> {
+    App::all()
+        .into_iter()
+        .map(|app| {
+            let cases = cases_for(app);
+            Table4Row {
+                app,
+                total: cases.len(),
+                buggy: cases.iter().filter(|c| c.is_buggy()).count(),
+                lock_based: cases
+                    .iter()
+                    .filter(|c| c.cc == CcAlgorithm::Pessimistic)
+                    .count(),
+                validation_based: cases
+                    .iter()
+                    .filter(|c| c.cc == CcAlgorithm::Optimistic)
+                    .count(),
+            }
+        })
+        .collect()
+}
+
+/// Totals row of Table 4.
+pub fn table4_totals() -> Table4Row {
+    let rows = table4();
+    Table4Row {
+        app: App::Discourse, // placeholder; callers print "Total"
+        total: rows.iter().map(|r| r.total).sum(),
+        buggy: rows.iter().map(|r| r.buggy).sum(),
+        lock_based: rows.iter().map(|r| r.lock_based).sum(),
+        validation_based: rows.iter().map(|r| r.validation_based).sum(),
+    }
+}
+
+/// One Table 5a row: an issue category with its spread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table5aRow {
+    /// The issue category.
+    pub category: IssueCategory,
+    /// Applications with at least one affected case.
+    pub apps: usize,
+    /// Affected cases.
+    pub cases: usize,
+}
+
+/// Table 5a: "Categorization of incorrect ad hoc transactions."
+pub fn table5a() -> Vec<Table5aRow> {
+    IssueCategory::all()
+        .into_iter()
+        .map(|category| {
+            let affected: Vec<_> = CASES
+                .iter()
+                .filter(|c| c.issues.contains(&category))
+                .collect();
+            let apps: BTreeSet<App> = affected.iter().map(|c| c.app).collect();
+            Table5aRow {
+                category,
+                apps: apps.len(),
+                cases: affected.len(),
+            }
+        })
+        .collect()
+}
+
+/// One Table 5b row: severe consequences per application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table5bRow {
+    /// The application.
+    pub app: App,
+    /// Cases with severe consequences.
+    pub cases: usize,
+    /// The consequence descriptions.
+    pub consequences: Vec<&'static str>,
+}
+
+/// Table 5b: "Incorrect ad hoc transactions can have severe consequences."
+/// Applications without severe cases are omitted, as in the paper.
+pub fn table5b() -> Vec<Table5bRow> {
+    App::all()
+        .into_iter()
+        .filter_map(|app| {
+            let severe: Vec<_> = cases_for(app)
+                .into_iter()
+                .filter_map(|c| c.severe_consequence)
+                .collect();
+            if severe.is_empty() {
+                None
+            } else {
+                Some(Table5bRow {
+                    app,
+                    cases: severe.len(),
+                    consequences: severe,
+                })
+            }
+        })
+        .collect()
+}
+
+/// Issue-report statistics quoted in §4's summary: "We have submitted 20
+/// issue reports (covering 46 cases) to developer communities; 7 of them
+/// (covering 33 cases) have been acknowledged."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportStats {
+    /// Distinct issue reports submitted.
+    pub reports: usize,
+    /// Cases covered by those reports.
+    pub reported_cases: usize,
+    /// Reports acknowledged by developers.
+    pub acknowledged_reports: usize,
+    /// Cases covered by acknowledged reports.
+    pub acknowledged_cases: usize,
+}
+
+/// Compute the §4 reporting statistics from the corpus.
+pub fn report_stats() -> ReportStats {
+    let reports: BTreeSet<&str> = CASES.iter().filter_map(|c| c.report).collect();
+    let acknowledged: BTreeSet<&str> = CASES
+        .iter()
+        .filter(|c| c.acknowledged)
+        .filter_map(|c| c.report)
+        .collect();
+    ReportStats {
+        reports: reports.len(),
+        reported_cases: CASES.iter().filter(|c| c.report.is_some()).count(),
+        acknowledged_reports: acknowledged.len(),
+        acknowledged_cases: CASES.iter().filter(|c| c.acknowledged).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 3's published per-application criticality numbers.
+    #[test]
+    fn table3_matches_paper() {
+        let expect = [
+            (App::Discourse, 8, 13),
+            (App::Mastodon, 10, 16),
+            (App::Spree, 10, 10),
+            (App::Redmine, 6, 9),
+            (App::Broadleaf, 6, 11),
+            (App::ScmSuite, 11, 11),
+            (App::JumpServer, 5, 5),
+            (App::Saleor, 15, 16),
+        ];
+        let rows = table3();
+        for (row, (app, critical, total)) in rows.iter().zip(expect) {
+            assert_eq!(row.app, app);
+            assert_eq!((row.critical, row.total), (critical, total), "{app}");
+        }
+        let total_critical: usize = rows.iter().map(|r| r.critical).sum();
+        assert_eq!(total_critical, 71, "Finding 1: 71 critical cases");
+    }
+
+    /// Table 4's published per-application statistics.
+    #[test]
+    fn table4_matches_paper() {
+        let expect = [
+            (App::Discourse, 13, 13, 10, 3),
+            (App::Mastodon, 16, 11, 11, 5),
+            (App::Spree, 10, 10, 4, 6),
+            (App::Redmine, 9, 1, 6, 3),
+            (App::Broadleaf, 11, 7, 5, 6),
+            (App::ScmSuite, 11, 8, 8, 3),
+            (App::JumpServer, 5, 0, 5, 0),
+            (App::Saleor, 16, 3, 16, 0),
+        ];
+        for (row, (app, total, buggy, lock, valid)) in table4().iter().zip(expect) {
+            assert_eq!(row.app, app);
+            assert_eq!(
+                (row.total, row.buggy, row.lock_based, row.validation_based),
+                (total, buggy, lock, valid),
+                "{app}"
+            );
+        }
+        let t = table4_totals();
+        assert_eq!(
+            (t.total, t.buggy, t.lock_based, t.validation_based),
+            (91, 53, 65, 26)
+        );
+    }
+
+    /// Table 5a's published categorization.
+    #[test]
+    fn table5a_matches_paper() {
+        use IssueCategory::*;
+        let expect = [
+            (IncorrectLockPrimitive, 6, 36),
+            (NonAtomicValidateCommit, 3, 11),
+            (OmittedCriticalOperations, 4, 11),
+            (ForgottenTransaction, 3, 5),
+            (IncompleteRepair, 1, 1),
+            (NoRollbackAfterCrash, 1, 3),
+        ];
+        for (row, (category, apps, cases)) in table5a().iter().zip(expect) {
+            assert_eq!(row.category, category);
+            assert_eq!((row.apps, row.cases), (apps, cases), "{category:?}");
+        }
+    }
+
+    /// Table 5b: 28 severe cases, per-app counts as published.
+    #[test]
+    fn table5b_matches_paper() {
+        let rows = table5b();
+        let by_app: Vec<(App, usize)> = rows.iter().map(|r| (r.app, r.cases)).collect();
+        assert_eq!(
+            by_app,
+            vec![
+                (App::Discourse, 6),
+                (App::Mastodon, 4),
+                (App::Spree, 9),
+                (App::Broadleaf, 6),
+                (App::Saleor, 3),
+            ]
+        );
+        let total: usize = rows.iter().map(|r| r.cases).sum();
+        assert_eq!(total, 28, "28 cases have severe consequences");
+    }
+
+    /// §4 summary: 69 issues in 53 cases, 11 cases multi-issue.
+    #[test]
+    fn issue_totals_match_paper() {
+        let issues: usize = CASES.iter().map(|c| c.issues.len()).sum();
+        assert_eq!(issues, 69, "69 correctness issues");
+        let buggy = CASES.iter().filter(|c| c.is_buggy()).count();
+        assert_eq!(buggy, 53, "in 53 cases");
+        let multi = CASES.iter().filter(|c| c.issues.len() > 1).count();
+        assert_eq!(multi, 11, "11 cases have more than one issue");
+        // Issue-group split quoted in §4: 49 primitives / 16 scope / 4 failure.
+        use adhoc_core::taxonomy::IssueGroup::*;
+        let group_count = |g| {
+            CASES
+                .iter()
+                .flat_map(|c| c.issues.iter())
+                .filter(|i| i.group() == g)
+                .count()
+        };
+        assert_eq!(group_count(IncorrectSyncPrimitives), 49);
+        assert_eq!(group_count(IncorrectScope), 16);
+        assert_eq!(group_count(IncorrectFailureHandling), 4);
+    }
+
+    /// §4 summary: 20 reports / 46 cases; 7 acknowledged / 33 cases.
+    #[test]
+    fn report_stats_match_paper() {
+        let s = report_stats();
+        assert_eq!(s.reports, 20);
+        assert_eq!(s.reported_cases, 46);
+        assert_eq!(s.acknowledged_reports, 7);
+        assert_eq!(s.acknowledged_cases, 33);
+    }
+
+    /// Acknowledgement is a property of a report: no report may be half
+    /// acknowledged.
+    #[test]
+    fn reports_are_consistently_acknowledged() {
+        use std::collections::HashMap;
+        let mut status: HashMap<&str, bool> = HashMap::new();
+        for c in CASES {
+            if let Some(r) = c.report {
+                if let Some(prev) = status.insert(r, c.acknowledged) {
+                    assert_eq!(prev, c.acknowledged, "report {r} half-acknowledged");
+                }
+            } else {
+                assert!(!c.acknowledged, "{}: acknowledged without a report", c.id);
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Print the full study: every table of the paper plus the eight findings,
+//! all derived from the 91-case corpus.
+//!
+//! Run with `cargo run --example study_report`.
+
+use adhoc_transactions::study::report;
+
+fn main() {
+    println!("{}", report::render_table1());
+    println!("{}", report::render_table2());
+    println!("{}", report::render_table3());
+    println!("{}", report::render_table4());
+    println!("{}", report::render_table5a());
+    println!("{}", report::render_table5b());
+    println!("{}", report::render_table7a());
+    println!("{}", report::render_table7b());
+    println!("{}", report::render_findings());
+    println!("{}", report::render_playbook());
+}

@@ -1,0 +1,26 @@
+//! Umbrella crate re-exporting the whole ad-hoc-transactions workspace.
+//!
+//! This crate exists so that the repository-level examples and integration
+//! tests can use every subsystem through one dependency. Library users
+//! should normally depend on the individual crates instead:
+//!
+//! * [`adhoc_sim`] — clocks, latency model, seeded RNG, statistics helpers.
+//! * [`adhoc_kv`] — the Redis-like key–value substrate.
+//! * [`adhoc_storage`] — the in-memory RDBMS substrate (MySQL-like and
+//!   PostgreSQL-like engine profiles).
+//! * [`adhoc_orm`] — the Active-Record-style ORM substrate.
+//! * [`adhoc_core`] — the ad hoc transaction toolkit: taxonomy, the seven
+//!   lock implementations, validation strategies, the optimistic transaction
+//!   framework, and the coordination-hints proxy.
+//! * [`adhoc_apps`] — modeled workloads for the eight studied applications.
+//! * [`adhoc_study`] — the 91-case study corpus and paper-table generators.
+
+#![warn(missing_docs)]
+
+pub use adhoc_apps as apps;
+pub use adhoc_core as core;
+pub use adhoc_kv as kv;
+pub use adhoc_orm as orm;
+pub use adhoc_sim as sim;
+pub use adhoc_storage as storage;
+pub use adhoc_study as study;

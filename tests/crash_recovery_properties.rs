@@ -1,0 +1,122 @@
+//! Crash-point fuzzing for the §4.3 payment flow (issue \[60\]): random
+//! sequences of payment creation, processing (with crashes injected at the
+//! paper's crash point), and boot recovery must always agree with a
+//! per-order state-machine model — and recovery must always restore
+//! serviceability.
+
+use adhoc_transactions::apps::{spree, Mode};
+use adhoc_transactions::core::locks::MemLock;
+use adhoc_transactions::storage::{Database, EngineProfile};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const ORDERS: i64 = 3;
+
+/// The model's view of one order's payment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PayState {
+    None,
+    New,
+    Processing,
+    Completed,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CrashOp {
+    AddPayment { order: i64 },
+    Process { order: i64, crash: bool },
+    BootRecovery,
+}
+
+fn crash_op() -> impl Strategy<Value = CrashOp> {
+    prop_oneof![
+        (1..=ORDERS).prop_map(|order| CrashOp::AddPayment { order }),
+        (1..=ORDERS, any::<bool>()).prop_map(|(order, crash)| CrashOp::Process { order, crash }),
+        Just(CrashOp::BootRecovery),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every return value matches the state machine, completed payments
+    /// never regress, and a final boot recovery always makes every order
+    /// with a payment completable — the paper's fix, fuzzed.
+    #[test]
+    fn payment_crashes_recover_to_a_serviceable_state(
+        ops in proptest::collection::vec(crash_op(), 1..30),
+    ) {
+        let db = Database::in_memory(EngineProfile::PostgresLike);
+        let orm = spree::setup(&db).unwrap();
+        let app = spree::Spree::new(orm, Arc::new(MemLock::new()), Mode::AdHoc);
+        for order in 1..=ORDERS {
+            app.seed_order(order).unwrap();
+        }
+        let mut model: HashMap<i64, PayState> =
+            (1..=ORDERS).map(|o| (o, PayState::None)).collect();
+
+        for op in &ops {
+            match *op {
+                CrashOp::AddPayment { order } => {
+                    let created = app.add_payment(order).unwrap();
+                    let state = model.get_mut(&order).unwrap();
+                    prop_assert_eq!(created, *state == PayState::None);
+                    if created {
+                        *state = PayState::New;
+                    }
+                }
+                CrashOp::Process { order, crash } => {
+                    let done = app.process_payment(order, crash).unwrap();
+                    let state = model.get_mut(&order).unwrap();
+                    match *state {
+                        PayState::New => {
+                            if crash {
+                                prop_assert!(!done, "crashed processing reports failure");
+                                *state = PayState::Processing;
+                            } else {
+                                prop_assert!(done);
+                                *state = PayState::Completed;
+                            }
+                        }
+                        // Stuck, absent, or already-finished payments all
+                        // refuse — the §4.3 symptom.
+                        PayState::None | PayState::Processing | PayState::Completed => {
+                            prop_assert!(!done, "{:?} must refuse", *state);
+                        }
+                    }
+                }
+                CrashOp::BootRecovery => {
+                    let stuck = model.values().filter(|s| **s == PayState::Processing).count();
+                    prop_assert_eq!(app.boot_recovery().unwrap(), stuck);
+                    for state in model.values_mut() {
+                        if *state == PayState::Processing {
+                            *state = PayState::New;
+                        }
+                    }
+                }
+            }
+            for order in 1..=ORDERS {
+                prop_assert!(app.one_payment_per_order(order).unwrap());
+            }
+        }
+
+        // The fix's promise: after one boot recovery, every order that has
+        // a payment can finish it.
+        app.boot_recovery().unwrap();
+        for (order, state) in &model {
+            match state {
+                PayState::None => prop_assert!(!app.process_payment(*order, false).unwrap()),
+                PayState::Completed => {
+                    prop_assert!(!app.process_payment(*order, false).unwrap());
+                }
+                PayState::New | PayState::Processing => {
+                    prop_assert!(
+                        app.process_payment(*order, false).unwrap(),
+                        "order {} unserviceable after recovery", order
+                    );
+                }
+            }
+        }
+    }
+}

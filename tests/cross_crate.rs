@@ -1,0 +1,271 @@
+//! Cross-crate integration: toolkit + ORM + engine + applications + study
+//! working together, end to end.
+
+use adhoc_transactions::apps::{broadleaf, mastodon, spree, Mode};
+use adhoc_transactions::core::checker::{referential_integrity, ConsistencyChecker};
+use adhoc_transactions::core::hints::HintProxy;
+use adhoc_transactions::core::locks::{AdHocLock, DbTableLock, KvSetNxLock, MemLock};
+use adhoc_transactions::core::optimistic::{ContinuationStore, OptimisticTransaction};
+use adhoc_transactions::core::validation::CommitOutcome;
+use adhoc_transactions::kv::{Client, Store};
+use adhoc_transactions::sim::{LatencyModel, RealClock};
+use adhoc_transactions::storage::{Database, EngineProfile, IsolationLevel};
+use adhoc_transactions::study;
+use std::sync::Arc;
+
+/// A full shopping session: carts, check-out, payment — coordinated by
+/// three different toolkit locks against one database, with a consistency
+/// checker sweeping afterwards.
+#[test]
+fn end_to_end_shopping_session() {
+    let db = Database::in_memory(EngineProfile::MySqlLike);
+    let orm = broadleaf::setup(&db).unwrap();
+    let shop = Arc::new(broadleaf::Broadleaf::new(
+        orm,
+        Arc::new(DbTableLock::new(db.clone())),
+        Mode::AdHoc,
+    ));
+    shop.seed_cart(1).unwrap();
+    shop.seed_sku(1, 50).unwrap();
+
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let shop = Arc::clone(&shop);
+            s.spawn(move || {
+                for i in 0..5 {
+                    shop.add_to_cart(1, 10 + i, 1).unwrap();
+                    shop.check_out(1, 1).unwrap();
+                }
+            });
+        }
+    });
+    assert!(shop.cart_total_consistent(1).unwrap());
+    assert!(shop.sku_conserved(1, 50).unwrap());
+    let sku = shop.orm().find_required("skus", 1).unwrap();
+    assert_eq!(sku.get_int("sold").unwrap(), 20);
+}
+
+/// The Mastodon timeline flow plus the fsck-style checker from §3.4.2:
+/// a crash (leaked lock + partial write) leaves an inconsistency that the
+/// checker detects and repairs.
+#[test]
+fn timeline_crash_recovery_via_checker() {
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    let orm = mastodon::setup(&db).unwrap();
+    let kv = Client::new(Store::new(), RealClock::shared(), LatencyModel::zero());
+    let lock = Arc::new(KvSetNxLock::new(kv.clone()));
+    let app = mastodon::Mastodon::new(orm, kv.clone(), lock.clone(), Mode::AdHoc);
+
+    app.create_post(7, 1, "hello").unwrap();
+    app.create_post(7, 2, "world").unwrap();
+    // Simulate a crash between the Redis write and the DB delete: remove
+    // the row directly, leaving the timeline entry dangling.
+    app.orm().delete("posts", 2).unwrap();
+    assert!(!app.timeline_consistent(7).unwrap());
+
+    // The periodic checker finds and fixes it (mirror of Discourse's
+    // twelve-hourly job). Timeline entries are in Redis, so the rule reads
+    // both stores.
+    let dangling: Vec<i64> = app
+        .timeline(7)
+        .unwrap()
+        .into_iter()
+        .filter(|id| app.orm().find("posts", *id).unwrap().is_none())
+        .collect();
+    assert_eq!(dangling, vec![2]);
+    for id in dangling {
+        kv.srem("timeline:7", &id.to_string()).unwrap();
+    }
+    assert!(app.timeline_consistent(7).unwrap());
+}
+
+/// §6's hint proxy driving a Spree payment flow in place of the hand-rolled
+/// lock: the user-lock hint provides the same exactly-once behaviour.
+#[test]
+fn hint_proxy_replaces_ad_hoc_payment_lock() {
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    let orm = spree::setup(&db).unwrap();
+    let app = Arc::new(spree::Spree::new(
+        orm,
+        Arc::new(MemLock::new()),
+        Mode::AdHoc,
+    ));
+    app.seed_order(1).unwrap();
+    let proxy = Arc::new(HintProxy::new(db));
+
+    let created: usize = std::thread::scope(|s| {
+        (0..6)
+            .map(|_| {
+                let app = Arc::clone(&app);
+                let proxy = Arc::clone(&proxy);
+                s.spawn(move || {
+                    // The proxy's user lock replaces `add_payment`'s
+                    // internal predicate lock.
+                    let guard = proxy.user_lock("payments:order=1").unwrap();
+                    let created = app.add_payment_json(1).unwrap(); // uncoordinated API...
+                    guard.unlock().unwrap(); // ...made safe by the hint
+                    created as usize
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum()
+    });
+    assert_eq!(created, 1);
+    assert!(app.one_payment_per_order(1).unwrap());
+}
+
+/// The §6 OCC continuation spanning requests against the Discourse model,
+/// racing a direct edit: exactly one side wins.
+#[test]
+fn continuation_vs_direct_edit_race() {
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    let orm = adhoc_transactions::apps::discourse::setup(&db).unwrap();
+    let app = adhoc_transactions::apps::discourse::Discourse::new(
+        orm,
+        Arc::new(MemLock::new()),
+        Mode::AdHoc,
+    );
+    app.seed_topic(1).unwrap();
+    let post = app.seed_post(1, "original", 0).unwrap();
+
+    let store = ContinuationStore::new();
+    let mut txn = OptimisticTransaction::new();
+    txn.read(app.orm(), "posts", post).unwrap().unwrap();
+    let tid = store.save(txn);
+
+    // A direct edit lands between the requests.
+    let token = app.begin_edit(post).unwrap();
+    app.commit_edit(&token, "direct edit").unwrap();
+
+    let mut txn = store.restore(tid).unwrap();
+    txn.write("posts", post, &[("content", "continuation edit".into())]);
+    assert_eq!(txn.commit(app.orm()).unwrap(), CommitOutcome::Conflict);
+    assert_eq!(
+        app.orm()
+            .find_required("posts", post)
+            .unwrap()
+            .get_str("content")
+            .unwrap(),
+        "direct edit"
+    );
+}
+
+/// The study corpus is wired to the toolkit: every lock implementation a
+/// case references exists in the toolkit and can acquire/release, and every
+/// application in the corpus has a workload model in `adhoc-apps`.
+#[test]
+fn corpus_references_are_backed_by_implementations() {
+    use adhoc_transactions::core::taxonomy::LockImpl;
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    let kv = Client::new(Store::new(), RealClock::shared(), LatencyModel::zero());
+    let build = |which: LockImpl| -> Box<dyn AdHocLock> {
+        match which {
+            LockImpl::Sync => Box::new(adhoc_transactions::core::locks::SyncLock::new()),
+            LockImpl::Mem => Box::new(MemLock::new()),
+            LockImpl::MemLru => Box::new(adhoc_transactions::core::locks::MemLruLock::new(64)),
+            LockImpl::KvSetNx => Box::new(KvSetNxLock::new(kv.clone())),
+            LockImpl::KvMulti => Box::new(adhoc_transactions::core::locks::KvMultiLock::new(
+                kv.clone(),
+            )),
+            LockImpl::Sfu => Box::new(adhoc_transactions::core::locks::SfuLock::new(db.clone())),
+            LockImpl::DbTable => Box::new(DbTableLock::new(db.clone())),
+        }
+    };
+    let mut seen = std::collections::BTreeSet::new();
+    for case in study::CASES {
+        if let Some(which) = case.lock_impl {
+            if seen.insert(which.label()) {
+                let lock = build(which);
+                lock.lock("probe").unwrap().unlock().unwrap();
+            }
+        }
+    }
+    assert_eq!(seen.len(), 7, "all seven implementations exercised");
+}
+
+/// Crash-restart drill: the database survives, in-flight work is gone, and
+/// boot recovery restores serviceability (issue \[60\]'s fix, generalized).
+#[test]
+fn crash_restart_drill() {
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    let orm = spree::setup(&db).unwrap();
+    let app = spree::Spree::new(orm, Arc::new(MemLock::new()), Mode::AdHoc);
+    app.seed_order(1).unwrap();
+    app.add_payment(1).unwrap();
+    app.process_payment(1, true).unwrap(); // crash mid-flight
+
+    // Application restart: a fresh ORM over the same database.
+    let orm2 = adhoc_transactions::orm::Orm::new(db.clone(), app.orm().registry().clone());
+    let app2 = spree::Spree::new(orm2, Arc::new(MemLock::new()), Mode::AdHoc);
+    assert!(!app2.process_payment(1, false).unwrap(), "still stuck");
+    assert_eq!(app2.boot_recovery().unwrap(), 1);
+    assert!(app2.process_payment(1, false).unwrap());
+}
+
+/// Referential-integrity checker across the Discourse schema.
+#[test]
+fn referential_checker_on_discourse() {
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    let orm = adhoc_transactions::apps::discourse::setup(&db).unwrap();
+    let app = adhoc_transactions::apps::discourse::Discourse::new(
+        orm,
+        Arc::new(MemLock::new()),
+        Mode::AdHoc,
+    );
+    app.seed_topic(1).unwrap();
+    app.seed_image(5, 100).unwrap();
+    app.seed_post(1, "ok img:5", 5).unwrap();
+    let checker = ConsistencyChecker::new()
+        .rule(referential_integrity("posts", "topic_id", "topics"))
+        .rule(referential_integrity("posts", "img_id", "images"));
+    assert!(checker.run(&db).is_clean());
+    // A post referencing a missing image is caught.
+    app.seed_post(1, "broken img:9", 9).unwrap();
+    let report = checker.run(&db);
+    assert_eq!(report.violations.len(), 1);
+    assert!(report.violations[0].message.contains("img_id"));
+}
+
+/// Isolation-level matrix: one scenario, four configurations — the §3.1.1
+/// argument that DBT forces one level onto every operation while AHT mixes.
+#[test]
+fn isolation_flexibility_argument() {
+    // AHT: critical RMW behind a lock at Read Committed succeeds and is
+    // exact; the non-critical timestamp updates never abort anyone.
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    let orm = spree::setup(&db).unwrap();
+    let app = Arc::new(spree::Spree::new(
+        orm,
+        Arc::new(MemLock::new()),
+        Mode::AdHoc,
+    ));
+    app.seed_catalog(1, 1, &[10, 11], 100).unwrap();
+    app.seed_order(1).unwrap();
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let app = Arc::clone(&app);
+            s.spawn(move || {
+                for _ in 0..5 {
+                    assert!(app.decrement_stock(1, 1, 1).unwrap());
+                }
+            });
+        }
+    });
+    assert_eq!(app.sku_quantity(1).unwrap(), 80);
+    // No engine-level conflicts were needed.
+    let stats = app.orm().db().stats();
+    assert_eq!(stats.serialization_failures, 0);
+    assert_eq!(stats.lock_stats.deadlocks, 0);
+}
+
+/// The default-isolation claim from §2.1's footnote, as used by every ORM
+/// transaction in the workspace.
+#[test]
+fn orm_transactions_run_at_engine_default() {
+    let pg = Database::in_memory(EngineProfile::PostgresLike);
+    assert_eq!(pg.default_isolation(), IsolationLevel::ReadCommitted);
+    let my = Database::in_memory(EngineProfile::MySqlLike);
+    assert_eq!(my.default_isolation(), IsolationLevel::RepeatableRead);
+}

@@ -1,0 +1,188 @@
+//! Property tests for the ORM's touch cascade (the §3.1.1 Spree hop:
+//! SKUs → Products → join table → Categories): whichever SKU is saved, in
+//! whatever order, exactly the right ancestors are touched, timestamps only
+//! move forward, and unrelated branches never move.
+
+use adhoc_transactions::orm::{EntityDef, Orm, Registry, TouchVia};
+use adhoc_transactions::storage::{Column, ColumnType, Database, EngineProfile, Schema};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const PRODUCTS: i64 = 3;
+const CATEGORIES: i64 = 3;
+const SKUS: i64 = 6;
+
+/// Two products per category (product p is in categories p%3 and (p+1)%3),
+/// two SKUs per product (sku s belongs to product s%3).
+fn catalog() -> Orm {
+    let db = Database::in_memory(EngineProfile::MySqlLike);
+    for table in ["products", "categories"] {
+        db.create_table(
+            Schema::new(
+                table,
+                vec![
+                    Column::new("id", ColumnType::Int),
+                    Column::new("updated_at", ColumnType::Int),
+                ],
+                "id",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    }
+    db.create_table(
+        Schema::new(
+            "product_categories",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("product_id", ColumnType::Int),
+                Column::new("category_id", ColumnType::Int),
+            ],
+            "id",
+        )
+        .unwrap()
+        .with_index("product_id")
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        Schema::new(
+            "skus",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("product_id", ColumnType::Int),
+                Column::new("quantity", ColumnType::Int),
+            ],
+            "id",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let registry = Registry::new()
+        .register(EntityDef::new("products"))
+        .register(EntityDef::new("categories"))
+        .register(EntityDef::new("product_categories"))
+        .register(
+            EntityDef::new("skus")
+                .touch("product_id", "products")
+                .touch_via(TouchVia {
+                    fk_column: "product_id".into(),
+                    join_table: "product_categories".into(),
+                    join_left: "product_id".into(),
+                    join_right: "category_id".into(),
+                    parent_table: "categories".into(),
+                }),
+        );
+    let orm = Orm::new(db, registry);
+    orm.transaction(|t| {
+        for p in 0..PRODUCTS {
+            t.create(
+                "products",
+                &[("id", (p + 1).into()), ("updated_at", 0.into())],
+            )?;
+        }
+        for c in 0..CATEGORIES {
+            t.create(
+                "categories",
+                &[("id", (c + 1).into()), ("updated_at", 0.into())],
+            )?;
+        }
+        for p in 0..PRODUCTS {
+            for c in [p % CATEGORIES, (p + 1) % CATEGORIES] {
+                t.create(
+                    "product_categories",
+                    &[
+                        ("product_id", (p + 1).into()),
+                        ("category_id", (c + 1).into()),
+                    ],
+                )?;
+            }
+        }
+        for s in 0..SKUS {
+            t.create(
+                "skus",
+                &[
+                    ("id", (s + 1).into()),
+                    ("product_id", ((s % PRODUCTS) + 1).into()),
+                    ("quantity", 10.into()),
+                ],
+            )?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    orm
+}
+
+fn product_of(sku: i64) -> i64 {
+    ((sku - 1) % PRODUCTS) + 1
+}
+
+fn categories_of(product: i64) -> [i64; 2] {
+    let p = product - 1;
+    [(p % CATEGORIES) + 1, ((p + 1) % CATEGORIES) + 1]
+}
+
+fn stamp(orm: &Orm, table: &str, id: i64) -> i64 {
+    orm.find_required(table, id)
+        .unwrap()
+        .get_int("updated_at")
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Saving any sequence of SKUs touches exactly the saved SKU's product
+    /// and that product's categories — monotonically — and never anything
+    /// else.
+    #[test]
+    fn touch_cascade_touches_exactly_the_ancestors(
+        saves in proptest::collection::vec((1i64..=SKUS, 1i64..20), 1..25),
+    ) {
+        let orm = catalog();
+        // Seeding itself cascades (creates touch too), so baseline from the
+        // actual post-seed stamps rather than assuming zero.
+        let mut stamps: HashMap<(&str, i64), i64> = HashMap::new();
+        for p in 1..=PRODUCTS {
+            stamps.insert(("products", p), stamp(&orm, "products", p));
+        }
+        for c in 1..=CATEGORIES {
+            stamps.insert(("categories", c), stamp(&orm, "categories", c));
+        }
+
+        for (sku, qty) in &saves {
+            let mut obj = orm.find_required("skus", *sku).unwrap();
+            obj.set("quantity", *qty).unwrap();
+            orm.save(&mut obj).unwrap();
+
+            let product = product_of(*sku);
+            let cats = categories_of(product);
+            for p in 1..=PRODUCTS {
+                let now = stamp(&orm, "products", p);
+                let before = stamps[&("products", p)];
+                if p == product {
+                    prop_assert!(now > before, "product {} not touched", p);
+                    stamps.insert(("products", p), now);
+                } else {
+                    prop_assert_eq!(now, before, "product {} touched spuriously", p);
+                }
+            }
+            for c in 1..=CATEGORIES {
+                let now = stamp(&orm, "categories", c);
+                let before = stamps[&("categories", c)];
+                if cats.contains(&c) {
+                    prop_assert!(now > before, "category {} not touched", c);
+                    stamps.insert(("categories", c), now);
+                } else {
+                    prop_assert_eq!(now, before, "category {} touched spuriously", c);
+                }
+            }
+            // The save itself landed.
+            prop_assert_eq!(
+                orm.find_required("skus", *sku).unwrap().get_int("quantity").unwrap(),
+                *qty
+            );
+        }
+    }
+}

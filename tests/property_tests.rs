@@ -1,0 +1,266 @@
+//! Property-based tests over the substrates' core invariants.
+
+use adhoc_transactions::kv::{SetMode, Store};
+use adhoc_transactions::storage::{
+    Column, ColumnType, Database, EngineProfile, IsolationLevel, Predicate, Value,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// KV store vs. a HashMap model.
+
+#[derive(Debug, Clone)]
+enum KvOp {
+    Set(u8, u8),
+    SetNx(u8, u8),
+    Del(u8),
+    Get(u8),
+    Incr(u8),
+    ExpireIn(u8, u16),
+    Advance(u16),
+}
+
+fn kv_op() -> impl Strategy<Value = KvOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(k, v)| KvOp::Set(k % 8, v)),
+        (any::<u8>(), any::<u8>()).prop_map(|(k, v)| KvOp::SetNx(k % 8, v)),
+        any::<u8>().prop_map(|k| KvOp::Del(k % 8)),
+        any::<u8>().prop_map(|k| KvOp::Get(k % 8)),
+        any::<u8>().prop_map(|k| KvOp::Incr(k % 8)),
+        (any::<u8>(), 1u16..500).prop_map(|(k, d)| KvOp::ExpireIn(k % 8, d)),
+        (1u16..500).prop_map(KvOp::Advance),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The KV store agrees with a simple model (value + expiry deadline)
+    /// under arbitrary single-threaded command sequences.
+    #[test]
+    fn kv_store_matches_model(ops in proptest::collection::vec(kv_op(), 1..120)) {
+        let store = Store::new();
+        let mut model: HashMap<String, (String, Option<Duration>)> = HashMap::new();
+        let mut now = Duration::ZERO;
+        let live = |model: &HashMap<String, (String, Option<Duration>)>, k: &str, now: Duration| {
+            model.get(k).filter(|(_, exp)| exp.map(|e| now < e).unwrap_or(true)).cloned()
+        };
+        for op in ops {
+            match op {
+                KvOp::Advance(ms) => now += Duration::from_millis(ms as u64),
+                KvOp::Set(k, v) => {
+                    let key = format!("k{k}");
+                    store.set(&key, &v.to_string(), SetMode::Always, None, now).unwrap();
+                    model.insert(key, (v.to_string(), None));
+                }
+                KvOp::SetNx(k, v) => {
+                    let key = format!("k{k}");
+                    let expect_free = live(&model, &key, now).is_none();
+                    let did = store.set(&key, &v.to_string(), SetMode::IfAbsent, None, now).unwrap();
+                    prop_assert_eq!(did, expect_free);
+                    if did {
+                        model.insert(key, (v.to_string(), None));
+                    }
+                }
+                KvOp::Del(k) => {
+                    let key = format!("k{k}");
+                    let expect = live(&model, &key, now).is_some();
+                    prop_assert_eq!(store.del(&key, now), expect);
+                    model.remove(&key);
+                }
+                KvOp::Get(k) => {
+                    let key = format!("k{k}");
+                    let expect = live(&model, &key, now).map(|(v, _)| v);
+                    prop_assert_eq!(store.get(&key, now).unwrap(), expect);
+                }
+                KvOp::Incr(k) => {
+                    let key = format!("k{k}");
+                    let current = live(&model, &key, now)
+                        .map(|(v, _)| v.parse::<i64>().unwrap())
+                        .unwrap_or(0);
+                    // Keep expiry from the live entry (INCR preserves TTL).
+                    let exp = live(&model, &key, now).and_then(|(_, e)| e);
+                    prop_assert_eq!(store.incr(&key, now).unwrap(), current + 1);
+                    model.insert(key, ((current + 1).to_string(), exp));
+                }
+                KvOp::ExpireIn(k, ms) => {
+                    let key = format!("k{k}");
+                    let alive = live(&model, &key, now).is_some();
+                    let did = store.expire(&key, Duration::from_millis(ms as u64), now);
+                    prop_assert_eq!(did, alive);
+                    if alive {
+                        let (v, _) = model.get(&key).unwrap().clone();
+                        model.insert(key, (v, Some(now + Duration::from_millis(ms as u64))));
+                    } else {
+                        model.remove(&key);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Storage engine properties.
+
+fn tiny_db(profile: EngineProfile) -> Database {
+    let db = Database::in_memory(profile);
+    db.create_table(
+        adhoc_transactions::storage::Schema::new(
+            "t",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("grp", ColumnType::Int),
+                Column::new("val", ColumnType::Int),
+            ],
+            "id",
+        )
+        .unwrap()
+        .with_index("grp")
+        .unwrap(),
+    )
+    .unwrap();
+    db
+}
+
+#[derive(Debug, Clone)]
+enum DbOp {
+    Insert { grp: i8, val: i8 },
+    Update { idx: u8, val: i8 },
+    Delete { idx: u8 },
+    ScanGrp { grp: i8 },
+}
+
+fn db_op() -> impl Strategy<Value = DbOp> {
+    prop_oneof![
+        (any::<i8>(), any::<i8>()).prop_map(|(g, v)| DbOp::Insert { grp: g % 4, val: v }),
+        (any::<u8>(), any::<i8>()).prop_map(|(i, v)| DbOp::Update { idx: i, val: v }),
+        any::<u8>().prop_map(|i| DbOp::Delete { idx: i }),
+        any::<i8>().prop_map(|g| DbOp::ScanGrp { grp: g % 4 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Auto-committed single-statement transactions agree with a HashMap
+    /// model on both engine profiles, including index scans.
+    #[test]
+    fn engine_matches_model_single_threaded(
+        ops in proptest::collection::vec(db_op(), 1..80),
+        profile_pg in any::<bool>(),
+    ) {
+        let profile = if profile_pg { EngineProfile::PostgresLike } else { EngineProfile::MySqlLike };
+        let db = tiny_db(profile);
+        let mut model: HashMap<i64, (i64, i64)> = HashMap::new(); // id -> (grp, val)
+        let mut ids: Vec<i64> = Vec::new();
+        for op in ops {
+            match op {
+                DbOp::Insert { grp, val } => {
+                    let id = db.run(IsolationLevel::ReadCommitted, |t| {
+                        t.insert("t", &[("grp", (grp as i64).into()), ("val", (val as i64).into())])
+                    }).unwrap();
+                    model.insert(id, (grp as i64, val as i64));
+                    ids.push(id);
+                }
+                DbOp::Update { idx, val } => {
+                    if ids.is_empty() { continue; }
+                    let id = ids[idx as usize % ids.len()];
+                    let result = db.run(IsolationLevel::ReadCommitted, |t| {
+                        t.update("t", id, &[("val", (val as i64).into())])
+                    });
+                    if let Some(entry) = model.get_mut(&id) {
+                        prop_assert!(result.is_ok());
+                        entry.1 = val as i64;
+                    } else {
+                        prop_assert!(result.is_err());
+                    }
+                }
+                DbOp::Delete { idx } => {
+                    if ids.is_empty() { continue; }
+                    let id = ids[idx as usize % ids.len()];
+                    let existed = db.run(IsolationLevel::ReadCommitted, |t| t.delete("t", id)).unwrap();
+                    prop_assert_eq!(existed, model.remove(&id).is_some());
+                }
+                DbOp::ScanGrp { grp } => {
+                    let rows = db.run(IsolationLevel::ReadCommitted, |t| {
+                        t.scan("t", &Predicate::eq("grp", grp as i64))
+                    }).unwrap();
+                    let mut got: Vec<i64> = rows.iter().map(|(id, _)| *id).collect();
+                    got.sort_unstable();
+                    let mut want: Vec<i64> = model
+                        .iter()
+                        .filter(|(_, (g, _))| *g == grp as i64)
+                        .map(|(id, _)| *id)
+                        .collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want);
+                    // Scan results honour the predicate on the row itself.
+                    let schema = db.schema("t").unwrap();
+                    for (_, row) in &rows {
+                        prop_assert_eq!(row.get_int(&schema, "grp").unwrap(), grp as i64);
+                    }
+                }
+            }
+        }
+        // Final state: every live model row readable, with matching value.
+        for (id, (grp, val)) in &model {
+            let row = db.latest_committed("t", *id).unwrap().unwrap();
+            let schema = db.schema("t").unwrap();
+            prop_assert_eq!(row.get_int(&schema, "grp").unwrap(), *grp);
+            prop_assert_eq!(row.get_int(&schema, "val").unwrap(), *val);
+        }
+    }
+
+    /// Snapshot stability: under Repeatable Read, a transaction re-reading
+    /// a row sees the same value regardless of interleaved commits.
+    #[test]
+    fn repeatable_read_is_repeatable(updates in proptest::collection::vec(any::<i8>(), 1..12)) {
+        for profile in [EngineProfile::PostgresLike, EngineProfile::MySqlLike] {
+            let db = tiny_db(profile);
+            db.run(IsolationLevel::ReadCommitted, |t| {
+                t.insert("t", &[("id", 1.into()), ("grp", 0.into()), ("val", 42.into())]).map(|_| ())
+            }).unwrap();
+            let mut reader = db.begin_with(IsolationLevel::RepeatableRead);
+            let first = reader.get("t", 1).unwrap().unwrap();
+            for v in &updates {
+                db.run(IsolationLevel::ReadCommitted, |t| {
+                    t.update("t", 1, &[("val", (*v as i64).into())])
+                }).unwrap();
+                let again = reader.get("t", 1).unwrap().unwrap();
+                prop_assert_eq!(&again, &first);
+            }
+            reader.commit().unwrap();
+        }
+    }
+
+    /// Transaction atomicity: an aborted transaction leaves no trace, no
+    /// matter which writes it buffered.
+    #[test]
+    fn aborted_transactions_leave_no_trace(writes in proptest::collection::vec((any::<i8>(), any::<i8>()), 1..10)) {
+        let db = tiny_db(EngineProfile::PostgresLike);
+        db.run(IsolationLevel::ReadCommitted, |t| {
+            t.insert("t", &[("id", 1.into()), ("grp", 0.into()), ("val", 0.into())]).map(|_| ())
+        }).unwrap();
+        let before = db.dump_table("t").unwrap();
+        let mut txn = db.begin();
+        for (g, v) in &writes {
+            txn.insert("t", &[("grp", (*g as i64).into()), ("val", (*v as i64).into())]).unwrap();
+        }
+        txn.update("t", 1, &[("val", 99.into())]).unwrap();
+        txn.abort();
+        prop_assert_eq!(db.dump_table("t").unwrap(), before);
+    }
+
+    /// Value ordering is a total order consistent with index range scans.
+    #[test]
+    fn value_order_is_transitive(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
+        let (va, vb, vc) = (Value::Int(a), Value::Int(b), Value::Int(c));
+        if va <= vb && vb <= vc {
+            prop_assert!(va <= vc);
+        }
+        prop_assert_eq!(va == vb, a == b);
+    }
+}

@@ -1,0 +1,145 @@
+//! The §3.1.2 saga alternative on a realistic flow: a Saleor-style
+//! checkout decomposed into reserve-stock → capture-payment steps with
+//! compensations, executed by the toolkit's saga engine against the
+//! application schema.
+
+use adhoc_transactions::apps::{saleor, Mode};
+use adhoc_transactions::core::locks::MemLock;
+use adhoc_transactions::core::saga::{Saga, SagaOutcome};
+use adhoc_transactions::storage::{Database, EngineProfile};
+use std::sync::Arc;
+
+fn checkout_saga(stock_id: i64, order_id: i64, qty: i64, price: i64) -> Saga {
+    Saga::new()
+        .step(
+            "reserve-stock",
+            move |t| {
+                // FOR UPDATE: each step is its own transaction, so the RMW
+                // must lock the row against concurrent sagas.
+                t.find_for_update("stocks", stock_id)?;
+                let available = t.find_required("stocks", stock_id)?.get_int("qty")?;
+                t.raw()
+                    .update("stocks", stock_id, &[("qty", (available - qty).into())])?;
+                Ok(())
+            },
+            move |t| {
+                t.find_for_update("stocks", stock_id)?;
+                let available = t.find_required("stocks", stock_id)?.get_int("qty")?;
+                t.raw()
+                    .update("stocks", stock_id, &[("qty", (available + qty).into())])?;
+                Ok(())
+            },
+        )
+        .step(
+            "capture-payment",
+            move |t| {
+                // Fails naturally when no capture row exists for the order
+                // (the payment gateway refused the authorization).
+                t.find_for_update("captures", order_id)?;
+                let captured = t
+                    .find_required("captures", order_id)?
+                    .get_int("captured_cents")?;
+                t.raw().update(
+                    "captures",
+                    order_id,
+                    &[("captured_cents", (captured + price).into())],
+                )?;
+                Ok(())
+            },
+            move |t| {
+                t.find_for_update("captures", order_id)?;
+                let captured = t
+                    .find_required("captures", order_id)?
+                    .get_int("captured_cents")?;
+                t.raw().update(
+                    "captures",
+                    order_id,
+                    &[("captured_cents", (captured - price).into())],
+                )?;
+                Ok(())
+            },
+        )
+}
+
+fn fixture() -> saleor::Saleor {
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    let orm = saleor::setup(&db).unwrap();
+    saleor::Saleor::new(orm, Arc::new(MemLock::new()), Mode::AdHoc)
+}
+
+#[test]
+fn successful_checkout_commits_every_step() {
+    let app = fixture();
+    app.seed_stock(1, 10).unwrap();
+    app.seed_capture(1, 500).unwrap();
+    let outcome = checkout_saga(1, 1, 2, 300).run(app.orm()).unwrap();
+    assert_eq!(outcome, SagaOutcome::Completed { steps: 2 });
+    assert_eq!(app.stock_qty(1).unwrap(), 8);
+    assert_eq!(
+        app.orm()
+            .find_required("captures", 1)
+            .unwrap()
+            .get_int("captured_cents")
+            .unwrap(),
+        300
+    );
+}
+
+#[test]
+fn failed_capture_compensates_the_reservation() {
+    let app = fixture();
+    app.seed_stock(1, 10).unwrap();
+    // No capture row: the payment step fails after stock was reserved.
+    let outcome = checkout_saga(1, 1, 2, 300).run(app.orm()).unwrap();
+    match outcome {
+        SagaOutcome::Compensated {
+            failed_step,
+            compensated,
+        } => {
+            assert_eq!(failed_step, "capture-payment");
+            assert_eq!(compensated, vec!["reserve-stock".to_string()]);
+        }
+        other => panic!("expected compensation, got {other:?}"),
+    }
+    assert_eq!(app.stock_qty(1).unwrap(), 10, "reservation undone");
+}
+
+#[test]
+fn concurrent_sagas_interleave_but_conserve_stock() {
+    // The defining saga property the paper contrasts with DBTs: no
+    // long-lived transaction, so steps of different sagas interleave —
+    // yet compensations keep the net effect of failed checkouts at zero.
+    let app = Arc::new(fixture());
+    app.seed_stock(1, 100).unwrap();
+    app.seed_capture(1, 100_000).unwrap(); // order 1 captures succeed
+    let completed: usize = std::thread::scope(|s| {
+        (0..6)
+            .map(|i| {
+                let app = Arc::clone(&app);
+                s.spawn(move || {
+                    // Even workers check out order 1 (succeeds); odd ones
+                    // order 2 (no capture row — always compensates).
+                    let order = 1 + (i % 2);
+                    let saga = checkout_saga(1, order, 1, 10);
+                    let mut done = 0;
+                    for _ in 0..5 {
+                        match saga.run(app.orm()).unwrap() {
+                            SagaOutcome::Completed { .. } => done += 1,
+                            SagaOutcome::Compensated { .. } => {}
+                        }
+                    }
+                    done
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum()
+    });
+    assert_eq!(completed, 15, "each even worker's five checkouts complete");
+    assert_eq!(
+        app.stock_qty(1).unwrap(),
+        100 - 15,
+        "only completed sagas consume stock"
+    );
+}

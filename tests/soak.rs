@@ -1,0 +1,176 @@
+//! Randomized concurrent soak: several seconds of mixed, seeded-random
+//! traffic against three application models at once, with every invariant
+//! checked afterwards. Catches interleavings the targeted tests don't.
+
+use adhoc_transactions::apps::{broadleaf, jumpserver, mastodon, Mode};
+use adhoc_transactions::core::locks::{KvSetNxLock, MemLock};
+use adhoc_transactions::kv::{Client, Store};
+use adhoc_transactions::sim::rng::for_worker;
+use adhoc_transactions::sim::{LatencyModel, RealClock};
+use adhoc_transactions::storage::{Database, EngineProfile};
+use rand::Rng;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 0xC0FFEE;
+const THREADS: usize = 6;
+const SOAK: Duration = Duration::from_millis(1500);
+
+#[test]
+fn mixed_application_soak_preserves_all_invariants() {
+    // Broadleaf on MySQL-like; Mastodon + JumpServer on PostgreSQL-like.
+    let shop_db = Database::in_memory(EngineProfile::MySqlLike);
+    let shop = Arc::new(broadleaf::Broadleaf::new(
+        broadleaf::setup(&shop_db).unwrap(),
+        Arc::new(MemLock::new()),
+        Mode::AdHoc,
+    ));
+    for cart in 1..=3 {
+        shop.seed_cart(cart).unwrap();
+    }
+    let seeded = 1_000_000;
+    for sku in 1..=2 {
+        shop.seed_sku(sku, seeded).unwrap();
+    }
+
+    let social_db = Database::in_memory(EngineProfile::PostgresLike);
+    let kv = Client::new(Store::new(), RealClock::shared(), LatencyModel::zero());
+    let social = Arc::new(mastodon::Mastodon::new(
+        mastodon::setup(&social_db).unwrap(),
+        kv.clone(),
+        Arc::new(KvSetNxLock::new(kv)),
+        Mode::AdHoc,
+    ));
+    social.seed_poll(1).unwrap();
+    social.seed_invite(1, 64).unwrap();
+    // (notification dedupe needs no seed; the SETNX marker is the state)
+
+    let access_db = Database::in_memory(EngineProfile::PostgresLike);
+    let kv2 = Client::new(Store::new(), RealClock::shared(), LatencyModel::zero());
+    let access = Arc::new(jumpserver::JumpServer::new(
+        jumpserver::setup(&access_db).unwrap(),
+        Arc::new(KvSetNxLock::new(kv2)),
+        Mode::AdHoc,
+    ));
+    access.seed_credential(1, "s0").unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let votes_a = Arc::new(AtomicI64::new(0));
+    let votes_b = Arc::new(AtomicI64::new(0));
+    let sold = [Arc::new(AtomicI64::new(0)), Arc::new(AtomicI64::new(0))];
+    let next_post = Arc::new(AtomicI64::new(1));
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let shop = Arc::clone(&shop);
+            let social = Arc::clone(&social);
+            let access = Arc::clone(&access);
+            let stop = Arc::clone(&stop);
+            let votes_a = Arc::clone(&votes_a);
+            let votes_b = Arc::clone(&votes_b);
+            let sold = [Arc::clone(&sold[0]), Arc::clone(&sold[1])];
+            let next_post = Arc::clone(&next_post);
+            s.spawn(move || {
+                let mut rng = for_worker(SEED, t as u64);
+                while !stop.load(Ordering::Relaxed) {
+                    match rng.gen_range(0..10) {
+                        0 => {
+                            let cart = rng.gen_range(1..=3);
+                            shop.add_to_cart(cart, rng.gen_range(1..50), 1).unwrap();
+                        }
+                        1 => {
+                            let sku = rng.gen_range(0..2usize);
+                            if shop.check_out(sku as i64 + 1, 1).unwrap() {
+                                sold[sku].fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        2 => {
+                            if rng.gen_bool(0.5) {
+                                social.vote(1, mastodon::Choice::A).unwrap();
+                                votes_a.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                social.vote(1, mastodon::Choice::B).unwrap();
+                                votes_b.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        3 => {
+                            let _ = social.redeem_invite(1).unwrap();
+                        }
+                        4 => {
+                            let id = next_post.fetch_add(1, Ordering::Relaxed);
+                            social.create_post(7, id, "soak").unwrap();
+                            if rng.gen_bool(0.4) {
+                                social.delete_post(7, id).unwrap();
+                            }
+                        }
+                        5 => {
+                            access
+                                .grant(
+                                    rng.gen_range(0..4),
+                                    rng.gen_range(0..4),
+                                    rng.gen_range(0..5),
+                                )
+                                .unwrap();
+                        }
+                        6 => {
+                            // Mixed-app "request": cart + vote back to back.
+                            shop.add_to_cart(1, 5, 1).unwrap();
+                            social.vote(1, mastodon::Choice::A).unwrap();
+                            votes_a.fetch_add(1, Ordering::Relaxed);
+                        }
+                        7 => {
+                            let sku = rng.gen_range(0..2usize);
+                            if shop.check_out(sku as i64 + 1, 2).unwrap() {
+                                sold[sku].fetch_add(2, Ordering::Relaxed);
+                            }
+                        }
+                        8 => {
+                            // Dedupe race: all threads fight over a small
+                            // event space.
+                            let event = format!("mention:{}", rng.gen_range(0..6));
+                            let _ = social.notify_once(7, &event).unwrap();
+                        }
+                        _ => {
+                            // Credential rotations racing on one asset.
+                            let _ = access.rotate_credential(1, &format!("s{t}")).unwrap();
+                        }
+                    }
+                }
+            });
+        }
+        std::thread::sleep(SOAK);
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // Broadleaf invariants.
+    for cart in 1..=3 {
+        assert!(shop.cart_total_consistent(cart).unwrap(), "cart {cart}");
+    }
+    for (i, sku) in (1..=2i64).enumerate() {
+        assert!(shop.sku_conserved(sku, seeded).unwrap(), "sku {sku}");
+        let row = shop.orm().find_required("skus", sku).unwrap();
+        assert_eq!(
+            row.get_int("sold").unwrap(),
+            sold[i].load(Ordering::Relaxed),
+            "sku {sku} sold count"
+        );
+    }
+    // Mastodon invariants.
+    let (a, b) = social.poll_totals(1).unwrap();
+    assert_eq!(a, votes_a.load(Ordering::Relaxed));
+    assert_eq!(b, votes_b.load(Ordering::Relaxed));
+    assert!(social.invite_within_limit(1).unwrap());
+    assert!(social.timeline_consistent(7).unwrap());
+    assert!(social.notifications_unique(7).unwrap());
+    // JumpServer invariants.
+    for user in 0..4 {
+        assert!(access.grants_unique(user).unwrap(), "user {user}");
+    }
+    assert!(access.rotations_audited(1).unwrap());
+    // Engines resolved everything without leaking transactions.
+    for db in [&shop_db, &social_db, &access_db] {
+        let stats = db.stats();
+        assert_eq!(stats.lock_stats.timeouts, 0, "no lock leaks: {stats:?}");
+    }
+}

