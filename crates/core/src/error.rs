@@ -20,6 +20,12 @@ pub enum ToolkitError {
         /// The unknown continuation id.
         id: u64,
     },
+    /// A [`RetryPolicy`](crate::retry::RetryPolicy)-driven operation kept
+    /// failing retryably until its attempt budget or deadline ran out.
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl ToolkitError {
@@ -63,6 +69,9 @@ impl fmt::Display for ToolkitError {
             ToolkitError::NoSuchContinuation { id } => {
                 write!(f, "no saved optimistic transaction with id {id}")
             }
+            ToolkitError::RetriesExhausted { attempts } => {
+                write!(f, "gave up after {attempts} attempts")
+            }
         }
     }
 }
@@ -88,6 +97,8 @@ mod tests {
         let e: ToolkitError = LockError::Deadlock { key: "k".into() }.into();
         assert!(e.is_retryable());
         assert!(!ToolkitError::NoSuchContinuation { id: 7 }.is_retryable());
+        // The budget is spent; retrying *more* is not the answer.
+        assert!(!ToolkitError::RetriesExhausted { attempts: 3 }.is_retryable());
     }
 
     #[test]

@@ -32,6 +32,9 @@
 //!   mixed-coordination tables as they happen.
 //! * [`saga`] — the classic Sagas alternative to multi-request ad hoc
 //!   transactions (§3.1.2), for the semantic comparison the paper draws.
+//! * [`retry`] — one [`retry::RetryPolicy`] behind every coordination
+//!   path's retry loop (§3.4.1), with a toolkit-wide [`retry::Retryable`]
+//!   classification replacing each site's hand-rolled backoff arithmetic.
 
 #![warn(missing_docs)]
 
@@ -41,12 +44,14 @@ pub mod hints;
 pub mod locks;
 pub mod monitor;
 pub mod optimistic;
+pub mod retry;
 pub mod saga;
 pub mod taxonomy;
 pub mod validation;
 
 pub use error::ToolkitError;
 pub use locks::{AdHocLock, Guard, LockError};
+pub use retry::{BackoffPolicy, RetryObserver, RetryPolicy, Retryable};
 
 /// Result alias for toolkit operations.
 pub type Result<T> = std::result::Result<T, ToolkitError>;

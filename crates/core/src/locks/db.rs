@@ -19,7 +19,6 @@ use adhoc_storage::{
 };
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Stable 64-bit key hash (FNV-1a), truncated positive for use as a row id.
 fn key_to_row_id(key: &str) -> i64 {
@@ -298,7 +297,7 @@ impl LockGuard for DbTableGuard {
 impl AdHocLock for DbTableLock {
     fn lock(&self, key: &str) -> Result<Guard, LockError> {
         let id = key_to_row_id(key);
-        let deadline = Instant::now() + self.config.timeout;
+        let mut timer = self.config.policy().timer("DB");
         loop {
             if self.try_acquire(key, id)? {
                 return Ok(Guard::new(Box::new(DbTableGuard {
@@ -309,12 +308,11 @@ impl AdHocLock for DbTableLock {
                     leak: false,
                 })));
             }
-            if Instant::now() >= deadline {
+            if !timer.wait(None) {
                 return Err(LockError::Timeout {
                     key: key.to_string(),
                 });
             }
-            std::thread::sleep(self.config.retry_interval);
         }
     }
 

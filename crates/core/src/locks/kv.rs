@@ -13,13 +13,13 @@
 //! [`Guard::is_valid`]: super::Guard::is_valid
 
 use super::{AcquireConfig, AdHocLock, Guard, LockError, LockGuard};
-use adhoc_kv::Client;
+use adhoc_kv::{Client, KvError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::ThreadId;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 static OWNER_COUNTER: AtomicU64 = AtomicU64::new(1);
 
@@ -41,6 +41,7 @@ pub struct KvSetNxLock {
     ttl: Option<Duration>,
     check_owner_on_unlock: bool,
     reentrant: bool,
+    recover_ambiguous: bool,
     /// Per-instance re-entrancy table (see [`ReentrantTable`]).
     reentrancy: Arc<ReentrantTable>,
 }
@@ -54,6 +55,7 @@ impl KvSetNxLock {
             ttl: None,
             check_owner_on_unlock: true,
             reentrant: false,
+            recover_ambiguous: false,
             reentrancy: Arc::new(Mutex::new(HashMap::new())),
         }
     }
@@ -87,6 +89,23 @@ impl KvSetNxLock {
     /// releases.
     pub fn reentrant(mut self) -> Self {
         self.reentrant = true;
+        self
+    }
+
+    /// When a `SETNX` reply is lost ([`KvError::ConnectionLost`]) the
+    /// client cannot tell whether its write landed. With this switch, the
+    /// lock recovers by reading the key back: if the entry carries our
+    /// owner token, our write won and the lock is treated as acquired.
+    ///
+    /// This is the realistic application-level recovery — and, combined
+    /// with a TTL, it's how the double-grant arises: the acquisition the
+    /// recovery confirmed can expire mid-critical-section, hand the lock
+    /// to someone else, and only a [`Guard::is_valid`] check (the fence)
+    /// catches it.
+    ///
+    /// [`Guard::is_valid`]: super::Guard::is_valid
+    pub fn recover_ambiguous_replies(mut self) -> Self {
+        self.recover_ambiguous = true;
         self
     }
 }
@@ -213,17 +232,23 @@ impl AdHocLock for KvSetNxLock {
         }
 
         let owner = fresh_owner();
-        let deadline = Instant::now() + self.config.timeout;
+        let mut timer = self.config.policy().timer("KV-SETNX");
         loop {
-            let acquired = match self.ttl {
-                Some(ttl) => self
-                    .client
-                    .set_nx_px(key, &owner, ttl)
-                    .map_err(|e| LockError::Backend(e.to_string()))?,
-                None => self
-                    .client
-                    .set_nx(key, &owner)
-                    .map_err(|e| LockError::Backend(e.to_string()))?,
+            let attempt = match self.ttl {
+                Some(ttl) => self.client.set_nx_px(key, &owner, ttl),
+                None => self.client.set_nx(key, &owner),
+            };
+            let acquired = match attempt {
+                Ok(acquired) => acquired,
+                Err(KvError::ConnectionLost) if self.recover_ambiguous => {
+                    // The reply was lost; read the key back to learn
+                    // whether our SETNX landed.
+                    match self.client.get(key) {
+                        Ok(current) => current.as_deref() == Some(owner.as_str()),
+                        Err(e) => return Err(LockError::Backend(e.to_string())),
+                    }
+                }
+                Err(e) => return Err(LockError::Backend(e.to_string())),
             };
             if acquired {
                 let reentrancy = if self.reentrant {
@@ -245,12 +270,11 @@ impl AdHocLock for KvSetNxLock {
                     reentrancy,
                 })));
             }
-            if Instant::now() >= deadline {
+            if !timer.wait(None) {
                 return Err(LockError::Timeout {
                     key: key.to_string(),
                 });
             }
-            std::thread::sleep(self.config.retry_interval);
         }
     }
 
@@ -293,7 +317,7 @@ impl KvMultiLock {
 impl AdHocLock for KvMultiLock {
     fn lock(&self, key: &str) -> Result<Guard, LockError> {
         let owner = fresh_owner();
-        let deadline = Instant::now() + self.config.timeout;
+        let mut timer = self.config.policy().timer("KV-MULTI");
         loop {
             // WATCH key; GET key; if free: MULTI; SET; EXEC.
             let mut session = self.client.session();
@@ -322,12 +346,11 @@ impl AdHocLock for KvMultiLock {
                     })));
                 }
             }
-            if Instant::now() >= deadline {
+            if !timer.wait(None) {
                 return Err(LockError::Timeout {
                     key: key.to_string(),
                 });
             }
-            std::thread::sleep(self.config.retry_interval);
         }
     }
 

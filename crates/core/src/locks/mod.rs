@@ -33,7 +33,9 @@ pub mod mem;
 pub mod sync;
 pub mod watchdog;
 
+use adhoc_sim::{BackoffPolicy, RetryPolicy};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 pub use db::{DbTableLock, SfuLock};
@@ -63,6 +65,12 @@ pub enum LockError {
         /// The lock key whose acquisition closed the cycle.
         key: String,
     },
+    /// An [`AcquireConfig`] that could never acquire under contention
+    /// (e.g. a retry interval at or beyond the timeout).
+    InvalidConfig {
+        /// Why the configuration was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for LockError {
@@ -76,6 +84,9 @@ impl fmt::Display for LockError {
                     f,
                     "acquiring lock {key:?} would deadlock; requester aborted"
                 )
+            }
+            LockError::InvalidConfig { reason } => {
+                write!(f, "invalid acquire configuration: {reason}")
             }
         }
     }
@@ -91,6 +102,43 @@ pub struct AcquireConfig {
     pub retry_interval: Duration,
     /// Give up (with [`LockError::Timeout`]) after this long.
     pub timeout: Duration,
+}
+
+impl AcquireConfig {
+    /// A validated configuration. Rejects a retry interval at or beyond
+    /// the timeout: such a config times out on its *first* contended
+    /// retry, a silent misconfiguration several studied applications
+    /// shipped variants of.
+    pub fn new(retry_interval: Duration, timeout: Duration) -> Result<Self, LockError> {
+        if timeout.is_zero() {
+            return Err(LockError::InvalidConfig {
+                reason: "timeout must be non-zero".into(),
+            });
+        }
+        if retry_interval >= timeout {
+            return Err(LockError::InvalidConfig {
+                reason: format!(
+                    "retry interval ({retry_interval:?}) must be shorter than the \
+                     timeout ({timeout:?})"
+                ),
+            });
+        }
+        Ok(Self {
+            retry_interval,
+            timeout,
+        })
+    }
+
+    /// The equivalent [`RetryPolicy`]: fixed-interval polling until the
+    /// timeout, with ±25% deterministic jitter so contending acquirers
+    /// don't re-collide in lockstep.
+    pub fn policy(&self) -> RetryPolicy {
+        RetryPolicy::fixed(self.retry_interval, self.timeout).with_backoff(
+            BackoffPolicy::fixed(self.retry_interval)
+                .with_jitter(0.25)
+                .with_seed(adhoc_sim::rng::DEFAULT_SEED),
+        )
+    }
 }
 
 impl Default for AcquireConfig {
@@ -145,9 +193,25 @@ impl Guard {
     }
 }
 
+/// Unlock errors swallowed by [`Guard`]'s `Drop` impl, process-wide.
+static DROPPED_UNLOCK_ERRORS: AtomicU64 = AtomicU64::new(0);
+
+/// How many unlock errors `Drop` has silently discarded so far.
+///
+/// A drop cannot propagate an error, but losing one silently is exactly
+/// the failure-handling blind spot §3.4 documents (an expired lease's
+/// owner-checked release failing with [`LockError::NotHeld`], a lock
+/// table unreachable at release). Tests and the harness watch this
+/// counter to prove the path is at least observed.
+pub fn dropped_unlock_errors() -> u64 {
+    DROPPED_UNLOCK_ERRORS.load(Ordering::Relaxed)
+}
+
 impl Drop for Guard {
     fn drop(&mut self) {
-        let _ = self.0.unlock();
+        if self.0.unlock().is_err() {
+            DROPPED_UNLOCK_ERRORS.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 

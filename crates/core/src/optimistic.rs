@@ -14,6 +14,7 @@
 //! database transaction. [`ContinuationStore`] is the save/restore side.
 
 use crate::error::ToolkitError;
+use crate::retry::{RetryObserver, RetryPolicy};
 use crate::validation::CommitOutcome;
 use crate::Result;
 use adhoc_orm::{Obj, Orm};
@@ -138,6 +139,50 @@ impl OptimisticTransaction {
             Err(e) => Err(e.into()),
         }
     }
+}
+
+/// Internal error type for the [`run_optimistic`] retry loop: a validation
+/// conflict is always retryable; toolkit errors keep their own
+/// classification.
+enum OccFailure {
+    Conflict,
+    Other(ToolkitError),
+}
+
+/// Run a whole optimistic transaction — build, read, write, commit — under
+/// `policy`, retrying on validation [`CommitOutcome::Conflict`] (and on
+/// retryable engine errors) instead of hand-rolling the
+/// build-commit-check-loop every call site used to carry.
+///
+/// `body` is invoked with a fresh [`OptimisticTransaction`] per attempt, so
+/// its reads re-snapshot current values. Gives up with
+/// [`ToolkitError::RetriesExhausted`] once the policy's budget or deadline
+/// is spent.
+pub fn run_optimistic<T>(
+    orm: &Orm,
+    policy: &RetryPolicy,
+    observer: Option<&dyn RetryObserver>,
+    mut body: impl FnMut(&mut OptimisticTransaction) -> Result<T>,
+) -> Result<T> {
+    let retryable = |e: &OccFailure| match e {
+        OccFailure::Conflict => true,
+        OccFailure::Other(e) => e.is_retryable(),
+    };
+    policy
+        .run("occ", observer, retryable, |_attempt| {
+            let mut txn = OptimisticTransaction::new();
+            let value = body(&mut txn).map_err(OccFailure::Other)?;
+            match txn.commit(orm).map_err(OccFailure::Other)? {
+                CommitOutcome::Committed => Ok(value),
+                CommitOutcome::Conflict => Err(OccFailure::Conflict),
+            }
+        })
+        .map_err(|give_up| match give_up.error {
+            OccFailure::Other(e) if !give_up.retryable => e,
+            _ => ToolkitError::RetriesExhausted {
+                attempts: give_up.attempts,
+            },
+        })
 }
 
 /// Saved optimistic transactions, keyed by continuation id — the proposed
@@ -343,24 +388,30 @@ mod tests {
 
     #[test]
     fn concurrent_commits_serialize_correctly() {
-        // Many optimistic increments with retry: none lost.
+        // Many optimistic increments under the unified retry policy: none
+        // lost. (This loop used to be hand-rolled; run_optimistic owns the
+        // retry arithmetic now.)
         let orm = fixture();
         let threads = 6;
         let per = 20;
+        let policy = RetryPolicy::exponential(
+            1000,
+            std::time::Duration::from_micros(20),
+            std::time::Duration::from_micros(500),
+        );
         std::thread::scope(|s| {
             for _ in 0..threads {
                 let orm = orm.clone();
+                let policy = &policy;
                 s.spawn(move || {
                     for _ in 0..per {
-                        loop {
-                            let mut txn = OptimisticTransaction::new();
-                            let post = txn.read(&orm, "posts", 1).unwrap().unwrap();
+                        run_optimistic(&orm, policy, None, |txn| {
+                            let post = txn.read(&orm, "posts", 1)?.unwrap();
                             let v = post.get_int("view_cnt").unwrap();
                             txn.write("posts", 1, &[("view_cnt", (v + 1).into())]);
-                            if txn.commit(&orm).unwrap() == CommitOutcome::Committed {
-                                break;
-                            }
-                        }
+                            Ok(())
+                        })
+                        .unwrap();
                     }
                 });
             }
@@ -372,5 +423,48 @@ mod tests {
                 .unwrap(),
             (threads * per) as i64
         );
+    }
+
+    #[test]
+    fn run_optimistic_gives_up_when_conflicts_never_stop() {
+        // A body that always loses validation must exhaust the budget, not
+        // spin forever.
+        let orm = fixture();
+        let policy =
+            RetryPolicy::exponential(3, std::time::Duration::ZERO, std::time::Duration::ZERO);
+        let mut round = 0;
+        let result = run_optimistic(&orm, &policy, None, |txn| {
+            txn.read(&orm, "posts", 1)?.unwrap();
+            // Sabotage our own snapshot before commit (a fresh value each
+            // attempt, so every validation fails).
+            round += 1;
+            let sabotage = format!("moved-{round}");
+            orm.transaction(|t| {
+                t.raw()
+                    .update("posts", 1, &[("content", sabotage.as_str().into())])?;
+                Ok(())
+            })?;
+            txn.write("posts", 1, &[("content", "mine".into())]);
+            Ok(())
+        });
+        assert_eq!(
+            result.unwrap_err(),
+            ToolkitError::RetriesExhausted { attempts: 3 }
+        );
+    }
+
+    #[test]
+    fn run_optimistic_passes_hard_errors_through() {
+        let orm = fixture();
+        let policy =
+            RetryPolicy::exponential(5, std::time::Duration::ZERO, std::time::Duration::ZERO);
+        let mut calls = 0;
+        let result = run_optimistic(&orm, &policy, None, |txn| {
+            calls += 1;
+            txn.read(&orm, "no_such_entity", 1)?;
+            Ok(())
+        });
+        assert!(result.is_err());
+        assert_eq!(calls, 1, "a non-retryable error must not be re-attempted");
     }
 }

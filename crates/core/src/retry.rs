@@ -1,0 +1,167 @@
+//! One retry/backoff policy for every coordination path (§3.4.1).
+//!
+//! The studied applications each grew several independent retry loops —
+//! lock-acquisition polling, optimistic-validation loops, DBT re-runs —
+//! every one with its own interval arithmetic and give-up condition. This
+//! module centralizes all of them on [`RetryPolicy`] (defined in
+//! `adhoc-sim` so the storage engine can share it) plus a toolkit-wide
+//! [`Retryable`] classification, so a site states *what* is retryable and
+//! the policy decides *how*:
+//!
+//! * the three lock polling loops (`KV-SETNX`, `KV-MULTI`, `DB`) drive a
+//!   [`RetryPolicy::timer`] built by
+//!   [`AcquireConfig::policy`](crate::locks::AcquireConfig::policy);
+//! * the DBT wrapper (`Database::run_with_retries`) runs under
+//!   `Database::retry_policy`;
+//! * optimistic commit loops use
+//!   [`run_optimistic`](crate::optimistic::run_optimistic).
+//!
+//! Giving up on a *retryable* error surfaces
+//! [`ToolkitError::RetriesExhausted`]; a non-retryable error is returned
+//! as-is on the first attempt.
+
+pub use adhoc_sim::{BackoffPolicy, GiveUp, RetryObserver, RetryPolicy, RetryTimer};
+
+use crate::error::ToolkitError;
+use crate::locks::LockError;
+use adhoc_kv::KvError;
+use adhoc_orm::OrmError;
+use adhoc_storage::DbError;
+
+/// The toolkit-wide answer to "is re-running the operation a sound
+/// response to this error?" — the classification §3.4.1 finds every
+/// studied application re-deriving locally (and sometimes wrongly).
+pub trait Retryable {
+    /// True when the failure is transient and a retry can succeed without
+    /// risking a double-apply.
+    fn is_retryable(&self) -> bool;
+}
+
+impl Retryable for DbError {
+    fn is_retryable(&self) -> bool {
+        DbError::is_retryable(self)
+    }
+}
+
+impl Retryable for OrmError {
+    fn is_retryable(&self) -> bool {
+        OrmError::is_retryable(self)
+    }
+}
+
+impl Retryable for LockError {
+    fn is_retryable(&self) -> bool {
+        // A watchdog-aborted victim should retry; a timeout already *was*
+        // the retry budget, and the rest are hard failures.
+        matches!(self, LockError::Deadlock { .. })
+    }
+}
+
+impl Retryable for KvError {
+    fn is_retryable(&self) -> bool {
+        // ConnectionLost is ambiguous (the command may have applied), so a
+        // blind retry of a non-idempotent command is unsound; everything
+        // else is a hard protocol error.
+        false
+    }
+}
+
+impl Retryable for ToolkitError {
+    fn is_retryable(&self) -> bool {
+        ToolkitError::is_retryable(self)
+    }
+}
+
+/// Run `body` under `policy`, retrying failures its error type classifies
+/// as retryable.
+///
+/// On give-up: a retryable error that outlived the budget becomes
+/// [`ToolkitError::RetriesExhausted`]; a non-retryable error converts via
+/// `Into<ToolkitError>` untouched.
+pub fn run_with_policy<T, E>(
+    policy: &RetryPolicy,
+    label: &str,
+    observer: Option<&dyn RetryObserver>,
+    body: impl FnMut(u32) -> Result<T, E>,
+) -> crate::Result<T>
+where
+    E: Retryable + Into<ToolkitError>,
+{
+    policy
+        .run(label, observer, |e: &E| e.is_retryable(), body)
+        .map_err(|give_up| {
+            if give_up.retryable {
+                ToolkitError::RetriesExhausted {
+                    attempts: give_up.attempts,
+                }
+            } else {
+                give_up.error.into()
+            }
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn retryable_classification_is_uniform() {
+        assert!(Retryable::is_retryable(&DbError::Deadlock { txn: 1 }));
+        assert!(!Retryable::is_retryable(&DbError::ConnectionLost {
+            txn: 1
+        }));
+        assert!(Retryable::is_retryable(&LockError::Deadlock {
+            key: "k".into()
+        }));
+        assert!(!Retryable::is_retryable(&LockError::Timeout {
+            key: "k".into()
+        }));
+        assert!(!Retryable::is_retryable(&KvError::ConnectionLost));
+    }
+
+    #[test]
+    fn run_with_policy_maps_exhaustion() {
+        let policy = RetryPolicy::exponential(3, Duration::ZERO, Duration::ZERO);
+        let result: crate::Result<()> =
+            run_with_policy(&policy, "test", None, |_| Err(DbError::Deadlock { txn: 1 }));
+        assert_eq!(
+            result.unwrap_err(),
+            ToolkitError::RetriesExhausted { attempts: 3 }
+        );
+    }
+
+    #[test]
+    fn run_with_policy_passes_hard_errors_through() {
+        let policy = RetryPolicy::exponential(3, Duration::ZERO, Duration::ZERO);
+        let mut calls = 0;
+        let result: crate::Result<()> = run_with_policy(&policy, "test", None, |_| {
+            calls += 1;
+            Err(LockError::NotHeld { key: "k".into() })
+        });
+        assert_eq!(calls, 1, "non-retryable error must not be re-attempted");
+        assert!(matches!(
+            result,
+            Err(ToolkitError::Lock(LockError::NotHeld { .. }))
+        ));
+    }
+
+    #[test]
+    fn run_with_policy_succeeds_after_transient_failures() {
+        let policy = RetryPolicy::exponential(5, Duration::ZERO, Duration::ZERO);
+        let mut calls = 0;
+        let result = run_with_policy(&policy, "test", None, |attempt| {
+            calls += 1;
+            if attempt < 2 {
+                Err(DbError::SerializationFailure {
+                    txn: 1,
+                    reason: "ww".into(),
+                })
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(result.unwrap(), 2);
+        assert_eq!(calls, 3);
+    }
+}

@@ -4,7 +4,7 @@
 
 use crate::store::{KvError, SetMode, Store, Ttl, WriteOp};
 use adhoc_sim::latency::Cost;
-use adhoc_sim::{LatencyModel, SharedClock};
+use adhoc_sim::{FaultKind, FaultPlan, LatencyModel, OpClass, SharedClock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -19,6 +19,7 @@ pub struct Client {
     clock: SharedClock,
     latency: LatencyModel,
     round_trips: Arc<AtomicU64>,
+    faults: Option<FaultPlan>,
 }
 
 impl Client {
@@ -30,7 +31,17 @@ impl Client {
             clock,
             latency,
             round_trips: Arc::new(AtomicU64::new(0)),
+            faults: None,
         }
+    }
+
+    /// Attach a fault plan: every fallible command consults it (class
+    /// [`OpClass::KvCommand`]) and may lose its reply, lose its connection,
+    /// stall, or find the store freshly restarted. Fault consultation
+    /// charges no extra round trips.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// The underlying store (for assertions in tests).
@@ -49,30 +60,65 @@ impl Client {
         self.clock.now()
     }
 
+    /// One fault-eligible round trip: pay, consult the plan, then run
+    /// `apply` against the store at the (possibly delayed) server-side
+    /// arrival time.
+    ///
+    /// * `ConnError` — the command never reaches the server: `apply` is
+    ///   skipped and the caller sees [`KvError::ConnectionLost`].
+    /// * `ReplyLost` — `apply` runs (the server did the work) but the
+    ///   caller still sees [`KvError::ConnectionLost`]: the ambiguous
+    ///   outcome of §3.4.1.
+    /// * `LatencySpike` — the command stalls in flight for the injected
+    ///   delay before being applied; with a virtual clock this is how a
+    ///   holder overstays its lease.
+    /// * `StoreRestart` — the server bounces (volatile entries lost) just
+    ///   before serving the command, which then succeeds normally.
+    fn round_trip<R>(&self, apply: impl FnOnce(Duration) -> R) -> Result<R, KvError> {
+        let mut now = self.pay();
+        if let Some(plan) = &self.faults {
+            if let Some(fault) = plan.arm(OpClass::KvCommand) {
+                match fault.kind {
+                    FaultKind::ConnError => return Err(KvError::ConnectionLost),
+                    FaultKind::ReplyLost => {
+                        apply(now);
+                        return Err(KvError::ConnectionLost);
+                    }
+                    FaultKind::LatencySpike => {
+                        self.clock.sleep(fault.delay);
+                        now = self.clock.now();
+                    }
+                    FaultKind::StoreRestart => self.store.lose_volatile(now),
+                    // DbCommit kinds never arm on OpClass::KvCommand.
+                    FaultKind::CommitFailed | FaultKind::CrashAfterDurable => {}
+                }
+            }
+        }
+        Ok(apply(now))
+    }
+
     /// `GET key`.
     pub fn get(&self, key: &str) -> Result<Option<String>, KvError> {
-        let now = self.pay();
-        self.store.get(key, now)
+        self.round_trip(|now| self.store.get(key, now))?
     }
 
     /// `SET key value`.
     pub fn set(&self, key: &str, value: &str) -> Result<(), KvError> {
-        let now = self.pay();
-        self.store.set(key, value, SetMode::Always, None, now)?;
+        self.round_trip(|now| self.store.set(key, value, SetMode::Always, None, now))??;
         Ok(())
     }
 
     /// `SET key value NX` — returns whether the key was acquired.
     pub fn set_nx(&self, key: &str, value: &str) -> Result<bool, KvError> {
-        let now = self.pay();
-        self.store.set(key, value, SetMode::IfAbsent, None, now)
+        self.round_trip(|now| self.store.set(key, value, SetMode::IfAbsent, None, now))?
     }
 
     /// `SET key value NX PX ttl` — lease-style acquisition.
     pub fn set_nx_px(&self, key: &str, value: &str, ttl: Duration) -> Result<bool, KvError> {
-        let now = self.pay();
-        self.store
-            .set(key, value, SetMode::IfAbsent, Some(ttl), now)
+        self.round_trip(|now| {
+            self.store
+                .set(key, value, SetMode::IfAbsent, Some(ttl), now)
+        })?
     }
 
     /// `DEL key`; true when a live key was removed.
@@ -101,32 +147,27 @@ impl Client {
 
     /// `INCR key`; creates the counter at 0.
     pub fn incr(&self, key: &str) -> Result<i64, KvError> {
-        let now = self.pay();
-        self.store.incr(key, now)
+        self.round_trip(|now| self.store.incr(key, now))?
     }
 
     /// `SADD key member`; true when newly added.
     pub fn sadd(&self, key: &str, member: &str) -> Result<bool, KvError> {
-        let now = self.pay();
-        self.store.sadd(key, member, now)
+        self.round_trip(|now| self.store.sadd(key, member, now))?
     }
 
     /// `SREM key member`; true when removed.
     pub fn srem(&self, key: &str, member: &str) -> Result<bool, KvError> {
-        let now = self.pay();
-        self.store.srem(key, member, now)
+        self.round_trip(|now| self.store.srem(key, member, now))?
     }
 
     /// `SMEMBERS key` in sorted order.
     pub fn smembers(&self, key: &str) -> Result<Vec<String>, KvError> {
-        let now = self.pay();
-        self.store.smembers(key, now)
+        self.round_trip(|now| self.store.smembers(key, now))?
     }
 
     /// `SISMEMBER key member`.
     pub fn sismember(&self, key: &str, member: &str) -> Result<bool, KvError> {
-        let now = self.pay();
-        self.store.sismember(key, member, now)
+        self.round_trip(|now| self.store.sismember(key, member, now))?
     }
 
     /// Begin an optimistic transaction session (`WATCH`-based).
@@ -208,8 +249,13 @@ impl Session<'_> {
     /// `EXEC`: atomically validate the watch set and apply the queue.
     /// Returns `true` when the transaction committed.
     pub fn exec(self) -> Result<bool, KvError> {
-        let now = self.client.pay();
-        self.client.store.exec(&self.watched, &self.queued, now)
+        let Session {
+            client,
+            watched,
+            queued,
+            ..
+        } = self;
+        client.round_trip(|now| client.store.exec(&watched, &queued, now))?
     }
 }
 
@@ -283,6 +329,66 @@ mod tests {
         let c = client();
         let mut s = c.session();
         s.set("k", "v");
+    }
+
+    #[test]
+    fn conn_error_applies_nothing() {
+        use adhoc_sim::{FaultKind, FaultPlan, FaultRule};
+        let plan = FaultPlan::new(1, vec![FaultRule::at_ops(FaultKind::ConnError, &[0])]);
+        let c = client().with_faults(plan);
+        assert_eq!(c.set("k", "v"), Err(KvError::ConnectionLost));
+        assert_eq!(
+            c.get("k").unwrap(),
+            None,
+            "command never reached the server"
+        );
+        assert_eq!(c.round_trips(), 2, "the failed attempt still paid the wire");
+    }
+
+    #[test]
+    fn reply_lost_applies_but_errors() {
+        use adhoc_sim::{FaultKind, FaultPlan, FaultRule};
+        let plan = FaultPlan::new(1, vec![FaultRule::at_ops(FaultKind::ReplyLost, &[0])]);
+        let c = client().with_faults(plan);
+        assert_eq!(
+            c.set_nx("lock", "me"),
+            Err(KvError::ConnectionLost),
+            "the acquirer cannot tell whether it holds the lock"
+        );
+        assert_eq!(
+            c.get("lock").unwrap(),
+            Some("me".into()),
+            "but the server applied the SETNX"
+        );
+    }
+
+    #[test]
+    fn latency_spike_delays_server_arrival() {
+        use adhoc_sim::{FaultKind, FaultPlan, FaultRule};
+        let plan = FaultPlan::new(
+            1,
+            vec![FaultRule::at_ops(FaultKind::LatencySpike, &[1]).delay(Duration::from_secs(9))],
+        );
+        let clock = Arc::new(VirtualClock::new());
+        let c = Client::new(Store::new(), clock.clone(), LatencyModel::zero()).with_faults(plan);
+        assert!(c.set_nx_px("lease", "a", Duration::from_secs(5)).unwrap());
+        // Op 1 stalls 9 virtual seconds in flight; by arrival the lease
+        // from op 0 has already expired.
+        assert!(c.set_nx_px("lease", "b", Duration::from_secs(5)).unwrap());
+        assert_eq!(c.get("lease").unwrap(), Some("b".into()));
+    }
+
+    #[test]
+    fn store_restart_loses_only_volatile_keys() {
+        use adhoc_sim::{FaultKind, FaultPlan, FaultRule};
+        let plan =
+            FaultPlan::new_disabled(1, vec![FaultRule::at_ops(FaultKind::StoreRestart, &[0])]);
+        let c = client().with_faults(plan.clone());
+        c.set("durable", "v").unwrap();
+        assert!(c.set_nx_px("lease", "a", Duration::from_secs(60)).unwrap());
+        plan.enable();
+        assert_eq!(c.get("lease").unwrap(), None, "lease gone after restart");
+        assert_eq!(c.get("durable").unwrap(), Some("v".into()));
     }
 
     #[test]

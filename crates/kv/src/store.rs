@@ -45,6 +45,11 @@ pub enum KvError {
         /// The offending key.
         key: String,
     },
+    /// The connection to the server dropped mid-command (injected by a
+    /// [`FaultPlan`](adhoc_sim::FaultPlan)). The caller cannot tell whether
+    /// the command was applied — the ambiguity §3.4.1 of the paper turns
+    /// on.
+    ConnectionLost,
 }
 
 impl fmt::Display for KvError {
@@ -55,6 +60,9 @@ impl fmt::Display for KvError {
             }
             KvError::NotAnInteger { key } => {
                 write!(f, "value at key {key:?} is not an integer")
+            }
+            KvError::ConnectionLost => {
+                write!(f, "connection lost; command outcome unknown")
             }
         }
     }
@@ -497,6 +505,25 @@ impl Store {
     /// Total commands processed since creation.
     pub fn command_count(&self) -> u64 {
         self.inner.lock().commands
+    }
+
+    /// Simulate a server restart that recovers from an RDB-style snapshot:
+    /// every entry carrying an expiry is dropped (leases are volatile and
+    /// do not survive), plain keys persist. Versions of the dropped keys
+    /// bump so watchers see the loss.
+    pub fn lose_volatile(&self, _now: Duration) {
+        self.locked(|i| {
+            let doomed: Vec<String> = i
+                .entries
+                .iter()
+                .filter(|(_, e)| e.expires_at.is_some())
+                .map(|(k, _)| k.clone())
+                .collect();
+            for key in doomed {
+                i.entries.remove(&key);
+                i.bump(&key);
+            }
+        });
     }
 }
 

@@ -14,14 +14,23 @@
 //!   systems would pay them.
 //! * [`stats`] — summary statistics used by the evaluation harness.
 //! * [`rng`] — seeded RNG construction so experiments are reproducible.
+//! * [`faults`] — a deterministic, seeded fault schedule ([`FaultPlan`])
+//!   the substrates consult per operation, so the §3.4 failure-handling
+//!   paths can be exercised and replayed bit-for-bit.
+//! * [`retry`] — the single [`RetryPolicy`] (bounded attempts, deadline,
+//!   deterministic backoff jitter) shared by every coordination path.
 
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod faults;
 pub mod latency;
+pub mod retry;
 pub mod rng;
 pub mod stats;
 
 pub use clock::{Clock, RealClock, SharedClock, VirtualClock};
+pub use faults::{FaultKind, FaultPlan, FaultRecord, FaultRule, InjectedFault, OpClass};
 pub use latency::LatencyModel;
+pub use retry::{BackoffPolicy, GiveUp, RetryObserver, RetryPolicy, RetryTimer};
 pub use stats::Summary;

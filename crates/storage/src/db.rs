@@ -11,6 +11,7 @@ use crate::txn::Transaction;
 use crate::value::Value;
 use crate::Result;
 use adhoc_sim::latency::Cost;
+use adhoc_sim::{BackoffPolicy, FaultKind, FaultPlan, OpClass, RetryObserver, RetryPolicy};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -47,6 +48,13 @@ pub(crate) struct DbInner {
     /// Observer installed after construction (in addition to any in the
     /// config); used by monitors that attach to an existing database.
     pub late_observer: parking_lot::RwLock<Option<Arc<dyn StatementObserver>>>,
+    /// Fault plan consulted once per commit attempt (class
+    /// [`OpClass::DbCommit`]); installed after construction like
+    /// `late_observer`.
+    pub faults: parking_lot::RwLock<Option<FaultPlan>>,
+    /// Observer of [`run_with_retries`](Database::run_with_retries)
+    /// decisions (retries and give-ups); the hazard monitor attaches here.
+    pub retry_observer: parking_lot::RwLock<Option<Arc<dyn RetryObserver>>>,
     pub tables: RwLock<Tables>,
     pub locks: LockManager,
     next_txn: AtomicU64,
@@ -102,6 +110,8 @@ impl Database {
             inner: Arc::new(DbInner {
                 config,
                 late_observer: parking_lot::RwLock::new(None),
+                faults: parking_lot::RwLock::new(None),
+                retry_observer: parking_lot::RwLock::new(None),
                 tables: RwLock::new(Tables::default()),
                 locks: LockManager::new(timeout),
                 next_txn: AtomicU64::new(1),
@@ -195,35 +205,76 @@ impl Database {
         }
     }
 
+    /// The default [`RetryPolicy`] for `max_retries` retries of a DBT:
+    /// capped exponential backoff with deterministic jitter (seeded from
+    /// the workspace default seed; per-loop streams decorrelate threads) so
+    /// symmetric deadlock victims don't re-collide forever.
+    pub fn retry_policy(max_retries: usize) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: Some(max_retries as u32 + 1),
+            backoff: BackoffPolicy::exponential(
+                std::time::Duration::from_micros(25),
+                std::time::Duration::from_micros(800),
+            )
+            .with_jitter(0.5)
+            .with_seed(adhoc_sim::rng::DEFAULT_SEED),
+            deadline: None,
+        }
+    }
+
     /// Like [`run`](Self::run), retrying on retryable errors (deadlock /
     /// serialization failure / lock timeout) up to `max_retries` times.
+    /// Shorthand for [`run_with_policy`](Self::run_with_policy) with
+    /// [`retry_policy(max_retries)`](Self::retry_policy).
     pub fn run_with_retries<R>(
         &self,
         iso: IsolationLevel,
         max_retries: usize,
+        f: impl FnMut(&mut Transaction) -> Result<R>,
+    ) -> Result<R> {
+        self.run_with_policy(iso, &Self::retry_policy(max_retries), f)
+    }
+
+    /// Like [`run`](Self::run), driven by an explicit [`RetryPolicy`]. Every
+    /// retry and give-up is reported to any attached retry observer. On
+    /// give-up the last error is returned, exactly as the studied DBT
+    /// wrappers re-raise the driver exception.
+    pub fn run_with_policy<R>(
+        &self,
+        iso: IsolationLevel,
+        policy: &RetryPolicy,
         mut f: impl FnMut(&mut Transaction) -> Result<R>,
     ) -> Result<R> {
-        let mut attempt: u32 = 0;
-        loop {
-            match self.run(iso, &mut f) {
-                Err(e) if e.is_retryable() && (attempt as usize) < max_retries => {
-                    attempt += 1;
-                    // Exponential backoff (capped) so symmetric deadlock
-                    // victims don't re-collide forever; stagger by thread.
-                    let base = std::time::Duration::from_micros(50);
-                    let shift = attempt.min(6);
-                    let jitter = {
-                        use std::collections::hash_map::RandomState;
-                        use std::hash::{BuildHasher, Hasher};
-                        let mut h = RandomState::new().build_hasher();
-                        h.write_u64(attempt as u64);
-                        (h.finish() % 64) as u32
-                    };
-                    std::thread::sleep(base * (1u32 << shift) / 8 + base * jitter / 16);
-                }
-                other => return other,
-            }
-        }
+        let observer: Option<Arc<dyn RetryObserver>> = self.inner.retry_observer.read().clone();
+        policy
+            .run(
+                "dbt",
+                observer.as_deref(),
+                DbError::is_retryable,
+                |_attempt| self.run(iso, &mut f),
+            )
+            .map_err(|give_up| give_up.error)
+    }
+
+    /// Install a fault plan: every subsequent commit attempt consults it
+    /// (class [`OpClass::DbCommit`]) and may be rejected ([`FaultKind::CommitFailed`])
+    /// or become durable without an acknowledgement
+    /// ([`FaultKind::CrashAfterDurable`]); both surface as
+    /// [`DbError::ConnectionLost`].
+    pub fn inject_faults(&self, plan: FaultPlan) {
+        *self.inner.faults.write() = Some(plan);
+    }
+
+    /// Observe retry decisions made by
+    /// [`run_with_policy`](Self::run_with_policy).
+    pub fn attach_retry_observer(&self, observer: Arc<dyn RetryObserver>) {
+        *self.inner.retry_observer.write() = Some(observer);
+    }
+
+    /// Consult the fault plan for one commit attempt.
+    pub(crate) fn arm_commit_fault(&self) -> Option<FaultKind> {
+        let plan = self.inner.faults.read().clone()?;
+        plan.arm(OpClass::DbCommit).map(|f| f.kind)
     }
 
     /// Allocate a session id for session-scoped advisory locks (the

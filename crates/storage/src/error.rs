@@ -119,6 +119,16 @@ pub enum DbError {
         /// Requested savepoint name.
         name: String,
     },
+    /// The connection dropped during commit (injected by a
+    /// [`FaultPlan`](adhoc_sim::FaultPlan)). The client cannot tell whether
+    /// the commit became durable — drivers raise the same exception whether
+    /// the server rejected the commit or crashed after flushing it, which
+    /// is why §3.4.2 of the paper finds blind re-submission unsafe.
+    /// Deliberately **not** retryable.
+    ConnectionLost {
+        /// The transaction whose outcome is unknown.
+        txn: TxnId,
+    },
 }
 
 impl DbError {
@@ -178,6 +188,12 @@ impl fmt::Display for DbError {
                 write!(f, "no index on {table}.{column}")
             }
             DbError::NoSuchSavepoint { name } => write!(f, "no such savepoint {name:?}"),
+            DbError::ConnectionLost { txn } => {
+                write!(
+                    f,
+                    "connection lost during commit of txn {txn}; outcome unknown"
+                )
+            }
         }
     }
 }
@@ -204,6 +220,9 @@ mod tests {
             value: "v".into()
         }
         .is_retryable());
+        // Ambiguous outcome: blind retry could double-apply, so the
+        // classification refuses it.
+        assert!(!DbError::ConnectionLost { txn: 1 }.is_retryable());
     }
 
     #[test]

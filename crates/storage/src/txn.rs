@@ -825,6 +825,31 @@ impl Transaction {
 
     fn commit_inner(&mut self) -> Result<()> {
         self.ensure_active()?;
+        match self.db.arm_commit_fault() {
+            // The commit request never takes effect: the engine rolls the
+            // transaction back and the client sees a dropped connection.
+            Some(adhoc_sim::FaultKind::CommitFailed) => {
+                self.finish(false);
+                return Err(DbError::ConnectionLost { txn: self.id });
+            }
+            // The commit goes through and becomes durable, but the
+            // acknowledgement is lost: same client-visible error, opposite
+            // server-side truth — the §3.4.2 ambiguity.
+            Some(adhoc_sim::FaultKind::CrashAfterDurable) => {
+                let result = self.try_commit();
+                match result {
+                    Ok(()) => {
+                        self.finish(true);
+                        return Err(DbError::ConnectionLost { txn: self.id });
+                    }
+                    Err(e) => {
+                        self.finish(false);
+                        return Err(e);
+                    }
+                }
+            }
+            _ => {}
+        }
         let result = self.try_commit();
         match &result {
             Ok(()) => self.finish(true),

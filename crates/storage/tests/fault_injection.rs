@@ -1,0 +1,96 @@
+//! Commit-time fault points: `CommitFailed` (honest rollback) vs
+//! `CrashAfterDurable` (commit survives, acknowledgement doesn't). Both
+//! surface the same `DbError::ConnectionLost`, so a client cannot tell the
+//! two cases apart — the §3.4.2 ambiguity the paper's crash-handling
+//! strategies all wrestle with.
+
+use adhoc_sim::{FaultKind, FaultPlan, FaultRule};
+use adhoc_storage::{Column, ColumnType, Database, DbError, EngineProfile, Schema, Value};
+
+fn db_with_table() -> Database {
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    db.create_table(
+        Schema::new(
+            "t",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("v", ColumnType::Int),
+            ],
+            "id",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db
+}
+
+fn insert_row(db: &Database, id: i64) -> Result<(), DbError> {
+    let mut txn = db.begin();
+    txn.insert("t", &[("id", Value::Int(id)), ("v", Value::Int(1))])?;
+    txn.commit()
+}
+
+#[test]
+fn commit_failed_rolls_back_and_reports_connection_lost() {
+    let db = db_with_table();
+    db.inject_faults(FaultPlan::new(
+        1,
+        vec![FaultRule::at_ops(FaultKind::CommitFailed, &[0])],
+    ));
+    let err = insert_row(&db, 1).unwrap_err();
+    assert!(matches!(err, DbError::ConnectionLost { .. }));
+    assert_eq!(
+        db.latest_committed("t", 1).unwrap(),
+        None,
+        "nothing became durable"
+    );
+    assert_eq!(db.stats().commits, 0);
+    assert_eq!(db.stats().aborts, 1);
+    // The engine rolled back cleanly, so re-submitting is safe.
+    insert_row(&db, 1).unwrap();
+    assert!(db.latest_committed("t", 1).unwrap().is_some());
+}
+
+#[test]
+fn crash_after_durable_commits_but_reports_connection_lost() {
+    let db = db_with_table();
+    db.inject_faults(FaultPlan::new(
+        1,
+        vec![FaultRule::at_ops(FaultKind::CrashAfterDurable, &[0])],
+    ));
+    let err = insert_row(&db, 1).unwrap_err();
+    assert!(matches!(err, DbError::ConnectionLost { .. }));
+    assert!(
+        db.latest_committed("t", 1).unwrap().is_some(),
+        "the commit actually happened"
+    );
+    assert_eq!(db.stats().commits, 1);
+    // Blind re-submission — what a naive retry-on-error wrapper would do —
+    // now collides with the ghost of the acknowledged-but-unreported commit.
+    let err = insert_row(&db, 1).unwrap_err();
+    assert!(matches!(err, DbError::UniqueViolation { .. }));
+}
+
+#[test]
+fn connection_lost_is_not_blindly_retried_by_the_dbt_wrapper() {
+    let db = db_with_table();
+    db.inject_faults(FaultPlan::new(
+        1,
+        vec![FaultRule::at_ops(FaultKind::CrashAfterDurable, &[0])],
+    ));
+    // run_with_retries only retries honest transient errors; an ambiguous
+    // ConnectionLost is surfaced to the caller on the first attempt.
+    let result = db.run_with_retries(db.default_isolation(), 5, |txn| {
+        txn.insert("t", &[("id", Value::Int(9)), ("v", Value::Int(1))])
+    });
+    assert!(matches!(result, Err(DbError::ConnectionLost { .. })));
+    assert_eq!(db.stats().commits, 1, "exactly one (unacknowledged) commit");
+}
+
+#[test]
+fn fault_free_plan_changes_nothing() {
+    let db = db_with_table();
+    db.inject_faults(FaultPlan::new(1, vec![]));
+    insert_row(&db, 1).unwrap();
+    assert_eq!(db.stats().commits, 1);
+}

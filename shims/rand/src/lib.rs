@@ -1,0 +1,279 @@
+//! Offline stand-in for the `rand` crate (0.8-era API subset).
+//!
+//! The build environment cannot reach crates.io, so this shim provides the
+//! pieces the workspace uses — `StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::{gen, gen_bool, gen_range, sample_iter}` and
+//! `distributions::Standard` — backed by xoshiro256\*\* seeded through
+//! SplitMix64. Streams are deterministic for a given seed, which is the
+//! only property the workspace relies on (reported runs must replay
+//! bit-for-bit); they do not match upstream rand's byte streams.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Namespaced generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256\*\*.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; SplitMix64 cannot
+            // produce four zero outputs in a row, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 1;
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distributions, mirroring `rand::distributions`.
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution producing values of `T`.
+    pub trait Distribution<T> {
+        /// Sample one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "any value of the type" distribution.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<u128> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+        }
+    }
+}
+
+use distributions::{Distribution, Standard};
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let unit: f64 = Standard.sample(rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A value of `T` from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// A value uniformly drawn from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// True with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        let unit: f64 = Standard.sample(self);
+        unit < p
+    }
+
+    /// Sample one value from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, dist: D) -> T {
+        dist.sample(self)
+    }
+
+    /// An infinite iterator of samples from `dist`.
+    fn sample_iter<T, D: Distribution<T>>(self, dist: D) -> DistIter<Self, D, T>
+    where
+        Self: Sized,
+    {
+        DistIter {
+            rng: self,
+            dist,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Iterator returned by [`Rng::sample_iter`].
+#[derive(Debug)]
+pub struct DistIter<R, D, T> {
+    rng: R,
+    dist: D,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<R: RngCore, D: Distribution<T>, T> Iterator for DistIter<R, D, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        Some(self.dist.sample(&mut self.rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a: Vec<u64> = StdRng::seed_from_u64(9)
+            .sample_iter(Standard)
+            .take(16)
+            .collect();
+        let b: Vec<u64> = StdRng::seed_from_u64(9)
+            .sample_iter(Standard)
+            .take(16)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a: u64 = StdRng::seed_from_u64(1).gen();
+        let b: u64 = StdRng::seed_from_u64(2).gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(1..=3u8);
+            assert!((1..=3).contains(&w));
+            let n = rng.gen_range(-5..5i64);
+            assert!((-5..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn f64_samples_are_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (no serialization
+//! is performed anywhere — the derives exist so downstream consumers of the
+//! real crates could serialize configs). This shim keeps those derive
+//! attributes compiling without network access: the derive macros expand to
+//! marker-trait impls.
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! No-op derive macros for the offline serde shim.
+//!
+//! Nothing in this workspace actually serializes, so the derives expand to
+//! nothing; they exist solely so `#[derive(Serialize, Deserialize)]`
+//! attributes keep compiling without crates.io access.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing (see module docs).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing (see module docs).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
