@@ -276,6 +276,47 @@ mod tests {
     }
 
     #[test]
+    fn run_and_fix_is_idempotent() {
+        let db = fixture();
+        let checker = ConsistencyChecker::new().rule(
+            referential_integrity("posts", "topic_id", "topics").with_fix(|db, v| {
+                db.run(IsolationLevel::ReadCommitted, |t| {
+                    t.delete(&v.table, v.row_id)
+                })
+                .is_ok()
+            }),
+        );
+        let first = checker.run_and_fix(&db);
+        assert_eq!(first.fixed, 1);
+        assert!(first.is_clean());
+        // Second pass over the repaired database: nothing fires, nothing is
+        // re-fixed — the report is exactly the no-op report.
+        let second = checker.run_and_fix(&db);
+        assert_eq!(second, Report::default());
+    }
+
+    #[test]
+    fn later_rules_check_post_fix_state() {
+        let db = fixture();
+        // Rule 1 repairs the dangling reference; rule 2 is the same check
+        // detection-only. Because each rule re-scans when its turn comes,
+        // rule 2 must see the repaired table and stay quiet.
+        let checker = ConsistencyChecker::new()
+            .rule(
+                referential_integrity("posts", "topic_id", "topics").with_fix(|db, v| {
+                    db.run(IsolationLevel::ReadCommitted, |t| {
+                        t.delete(&v.table, v.row_id)
+                    })
+                    .is_ok()
+                }),
+            )
+            .rule(referential_integrity("posts", "topic_id", "topics"));
+        let report = checker.run_and_fix(&db);
+        assert_eq!(report.fixed, 1);
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
     fn unfixable_violations_stay_reported() {
         let db = fixture();
         let checker = ConsistencyChecker::new()

@@ -42,6 +42,15 @@ impl LockTable {
     fn acquire(&self, key: &str) -> u64 {
         let mut inner = self.inner.lock();
         while inner.entries.contains_key(key) {
+            if adhoc_sim::sched::under_scheduler() {
+                // Deterministically scheduled task: the holder only runs
+                // when the scheduler picks it, so waiting on the condvar
+                // would deadlock the trial. Yield cooperatively instead.
+                drop(inner);
+                adhoc_sim::sched::yield_point(adhoc_sim::sched::SchedPoint::LockWait);
+                inner = self.inner.lock();
+                continue;
+            }
             self.cv.wait(&mut inner);
         }
         inner.grant_counter += 1;

@@ -146,6 +146,79 @@ mod tests {
         ));
     }
 
+    #[derive(Default)]
+    struct Counting {
+        events: parking_lot::Mutex<Vec<String>>,
+    }
+
+    impl RetryObserver for Counting {
+        fn on_retry(&self, label: &str, attempt: u32, _delay: Duration) {
+            self.events.lock().push(format!("retry:{label}:{attempt}"));
+        }
+        fn on_give_up(&self, label: &str, attempts: u32, reason: &str) {
+            self.events
+                .lock()
+                .push(format!("give-up:{label}:{attempts}:{reason}"));
+        }
+    }
+
+    #[test]
+    fn observer_accounts_every_attempt_through_run_with_policy() {
+        let obs = Counting::default();
+        let policy = RetryPolicy::exponential(4, Duration::ZERO, Duration::ZERO);
+        let result: crate::Result<()> = run_with_policy(&policy, "dbt", Some(&obs), |_| {
+            Err(DbError::Deadlock { txn: 9 })
+        });
+        assert_eq!(
+            result.unwrap_err(),
+            ToolkitError::RetriesExhausted { attempts: 4 }
+        );
+        // One on_retry per sleep (attempts 0..3 fail, 3 sleeps), then one
+        // give-up carrying the total attempt count and the binding budget.
+        assert_eq!(
+            obs.events.into_inner(),
+            vec![
+                "retry:dbt:0",
+                "retry:dbt:1",
+                "retry:dbt:2",
+                "give-up:dbt:4:attempts"
+            ]
+        );
+    }
+
+    #[test]
+    fn observer_is_silent_on_success_and_hard_errors() {
+        let obs = Counting::default();
+        let policy = RetryPolicy::exponential(4, Duration::ZERO, Duration::ZERO);
+        let ok: crate::Result<u32> =
+            run_with_policy(&policy, "ok", Some(&obs), |_| Ok::<_, DbError>(7));
+        assert_eq!(ok.unwrap(), 7);
+        let hard: crate::Result<()> = run_with_policy(&policy, "hard", Some(&obs), |_| {
+            Err(LockError::NotHeld { key: "k".into() })
+        });
+        assert!(hard.is_err());
+        assert!(
+            obs.events.into_inner().is_empty(),
+            "no retry happened, so the observer must hear nothing"
+        );
+    }
+
+    #[test]
+    fn observer_reports_deadline_exhaustion_as_deadline() {
+        let obs = Counting::default();
+        // Deadline already spent at the first failure; the attempt budget
+        // (unbounded) is not the binding constraint.
+        let policy = RetryPolicy::fixed(Duration::ZERO, Duration::ZERO);
+        let result: crate::Result<()> = run_with_policy(&policy, "poll", Some(&obs), |_| {
+            Err(DbError::Deadlock { txn: 1 })
+        });
+        assert_eq!(
+            result.unwrap_err(),
+            ToolkitError::RetriesExhausted { attempts: 1 }
+        );
+        assert_eq!(obs.events.into_inner(), vec!["give-up:poll:1:deadline"]);
+    }
+
     #[test]
     fn run_with_policy_succeeds_after_transient_failures() {
         let policy = RetryPolicy::exponential(5, Duration::ZERO, Duration::ZERO);

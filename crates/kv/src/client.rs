@@ -55,6 +55,9 @@ impl Client {
     }
 
     fn pay(&self) -> Duration {
+        // Every simulated round trip is a potential preemption point under
+        // the deterministic scheduler (no-op otherwise).
+        adhoc_sim::sched::yield_point(adhoc_sim::sched::SchedPoint::KvRoundTrip);
         self.round_trips.fetch_add(1, Ordering::SeqCst);
         self.latency.charge(&*self.clock, Cost::KvRoundTrip);
         self.clock.now()

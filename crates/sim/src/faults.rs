@@ -483,6 +483,90 @@ mod tests {
     }
 
     #[test]
+    fn overlapping_rules_first_match_wins_until_capped() {
+        let plan = FaultPlan::new(
+            1,
+            vec![
+                FaultRule::at_ops(FaultKind::ConnError, &[0, 1]).max_fires(1),
+                FaultRule::at_ops(FaultKind::ReplyLost, &[0, 1, 2]),
+            ],
+        );
+        // Op 0: both rules match; plan order decides.
+        assert_eq!(
+            plan.arm(OpClass::KvCommand).unwrap().kind,
+            FaultKind::ConnError
+        );
+        // Op 1: rule 0 still matches but its budget is spent — the op falls
+        // through to the next matching rule instead of being swallowed.
+        assert_eq!(
+            plan.arm(OpClass::KvCommand).unwrap().kind,
+            FaultKind::ReplyLost
+        );
+        // Op 2: only rule 1 matches.
+        assert_eq!(
+            plan.arm(OpClass::KvCommand).unwrap().kind,
+            FaultKind::ReplyLost
+        );
+        let rules: Vec<usize> = plan.log().iter().map(|r| r.rule).collect();
+        assert_eq!(rules, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn disable_window_does_not_consume_op_indices() {
+        // The rule names "op 1"; operations issued while the plan is
+        // disabled must not advance toward that coordinate.
+        let plan = FaultPlan::new(1, vec![FaultRule::at_ops(FaultKind::ConnError, &[1])]);
+        assert!(plan.arm(OpClass::KvCommand).is_none()); // op 0
+        plan.disable();
+        for _ in 0..5 {
+            assert!(plan.arm(OpClass::KvCommand).is_none()); // uncounted
+        }
+        plan.enable();
+        assert!(plan.arm(OpClass::KvCommand).is_some(), "this is op 1");
+        assert_eq!(plan.ops_seen(OpClass::KvCommand), 2);
+    }
+
+    #[test]
+    fn at_ops_hits_exact_boundaries_only() {
+        // Index 0 (the very first operation) and an interior index, with
+        // no off-by-one bleed into the neighbors.
+        let plan = FaultPlan::new(1, vec![FaultRule::at_ops(FaultKind::ConnError, &[0, 4])]);
+        let hits: Vec<bool> = (0..8)
+            .map(|_| plan.arm(OpClass::KvCommand).is_some())
+            .collect();
+        assert_eq!(
+            hits,
+            vec![true, false, false, false, true, false, false, false]
+        );
+        assert_eq!(plan.ops_seen(OpClass::KvCommand), 8);
+    }
+
+    #[test]
+    fn max_fires_zero_never_fires_but_still_counts_ops() {
+        let plan = FaultPlan::new(
+            1,
+            vec![FaultRule::with_probability(FaultKind::ConnError, 1.0).max_fires(0)],
+        );
+        for _ in 0..4 {
+            assert!(plan.arm(OpClass::KvCommand).is_none());
+        }
+        assert_eq!(plan.fired(), 0);
+        assert_eq!(plan.ops_seen(OpClass::KvCommand), 4);
+    }
+
+    #[test]
+    fn interleaved_classes_keep_rule_coordinates_stable() {
+        // "KV op 2" stays KV op 2 no matter how many DB commits happen
+        // in between — the per-class counters are the whole point.
+        let plan = FaultPlan::new(1, vec![FaultRule::at_ops(FaultKind::ConnError, &[2])]);
+        assert!(plan.arm(OpClass::KvCommand).is_none()); // kv 0
+        assert!(plan.arm(OpClass::DbCommit).is_none()); // db 0
+        assert!(plan.arm(OpClass::DbCommit).is_none()); // db 1
+        assert!(plan.arm(OpClass::KvCommand).is_none()); // kv 1
+        assert!(plan.arm(OpClass::KvCommand).is_some(), "kv 2 fires");
+    }
+
+    #[test]
     fn listener_sees_every_record() {
         let plan = FaultPlan::new(
             1,

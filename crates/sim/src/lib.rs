@@ -19,6 +19,9 @@
 //!   paths can be exercised and replayed bit-for-bit.
 //! * [`retry`] — the single [`RetryPolicy`] (bounded attempts, deadline,
 //!   deterministic backoff jitter) shared by every coordination path.
+//! * [`sched`] — a cooperative deterministic scheduler plus an interleaving
+//!   explorer, so the paper's races are found and replayed by *schedule*
+//!   (compact `SCHED=` witness strings), not by wall-clock luck.
 
 #![warn(missing_docs)]
 
@@ -27,10 +30,14 @@ pub mod faults;
 pub mod latency;
 pub mod retry;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 
 pub use clock::{Clock, RealClock, SharedClock, VirtualClock};
 pub use faults::{FaultKind, FaultPlan, FaultRecord, FaultRule, InjectedFault, OpClass};
 pub use latency::LatencyModel;
 pub use retry::{BackoffPolicy, GiveUp, RetryObserver, RetryPolicy, RetryTimer};
+pub use sched::{
+    record, replay, yield_point, CounterExample, Exploration, Explorer, SchedPoint, Trial,
+};
 pub use stats::Summary;

@@ -17,6 +17,15 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+/// Backoff sleep that turns into a scheduling point under the
+/// deterministic scheduler (see [`crate::sched`]): a scheduled task must
+/// never block the wall clock, it yields and lets another task run.
+fn backoff_sleep(delay: Duration) {
+    if !crate::sched::yield_instead_of_sleep() {
+        std::thread::sleep(delay);
+    }
+}
+
 /// Distinguishes concurrent retry loops sharing one policy so their jitter
 /// streams decorrelate (thread A and thread B must not sleep in lockstep).
 static NEXT_STREAM: AtomicU64 = AtomicU64::new(0);
@@ -216,7 +225,7 @@ impl RetryPolicy {
                     if let Some(obs) = observer {
                         obs.on_retry(label, attempt, delay);
                     }
-                    std::thread::sleep(delay);
+                    backoff_sleep(delay);
                     attempt += 1;
                 }
             }
@@ -289,7 +298,7 @@ impl RetryTimer {
                 if let Some(obs) = observer {
                     obs.on_retry(self.label, attempt, delay);
                 }
-                std::thread::sleep(delay);
+                backoff_sleep(delay);
                 true
             }
             None => {

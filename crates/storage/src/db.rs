@@ -170,6 +170,9 @@ impl Database {
 
     /// Begin a transaction at an explicit isolation level.
     pub fn begin_with(&self, iso: IsolationLevel) -> Transaction {
+        // Transaction boundaries are preemption points under the
+        // deterministic scheduler (no-op otherwise).
+        adhoc_sim::sched::yield_point(adhoc_sim::sched::SchedPoint::DbTxn);
         let id = self.inner.next_txn.fetch_add(1, Ordering::SeqCst);
         // Snapshot assignment and registration are atomic with respect to
         // [`log_commit`]'s pruning (both hold the `active` lock): a
@@ -375,6 +378,9 @@ impl Database {
 
     /// Charge one client↔server round trip.
     pub(crate) fn charge_statement(&self) {
+        // Every simulated SQL round trip is a potential preemption point
+        // under the deterministic scheduler (no-op otherwise).
+        adhoc_sim::sched::yield_point(adhoc_sim::sched::SchedPoint::DbStatement);
         self.inner.statements.fetch_add(1, Ordering::Relaxed);
         self.inner
             .config

@@ -235,16 +235,21 @@ impl LockManager {
 
     fn lock_resource(&self, txn: TxnId, id: ResourceId, mode: LockMode) -> Result<()> {
         let deadline = Instant::now() + self.timeout;
-        let mut inner = self.inner.lock();
         loop {
-            let state = inner.locks.entry(id.clone()).or_default();
-            if state.grantable(txn, mode) {
-                state.grant(txn, mode);
-                inner.waits_for.remove(&txn);
-                return Ok(());
+            {
+                let mut inner = self.inner.lock();
+                let state = inner.locks.entry(id.clone()).or_default();
+                if state.grantable(txn, mode) {
+                    state.grant(txn, mode);
+                    inner.waits_for.remove(&txn);
+                    return Ok(());
+                }
+                let blockers = state.conflicting(txn, mode);
+                if !self.block_on(&mut inner, txn, blockers, deadline)? {
+                    continue;
+                }
             }
-            let blockers = state.conflicting(txn, mode);
-            self.block_on(&mut inner, txn, blockers, deadline)?;
+            self.cooperative_wait(txn, deadline)?;
         }
     }
 
@@ -263,23 +268,28 @@ impl LockManager {
     /// gap lock covering `key` on this index.
     pub fn check_insert(&self, txn: TxnId, table: usize, column: usize, key: &Value) -> Result<()> {
         let deadline = Instant::now() + self.timeout;
-        let mut inner = self.inner.lock();
         loop {
-            let blockers: Vec<TxnId> = inner
-                .gaps
-                .get(&(table, column))
-                .map(|gaps| {
-                    gaps.iter()
-                        .filter(|g| g.txn != txn && g.interval.contains(key))
-                        .map(|g| g.txn)
-                        .collect()
-                })
-                .unwrap_or_default();
-            if blockers.is_empty() {
-                inner.waits_for.remove(&txn);
-                return Ok(());
+            {
+                let mut inner = self.inner.lock();
+                let blockers: Vec<TxnId> = inner
+                    .gaps
+                    .get(&(table, column))
+                    .map(|gaps| {
+                        gaps.iter()
+                            .filter(|g| g.txn != txn && g.interval.contains(key))
+                            .map(|g| g.txn)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                if blockers.is_empty() {
+                    inner.waits_for.remove(&txn);
+                    return Ok(());
+                }
+                if !self.block_on(&mut inner, txn, blockers, deadline)? {
+                    continue;
+                }
             }
-            self.block_on(&mut inner, txn, blockers, deadline)?;
+            self.cooperative_wait(txn, deadline)?;
         }
     }
 
@@ -299,13 +309,19 @@ impl LockManager {
     }
 
     /// One round of blocking: record wait edges, detect deadlock, sleep.
+    ///
+    /// Returns `Ok(true)` when the calling thread is a deterministically
+    /// scheduled task: the wait edges are recorded but no condvar wait
+    /// happens — the caller must drop the manager mutex and call
+    /// [`cooperative_wait`](Self::cooperative_wait) instead, so the
+    /// scheduler (not the OS) decides when the blockers run.
     fn block_on(
         &self,
         inner: &mut parking_lot::MutexGuard<'_, Inner>,
         txn: TxnId,
         blockers: Vec<TxnId>,
         deadline: Instant,
-    ) -> Result<()> {
+    ) -> Result<bool> {
         debug_assert!(!blockers.is_empty());
         self.waits.fetch_add(1, Ordering::Relaxed);
         inner.waits_for.insert(txn, blockers.into_iter().collect());
@@ -315,7 +331,23 @@ impl LockManager {
             self.cv.notify_all();
             return Err(DbError::Deadlock { txn });
         }
+        if adhoc_sim::sched::under_scheduler() {
+            return Ok(true);
+        }
         if self.cv.wait_until(inner, deadline).timed_out() {
+            inner.waits_for.remove(&txn);
+            inner.timeouts += 1;
+            return Err(DbError::LockWaitTimeout { txn });
+        }
+        Ok(false)
+    }
+
+    /// The scheduled-task half of a blocking wait: yield (without holding
+    /// the manager mutex) until rescheduled, then enforce the deadline.
+    fn cooperative_wait(&self, txn: TxnId, deadline: Instant) -> Result<()> {
+        adhoc_sim::sched::yield_point(adhoc_sim::sched::SchedPoint::LockWait);
+        if Instant::now() >= deadline {
+            let mut inner = self.inner.lock();
             inner.waits_for.remove(&txn);
             inner.timeouts += 1;
             return Err(DbError::LockWaitTimeout { txn });

@@ -824,6 +824,9 @@ impl Transaction {
     }
 
     fn commit_inner(&mut self) -> Result<()> {
+        // The window between a transaction's last statement and its commit
+        // is where §3.3/§3.4 races live; make it a preemption point.
+        adhoc_sim::sched::yield_point(adhoc_sim::sched::SchedPoint::DbCommit);
         self.ensure_active()?;
         match self.db.arm_commit_fault() {
             // The commit request never takes effect: the engine rolls the

@@ -1,0 +1,703 @@
+//! Shared deterministic-schedule scenarios.
+//!
+//! One scenario = one closed world (fresh DB/KV state, a couple of logical
+//! tasks, an invariant check), written against the [`Trial`] API so it can
+//! be driven three ways with identical semantics:
+//!
+//! * `tests/schedule_explorer.rs` — the explorer *searches* schedules for
+//!   an invariant violation (the paper's races, found by schedule);
+//! * `tests/schedule_corpus.rs` — pinned `SCHED=` witnesses from
+//!   `tests/schedules/` *replay* bit-for-bit (the schedule analog of
+//!   proptest regressions);
+//! * `tests/schedule_regressions.rs` — the soak races, re-derived
+//!   deterministically.
+//!
+//! Determinism contract: scenarios use [`VirtualClock`] (never the wall
+//! clock), seeded [`FaultPlan`]s, and in-memory state built inside the
+//! scenario, so the only free variable is the schedule itself.
+
+#![allow(dead_code)] // each test binary uses a subset of the scenarios
+
+use adhoc_transactions::apps::{broadleaf, mastodon, Mode};
+use adhoc_transactions::core::locks::{AdHocLock, KvSetNxLock, MemLock};
+use adhoc_transactions::core::validation::{
+    validated_write, CommitOutcome, ValidationCheck, ValidationStrategy,
+};
+use adhoc_transactions::kv::{Client, Store};
+use adhoc_transactions::orm::{EntityDef, Orm, Registry};
+use adhoc_transactions::sim::sched::Trial;
+use adhoc_transactions::sim::{FaultKind, FaultPlan, FaultRule, LatencyModel, VirtualClock};
+use adhoc_transactions::storage::{Column, ColumnType, Database, EngineProfile, Schema};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The workspace-wide experiment seed (paper submission date).
+pub const SEED: u64 = 0x5157_4d0d_2022_0612;
+
+/// A scenario: build fresh state, register tasks, run, check invariants.
+pub type Scenario = fn(&mut Trial) -> Result<(), String>;
+
+/// What a schedule search over the scenario must conclude.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expect {
+    /// Buggy variant: some schedule violates the invariant.
+    Fail,
+    /// Correct variant: every schedule within budget upholds it.
+    Pass,
+}
+
+/// Every named scenario, its expectation, and its implementation. This is
+/// the registry both the corpus replayer and the explorer suite iterate.
+pub const SCENARIOS: &[(&str, Expect, Scenario)] = &[
+    ("fig1-lost-update", Expect::Fail, fig1_lost_update),
+    ("fig1-locked", Expect::Pass, fig1_locked),
+    ("setnx-double-grant", Expect::Fail, setnx_double_grant),
+    ("invite-dbt", Expect::Pass, invite_dbt),
+    (
+        "ttl-steal-unchecked-unlock",
+        Expect::Fail,
+        ttl_steal_unchecked_unlock,
+    ),
+    (
+        "ttl-steal-checked-unlock",
+        Expect::Pass,
+        ttl_steal_checked_unlock,
+    ),
+    ("validation-scope-gap", Expect::Fail, validation_scope_gap),
+    ("validation-atomic", Expect::Pass, validation_atomic),
+    (
+        "notify-unchecked-duplicates",
+        Expect::Fail,
+        notify_unchecked_duplicates,
+    ),
+    ("notify-once-dedupe", Expect::Pass, notify_once_dedupe),
+    ("cart-total-locked", Expect::Pass, cart_total_locked),
+    ("vote-occ", Expect::Pass, vote_occ),
+    ("multi-lock-mutex", Expect::Pass, multi_lock_mutex),
+    ("reentrant-mutex", Expect::Pass, reentrant_mutex),
+    ("grant-idempotent", Expect::Pass, grant_idempotent),
+    ("timeline-consistent", Expect::Pass, timeline_consistent),
+    ("rotation-audit", Expect::Pass, rotation_audit),
+    (
+        "monitor-catches-lock-after-read",
+        Expect::Pass,
+        monitor_catches_lock_after_read,
+    ),
+    (
+        "monitor-quiet-on-correct-flow",
+        Expect::Pass,
+        monitor_quiet_on_correct_flow,
+    ),
+];
+
+/// Look a scenario up by its corpus name.
+pub fn lookup(name: &str) -> Option<(Expect, Scenario)> {
+    SCENARIOS
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|(_, e, s)| (*e, *s))
+}
+
+fn err_str<E: std::fmt::Display>(e: E) -> String {
+    e.to_string()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1a/§3.1.1 — the uncoordinated SKU read-modify-write.
+// ---------------------------------------------------------------------------
+
+fn fig1_shop(coordinated: bool) -> Arc<broadleaf::Broadleaf> {
+    let db = Database::in_memory(EngineProfile::MySqlLike);
+    let mut shop = broadleaf::Broadleaf::new(
+        broadleaf::setup(&db).unwrap(),
+        Arc::new(MemLock::new()),
+        Mode::AdHoc,
+    );
+    if !coordinated {
+        shop = shop.omit_sku_coordination();
+    }
+    let shop = Arc::new(shop);
+    shop.seed_sku(1, 10).unwrap();
+    shop
+}
+
+fn fig1_run(trial: &mut Trial, shop: &Arc<broadleaf::Broadleaf>) -> Result<(), String> {
+    let successes = Arc::new(AtomicI64::new(0));
+    for t in 0..2 {
+        let shop = Arc::clone(shop);
+        let successes = Arc::clone(&successes);
+        trial.task(&format!("checkout-{t}"), move || {
+            if shop.check_out(1, 1).unwrap() {
+                successes.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+    }
+    trial.run()?;
+    if !shop.sku_conserved(1, 10).map_err(err_str)? {
+        return Err("Figure 1 lost update: stock conservation violated".into());
+    }
+    let sold = shop
+        .orm()
+        .find_required("skus", 1)
+        .map_err(err_str)?
+        .get_int("sold")
+        .map_err(err_str)?;
+    let expected = successes.load(Ordering::SeqCst);
+    if sold != expected {
+        return Err(format!(
+            "Figure 1 lost update: {expected} checkouts succeeded but sold={sold}"
+        ));
+    }
+    Ok(())
+}
+
+/// Buggy: Broadleaf checkout with SKU coordination omitted — two
+/// interleaved read-modify-writes lose an update (Figure 1a, issue [67]).
+pub fn fig1_lost_update(trial: &mut Trial) -> Result<(), String> {
+    let shop = fig1_shop(false);
+    fig1_run(trial, &shop)
+}
+
+/// Correct: same workload behind the MEM lock — no schedule loses a sale.
+pub fn fig1_locked(trial: &mut Trial) -> Result<(), String> {
+    let shop = fig1_shop(true);
+    fig1_run(trial, &shop)
+}
+
+// ---------------------------------------------------------------------------
+// §3.4.2 + §4.1.1 — the ambiguous SETNX double grant (Mastodon invites).
+// ---------------------------------------------------------------------------
+
+/// Buggy: holder A's `SETNX` reply is lost but applied; A recovers by
+/// reading its token back, then a GC-style pause (virtual-clock advance)
+/// expires the lease mid-critical-section and B redeems concurrently. Two
+/// users redeem a one-use invite.
+pub fn setnx_double_grant(trial: &mut Trial) -> Result<(), String> {
+    let clock = Arc::new(VirtualClock::new());
+    let plan = FaultPlan::new(
+        SEED,
+        vec![FaultRule::at_ops(FaultKind::ReplyLost, &[0]).max_fires(1)],
+    );
+    let kv = Client::new(Store::new(), clock.clone(), LatencyModel::zero()).with_faults(plan);
+    let lock = KvSetNxLock::new(kv.clone())
+        .with_ttl(Duration::from_millis(100))
+        .recover_ambiguous_replies();
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    let social = Arc::new(mastodon::Mastodon::new(
+        mastodon::setup(&db).unwrap(),
+        kv,
+        Arc::new(lock),
+        Mode::AdHoc,
+    ));
+    social.seed_invite(1, 1).unwrap();
+
+    let successes = Arc::new(AtomicI64::new(0));
+    for t in 0..2 {
+        let social = Arc::clone(&social);
+        let successes = Arc::clone(&successes);
+        trial.task(&format!("redeem-{t}"), move || {
+            if social.redeem_invite(1).unwrap() {
+                successes.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+    }
+    // The "GC pause": wherever the scheduler places this, the lease dies.
+    trial.task("gc-pause", move || {
+        clock.advance(Duration::from_millis(200));
+    });
+    trial.run()?;
+    let redeemed = successes.load(Ordering::SeqCst);
+    if redeemed > 1 {
+        return Err(format!(
+            "double grant: {redeemed} redemptions of a 1-use invite"
+        ));
+    }
+    Ok(())
+}
+
+/// Correct: the same three tasks under DBT mode — serializable
+/// transactions keep the invite within its limit on every schedule.
+pub fn invite_dbt(trial: &mut Trial) -> Result<(), String> {
+    let clock = Arc::new(VirtualClock::new());
+    let kv = Client::new(Store::new(), clock.clone(), LatencyModel::zero());
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    let social = Arc::new(mastodon::Mastodon::new(
+        mastodon::setup(&db).unwrap(),
+        kv.clone(),
+        Arc::new(KvSetNxLock::new(kv)),
+        Mode::DatabaseTxn,
+    ));
+    social.seed_invite(1, 1).unwrap();
+
+    let successes = Arc::new(AtomicI64::new(0));
+    for t in 0..2 {
+        let social = Arc::clone(&social);
+        let successes = Arc::clone(&successes);
+        trial.task(&format!("redeem-{t}"), move || {
+            if social.redeem_invite(1).unwrap() {
+                successes.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+    }
+    trial.task("gc-pause", move || {
+        clock.advance(Duration::from_millis(200));
+    });
+    trial.run()?;
+    let redeemed = successes.load(Ordering::SeqCst);
+    if redeemed != 1 {
+        return Err(format!("{redeemed} redemptions of a 1-use invite"));
+    }
+    if !social.invite_within_limit(1).map_err(err_str)? {
+        return Err("invite redeemed past its max".into());
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// §4.1.1 issue [65] — TTL expiry + unchecked DEL steals the next lease.
+// ---------------------------------------------------------------------------
+
+fn ttl_steal(trial: &mut Trial, checked_unlock: bool) -> Result<(), String> {
+    let clock = Arc::new(VirtualClock::new());
+    let kv = Client::new(Store::new(), clock.clone(), LatencyModel::zero());
+    let mut lock = KvSetNxLock::new(kv.clone()).with_ttl(Duration::from_millis(100));
+    if !checked_unlock {
+        lock = lock.unlock_without_owner_check();
+    }
+    let lock = Arc::new(lock);
+    let stolen = Arc::new(AtomicBool::new(false));
+
+    // Task 0 overstays its lease, then unlocks — a bare DEL deletes
+    // whoever holds the lock *now*; the owner-checked unlock refuses.
+    {
+        let lock = Arc::clone(&lock);
+        let clock = Arc::clone(&clock);
+        trial.task("overstayer", move || {
+            let guard = lock.lock("cred:1").unwrap();
+            clock.advance(Duration::from_millis(200)); // lease expires here
+            let _ = guard.unlock();
+        });
+    }
+    // Task 1 holds a live lease across one round trip of protected work
+    // and asserts it is still the owner afterwards.
+    {
+        let lock = Arc::clone(&lock);
+        let stolen = Arc::clone(&stolen);
+        trial.task("victim", move || {
+            let guard = lock.lock("cred:1").unwrap();
+            let _ = kv.get("cred:1:payload"); // protected work (one round trip)
+            if !guard.is_valid() {
+                stolen.store(true, Ordering::SeqCst);
+            }
+            let _ = guard.unlock();
+        });
+    }
+    trial.run()?;
+    if stolen.load(Ordering::SeqCst) {
+        return Err("TTL steal: stale unlock deleted the live holder's lease".into());
+    }
+    Ok(())
+}
+
+/// Buggy: unlock is a bare `DEL` (no owner check) — after the lease
+/// expires it deletes the *next* holder's entry.
+pub fn ttl_steal_unchecked_unlock(trial: &mut Trial) -> Result<(), String> {
+    ttl_steal(trial, false)
+}
+
+/// Correct: the owner-checked unlock returns `NotHeld` instead of
+/// deleting someone else's lease.
+pub fn ttl_steal_checked_unlock(trial: &mut Trial) -> Result<(), String> {
+    ttl_steal(trial, true)
+}
+
+// ---------------------------------------------------------------------------
+// §4.1.2 — the validation-scope gap (MiniSql check-then-write).
+// ---------------------------------------------------------------------------
+
+fn validation_fixture() -> Orm {
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    db.create_table(
+        Schema::new(
+            "posts",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("view_cnt", ColumnType::Int),
+                Column::new("lock_version", ColumnType::Int),
+            ],
+            "id",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let orm = Orm::new(db, Registry::new().register(EntityDef::new("posts")));
+    orm.create(
+        "posts",
+        &[
+            ("id", 1.into()),
+            ("view_cnt", 0.into()),
+            ("lock_version", 0.into()),
+        ],
+    )
+    .unwrap();
+    orm
+}
+
+fn validation_race(trial: &mut Trial, strategy: ValidationStrategy) -> Result<(), String> {
+    let orm = Arc::new(validation_fixture());
+    let committed = Arc::new(AtomicI64::new(0));
+    for t in 0..2 {
+        let orm = Arc::clone(&orm);
+        let committed = Arc::clone(&committed);
+        let strategy = strategy.clone();
+        trial.task(&format!("editor-{t}"), move || {
+            let obj = orm.find_required("posts", 1).unwrap();
+            let bumped = obj.get_int("view_cnt").unwrap() + 1;
+            let outcome =
+                validated_write(&orm, &obj, &[("view_cnt", bumped.into())], &strategy).unwrap();
+            if outcome == CommitOutcome::Committed {
+                committed.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+    }
+    trial.run()?;
+    let view_cnt = orm
+        .find_required("posts", 1)
+        .map_err(err_str)?
+        .get_int("view_cnt")
+        .map_err(err_str)?;
+    let commits = committed.load(Ordering::SeqCst);
+    if view_cnt != commits {
+        return Err(format!(
+            "validation-scope gap: {commits} commits validated but view_cnt={view_cnt}"
+        ));
+    }
+    Ok(())
+}
+
+/// Buggy: the version check runs in its own MiniSql query; a write landing
+/// between check and commit is silently overwritten (§4.1.2, 11 issues).
+pub fn validation_scope_gap(trial: &mut Trial) -> Result<(), String> {
+    validation_race(
+        trial,
+        ValidationStrategy::HandCraftedNonAtomic {
+            check: ValidationCheck::Version {
+                column: "lock_version".into(),
+            },
+            pause_between: None, // the scheduler owns the window
+        },
+    )
+}
+
+/// Correct: the same check folded into the `UPDATE`'s WHERE clause —
+/// atomic, so one of the two writers always observes a conflict.
+pub fn validation_atomic(trial: &mut Trial) -> Result<(), String> {
+    validation_race(
+        trial,
+        ValidationStrategy::HandCraftedAtomic(ValidationCheck::Version {
+            column: "lock_version".into(),
+        }),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Soak-race conversions: notification dedupe and coordinated shop flows.
+// ---------------------------------------------------------------------------
+
+fn notify_social() -> Arc<mastodon::Mastodon> {
+    let clock = Arc::new(VirtualClock::new());
+    let kv = Client::new(Store::new(), clock, LatencyModel::zero());
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    Arc::new(mastodon::Mastodon::new(
+        mastodon::setup(&db).unwrap(),
+        kv.clone(),
+        Arc::new(KvSetNxLock::new(kv)),
+        Mode::AdHoc,
+    ))
+}
+
+/// Buggy: check-the-table-then-insert dedupe — the check-then-act window
+/// admits duplicate notifications.
+pub fn notify_unchecked_duplicates(trial: &mut Trial) -> Result<(), String> {
+    let social = notify_social();
+    for t in 0..2 {
+        let social = Arc::clone(&social);
+        trial.task(&format!("notifier-{t}"), move || {
+            let _ = social.notify_unchecked(7, "mention:1").unwrap();
+        });
+    }
+    trial.run()?;
+    if !social.notifications_unique(7).map_err(err_str)? {
+        return Err("duplicate notification delivered".into());
+    }
+    Ok(())
+}
+
+/// Correct: the `SETNX` marker *is* the uniqueness check — exactly one
+/// delivery on every schedule.
+pub fn notify_once_dedupe(trial: &mut Trial) -> Result<(), String> {
+    let social = notify_social();
+    let delivered = Arc::new(AtomicI64::new(0));
+    for t in 0..2 {
+        let social = Arc::clone(&social);
+        let delivered = Arc::clone(&delivered);
+        trial.task(&format!("notifier-{t}"), move || {
+            if social.notify_once(7, "mention:1").unwrap() {
+                delivered.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+    }
+    trial.run()?;
+    if delivered.load(Ordering::SeqCst) != 1 {
+        return Err(format!(
+            "{} deliveries won the SETNX marker",
+            delivered.load(Ordering::SeqCst)
+        ));
+    }
+    if !social.notifications_unique(7).map_err(err_str)? {
+        return Err("duplicate notification delivered".into());
+    }
+    Ok(())
+}
+
+/// Correct: two coordinated `add_to_cart` requests — the Figure 1a cart
+/// total stays consistent with its items on every schedule.
+pub fn cart_total_locked(trial: &mut Trial) -> Result<(), String> {
+    let db = Database::in_memory(EngineProfile::MySqlLike);
+    let shop = Arc::new(broadleaf::Broadleaf::new(
+        broadleaf::setup(&db).unwrap(),
+        Arc::new(MemLock::new()),
+        Mode::AdHoc,
+    ));
+    shop.seed_cart(1).unwrap();
+    for t in 0..2 {
+        let shop = Arc::clone(&shop);
+        trial.task(&format!("shopper-{t}"), move || {
+            shop.add_to_cart(1, 10 + t, 1).unwrap();
+        });
+    }
+    trial.run()?;
+    if !shop.cart_total_consistent(1).map_err(err_str)? {
+        return Err("cart total diverged from its items".into());
+    }
+    Ok(())
+}
+
+/// Mutual exclusion through an arbitrary lock: tasks overlap-check a
+/// critical section containing one KV round trip (a scheduling point).
+fn mutex_trial(trial: &mut Trial, lock: Arc<dyn AdHocLock>, kv: Client) -> Result<(), String> {
+    let in_cs = Arc::new(AtomicI64::new(0));
+    let overlap = Arc::new(AtomicBool::new(false));
+    for t in 0..2 {
+        let lock = Arc::clone(&lock);
+        let kv = kv.clone();
+        let in_cs = Arc::clone(&in_cs);
+        let overlap = Arc::clone(&overlap);
+        trial.task(&format!("worker-{t}"), move || {
+            let guard = lock.lock("job:1").unwrap();
+            if in_cs.fetch_add(1, Ordering::SeqCst) > 0 {
+                overlap.store(true, Ordering::SeqCst);
+            }
+            let _ = kv.get("job:1:payload"); // protected work
+            in_cs.fetch_sub(1, Ordering::SeqCst);
+            guard.unlock().unwrap();
+        });
+    }
+    trial.run()?;
+    if overlap.load(Ordering::SeqCst) {
+        return Err("mutual exclusion violated".into());
+    }
+    Ok(())
+}
+
+/// Correct: Discourse's `WATCH`/`MULTI`/`EXEC` lock excludes on every
+/// schedule.
+pub fn multi_lock_mutex(trial: &mut Trial) -> Result<(), String> {
+    use adhoc_transactions::core::locks::KvMultiLock;
+    let clock = Arc::new(VirtualClock::new());
+    let kv = Client::new(Store::new(), clock, LatencyModel::zero());
+    mutex_trial(trial, Arc::new(KvMultiLock::new(kv.clone())), kv)
+}
+
+/// Correct: Saleor's re-entrant `SETNX` lock still excludes *other*
+/// holders on every schedule (nested acquisition by the holder is fine).
+pub fn reentrant_mutex(trial: &mut Trial) -> Result<(), String> {
+    let clock = Arc::new(VirtualClock::new());
+    let kv = Client::new(Store::new(), clock, LatencyModel::zero());
+    let lock = Arc::new(KvSetNxLock::new(kv.clone()).reentrant());
+    let in_cs = Arc::new(AtomicI64::new(0));
+    let overlap = Arc::new(AtomicBool::new(false));
+    for t in 0..2 {
+        let lock = Arc::clone(&lock);
+        let kv = kv.clone();
+        let in_cs = Arc::clone(&in_cs);
+        let overlap = Arc::clone(&overlap);
+        trial.task(&format!("worker-{t}"), move || {
+            let outer = lock.lock("job:1").unwrap();
+            if in_cs.fetch_add(1, Ordering::SeqCst) > 0 {
+                overlap.store(true, Ordering::SeqCst);
+            }
+            let inner = lock.lock("job:1").unwrap(); // re-entrant step
+            let _ = kv.get("job:1:payload");
+            inner.unlock().unwrap();
+            in_cs.fetch_sub(1, Ordering::SeqCst);
+            outer.unlock().unwrap();
+        });
+    }
+    trial.run()?;
+    if overlap.load(Ordering::SeqCst) {
+        return Err("re-entrant lock let a second thread in".into());
+    }
+    Ok(())
+}
+
+/// Correct: JumpServer's lock-guarded grant upsert — concurrent grants of
+/// the same (user, asset) never duplicate rows and keep the max level.
+pub fn grant_idempotent(trial: &mut Trial) -> Result<(), String> {
+    use adhoc_transactions::apps::jumpserver;
+    let clock = Arc::new(VirtualClock::new());
+    let kv = Client::new(Store::new(), clock, LatencyModel::zero());
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    let access = Arc::new(jumpserver::JumpServer::new(
+        jumpserver::setup(&db).unwrap(),
+        Arc::new(KvSetNxLock::new(kv)),
+        Mode::AdHoc,
+    ));
+    for t in 0..2i64 {
+        let access = Arc::clone(&access);
+        trial.task(&format!("granter-{t}"), move || {
+            access.grant(7, 1, t + 1).unwrap();
+        });
+    }
+    trial.run()?;
+    if !access.grants_unique(7).map_err(err_str)? {
+        return Err("duplicate grant rows for one (user, asset)".into());
+    }
+    Ok(())
+}
+
+/// Correct: concurrent post create/delete keeps the denormalized timeline
+/// consistent with the posts table on every schedule (a soak-only check
+/// until now).
+pub fn timeline_consistent(trial: &mut Trial) -> Result<(), String> {
+    let social = notify_social();
+    {
+        let social = Arc::clone(&social);
+        trial.task("poster-0", move || {
+            social.create_post(7, 1, "a").unwrap();
+            social.delete_post(7, 1).unwrap();
+        });
+    }
+    {
+        let social = Arc::clone(&social);
+        trial.task("poster-1", move || {
+            social.create_post(7, 2, "b").unwrap();
+        });
+    }
+    trial.run()?;
+    if !social.timeline_consistent(7).map_err(err_str)? {
+        return Err("timeline diverged from the posts table".into());
+    }
+    Ok(())
+}
+
+/// Correct: concurrent credential rotations under the per-asset lock —
+/// every resulting version has its audit row on every schedule.
+pub fn rotation_audit(trial: &mut Trial) -> Result<(), String> {
+    use adhoc_transactions::apps::jumpserver;
+    let clock = Arc::new(VirtualClock::new());
+    let kv = Client::new(Store::new(), clock, LatencyModel::zero());
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    let access = Arc::new(jumpserver::JumpServer::new(
+        jumpserver::setup(&db).unwrap(),
+        Arc::new(KvSetNxLock::new(kv)),
+        Mode::AdHoc,
+    ));
+    access.seed_credential(1, "s0").unwrap();
+    for t in 0..2 {
+        let access = Arc::clone(&access);
+        trial.task(&format!("rotator-{t}"), move || {
+            access.rotate_credential(1, &format!("s{t}")).unwrap();
+        });
+    }
+    trial.run()?;
+    if !access.rotations_audited(1).map_err(err_str)? {
+        return Err("credential version missing its audit row".into());
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// §6 monitor under the scheduler: its verdicts must not depend on timing.
+// ---------------------------------------------------------------------------
+
+fn monitor_discourse_race(trial: &mut Trial, buggy: bool) -> Result<(), String> {
+    use adhoc_transactions::apps::discourse;
+    use adhoc_transactions::core::monitor::{AccessMonitor, Hazard};
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    let monitor = AccessMonitor::new();
+    monitor.attach(&db);
+    let lock = monitor.wrap_lock(Arc::new(MemLock::new()));
+    let mut app = discourse::Discourse::new(discourse::setup(&db).unwrap(), lock, Mode::AdHoc);
+    if buggy {
+        app = app.lock_after_read();
+    }
+    let app = Arc::new(app);
+    app.seed_topic(1).unwrap();
+    let posts = [
+        app.seed_post(1, "a", 0).unwrap(),
+        app.seed_post(1, "b", 0).unwrap(),
+    ];
+    for (t, post) in posts.into_iter().enumerate() {
+        let app = Arc::clone(&app);
+        trial.task(&format!("editor-{t}"), move || {
+            let token = app.begin_edit(post).unwrap();
+            app.commit_edit(&token, "edited").unwrap();
+        });
+    }
+    trial.run()?;
+    let hazards = monitor.hazards();
+    let flagged = hazards
+        .iter()
+        .any(|h| matches!(h, Hazard::LockAfterRead { table, .. } if table == "posts"));
+    if buggy && !flagged {
+        return Err("monitor missed the lock-after-read hazard".into());
+    }
+    if !buggy && flagged {
+        return Err(format!("monitor flagged a correct flow: {hazards:?}"));
+    }
+    Ok(())
+}
+
+/// Correct-as-a-tool: the monitor flags the Discourse lock-after-read flow
+/// on *every* interleaving — the explorer hunts for a schedule where the
+/// hazard slips past and must find none.
+pub fn monitor_catches_lock_after_read(trial: &mut Trial) -> Result<(), String> {
+    monitor_discourse_race(trial, true)
+}
+
+/// Correct-as-a-tool: the monitor stays quiet on the corrected flow on
+/// every interleaving — no schedule-dependent false positives.
+pub fn monitor_quiet_on_correct_flow(trial: &mut Trial) -> Result<(), String> {
+    monitor_discourse_race(trial, false)
+}
+
+/// Correct: Figure 1c's optimistic vote loop — version-checked retries
+/// count every vote exactly once on every schedule.
+pub fn vote_occ(trial: &mut Trial) -> Result<(), String> {
+    let social = notify_social();
+    social.seed_poll(1).unwrap();
+    for t in 0..2 {
+        let social = Arc::clone(&social);
+        trial.task(&format!("voter-{t}"), move || {
+            social.vote(1, mastodon::Choice::A).unwrap();
+        });
+    }
+    trial.run()?;
+    let (a, b) = social.poll_totals(1).map_err(err_str)?;
+    if (a, b) != (2, 0) {
+        return Err(format!("votes lost: tallies ({a}, {b}), expected (2, 0)"));
+    }
+    Ok(())
+}

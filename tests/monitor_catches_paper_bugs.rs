@@ -1,6 +1,11 @@
 //! The §6 development-support tool against the real application models:
 //! the runtime monitor must flag the paper's bugs when the buggy variants
 //! run, and stay quiet on the fixed variants.
+//!
+//! These are single-schedule checks; the schedule-*independence* of the
+//! monitor's verdicts (no interleaving where a hazard slips past, no
+//! schedule-dependent false positives) is established by the explorer in
+//! `tests/schedule_regressions.rs`.
 
 use adhoc_transactions::apps::{discourse, mastodon, spree, Mode};
 use adhoc_transactions::core::locks::{KvSetNxLock, MemLock};

@@ -1,0 +1,199 @@
+//! The pinned schedule-witness corpus: `tests/schedules/*.sched`.
+//!
+//! Each file pins one scenario to one concrete interleaving — the
+//! schedule analog of a proptest regression file. For buggy scenarios the
+//! witness is the explorer's minimized counterexample and must still
+//! reproduce the exact failure message; for corrected scenarios it is a
+//! recorded seeded-random schedule and must still pass. Either way, a
+//! behavior change in any instrumented layer that shifts these
+//! interleavings shows up here as a one-line `SCHED=` diff instead of a
+//! flaky soak.
+//!
+//! Regenerate after an intentional change with:
+//! `cargo test --test schedule_corpus regenerate_corpus -- --ignored`
+
+mod common;
+
+use adhoc_transactions::sim::sched::{record, replay, Explorer};
+use common::{Expect, SEED};
+use std::fs;
+use std::path::PathBuf;
+
+/// Search budget used when regenerating fail-witnesses; matches the
+/// explorer suite so a regenerated corpus never needs a deeper search
+/// than CI itself runs.
+const BUDGET: usize = 128;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/schedules"))
+}
+
+/// One parsed `.sched` file.
+struct PinnedSchedule {
+    scenario: String,
+    expect: Expect,
+    sched: String,
+    /// Exact failure message (fail witnesses only).
+    msg: Option<String>,
+}
+
+fn parse(path: &std::path::Path, text: &str) -> PinnedSchedule {
+    let mut scenario = None;
+    let mut expect = None;
+    let mut sched = None;
+    let mut msg = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once(':')
+            .unwrap_or_else(|| panic!("{}: malformed line {line:?}", path.display()));
+        let value = value.trim().to_string();
+        match key.trim() {
+            "scenario" => scenario = Some(value),
+            "expect" => {
+                expect = Some(match value.as_str() {
+                    "fail" => Expect::Fail,
+                    "pass" => Expect::Pass,
+                    other => panic!("{}: unknown expect {other:?}", path.display()),
+                })
+            }
+            "sched" => sched = Some(value),
+            "msg" => msg = Some(value),
+            other => panic!("{}: unknown key {other:?}", path.display()),
+        }
+    }
+    PinnedSchedule {
+        scenario: scenario.unwrap_or_else(|| panic!("{}: missing scenario", path.display())),
+        expect: expect.unwrap_or_else(|| panic!("{}: missing expect", path.display())),
+        sched: sched.unwrap_or_else(|| panic!("{}: missing sched", path.display())),
+        msg,
+    }
+}
+
+fn load_corpus() -> Vec<(PathBuf, PinnedSchedule)> {
+    let dir = corpus_dir();
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "sched"))
+        .collect();
+    files.sort();
+    files
+        .into_iter()
+        .map(|path| {
+            let text = fs::read_to_string(&path).unwrap();
+            let pinned = parse(&path, &text);
+            (path, pinned)
+        })
+        .collect()
+}
+
+/// Every stored witness still reproduces (fail) or still passes (pass),
+/// bit-for-bit, from a fresh process.
+#[test]
+fn every_pinned_witness_still_holds() {
+    let corpus = load_corpus();
+    assert!(!corpus.is_empty(), "corpus must not be empty");
+    for (path, pinned) in &corpus {
+        let (expect, scenario) = common::lookup(&pinned.scenario).unwrap_or_else(|| {
+            panic!(
+                "{}: scenario {:?} not in the registry",
+                path.display(),
+                pinned.scenario
+            )
+        });
+        assert_eq!(
+            expect,
+            pinned.expect,
+            "{}: expectation diverged from the registry",
+            path.display()
+        );
+        let outcome = replay(&pinned.sched, scenario);
+        match pinned.expect {
+            Expect::Fail => {
+                let message = outcome.expect_err(&format!(
+                    "{}: SCHED={} no longer reproduces the failure",
+                    path.display(),
+                    pinned.sched
+                ));
+                if let Some(msg) = &pinned.msg {
+                    assert_eq!(
+                        &message,
+                        msg,
+                        "{}: witness reproduced a different failure",
+                        path.display()
+                    );
+                }
+            }
+            Expect::Pass => {
+                assert_eq!(
+                    outcome,
+                    Ok(()),
+                    "{}: SCHED={} regressed on a corrected scenario",
+                    path.display(),
+                    pinned.sched
+                );
+            }
+        }
+    }
+}
+
+/// Every registered scenario has a pinned witness — the corpus cannot
+/// silently fall behind the registry.
+#[test]
+fn corpus_covers_every_scenario() {
+    let corpus = load_corpus();
+    for (name, _, _) in common::SCENARIOS {
+        assert!(
+            corpus.iter().any(|(_, p)| p.scenario == *name),
+            "no pinned witness for scenario {name:?}; regenerate with \
+             `cargo test --test schedule_corpus regenerate_corpus -- --ignored`"
+        );
+    }
+}
+
+/// Rewrites the whole corpus from the current implementation: explore each
+/// buggy scenario for its minimized counterexample, record one seeded
+/// schedule for each corrected scenario. Run explicitly after an
+/// intentional interleaving change.
+#[test]
+#[ignore = "rewrites tests/schedules/; run after intentional schedule changes"]
+fn regenerate_corpus() {
+    let dir = corpus_dir();
+    fs::create_dir_all(&dir).unwrap();
+    for (name, expect, scenario) in common::SCENARIOS {
+        let (sched, msg) = match expect {
+            Expect::Fail => {
+                let cx = Explorer::new(SEED)
+                    .budget(BUDGET)
+                    .explore(*scenario)
+                    .counter_example()
+                    .unwrap_or_else(|| panic!("{name}: no counterexample within {BUDGET}"));
+                (cx.witness, Some(cx.message))
+            }
+            Expect::Pass => {
+                let (witness, outcome) = record(SEED, *scenario);
+                assert_eq!(outcome, Ok(()), "{name}: recorded schedule failed");
+                (witness, None)
+            }
+        };
+        let expect_str = match expect {
+            Expect::Fail => "fail",
+            Expect::Pass => "pass",
+        };
+        let mut text = format!(
+            "# Pinned schedule witness for `{name}` (expect: {expect_str}).\n\
+             # Regenerate: cargo test --test schedule_corpus regenerate_corpus -- --ignored\n\
+             scenario: {name}\n\
+             expect: {expect_str}\n\
+             sched: {sched}\n"
+        );
+        if let Some(msg) = msg {
+            text.push_str(&format!("msg: {msg}\n"));
+        }
+        fs::write(dir.join(format!("{name}.sched")), text).unwrap();
+    }
+}

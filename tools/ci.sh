@@ -16,4 +16,10 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# Bounded interleaving-explorer smoke gate: fixed seed, fixed 128-schedule
+# budget per scenario (see tests/schedule_explorer.rs). Deterministic, so
+# the timeout guards only against accidental budget inflation.
+echo "==> explorer smoke gate (fixed seed, bounded budget, <60s)"
+timeout 60 cargo test -q --release --test schedule_explorer --test schedule_corpus
+
 echo "==> CI green"
