@@ -477,4 +477,20 @@ mod tests {
         }
         panic!("with capacity-1 LRU eviction a checkout update must be lost");
     }
+    #[test]
+    fn cart_row_footprints_are_localized_and_independent() {
+        let app = fixture(Mode::AdHoc);
+        let fps: Vec<_> = (2..=7)
+            .map(|id| {
+                app.seed_cart(id).unwrap();
+                crate::observed_footprint(&app.orm, |t| {
+                    t.raw().update("carts", id, &[("total", 0.into())])?;
+                    Ok(())
+                })
+                .unwrap()
+                .1
+            })
+            .collect();
+        crate::test_support::assert_localized_and_independent(&fps);
+    }
 }

@@ -1296,4 +1296,20 @@ mod tests {
             CommitOutcome::Committed
         );
     }
+    #[test]
+    fn topic_row_footprints_are_localized_and_independent() {
+        let app = fixture(Mode::AdHoc);
+        let fps: Vec<_> = (2..=7)
+            .map(|id| {
+                app.seed_topic(id).unwrap();
+                crate::observed_footprint(&app.orm, |t| {
+                    t.raw().update("topics", id, &[("total_likes", 0.into())])?;
+                    Ok(())
+                })
+                .unwrap()
+                .1
+            })
+            .collect();
+        crate::test_support::assert_localized_and_independent(&fps);
+    }
 }

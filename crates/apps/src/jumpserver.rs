@@ -602,4 +602,20 @@ mod tests {
             assert_eq!(asset.get_int("connections").unwrap(), 0);
         }
     }
+    #[test]
+    fn asset_row_footprints_are_localized_and_independent() {
+        let app = fixture(Mode::AdHoc);
+        let fps: Vec<_> = (1..=6)
+            .map(|id| {
+                app.seed_asset(id).unwrap();
+                crate::observed_footprint(app.orm(), |t| {
+                    t.raw().update("assets", id, &[("connections", 0.into())])?;
+                    Ok(())
+                })
+                .unwrap()
+                .1
+            })
+            .collect();
+        crate::test_support::assert_localized_and_independent(&fps);
+    }
 }

@@ -53,6 +53,26 @@ impl Mode {
 /// Result alias shared by the application models.
 pub type Result<T> = adhoc_core::Result<T>;
 
+/// Run one ORM transaction block and return its result together with the
+/// conflict [`Footprint`](adhoc_storage::Footprint) the block accumulated
+/// (captured just before commit).
+///
+/// This is how the application layer reasons about contention on the
+/// sharded engine: two API calls whose observed footprints are
+/// [disjoint](adhoc_storage::Footprint::is_disjoint) share no commit-time
+/// lock, so they scale independently — the per-module footprint tests use
+/// it to pin down which scenarios actually contend.
+pub fn observed_footprint<R>(
+    orm: &adhoc_orm::Orm,
+    f: impl FnOnce(&mut adhoc_orm::OrmTxn<'_>) -> adhoc_orm::Result<R>,
+) -> Result<(R, adhoc_storage::Footprint)> {
+    Ok(orm.transaction(|t| {
+        let r = f(t)?;
+        let fp = t.footprint();
+        Ok((r, fp))
+    })?)
+}
+
 /// Retry budget used by DBT variants when the engine aborts them
 /// (deadlock victims, serialization failures). High enough that
 /// throughput benchmarks never fail spuriously.
@@ -82,5 +102,32 @@ pub fn busy_work(d: std::time::Duration) {
         if std::time::Instant::now() >= end {
             break;
         }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use adhoc_storage::{Footprint, SHARD_COUNT};
+
+    /// Shared assertion for the per-module footprint tests: every
+    /// footprint is non-empty and localized (not the whole shard space),
+    /// and at least one pair of distinct rows lands on disjoint shards —
+    /// i.e. the module's hot rows really can commit without contending.
+    pub fn assert_localized_and_independent(fps: &[Footprint]) {
+        for fp in fps {
+            assert!(!fp.writes.is_empty(), "write footprint not tracked: {fp:?}");
+            assert!(
+                fp.touched().len() < SHARD_COUNT,
+                "footprint must be localized: {fp:?}"
+            );
+        }
+        let disjoint = fps
+            .iter()
+            .enumerate()
+            .any(|(i, a)| fps[i + 1..].iter().any(|b| a.is_disjoint(b)));
+        assert!(
+            disjoint,
+            "no pair of distinct rows occupies disjoint shards: {fps:?}"
+        );
     }
 }

@@ -571,4 +571,20 @@ mod tests {
             120
         );
     }
+    #[test]
+    fn invite_row_footprints_are_localized_and_independent() {
+        let app = fixture(Mode::AdHoc);
+        let fps: Vec<_> = (1..=6)
+            .map(|id| {
+                app.seed_invite(id, 5).unwrap();
+                crate::observed_footprint(&app.orm, |t| {
+                    t.raw().update("invites", id, &[("redeems", 0.into())])?;
+                    Ok(())
+                })
+                .unwrap()
+                .1
+            })
+            .collect();
+        crate::test_support::assert_localized_and_independent(&fps);
+    }
 }

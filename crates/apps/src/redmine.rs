@@ -560,4 +560,20 @@ mod tests {
             .unwrap();
         assert_eq!(ver as usize, successes);
     }
+    #[test]
+    fn issue_row_footprints_are_localized_and_independent() {
+        let app = fixture(Mode::AdHoc);
+        let fps: Vec<_> = (1..=6)
+            .map(|id| {
+                app.seed_issue(id, "s").unwrap();
+                crate::observed_footprint(&app.orm, |t| {
+                    t.raw().update("issues", id, &[("done_ratio", 0.into())])?;
+                    Ok(())
+                })
+                .unwrap()
+                .1
+            })
+            .collect();
+        crate::test_support::assert_localized_and_independent(&fps);
+    }
 }

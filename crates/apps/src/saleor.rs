@@ -351,4 +351,20 @@ mod tests {
             "expired capture leases must double-capture (got {successes})"
         );
     }
+    #[test]
+    fn stock_row_footprints_are_localized_and_independent() {
+        let app = fixture(Mode::AdHoc);
+        let fps: Vec<_> = (1..=6)
+            .map(|id| {
+                app.seed_stock(id, 10).unwrap();
+                crate::observed_footprint(app.orm(), |t| {
+                    t.raw().update("stocks", id, &[("qty", 10.into())])?;
+                    Ok(())
+                })
+                .unwrap()
+                .1
+            })
+            .collect();
+        crate::test_support::assert_localized_and_independent(&fps);
+    }
 }

@@ -526,4 +526,20 @@ mod tests {
             12
         );
     }
+    #[test]
+    fn account_row_footprints_are_localized_and_independent() {
+        let app = fixture(Mode::AdHoc, Arc::new(SyncLock::new()));
+        let fps: Vec<_> = (1..=6)
+            .map(|id| {
+                app.seed_account(id, 100).unwrap();
+                crate::observed_footprint(app.orm(), |t| {
+                    t.raw().update("accounts", id, &[("balance", 100.into())])?;
+                    Ok(())
+                })
+                .unwrap()
+                .1
+            })
+            .collect();
+        crate::test_support::assert_localized_and_independent(&fps);
+    }
 }

@@ -643,4 +643,20 @@ mod tests {
         assert!(fixed.decrement_stock(1, 1, 1).unwrap());
         assert_eq!(fixed.sku_quantity(1).unwrap(), 998);
     }
+    #[test]
+    fn order_row_footprints_are_localized_and_independent() {
+        let app = fixture(Mode::AdHoc, EngineProfile::PostgresLike);
+        let fps: Vec<_> = (2..=7)
+            .map(|id| {
+                app.seed_order(id).unwrap();
+                crate::observed_footprint(&app.orm, |t| {
+                    t.raw().update("orders", id, &[("state", "cart".into())])?;
+                    Ok(())
+                })
+                .unwrap()
+                .1
+            })
+            .collect();
+        crate::test_support::assert_localized_and_independent(&fps);
+    }
 }

@@ -4,11 +4,19 @@
 //! ```text
 //! paper-eval [table1|table2|table3|table4|table5a|table5b|table6|table7a|table7b]
 //! paper-eval [findings|fig2|fig3|fig4|tables|all]
+//! paper-eval bench-json [outdir]
 //! ```
 //! With no arguments, prints everything (`all`).
+//!
+//! `bench-json` runs the engine-scaling sweeps and writes machine-readable
+//! `BENCH_fig2.json` (storage commit scaling) and `BENCH_fig3.json` (KV
+//! command scaling) into `outdir` (default `.`). Set `BENCH_SCALE=smoke`
+//! for a tiny CI duty cycle. If `tools/baselines/fig2_pre_shard.json` /
+//! `fig3_pre_shard.json` exist relative to the current directory, they are
+//! embedded under `"baseline"` so one file records before/after.
 
 use adhoc_apps::Mode;
-use adhoc_bench::{fig2, fig3, fig4, isolation_ablation, ttl_ablation};
+use adhoc_bench::{fig2, fig3, fig4, isolation_ablation, scaling, ttl_ablation};
 use adhoc_sim::stats::{fmt_duration, geometric_mean};
 use adhoc_sim::LatencyModel;
 use adhoc_study::report;
@@ -159,6 +167,21 @@ fn run_isolation_ablation() {
     println!();
 }
 
+fn run_bench_json(outdir: &str) {
+    let baseline2 = std::fs::read_to_string("tools/baselines/fig2_pre_shard.json").ok();
+    let baseline3 = std::fs::read_to_string("tools/baselines/fig3_pre_shard.json").ok();
+    let (fig2_json, fig3_json) = scaling::bench_json(baseline2.as_deref(), baseline3.as_deref());
+    std::fs::create_dir_all(outdir).expect("create outdir");
+    let fig2_path = format!("{outdir}/BENCH_fig2.json");
+    let fig3_path = format!("{outdir}/BENCH_fig3.json");
+    std::fs::write(&fig2_path, &fig2_json).expect("write BENCH_fig2.json");
+    std::fs::write(&fig3_path, &fig3_json).expect("write BENCH_fig3.json");
+    println!("wrote {fig2_path}");
+    print!("{fig2_json}");
+    println!("wrote {fig3_path}");
+    print!("{fig3_json}");
+}
+
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     match arg.as_str() {
@@ -178,6 +201,10 @@ fn main() {
         "fig4" => run_fig4(),
         "ablation-ttl" => run_ttl_ablation(),
         "ablation-isolation" => run_isolation_ablation(),
+        "bench-json" => {
+            let outdir = std::env::args().nth(2).unwrap_or_else(|| ".".to_string());
+            run_bench_json(&outdir);
+        }
         "tables" => print_tables(),
         "all" => {
             print_tables();
@@ -192,7 +219,7 @@ fn main() {
         other => {
             eprintln!("unknown target {other:?}");
             eprintln!(
-                "usage: paper-eval [table1|table2|table3|table4|table5a|table5b|table6|table7a|table7b|findings|playbook|fig2|fig3|fig4|ablation-ttl|ablation-isolation|tables|all]"
+                "usage: paper-eval [table1|table2|table3|table4|table5a|table5b|table6|table7a|table7b|findings|playbook|fig2|fig3|fig4|ablation-ttl|ablation-isolation|bench-json|tables|all]"
             );
             std::process::exit(2);
         }

@@ -18,11 +18,13 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod isolation_ablation;
+pub mod scaling;
 pub mod ttl_ablation;
 
 pub use fig2::{lock_latencies, Fig2Row};
 pub use fig3::{run_granularity, Fig3Config, Fig3Row, GranularitySetup, SETUPS};
 pub use fig4::{run_rollback, Fig4Config, Fig4Row};
+pub use scaling::{commit_scaling, kv_scaling, KeyPattern, ScalingCell};
 pub use ttl_ablation::{run_ttl_ablation, TtlAblationRow};
 
 /// Measurement tests take this lock so they never run concurrently —

@@ -1,0 +1,295 @@
+//! Engine-scaling microbenchmarks: commit throughput vs thread count.
+//!
+//! The paper's §5 performance story is that coordination which *could* be
+//! avoided shows up as lost scalability under contention. These sweeps
+//! measure the two substrate spines directly:
+//!
+//! * [`commit_scaling`] — storage-engine commit throughput, N threads each
+//!   committing single-row update transactions, on **disjoint** keys (no
+//!   two threads ever touch the same row) vs one **same** hot key. With a
+//!   sharded commit path, disjoint-key throughput should scale with
+//!   threads; same-key throughput is bounded by the row's record lock
+//!   whatever the engine does.
+//! * [`kv_scaling`] — KV store command throughput, N threads each running
+//!   `WATCH`-style CAS loops (version read + `EXEC`) on disjoint vs shared
+//!   keys. With a striped store, disjoint-key commands never share a lock.
+//!
+//! Every row reports throughput and abort rate, and renders to the
+//! machine-readable `BENCH_fig2.json` / `BENCH_fig3.json` via
+//! [`render_json`] / [`bench_json`] (consumed by `tools/bench.sh` and the
+//! CI smoke gate).
+
+use adhoc_kv::Store;
+use adhoc_storage::{Column, ColumnType, Database, EngineProfile, IsolationLevel, Schema};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which key pattern the worker threads use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyPattern {
+    /// Every thread owns a private key range: zero logical conflicts.
+    Disjoint,
+    /// Every thread hammers one shared hot key: maximal conflicts.
+    SameKey,
+}
+
+impl KeyPattern {
+    /// JSON/label name.
+    pub fn label(self) -> &'static str {
+        match self {
+            KeyPattern::Disjoint => "disjoint",
+            KeyPattern::SameKey => "same_key",
+        }
+    }
+}
+
+/// One measured (threads, pattern) cell.
+#[derive(Debug, Clone)]
+pub struct ScalingCell {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Key pattern.
+    pub pattern: KeyPattern,
+    /// Committed operations per second.
+    pub throughput_ops: f64,
+    /// Aborted-attempt fraction (aborts / attempts), 0.0 when nothing
+    /// retried.
+    pub abort_rate: f64,
+}
+
+/// Rows per thread in the disjoint workload (each thread cycles through
+/// its own private ids).
+const ROWS_PER_THREAD: i64 = 16;
+
+/// Build the bench table and seed every row the sweep will touch.
+fn seed_db(threads_max: usize) -> Database {
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    db.create_table(
+        Schema::new(
+            "bench_rows",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("val", ColumnType::Int),
+            ],
+            "id",
+        )
+        .expect("schema"),
+    )
+    .expect("create");
+    let rows = (threads_max as i64) * ROWS_PER_THREAD + 1;
+    for id in 0..rows {
+        db.run(IsolationLevel::ReadCommitted, |t| {
+            t.insert("bench_rows", &[("id", id.into()), ("val", 0.into())])
+        })
+        .expect("seed");
+    }
+    db
+}
+
+/// Measure one (threads, pattern) cell for `window` on a fresh database.
+fn measure_commits(threads: usize, pattern: KeyPattern, window: Duration) -> ScalingCell {
+    let db = seed_db(threads);
+    let stop = Arc::new(AtomicBool::new(false));
+    let committed = Arc::new(AtomicU64::new(0));
+    let attempts = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let db = db.clone();
+            let stop = Arc::clone(&stop);
+            let committed = Arc::clone(&committed);
+            let attempts = Arc::clone(&attempts);
+            s.spawn(move || {
+                let base = match pattern {
+                    KeyPattern::Disjoint => 1 + (t as i64) * ROWS_PER_THREAD,
+                    KeyPattern::SameKey => 0,
+                };
+                let mut i: i64 = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    let id = match pattern {
+                        KeyPattern::Disjoint => base + (i % ROWS_PER_THREAD),
+                        KeyPattern::SameKey => 0,
+                    };
+                    attempts.fetch_add(1, Ordering::Relaxed);
+                    let ok = db
+                        .run_with_retries(IsolationLevel::ReadCommitted, 64, |txn| {
+                            txn.update("bench_rows", id, &[("val", i.into())])
+                        })
+                        .is_ok();
+                    if ok {
+                        committed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    i += 1;
+                }
+            });
+        }
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let stats = db.stats();
+    let attempts = attempts.load(Ordering::Relaxed).max(1);
+    ScalingCell {
+        threads,
+        pattern,
+        throughput_ops: committed.load(Ordering::Relaxed) as f64 / window.as_secs_f64(),
+        // `aborts` counts every rolled-back transaction (retried or not).
+        abort_rate: stats.aborts as f64 / (attempts + stats.aborts) as f64,
+    }
+}
+
+/// Storage-engine commit-throughput sweep over `thread_counts`.
+pub fn commit_scaling(thread_counts: &[usize], window: Duration) -> Vec<ScalingCell> {
+    let mut out = Vec::new();
+    for &threads in thread_counts {
+        for pattern in [KeyPattern::Disjoint, KeyPattern::SameKey] {
+            out.push(measure_commits(threads, pattern, window));
+        }
+    }
+    out
+}
+
+/// Measure one KV cell: CAS loops (version read + watched `EXEC`) per
+/// second; an `EXEC` that validates against a moved version counts as an
+/// abort.
+fn measure_kv(threads: usize, pattern: KeyPattern, window: Duration) -> ScalingCell {
+    use adhoc_kv::{SetMode, WriteOp};
+    let store = Store::new();
+    let stop = Arc::new(AtomicBool::new(false));
+    let committed = Arc::new(AtomicU64::new(0));
+    let attempts = Arc::new(AtomicU64::new(0));
+    let t0 = Duration::ZERO;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let store = store.clone();
+            let stop = Arc::clone(&stop);
+            let committed = Arc::clone(&committed);
+            let attempts = Arc::clone(&attempts);
+            s.spawn(move || {
+                let mut i: u64 = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = match pattern {
+                        KeyPattern::Disjoint => format!("k:{t}:{}", i % 16),
+                        KeyPattern::SameKey => "hot".to_string(),
+                    };
+                    attempts.fetch_add(1, Ordering::Relaxed);
+                    let ver = store.version(&key, t0);
+                    let applied = store
+                        .exec(
+                            &[(key.clone(), ver)],
+                            &[WriteOp::Set {
+                                key: key.clone(),
+                                value: i.to_string(),
+                                mode: SetMode::Always,
+                                ttl: None,
+                            }],
+                            t0,
+                        )
+                        .expect("exec");
+                    if applied {
+                        committed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    i += 1;
+                }
+            });
+        }
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let attempts = attempts.load(Ordering::Relaxed).max(1);
+    let ok = committed.load(Ordering::Relaxed);
+    ScalingCell {
+        threads,
+        pattern,
+        throughput_ops: ok as f64 / window.as_secs_f64(),
+        abort_rate: (attempts - ok.min(attempts)) as f64 / attempts as f64,
+    }
+}
+
+/// KV-store command-throughput sweep over `thread_counts`.
+pub fn kv_scaling(thread_counts: &[usize], window: Duration) -> Vec<ScalingCell> {
+    let mut out = Vec::new();
+    for &threads in thread_counts {
+        for pattern in [KeyPattern::Disjoint, KeyPattern::SameKey] {
+            out.push(measure_kv(threads, pattern, window));
+        }
+    }
+    out
+}
+
+/// Render a sweep as the machine-readable JSON the CI/bench tooling
+/// consumes: `{"bench": ..., "rows": [{"threads", "pattern",
+/// "throughput_ops", "abort_rate"}, ...]}`. `baseline` (if any) is a
+/// pre-recorded JSON object spliced in verbatim under `"baseline"` so one
+/// file carries before/after.
+pub fn render_json(bench: &str, cells: &[ScalingCell], baseline: Option<&str>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{bench}\",\n"));
+    out.push_str("  \"unit\": \"ops_per_sec\",\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"pattern\": \"{}\", \"throughput_ops\": {:.1}, \"abort_rate\": {:.6}}}{}\n",
+            c.threads,
+            c.pattern.label(),
+            c.throughput_ops,
+            c.abort_rate,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]");
+    if let Some(b) = baseline {
+        out.push_str(",\n  \"baseline\": ");
+        out.push_str(b.trim());
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// The standard thread sweep.
+pub fn default_threads() -> Vec<usize> {
+    vec![1, 2, 4, 8]
+}
+
+/// Duty cycle per cell: `BENCH_SCALE=smoke` keeps the whole sweep under a
+/// couple of seconds for CI; anything else runs the full window.
+pub fn window_from_env() -> Duration {
+    match std::env::var("BENCH_SCALE").as_deref() {
+        Ok("smoke") => Duration::from_millis(25),
+        _ => Duration::from_millis(200),
+    }
+}
+
+/// Convenience used by `paper-eval bench-json`: run both sweeps and return
+/// `(fig2_json, fig3_json)`.
+pub fn bench_json(baseline_fig2: Option<&str>, baseline_fig3: Option<&str>) -> (String, String) {
+    let threads = default_threads();
+    let window = window_from_env();
+    let fig2 = commit_scaling(&threads, window);
+    let fig3 = kv_scaling(&threads, window);
+    (
+        render_json("storage_commit_scaling", &fig2, baseline_fig2),
+        render_json("kv_command_scaling", &fig3, baseline_fig3),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_sweep_smoke() {
+        let _serial = crate::SERIAL_MEASUREMENTS.lock();
+        let cells = commit_scaling(&[1, 2], Duration::from_millis(20));
+        assert_eq!(cells.len(), 4);
+        for c in &cells {
+            assert!(c.throughput_ops > 0.0, "{c:?}");
+            assert!((0.0..=1.0).contains(&c.abort_rate), "{c:?}");
+        }
+        let kv = kv_scaling(&[2], Duration::from_millis(20));
+        assert_eq!(kv.len(), 2);
+        let json = render_json("storage_commit_scaling", &cells, Some("{\"note\": 1}"));
+        assert!(json.contains("\"threads\": 1"));
+        assert!(json.contains("\"baseline\""));
+    }
+}

@@ -39,4 +39,4 @@ pub mod client;
 pub mod store;
 
 pub use client::Client;
-pub use store::{KvError, SetMode, Store, Ttl, Value, WriteOp};
+pub use store::{stripe_of, KvError, KvStats, SetMode, Store, Ttl, Value, WriteOp, STRIPE_COUNT};

@@ -4,10 +4,17 @@
 //! the [`Client`](crate::client::Client) supplies time and charges network
 //! costs. Expiry is lazy, like Redis: an expired entry is treated as absent
 //! (and reaped) by the first command that touches it.
+//!
+//! The keyspace is striped ([`STRIPE_COUNT`] ways, by a deterministic hash
+//! of the key bytes): commands on keys in different stripes never share a
+//! lock, and a `WATCH`/`MULTI`/`EXEC` block locks only the stripes its
+//! keys touch, in ascending index order. Command counters live outside
+//! the stripe locks so observability reads never block the data path.
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -134,6 +141,37 @@ pub enum WriteOp {
     },
 }
 
+impl WriteOp {
+    /// The key this buffered write targets (every op touches exactly one).
+    pub fn key(&self) -> &str {
+        match self {
+            WriteOp::Set { key, .. }
+            | WriteOp::Del { key }
+            | WriteOp::SAdd { key, .. }
+            | WriteOp::SRem { key, .. }
+            | WriteOp::Expire { key, .. } => key,
+        }
+    }
+}
+
+/// Number of key stripes. Fixed so a key's stripe is a pure function of
+/// its bytes — the KV analogue of the storage engine's `SHARD_COUNT` row
+/// shards.
+pub const STRIPE_COUNT: usize = 16;
+
+/// Deterministic stripe of a key: FNV-1a over the key bytes. Commands on
+/// keys in different stripes never share a lock; `EXEC` blocks spanning
+/// stripes acquire them in ascending index order (deadlock-free, like the
+/// storage engine's shard protocol).
+pub fn stripe_of(key: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % STRIPE_COUNT as u64) as usize
+}
+
 #[derive(Debug, Clone)]
 struct Entry {
     value: Value,
@@ -142,16 +180,14 @@ struct Entry {
 }
 
 #[derive(Debug, Default)]
-struct Inner {
+struct Stripe {
     entries: HashMap<String, Entry>,
     /// Per-key modification counters used by `WATCH`. Counters survive
     /// deletion so that delete→recreate is visible to watchers.
     versions: HashMap<String, u64>,
-    /// Total commands processed (diagnostics for tests and the harness).
-    commands: u64,
 }
 
-impl Inner {
+impl Stripe {
     fn bump(&mut self, key: &str) {
         *self.versions.entry(key.to_string()).or_insert(0) += 1;
     }
@@ -260,10 +296,51 @@ impl Inner {
     }
 }
 
+#[derive(Debug)]
+struct StoreInner {
+    /// Key-striped data: commands on keys in different stripes never
+    /// share a lock. Index with [`stripe_of`].
+    stripes: [Mutex<Stripe>; STRIPE_COUNT],
+    /// Total commands processed. Kept out of the stripe mutexes so
+    /// observability reads ([`Store::command_count`]) never block — or are
+    /// blocked by — the data path.
+    commands: AtomicU64,
+}
+
+/// Command counters, readable without touching any data-path lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KvStats {
+    /// Total commands processed since creation.
+    pub commands: u64,
+}
+
 /// The shared server. Cheap to clone (`Arc` inside).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Store {
-    inner: Arc<Mutex<Inner>>,
+    inner: Arc<StoreInner>,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Self {
+            inner: Arc::new(StoreInner {
+                stripes: std::array::from_fn(|_| Mutex::new(Stripe::default())),
+                commands: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+/// The stripe holding `key`, from a sorted guard list (`EXEC` path).
+fn stripe_for<'a, 'g>(
+    guards: &'a mut [(usize, MutexGuard<'g, Stripe>)],
+    key: &str,
+) -> &'a mut Stripe {
+    let idx = stripe_of(key);
+    let pos = guards
+        .binary_search_by_key(&idx, |(i, _)| *i)
+        .expect("stripe is locked");
+    &mut guards[pos].1
 }
 
 impl Store {
@@ -272,15 +349,26 @@ impl Store {
         Self::default()
     }
 
-    fn locked<R>(&self, f: impl FnOnce(&mut Inner) -> R) -> R {
-        let mut inner = self.inner.lock();
-        inner.commands += 1;
-        f(&mut inner)
+    /// One public command against one key: count it and run `f` under the
+    /// key's stripe lock.
+    fn locked<R>(&self, key: &str, f: impl FnOnce(&mut Stripe) -> R) -> R {
+        self.inner.commands.fetch_add(1, Ordering::Relaxed);
+        let mut stripe = self.inner.stripes[stripe_of(key)].lock();
+        f(&mut stripe)
+    }
+
+    /// One public command spanning the whole keyspace: count it and run
+    /// `f` with every stripe locked in ascending index order.
+    fn locked_all<R>(&self, f: impl FnOnce(&mut [MutexGuard<'_, Stripe>]) -> R) -> R {
+        self.inner.commands.fetch_add(1, Ordering::Relaxed);
+        let mut guards: Vec<MutexGuard<'_, Stripe>> =
+            self.inner.stripes.iter().map(|s| s.lock()).collect();
+        f(&mut guards)
     }
 
     /// `GET key`.
     pub fn get(&self, key: &str, now: Duration) -> Result<Option<String>, KvError> {
-        self.locked(|i| {
+        self.locked(key, |i| {
             if !i.reap(key, now) {
                 return Ok(None);
             }
@@ -303,7 +391,7 @@ impl Store {
         ttl: Option<Duration>,
         now: Duration,
     ) -> Result<bool, KvError> {
-        self.locked(|i| {
+        self.locked(key, |i| {
             i.apply(
                 &WriteOp::Set {
                     key: key.to_string(),
@@ -318,7 +406,7 @@ impl Store {
 
     /// `DEL key`. Returns whether a live key was removed.
     pub fn del(&self, key: &str, now: Duration) -> bool {
-        self.locked(|i| {
+        self.locked(key, |i| {
             i.apply(
                 &WriteOp::Del {
                     key: key.to_string(),
@@ -331,12 +419,12 @@ impl Store {
 
     /// `EXISTS key`.
     pub fn exists(&self, key: &str, now: Duration) -> bool {
-        self.locked(|i| i.reap(key, now))
+        self.locked(key, |i| i.reap(key, now))
     }
 
     /// `EXPIRE key ttl`. Returns false when the key is missing.
     pub fn expire(&self, key: &str, ttl: Duration, now: Duration) -> bool {
-        self.locked(|i| {
+        self.locked(key, |i| {
             i.apply(
                 &WriteOp::Expire {
                     key: key.to_string(),
@@ -350,7 +438,7 @@ impl Store {
 
     /// `TTL key`.
     pub fn ttl(&self, key: &str, now: Duration) -> Ttl {
-        self.locked(|i| {
+        self.locked(key, |i| {
             if !i.reap(key, now) {
                 return Ttl::Missing;
             }
@@ -363,7 +451,7 @@ impl Store {
 
     /// `INCR key`: increments an integer string, creating it at 0.
     pub fn incr(&self, key: &str, now: Duration) -> Result<i64, KvError> {
-        self.locked(|i| {
+        self.locked(key, |i| {
             let live = i.reap(key, now);
             let current = if live {
                 match &i.entries[key].value {
@@ -400,7 +488,7 @@ impl Store {
 
     /// `SADD key member`.
     pub fn sadd(&self, key: &str, member: &str, now: Duration) -> Result<bool, KvError> {
-        self.locked(|i| {
+        self.locked(key, |i| {
             i.apply(
                 &WriteOp::SAdd {
                     key: key.to_string(),
@@ -413,7 +501,7 @@ impl Store {
 
     /// `SREM key member`.
     pub fn srem(&self, key: &str, member: &str, now: Duration) -> Result<bool, KvError> {
-        self.locked(|i| {
+        self.locked(key, |i| {
             i.apply(
                 &WriteOp::SRem {
                     key: key.to_string(),
@@ -426,7 +514,7 @@ impl Store {
 
     /// `SMEMBERS key`.
     pub fn smembers(&self, key: &str, now: Duration) -> Result<Vec<String>, KvError> {
-        self.locked(|i| {
+        self.locked(key, |i| {
             if !i.reap(key, now) {
                 return Ok(Vec::new());
             }
@@ -442,7 +530,7 @@ impl Store {
 
     /// `SISMEMBER key member`.
     pub fn sismember(&self, key: &str, member: &str, now: Duration) -> Result<bool, KvError> {
-        self.locked(|i| {
+        self.locked(key, |i| {
             if !i.reap(key, now) {
                 return Ok(false);
             }
@@ -458,7 +546,7 @@ impl Store {
 
     /// Current modification counter for a key (the `WATCH` snapshot).
     pub fn version(&self, key: &str, now: Duration) -> u64 {
-        self.locked(|i| {
+        self.locked(key, |i| {
             i.reap(key, now);
             i.versions.get(key).copied().unwrap_or(0)
         })
@@ -475,25 +563,44 @@ impl Store {
         ops: &[WriteOp],
         now: Duration,
     ) -> Result<bool, KvError> {
-        self.locked(|i| {
-            for (key, ver) in watched {
-                i.reap(key, now);
-                if i.versions.get(key.as_str()).copied().unwrap_or(0) != *ver {
-                    return Ok(false);
-                }
+        self.inner.commands.fetch_add(1, Ordering::Relaxed);
+        // Lock exactly the stripes the block touches, ascending — two EXECs
+        // over disjoint stripe sets never coordinate, and overlapping sets
+        // are acquired in a global order so they cannot deadlock.
+        let mut idxs: Vec<usize> = watched
+            .iter()
+            .map(|(k, _)| stripe_of(k))
+            .chain(ops.iter().map(|op| stripe_of(op.key())))
+            .collect();
+        idxs.sort_unstable();
+        idxs.dedup();
+        let mut guards: Vec<(usize, MutexGuard<'_, Stripe>)> = idxs
+            .into_iter()
+            .map(|i| (i, self.inner.stripes[i].lock()))
+            .collect();
+        for (key, ver) in watched {
+            let stripe = stripe_for(&mut guards, key);
+            stripe.reap(key, now);
+            if stripe.versions.get(key.as_str()).copied().unwrap_or(0) != *ver {
+                return Ok(false);
             }
-            for op in ops {
-                i.apply(op, now)?;
-            }
-            Ok(true)
-        })
+        }
+        for op in ops {
+            stripe_for(&mut guards, op.key()).apply(op, now)?;
+        }
+        Ok(true)
     }
 
     /// Number of live keys (test/diagnostic helper).
     pub fn len(&self, now: Duration) -> usize {
-        self.locked(|i| {
-            let keys: Vec<String> = i.entries.keys().cloned().collect();
-            keys.iter().filter(|k| i.reap(k, now)).count()
+        self.locked_all(|stripes| {
+            stripes
+                .iter_mut()
+                .map(|s| {
+                    let keys: Vec<String> = s.entries.keys().cloned().collect();
+                    keys.iter().filter(|k| s.reap(k, now)).count()
+                })
+                .sum()
         })
     }
 
@@ -502,9 +609,17 @@ impl Store {
         self.len(now) == 0
     }
 
-    /// Total commands processed since creation.
+    /// Total commands processed since creation. Reads an atomic — never
+    /// touches (or waits on) a data-path stripe lock.
     pub fn command_count(&self) -> u64 {
-        self.inner.lock().commands
+        self.inner.commands.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the command counters (see [`command_count`](Self::command_count)).
+    pub fn stats(&self) -> KvStats {
+        KvStats {
+            commands: self.command_count(),
+        }
     }
 
     /// Simulate a server restart that recovers from an RDB-style snapshot:
@@ -512,16 +627,18 @@ impl Store {
     /// do not survive), plain keys persist. Versions of the dropped keys
     /// bump so watchers see the loss.
     pub fn lose_volatile(&self, _now: Duration) {
-        self.locked(|i| {
-            let doomed: Vec<String> = i
-                .entries
-                .iter()
-                .filter(|(_, e)| e.expires_at.is_some())
-                .map(|(k, _)| k.clone())
-                .collect();
-            for key in doomed {
-                i.entries.remove(&key);
-                i.bump(&key);
+        self.locked_all(|stripes| {
+            for s in stripes.iter_mut() {
+                let doomed: Vec<String> = s
+                    .entries
+                    .iter()
+                    .filter(|(_, e)| e.expires_at.is_some())
+                    .map(|(k, _)| k.clone())
+                    .collect();
+                for key in doomed {
+                    s.entries.remove(&key);
+                    s.bump(&key);
+                }
             }
         });
     }
@@ -728,6 +845,78 @@ mod tests {
         assert_eq!(s.len(T0), 2);
         assert_eq!(s.len(at(11)), 1);
         assert!(!s.is_empty(at(11)));
+    }
+
+    #[test]
+    fn stripes_partition_the_keyspace_deterministically() {
+        for key in ["a", "hot", "k:0:1", "user:42", ""] {
+            let s = stripe_of(key);
+            assert!(s < STRIPE_COUNT);
+            assert_eq!(s, stripe_of(key), "stripe must be a pure function");
+        }
+        // The bench's disjoint pattern must actually spread over stripes.
+        let distinct: std::collections::BTreeSet<usize> = (0..64)
+            .map(|i| stripe_of(&format!("k:{}:{}", i % 8, i / 8)))
+            .collect();
+        assert!(distinct.len() > STRIPE_COUNT / 2, "{distinct:?}");
+    }
+
+    #[test]
+    fn exec_spanning_stripes_is_atomic_and_deadlock_free() {
+        // Two EXEC blocks whose watch/write sets overlap in reversed key
+        // order: ascending stripe acquisition means they serialize instead
+        // of deadlocking, whatever the stripe assignment of the keys.
+        let s = Store::new();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let (a, b) = if t % 2 == 0 {
+                            ("left", "right")
+                        } else {
+                            ("right", "left")
+                        };
+                        let va = s.version(a, T0);
+                        let vb = s.version(b, T0);
+                        let _ = s
+                            .exec(
+                                &[(a.into(), va), (b.into(), vb)],
+                                &[
+                                    WriteOp::Set {
+                                        key: a.into(),
+                                        value: format!("{t}:{i}"),
+                                        mode: SetMode::Always,
+                                        ttl: None,
+                                    },
+                                    WriteOp::Set {
+                                        key: b.into(),
+                                        value: format!("{t}:{i}"),
+                                        mode: SetMode::Always,
+                                        ttl: None,
+                                    },
+                                ],
+                                T0,
+                            )
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        // Winners always wrote both keys with the same tag.
+        assert_eq!(s.get("left", T0).unwrap(), s.get("right", T0).unwrap());
+    }
+
+    #[test]
+    fn command_count_is_one_per_public_op() {
+        let s = Store::new();
+        s.set("k", "v", SetMode::Always, None, T0).unwrap();
+        s.get("k", T0).unwrap();
+        let v = s.version("k", T0);
+        s.exec(&[("k".into(), v)], &[], T0).unwrap();
+        s.len(T0);
+        assert_eq!(s.command_count(), 5);
+        assert_eq!(s.stats().commands, 5);
     }
 
     #[test]

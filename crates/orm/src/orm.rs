@@ -4,7 +4,7 @@
 use crate::entity::{Obj, Registry, Validation};
 use crate::error::OrmError;
 use crate::Result;
-use adhoc_storage::{Database, IsolationLevel, Predicate, Row, Transaction, Value};
+use adhoc_storage::{Database, Footprint, IsolationLevel, Predicate, Row, Transaction, Value};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
@@ -125,6 +125,16 @@ impl OrmTxn<'_> {
     /// studied applications mix with ORM calls.
     pub fn raw(&mut self) -> &mut Transaction {
         &mut self.txn
+    }
+
+    /// The conflict footprint accumulated so far by this transaction block:
+    /// the row-state shards its reads and buffered writes (including the
+    /// statements `save()` generates — touch cascades, `lock_version`
+    /// bumps) touch. Commit will lock exactly these shards, so two blocks
+    /// with [disjoint](Footprint::is_disjoint) footprints never contend on
+    /// engine state.
+    pub fn footprint(&self) -> Footprint {
+        self.txn.footprint()
     }
 
     fn wrap(&self, entity: &str, id: i64, row: Row) -> Result<Obj> {
@@ -520,6 +530,41 @@ mod tests {
                 .get_int("quantity")
                 .unwrap(),
             8
+        );
+    }
+
+    #[test]
+    fn save_footprint_covers_the_generated_cascade() {
+        let orm = spree_fixture();
+        let (fp_cascade, fp_product) = orm
+            .transaction(|t| {
+                let before = t.footprint();
+                assert!(before.writes.is_empty(), "fresh block has no footprint");
+                let mut sku = t.find_required("skus", 5)?;
+                sku.set("quantity", 9)?;
+                t.save(&mut sku)?;
+                let fp_cascade = t.footprint();
+                Ok((fp_cascade, ()))
+            })
+            .map(|(fp, ())| {
+                let fp_product = orm
+                    .transaction(|t| {
+                        let mut p = t.find_required("products", 1)?;
+                        p.set("updated_at", 99)?;
+                        t.save(&mut p)?;
+                        Ok(t.footprint())
+                    })
+                    .unwrap();
+                (fp, fp_product)
+            })
+            .unwrap();
+        // save(sku) wrote the sku, the product touch, and both category
+        // touches: strictly more shards than a bare product save, and the
+        // product's shard is inside the cascade footprint.
+        assert!(fp_cascade.writes.len() >= 2, "{fp_cascade:?}");
+        assert!(
+            !fp_cascade.is_disjoint(&fp_product),
+            "cascade must cover the touched product: {fp_cascade:?} vs {fp_product:?}"
         );
     }
 

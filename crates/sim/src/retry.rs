@@ -193,8 +193,10 @@ impl RetryPolicy {
         retryable: impl Fn(&E) -> bool,
         mut body: impl FnMut(u32) -> Result<T, E>,
     ) -> Result<T, GiveUp<E>> {
-        let stream = NEXT_STREAM.fetch_add(1, Ordering::Relaxed);
-        let started = Instant::now();
+        // Both the jitter stream and the deadline clock are only needed
+        // once an attempt fails; the success path pays neither.
+        let mut stream: Option<u64> = None;
+        let started = self.deadline.map(|_| Instant::now());
         let mut attempt = 0u32;
         loop {
             match body(attempt) {
@@ -209,7 +211,10 @@ impl RetryPolicy {
                         });
                     }
                     let budget_left = self.max_attempts.is_none_or(|m| attempts < m);
-                    let time_left = self.deadline.is_none_or(|d| started.elapsed() < d);
+                    let time_left = match (self.deadline, started) {
+                        (Some(d), Some(started)) => started.elapsed() < d,
+                        _ => true,
+                    };
                     if !budget_left || !time_left {
                         if let Some(obs) = observer {
                             let reason = if budget_left { "deadline" } else { "attempts" };
@@ -221,6 +226,8 @@ impl RetryPolicy {
                             retryable: true,
                         });
                     }
+                    let stream =
+                        *stream.get_or_insert_with(|| NEXT_STREAM.fetch_add(1, Ordering::Relaxed));
                     let delay = self.backoff.delay(stream, attempt);
                     if let Some(obs) = observer {
                         obs.on_retry(label, attempt, delay);

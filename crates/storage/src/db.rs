@@ -1,32 +1,77 @@
-//! The database: table registry, transaction lifecycle, commit protocol,
-//! and SSI-style commit-time certification for the PostgreSQL-like profile.
+//! The database: table catalog, sharded row state, transaction lifecycle,
+//! per-shard commit validation, and SSI-style certification for the
+//! PostgreSQL-like profile.
+//!
+//! ## Sharded commit spine
+//!
+//! All row state — version chains and the commit-log entries certification
+//! walks — is hash-partitioned into [`SHARD_COUNT`](crate::shard::SHARD_COUNT)
+//! shards by `(table, primary key)` ([`crate::shard::shard_of`]). A
+//! committing transaction locks only the shards its footprint touches, in
+//! ascending shard-index order (deadlock-free by construction), validates
+//! against those shards' logs, and installs its versions there. Commits
+//! with disjoint footprints proceed in parallel with no shared lock; the
+//! old engine-global `commit_gate` is gone.
+//!
+//! Commit timestamps come from an atomic counter, drawn while the shard
+//! locks are held, so each shard's log stays timestamp-ordered. Because
+//! timestamps can be drawn out of order *across* shards, snapshots come
+//! from a separate `applied_ts` watermark that only advances once every
+//! commit at or below it has fully installed — a begin can never observe a
+//! half-applied commit (the old single-gate design enforced this with the
+//! global mutex; the watermark enforces it without one).
 
 use crate::engine::{AccessEvent, DbConfig, EngineProfile, IsolationLevel, StatementObserver};
 use crate::error::{DbError, TxnId};
+use crate::fasthash::FastMap;
 use crate::lock::{LockManager, LockStats};
-use crate::predicate::ValueInterval;
 use crate::schema::{Row, Schema};
-use crate::table::{CommitTs, Table};
+use crate::shard::{shard_of, ShardSet, SHARD_COUNT};
+use crate::table::{CommitTs, Table, VersionChain};
 use crate::txn::Transaction;
 use crate::value::Value;
 use crate::Result;
 use adhoc_sim::latency::Cost;
 use adhoc_sim::{BackoffPolicy, FaultKind, FaultPlan, OpClass, RetryObserver, RetryPolicy};
-use parking_lot::{Mutex, RwLock};
-use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A committed transaction's footprint, retained for SSI certification of
-/// concurrent readers (pruned once no active snapshot predates it).
+/// concurrent readers (pruned once no active snapshot predates it). One
+/// entry is shared (`Arc`) by the log of every shard the commit wrote.
 #[derive(Debug)]
 pub(crate) struct CommittedTxn {
     pub commit_ts: CommitTs,
-    /// Rows written: (table, primary key).
-    pub rows: HashSet<(usize, i64)>,
+    /// Rows written: (table, primary key). Usually tiny, so a plain vector
+    /// beats a hash set for both build and certification-scan cost.
+    pub rows: Vec<(usize, i64)>,
     /// Indexed keys touched (old and new): (table, column, key value).
     pub keys: Vec<(usize, usize, Value)>,
 }
+
+/// One hash shard of row state: version chains plus the shard-local commit
+/// log. All mutation happens under the shard mutex.
+#[derive(Debug, Default)]
+pub(crate) struct Shard {
+    /// Version chains keyed by (table, primary key).
+    pub rows: FastMap<(usize, i64), VersionChain>,
+    /// Committed footprints that wrote this shard, timestamp-ordered
+    /// (timestamps are drawn while the shard lock is held).
+    pub log: VecDeque<Arc<CommittedTxn>>,
+    /// Appends since the last prune — pruning is amortized so the common
+    /// commit never pays the scan over active snapshots.
+    appends_since_prune: u32,
+}
+
+/// Prune a shard's log at most every this many appends.
+const PRUNE_EVERY: u32 = 32;
+
+/// Stripe count for the active-transaction registry (begin/finish touch one
+/// stripe; only pruning and crash simulation touch them all).
+const ACTIVE_STRIPES: usize = 16;
 
 /// Aggregate counters exposed for benches and tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -43,28 +88,64 @@ pub struct DbStats {
     pub lock_stats: LockStats,
 }
 
+/// Out-of-order commit completions waiting to advance the `applied_ts`
+/// watermark (min-heap of drawn-but-not-yet-consecutive timestamps).
+#[derive(Default)]
+struct Watermark {
+    pending: BinaryHeap<Reverse<CommitTs>>,
+    waiters: usize,
+}
+
 pub(crate) struct DbInner {
     pub config: DbConfig,
     /// Observer installed after construction (in addition to any in the
     /// config); used by monitors that attach to an existing database.
-    pub late_observer: parking_lot::RwLock<Option<Arc<dyn StatementObserver>>>,
+    pub late_observer: RwLock<Option<Arc<dyn StatementObserver>>>,
+    /// Fast path for [`Database::observing`]: set when `late_observer` is;
+    /// lets the per-row observe hooks skip event construction entirely.
+    observers_attached: AtomicBool,
     /// Fault plan consulted once per commit attempt (class
     /// [`OpClass::DbCommit`]); installed after construction like
     /// `late_observer`.
-    pub faults: parking_lot::RwLock<Option<FaultPlan>>,
+    pub faults: RwLock<Option<FaultPlan>>,
+    /// Fast path: true once a fault plan was installed, so the common
+    /// commit never clones a `FaultPlan`.
+    faults_armed: AtomicBool,
     /// Observer of [`run_with_retries`](Database::run_with_retries)
     /// decisions (retries and give-ups); the hazard monitor attaches here.
-    pub retry_observer: parking_lot::RwLock<Option<Arc<dyn RetryObserver>>>,
-    pub tables: RwLock<Tables>,
+    pub retry_observer: RwLock<Option<Arc<dyn RetryObserver>>>,
+    /// Fast path: true once a retry observer was installed, so the common
+    /// transaction wrapper skips the lock + `Arc` clone.
+    retry_observed: AtomicBool,
+    /// Table catalog: name → id, id → shared table handle. Read-mostly —
+    /// statements clone an `Arc<Table>`, never the schema.
+    catalog: RwLock<Catalog>,
+    /// The row-state shards. Index with [`shard_of`].
+    shards: Box<[Mutex<Shard>]>,
     pub locks: LockManager,
     next_txn: AtomicU64,
-    pub commit_counter: AtomicU64,
-    /// Active transactions and their begin snapshots.
-    pub active: Mutex<HashMap<TxnId, CommitTs>>,
-    /// Recently committed footprints for certification, newest last.
-    pub commit_log: Mutex<VecDeque<CommittedTxn>>,
-    /// Serializes the certify→apply critical section.
-    pub commit_gate: Mutex<()>,
+    /// Commit-timestamp allocator (drawn under the committing transaction's
+    /// shard locks).
+    next_commit_ts: AtomicU64,
+    /// Snapshot watermark: every commit with `ts <= applied_ts` is fully
+    /// installed. Begins read this; it trails `next_commit_ts` only while a
+    /// commit is mid-install.
+    applied_ts: AtomicU64,
+    watermark: Mutex<Watermark>,
+    watermark_cv: Condvar,
+    /// Threads parked on the watermark (out-of-order committers plus
+    /// barrier waiters). The in-order completion fast path skips the
+    /// `watermark` mutex entirely while this is zero.
+    watermark_parked: AtomicUsize,
+    /// Active transactions and their begin snapshots, striped by
+    /// `txn_id % ACTIVE_STRIPES` so begin/finish on different transactions
+    /// don't share a lock.
+    active: Box<[Mutex<FastMap<TxnId, CommitTs>>]>,
+    /// Sticky: set (with a quiescent barrier) when the first
+    /// PostgreSQL-like Serializable transaction begins. Shard commit logs
+    /// are consumed only by SSI certification, so until then committers
+    /// skip log bookkeeping entirely.
+    ssi_seen: AtomicBool,
     pub commits: AtomicU64,
     pub aborts: AtomicU64,
     pub statements: AtomicU64,
@@ -72,28 +153,9 @@ pub(crate) struct DbInner {
 }
 
 #[derive(Default)]
-pub(crate) struct Tables {
-    pub by_name: HashMap<String, usize>,
-    pub list: Vec<Table>,
-}
-
-impl Tables {
-    pub fn resolve(&self, name: &str) -> Result<usize> {
-        self.by_name
-            .get(name)
-            .copied()
-            .ok_or_else(|| DbError::NoSuchTable {
-                table: name.to_string(),
-            })
-    }
-
-    pub fn get(&self, id: usize) -> &Table {
-        &self.list[id]
-    }
-
-    pub fn get_mut(&mut self, id: usize) -> &mut Table {
-        &mut self.list[id]
-    }
+struct Catalog {
+    by_name: FastMap<String, usize>,
+    list: Vec<Arc<Table>>,
 }
 
 /// The database handle. Cheap to clone and share across threads.
@@ -106,19 +168,31 @@ impl Database {
     /// A database from an explicit configuration.
     pub fn new(config: DbConfig) -> Self {
         let timeout = config.lock_wait_timeout;
+        let observers_attached = AtomicBool::new(config.observer.is_some());
         Self {
             inner: Arc::new(DbInner {
                 config,
-                late_observer: parking_lot::RwLock::new(None),
-                faults: parking_lot::RwLock::new(None),
-                retry_observer: parking_lot::RwLock::new(None),
-                tables: RwLock::new(Tables::default()),
+                late_observer: RwLock::new(None),
+                observers_attached,
+                faults: RwLock::new(None),
+                faults_armed: AtomicBool::new(false),
+                retry_observer: RwLock::new(None),
+                retry_observed: AtomicBool::new(false),
+                catalog: RwLock::new(Catalog::default()),
+                shards: (0..SHARD_COUNT)
+                    .map(|_| Mutex::new(Shard::default()))
+                    .collect(),
                 locks: LockManager::new(timeout),
                 next_txn: AtomicU64::new(1),
-                commit_counter: AtomicU64::new(0),
-                active: Mutex::new(HashMap::new()),
-                commit_log: Mutex::new(VecDeque::new()),
-                commit_gate: Mutex::new(()),
+                next_commit_ts: AtomicU64::new(0),
+                applied_ts: AtomicU64::new(0),
+                watermark: Mutex::new(Watermark::default()),
+                watermark_cv: Condvar::new(),
+                watermark_parked: AtomicUsize::new(0),
+                active: (0..ACTIVE_STRIPES)
+                    .map(|_| Mutex::new(FastMap::default()))
+                    .collect(),
+                ssi_seen: AtomicBool::new(false),
                 commits: AtomicU64::new(0),
                 aborts: AtomicU64::new(0),
                 statements: AtomicU64::new(0),
@@ -144,23 +218,178 @@ impl Database {
 
     /// Create a table from a schema.
     pub fn create_table(&self, schema: Schema) -> Result<()> {
-        let mut tables = self.inner.tables.write();
-        if tables.by_name.contains_key(&schema.table) {
+        let mut catalog = self.inner.catalog.write();
+        if catalog.by_name.contains_key(&schema.table) {
             return Err(DbError::DuplicateTable {
                 table: schema.table,
             });
         }
-        let id = tables.list.len();
-        tables.by_name.insert(schema.table.clone(), id);
-        tables.list.push(Table::new(id, schema));
+        let id = catalog.list.len();
+        catalog.by_name.insert(schema.table.clone(), id);
+        catalog.list.push(Arc::new(Table::new(id, schema)));
         Ok(())
     }
 
     /// A clone of a table's schema.
     pub fn schema(&self, table: &str) -> Result<Schema> {
-        let tables = self.inner.tables.read();
-        let id = tables.resolve(table)?;
-        Ok(tables.get(id).schema.clone())
+        Ok(self.resolve_table(table)?.schema.clone())
+    }
+
+    /// Resolve a table by name to its shared handle (statements hold the
+    /// `Arc`, never a catalog lock).
+    pub(crate) fn resolve_table(&self, name: &str) -> Result<Arc<Table>> {
+        let catalog = self.inner.catalog.read();
+        let id = catalog
+            .by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| DbError::NoSuchTable {
+                table: name.to_string(),
+            })?;
+        Ok(Arc::clone(&catalog.list[id]))
+    }
+
+    /// A table handle by positional id (commit path; id comes from a
+    /// previously resolved statement so it always exists).
+    pub(crate) fn table_by_id(&self, id: usize) -> Arc<Table> {
+        Arc::clone(&self.inner.catalog.read().list[id])
+    }
+
+    /// The shard holding row `(table_id, id)` — the unit of commit-time
+    /// coordination. Exposed so upper layers can compute footprints.
+    pub fn shard_of_row(&self, table_id: usize, id: i64) -> usize {
+        shard_of(table_id, id)
+    }
+
+    /// Run `f` on the version chain of one row (shared read access under
+    /// the row's shard lock; `None` when the row has no committed history).
+    pub(crate) fn with_chain<R>(
+        &self,
+        table: usize,
+        id: i64,
+        f: impl FnOnce(Option<&VersionChain>) -> R,
+    ) -> R {
+        let shard = self.inner.shards[shard_of(table, id)].lock();
+        f(shard.rows.get(&(table, id)))
+    }
+
+    /// Lock the given shards in ascending index order (the engine-wide
+    /// acquisition order — any two committers lock their intersection in
+    /// the same order, so shard acquisition cannot deadlock). Returns the
+    /// guards paired with their shard indices, ascending.
+    pub(crate) fn lock_shards(&self, set: ShardSet) -> Vec<(usize, MutexGuard<'_, Shard>)> {
+        set.iter()
+            .map(|idx| (idx, self.inner.shards[idx].lock()))
+            .collect()
+    }
+
+    fn active_stripe(&self, txn: TxnId) -> &Mutex<FastMap<TxnId, CommitTs>> {
+        &self.inner.active[(txn as usize) % ACTIVE_STRIPES]
+    }
+
+    /// Whether the server still knows this transaction (it vanishes on
+    /// [`simulate_crash`](Self::simulate_crash)).
+    pub(crate) fn is_active(&self, txn: TxnId) -> bool {
+        self.active_stripe(txn).lock().contains_key(&txn)
+    }
+
+    /// The minimum begin snapshot across all active transactions (stripes
+    /// locked in ascending order; callers may hold shard locks — shards
+    /// order before active stripes engine-wide).
+    pub(crate) fn min_active_snapshot(&self) -> Option<CommitTs> {
+        let mut min: Option<CommitTs> = None;
+        for stripe in self.inner.active.iter() {
+            for snap in stripe.lock().values() {
+                min = Some(min.map_or(*snap, |m: CommitTs| m.min(*snap)));
+            }
+        }
+        min
+    }
+
+    /// Draw the next commit timestamp. Must be called with the write-set
+    /// shard locks held so every shard log stays timestamp-ordered.
+    pub(crate) fn draw_commit_ts(&self) -> CommitTs {
+        self.inner.next_commit_ts.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Retire a drawn commit timestamp into the `applied_ts` watermark and
+    /// wait until the watermark covers it, so the committer's next begin
+    /// (and everyone else's) sees the commit. Called *after* the shard
+    /// guards are dropped. Under the deterministic scheduler the wait never
+    /// triggers: there is no yield point between drawing a timestamp and
+    /// retiring it, so completions arrive in draw order.
+    pub(crate) fn complete_commit(&self, ts: CommitTs) {
+        // In-order fast path: a consecutive completion with nobody parked
+        // advances the watermark with one CAS and never takes the mutex.
+        // SeqCst pairs with the parked counter (Dekker-style): a parker
+        // increments `watermark_parked` before re-reading `applied_ts`, so
+        // either we see the parker (and drain/notify under the mutex) or
+        // the parker sees our advance (and doesn't sleep on it).
+        if self
+            .inner
+            .applied_ts
+            .compare_exchange(ts - 1, ts, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            if self.inner.watermark_parked.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            let mut wm = self.inner.watermark.lock();
+            let applied = self.inner.applied_ts.load(Ordering::Relaxed);
+            let mut next = applied;
+            while wm
+                .pending
+                .peek()
+                .map(|Reverse(t)| *t == next + 1)
+                .unwrap_or(false)
+            {
+                wm.pending.pop();
+                next += 1;
+            }
+            if next != applied {
+                self.inner.applied_ts.store(next, Ordering::Release);
+            }
+            if wm.waiters > 0 {
+                self.inner.watermark_cv.notify_all();
+            }
+            return;
+        }
+        // Out of order: park under the mutex until the gap closes.
+        self.inner.watermark_parked.fetch_add(1, Ordering::SeqCst);
+        let mut wm = self.inner.watermark.lock();
+        let applied = self.inner.applied_ts.load(Ordering::Relaxed);
+        if applied + 1 == ts {
+            // The gap closed while we acquired the mutex.
+            let mut next = ts;
+            while wm
+                .pending
+                .peek()
+                .map(|Reverse(t)| *t == next + 1)
+                .unwrap_or(false)
+            {
+                wm.pending.pop();
+                next += 1;
+            }
+            self.inner.applied_ts.store(next, Ordering::Release);
+            if wm.waiters > 0 {
+                self.inner.watermark_cv.notify_all();
+            }
+        } else {
+            debug_assert!(ts > applied + 1, "timestamp retired twice");
+            wm.pending.push(Reverse(ts));
+            wm.waiters += 1;
+            while self.inner.applied_ts.load(Ordering::Relaxed) < ts {
+                self.inner.watermark_cv.wait(&mut wm);
+            }
+            wm.waiters -= 1;
+        }
+        drop(wm);
+        self.inner.watermark_parked.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// The snapshot new begins / Read Committed statements read at.
+    pub(crate) fn current_snapshot(&self) -> CommitTs {
+        self.inner.applied_ts.load(Ordering::Acquire)
     }
 
     /// Begin a transaction at the engine's default isolation level.
@@ -173,18 +402,72 @@ impl Database {
         // Transaction boundaries are preemption points under the
         // deterministic scheduler (no-op otherwise).
         adhoc_sim::sched::yield_point(adhoc_sim::sched::SchedPoint::DbTxn);
-        let id = self.inner.next_txn.fetch_add(1, Ordering::SeqCst);
+        if iso == IsolationLevel::Serializable
+            && self.profile() == EngineProfile::PostgresLike
+            && !self.inner.ssi_seen.load(Ordering::Acquire)
+        {
+            // Must run before the snapshot is taken: the barrier guarantees
+            // every unlogged commit is at or below any snapshot assigned
+            // from here on.
+            self.enable_ssi_logging();
+        }
+        let id = self.inner.next_txn.fetch_add(1, Ordering::Relaxed);
         // Snapshot assignment and registration are atomic with respect to
-        // [`log_commit`]'s pruning (both hold the `active` lock): a
-        // transaction is always registered before any entry newer than its
+        // log pruning (pruning reads every stripe under its lock): a
+        // transaction is registered before any entry newer than its
         // snapshot can be pruned, so certification never misses a conflict.
         let snapshot = {
-            let mut active = self.inner.active.lock();
-            let snapshot = self.inner.commit_counter.load(Ordering::SeqCst);
-            active.insert(id, snapshot);
+            let mut stripe = self.active_stripe(id).lock();
+            let snapshot = self.current_snapshot();
+            stripe.insert(id, snapshot);
             snapshot
         };
         Transaction::new(self.clone(), id, iso, snapshot)
+    }
+
+    /// Whether committers must append to the shard commit logs. Committers
+    /// read this after acquiring their shard guards; the enabling thread
+    /// held *all* shard mutexes when it set the flag, so the guard
+    /// acquisition orders the load after the store.
+    pub(crate) fn ssi_logging(&self) -> bool {
+        self.inner.ssi_seen.load(Ordering::Relaxed)
+    }
+
+    /// Flip the sticky SSI flag under a quiescent barrier. Holding every
+    /// shard mutex stops new commit timestamps from being drawn (they are
+    /// drawn under write-shard guards), so once the applied watermark
+    /// catches up to the last drawn timestamp, every unlogged commit is
+    /// fully installed — and therefore at or below any snapshot taken
+    /// after this returns. No commit that could still conflict with a
+    /// future serializable read goes unlogged.
+    #[cold]
+    fn enable_ssi_logging(&self) {
+        let guards = self.lock_shards(ShardSet::all());
+        if self.inner.ssi_seen.load(Ordering::Relaxed) {
+            return;
+        }
+        let last_drawn = self.inner.next_commit_ts.load(Ordering::Acquire);
+        {
+            self.inner.watermark_parked.fetch_add(1, Ordering::SeqCst);
+            let mut wm = self.inner.watermark.lock();
+            wm.waiters += 1;
+            // Under the deterministic scheduler this never waits: commits
+            // have no interior yield point, so none is in flight at a
+            // scheduling boundary and the watermark is already caught up.
+            while self.inner.applied_ts.load(Ordering::Acquire) < last_drawn {
+                self.inner.watermark_cv.wait(&mut wm);
+            }
+            wm.waiters -= 1;
+            drop(wm);
+            self.inner.watermark_parked.fetch_sub(1, Ordering::SeqCst);
+        }
+        self.inner.ssi_seen.store(true, Ordering::SeqCst);
+        drop(guards);
+    }
+
+    /// Deregister a finished transaction.
+    pub(crate) fn deregister(&self, txn: TxnId) {
+        self.active_stripe(txn).lock().remove(&txn);
     }
 
     /// Run a closure inside a transaction, committing on `Ok` and aborting
@@ -248,7 +531,12 @@ impl Database {
         policy: &RetryPolicy,
         mut f: impl FnMut(&mut Transaction) -> Result<R>,
     ) -> Result<R> {
-        let observer: Option<Arc<dyn RetryObserver>> = self.inner.retry_observer.read().clone();
+        let observer: Option<Arc<dyn RetryObserver>> =
+            if self.inner.retry_observed.load(Ordering::Acquire) {
+                self.inner.retry_observer.read().clone()
+            } else {
+                None
+            };
         policy
             .run(
                 "dbt",
@@ -266,16 +554,21 @@ impl Database {
     /// [`DbError::ConnectionLost`].
     pub fn inject_faults(&self, plan: FaultPlan) {
         *self.inner.faults.write() = Some(plan);
+        self.inner.faults_armed.store(true, Ordering::Release);
     }
 
     /// Observe retry decisions made by
     /// [`run_with_policy`](Self::run_with_policy).
     pub fn attach_retry_observer(&self, observer: Arc<dyn RetryObserver>) {
         *self.inner.retry_observer.write() = Some(observer);
+        self.inner.retry_observed.store(true, Ordering::Release);
     }
 
     /// Consult the fault plan for one commit attempt.
     pub(crate) fn arm_commit_fault(&self) -> Option<FaultKind> {
+        if !self.inner.faults_armed.load(Ordering::Acquire) {
+            return None;
+        }
         let plan = self.inner.faults.read().clone()?;
         plan.arm(OpClass::DbCommit).map(|f| f.kind)
     }
@@ -285,7 +578,7 @@ impl Database {
     /// the transaction-id space so the lock manager's deadlock detector
     /// covers advisory waits too.
     pub fn new_session(&self) -> SessionId {
-        SessionId(self.inner.next_txn.fetch_add(1, Ordering::SeqCst))
+        SessionId(self.inner.next_txn.fetch_add(1, Ordering::Relaxed))
     }
 
     /// Blockingly acquire a session-scoped advisory lock.
@@ -311,24 +604,40 @@ impl Database {
     /// The latest committed version of a row, outside any transaction.
     /// Used by consistency checkers ("fsck", §3.4.2) and tests.
     pub fn latest_committed(&self, table: &str, id: i64) -> Result<Option<Row>> {
-        let tables = self.inner.tables.read();
-        let tid = tables.resolve(table)?;
-        Ok(tables.get(tid).chain(id).and_then(|c| c.latest()).cloned())
+        let t = self.resolve_table(table)?;
+        Ok(self.with_chain(t.id, id, |c| c.and_then(|c| c.latest()).cloned()))
     }
 
     /// All live rows of a table (latest committed versions), for checkers.
     pub fn dump_table(&self, table: &str) -> Result<Vec<(i64, Row)>> {
-        let tables = self.inner.tables.read();
-        let tid = tables.resolve(table)?;
-        let t = tables.get(tid);
+        let t = self.resolve_table(table)?;
         Ok(t.all_ids()
             .into_iter()
             .filter_map(|id| {
-                t.chain(id)
-                    .and_then(|c| c.latest())
-                    .map(|r| (id, r.clone()))
+                self.with_chain(t.id, id, |c| c.and_then(|c| c.latest()).cloned())
+                    .map(|r| (id, r))
             })
             .collect())
+    }
+
+    /// Quiesce the commit spine and run `f` with every shard locked and the
+    /// set of (drained) active transaction ids: no commit is mid-install
+    /// while `f` runs, and the active registry is emptied at a single
+    /// consistent point (the old implementation drained it piecemeal,
+    /// racing in-flight commits).
+    fn quiesce_and_forget(
+        &self,
+        f: impl FnOnce(&mut [(usize, MutexGuard<'_, Shard>)]),
+    ) -> Vec<TxnId> {
+        // Engine-wide order: shards (ascending) before active stripes.
+        let mut guards = self.lock_shards(ShardSet::all());
+        let mut ids = Vec::new();
+        for stripe in self.inner.active.iter() {
+            ids.extend(stripe.lock().drain().map(|(id, _)| id));
+        }
+        f(&mut guards);
+        drop(guards);
+        ids
     }
 
     /// Simulate an RDBMS crash: every active transaction is forgotten and
@@ -337,11 +646,36 @@ impl Database {
     /// with [`DbError::TxnNotActive`] — the "connection lost" exception the
     /// paper's §3.4.2 describes drivers throwing.
     pub fn simulate_crash(&self) {
-        let ids: Vec<TxnId> = self.inner.active.lock().drain().map(|(id, _)| id).collect();
+        let ids = self.quiesce_and_forget(|guards| {
+            for (_, shard) in guards.iter_mut() {
+                shard.log.clear();
+                shard.appends_since_prune = 0;
+            }
+        });
         for id in ids {
             self.inner.locks.release_all(id);
         }
-        self.inner.commit_log.lock().clear();
+    }
+
+    /// Reset to empty: forget active transactions (releasing their locks),
+    /// drop all committed row state and index state, and rewind every
+    /// table's auto-increment cursor. Timestamp counters are *not* rewound
+    /// — snapshots stay monotonic so concurrent handles can't see time go
+    /// backwards. Intended for test/bench harnesses that reuse a database.
+    pub fn reset(&self) {
+        let ids = self.quiesce_and_forget(|guards| {
+            for (_, shard) in guards.iter_mut() {
+                shard.rows.clear();
+                shard.log.clear();
+                shard.appends_since_prune = 0;
+            }
+        });
+        for id in ids {
+            self.inner.locks.release_all(id);
+        }
+        for table in self.inner.catalog.read().list.iter() {
+            table.clear_index();
+        }
     }
 
     /// Counters.
@@ -364,6 +698,14 @@ impl Database {
     /// Attach (or replace) a statement observer on a live database.
     pub fn attach_observer(&self, observer: Arc<dyn StatementObserver>) {
         *self.inner.late_observer.write() = Some(observer);
+        self.inner.observers_attached.store(true, Ordering::Release);
+    }
+
+    /// Whether any statement observer is installed — callers check this
+    /// before building an [`AccessEvent`] so the unobserved hot path
+    /// allocates nothing.
+    pub(crate) fn observing(&self) -> bool {
+        self.inner.observers_attached.load(Ordering::Acquire)
     }
 
     /// Deliver an access event to any installed observers.
@@ -398,60 +740,40 @@ impl Database {
         }
     }
 
-    /// Certify a PostgreSQL-like Serializable transaction against the
-    /// commit log: abort when any transaction that committed after our
-    /// snapshot wrote a row we read or touched an indexed key inside a
-    /// range we scanned (rw-antidependency; backward validation).
-    pub(crate) fn certify(
+    /// Append a committed footprint to the logs of the shards it wrote
+    /// (`guards` must cover `writes`) and amortizedly prune entries no
+    /// active snapshot can still conflict with. The committing transaction
+    /// is still registered, so the pruning floor is at most its snapshot.
+    pub(crate) fn log_commit(
         &self,
-        txn: TxnId,
-        snapshot: CommitTs,
-        read_rows: &HashSet<(usize, i64)>,
-        read_ranges: &[(usize, usize, ValueInterval)],
-    ) -> Result<()> {
-        let log = self.inner.commit_log.lock();
-        for committed in log.iter().rev() {
-            if committed.commit_ts <= snapshot {
-                break;
+        entry: Arc<CommittedTxn>,
+        writes: ShardSet,
+        guards: &mut [(usize, MutexGuard<'_, Shard>)],
+    ) {
+        let mut floor: Option<CommitTs> = None;
+        for (idx, shard) in guards.iter_mut() {
+            if !writes.contains(*idx) {
+                continue;
             }
-            if committed.rows.iter().any(|r| read_rows.contains(r)) {
-                return Err(DbError::SerializationFailure {
-                    txn,
-                    reason: "rw-antidependency on a read row".into(),
+            shard.log.push_back(Arc::clone(&entry));
+            shard.appends_since_prune += 1;
+            if shard.appends_since_prune >= PRUNE_EVERY {
+                shard.appends_since_prune = 0;
+                let min = *floor.get_or_insert_with(|| {
+                    // Every entry with ts <= every active snapshot is
+                    // invisible to all future certifications: snapshots are
+                    // monotone, so the current minimum is a safe floor.
+                    self.min_active_snapshot().unwrap_or(entry.commit_ts)
                 });
-            }
-            for (table, column, key) in &committed.keys {
-                if read_ranges
-                    .iter()
-                    .any(|(t, c, iv)| t == table && c == column && iv.contains(key))
+                while shard
+                    .log
+                    .front()
+                    .map(|e| e.commit_ts <= min)
+                    .unwrap_or(false)
                 {
-                    return Err(DbError::SerializationFailure {
-                        txn,
-                        reason: "rw-antidependency on a scanned range".into(),
-                    });
+                    shard.log.pop_front();
                 }
             }
-        }
-        Ok(())
-    }
-
-    /// Append a committed footprint and prune entries no active snapshot
-    /// can still conflict with.
-    pub(crate) fn log_commit(&self, entry: CommittedTxn) {
-        // Hold the `active` lock across the prune decision so no new
-        // transaction can register an older snapshot concurrently (see
-        // [`begin_with`]). Lock order: active -> commit_log, nowhere
-        // reversed.
-        let active = self.inner.active.lock();
-        let min_snapshot = active.values().copied().min().unwrap_or(entry.commit_ts);
-        let mut log = self.inner.commit_log.lock();
-        log.push_back(entry);
-        while log
-            .front()
-            .map(|e| e.commit_ts <= min_snapshot)
-            .unwrap_or(false)
-        {
-            log.pop_front();
         }
     }
 }

@@ -1,0 +1,114 @@
+//! A tiny multiply-rotate hasher for the engine's interior hash maps.
+//!
+//! The commit hot path hashes small fixed-size keys — `(table, row)`
+//! pairs, transaction ids, resource ids — several times per transaction.
+//! SipHash's DoS resistance buys nothing there (keys are
+//! engine-generated, not attacker-controlled), so these maps use the
+//! classic Fx multiply-rotate mix instead: one rotate, one xor and one
+//! multiply per word.
+//!
+//! Iteration order of a hash map must never be observable (the engine
+//! already tolerates `RandomState`'s per-process seeding), so swapping
+//! the hasher cannot perturb deterministic replay.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the Fx mix (the Firefox/rustc hasher constant).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One-word-at-a-time multiply-rotate hasher. Not DoS resistant — only
+/// for engine-internal keys.
+#[derive(Default)]
+pub struct FastHasher(u64);
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, v: isize) {
+        self.mix(v as u64);
+    }
+}
+
+/// `HashMap` keyed by engine-internal values.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// `HashSet` of engine-internal values.
+pub type FastSet<K> = std::collections::HashSet<K, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn distinct_keys_hash_distinctly() {
+        let build = BuildHasherDefault::<FastHasher>::default();
+        let hash = |k: &(usize, i64)| build.hash_one(k);
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..8usize {
+            for id in -64i64..64 {
+                assert!(seen.insert(hash(&(t, id))), "collision at ({t}, {id})");
+            }
+        }
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FastMap<(usize, i64), u32> = FastMap::default();
+        for id in 0..100 {
+            m.insert((1, id), id as u32);
+        }
+        assert_eq!(m.get(&(1, 42)), Some(&42));
+        assert_eq!(m.len(), 100);
+    }
+}

@@ -61,9 +61,11 @@
 pub mod db;
 pub mod engine;
 pub mod error;
+pub mod fasthash;
 pub mod lock;
 pub mod predicate;
 pub mod schema;
+pub mod shard;
 pub mod table;
 pub mod txn;
 pub mod value;
@@ -74,6 +76,7 @@ pub use error::DbError;
 pub use lock::LockMode;
 pub use predicate::Predicate;
 pub use schema::{Column, ColumnType, Row, Schema};
+pub use shard::{shard_of, Footprint, ShardSet, SHARD_COUNT};
 pub use txn::Transaction;
 pub use value::Value;
 

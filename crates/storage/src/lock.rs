@@ -18,11 +18,12 @@
 //!   the machinery behind the coordination-hints proxy in `adhoc-core`.
 
 use crate::error::{DbError, TxnId};
+use crate::fasthash::{FastMap, FastSet};
 use crate::predicate::ValueInterval;
+use crate::shard::{shard_of, ShardSet};
 use crate::value::Value;
 use crate::Result;
 use parking_lot::{Condvar, Mutex};
-use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -52,11 +53,11 @@ enum ResourceId {
 
 #[derive(Debug, Default)]
 struct LockState {
-    /// Current holders and their modes. Multiple `Shared` holders allowed;
-    /// an `Exclusive` holder excludes everyone else.
-    holders: HashMap<TxnId, LockMode>,
-    /// Reentrancy counts (advisory locks are counted; others hold at 1).
-    counts: HashMap<TxnId, u32>,
+    /// `(holder, mode, reentrancy count)`. Holder lists are almost always
+    /// a single entry, so a flat vector beats per-resource hash maps on
+    /// every path. Reentrancy is counted for advisory locks; everything
+    /// else holds at 1.
+    holders: Vec<(TxnId, LockMode, u32)>,
 }
 
 impl LockState {
@@ -66,8 +67,8 @@ impl LockState {
             LockMode::Shared => self
                 .holders
                 .iter()
-                .all(|(t, m)| *t == txn || *m == LockMode::Shared),
-            LockMode::Exclusive => self.holders.keys().all(|t| *t == txn),
+                .all(|(t, m, _)| *t == txn || *m == LockMode::Shared),
+            LockMode::Exclusive => self.holders.iter().all(|(t, _, _)| *t == txn),
         }
     }
 
@@ -75,24 +76,31 @@ impl LockState {
     fn conflicting(&self, txn: TxnId, mode: LockMode) -> Vec<TxnId> {
         self.holders
             .iter()
-            .filter(|(t, m)| {
-                **t != txn
+            .filter(|(t, m, _)| {
+                *t != txn
                     && match mode {
-                        LockMode::Shared => **m == LockMode::Exclusive,
+                        LockMode::Shared => *m == LockMode::Exclusive,
                         LockMode::Exclusive => true,
                     }
             })
-            .map(|(t, _)| *t)
+            .map(|(t, _, _)| *t)
             .collect()
     }
 
-    fn grant(&mut self, txn: TxnId, mode: LockMode) {
-        let entry = self.holders.entry(txn).or_insert(mode);
-        // Upgrades stick; downgrades are ignored (2PL never downgrades).
-        if mode == LockMode::Exclusive {
-            *entry = LockMode::Exclusive;
+    /// Grant `mode`; returns true when this is `txn`'s first hold of the
+    /// resource (the caller then records it in the held-resource index).
+    fn grant(&mut self, txn: TxnId, mode: LockMode) -> bool {
+        if let Some(h) = self.holders.iter_mut().find(|(t, _, _)| *t == txn) {
+            // Upgrades stick; downgrades are ignored (2PL never downgrades).
+            if mode == LockMode::Exclusive {
+                h.1 = LockMode::Exclusive;
+            }
+            h.2 += 1;
+            false
+        } else {
+            self.holders.push((txn, mode, 1));
+            true
         }
-        *self.counts.entry(txn).or_insert(0) += 1;
     }
 }
 
@@ -105,11 +113,17 @@ struct GapLock {
 
 #[derive(Debug, Default)]
 struct Inner {
-    locks: HashMap<ResourceId, LockState>,
+    locks: FastMap<ResourceId, LockState>,
+    /// txn → the resources it holds, so release visits only those instead
+    /// of sweeping the whole lock table.
+    held: FastMap<TxnId, Vec<ResourceId>>,
     /// Gap locks per (table, column-index).
-    gaps: HashMap<(usize, usize), Vec<GapLock>>,
+    gaps: FastMap<(usize, usize), Vec<GapLock>>,
+    /// txn → number of gap locks it has registered (lets release skip the
+    /// gap sweep entirely for the common gap-free transaction).
+    gap_counts: FastMap<TxnId, u32>,
     /// waiter → the holders it is currently blocked on.
-    waits_for: HashMap<TxnId, HashSet<TxnId>>,
+    waits_for: FastMap<TxnId, FastSet<TxnId>>,
     deadlocks: u64,
     timeouts: u64,
 }
@@ -122,7 +136,7 @@ impl Inner {
             .get(&start)
             .map(|s| s.iter().copied().collect())
             .unwrap_or_default();
-        let mut seen = HashSet::new();
+        let mut seen = FastSet::default();
         while let Some(t) = stack.pop() {
             if t == start {
                 return true;
@@ -198,12 +212,37 @@ impl LockManager {
         )
     }
 
+    /// The row-state shards covered by the locks `txn` currently holds:
+    /// the [`shard_of`] each record lock, every shard for a table lock.
+    /// Advisory and unique-key locks guard namespaces orthogonal to the
+    /// shard map and contribute nothing. Upper layers use this to compare
+    /// a transaction's lock footprint against its commit
+    /// [`Footprint`](crate::Footprint) without touching engine-global
+    /// state.
+    pub fn held_shards(&self, txn: TxnId) -> ShardSet {
+        let inner = self.inner.lock();
+        let mut set = ShardSet::empty();
+        if let Some(ids) = inner.held.get(&txn) {
+            for id in ids {
+                match id {
+                    ResourceId::Record(table, row) => set.insert(shard_of(*table, *row)),
+                    ResourceId::Table(_) => return ShardSet::all(),
+                    ResourceId::Advisory(_) | ResourceId::UniqueKey(..) => {}
+                }
+            }
+        }
+        set
+    }
+
     /// Try to acquire an advisory lock without blocking.
     pub fn try_lock_advisory(&self, txn: TxnId, key: i64) -> bool {
         let mut inner = self.inner.lock();
-        let state = inner.locks.entry(ResourceId::Advisory(key)).or_default();
+        let id = ResourceId::Advisory(key);
+        let state = inner.locks.entry(id.clone()).or_default();
         if state.grantable(txn, LockMode::Exclusive) {
-            state.grant(txn, LockMode::Exclusive);
+            if state.grant(txn, LockMode::Exclusive) {
+                inner.held.entry(txn).or_default().push(id);
+            }
             true
         } else {
             false
@@ -218,15 +257,19 @@ impl LockManager {
         let Some(state) = inner.locks.get_mut(&id) else {
             return false;
         };
-        let Some(count) = state.counts.get_mut(&txn) else {
+        let Some(pos) = state.holders.iter().position(|(t, _, _)| *t == txn) else {
             return false;
         };
-        *count -= 1;
-        if *count == 0 {
-            state.counts.remove(&txn);
-            state.holders.remove(&txn);
+        state.holders[pos].2 -= 1;
+        if state.holders[pos].2 == 0 {
+            state.holders.swap_remove(pos);
             if state.holders.is_empty() {
                 inner.locks.remove(&id);
+            }
+            if let Some(held) = inner.held.get_mut(&txn) {
+                if let Some(hp) = held.iter().position(|r| *r == id) {
+                    held.swap_remove(hp);
+                }
             }
             self.cv.notify_all();
         }
@@ -234,22 +277,26 @@ impl LockManager {
     }
 
     fn lock_resource(&self, txn: TxnId, id: ResourceId, mode: LockMode) -> Result<()> {
-        let deadline = Instant::now() + self.timeout;
+        let mut deadline = None;
         loop {
             {
                 let mut inner = self.inner.lock();
                 let state = inner.locks.entry(id.clone()).or_default();
                 if state.grantable(txn, mode) {
-                    state.grant(txn, mode);
-                    inner.waits_for.remove(&txn);
+                    if state.grant(txn, mode) {
+                        inner.held.entry(txn).or_default().push(id);
+                    }
+                    if !inner.waits_for.is_empty() {
+                        inner.waits_for.remove(&txn);
+                    }
                     return Ok(());
                 }
                 let blockers = state.conflicting(txn, mode);
-                if !self.block_on(&mut inner, txn, blockers, deadline)? {
+                if !self.block_on(&mut inner, txn, blockers, &mut deadline)? {
                     continue;
                 }
             }
-            self.cooperative_wait(txn, deadline)?;
+            self.cooperative_wait(txn, deadline.expect("deadline set before waiting"))?;
         }
     }
 
@@ -262,12 +309,13 @@ impl LockManager {
             .entry((table, column))
             .or_default()
             .push(GapLock { txn, interval });
+        *inner.gap_counts.entry(txn).or_insert(0) += 1;
     }
 
     /// Insert-intention check: wait while any *other* transaction holds a
     /// gap lock covering `key` on this index.
     pub fn check_insert(&self, txn: TxnId, table: usize, column: usize, key: &Value) -> Result<()> {
-        let deadline = Instant::now() + self.timeout;
+        let mut deadline = None;
         loop {
             {
                 let mut inner = self.inner.lock();
@@ -285,11 +333,11 @@ impl LockManager {
                     inner.waits_for.remove(&txn);
                     return Ok(());
                 }
-                if !self.block_on(&mut inner, txn, blockers, deadline)? {
+                if !self.block_on(&mut inner, txn, blockers, &mut deadline)? {
                     continue;
                 }
             }
-            self.cooperative_wait(txn, deadline)?;
+            self.cooperative_wait(txn, deadline.expect("deadline set before waiting"))?;
         }
     }
 
@@ -320,7 +368,7 @@ impl LockManager {
         inner: &mut parking_lot::MutexGuard<'_, Inner>,
         txn: TxnId,
         blockers: Vec<TxnId>,
-        deadline: Instant,
+        deadline: &mut Option<Instant>,
     ) -> Result<bool> {
         debug_assert!(!blockers.is_empty());
         self.waits.fetch_add(1, Ordering::Relaxed);
@@ -331,6 +379,9 @@ impl LockManager {
             self.cv.notify_all();
             return Err(DbError::Deadlock { txn });
         }
+        // The timeout clock starts at the first real wait, not at lock
+        // entry: the granted-without-waiting path never reads the clock.
+        let deadline = *deadline.get_or_insert_with(|| Instant::now() + self.timeout);
         if adhoc_sim::sched::under_scheduler() {
             return Ok(true);
         }
@@ -355,23 +406,44 @@ impl LockManager {
         Ok(())
     }
 
-    /// Release every lock held by `txn` (commit/abort).
+    /// Release every lock held by `txn` (commit/abort). Visits only the
+    /// resources the held index records for `txn` — O(held), not O(lock
+    /// table).
     pub fn release_all(&self, txn: TxnId) {
         let mut inner = self.inner.lock();
-        inner.locks.retain(|_, state| {
-            state.holders.remove(&txn);
-            state.counts.remove(&txn);
-            !state.holders.is_empty()
-        });
-        for gaps in inner.gaps.values_mut() {
-            gaps.retain(|g| g.txn != txn);
+        // Waiters only ever block on lock or gap *holders*, so a release
+        // that surrendered neither cannot unblock anyone — skip the
+        // notify_all broadcast (the common case for read-only and
+        // lock-free commits).
+        let mut notify = false;
+        if let Some(ids) = inner.held.remove(&txn) {
+            notify = !ids.is_empty();
+            for id in ids {
+                if let Some(state) = inner.locks.get_mut(&id) {
+                    state.holders.retain(|(t, _, _)| *t != txn);
+                    if state.holders.is_empty() {
+                        inner.locks.remove(&id);
+                    }
+                }
+            }
         }
-        inner.gaps.retain(|_, gaps| !gaps.is_empty());
-        inner.waits_for.remove(&txn);
-        for blocked_on in inner.waits_for.values_mut() {
-            blocked_on.remove(&txn);
+        if inner.gap_counts.remove(&txn).is_some() {
+            notify = true;
+            inner.gaps.retain(|_, gaps| {
+                gaps.retain(|g| g.txn != txn);
+                !gaps.is_empty()
+            });
         }
-        self.cv.notify_all();
+        if !inner.waits_for.is_empty() {
+            inner.waits_for.remove(&txn);
+            for blocked_on in inner.waits_for.values_mut() {
+                blocked_on.remove(&txn);
+            }
+        }
+        drop(inner);
+        if notify {
+            self.cv.notify_all();
+        }
     }
 
     /// Mode currently held by `txn` on a record, if any (test helper).
@@ -380,7 +452,8 @@ impl LockManager {
         inner
             .locks
             .get(&ResourceId::Record(table, row))
-            .and_then(|s| s.holders.get(&txn).copied())
+            .and_then(|s| s.holders.iter().find(|(t, _, _)| *t == txn))
+            .map(|(_, m, _)| *m)
     }
 
     /// Counters.
@@ -401,6 +474,22 @@ mod tests {
 
     fn mgr() -> Arc<LockManager> {
         Arc::new(LockManager::new(Duration::from_secs(5)))
+    }
+
+    #[test]
+    fn held_shards_tracks_row_locks_only() {
+        let m = mgr();
+        assert!(m.held_shards(1).is_empty());
+        m.lock_record(1, 0, 42, LockMode::Exclusive).unwrap();
+        m.lock_advisory(1, 7).unwrap();
+        let shards = m.held_shards(1);
+        assert_eq!(shards.len(), 1);
+        assert!(shards.contains(crate::shard::shard_of(0, 42)));
+        // A table lock covers every shard of the table's rows.
+        m.lock_table(1, 3, LockMode::Shared).unwrap();
+        assert_eq!(m.held_shards(1).len(), crate::shard::SHARD_COUNT);
+        m.release_all(1);
+        assert!(m.held_shards(1).is_empty());
     }
 
     #[test]

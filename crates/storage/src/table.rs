@@ -1,9 +1,17 @@
-//! Multi-versioned tables and ordered secondary indexes.
+//! Table metadata, version chains, and ordered secondary indexes.
 //!
 //! Each row is a chain of committed versions; transactions buffer writes
-//! privately and the chain only grows at commit. Secondary indexes reflect
-//! the *latest committed* version of each row — the same structure gap
-//! locks walk to find interval neighbours (§3.3.2 of the paper).
+//! privately and the chain only grows at commit. Since the sharded-engine
+//! refactor the chains themselves live in the database's hash shards
+//! (`crate::db`), keyed by `(table, primary key)`: a [`Table`] holds only
+//! the immutable schema, the auto-increment cursor, and the *index state*
+//! — the primary-key set and secondary indexes — under its own small
+//! mutex, so planning a scan never touches row shards and installing a
+//! row never touches another table.
+//!
+//! Secondary indexes reflect the *latest committed* version of each row —
+//! the same structure gap locks walk to find interval neighbours (§3.3.2
+//! of the paper).
 //!
 //! Simplification relative to a real engine: index entries for superseded
 //! versions are not retained, so a snapshot scan may miss a row whose
@@ -16,6 +24,7 @@ use crate::predicate::ValueInterval;
 use crate::schema::{Row, Schema};
 use crate::value::Value;
 use crate::Result;
+use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Bound;
 
@@ -57,7 +66,9 @@ impl VersionChain {
         self.versions.last().map(|v| v.commit_ts).unwrap_or(0)
     }
 
-    fn push(&mut self, version: RowVersion) {
+    /// Append a version. Timestamps are monotonic per chain: writers of the
+    /// same row serialize on its record lock and its shard mutex.
+    pub(crate) fn push(&mut self, version: RowVersion) {
         debug_assert!(version.commit_ts >= self.latest_ts());
         self.versions.push(version);
     }
@@ -84,20 +95,32 @@ impl IndexState {
     }
 }
 
-/// A table: schema, version chains, indexes, and the auto-increment cursor.
+/// Mutable index state: the primary-key set (every id with any committed
+/// history, mirroring the shard-resident chains) plus secondary indexes.
+#[derive(Debug, Default)]
+struct TableIndex {
+    pk_set: BTreeSet<i64>,
+    /// Secondary indexes keyed by column position.
+    indexes: BTreeMap<usize, IndexState>,
+}
+
+/// Result of [`Table::index_scan`]: matching row ids plus the gap
+/// neighbours `(predecessor, successor)` bracketing the scanned interval.
+pub(crate) type IndexScan = (Vec<i64>, (Option<Value>, Option<Value>));
+
+/// A table: schema, index state, and the auto-increment cursor. Row version
+/// chains live in the database's shards, not here.
 ///
-/// The auto-increment cursor is atomic so id allocation can run under a
-/// shared tables lock (like InnoDB's auto-inc counter, ids allocated by
-/// aborted transactions are simply skipped).
+/// The auto-increment cursor is atomic so id allocation takes no lock at
+/// all (like InnoDB's auto-inc counter, ids allocated by aborted
+/// transactions are simply skipped).
 #[derive(Debug)]
 pub struct Table {
     /// Positional table id within the database.
     pub id: usize,
     /// The table's schema.
     pub schema: Schema,
-    rows: BTreeMap<i64, VersionChain>,
-    /// Secondary indexes keyed by column position.
-    indexes: BTreeMap<usize, IndexState>,
+    index: Mutex<TableIndex>,
     next_auto_id: std::sync::atomic::AtomicI64,
 }
 
@@ -120,8 +143,10 @@ impl Table {
         Self {
             id,
             schema,
-            rows: BTreeMap::new(),
-            indexes,
+            index: Mutex::new(TableIndex {
+                pk_set: BTreeSet::new(),
+                indexes,
+            }),
             next_auto_id: std::sync::atomic::AtomicI64::new(1),
         }
     }
@@ -129,17 +154,21 @@ impl Table {
     /// Allocate the next auto-increment primary key.
     pub fn alloc_id(&self) -> i64 {
         self.next_auto_id
-            .fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Reserve explicit ids so auto-increment never collides.
     fn note_id(&self, id: i64) {
         self.next_auto_id
-            .fetch_max(id + 1, std::sync::atomic::Ordering::SeqCst);
+            .fetch_max(id + 1, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Primary keys (of rows with any history) within `interval`.
     pub fn pk_candidates(&self, interval: &ValueInterval) -> Vec<i64> {
+        Self::pk_candidates_in(&self.index.lock().pk_set, interval)
+    }
+
+    fn pk_candidates_in(pk_set: &BTreeSet<i64>, interval: &ValueInterval) -> Vec<i64> {
         let to_i64 = |b: &Bound<Value>, default: Bound<i64>| -> Option<Bound<i64>> {
             match b {
                 Bound::Unbounded => Some(default),
@@ -152,12 +181,11 @@ impl Table {
             to_i64(&interval.low, Bound::Unbounded),
             to_i64(&interval.high, Bound::Unbounded),
         ) {
-            (Some(lo), Some(hi)) => self.rows.range((lo, hi)).map(|(id, _)| *id).collect(),
+            (Some(lo), Some(hi)) => pk_set.range((lo, hi)).copied().collect(),
             // Non-integer bounds on an integer primary key: nothing matches
             // via equality, but fall back to a filter to stay correct.
-            _ => self
-                .rows
-                .keys()
+            _ => pk_set
+                .iter()
                 .filter(|id| interval.contains(&Value::Int(**id)))
                 .copied()
                 .collect(),
@@ -166,9 +194,15 @@ impl Table {
 
     /// Nearest primary keys strictly outside `interval` (for pk gap locks).
     pub fn pk_neighbors(&self, interval: &ValueInterval) -> (Option<Value>, Option<Value>) {
-        let prev = self
-            .rows
-            .keys()
+        Self::pk_neighbors_in(&self.index.lock().pk_set, interval)
+    }
+
+    fn pk_neighbors_in(
+        pk_set: &BTreeSet<i64>,
+        interval: &ValueInterval,
+    ) -> (Option<Value>, Option<Value>) {
+        let prev = pk_set
+            .iter()
             .rev()
             .find(|id| {
                 let v = Value::Int(**id);
@@ -179,9 +213,8 @@ impl Table {
                     }
             })
             .map(|id| Value::Int(*id));
-        let next = self
-            .rows
-            .keys()
+        let next = pk_set
+            .iter()
             .find(|id| {
                 let v = Value::Int(**id);
                 !interval.contains(&v)
@@ -194,41 +227,67 @@ impl Table {
         (prev, next)
     }
 
-    /// The version chain for a primary key.
-    pub fn chain(&self, id: i64) -> Option<&VersionChain> {
-        self.rows.get(&id)
+    /// Candidates and gap neighbours for a primary-key scan, under one
+    /// index-lock acquisition (the statement planner's path).
+    pub(crate) fn pk_scan(
+        &self,
+        interval: &ValueInterval,
+    ) -> (Vec<i64>, (Option<Value>, Option<Value>)) {
+        let index = self.index.lock();
+        (
+            Self::pk_candidates_in(&index.pk_set, interval),
+            Self::pk_neighbors_in(&index.pk_set, interval),
+        )
     }
 
     /// All primary keys with any committed history.
     pub fn all_ids(&self) -> Vec<i64> {
-        self.rows.keys().copied().collect()
+        self.index.lock().pk_set.iter().copied().collect()
     }
 
-    /// Index positions declared on this table.
+    /// Index positions declared on this table (from the immutable schema —
+    /// no lock).
     pub fn indexed_columns(&self) -> Vec<usize> {
-        self.indexes.keys().copied().collect()
+        self.schema.indexes.iter().map(|(col, _)| *col).collect()
     }
 
-    /// Whether `column` (by position) has an index, and its uniqueness.
+    /// Whether `column` (by position) has an index, and its uniqueness
+    /// (from the immutable schema — no lock).
     pub fn index_on(&self, column: usize) -> Option<bool> {
-        self.indexes.get(&column).map(|i| i.unique)
+        self.schema
+            .indexes
+            .iter()
+            .find(|(col, _)| *col == column)
+            .map(|(_, unique)| *unique)
+    }
+
+    fn no_index(&self, column: usize) -> DbError {
+        DbError::NoIndex {
+            table: self.schema.table.clone(),
+            column: self.schema.columns[column].name.clone(),
+        }
     }
 
     /// Primary keys whose *latest committed* indexed key falls in `interval`.
     pub fn index_candidates(&self, column: usize, interval: &ValueInterval) -> Result<Vec<i64>> {
-        let index = self.indexes.get(&column).ok_or_else(|| DbError::NoIndex {
-            table: self.schema.table.clone(),
-            column: self.schema.columns[column].name.clone(),
-        })?;
+        let index = self.index.lock();
+        let state = index
+            .indexes
+            .get(&column)
+            .ok_or_else(|| self.no_index(column))?;
+        Ok(Self::index_candidates_in(state, interval))
+    }
+
+    fn index_candidates_in(state: &IndexState, interval: &ValueInterval) -> Vec<i64> {
         let mut out = Vec::new();
-        for (key, ids) in index
+        for (key, ids) in state
             .map
             .range((interval.low.clone(), interval.high.clone()))
         {
             debug_assert!(interval.contains(key));
             out.extend(ids.iter().copied());
         }
-        Ok(out)
+        out
     }
 
     /// The nearest committed index keys strictly outside `interval`
@@ -238,18 +297,26 @@ impl Table {
         column: usize,
         interval: &ValueInterval,
     ) -> Result<(Option<Value>, Option<Value>)> {
-        let index = self.indexes.get(&column).ok_or_else(|| DbError::NoIndex {
-            table: self.schema.table.clone(),
-            column: self.schema.columns[column].name.clone(),
-        })?;
+        let index = self.index.lock();
+        let state = index
+            .indexes
+            .get(&column)
+            .ok_or_else(|| self.no_index(column))?;
+        Ok(Self::index_neighbors_in(state, interval))
+    }
+
+    fn index_neighbors_in(
+        state: &IndexState,
+        interval: &ValueInterval,
+    ) -> (Option<Value>, Option<Value>) {
         let prev = match &interval.low {
             Bound::Unbounded => None,
-            Bound::Included(v) => index
+            Bound::Included(v) => state
                 .map
                 .range((Bound::Unbounded, Bound::Excluded(v.clone())))
                 .next_back()
                 .map(|(k, _)| k.clone()),
-            Bound::Excluded(v) => index
+            Bound::Excluded(v) => state
                 .map
                 .range((Bound::Unbounded, Bound::Included(v.clone())))
                 .next_back()
@@ -257,32 +324,47 @@ impl Table {
         };
         let next = match &interval.high {
             Bound::Unbounded => None,
-            Bound::Included(v) => index
+            Bound::Included(v) => state
                 .map
                 .range((Bound::Excluded(v.clone()), Bound::Unbounded))
                 .next()
                 .map(|(k, _)| k.clone()),
-            Bound::Excluded(v) => index
+            Bound::Excluded(v) => state
                 .map
                 .range((Bound::Included(v.clone()), Bound::Unbounded))
                 .next()
                 .map(|(k, _)| k.clone()),
         };
-        Ok((prev, next))
+        (prev, next)
+    }
+
+    /// Candidates and gap neighbours for a secondary-index scan, under one
+    /// index-lock acquisition.
+    pub(crate) fn index_scan(&self, column: usize, interval: &ValueInterval) -> Result<IndexScan> {
+        let index = self.index.lock();
+        let state = index
+            .indexes
+            .get(&column)
+            .ok_or_else(|| self.no_index(column))?;
+        Ok((
+            Self::index_candidates_in(state, interval),
+            Self::index_neighbors_in(state, interval),
+        ))
     }
 
     /// Check unique indexes for a prospective row (against latest committed
     /// state). `exclude_id` skips the row's own entry on updates.
     pub fn check_unique(&self, row: &Row, exclude_id: Option<i64>) -> Result<()> {
-        for (col, index) in &self.indexes {
-            if !index.unique {
+        let index = self.index.lock();
+        for (col, state) in &index.indexes {
+            if !state.unique {
                 continue;
             }
             let key = row.at(*col);
             if key.is_null() {
                 continue;
             }
-            if let Some(ids) = index.map.get(key) {
+            if let Some(ids) = state.map.get(key) {
                 let conflict = ids.iter().any(|id| Some(*id) != exclude_id);
                 if conflict {
                     return Err(DbError::UniqueViolation {
@@ -296,28 +378,35 @@ impl Table {
         Ok(())
     }
 
-    /// Apply a committed write: push a version and maintain indexes.
-    pub fn apply_committed(&mut self, id: i64, data: Option<Row>, commit_ts: CommitTs) {
+    /// Install a committed write's index effects: reserve the id, record pk
+    /// membership, and move secondary-index entries from the old latest row
+    /// to the new one. The caller (the commit path) holds the row's shard
+    /// lock, which serializes index maintenance per row.
+    pub(crate) fn apply_index(&self, id: i64, old: Option<&Row>, new: Option<&Row>) {
         self.note_id(id);
-        let old = self.rows.get(&id).and_then(|c| c.latest()).cloned();
-        // Maintain indexes: remove old keys, add new keys.
-        for (col, index) in self.indexes.iter_mut() {
-            if let Some(old_row) = &old {
-                index.remove(old_row.at(*col), id);
+        let mut index = self.index.lock();
+        index.pk_set.insert(id);
+        for (col, state) in index.indexes.iter_mut() {
+            if let Some(old_row) = old {
+                state.remove(old_row.at(*col), id);
             }
-            if let Some(new_row) = &data {
-                index.insert(new_row.at(*col).clone(), id);
+            if let Some(new_row) = new {
+                state.insert(new_row.at(*col).clone(), id);
             }
         }
-        self.rows
-            .entry(id)
-            .or_default()
-            .push(RowVersion { commit_ts, data });
     }
 
-    /// Number of rows with a live latest version (test/diagnostic helper).
-    pub fn live_count(&self) -> usize {
-        self.rows.values().filter(|c| c.latest().is_some()).count()
+    /// Drop all index state and reset the auto-increment cursor (used by
+    /// [`Database::reset`](crate::Database::reset), which also drops the
+    /// shard-resident chains).
+    pub(crate) fn clear_index(&self) {
+        let mut index = self.index.lock();
+        index.pk_set.clear();
+        for state in index.indexes.values_mut() {
+            state.map.clear();
+        }
+        self.next_auto_id
+            .store(1, std::sync::atomic::Ordering::Relaxed);
     }
 }
 
@@ -357,12 +446,39 @@ mod tests {
         .unwrap()
     }
 
+    /// Chains now live in the database shards; tests pair a local chain map
+    /// with the table's index state, applying writes the way the commit
+    /// path does.
+    struct Rows(BTreeMap<i64, VersionChain>);
+
+    impl Rows {
+        fn new() -> Self {
+            Rows(BTreeMap::new())
+        }
+
+        fn apply(&mut self, t: &Table, id: i64, data: Option<Row>, commit_ts: CommitTs) {
+            let chain = self.0.entry(id).or_default();
+            let old = chain.latest().cloned();
+            t.apply_index(id, old.as_ref(), data.as_ref());
+            chain.push(RowVersion { commit_ts, data });
+        }
+
+        fn chain(&self, id: i64) -> Option<&VersionChain> {
+            self.0.get(&id)
+        }
+
+        fn live_count(&self) -> usize {
+            self.0.values().filter(|c| c.latest().is_some()).count()
+        }
+    }
+
     #[test]
     fn version_visibility_respects_snapshots() {
-        let mut t = table();
-        t.apply_committed(1, Some(pay(&t, 1, 9, None)), 5);
-        t.apply_committed(1, Some(pay(&t, 1, 12, None)), 8);
-        let chain = t.chain(1).unwrap();
+        let t = table();
+        let mut rows = Rows::new();
+        rows.apply(&t, 1, Some(pay(&t, 1, 9, None)), 5);
+        rows.apply(&t, 1, Some(pay(&t, 1, 12, None)), 8);
+        let chain = rows.chain(1).unwrap();
         assert!(chain.visible(4).is_none());
         assert_eq!(
             chain
@@ -393,22 +509,26 @@ mod tests {
 
     #[test]
     fn deletion_tombstones_hide_rows() {
-        let mut t = table();
-        t.apply_committed(1, Some(pay(&t, 1, 9, None)), 5);
-        t.apply_committed(1, None, 9);
-        let chain = t.chain(1).unwrap();
+        let t = table();
+        let mut rows = Rows::new();
+        rows.apply(&t, 1, Some(pay(&t, 1, 9, None)), 5);
+        rows.apply(&t, 1, None, 9);
+        let chain = rows.chain(1).unwrap();
         assert!(chain.visible(5).is_some());
         assert!(chain.visible(9).is_none());
         assert!(chain.latest().is_none());
-        assert_eq!(t.live_count(), 0);
+        assert_eq!(rows.live_count(), 0);
+        // The pk set remembers the id (chain history survives deletion).
+        assert_eq!(t.all_ids(), vec![1]);
     }
 
     #[test]
     fn index_candidates_and_neighbors_match_paper_example() {
-        let mut t = table();
+        let t = table();
+        let mut rows = Rows::new();
         // Committed order_ids {9, 12}, as in §3.3.2.
-        t.apply_committed(1, Some(pay(&t, 1, 9, None)), 1);
-        t.apply_committed(2, Some(pay(&t, 2, 12, None)), 2);
+        rows.apply(&t, 1, Some(pay(&t, 1, 9, None)), 1);
+        rows.apply(&t, 2, Some(pay(&t, 2, 12, None)), 2);
         let col = t.schema.column_index("order_id").unwrap();
         let point = ValueInterval::point(Value::Int(10));
         assert!(t.index_candidates(col, &point).unwrap().is_empty());
@@ -422,8 +542,9 @@ mod tests {
 
     #[test]
     fn index_neighbors_open_ended() {
-        let mut t = table();
-        t.apply_committed(1, Some(pay(&t, 1, 9, None)), 1);
+        let t = table();
+        let mut rows = Rows::new();
+        rows.apply(&t, 1, Some(pay(&t, 1, 9, None)), 1);
         let col = t.schema.column_index("order_id").unwrap();
         let point = ValueInterval::point(Value::Int(100));
         let (prev, next) = t.index_neighbors(col, &point).unwrap();
@@ -433,26 +554,28 @@ mod tests {
 
     #[test]
     fn index_tracks_updates_and_deletes() {
-        let mut t = table();
-        t.apply_committed(1, Some(pay(&t, 1, 9, None)), 1);
+        let t = table();
+        let mut rows = Rows::new();
+        rows.apply(&t, 1, Some(pay(&t, 1, 9, None)), 1);
         let col = t.schema.column_index("order_id").unwrap();
         let all = ValueInterval::all();
         assert_eq!(t.index_candidates(col, &all).unwrap(), vec![1]);
         // Update moves the key.
-        t.apply_committed(1, Some(pay(&t, 1, 20, None)), 2);
+        rows.apply(&t, 1, Some(pay(&t, 1, 20, None)), 2);
         let point9 = ValueInterval::point(Value::Int(9));
         assert!(t.index_candidates(col, &point9).unwrap().is_empty());
         let point20 = ValueInterval::point(Value::Int(20));
         assert_eq!(t.index_candidates(col, &point20).unwrap(), vec![1]);
         // Delete clears it.
-        t.apply_committed(1, None, 3);
+        rows.apply(&t, 1, None, 3);
         assert!(t.index_candidates(col, &all).unwrap().is_empty());
     }
 
     #[test]
     fn unique_checks() {
-        let mut t = table();
-        t.apply_committed(1, Some(pay(&t, 1, 9, Some("tok-a"))), 1);
+        let t = table();
+        let mut rows = Rows::new();
+        rows.apply(&t, 1, Some(pay(&t, 1, 9, Some("tok-a"))), 1);
         // Same token, different row: violation.
         let dup = pay(&t, 2, 12, Some("tok-a"));
         assert!(matches!(
@@ -471,17 +594,31 @@ mod tests {
 
     #[test]
     fn auto_id_skips_explicit_ids() {
-        let mut t = table();
+        let t = table();
+        let mut rows = Rows::new();
         assert_eq!(t.alloc_id(), 1);
-        t.apply_committed(10, Some(pay(&t, 10, 9, None)), 1);
+        rows.apply(&t, 10, Some(pay(&t, 10, 9, None)), 1);
         assert_eq!(t.alloc_id(), 11);
+    }
+
+    #[test]
+    fn clear_index_resets_everything() {
+        let t = table();
+        let mut rows = Rows::new();
+        rows.apply(&t, 10, Some(pay(&t, 10, 9, None)), 1);
+        t.clear_index();
+        assert!(t.all_ids().is_empty());
+        let col = t.schema.column_index("order_id").unwrap();
+        assert!(t
+            .index_candidates(col, &ValueInterval::all())
+            .unwrap()
+            .is_empty());
+        assert_eq!(t.alloc_id(), 1);
     }
 
     #[test]
     fn missing_index_errors() {
         let t = table();
-        let col = t.schema.column_index("token").unwrap() + 10;
-        let _ = col;
         // "id" has no secondary index; candidates on it should error.
         let id_col = t.schema.column_index("id").unwrap();
         assert!(matches!(

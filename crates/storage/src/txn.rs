@@ -4,18 +4,28 @@
 //! where the paper's arguments need them to (the matrix is spelled out on
 //! each method). Writes buffer in a per-transaction write set; record locks
 //! are taken at statement time (strict 2PL) and released at commit/abort.
+//!
+//! Commit runs the sharded validation protocol: the transaction locks the
+//! row-state shards its [`footprint`](Transaction::footprint) touches (in
+//! ascending shard order — deadlock-free), certifies against those shards'
+//! commit logs, installs its versions per shard, and retires its commit
+//! timestamp into the snapshot watermark. Commits with disjoint footprints
+//! never share a lock.
 
-use crate::db::{CommittedTxn, Database};
+use crate::db::{CommittedTxn, Database, Shard};
 use crate::engine::{AccessEvent, EngineProfile, IsolationLevel};
 use crate::error::{DbError, TxnId};
 use crate::lock::LockMode;
 use crate::predicate::{Predicate, ValueInterval};
-use crate::schema::{row_from_pairs, Row, Schema};
-use crate::table::CommitTs;
+use crate::schema::{row_from_pairs, Row};
+use crate::shard::{shard_of, Footprint, ShardSet};
+use crate::table::{CommitTs, RowVersion, Table};
 use crate::value::Value;
 use crate::Result;
+use parking_lot::MutexGuard;
 use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// One buffered write: `row = None` is a deletion.
 #[derive(Debug, Clone)]
@@ -85,11 +95,38 @@ impl Transaction {
         !self.pending.is_empty()
     }
 
+    /// The transaction's current conflict footprint: the shards its
+    /// buffered writes and certified reads map to. Reads are tracked only
+    /// where the isolation level certifies them (PostgreSQL-like
+    /// Serializable); a predicate scan cannot be localized — any insert
+    /// anywhere could move into the range — so it widens reads to every
+    /// shard. Two transactions whose footprints are
+    /// [disjoint](Footprint::is_disjoint) share no commit-time lock.
+    pub fn footprint(&self) -> Footprint {
+        let writes: ShardSet = self
+            .pending
+            .iter()
+            .map(|p| shard_of(p.table, p.id))
+            .collect();
+        let reads = if self.read_ranges.is_empty() {
+            self.read_rows
+                .iter()
+                .map(|(t, id)| shard_of(*t, *id))
+                .collect()
+        } else {
+            ShardSet::all()
+        };
+        Footprint { reads, writes }
+    }
+
     fn profile(&self) -> EngineProfile {
         self.db.profile()
     }
 
     fn observe_read(&self, table: &str, row: i64, locking: bool) {
+        if !self.db.observing() {
+            return;
+        }
         self.db.observe(AccessEvent::Read {
             txn: self.id,
             table: table.to_string(),
@@ -99,6 +136,9 @@ impl Transaction {
     }
 
     fn observe_write(&self, table: &str, row: i64) {
+        if !self.db.observing() {
+            return;
+        }
         self.db.observe(AccessEvent::Write {
             txn: self.id,
             table: table.to_string(),
@@ -118,7 +158,7 @@ impl Transaction {
     /// statement; higher levels pin the begin snapshot.
     fn stmt_snapshot(&self) -> CommitTs {
         if self.iso == IsolationLevel::ReadCommitted {
-            self.db.inner.commit_counter.load(Ordering::SeqCst)
+            self.db.current_snapshot()
         } else {
             self.snapshot
         }
@@ -133,21 +173,16 @@ impl Transaction {
             .map(|p| p.row.as_ref())
     }
 
-    fn resolve(&self, table: &str) -> Result<(usize, Schema)> {
-        let tables = self.db.inner.tables.read();
-        let tid = tables.resolve(table)?;
-        Ok((tid, tables.get(tid).schema.clone()))
+    fn resolve(&self, table: &str) -> Result<Arc<Table>> {
+        self.db.resolve_table(table)
     }
 
     /// Plan a scan against the latest committed index state.
-    fn plan(&self, tid: usize, schema: &Schema, pred: &Predicate) -> Result<ScanPlan> {
-        let tables = self.db.inner.tables.read();
-        let t = tables.get(tid);
+    fn plan(&self, t: &Table, pred: &Predicate) -> Result<ScanPlan> {
         if let Some((col_name, interval)) = pred.index_column() {
-            let col = schema.column_index(col_name)?;
-            if col == schema.primary_key {
-                let ids = t.pk_candidates(&interval);
-                let (prev, next) = t.pk_neighbors(&interval);
+            let col = t.schema.column_index(col_name)?;
+            if col == t.schema.primary_key {
+                let (ids, (prev, next)) = t.pk_scan(&interval);
                 return Ok(ScanPlan {
                     ids,
                     gap_column: col,
@@ -155,8 +190,7 @@ impl Transaction {
                 });
             }
             if t.index_on(col).is_some() {
-                let ids = t.index_candidates(col, &interval)?;
-                let (prev, next) = t.index_neighbors(col, &interval)?;
+                let (ids, (prev, next)) = t.index_scan(col, &interval)?;
                 return Ok(ScanPlan {
                     ids,
                     gap_column: col,
@@ -167,9 +201,28 @@ impl Transaction {
         // Full scan: ranges over the whole primary-key space.
         Ok(ScanPlan {
             ids: t.all_ids(),
-            gap_column: schema.primary_key,
+            gap_column: t.schema.primary_key,
             gap: ValueInterval::all(),
         })
+    }
+
+    /// Latest committed row, from the row's shard.
+    fn latest(&self, tid: usize, id: i64) -> Option<Row> {
+        self.db
+            .with_chain(tid, id, |c| c.and_then(|c| c.latest()).cloned())
+    }
+
+    /// Latest committed row plus its commit timestamp (for first-updater
+    /// checks); `None` when the row has no committed history at all.
+    fn latest_with_ts(&self, tid: usize, id: i64) -> Option<(Option<Row>, CommitTs)> {
+        self.db
+            .with_chain(tid, id, |c| c.map(|c| (c.latest().cloned(), c.latest_ts())))
+    }
+
+    /// Row visible at `snap`, from the row's shard.
+    fn visible(&self, tid: usize, id: i64, snap: CommitTs) -> Option<Row> {
+        self.db
+            .with_chain(tid, id, |c| c.and_then(|c| c.visible(snap)).cloned())
     }
 
     /// `SELECT * FROM table WHERE pk = id` (plain read).
@@ -192,7 +245,8 @@ impl Transaction {
     fn get_inner(&mut self, table: &str, id: i64) -> Result<Option<Row>> {
         self.ensure_active()?;
         self.db.charge_statement();
-        let (tid, _schema) = self.resolve(table)?;
+        let t = self.resolve(table)?;
+        let tid = t.id;
         if let Some(p) = self.pending_row(tid, id) {
             return Ok(p.cloned());
         }
@@ -201,20 +255,14 @@ impl Transaction {
                 self.db
                     .locks()
                     .lock_record(self.id, tid, id, LockMode::Shared)?;
-                let tables = self.db.inner.tables.read();
-                Ok(tables.get(tid).chain(id).and_then(|c| c.latest()).cloned())
+                Ok(self.latest(tid, id))
             }
             (profile, iso) => {
                 if profile == EngineProfile::PostgresLike && iso == IsolationLevel::Serializable {
                     self.read_rows.insert((tid, id));
                 }
                 let snap = self.stmt_snapshot();
-                let tables = self.db.inner.tables.read();
-                Ok(tables
-                    .get(tid)
-                    .chain(id)
-                    .and_then(|c| c.visible(snap))
-                    .cloned())
+                Ok(self.visible(tid, id, snap))
             }
         }
     }
@@ -227,8 +275,9 @@ impl Transaction {
     pub fn scan(&mut self, table: &str, pred: &Predicate) -> Result<Vec<(i64, Row)>> {
         self.ensure_active()?;
         self.db.charge_statement();
-        let (tid, schema) = self.resolve(table)?;
-        let plan = self.plan(tid, &schema, pred)?;
+        let t = self.resolve(table)?;
+        let tid = t.id;
+        let plan = self.plan(&t, pred)?;
 
         let mut matched: BTreeMap<i64, Row> = BTreeMap::new();
         if self.profile() == EngineProfile::MySqlLike && self.iso == IsolationLevel::Serializable {
@@ -240,12 +289,10 @@ impl Transaction {
             self.db
                 .locks()
                 .lock_gap(self.id, tid, plan.gap_column, plan.gap.clone());
-            let tables = self.db.inner.tables.read();
-            let t = tables.get(tid);
             for id in &plan.ids {
-                if let Some(row) = t.chain(*id).and_then(|c| c.latest()) {
-                    if pred.matches(&schema, row)? {
-                        matched.insert(*id, row.clone());
+                if let Some(row) = self.latest(tid, *id) {
+                    if pred.matches(&t.schema, &row)? {
+                        matched.insert(*id, row);
                     }
                 }
             }
@@ -257,22 +304,20 @@ impl Transaction {
                     .push((tid, plan.gap_column, plan.gap.clone()));
             }
             let snap = self.stmt_snapshot();
-            let tables = self.db.inner.tables.read();
-            let t = tables.get(tid);
             for id in &plan.ids {
-                if let Some(row) = t.chain(*id).and_then(|c| c.visible(snap)) {
-                    if pred.matches(&schema, row)? {
+                if let Some(row) = self.visible(tid, *id, snap) {
+                    if pred.matches(&t.schema, &row)? {
                         if self.profile() == EngineProfile::PostgresLike
                             && self.iso == IsolationLevel::Serializable
                         {
                             self.read_rows.insert((tid, *id));
                         }
-                        matched.insert(*id, row.clone());
+                        matched.insert(*id, row);
                     }
                 }
             }
         }
-        self.overlay(tid, &schema, pred, &mut matched)?;
+        self.overlay(tid, &t, pred, &mut matched)?;
         for id in matched.keys() {
             self.observe_read(table, *id, false);
         }
@@ -283,7 +328,7 @@ impl Transaction {
     fn overlay(
         &self,
         tid: usize,
-        schema: &Schema,
+        t: &Table,
         pred: &Predicate,
         matched: &mut BTreeMap<i64, Row>,
     ) -> Result<()> {
@@ -292,7 +337,7 @@ impl Transaction {
                 continue;
             }
             match &p.row {
-                Some(row) if pred.matches(schema, row)? => {
+                Some(row) if pred.matches(&t.schema, row)? => {
                     matched.insert(p.id, row.clone());
                 }
                 _ => {
@@ -312,14 +357,11 @@ impl Transaction {
     pub fn get_read_committed(&mut self, table: &str, id: i64) -> Result<Option<Row>> {
         self.ensure_active()?;
         self.db.charge_statement();
-        let (tid, _schema) = self.resolve(table)?;
-        if let Some(p) = self.pending_row(tid, id) {
+        let t = self.resolve(table)?;
+        if let Some(p) = self.pending_row(t.id, id) {
             return Ok(p.cloned());
         }
-        let result = {
-            let tables = self.db.inner.tables.read();
-            tables.get(tid).chain(id).and_then(|c| c.latest()).cloned()
-        };
+        let result = self.latest(t.id, id);
         if result.is_some() {
             self.observe_read(table, id, false);
         }
@@ -337,8 +379,9 @@ impl Transaction {
     pub fn select_for_update(&mut self, table: &str, pred: &Predicate) -> Result<Vec<(i64, Row)>> {
         self.ensure_active()?;
         self.db.charge_statement();
-        let (tid, schema) = self.resolve(table)?;
-        let plan = self.plan(tid, &schema, pred)?;
+        let t = self.resolve(table)?;
+        let tid = t.id;
+        let plan = self.plan(&t, pred)?;
         for id in &plan.ids {
             self.db
                 .locks()
@@ -356,31 +399,28 @@ impl Transaction {
                 .push((tid, plan.gap_column, plan.gap.clone()));
         }
         let mut matched: BTreeMap<i64, Row> = BTreeMap::new();
-        {
-            let tables = self.db.inner.tables.read();
-            let t = tables.get(tid);
-            for id in &plan.ids {
-                let Some(chain) = t.chain(*id) else { continue };
-                let Some(row) = chain.latest() else { continue };
-                if !pred.matches(&schema, row)? {
-                    continue;
-                }
-                if self.profile() == EngineProfile::PostgresLike
-                    && self.iso >= IsolationLevel::RepeatableRead
-                    && chain.latest_ts() > self.snapshot
-                    && self.pending_row(tid, *id).is_none()
-                {
-                    return Err(self.serialization_failure("row updated since snapshot"));
-                }
-                if self.profile() == EngineProfile::PostgresLike
-                    && self.iso == IsolationLevel::Serializable
-                {
-                    self.read_rows.insert((tid, *id));
-                }
-                matched.insert(*id, row.clone());
+        for id in &plan.ids {
+            let Some((Some(row), latest_ts)) = self.latest_with_ts(tid, *id) else {
+                continue;
+            };
+            if !pred.matches(&t.schema, &row)? {
+                continue;
             }
+            if self.profile() == EngineProfile::PostgresLike
+                && self.iso >= IsolationLevel::RepeatableRead
+                && latest_ts > self.snapshot
+                && self.pending_row(tid, *id).is_none()
+            {
+                return Err(self.serialization_failure("row updated since snapshot"));
+            }
+            if self.profile() == EngineProfile::PostgresLike
+                && self.iso == IsolationLevel::Serializable
+            {
+                self.read_rows.insert((tid, *id));
+            }
+            matched.insert(*id, row);
         }
-        self.overlay(tid, &schema, pred, &mut matched)?;
+        self.overlay(tid, &t, pred, &mut matched)?;
         for id in matched.keys() {
             self.observe_read(table, *id, true);
         }
@@ -399,34 +439,29 @@ impl Transaction {
     fn get_for_update_inner(&mut self, table: &str, id: i64) -> Result<Option<Row>> {
         self.ensure_active()?;
         self.db.charge_statement();
-        let (tid, _schema) = self.resolve(table)?;
+        let t = self.resolve(table)?;
+        let tid = t.id;
         self.db
             .locks()
             .lock_record(self.id, tid, id, LockMode::Exclusive)?;
         if let Some(p) = self.pending_row(tid, id) {
             return Ok(p.cloned());
         }
-        let tables = self.db.inner.tables.read();
-        let chain = tables.get(tid).chain(id);
-        if let Some(chain) = chain {
-            if self.profile() == EngineProfile::PostgresLike
-                && self.iso >= IsolationLevel::RepeatableRead
-                && chain.latest_ts() > self.snapshot
-                && chain.latest().is_some()
-            {
-                return Err(self.serialization_failure("row updated since snapshot"));
-            }
-            if self.profile() == EngineProfile::PostgresLike
-                && self.iso == IsolationLevel::Serializable
-            {
-                drop(tables);
-                self.read_rows.insert((tid, id));
-                let tables = self.db.inner.tables.read();
-                return Ok(tables.get(tid).chain(id).and_then(|c| c.latest()).cloned());
-            }
-            return Ok(chain.latest().cloned());
+        let Some((latest, latest_ts)) = self.latest_with_ts(tid, id) else {
+            return Ok(None);
+        };
+        if self.profile() == EngineProfile::PostgresLike
+            && self.iso >= IsolationLevel::RepeatableRead
+            && latest_ts > self.snapshot
+            && latest.is_some()
+        {
+            return Err(self.serialization_failure("row updated since snapshot"));
         }
-        Ok(None)
+        if self.profile() == EngineProfile::PostgresLike && self.iso == IsolationLevel::Serializable
+        {
+            self.read_rows.insert((tid, id));
+        }
+        Ok(latest)
     }
 
     fn serialization_failure(&self, reason: &str) -> DbError {
@@ -449,8 +484,9 @@ impl Transaction {
     pub fn insert(&mut self, table: &str, pairs: &[(&str, Value)]) -> Result<i64> {
         self.ensure_active()?;
         self.db.charge_statement();
-        let (tid, schema) = self.resolve(table)?;
-        let pk_name = schema.columns[schema.primary_key].name.clone();
+        let t = self.resolve(table)?;
+        let tid = t.id;
+        let pk_name = t.schema.columns[t.schema.primary_key].name.clone();
 
         // Assign the primary key.
         let explicit_pk = pairs
@@ -468,10 +504,7 @@ impl Transaction {
                     found: other.column_type(),
                 })
             }
-            None => {
-                let tables = self.db.inner.tables.read();
-                tables.get(tid).alloc_id()
-            }
+            None => t.alloc_id(),
         };
         let mut full_pairs: Vec<(&str, Value)> = pairs
             .iter()
@@ -479,17 +512,14 @@ impl Transaction {
             .map(|(n, v)| (*n, v.clone()))
             .collect();
         full_pairs.push((pk_name.as_str(), Value::Int(id)));
-        let row = row_from_pairs(&schema, &full_pairs)?;
+        let row = row_from_pairs(&t.schema, &full_pairs)?;
 
         // Gap-lock (insert intention) checks, MySQL-like only.
-        let indexed: Vec<usize> = {
-            let tables = self.db.inner.tables.read();
-            tables.get(tid).indexed_columns()
-        };
+        let indexed = t.indexed_columns();
         if self.profile() == EngineProfile::MySqlLike {
             self.db
                 .locks()
-                .check_insert(self.id, tid, schema.primary_key, &Value::Int(id))?;
+                .check_insert(self.id, tid, t.schema.primary_key, &Value::Int(id))?;
             for col in &indexed {
                 self.db
                     .locks()
@@ -501,33 +531,19 @@ impl Transaction {
         self.db
             .locks()
             .lock_record(self.id, tid, id, LockMode::Exclusive)?;
-        {
-            let unique_cols: Vec<usize> = {
-                let tables = self.db.inner.tables.read();
-                indexed
-                    .iter()
-                    .copied()
-                    .filter(|c| tables.get(tid).index_on(*c) == Some(true))
-                    .collect()
-            };
-            for col in unique_cols {
-                let key = row.at(col).clone();
-                if !key.is_null() {
-                    self.db.locks().lock_unique_key(self.id, tid, col, key)?;
-                }
+        for col in indexed.iter().filter(|c| t.index_on(**c) == Some(true)) {
+            let key = row.at(*col).clone();
+            if !key.is_null() {
+                self.db.locks().lock_unique_key(self.id, tid, *col, key)?;
             }
         }
-        {
-            let tables = self.db.inner.tables.read();
-            let t = tables.get(tid);
-            t.check_unique(&row, None)?;
-            if t.chain(id).and_then(|c| c.latest()).is_some() {
-                return Err(DbError::UniqueViolation {
-                    table: table.to_string(),
-                    column: pk_name,
-                    value: id.to_string(),
-                });
-            }
+        t.check_unique(&row, None)?;
+        if self.latest(tid, id).is_some() {
+            return Err(DbError::UniqueViolation {
+                table: table.to_string(),
+                column: pk_name,
+                value: id.to_string(),
+            });
         }
         if matches!(self.pending_row(tid, id), Some(Some(_))) {
             return Err(DbError::UniqueViolation {
@@ -558,7 +574,8 @@ impl Transaction {
     pub fn update(&mut self, table: &str, id: i64, pairs: &[(&str, Value)]) -> Result<()> {
         self.ensure_active()?;
         self.db.charge_statement();
-        let (tid, schema) = self.resolve(table)?;
+        let t = self.resolve(table)?;
+        let tid = t.id;
         self.db
             .locks()
             .lock_record(self.id, tid, id, LockMode::Exclusive)?;
@@ -572,15 +589,13 @@ impl Transaction {
                 })
             }
             None => {
-                let tables = self.db.inner.tables.read();
-                let chain = tables.get(tid).chain(id);
-                let Some(chain) = chain else {
+                let Some((latest, latest_ts)) = self.latest_with_ts(tid, id) else {
                     return Err(DbError::NoSuchRow {
                         table: table.to_string(),
                         id,
                     });
                 };
-                let Some(latest) = chain.latest() else {
+                let Some(latest) = latest else {
                     return Err(DbError::NoSuchRow {
                         table: table.to_string(),
                         id,
@@ -588,20 +603,30 @@ impl Transaction {
                 };
                 if self.profile() == EngineProfile::PostgresLike
                     && self.iso >= IsolationLevel::RepeatableRead
-                    && chain.latest_ts() > self.snapshot
+                    && latest_ts > self.snapshot
                 {
                     return Err(self.serialization_failure("concurrent update"));
                 }
-                latest.clone()
+                latest
             }
         };
 
-        let mut new_row = base.clone();
+        // Only tables with a unique secondary index need the pre-image for
+        // the changed-key check; everywhere else the base row can be
+        // mutated in place without another copy.
+        let base_for_unique = if t.schema.indexes.iter().any(|(_, unique)| *unique) {
+            Some(base.clone())
+        } else {
+            None
+        };
+        let mut new_row = base;
         for (col, value) in pairs {
-            new_row = new_row.with(&schema, col, value.clone())?;
+            new_row.values[t.schema.column_index(col)?] = value.clone();
         }
-        schema.validate_row(&new_row)?;
-        self.lock_and_check_unique_changes(tid, &schema, id, &base, &new_row)?;
+        t.schema.validate_row(&new_row)?;
+        if let Some(base) = &base_for_unique {
+            self.lock_and_check_unique_changes(&t, id, base, &new_row)?;
+        }
 
         self.pending.push(Pending {
             table: tid,
@@ -618,31 +643,23 @@ impl Transaction {
     /// serialize unrelated updates of rows sharing the value.
     fn lock_and_check_unique_changes(
         &mut self,
-        tid: usize,
-        schema: &Schema,
+        t: &Table,
         id: i64,
         base: &Row,
         new_row: &Row,
     ) -> Result<()> {
-        let unique_cols: Vec<usize> = {
-            let tables = self.db.inner.tables.read();
-            tables
-                .get(tid)
-                .indexed_columns()
-                .into_iter()
-                .filter(|c| tables.get(tid).index_on(*c) == Some(true))
-                .collect()
-        };
-        for col in unique_cols {
+        for col in t
+            .indexed_columns()
+            .into_iter()
+            .filter(|c| t.index_on(*c) == Some(true))
+        {
             let key = new_row.at(col).clone();
             if key.is_null() || base.at(col) == &key {
                 continue;
             }
-            self.db.locks().lock_unique_key(self.id, tid, col, key)?;
-            let tables = self.db.inner.tables.read();
-            tables.get(tid).check_unique(new_row, Some(id))?;
+            self.db.locks().lock_unique_key(self.id, t.id, col, key)?;
+            t.check_unique(new_row, Some(id))?;
         }
-        let _ = schema;
         Ok(())
     }
 
@@ -660,8 +677,9 @@ impl Transaction {
     ) -> Result<usize> {
         self.ensure_active()?;
         self.db.charge_statement();
-        let (tid, schema) = self.resolve(table)?;
-        let plan = self.plan(tid, &schema, pred)?;
+        let t = self.resolve(table)?;
+        let tid = t.id;
+        let plan = self.plan(&t, pred)?;
         for id in &plan.ids {
             self.db
                 .locks()
@@ -676,37 +694,29 @@ impl Transaction {
 
         // Collect matches against latest committed + own overlay.
         let mut targets: Vec<(i64, Row)> = Vec::new();
-        {
-            let tables = self.db.inner.tables.read();
-            let t = tables.get(tid);
-            for id in &plan.ids {
-                let base = match self.pending_row(tid, *id) {
-                    Some(Some(row)) => Some(row.clone()),
-                    Some(None) => None,
-                    None => {
-                        let chain = t.chain(*id);
-                        match chain {
-                            Some(chain) => {
-                                let latest = chain.latest().cloned();
-                                if let Some(ref row) = latest {
-                                    if pred.matches(&schema, row)?
-                                        && self.profile() == EngineProfile::PostgresLike
-                                        && self.iso >= IsolationLevel::RepeatableRead
-                                        && chain.latest_ts() > self.snapshot
-                                    {
-                                        return Err(self.serialization_failure("concurrent update"));
-                                    }
-                                }
-                                latest
+        for id in &plan.ids {
+            let base = match self.pending_row(tid, *id) {
+                Some(Some(row)) => Some(row.clone()),
+                Some(None) => None,
+                None => match self.latest_with_ts(tid, *id) {
+                    Some((latest, latest_ts)) => {
+                        if let Some(ref row) = latest {
+                            if pred.matches(&t.schema, row)?
+                                && self.profile() == EngineProfile::PostgresLike
+                                && self.iso >= IsolationLevel::RepeatableRead
+                                && latest_ts > self.snapshot
+                            {
+                                return Err(self.serialization_failure("concurrent update"));
                             }
-                            None => None,
                         }
+                        latest
                     }
-                };
-                if let Some(row) = base {
-                    if pred.matches(&schema, &row)? {
-                        targets.push((*id, row));
-                    }
+                    None => None,
+                },
+            };
+            if let Some(row) = base {
+                if pred.matches(&t.schema, &row)? {
+                    targets.push((*id, row));
                 }
             }
         }
@@ -715,7 +725,7 @@ impl Transaction {
         for p in &self.pending {
             if p.table == tid && !plan.ids.contains(&p.id) {
                 if let Some(row) = &p.row {
-                    if pred.matches(&schema, row)? {
+                    if pred.matches(&t.schema, row)? {
                         extra.push((p.id, row.clone()));
                     }
                 }
@@ -727,10 +737,10 @@ impl Transaction {
         for (id, base) in targets {
             let mut new_row = base.clone();
             for (col, value) in pairs {
-                new_row = new_row.with(&schema, col, value.clone())?;
+                new_row = new_row.with(&t.schema, col, value.clone())?;
             }
-            schema.validate_row(&new_row)?;
-            self.lock_and_check_unique_changes(tid, &schema, id, &base, &new_row)?;
+            t.schema.validate_row(&new_row)?;
+            self.lock_and_check_unique_changes(&t, id, &base, &new_row)?;
             self.pending.push(Pending {
                 table: tid,
                 id,
@@ -745,31 +755,28 @@ impl Transaction {
     pub fn delete(&mut self, table: &str, id: i64) -> Result<bool> {
         self.ensure_active()?;
         self.db.charge_statement();
-        let (tid, _schema) = self.resolve(table)?;
+        let t = self.resolve(table)?;
+        let tid = t.id;
         self.db
             .locks()
             .lock_record(self.id, tid, id, LockMode::Exclusive)?;
         let existed = match self.pending_row(tid, id) {
             Some(Some(_)) => true,
             Some(None) => false,
-            None => {
-                let tables = self.db.inner.tables.read();
-                let chain = tables.get(tid).chain(id);
-                match chain {
-                    Some(chain) => {
-                        let live = chain.latest().is_some();
-                        if live
-                            && self.profile() == EngineProfile::PostgresLike
-                            && self.iso >= IsolationLevel::RepeatableRead
-                            && chain.latest_ts() > self.snapshot
-                        {
-                            return Err(self.serialization_failure("concurrent update"));
-                        }
-                        live
+            None => match self.latest_with_ts(tid, id) {
+                Some((latest, latest_ts)) => {
+                    let live = latest.is_some();
+                    if live
+                        && self.profile() == EngineProfile::PostgresLike
+                        && self.iso >= IsolationLevel::RepeatableRead
+                        && latest_ts > self.snapshot
+                    {
+                        return Err(self.serialization_failure("concurrent update"));
                     }
-                    None => false,
+                    live
                 }
-            }
+                None => false,
+            },
         };
         if existed {
             self.pending.push(Pending {
@@ -786,8 +793,8 @@ impl Transaction {
     pub fn lock_table(&mut self, table: &str, mode: LockMode) -> Result<()> {
         self.ensure_active()?;
         self.db.charge_statement();
-        let (tid, _schema) = self.resolve(table)?;
-        self.db.locks().lock_table(self.id, tid, mode)
+        let t = self.resolve(table)?;
+        self.db.locks().lock_table(self.id, t.id, mode)
     }
 
     /// Transaction-scoped advisory lock (released at commit/abort), like
@@ -861,14 +868,60 @@ impl Transaction {
         result
     }
 
-    fn try_commit(&mut self) -> Result<()> {
-        let gate = self.db.inner.commit_gate.lock();
-        if !self.db.inner.active.lock().contains_key(&self.id) {
-            // The server forgot us (simulated crash): connection lost.
-            return Err(DbError::TxnNotActive { txn: self.id });
+    /// Certify a PostgreSQL-like Serializable transaction against the
+    /// locked shards' commit logs: abort when any transaction that
+    /// committed after our snapshot wrote a row we read or touched an
+    /// indexed key inside a range we scanned (rw-antidependency; backward
+    /// validation). Each log is timestamp-ordered, so the walk stops at the
+    /// snapshot; an entry shared by several locked shards is simply checked
+    /// more than once, harmlessly.
+    fn certify_locked(
+        &self,
+        guards: &[(usize, MutexGuard<'_, Shard>)],
+        reads: &HashSet<(usize, i64)>,
+    ) -> Result<()> {
+        for (_, shard) in guards {
+            for committed in shard.log.iter().rev() {
+                if committed.commit_ts <= self.snapshot {
+                    break;
+                }
+                if committed.rows.iter().any(|r| reads.contains(r)) {
+                    return Err(DbError::SerializationFailure {
+                        txn: self.id,
+                        reason: "rw-antidependency on a read row".into(),
+                    });
+                }
+                for (table, column, key) in &committed.keys {
+                    if self
+                        .read_ranges
+                        .iter()
+                        .any(|(t, c, iv)| t == table && c == column && iv.contains(key))
+                    {
+                        return Err(DbError::SerializationFailure {
+                            txn: self.id,
+                            reason: "rw-antidependency on a scanned range".into(),
+                        });
+                    }
+                }
+            }
         }
-        if self.profile() == EngineProfile::PostgresLike && self.iso == IsolationLevel::Serializable
-        {
+        Ok(())
+    }
+
+    /// The sharded commit protocol: lock the footprint's shards ascending,
+    /// validate, install, release, then retire the commit timestamp into
+    /// the snapshot watermark.
+    fn try_commit(&mut self) -> Result<()> {
+        let pg_ser = self.profile() == EngineProfile::PostgresLike
+            && self.iso == IsolationLevel::Serializable;
+        let writes: ShardSet = self
+            .pending
+            .iter()
+            .map(|p| shard_of(p.table, p.id))
+            .collect();
+        let mut lock_set = writes;
+        let mut cert_reads: HashSet<(usize, i64)> = HashSet::new();
+        if pg_ser {
             // Rows this transaction itself wrote are excluded from read
             // certification: any conflicting commit on them necessarily
             // happened before our update statement, which already failed
@@ -876,16 +929,40 @@ impl Transaction {
             // would only produce false aborts.
             let written: HashSet<(usize, i64)> =
                 self.pending.iter().map(|p| (p.table, p.id)).collect();
-            let reads: HashSet<(usize, i64)> = self
+            cert_reads = self
                 .read_rows
                 .iter()
                 .filter(|r| !written.contains(r))
                 .copied()
                 .collect();
-            if let Err(e) = self
-                .db
-                .certify(self.id, self.snapshot, &reads, &self.read_ranges)
-            {
+            if self.read_ranges.is_empty() {
+                // Read-shard locks are held through certification so a
+                // racing writer of a read row either installs before our
+                // walk (and is seen) or serializes after our whole commit.
+                for (t, id) in &cert_reads {
+                    lock_set.insert(shard_of(*t, *id));
+                }
+            } else {
+                // A scanned range can conflict with an insert anywhere.
+                lock_set = ShardSet::all();
+            }
+        }
+        if lock_set.is_empty() {
+            // Nothing to validate or install; just check the server still
+            // knows us (it forgets everyone on a simulated crash).
+            if !self.db.is_active(self.id) {
+                return Err(DbError::TxnNotActive { txn: self.id });
+            }
+            return Ok(());
+        }
+
+        let mut guards = self.db.lock_shards(lock_set);
+        if !self.db.is_active(self.id) {
+            // The server forgot us (simulated crash): connection lost.
+            return Err(DbError::TxnNotActive { txn: self.id });
+        }
+        if pg_ser {
+            if let Err(e) = self.certify_locked(&guards, &cert_reads) {
                 self.db
                     .inner
                     .serialization_failures
@@ -896,54 +973,99 @@ impl Transaction {
         if self.pending.is_empty() {
             return Ok(());
         }
-        let commit_ts = self.db.inner.commit_counter.fetch_add(1, Ordering::SeqCst) + 1;
-        let mut rows = HashSet::new();
+
+        // Drawing the timestamp *under* the write-shard locks keeps every
+        // shard log timestamp-ordered (all writers of a shard serialize on
+        // its mutex).
+        let commit_ts = self.db.draw_commit_ts();
+        // Until the first PG-Serializable transaction begins, nothing ever
+        // reads the commit logs — skip building and appending the entry.
+        let log_enabled = self.db.ssi_logging();
+        let mut rows = if log_enabled {
+            Vec::with_capacity(self.pending.len())
+        } else {
+            Vec::new()
+        };
         let mut keys = Vec::new();
-        {
-            let mut tables = self.db.inner.tables.write();
-            for p in std::mem::take(&mut self.pending) {
-                let t = tables.get_mut(p.table);
-                let indexed: Vec<usize> = {
-                    let mut cols = t.indexed_columns();
-                    cols.push(t.schema.primary_key);
-                    cols
-                };
-                // Log index keys only where membership changes (inserts,
-                // deletes, key-changing updates). A key-preserving update
-                // does not move the row in or out of any scanned interval;
-                // its content change is covered by row-level certification.
-                let old = t.chain(p.id).and_then(|c| c.latest()).cloned();
-                match (&old, &p.row) {
-                    (None, Some(new)) => {
-                        for col in &indexed {
-                            keys.push((p.table, *col, new.at(*col).clone()));
+        // Commits overwhelmingly touch one table; cache the last resolved
+        // handle instead of building a map.
+        let mut last_table: Option<Arc<Table>> = None;
+        for p in std::mem::take(&mut self.pending) {
+            let t = match &last_table {
+                Some(t) if t.id == p.table => t,
+                _ => last_table.insert(self.db.table_by_id(p.table)),
+            };
+            let gpos = guards
+                .binary_search_by_key(&shard_of(p.table, p.id), |(idx, _)| *idx)
+                .expect("write shard is locked");
+            let chain = guards[gpos].1.rows.entry((p.table, p.id)).or_default();
+            let old = chain.latest();
+            // Log index keys only where membership changes (inserts,
+            // deletes, key-changing updates). A key-preserving update
+            // does not move the row in or out of any scanned interval;
+            // its content change is covered by row-level certification.
+            let pk = t.schema.primary_key;
+            let indexed = t.schema.indexes.iter().map(|(col, _)| *col).chain([pk]);
+            let mut index_keys_changed = false;
+            match (old, &p.row) {
+                (None, Some(new)) => {
+                    index_keys_changed = true;
+                    if log_enabled {
+                        for col in indexed {
+                            keys.push((p.table, col, new.at(col).clone()));
                         }
                     }
-                    (Some(old), None) => {
-                        for col in &indexed {
-                            keys.push((p.table, *col, old.at(*col).clone()));
+                }
+                (Some(old), None) => {
+                    index_keys_changed = true;
+                    if log_enabled {
+                        for col in indexed {
+                            keys.push((p.table, col, old.at(col).clone()));
                         }
                     }
-                    (Some(old), Some(new)) => {
-                        for col in &indexed {
-                            if old.at(*col) != new.at(*col) {
-                                keys.push((p.table, *col, old.at(*col).clone()));
-                                keys.push((p.table, *col, new.at(*col).clone()));
+                }
+                (Some(old), Some(new)) => {
+                    for col in indexed {
+                        if old.at(col) != new.at(col) {
+                            index_keys_changed = true;
+                            if log_enabled {
+                                keys.push((p.table, col, old.at(col).clone()));
+                                keys.push((p.table, col, new.at(col).clone()));
                             }
                         }
                     }
-                    (None, None) => {}
                 }
-                rows.insert((p.table, p.id));
-                t.apply_committed(p.id, p.row, commit_ts);
+                (None, None) => {}
             }
+            if log_enabled {
+                rows.push((p.table, p.id));
+            }
+            // An in-place update that moves no indexed key (the common
+            // case) leaves pk membership and every index entry untouched —
+            // skip the table's index lock entirely.
+            if index_keys_changed {
+                t.apply_index(p.id, old, p.row.as_ref());
+            }
+            chain.push(RowVersion {
+                commit_ts,
+                data: p.row,
+            });
         }
-        self.db.log_commit(CommittedTxn {
-            commit_ts,
-            rows,
-            keys,
-        });
-        drop(gate);
+        if log_enabled {
+            self.db.log_commit(
+                Arc::new(CommittedTxn {
+                    commit_ts,
+                    rows,
+                    keys,
+                }),
+                writes,
+                &mut guards,
+            );
+        }
+        drop(guards);
+        // Make the commit visible to snapshots (in timestamp order) before
+        // acknowledging it to the client.
+        self.db.complete_commit(commit_ts);
         self.db.charge_flush();
         Ok(())
     }
@@ -959,14 +1081,18 @@ impl Transaction {
         }
         self.active = false;
         self.pending.clear();
-        self.db.inner.active.lock().remove(&self.id);
+        self.db.deregister(self.id);
         self.db.locks().release_all(self.id);
         if committed {
             self.db.inner.commits.fetch_add(1, Ordering::Relaxed);
-            self.db.observe(AccessEvent::Committed { txn: self.id });
+            if self.db.observing() {
+                self.db.observe(AccessEvent::Committed { txn: self.id });
+            }
         } else {
             self.db.inner.aborts.fetch_add(1, Ordering::Relaxed);
-            self.db.observe(AccessEvent::Aborted { txn: self.id });
+            if self.db.observing() {
+                self.db.observe(AccessEvent::Aborted { txn: self.id });
+            }
         }
     }
 }

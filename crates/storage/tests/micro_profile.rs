@@ -1,0 +1,74 @@
+//! Ad hoc microbenchmark for commit-path cost accounting. Ignored by
+//! default; run with `cargo test --release -p adhoc-storage --test
+//! micro_profile -- --ignored --nocapture`.
+
+use adhoc_storage::{Column, ColumnType, Database, EngineProfile, IsolationLevel, Schema};
+use std::time::Instant;
+
+fn db() -> Database {
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    db.create_table(
+        Schema::new(
+            "t",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("val", ColumnType::Int),
+            ],
+            "id",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    for id in 0..129i64 {
+        db.run(IsolationLevel::ReadCommitted, |t| {
+            t.insert("t", &[("id", id.into()), ("val", 0.into())])
+        })
+        .unwrap();
+    }
+    db
+}
+
+fn time(label: &str, n: u64, mut f: impl FnMut(u64)) {
+    let start = Instant::now();
+    for i in 0..n {
+        f(i);
+    }
+    let el = start.elapsed();
+    println!(
+        "{label:<34} {:>8.1} ns/op  ({:.0} ops/s)",
+        el.as_nanos() as f64 / n as f64,
+        n as f64 / el.as_secs_f64()
+    );
+}
+
+#[test]
+#[ignore = "manual profiling aid"]
+fn micro() {
+    let d = db();
+    let n = 400_000u64;
+    time("begin+commit (empty)", n, |_| {
+        let t = d.begin_with(IsolationLevel::ReadCommitted);
+        t.commit().unwrap();
+    });
+    time("begin+abort (empty)", n, |_| {
+        let t = d.begin_with(IsolationLevel::ReadCommitted);
+        t.abort();
+    });
+    time("begin+get+commit", n, |i| {
+        let mut t = d.begin_with(IsolationLevel::ReadCommitted);
+        let _ = t.get("t", (i % 128) as i64).unwrap();
+        t.commit().unwrap();
+    });
+    time("begin+update+commit", n, |i| {
+        let mut t = d.begin_with(IsolationLevel::ReadCommitted);
+        t.update("t", (i % 128) as i64, &[("val", (i as i64).into())])
+            .unwrap();
+        t.commit().unwrap();
+    });
+    time("run_with_retries(update)", n, |i| {
+        d.run_with_retries(IsolationLevel::ReadCommitted, 64, |t| {
+            t.update("t", (i % 128) as i64, &[("val", (i as i64).into())])
+        })
+        .unwrap();
+    });
+}

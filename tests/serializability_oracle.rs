@@ -40,7 +40,7 @@ fn program() -> impl Strategy<Value = Vec<Step>> {
     proptest::collection::vec(step(), 1..4)
 }
 
-fn fresh_db(profile: EngineProfile) -> Database {
+fn db_with_accounts(profile: EngineProfile, accounts: i64, balance: i64) -> Database {
     let db = Database::in_memory(profile);
     db.create_table(
         Schema::new(
@@ -54,13 +54,17 @@ fn fresh_db(profile: EngineProfile) -> Database {
         .unwrap(),
     )
     .unwrap();
-    for acct in 1..=ACCOUNTS {
+    for acct in 1..=accounts {
         db.run(IsolationLevel::ReadCommitted, |t| {
-            t.insert("acct", &[("id", acct.into()), ("bal", SEED_BALANCE.into())])
+            t.insert("acct", &[("id", acct.into()), ("bal", balance.into())])
         })
         .unwrap();
     }
     db
+}
+
+fn fresh_db(profile: EngineProfile) -> Database {
+    db_with_accounts(profile, ACCOUNTS, SEED_BALANCE)
 }
 
 /// Run one program inside an already-open transaction.
@@ -180,6 +184,79 @@ proptest! {
         programs in proptest::collection::vec(program(), 3..=3),
     ) {
         check_serializable(EngineProfile::MySqlLike, &programs)?;
+    }
+}
+
+/// Contention stress over the sharded commit path, both footprint regimes:
+///
+/// * **disjoint keys** — each thread owns one row, so commit-time shard
+///   locks are (almost always) disjoint and commits proceed in parallel;
+/// * **same key** — every thread RMWs one row, the maximal-conflict case
+///   where certification aborts and the retry loop do all the work.
+///
+/// Either way the serializable retry loop must converge on the exact
+/// serial result: per-shard validation may change *who waits on whom*,
+/// never the count.
+#[test]
+fn disjoint_and_same_key_contention_both_serialize_exactly() {
+    const THREADS: i64 = 8;
+    const OPS: i64 = 50;
+    for profile in [EngineProfile::PostgresLike, EngineProfile::MySqlLike] {
+        // Disjoint-key writers: thread `i` increments row `i`.
+        let db = Arc::new(db_with_accounts(profile, THREADS, 0));
+        let schema = db.schema("acct").unwrap();
+        std::thread::scope(|s| {
+            for acct in 1..=THREADS {
+                let db = Arc::clone(&db);
+                let schema = &schema;
+                s.spawn(move || {
+                    for _ in 0..OPS {
+                        db.run_with_retries(IsolationLevel::Serializable, 10_000, |t| {
+                            let row = t.get("acct", acct)?.expect("seeded account");
+                            let bal = row.get_int(schema, "bal").expect("bal column");
+                            t.update("acct", acct, &[("bal", (bal + 1).into())])
+                        })
+                        .expect("disjoint-key writer converges");
+                    }
+                });
+            }
+        });
+        for acct in 1..=THREADS {
+            let bal = db
+                .latest_committed("acct", acct)
+                .unwrap()
+                .expect("row survives")
+                .get_int(&schema, "bal")
+                .unwrap();
+            assert_eq!(bal, OPS, "{profile:?}: row {acct} lost updates");
+        }
+
+        // Same-key writers: every thread increments row 1.
+        let db = Arc::new(db_with_accounts(profile, 1, 0));
+        let schema = db.schema("acct").unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let db = Arc::clone(&db);
+                let schema = &schema;
+                s.spawn(move || {
+                    for _ in 0..OPS {
+                        db.run_with_retries(IsolationLevel::Serializable, 10_000, |t| {
+                            let row = t.get("acct", 1)?.expect("seeded account");
+                            let bal = row.get_int(schema, "bal").expect("bal column");
+                            t.update("acct", 1, &[("bal", (bal + 1).into())])
+                        })
+                        .expect("same-key writer converges");
+                    }
+                });
+            }
+        });
+        let bal = db
+            .latest_committed("acct", 1)
+            .unwrap()
+            .expect("row survives")
+            .get_int(&schema, "bal")
+            .unwrap();
+        assert_eq!(bal, THREADS * OPS, "{profile:?}: hot row lost updates");
     }
 }
 

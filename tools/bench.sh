@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Engine-scaling benchmark: writes BENCH_fig2.json (storage commit
+# scaling, disjoint vs same-key) and BENCH_fig3.json (KV command scaling)
+# into the repository root, with the committed pre-refactor baselines from
+# tools/baselines/ embedded for before/after comparison.
+#
+# Usage:
+#   ./tools/bench.sh              # full windows (~200ms per cell)
+#   BENCH_SCALE=smoke ./tools/bench.sh   # tiny duty cycle, CI smoke
+#   ./tools/bench.sh out/dir      # write the JSON files elsewhere
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUTDIR="${1:-.}"
+
+cargo build --release -p adhoc-bench --bin paper-eval
+./target/release/paper-eval bench-json "$OUTDIR"

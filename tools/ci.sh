@@ -22,4 +22,12 @@ cargo test -q
 echo "==> explorer smoke gate (fixed seed, bounded budget, <60s)"
 timeout 60 cargo test -q --release --test schedule_explorer --test schedule_corpus
 
+# Tiny-duty-cycle scaling-bench smoke: proves the sweep runs end to end
+# and emits well-formed BENCH_fig2.json/BENCH_fig3.json. Numbers from the
+# smoke windows are noise — the committed artifacts come from
+# ./tools/bench.sh with full windows.
+echo "==> bench smoke (BENCH_SCALE=smoke)"
+BENCH_SCALE=smoke ./tools/bench.sh target/bench-smoke >/dev/null
+python3 -c "import json; json.load(open('target/bench-smoke/BENCH_fig2.json')); json.load(open('target/bench-smoke/BENCH_fig3.json'))"
+
 echo "==> CI green"
