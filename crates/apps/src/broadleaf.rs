@@ -16,6 +16,7 @@
 //!   session-lock bug (issue \[66\]).
 
 use crate::{Mode, Result, DBT_RETRIES};
+use adhoc_core::checker::{BootRecovery, CheckRule, Report, Violation};
 use adhoc_core::locks::AdHocLock;
 use adhoc_orm::{EntityDef, Orm, Registry};
 use adhoc_storage::{Column, ColumnType, Database, IsolationLevel, Predicate, Schema, Value};
@@ -278,6 +279,63 @@ impl Broadleaf {
         let sold = sku.get_int("sold")?;
         Ok(quantity >= 0 && quantity + sold == seeded)
     }
+
+    /// Run [`boot_fsck`] against this instance's database.
+    pub fn recover_on_boot(&self) -> Report {
+        boot_fsck().recover_on_boot(self.orm.db())
+    }
+}
+
+/// Broadleaf's boot-time recovery pass: a crash between the item insert
+/// and the `carts.total` update (the two writes Fig. 1a's map lock pairs)
+/// leaves the denormalized total behind its items; boot recomputes it.
+pub fn boot_fsck() -> BootRecovery {
+    BootRecovery::new("broadleaf").rule(cart_total_rule())
+}
+
+/// Flag carts whose stored total differs from the sum of their items, and
+/// rewrite the total from the items on fix.
+fn cart_total_rule() -> CheckRule {
+    let name = "broadleaf:carts.total";
+    let expected = |db: &Database, cart_id: i64| -> Option<i64> {
+        let schema = db.schema("items").ok()?;
+        let items = db.dump_table("items").ok()?;
+        let mut total = 0;
+        for (_, item) in &items {
+            if item.get_int(&schema, "cart_id").ok()? == cart_id {
+                total +=
+                    item.get_int(&schema, "qty").ok()? * item.get_int(&schema, "price").ok()?;
+            }
+        }
+        Some(total)
+    };
+    CheckRule::new(name, move |db| {
+        let (Ok(carts), Ok(schema)) = (db.dump_table("carts"), db.schema("carts")) else {
+            return Vec::new();
+        };
+        carts
+            .iter()
+            .filter_map(|(id, row)| {
+                let stored = row.get_int(&schema, "total").ok()?;
+                let want = expected(db, *id)?;
+                (stored != want).then(|| Violation {
+                    rule: name.to_string(),
+                    table: "carts".to_string(),
+                    row_id: *id,
+                    message: format!("total = {stored}, items sum to {want}"),
+                })
+            })
+            .collect()
+    })
+    .with_fix(move |db, v| {
+        let Some(want) = expected(db, v.row_id) else {
+            return false;
+        };
+        db.run(IsolationLevel::ReadCommitted, |t| {
+            t.update(&v.table, v.row_id, &[("total", want.into())])
+        })
+        .is_ok()
+    })
 }
 
 /// The DBT isolation for Broadleaf's workloads (Table 6: MySQL,

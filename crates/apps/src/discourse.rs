@@ -19,11 +19,14 @@
 //!   validate-and-commit (issue \[62\]).
 
 use crate::{Mode, Result, DBT_RETRIES};
+use adhoc_core::checker::{BootRecovery, CheckRule, Report, Violation};
 use adhoc_core::locks::AdHocLock;
 use adhoc_core::taxonomy::FailureHandling;
 use adhoc_core::validation::{validated_write, CommitOutcome, ValidationCheck, ValidationStrategy};
 use adhoc_orm::{EntityDef, Orm, Registry};
-use adhoc_storage::{Column, ColumnType, Database, DbError, IsolationLevel, Predicate, Schema};
+use adhoc_storage::{
+    Column, ColumnType, Database, DbError, IsolationLevel, Predicate, Row, Schema,
+};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -908,6 +911,89 @@ impl Discourse {
     pub fn no_posts_reference(&self, img: i64) -> Result<bool> {
         Ok(self.posts_using(img)?.is_empty())
     }
+
+    /// Run [`boot_fsck`] against this instance's database.
+    pub fn recover_on_boot(&self) -> Report {
+        boot_fsck().recover_on_boot(self.orm.db())
+    }
+}
+
+/// Discourse's boot-time recovery pass: the denormalized Topics counters
+/// (`total_likes`, `max_post`) are recomputed from the Posts rows they
+/// summarize. A crash between a post/like write and its counter bump — or
+/// between the bump and the row, in the counter-first ad hoc flow — leaves
+/// the aggregate lying about its rows; this is the §3.4.2 "check and fix
+/// inconsistent references" job run at boot instead of every twelve hours.
+pub fn boot_fsck() -> BootRecovery {
+    BootRecovery::new("discourse")
+        .rule(topic_counter_rule(
+            "discourse:topics.total_likes",
+            "total_likes",
+            |schema, posts| {
+                posts
+                    .iter()
+                    .map(|r| r.get_int(schema, "like_cnt").unwrap_or(0))
+                    .sum()
+            },
+        ))
+        .rule(topic_counter_rule(
+            "discourse:topics.max_post",
+            "max_post",
+            |schema, posts| {
+                posts
+                    .iter()
+                    .map(|r| r.get_int(schema, "seq").unwrap_or(0))
+                    .max()
+                    .unwrap_or(0)
+            },
+        ))
+}
+
+/// One recomputable Topics counter: flag rows where the stored value
+/// disagrees with `expected` over the topic's posts, and rewrite it.
+fn topic_counter_rule(
+    name: &'static str,
+    column: &'static str,
+    expected: fn(&Schema, &[Row]) -> i64,
+) -> CheckRule {
+    let compute = move |db: &Database, topic_id: i64| -> Option<i64> {
+        let schema = db.schema("posts").ok()?;
+        let rows: Vec<Row> = db
+            .dump_table("posts")
+            .ok()?
+            .into_iter()
+            .filter(|(_, r)| r.get_int(&schema, "topic_id").ok() == Some(topic_id))
+            .map(|(_, r)| r)
+            .collect();
+        Some(expected(&schema, &rows))
+    };
+    CheckRule::new(name, move |db| {
+        let (Ok(topics), Ok(schema)) = (db.dump_table("topics"), db.schema("topics")) else {
+            return Vec::new();
+        };
+        topics
+            .iter()
+            .filter_map(|(id, row)| {
+                let actual = row.get_int(&schema, column).ok()?;
+                let want = compute(db, *id)?;
+                (actual != want).then(|| Violation {
+                    rule: name.to_string(),
+                    table: "topics".to_string(),
+                    row_id: *id,
+                    message: format!("{column} = {actual}, posts say {want}"),
+                })
+            })
+            .collect()
+    })
+    .with_fix(move |db, v| {
+        let Some(want) = compute(db, v.row_id) else {
+            return false;
+        };
+        db.run(IsolationLevel::ReadCommitted, |t| {
+            t.update("topics", v.row_id, &[(column, want.into())])
+        })
+        .is_ok()
+    })
 }
 
 #[cfg(test)]

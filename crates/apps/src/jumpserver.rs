@@ -6,6 +6,7 @@
 //! elsewhere (RMW grants, asset state machines) coordinated soundly.
 
 use crate::{Mode, Result, DBT_RETRIES};
+use adhoc_core::checker::{BootRecovery, CheckRule, Report, Violation};
 use adhoc_core::locks::AdHocLock;
 use adhoc_orm::{EntityDef, Orm, Registry};
 use adhoc_storage::{Column, ColumnType, Database, DbError, IsolationLevel, Predicate, Schema};
@@ -397,6 +398,70 @@ impl JumpServer {
         assets.dedup();
         Ok(assets.len() == before)
     }
+
+    /// Run [`boot_fsck`] against this instance's database.
+    pub fn recover_on_boot(&self) -> Report {
+        boot_fsck().recover_on_boot(self.orm.db())
+    }
+}
+
+/// JumpServer's boot-time recovery pass: a crash between the two halves
+/// of a *split* credential rotation commits the new secret without its
+/// audit row; boot backfills the missing rotation record (the generic
+/// form of [`JumpServer::repair_rotation_audit`]).
+pub fn boot_fsck() -> BootRecovery {
+    BootRecovery::new("jumpserver").rule(missing_rotation_audit_rule())
+}
+
+/// Flag every credential whose current version has no matching audit row,
+/// and insert the missing row on fix.
+fn missing_rotation_audit_rule() -> CheckRule {
+    let name = "jumpserver:rotation-audited";
+    let current_version = |db: &Database, asset_id: i64| -> Option<i64> {
+        let schema = db.schema("credentials").ok()?;
+        db.latest_committed("credentials", asset_id)
+            .ok()?
+            .and_then(|row| row.get_int(&schema, "version").ok())
+    };
+    let audited = move |db: &Database, asset_id: i64, version: i64| -> bool {
+        let (Ok(rows), Ok(schema)) = (db.dump_table("rotations"), db.schema("rotations")) else {
+            return true; // cannot read: do not invent findings
+        };
+        rows.iter().any(|(_, row)| {
+            row.get_int(&schema, "asset_id").ok() == Some(asset_id)
+                && row.get_int(&schema, "version").ok() == Some(version)
+        })
+    };
+    CheckRule::new(name, move |db| {
+        let Ok(creds) = db.dump_table("credentials") else {
+            return Vec::new();
+        };
+        creds
+            .iter()
+            .filter_map(|(asset_id, _)| {
+                let version = current_version(db, *asset_id)?;
+                (version > 0 && !audited(db, *asset_id, version)).then(|| Violation {
+                    rule: name.to_string(),
+                    table: "credentials".to_string(),
+                    row_id: *asset_id,
+                    message: format!("rotation to version {version} has no audit row"),
+                })
+            })
+            .collect()
+    })
+    .with_fix(move |db, v| {
+        let Some(version) = current_version(db, v.row_id) else {
+            return false;
+        };
+        db.run(IsolationLevel::ReadCommitted, |t| {
+            t.insert(
+                "rotations",
+                &[("asset_id", v.row_id.into()), ("version", version.into())],
+            )
+            .map(|_| ())
+        })
+        .is_ok()
+    })
 }
 
 #[cfg(test)]

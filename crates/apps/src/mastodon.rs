@@ -15,9 +15,11 @@
 //!   of inconsistency.
 
 use crate::{Mode, Result, DBT_RETRIES};
+use adhoc_core::checker::{BootRecovery, CheckRule, Report, Violation};
 use adhoc_core::locks::AdHocLock;
 use adhoc_orm::{EntityDef, Orm, Registry};
 use adhoc_storage::{Column, ColumnType, Database, DbError, IsolationLevel, Predicate, Schema};
+use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -344,6 +346,55 @@ impl Mastodon {
         let poll = self.orm.find_required("polls", poll_id)?;
         Ok((poll.get_int("tally_a")?, poll.get_int("tally_b")?))
     }
+
+    /// Run [`boot_fsck`] against this instance's database.
+    pub fn recover_on_boot(&self) -> Report {
+        boot_fsck().recover_on_boot(self.orm.db())
+    }
+}
+
+/// Mastodon's boot-time recovery pass: a crash (or an ambiguous commit
+/// retried) in the unchecked notification path can deliver the same
+/// (user, event) twice; boot keeps the earliest row and deletes the rest.
+/// The Redis-side timeline is volatile state the app rebuilds lazily — the
+/// database rules here cover only what survives a restart.
+pub fn boot_fsck() -> BootRecovery {
+    BootRecovery::new("mastodon").rule(duplicate_notification_rule())
+}
+
+/// Flag every notification whose (user, event) pair already appeared on a
+/// lower id, and delete it on fix.
+fn duplicate_notification_rule() -> CheckRule {
+    let name = "mastodon:notifications-unique";
+    CheckRule::new(name, move |db| {
+        let (Ok(mut rows), Ok(schema)) =
+            (db.dump_table("notifications"), db.schema("notifications"))
+        else {
+            return Vec::new();
+        };
+        rows.sort_by_key(|(id, _)| *id);
+        let mut seen: HashSet<(i64, String)> = HashSet::new();
+        rows.iter()
+            .filter_map(|(id, row)| {
+                let key = (
+                    row.get_int(&schema, "user_id").ok()?,
+                    row.get_str(&schema, "event").ok()?,
+                );
+                (!seen.insert(key.clone())).then(|| Violation {
+                    rule: name.to_string(),
+                    table: "notifications".to_string(),
+                    row_id: *id,
+                    message: format!("duplicate notification {:?} for user {}", key.1, key.0),
+                })
+            })
+            .collect()
+    })
+    .with_fix(|db, v| {
+        db.run(IsolationLevel::ReadCommitted, |t| {
+            t.delete(&v.table, v.row_id)
+        })
+        .is_ok()
+    })
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 //!   (ORM-assisted validation, §3.2.2).
 
 use crate::{Mode, Result, DBT_RETRIES};
+use adhoc_core::checker::{BootRecovery, CheckRule, Report, Violation};
 use adhoc_orm::{EntityDef, Orm, OrmError, Registry};
 use adhoc_storage::{Column, ColumnType, Database, DbError, IsolationLevel, Predicate, Schema};
 
@@ -357,6 +358,63 @@ impl Redmine {
             .find_required("issues", issue_id)?
             .get_int("done_ratio")?)
     }
+
+    /// Run [`boot_fsck`] against this instance's database.
+    pub fn recover_on_boot(&self) -> Report {
+        boot_fsck().recover_on_boot(self.orm.db())
+    }
+}
+
+/// Redmine's boot-time recovery pass: a crash between the attachment
+/// insert and the `attachments_count` bump leaves the counter cache
+/// behind its rows; boot recounts it (Active Record's
+/// `reset_counters`, run as fsck).
+pub fn boot_fsck() -> BootRecovery {
+    BootRecovery::new("redmine").rule(attachments_count_rule())
+}
+
+/// Flag issues whose counter cache differs from the actual attachment
+/// count, and recount on fix.
+fn attachments_count_rule() -> CheckRule {
+    let name = "redmine:issues.attachments_count";
+    let expected = |db: &Database, issue_id: i64| -> Option<i64> {
+        let schema = db.schema("attachments").ok()?;
+        let rows = db.dump_table("attachments").ok()?;
+        let mut count = 0;
+        for (_, row) in &rows {
+            if row.get_int(&schema, "issue_id").ok()? == issue_id {
+                count += 1;
+            }
+        }
+        Some(count)
+    };
+    CheckRule::new(name, move |db| {
+        let (Ok(issues), Ok(schema)) = (db.dump_table("issues"), db.schema("issues")) else {
+            return Vec::new();
+        };
+        issues
+            .iter()
+            .filter_map(|(id, row)| {
+                let cached = row.get_int(&schema, "attachments_count").ok()?;
+                let want = expected(db, *id)?;
+                (cached != want).then(|| Violation {
+                    rule: name.to_string(),
+                    table: "issues".to_string(),
+                    row_id: *id,
+                    message: format!("attachments_count = {cached}, {want} attachment rows"),
+                })
+            })
+            .collect()
+    })
+    .with_fix(move |db, v| {
+        let Some(want) = expected(db, v.row_id) else {
+            return false;
+        };
+        db.run(IsolationLevel::ReadCommitted, |t| {
+            t.update(&v.table, v.row_id, &[("attachments_count", want.into())])
+        })
+        .is_ok()
+    })
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 //!   the Table 5b "overcharging" consequence.
 
 use crate::{Mode, Result, DBT_RETRIES};
+use adhoc_core::checker::{BootRecovery, CheckRule, Report, Violation};
 use adhoc_core::locks::AdHocLock;
 use adhoc_orm::{EntityDef, Orm, Registry};
 use adhoc_storage::{Column, ColumnType, Database, DbError, IsolationLevel, Predicate, Schema};
@@ -206,6 +207,41 @@ impl Saleor {
     pub fn stock_qty(&self, stock_id: i64) -> Result<i64> {
         Ok(self.orm.find_required("stocks", stock_id)?.get_int("qty")?)
     }
+
+    /// Run [`boot_fsck`] against this instance's database.
+    pub fn recover_on_boot(&self) -> Report {
+        boot_fsck().recover_on_boot(self.orm.db())
+    }
+}
+
+/// Saleor's boot-time recovery pass. Over-capture (Table 5b) is
+/// *detection-only*: once money beyond the authorization has been taken,
+/// no automatic write can honestly undo it — the finding stays in the
+/// report for an operator (a refund flow) instead of a silent "fix".
+pub fn boot_fsck() -> BootRecovery {
+    BootRecovery::new("saleor").rule(over_capture_rule())
+}
+
+/// Flag captures whose `captured_cents` exceeds `authorized_cents`.
+fn over_capture_rule() -> CheckRule {
+    let name = "saleor:capture-within-authorization";
+    CheckRule::new(name, move |db| {
+        let (Ok(rows), Ok(schema)) = (db.dump_table("captures"), db.schema("captures")) else {
+            return Vec::new();
+        };
+        rows.iter()
+            .filter_map(|(id, row)| {
+                let captured = row.get_int(&schema, "captured_cents").ok()?;
+                let authorized = row.get_int(&schema, "authorized_cents").ok()?;
+                (captured > authorized).then(|| Violation {
+                    rule: name.to_string(),
+                    table: "captures".to_string(),
+                    row_id: *id,
+                    message: format!("captured {captured} cents of {authorized} authorized"),
+                })
+            })
+            .collect()
+    })
 }
 
 #[cfg(test)]

@@ -11,10 +11,11 @@
 //!   (SCM Suite's validations are all manual, §3.2.2).
 
 use crate::{Mode, Result, DBT_RETRIES};
+use adhoc_core::checker::{column_invariant, BootRecovery, Report};
 use adhoc_core::locks::AdHocLock;
 use adhoc_core::validation::{validated_write, CommitOutcome, ValidationCheck, ValidationStrategy};
 use adhoc_orm::{EntityDef, Orm, Registry};
-use adhoc_storage::{Column, ColumnType, Database, DbError, IsolationLevel, Schema};
+use adhoc_storage::{Column, ColumnType, Database, DbError, IsolationLevel, Predicate, Schema};
 use std::sync::Arc;
 
 /// Create SCM Suite's tables and entity registry.
@@ -298,6 +299,24 @@ impl ScmSuite {
         }
         Ok(total)
     }
+
+    /// Run [`boot_fsck`] against this instance's database.
+    pub fn recover_on_boot(&self) -> Report {
+        boot_fsck().recover_on_boot(self.orm.db())
+    }
+}
+
+/// SCM Suite's boot-time recovery pass. Oversold stock is
+/// *detection-only*: a negative `stock` means goods were promised that do
+/// not exist, and no database write can conjure them — the finding stays
+/// in the report for an operator.
+pub fn boot_fsck() -> BootRecovery {
+    BootRecovery::new("scm_suite").rule(column_invariant(
+        "merchandise",
+        "scm:stock-non-negative",
+        Predicate::ge("stock", 0),
+        "stock is negative (oversold)",
+    ))
 }
 
 #[cfg(test)]

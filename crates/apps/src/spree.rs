@@ -24,6 +24,7 @@
 
 use crate::{Mode, Result, DBT_RETRIES};
 
+use adhoc_core::checker::{stuck_state, BootRecovery, Report};
 use adhoc_core::locks::AdHocLock;
 use adhoc_orm::{EntityDef, Orm, Registry, TouchVia};
 use adhoc_storage::{Column, ColumnType, Database, DbError, IsolationLevel, Predicate, Schema};
@@ -421,16 +422,16 @@ impl Spree {
     }
 
     /// The boot-time consistency fix for issue \[60\]: reset payments stuck
-    /// in `processing` back to `new` so check-out can resume.
+    /// in `processing` back to `new` so check-out can resume. Thin wrapper
+    /// over the generic [`boot_fsck`] pass, returning the reset count the
+    /// crash-recovery property tests assert on.
     pub fn boot_recovery(&self) -> Result<usize> {
-        let reset = self.orm.transaction(|t| {
-            Ok(t.raw().update_where(
-                "payments",
-                &Predicate::eq("state", "processing"),
-                &[("state", "new".into())],
-            )?)
-        })?;
-        Ok(reset)
+        Ok(self.recover_on_boot().fixed)
+    }
+
+    /// Run [`boot_fsck`] against this instance's database.
+    pub fn recover_on_boot(&self) -> Report {
+        boot_fsck().recover_on_boot(self.orm.db())
     }
 
     /// Invariant (§3.1.1): SKU stock never goes negative and reflects
@@ -441,6 +442,14 @@ impl Spree {
             .find_required("skus", sku_id)?
             .get_int("quantity")?)
     }
+}
+
+/// Spree's boot-time recovery pass (§4.3, issue \[60\]): a crash between
+/// the `processing` mark and the completion write leaves the payment state
+/// machine stuck — neither processable nor resumable. On boot, stuck
+/// payments reset to `new` so check-out can resume.
+pub fn boot_fsck() -> BootRecovery {
+    BootRecovery::new("spree").rule(stuck_state("payments", "state", "processing", "new"))
 }
 
 #[cfg(test)]

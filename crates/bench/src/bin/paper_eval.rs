@@ -172,14 +172,19 @@ fn run_bench_json(outdir: &str) {
     let baseline3 = std::fs::read_to_string("tools/baselines/fig3_pre_shard.json").ok();
     let (fig2_json, fig3_json) = scaling::bench_json(baseline2.as_deref(), baseline3.as_deref());
     std::fs::create_dir_all(outdir).expect("create outdir");
+    let wal_json = scaling::wal_bench_json();
     let fig2_path = format!("{outdir}/BENCH_fig2.json");
     let fig3_path = format!("{outdir}/BENCH_fig3.json");
+    let wal_path = format!("{outdir}/BENCH_wal.json");
     std::fs::write(&fig2_path, &fig2_json).expect("write BENCH_fig2.json");
     std::fs::write(&fig3_path, &fig3_json).expect("write BENCH_fig3.json");
+    std::fs::write(&wal_path, &wal_json).expect("write BENCH_wal.json");
     println!("wrote {fig2_path}");
     print!("{fig2_json}");
     println!("wrote {fig3_path}");
     print!("{fig3_json}");
+    println!("wrote {wal_path}");
+    print!("{wal_json}");
 }
 
 fn main() {

@@ -20,7 +20,9 @@
 //! CI smoke gate).
 
 use adhoc_kv::Store;
-use adhoc_storage::{Column, ColumnType, Database, EngineProfile, IsolationLevel, Schema};
+use adhoc_storage::{
+    Column, ColumnType, Database, DbConfig, EngineProfile, IsolationLevel, Schema,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -63,8 +65,11 @@ pub struct ScalingCell {
 const ROWS_PER_THREAD: i64 = 16;
 
 /// Build the bench table and seed every row the sweep will touch.
-fn seed_db(threads_max: usize) -> Database {
-    let db = Database::in_memory(EngineProfile::PostgresLike);
+/// `wal` turns on the write-ahead log (OnCommit sync policy) so the same
+/// workload measures durability overhead.
+fn seed_db(threads_max: usize, wal: bool) -> Database {
+    let cfg = DbConfig::in_memory(EngineProfile::PostgresLike);
+    let db = Database::new(if wal { cfg.with_wal() } else { cfg });
     db.create_table(
         Schema::new(
             "bench_rows",
@@ -89,7 +94,17 @@ fn seed_db(threads_max: usize) -> Database {
 
 /// Measure one (threads, pattern) cell for `window` on a fresh database.
 fn measure_commits(threads: usize, pattern: KeyPattern, window: Duration) -> ScalingCell {
-    let db = seed_db(threads);
+    measure_commits_wal(threads, pattern, window, false)
+}
+
+/// Like [`measure_commits`], with the WAL switchable on.
+fn measure_commits_wal(
+    threads: usize,
+    pattern: KeyPattern,
+    window: Duration,
+    wal: bool,
+) -> ScalingCell {
+    let db = seed_db(threads, wal);
     let stop = Arc::new(AtomicBool::new(false));
     let committed = Arc::new(AtomicU64::new(0));
     let attempts = Arc::new(AtomicU64::new(0));
@@ -216,6 +231,57 @@ pub fn kv_scaling(thread_counts: &[usize], window: Duration) -> Vec<ScalingCell>
     out
 }
 
+/// One WAL-ablation cell: the commit workload with the log on vs off.
+#[derive(Debug, Clone)]
+pub struct WalCell {
+    /// Whether the write-ahead log (OnCommit sync) was enabled.
+    pub wal: bool,
+    /// The measured cell.
+    pub cell: ScalingCell,
+}
+
+/// Durability-overhead sweep: the fig-2 commit workload, WAL off vs WAL
+/// on (OnCommit sync), over `thread_counts`. WAL-off cells double as the
+/// regression guard that `wal: None` keeps the sharded commit path free
+/// of durability cost.
+pub fn wal_commit_scaling(thread_counts: &[usize], window: Duration) -> Vec<WalCell> {
+    let mut out = Vec::new();
+    for &threads in thread_counts {
+        for pattern in [KeyPattern::Disjoint, KeyPattern::SameKey] {
+            for wal in [false, true] {
+                out.push(WalCell {
+                    wal,
+                    cell: measure_commits_wal(threads, pattern, window, wal),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Render the WAL ablation as `BENCH_wal.json`: same row shape as fig 2
+/// plus a `"wal"` flag, so on/off pairs sit side by side in one file.
+pub fn render_wal_json(cells: &[WalCell]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"storage_commit_wal_overhead\",\n");
+    out.push_str("  \"unit\": \"ops_per_sec\",\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, w) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"pattern\": \"{}\", \"wal\": {}, \"throughput_ops\": {:.1}, \"abort_rate\": {:.6}}}{}\n",
+            w.cell.threads,
+            w.cell.pattern.label(),
+            w.wal,
+            w.cell.throughput_ops,
+            w.cell.abort_rate,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Render a sweep as the machine-readable JSON the CI/bench tooling
 /// consumes: `{"bench": ..., "rows": [{"threads", "pattern",
 /// "throughput_ops", "abort_rate"}, ...]}`. `baseline` (if any) is a
@@ -273,6 +339,12 @@ pub fn bench_json(baseline_fig2: Option<&str>, baseline_fig3: Option<&str>) -> (
     )
 }
 
+/// Convenience used by `paper-eval bench-json`: run the WAL ablation and
+/// return the `BENCH_wal.json` body.
+pub fn wal_bench_json() -> String {
+    render_wal_json(&wal_commit_scaling(&default_threads(), window_from_env()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,5 +363,18 @@ mod tests {
         let json = render_json("storage_commit_scaling", &cells, Some("{\"note\": 1}"));
         assert!(json.contains("\"threads\": 1"));
         assert!(json.contains("\"baseline\""));
+    }
+
+    #[test]
+    fn wal_ablation_smoke() {
+        let _serial = crate::SERIAL_MEASUREMENTS.lock();
+        let cells = wal_commit_scaling(&[2], Duration::from_millis(20));
+        assert_eq!(cells.len(), 4); // 2 patterns x {off, on}
+        for w in &cells {
+            assert!(w.cell.throughput_ops > 0.0, "{w:?}");
+        }
+        let json = render_wal_json(&cells);
+        assert!(json.contains("\"wal\": true"));
+        assert!(json.contains("\"wal\": false"));
     }
 }

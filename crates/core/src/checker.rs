@@ -128,6 +128,94 @@ impl ConsistencyChecker {
     }
 }
 
+/// A boot-time recovery pass — the generalized form of Spree's
+/// `boot_recovery` (§4.3: payments stuck in `processing` after a crash).
+///
+/// A crash can leave state that is *transactionally* consistent — every
+/// acknowledged commit survived, every unacknowledged one rolled back —
+/// yet semantically stuck, because a multi-request state machine died
+/// between its steps: a payment marked `processing` whose completion
+/// request never ran, a counter behind the rows it summarizes, an audit
+/// row whose paired write committed alone. The storage engine cannot see
+/// these; only the application's invariants can. Each app module
+/// registers its crash-sensitive rules in one of these and runs
+/// [`recover_on_boot`](Self::recover_on_boot) when a restarted process
+/// finishes WAL replay.
+pub struct BootRecovery {
+    /// App name, prefixed to finding output.
+    pub app: String,
+    checker: ConsistencyChecker,
+}
+
+impl BootRecovery {
+    /// An empty recovery pass for `app`.
+    pub fn new(app: &str) -> Self {
+        Self {
+            app: app.to_string(),
+            checker: ConsistencyChecker::new(),
+        }
+    }
+
+    /// Register a rule. Rules with fixers are repaired on boot; rules
+    /// without stay as reported findings (states no automatic repair can
+    /// honestly resolve, like an over-captured payment).
+    pub fn rule(mut self, rule: CheckRule) -> Self {
+        self.checker = self.checker.rule(rule);
+        self
+    }
+
+    /// The boot hook: run every rule in fix mode. `fixed` counts repaired
+    /// states; `violations` are findings that remain (detection-only rules
+    /// or failed fixes) and should surface to an operator.
+    pub fn recover_on_boot(&self, db: &Database) -> Report {
+        self.checker.run_and_fix(db)
+    }
+
+    /// Detection-only pass (no writes), for asserting a database is clean.
+    pub fn check(&self, db: &Database) -> Report {
+        self.checker.run(db)
+    }
+}
+
+/// Rule builder for the §4.3 shape: rows of `table` whose `column` is
+/// stuck in the `stuck` state are reset to `reset_to` on boot — Spree's
+/// `processing` → `new` payments, generalized.
+pub fn stuck_state(table: &str, column: &str, stuck: &str, reset_to: &str) -> CheckRule {
+    let table = table.to_string();
+    let column = column.to_string();
+    let stuck = stuck.to_string();
+    let reset_to = reset_to.to_string();
+    let name = format!("stuck:{table}.{column}={stuck}");
+    let fix_column = column.clone();
+    let fix_reset = reset_to.clone();
+    CheckRule::new(&name.clone(), move |db| {
+        let (Ok(rows), Ok(schema)) = (db.dump_table(&table), db.schema(&table)) else {
+            return Vec::new();
+        };
+        rows.iter()
+            .filter(|(_, row)| {
+                row.get_str(&schema, &column).ok().as_deref() == Some(stuck.as_str())
+            })
+            .map(|(id, _)| Violation {
+                rule: name.clone(),
+                table: table.clone(),
+                row_id: *id,
+                message: format!("{column} stuck in {stuck:?}; reset to {reset_to:?}"),
+            })
+            .collect()
+    })
+    .with_fix(move |db, v| {
+        db.run(adhoc_storage::IsolationLevel::ReadCommitted, |t| {
+            t.update(
+                &v.table,
+                v.row_id,
+                &[(fix_column.as_str(), fix_reset.clone().into())],
+            )
+        })
+        .is_ok()
+    })
+}
+
 /// Rule builder: every `child.fk_column` must reference a live row of
 /// `parent` — the missing-avatar / dangling-thumbnail class of check.
 pub fn referential_integrity(child: &str, fk_column: &str, parent: &str) -> CheckRule {

@@ -91,9 +91,12 @@ impl Client {
                         self.clock.sleep(fault.delay);
                         now = self.clock.now();
                     }
-                    FaultKind::StoreRestart => self.store.lose_volatile(now),
+                    FaultKind::StoreRestart => self.store.restart(now),
                     // DbCommit kinds never arm on OpClass::KvCommand.
-                    FaultKind::CommitFailed | FaultKind::CrashAfterDurable => {}
+                    FaultKind::CommitFailed
+                    | FaultKind::CrashAfterDurable
+                    | FaultKind::CrashBeforeDurable
+                    | FaultKind::TornWrite => {}
                 }
             }
         }

@@ -296,6 +296,17 @@ impl Stripe {
     }
 }
 
+/// The append-only persistence log (Redis `appendonly yes` with
+/// `appendfsync always`): every state-changing command is recorded with the
+/// server-side time it applied at, so a restart replays the exact history —
+/// including absolute TTL deadlines, which is what gives `SETNX` leases a
+/// *survives-restart* semantic instead of the RDB-style evaporation of
+/// [`Store::lose_volatile`].
+#[derive(Debug, Default)]
+struct Aof {
+    log: Vec<(Duration, WriteOp)>,
+}
+
 #[derive(Debug)]
 struct StoreInner {
     /// Key-striped data: commands on keys in different stripes never
@@ -305,6 +316,10 @@ struct StoreInner {
     /// observability reads ([`Store::command_count`]) never block — or are
     /// blocked by — the data path.
     commands: AtomicU64,
+    /// Append-only persistence log; `None` runs the store fully volatile
+    /// (the default, matching the pre-durability behaviour). Always locked
+    /// *after* any stripe lock, never before.
+    aof: Option<Mutex<Aof>>,
 }
 
 /// Command counters, readable without touching any data-path lock.
@@ -326,6 +341,7 @@ impl Default for Store {
             inner: Arc::new(StoreInner {
                 stripes: std::array::from_fn(|_| Mutex::new(Stripe::default())),
                 commands: AtomicU64::new(0),
+                aof: None,
             }),
         }
     }
@@ -347,6 +363,41 @@ impl Store {
     /// An empty store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty store with append-only persistence enabled: every applied
+    /// write is logged with its server-side timestamp and a
+    /// [`restart`](Self::restart) replays the log instead of dropping
+    /// volatile entries — leases (and their absolute TTL deadlines)
+    /// *survive* a restart.
+    pub fn with_aof() -> Self {
+        Self {
+            inner: Arc::new(StoreInner {
+                stripes: std::array::from_fn(|_| Mutex::new(Stripe::default())),
+                commands: AtomicU64::new(0),
+                aof: Some(Mutex::new(Aof::default())),
+            }),
+        }
+    }
+
+    /// Whether append-only persistence is enabled.
+    pub fn aof_enabled(&self) -> bool {
+        self.inner.aof.is_some()
+    }
+
+    /// Number of records in the append-only log (0 when disabled).
+    pub fn aof_len(&self) -> usize {
+        self.inner.aof.as_ref().map_or(0, |a| a.lock().log.len())
+    }
+
+    /// Record one applied write in the append-only log (no-op when
+    /// persistence is off). Called after the stripe applied the op, while
+    /// the stripe lock is still held, so log order matches apply order for
+    /// any single key.
+    fn log_write(&self, now: Duration, op: &WriteOp) {
+        if let Some(aof) = &self.inner.aof {
+            aof.lock().log.push((now, op.clone()));
+        }
     }
 
     /// One public command against one key: count it and run `f` under the
@@ -391,29 +442,32 @@ impl Store {
         ttl: Option<Duration>,
         now: Duration,
     ) -> Result<bool, KvError> {
+        let op = WriteOp::Set {
+            key: key.to_string(),
+            value: value.to_string(),
+            mode,
+            ttl,
+        };
         self.locked(key, |i| {
-            i.apply(
-                &WriteOp::Set {
-                    key: key.to_string(),
-                    value: value.to_string(),
-                    mode,
-                    ttl,
-                },
-                now,
-            )
+            let applied = i.apply(&op, now)?;
+            if applied {
+                self.log_write(now, &op);
+            }
+            Ok(applied)
         })
     }
 
     /// `DEL key`. Returns whether a live key was removed.
     pub fn del(&self, key: &str, now: Duration) -> bool {
+        let op = WriteOp::Del {
+            key: key.to_string(),
+        };
         self.locked(key, |i| {
-            i.apply(
-                &WriteOp::Del {
-                    key: key.to_string(),
-                },
-                now,
-            )
-            .expect("DEL is type-agnostic")
+            let removed = i.apply(&op, now).expect("DEL is type-agnostic");
+            if removed {
+                self.log_write(now, &op);
+            }
+            removed
         })
     }
 
@@ -424,15 +478,16 @@ impl Store {
 
     /// `EXPIRE key ttl`. Returns false when the key is missing.
     pub fn expire(&self, key: &str, ttl: Duration, now: Duration) -> bool {
+        let op = WriteOp::Expire {
+            key: key.to_string(),
+            ttl,
+        };
         self.locked(key, |i| {
-            i.apply(
-                &WriteOp::Expire {
-                    key: key.to_string(),
-                    ttl,
-                },
-                now,
-            )
-            .expect("EXPIRE is type-agnostic")
+            let applied = i.apply(&op, now).expect("EXPIRE is type-agnostic");
+            if applied {
+                self.log_write(now, &op);
+            }
+            applied
         })
     }
 
@@ -482,33 +537,57 @@ impl Store {
                 },
             );
             i.bump(key);
+            // INCR logs as the SET of its result; a surviving deadline is
+            // re-established by a trailing EXPIRE (both replay with `now`).
+            self.log_write(
+                now,
+                &WriteOp::Set {
+                    key: key.to_string(),
+                    value: next.to_string(),
+                    mode: SetMode::Always,
+                    ttl: None,
+                },
+            );
+            if let Some(deadline) = expires_at {
+                self.log_write(
+                    now,
+                    &WriteOp::Expire {
+                        key: key.to_string(),
+                        ttl: deadline.saturating_sub(now),
+                    },
+                );
+            }
             Ok(next)
         })
     }
 
     /// `SADD key member`.
     pub fn sadd(&self, key: &str, member: &str, now: Duration) -> Result<bool, KvError> {
+        let op = WriteOp::SAdd {
+            key: key.to_string(),
+            member: member.to_string(),
+        };
         self.locked(key, |i| {
-            i.apply(
-                &WriteOp::SAdd {
-                    key: key.to_string(),
-                    member: member.to_string(),
-                },
-                now,
-            )
+            let added = i.apply(&op, now)?;
+            if added {
+                self.log_write(now, &op);
+            }
+            Ok(added)
         })
     }
 
     /// `SREM key member`.
     pub fn srem(&self, key: &str, member: &str, now: Duration) -> Result<bool, KvError> {
+        let op = WriteOp::SRem {
+            key: key.to_string(),
+            member: member.to_string(),
+        };
         self.locked(key, |i| {
-            i.apply(
-                &WriteOp::SRem {
-                    key: key.to_string(),
-                    member: member.to_string(),
-                },
-                now,
-            )
+            let removed = i.apply(&op, now)?;
+            if removed {
+                self.log_write(now, &op);
+            }
+            Ok(removed)
         })
     }
 
@@ -587,6 +666,7 @@ impl Store {
         }
         for op in ops {
             stripe_for(&mut guards, op.key()).apply(op, now)?;
+            self.log_write(now, op);
         }
         Ok(true)
     }
@@ -620,6 +700,43 @@ impl Store {
         KvStats {
             commands: self.command_count(),
         }
+    }
+
+    /// Simulate a server restart. What survives is an explicit function of
+    /// the persistence mode:
+    ///
+    /// * **AOF** ([`with_aof`](Self::with_aof)) — the append-only log is
+    ///   replayed with its recorded timestamps, so *everything* survives,
+    ///   including TTL'd leases and their absolute deadlines. Every live
+    ///   key's version bumps so `WATCH`ers observe the restart.
+    /// * **volatile (default)** — falls back to
+    ///   [`lose_volatile`](Self::lose_volatile): TTL'd entries evaporate,
+    ///   plain keys persist (an RDB snapshot that never includes leases).
+    pub fn restart(&self, now: Duration) {
+        let Some(aof) = &self.inner.aof else {
+            self.lose_volatile(now);
+            return;
+        };
+        // Snapshot the log, then rebuild every stripe from scratch. The
+        // replay calls Stripe::apply directly, bypassing log_write, so the
+        // log is not re-appended. Lock order: stripes first, then the log —
+        // the same order the write path uses.
+        self.locked_all(|stripes| {
+            let log = aof.lock().log.clone();
+            for s in stripes.iter_mut() {
+                let live: Vec<String> = s.entries.keys().cloned().collect();
+                s.entries.clear();
+                for key in live {
+                    s.bump(&key);
+                }
+            }
+            for (at, op) in &log {
+                let stripe = &mut stripes[stripe_of(op.key())];
+                // WrongType during replay is impossible: the log only holds
+                // ops that applied cleanly, in order.
+                let _ = stripe.apply(op, *at);
+            }
+        });
     }
 
     /// Simulate a server restart that recovers from an RDB-style snapshot:

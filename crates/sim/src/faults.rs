@@ -82,6 +82,14 @@ pub enum FaultKind {
     /// acknowledgement — the client sees an error for a transaction that
     /// actually happened.
     CrashAfterDurable,
+    /// DB: the process dies after the commit record is written to the log
+    /// buffer but *before* the fsync boundary — the write-ahead record is
+    /// lost and recovery must roll the transaction back entirely.
+    CrashBeforeDurable,
+    /// DB: the process dies mid-flush, leaving a torn (partial) commit
+    /// record on the durable medium — recovery must detect the bad frame
+    /// via its checksum and truncate the tail.
+    TornWrite,
 }
 
 impl FaultKind {
@@ -94,6 +102,8 @@ impl FaultKind {
             FaultKind::StoreRestart => "store-restart",
             FaultKind::CommitFailed => "commit-failed",
             FaultKind::CrashAfterDurable => "crash-after-durable",
+            FaultKind::CrashBeforeDurable => "crash-before-durable",
+            FaultKind::TornWrite => "torn-write",
         }
     }
 
@@ -104,7 +114,10 @@ impl FaultKind {
             | FaultKind::ConnError
             | FaultKind::LatencySpike
             | FaultKind::StoreRestart => OpClass::KvCommand,
-            FaultKind::CommitFailed | FaultKind::CrashAfterDurable => OpClass::DbCommit,
+            FaultKind::CommitFailed
+            | FaultKind::CrashAfterDurable
+            | FaultKind::CrashBeforeDurable
+            | FaultKind::TornWrite => OpClass::DbCommit,
         }
     }
 }

@@ -27,9 +27,10 @@ use crate::fasthash::FastMap;
 use crate::lock::{LockManager, LockStats};
 use crate::schema::{Row, Schema};
 use crate::shard::{shard_of, ShardSet, SHARD_COUNT};
-use crate::table::{CommitTs, Table, VersionChain};
+use crate::table::{CommitTs, RowVersion, Table, VersionChain};
 use crate::txn::Transaction;
 use crate::value::Value;
+use crate::wal::Wal;
 use crate::Result;
 use adhoc_sim::latency::Cost;
 use adhoc_sim::{BackoffPolicy, FaultKind, FaultPlan, OpClass, RetryObserver, RetryPolicy};
@@ -150,6 +151,10 @@ pub(crate) struct DbInner {
     pub aborts: AtomicU64,
     pub statements: AtomicU64,
     pub serialization_failures: AtomicU64,
+    /// Write-ahead log, present when [`DbConfig::wal`] asked for one.
+    /// Commits append their write set under their shard guards, so each
+    /// row's log order matches its version-chain order.
+    wal: Option<Wal>,
 }
 
 #[derive(Default)]
@@ -169,6 +174,9 @@ impl Database {
     pub fn new(config: DbConfig) -> Self {
         let timeout = config.lock_wait_timeout;
         let observers_attached = AtomicBool::new(config.observer.is_some());
+        let wal = config
+            .wal
+            .map(|policy| Wal::new(policy, config.clock.clone()));
         Self {
             inner: Arc::new(DbInner {
                 config,
@@ -193,6 +201,7 @@ impl Database {
                     .map(|_| Mutex::new(FastMap::default()))
                     .collect(),
                 ssi_seen: AtomicBool::new(false),
+                wal,
                 commits: AtomicU64::new(0),
                 aborts: AtomicU64::new(0),
                 statements: AtomicU64::new(0),
@@ -646,15 +655,17 @@ impl Database {
     /// with [`DbError::TxnNotActive`] — the "connection lost" exception the
     /// paper's §3.4.2 describes drivers throwing.
     pub fn simulate_crash(&self) {
-        let ids = self.quiesce_and_forget(|guards| {
+        let _ = self.quiesce_and_forget(|guards| {
             for (_, shard) in guards.iter_mut() {
                 shard.log.clear();
                 shard.appends_since_prune = 0;
             }
         });
-        for id in ids {
-            self.inner.locks.release_all(id);
-        }
+        // The lock table lives in server memory: a crash forgets *all* of
+        // it — engine locks of the drained transactions and session
+        // advisory locks alike (§3.4.2: advisory locks do not survive a
+        // server restart).
+        self.inner.locks.clear_all();
     }
 
     /// Reset to empty: forget active transactions (releasing their locks),
@@ -663,18 +674,24 @@ impl Database {
     /// — snapshots stay monotonic so concurrent handles can't see time go
     /// backwards. Intended for test/bench harnesses that reuse a database.
     pub fn reset(&self) {
-        let ids = self.quiesce_and_forget(|guards| {
+        let _ = self.quiesce_and_forget(|guards| {
             for (_, shard) in guards.iter_mut() {
                 shard.rows.clear();
                 shard.log.clear();
                 shard.appends_since_prune = 0;
             }
         });
-        for id in ids {
-            self.inner.locks.release_all(id);
-        }
+        // Restart semantics, consistent across components: the whole lock
+        // table (engine locks, gap locks, advisory sessions, wait queues)
+        // is volatile server memory and is dropped wholesale — not just the
+        // locks of the transactions the drain happened to find.
+        self.inner.locks.clear_all();
         for table in self.inner.catalog.read().list.iter() {
             table.clear_index();
+        }
+        // A reset database has no history for recovery to replay.
+        if let Some(wal) = &self.inner.wal {
+            wal.clear();
         }
     }
 
@@ -728,6 +745,42 @@ impl Database {
             .config
             .latency
             .charge(&*self.inner.config.clock, Cost::SqlRoundTrip);
+    }
+
+    /// The write-ahead log, when the configuration asked for one
+    /// ([`DbConfig::with_wal`](crate::engine::DbConfig::with_wal)).
+    pub fn wal(&self) -> Option<&Wal> {
+        self.inner.wal.as_ref()
+    }
+
+    /// Install one recovered row version (boot-time WAL replay). Bypasses
+    /// the statement path entirely — no yield points, no latency charges,
+    /// no observers — and keeps the table indexes (including the
+    /// auto-increment cursor, via `apply_index`'s `note_id`) in step with
+    /// the restored chains.
+    pub(crate) fn install_recovered(
+        &self,
+        table: &Table,
+        id: i64,
+        commit_ts: CommitTs,
+        row: Option<Row>,
+    ) {
+        let mut shard = self.inner.shards[shard_of(table.id, id)].lock();
+        let chain = shard.rows.entry((table.id, id)).or_default();
+        let old = chain.latest();
+        table.apply_index(id, old, row.as_ref());
+        chain.push(RowVersion {
+            commit_ts,
+            data: row,
+        });
+    }
+
+    /// Advance the timestamp counters to cover a recovered commit, so
+    /// post-recovery commits draw fresh timestamps and new snapshots see
+    /// every recovered version.
+    pub(crate) fn note_recovered_ts(&self, ts: CommitTs) {
+        self.inner.next_commit_ts.fetch_max(ts, Ordering::Relaxed);
+        self.inner.applied_ts.fetch_max(ts, Ordering::SeqCst);
     }
 
     /// Charge the durable-commit flush (only when configured durable).

@@ -129,6 +129,10 @@ pub struct DbConfig {
     pub lock_wait_timeout: Duration,
     /// Optional statement observer (access-trace monitoring).
     pub observer: Option<Arc<dyn StatementObserver>>,
+    /// Write-ahead log sync policy; `None` disables the WAL entirely
+    /// (commits still charge a flush when `durable`, but nothing is
+    /// logged and crash recovery has nothing to replay).
+    pub wal: Option<crate::wal::WalSyncPolicy>,
 }
 
 impl DbConfig {
@@ -141,6 +145,7 @@ impl DbConfig {
             durable: false,
             lock_wait_timeout: Duration::from_secs(10),
             observer: None,
+            wal: None,
         }
     }
 
@@ -153,6 +158,7 @@ impl DbConfig {
             durable: true,
             lock_wait_timeout: Duration::from_secs(10),
             observer: None,
+            wal: None,
         }
     }
 
@@ -165,6 +171,21 @@ impl DbConfig {
     /// Attach a statement observer.
     pub fn with_observer(mut self, observer: Arc<dyn StatementObserver>) -> Self {
         self.observer = Some(observer);
+        self
+    }
+
+    /// Enable the write-ahead log with a commit-time fsync (every commit is
+    /// durable the moment its ack is sent).
+    pub fn with_wal(mut self) -> Self {
+        self.wal = Some(crate::wal::WalSyncPolicy::OnCommit);
+        self
+    }
+
+    /// Enable the write-ahead log under a group-commit policy: records are
+    /// buffered and fsynced when `every` elapses on the configured clock,
+    /// opening an acked-but-undurable window between syncs.
+    pub fn with_wal_interval(mut self, every: Duration) -> Self {
+        self.wal = Some(crate::wal::WalSyncPolicy::Interval(every));
         self
     }
 }

@@ -129,6 +129,13 @@ pub enum DbError {
         /// The transaction whose outcome is unknown.
         txn: TxnId,
     },
+    /// Boot-time WAL replay hit a write against a table the restarted
+    /// process never re-created — a harness/schema mismatch, not a torn
+    /// tail; recovery refuses to silently drop the write.
+    RecoveryFailed {
+        /// The table the log named.
+        table: String,
+    },
 }
 
 impl DbError {
@@ -193,6 +200,9 @@ impl fmt::Display for DbError {
                     f,
                     "connection lost during commit of txn {txn}; outcome unknown"
                 )
+            }
+            DbError::RecoveryFailed { table } => {
+                write!(f, "recovery: log references unknown table {table:?}")
             }
         }
     }

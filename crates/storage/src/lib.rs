@@ -64,21 +64,25 @@ pub mod error;
 pub mod fasthash;
 pub mod lock;
 pub mod predicate;
+pub mod recovery;
 pub mod schema;
 pub mod shard;
 pub mod table;
 pub mod txn;
 pub mod value;
+pub mod wal;
 
 pub use db::Database;
 pub use engine::{AccessEvent, DbConfig, EngineProfile, IsolationLevel, StatementObserver};
 pub use error::DbError;
 pub use lock::LockMode;
 pub use predicate::Predicate;
+pub use recovery::{recover, restart_from, RecoveryReport};
 pub use schema::{Column, ColumnType, Row, Schema};
 pub use shard::{shard_of, Footprint, ShardSet, SHARD_COUNT};
 pub use txn::Transaction;
 pub use value::Value;
+pub use wal::{Wal, WalImage, WalRecord, WalStats, WalSyncPolicy, WalTail, WalWrite};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, DbError>;

@@ -446,6 +446,24 @@ impl LockManager {
         }
     }
 
+    /// Drop the *entire* lock table: every holder, every gap lock, every
+    /// wait edge — restart semantics. Engine locks and session advisory
+    /// locks live in server memory only, so a server restart
+    /// ([`Database::reset`](crate::Database::reset)) forgets all of them,
+    /// including locks held by sessions the restart did not drain (the
+    /// pre-PR-5 behaviour left those dangling). Parked waiters are woken
+    /// and re-acquire against the empty table.
+    pub fn clear_all(&self) {
+        let mut inner = self.inner.lock();
+        inner.locks.clear();
+        inner.held.clear();
+        inner.gaps.clear();
+        inner.gap_counts.clear();
+        inner.waits_for.clear();
+        drop(inner);
+        self.cv.notify_all();
+    }
+
     /// Mode currently held by `txn` on a record, if any (test helper).
     pub fn held_record_mode(&self, txn: TxnId, table: usize, row: i64) -> Option<LockMode> {
         let inner = self.inner.lock();

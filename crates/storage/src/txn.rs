@@ -21,11 +21,31 @@ use crate::schema::{row_from_pairs, Row};
 use crate::shard::{shard_of, Footprint, ShardSet};
 use crate::table::{CommitTs, RowVersion, Table};
 use crate::value::Value;
+use crate::wal::{WalRecord, WalWrite};
 use crate::Result;
 use parking_lot::MutexGuard;
 use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+
+/// How this commit's write-ahead record reaches (or fails to reach) the
+/// durable medium — the fault-injected shapes of the fsync boundary. Only
+/// meaningful when the database has a WAL configured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WalOutcome {
+    /// Normal commit: append, then sync per the configured policy.
+    Policy,
+    /// [`FaultKind::CrashAfterDurable`](adhoc_sim::FaultKind): the record
+    /// is unconditionally fsynced (the commit *is* durable) before the
+    /// acknowledgement is lost.
+    Forced,
+    /// [`FaultKind::CrashBeforeDurable`](adhoc_sim::FaultKind): the record
+    /// reaches the page cache only; the fsync never happens.
+    NoSync,
+    /// [`FaultKind::TornWrite`](adhoc_sim::FaultKind): the crash lands
+    /// mid-flush, leaving a partial frame on the durable medium.
+    Torn,
+}
 
 /// One buffered write: `row = None` is a deletion.
 #[derive(Debug, Clone)]
@@ -846,26 +866,44 @@ impl Transaction {
             // acknowledgement is lost: same client-visible error, opposite
             // server-side truth — the §3.4.2 ambiguity.
             Some(adhoc_sim::FaultKind::CrashAfterDurable) => {
-                let result = self.try_commit();
-                match result {
-                    Ok(()) => {
-                        self.finish(true);
-                        return Err(DbError::ConnectionLost { txn: self.id });
-                    }
-                    Err(e) => {
-                        self.finish(false);
-                        return Err(e);
-                    }
-                }
+                return self.crash_commit(WalOutcome::Forced);
+            }
+            // The process dies after the record enters the page cache but
+            // before the fsync: the in-memory commit happened, the durable
+            // record did not — recovery rolls the transaction back.
+            Some(adhoc_sim::FaultKind::CrashBeforeDurable) => {
+                return self.crash_commit(WalOutcome::NoSync);
+            }
+            // The process dies mid-flush: a torn (partial) frame reaches
+            // the durable medium for recovery to detect and truncate.
+            Some(adhoc_sim::FaultKind::TornWrite) => {
+                return self.crash_commit(WalOutcome::Torn);
             }
             _ => {}
         }
-        let result = self.try_commit();
+        let result = self.try_commit(WalOutcome::Policy);
         match &result {
             Ok(()) => self.finish(true),
             Err(_) => self.finish(false),
         }
         result
+    }
+
+    /// The shared shape of every commit-adjacent crash fault: the commit
+    /// applies server-side (its WAL record meeting the fate `outcome`
+    /// describes), the process dies, and the client sees a dropped
+    /// connection instead of an acknowledgement.
+    fn crash_commit(&mut self, outcome: WalOutcome) -> Result<()> {
+        match self.try_commit(outcome) {
+            Ok(()) => {
+                self.finish(true);
+                Err(DbError::ConnectionLost { txn: self.id })
+            }
+            Err(e) => {
+                self.finish(false);
+                Err(e)
+            }
+        }
     }
 
     /// Certify a PostgreSQL-like Serializable transaction against the
@@ -911,7 +949,7 @@ impl Transaction {
     /// The sharded commit protocol: lock the footprint's shards ascending,
     /// validate, install, release, then retire the commit timestamp into
     /// the snapshot watermark.
-    fn try_commit(&mut self) -> Result<()> {
+    fn try_commit(&mut self, wal_outcome: WalOutcome) -> Result<()> {
         let pg_ser = self.profile() == EngineProfile::PostgresLike
             && self.iso == IsolationLevel::Serializable;
         let writes: ShardSet = self
@@ -987,6 +1025,12 @@ impl Transaction {
             Vec::new()
         };
         let mut keys = Vec::new();
+        let wal = self.db.wal();
+        let mut wal_writes = if wal.is_some() {
+            Vec::with_capacity(self.pending.len())
+        } else {
+            Vec::new()
+        };
         // Commits overwhelmingly touch one table; cache the last resolved
         // handle instead of building a map.
         let mut last_table: Option<Arc<Table>> = None;
@@ -1040,6 +1084,13 @@ impl Transaction {
             if log_enabled {
                 rows.push((p.table, p.id));
             }
+            if wal.is_some() {
+                wal_writes.push(WalWrite {
+                    table: t.schema.table.clone(),
+                    id: p.id,
+                    row: p.row.as_ref().map(|r| r.values.clone()),
+                });
+            }
             // An in-place update that moves no indexed key (the common
             // case) leaves pk membership and every index entry untouched —
             // skip the table's index lock entirely.
@@ -1061,6 +1112,29 @@ impl Transaction {
                 writes,
                 &mut guards,
             );
+        }
+        // Append the write-ahead record while the shard guards are still
+        // held: writers of a row serialize on its shard mutex, so each
+        // row's log order matches its version-chain order exactly.
+        if let Some(wal) = wal {
+            let record = WalRecord {
+                commit_ts,
+                writes: wal_writes,
+            };
+            match wal_outcome {
+                WalOutcome::Policy => {
+                    wal.append(&record);
+                }
+                WalOutcome::Forced => {
+                    wal.append_no_sync(&record);
+                    wal.sync();
+                }
+                WalOutcome::NoSync => wal.append_no_sync(&record),
+                WalOutcome::Torn => {
+                    wal.append_no_sync(&record);
+                    wal.sync_torn();
+                }
+            }
         }
         drop(guards);
         // Make the commit visible to snapshots (in timestamp order) before

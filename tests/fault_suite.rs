@@ -17,7 +17,7 @@ use adhoc_transactions::kv::{Client, Store};
 use adhoc_transactions::sim::{
     FaultKind, FaultPlan, FaultRecord, FaultRule, LatencyModel, VirtualClock,
 };
-use adhoc_transactions::storage::{Database, EngineProfile};
+use adhoc_transactions::storage::{restart_from, Database, DbConfig, EngineProfile};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -418,6 +418,85 @@ fn acquire_config_rejects_unacquirable_polling() {
         AcquireConfig::new(Duration::ZERO, Duration::ZERO),
         Err(LockError::InvalidConfig { .. })
     ));
+}
+
+// ---------------------------------------------------------------------------
+// Crash faults × retry policy × recovery replay: the ambiguous commit must
+// not double-apply, before *or after* the WAL is replayed into a fresh
+// engine.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ambiguous_commit_retry_stays_single_after_recovery_replay() {
+    let db = Database::new(DbConfig::in_memory(EngineProfile::PostgresLike).with_wal());
+    let orm = spree::setup(&db).unwrap();
+    let app = spree::Spree::new(orm, Arc::new(MemLock::new()), Mode::DatabaseTxn);
+    let plan = FaultPlan::new_disabled(
+        SEED,
+        vec![FaultRule::at_ops(FaultKind::CrashAfterDurable, &[0])],
+    );
+    db.inject_faults(plan.clone());
+    app.seed_order(1).unwrap();
+    plan.enable();
+
+    // The payment commits durably (the WAL record is force-synced) but the
+    // acknowledgement is lost.
+    assert!(app.add_payment(1).is_err());
+    plan.disable();
+
+    // Retry policy, step 1: the application's check-then-act retry re-reads
+    // and sees the durable payment — a safe no-op, not a duplicate.
+    assert!(!app.add_payment(1).unwrap());
+    assert!(app.one_payment_per_order(1).unwrap());
+
+    // Step 2: the process then dies for real. A fresh engine replays the
+    // WAL; the ambiguous commit must come back exactly once.
+    let reborn = Database::new(DbConfig::in_memory(EngineProfile::PostgresLike).with_wal());
+    let orm2 = spree::setup(&reborn).unwrap();
+    let app2 = spree::Spree::new(orm2, Arc::new(MemLock::new()), Mode::DatabaseTxn);
+    restart_from(&db, &reborn).unwrap();
+    assert_eq!(app2.recover_on_boot().fixed, 0, "nothing stuck to repair");
+
+    let schema = reborn.schema("payments").unwrap();
+    let payments: Vec<_> = reborn
+        .dump_table("payments")
+        .unwrap()
+        .into_iter()
+        .filter(|(_, row)| row.get_int(&schema, "order_id").ok() == Some(1))
+        .collect();
+    assert_eq!(payments.len(), 1, "replay must not duplicate the commit");
+
+    // Step 3: retrying against the recovered engine is still a no-op.
+    assert!(!app2.add_payment(1).unwrap());
+    assert!(app2.one_payment_per_order(1).unwrap());
+}
+
+#[test]
+fn aof_store_restart_preserves_leases_unlike_volatile() {
+    let clock = Arc::new(VirtualClock::new());
+    let plan = FaultPlan::new_disabled(
+        SEED,
+        vec![FaultRule::at_ops(FaultKind::StoreRestart, &[0]).max_fires(1)],
+    );
+    let client =
+        Client::new(Store::with_aof(), clock, LatencyModel::zero()).with_faults(plan.clone());
+    let fast = AcquireConfig::new(Duration::from_micros(200), Duration::from_millis(20)).unwrap();
+    let leased = KvSetNxLock::new(client.clone())
+        .with_ttl(Duration::from_secs(60))
+        .with_config(fast);
+
+    let lease_guard = leased.lock("lease:1").unwrap();
+    plan.enable();
+    // The restart replays the append-only file with recorded timestamps:
+    // the lease and its absolute deadline both survive.
+    let _ = client.get("probe");
+    assert!(
+        lease_guard.is_valid(),
+        "an AOF-backed lease must survive the restart"
+    );
+    // Mutual exclusion held: a second acquire still fails.
+    assert!(leased.lock("lease:1").is_err());
+    lease_guard.unlock().unwrap();
 }
 
 #[test]

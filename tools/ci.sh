@@ -22,12 +22,27 @@ cargo test -q
 echo "==> explorer smoke gate (fixed seed, bounded budget, <60s)"
 timeout 60 cargo test -q --release --test schedule_explorer --test schedule_corpus
 
-# Tiny-duty-cycle scaling-bench smoke: proves the sweep runs end to end
-# and emits well-formed BENCH_fig2.json/BENCH_fig3.json. Numbers from the
-# smoke windows are noise — the committed artifacts come from
-# ./tools/bench.sh with full windows.
+# Crash-recovery smoke gate: bounded oracle sweep over two apps (one that
+# needs boot-fsck repair, one clean by single-txn discipline) — every
+# commit-adjacent crash point under all four crash kinds, restart, WAL
+# replay, invariants. Deterministic; any point replays in isolation via
+# CRASH_ORACLE=app/kind/k.
+echo "==> crash-recovery smoke gate (2-app bounded sweep, <120s)"
+timeout 120 cargo test -q --release --test crash_recovery_oracle -- \
+  spree_crash_sweep_surfaces_and_repairs_stuck_payments \
+  scm_crash_sweep_conserves_money
+
+# WAL-format fuzz smoke: encode/decode round-trip plus truncation- and
+# corruption-yields-a-prefix properties (tools/../crates/storage/tests).
+echo "==> WAL format fuzz smoke (<60s)"
+timeout 60 cargo test -q --release -p adhoc-storage --test wal_properties
+
+# Tiny-duty-cycle scaling-bench smoke: proves the sweeps run end to end
+# and emit well-formed BENCH_fig2.json/BENCH_fig3.json/BENCH_wal.json.
+# Numbers from the smoke windows are noise — the committed artifacts come
+# from ./tools/bench.sh with full windows.
 echo "==> bench smoke (BENCH_SCALE=smoke)"
 BENCH_SCALE=smoke ./tools/bench.sh target/bench-smoke >/dev/null
-python3 -c "import json; json.load(open('target/bench-smoke/BENCH_fig2.json')); json.load(open('target/bench-smoke/BENCH_fig3.json'))"
+python3 -c "import json; [json.load(open(f'target/bench-smoke/BENCH_{n}.json')) for n in ('fig2', 'fig3', 'wal')]"
 
 echo "==> CI green"
