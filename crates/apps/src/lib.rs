@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod broadleaf;
 pub mod discourse;
 pub mod jumpserver;

@@ -9,14 +9,16 @@
 //! With no arguments, prints everything (`all`).
 //!
 //! `bench-json` runs the engine-scaling sweeps and writes machine-readable
-//! `BENCH_fig2.json` (storage commit scaling) and `BENCH_fig3.json` (KV
-//! command scaling) into `outdir` (default `.`). Set `BENCH_SCALE=smoke`
+//! `BENCH_fig2.json` (storage commit scaling), `BENCH_fig3.json` (KV
+//! command scaling), `BENCH_wal.json` (WAL overhead), and
+//! `BENCH_resilience.json` (metastability ablation) into `outdir`
+//! (default `.`). Set `BENCH_SCALE=smoke`
 //! for a tiny CI duty cycle. If `tools/baselines/fig2_pre_shard.json` /
 //! `fig3_pre_shard.json` exist relative to the current directory, they are
 //! embedded under `"baseline"` so one file records before/after.
 
 use adhoc_apps::Mode;
-use adhoc_bench::{fig2, fig3, fig4, isolation_ablation, scaling, ttl_ablation};
+use adhoc_bench::{fig2, fig3, fig4, isolation_ablation, resilience, scaling, ttl_ablation};
 use adhoc_sim::stats::{fmt_duration, geometric_mean};
 use adhoc_sim::LatencyModel;
 use adhoc_study::report;
@@ -167,24 +169,53 @@ fn run_isolation_ablation() {
     println!();
 }
 
+fn run_resilience_ablation() {
+    println!("Ablation: metastability under a 30-tick partition storm.");
+    println!("  Goodput per tick by phase; 'full' must return to baseline,");
+    println!("  'naive' stays pinned by its own backlog on a healthy backend.");
+    println!(
+        "  {:<14} {:>9} {:>7} {:>9} {:>6} {:>10} {:>8} {:>7}",
+        "configuration", "baseline", "storm", "recovery", "tail", "end_queue", "wasted", "opened"
+    );
+    for r in resilience::resilience_sweep() {
+        println!(
+            "  {:<14} {:>9.2} {:>7.2} {:>9.2} {:>6.2} {:>10} {:>8} {:>7}",
+            r.config,
+            r.baseline,
+            r.storm,
+            r.recovery,
+            r.tail,
+            r.end_queue,
+            r.wasted,
+            r.times_opened
+        );
+    }
+    println!();
+}
+
 fn run_bench_json(outdir: &str) {
     let baseline2 = std::fs::read_to_string("tools/baselines/fig2_pre_shard.json").ok();
     let baseline3 = std::fs::read_to_string("tools/baselines/fig3_pre_shard.json").ok();
     let (fig2_json, fig3_json) = scaling::bench_json(baseline2.as_deref(), baseline3.as_deref());
     std::fs::create_dir_all(outdir).expect("create outdir");
     let wal_json = scaling::wal_bench_json();
+    let resilience_json = resilience::resilience_bench_json();
     let fig2_path = format!("{outdir}/BENCH_fig2.json");
     let fig3_path = format!("{outdir}/BENCH_fig3.json");
     let wal_path = format!("{outdir}/BENCH_wal.json");
+    let resilience_path = format!("{outdir}/BENCH_resilience.json");
     std::fs::write(&fig2_path, &fig2_json).expect("write BENCH_fig2.json");
     std::fs::write(&fig3_path, &fig3_json).expect("write BENCH_fig3.json");
     std::fs::write(&wal_path, &wal_json).expect("write BENCH_wal.json");
+    std::fs::write(&resilience_path, &resilience_json).expect("write BENCH_resilience.json");
     println!("wrote {fig2_path}");
     print!("{fig2_json}");
     println!("wrote {fig3_path}");
     print!("{fig3_json}");
     println!("wrote {wal_path}");
     print!("{wal_json}");
+    println!("wrote {resilience_path}");
+    print!("{resilience_json}");
 }
 
 fn main() {
@@ -206,6 +237,7 @@ fn main() {
         "fig4" => run_fig4(),
         "ablation-ttl" => run_ttl_ablation(),
         "ablation-isolation" => run_isolation_ablation(),
+        "ablation-resilience" => run_resilience_ablation(),
         "bench-json" => {
             let outdir = std::env::args().nth(2).unwrap_or_else(|| ".".to_string());
             run_bench_json(&outdir);
@@ -220,11 +252,12 @@ fn main() {
             run_fig4();
             run_ttl_ablation();
             run_isolation_ablation();
+            run_resilience_ablation();
         }
         other => {
             eprintln!("unknown target {other:?}");
             eprintln!(
-                "usage: paper-eval [table1|table2|table3|table4|table5a|table5b|table6|table7a|table7b|findings|playbook|fig2|fig3|fig4|ablation-ttl|ablation-isolation|bench-json|tables|all]"
+                "usage: paper-eval [table1|table2|table3|table4|table5a|table5b|table6|table7a|table7b|findings|playbook|fig2|fig3|fig4|ablation-ttl|ablation-isolation|ablation-resilience|bench-json|tables|all]"
             );
             std::process::exit(2);
         }

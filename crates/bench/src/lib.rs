@@ -7,6 +7,8 @@
 //! * [`fig4`] — shrink-image API latency for the four rollback strategies,
 //!   with and without conflicting edit-post load.
 //! * [`ttl_ablation`] — the lease-TTL safety cliff behind the Mastodon bug.
+//! * [`resilience`] — the metastability ablation: which resilience
+//!   mechanisms let goodput recover after a partition storm.
 //!
 //! Absolute numbers depend on the simulated latency model and the host;
 //! the *shapes* (orderings and ratios) are the reproduction targets — see
@@ -18,12 +20,14 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod isolation_ablation;
+pub mod resilience;
 pub mod scaling;
 pub mod ttl_ablation;
 
 pub use fig2::{lock_latencies, Fig2Row};
 pub use fig3::{run_granularity, Fig3Config, Fig3Row, GranularitySetup, SETUPS};
 pub use fig4::{run_rollback, Fig4Config, Fig4Row};
+pub use resilience::{resilience_sweep, Resilience, ResilienceRow};
 pub use scaling::{commit_scaling, kv_scaling, KeyPattern, ScalingCell};
 pub use ttl_ablation::{run_ttl_ablation, TtlAblationRow};
 

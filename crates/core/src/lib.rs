@@ -44,6 +44,7 @@ pub mod hints;
 pub mod locks;
 pub mod monitor;
 pub mod optimistic;
+pub mod resilience;
 pub mod retry;
 pub mod saga;
 pub mod taxonomy;
@@ -51,6 +52,7 @@ pub mod validation;
 
 pub use error::ToolkitError;
 pub use locks::{AdHocLock, Guard, LockError};
+pub use resilience::{FrontDoor, Rejected, Workload};
 pub use retry::{BackoffPolicy, RetryObserver, RetryPolicy, Retryable};
 
 /// Result alias for toolkit operations.

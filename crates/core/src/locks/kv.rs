@@ -14,6 +14,7 @@
 
 use super::{AcquireConfig, AdHocLock, Guard, LockError, LockGuard};
 use adhoc_kv::{Client, KvError};
+use adhoc_sim::{Deadline, RetryBudget};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -42,6 +43,9 @@ pub struct KvSetNxLock {
     check_owner_on_unlock: bool,
     reentrant: bool,
     recover_ambiguous: bool,
+    fenced: bool,
+    deadline: Option<Deadline>,
+    budget: Option<Arc<RetryBudget>>,
     /// Per-instance re-entrancy table (see [`ReentrantTable`]).
     reentrancy: Arc<ReentrantTable>,
 }
@@ -56,6 +60,9 @@ impl KvSetNxLock {
             check_owner_on_unlock: true,
             reentrant: false,
             recover_ambiguous: false,
+            fenced: false,
+            deadline: None,
+            budget: None,
             reentrancy: Arc::new(Mutex::new(HashMap::new())),
         }
     }
@@ -108,6 +115,53 @@ impl KvSetNxLock {
         self.recover_ambiguous = true;
         self
     }
+
+    /// The robust TTL-steal fix: leased acquisitions go through the
+    /// store's fenced lease grant, and the guard exposes a monotonic
+    /// [fencing token](super::Guard::fencing_token) for the critical
+    /// section to attach to its writes (via
+    /// [`Client::fenced_set`](adhoc_kv::Client::fenced_set)). A holder
+    /// whose lease expired and was re-granted carries a stale token and
+    /// its late writes bounce off the store's fence floor — correctness no
+    /// longer hinges on the holder remembering to check
+    /// [`Guard::is_valid`](super::Guard::is_valid). Only meaningful
+    /// together with [`with_ttl`](Self::with_ttl); without a TTL the
+    /// entry cannot be stolen and plain `SETNX` is used. The default
+    /// (unfenced) behaviour is unchanged so the §4.1.1 bug still
+    /// reproduces.
+    pub fn with_fencing(mut self) -> Self {
+        self.fenced = true;
+        self
+    }
+
+    /// Bound the whole acquisition loop by an absolute [`Deadline`] on
+    /// the client's clock, layered under the retry policy's own limits:
+    /// whichever gives up first wins.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Draw every acquisition retry from a shared [`RetryBudget`], so a
+    /// fleet of contending lockers cannot amplify an outage with
+    /// unbounded polling.
+    pub fn with_retry_budget(mut self, budget: Arc<RetryBudget>) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The acquisition timer, with this lock's deadline and retry budget
+    /// attached.
+    fn timer(&self, label: &'static str) -> adhoc_sim::RetryTimer {
+        let mut timer = self.config.policy().timer(label);
+        if let Some(budget) = &self.budget {
+            timer = timer.with_budget(Arc::clone(budget));
+        }
+        if let Some(deadline) = self.deadline {
+            timer = timer.until(self.client.clock(), deadline);
+        }
+        timer
+    }
 }
 
 struct KvGuard {
@@ -120,6 +174,9 @@ struct KvGuard {
     /// round trip; with a lease the unlock must be atomic (see `unlock`).
     leased: bool,
     released: bool,
+    /// Monotonic fencing token, present when the lock was acquired via
+    /// the fenced lease grant ([`KvSetNxLock::with_fencing`]).
+    token: Option<u64>,
     /// Re-entrancy table this guard participates in, when any.
     reentrancy: Option<Arc<ReentrantTable>>,
 }
@@ -186,8 +243,11 @@ impl LockGuard for KvGuard {
         }
         // No lease: only this guard can remove the entry, so an
         // unconditional single-round-trip DEL is safe (and is what the
-        // studied applications issue).
-        self.client.del(&self.key);
+        // studied applications issue). A lost reply still must NOT be
+        // treated as a confirmed release (§3.4.1): surface it.
+        self.client
+            .del(&self.key)
+            .map_err(|e| LockError::Backend(e.to_string()))?;
         Ok(())
     }
 
@@ -201,6 +261,10 @@ impl LockGuard for KvGuard {
         if let Some(table) = &self.reentrancy {
             table.lock().remove(&self.key);
         }
+    }
+
+    fn fencing_token(&self) -> Option<u64> {
+        self.token
     }
 }
 
@@ -226,15 +290,23 @@ impl AdHocLock for KvSetNxLock {
                     check_owner: self.check_owner_on_unlock,
                     leased: self.ttl.is_some(),
                     released: false,
+                    token: None,
                     reentrancy: Some(Arc::clone(&self.reentrancy)),
                 })));
             }
         }
 
         let owner = fresh_owner();
-        let mut timer = self.config.policy().timer("KV-SETNX");
+        let mut timer = self.timer("KV-SETNX");
         loop {
+            let mut token = None;
             let attempt = match self.ttl {
+                Some(ttl) if self.fenced => {
+                    self.client.acquire_lease(key, &owner, ttl).map(|grant| {
+                        token = grant;
+                        grant.is_some()
+                    })
+                }
                 Some(ttl) => self.client.set_nx_px(key, &owner, ttl),
                 None => self.client.set_nx(key, &owner),
             };
@@ -242,10 +314,21 @@ impl AdHocLock for KvSetNxLock {
                 Ok(acquired) => acquired,
                 Err(KvError::ConnectionLost) if self.recover_ambiguous => {
                     // The reply was lost; read the key back to learn
-                    // whether our SETNX landed.
-                    match self.client.get(key) {
-                        Ok(current) => current.as_deref() == Some(owner.as_str()),
-                        Err(e) => return Err(LockError::Backend(e.to_string())),
+                    // whether our SETNX landed. On the fenced path the
+                    // readback also recovers the granted token.
+                    if self.fenced && self.ttl.is_some() {
+                        match self.client.lease_token(key, &owner) {
+                            Ok(grant) => {
+                                token = grant;
+                                grant.is_some()
+                            }
+                            Err(e) => return Err(LockError::Backend(e.to_string())),
+                        }
+                    } else {
+                        match self.client.get(key) {
+                            Ok(current) => current.as_deref() == Some(owner.as_str()),
+                            Err(e) => return Err(LockError::Backend(e.to_string())),
+                        }
                     }
                 }
                 Err(e) => return Err(LockError::Backend(e.to_string())),
@@ -267,6 +350,7 @@ impl AdHocLock for KvSetNxLock {
                     check_owner: self.check_owner_on_unlock,
                     leased: self.ttl.is_some(),
                     released: false,
+                    token,
                     reentrancy,
                 })));
             }
@@ -289,6 +373,8 @@ pub struct KvMultiLock {
     client: Client,
     config: AcquireConfig,
     ttl: Option<Duration>,
+    deadline: Option<Deadline>,
+    budget: Option<Arc<RetryBudget>>,
 }
 
 impl KvMultiLock {
@@ -298,6 +384,8 @@ impl KvMultiLock {
             client,
             config: AcquireConfig::default(),
             ttl: None,
+            deadline: None,
+            budget: None,
         }
     }
 
@@ -312,12 +400,31 @@ impl KvMultiLock {
         self.ttl = Some(ttl);
         self
     }
+
+    /// Bound the acquisition loop by an absolute [`Deadline`] on the
+    /// client's clock.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Draw acquisition retries from a shared [`RetryBudget`].
+    pub fn with_retry_budget(mut self, budget: Arc<RetryBudget>) -> Self {
+        self.budget = Some(budget);
+        self
+    }
 }
 
 impl AdHocLock for KvMultiLock {
     fn lock(&self, key: &str) -> Result<Guard, LockError> {
         let owner = fresh_owner();
         let mut timer = self.config.policy().timer("KV-MULTI");
+        if let Some(budget) = &self.budget {
+            timer = timer.with_budget(Arc::clone(budget));
+        }
+        if let Some(deadline) = self.deadline {
+            timer = timer.until(self.client.clock(), deadline);
+        }
         loop {
             // WATCH key; GET key; if free: MULTI; SET; EXEC.
             let mut session = self.client.session();
@@ -342,6 +449,7 @@ impl AdHocLock for KvMultiLock {
                         check_owner: true,
                         leased: self.ttl.is_some(),
                         released: false,
+                        token: None,
                         reentrancy: None,
                     })));
                 }
@@ -368,6 +476,38 @@ mod tests {
 
     fn client() -> Client {
         Client::new(Store::new(), VirtualClock::shared(), LatencyModel::zero())
+    }
+
+    #[test]
+    fn acquire_deadline_bounds_the_setnx_polling_loop() {
+        let c = client();
+        let lock = KvSetNxLock::new(c.clone())
+            .with_config(fast_config())
+            .with_deadline(Deadline::at(Duration::ZERO));
+        let holder = KvSetNxLock::new(c).with_config(fast_config());
+        let _g = holder.lock("mutex").unwrap();
+        // The virtual clock sits at the (already-expired) deadline, so the
+        // loop gives up after its very first contended attempt instead of
+        // polling out the 10 s policy timeout.
+        let err = lock.lock("mutex").unwrap_err();
+        assert!(matches!(err, LockError::Timeout { .. }));
+    }
+
+    #[test]
+    fn shared_retry_budget_caps_contended_polling() {
+        let c = client();
+        let budget = Arc::new(RetryBudget::new(2));
+        let lock = KvSetNxLock::new(c.clone())
+            .with_config(fast_config())
+            .with_retry_budget(Arc::clone(&budget));
+        let holder = KvSetNxLock::new(c).with_config(fast_config());
+        let _g = holder.lock("mutex").unwrap();
+        let err = lock.lock("mutex").unwrap_err();
+        assert!(matches!(err, LockError::Timeout { .. }));
+        // Two retries were granted by the bucket; the third was denied and
+        // became the give-up — far short of the policy's own 10 s budget.
+        assert_eq!(budget.granted(), 2);
+        assert!(budget.denied() >= 1);
     }
 
     fn fast_config() -> AcquireConfig {
@@ -490,6 +630,62 @@ mod tests {
         assert!(g2.is_valid());
         g.unlock().unwrap(); // bare DEL
         assert!(!g2.is_valid(), "the second holder's lock was deleted");
+    }
+
+    #[test]
+    fn fenced_lock_rejects_the_zombie_holders_write() {
+        // The §4.1.1 scenario with the robust fix: holder A's lease
+        // expires mid-critical-section and B takes over, but A's late
+        // write now carries a stale fencing token and the store refuses
+        // it — no is_valid() discipline required.
+        let clock = Arc::new(VirtualClock::new());
+        let c = Client::new(Store::new(), clock.clone(), LatencyModel::zero());
+        let lock = KvSetNxLock::new(c.clone())
+            .with_ttl(Duration::from_millis(100))
+            .with_fencing();
+        let a = lock.lock("status-1").unwrap();
+        let a_token = a.fencing_token().expect("fenced acquire grants a token");
+        clock.advance(Duration::from_millis(200));
+        let b = lock.lock("status-1").unwrap();
+        let b_token = b.fencing_token().unwrap();
+        assert!(b_token > a_token, "tokens are monotonic across re-grants");
+        // B writes first; A wakes up from its pause and tries to write.
+        assert!(c.fenced_set("guarded", "b-wrote", b_token).unwrap());
+        assert!(!c.fenced_set("guarded", "a-wrote", a_token).unwrap());
+        assert_eq!(c.get("guarded").unwrap(), Some("b-wrote".into()));
+        // A's owner-checked unlock also reports the loss.
+        assert!(matches!(a.unlock(), Err(LockError::NotHeld { .. })));
+        b.unlock().unwrap();
+    }
+
+    #[test]
+    fn fenced_mutual_exclusion_and_unfenced_guards_have_no_token() {
+        let lock = KvSetNxLock::new(client())
+            .with_ttl(Duration::from_secs(60))
+            .with_fencing()
+            .with_config(fast_config());
+        assert_eq!(mutual_exclusion_trial(&lock, "invite-1", 4, 40), 4 * 40);
+        let unfenced = KvSetNxLock::new(client()).with_ttl(Duration::from_secs(60));
+        let g = unfenced.lock("k").unwrap();
+        assert_eq!(g.fencing_token(), None);
+        g.unlock().unwrap();
+    }
+
+    #[test]
+    fn fenced_acquire_recovers_token_from_ambiguous_reply() {
+        use adhoc_sim::{FaultKind, FaultPlan, FaultRule};
+        // The lease grant's reply is lost; the recovery readback learns
+        // both that our grant landed *and* which token it carried.
+        let plan = FaultPlan::new(1, vec![FaultRule::at_ops(FaultKind::ReplyLost, &[0])]);
+        let c = Client::new(Store::new(), VirtualClock::shared(), LatencyModel::zero())
+            .with_faults(plan);
+        let lock = KvSetNxLock::new(c)
+            .with_ttl(Duration::from_secs(60))
+            .with_fencing()
+            .recover_ambiguous_replies();
+        let g = lock.lock("k").unwrap();
+        assert_eq!(g.fencing_token(), Some(1));
+        g.unlock().unwrap();
     }
 
     #[test]

@@ -9,9 +9,16 @@
 //! \[66\] — users "not paying for concurrently added items").
 
 use super::{AdHocLock, Guard, LockError, LockGuard};
+use adhoc_sim::{Deadline, SharedClock};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// An acquisition deadline on a shared clock: checked on every wakeup of
+/// the table's condvar wait (and on every cooperative yield under the
+/// deterministic scheduler).
+type WaitBound = (SharedClock, Deadline);
 
 /// State of one lock table entry.
 #[derive(Debug, Clone)]
@@ -39,9 +46,16 @@ struct LockTable {
 }
 
 impl LockTable {
-    fn acquire(&self, key: &str) -> u64 {
+    fn acquire(&self, key: &str, bound: Option<&WaitBound>) -> Result<u64, LockError> {
         let mut inner = self.inner.lock();
         while inner.entries.contains_key(key) {
+            if let Some((clock, deadline)) = bound {
+                if deadline.expired(clock.as_ref()) {
+                    return Err(LockError::Timeout {
+                        key: key.to_string(),
+                    });
+                }
+            }
             if adhoc_sim::sched::under_scheduler() {
                 // Deterministically scheduled task: the holder only runs
                 // when the scheduler picks it, so waiting on the condvar
@@ -51,7 +65,20 @@ impl LockTable {
                 inner = self.inner.lock();
                 continue;
             }
-            self.cv.wait(&mut inner);
+            match bound {
+                // Bounded wait: wake at least every 10 ms to re-evaluate
+                // the deadline (the clock may be virtual, so a real-time
+                // wait cannot be trusted to cover the remaining span).
+                Some((clock, deadline)) => {
+                    let slice = deadline
+                        .remaining(clock.as_ref())
+                        .min(Duration::from_millis(10));
+                    self.cv.wait_for(&mut inner, slice);
+                }
+                None => {
+                    self.cv.wait(&mut inner);
+                }
+            }
         }
         inner.grant_counter += 1;
         inner.use_counter += 1;
@@ -76,7 +103,7 @@ impl LockTable {
                 self.cv.notify_all();
             }
         }
-        grant
+        Ok(grant)
     }
 
     /// Release only when the entry is still ours (same grant).
@@ -106,6 +133,7 @@ impl LockTable {
 #[derive(Clone)]
 pub struct MemLock {
     table: Arc<LockTable>,
+    deadline: Option<WaitBound>,
 }
 
 impl MemLock {
@@ -117,7 +145,17 @@ impl MemLock {
                 cv: Condvar::new(),
                 capacity: None,
             }),
+            deadline: None,
         }
+    }
+
+    /// Bound every acquisition wait by an absolute [`Deadline`] on
+    /// `clock`; an expired deadline surfaces as
+    /// [`LockError::Timeout`] instead of waiting forever on a holder
+    /// that may never release (the partition failure mode).
+    pub fn with_deadline(mut self, clock: SharedClock, deadline: Deadline) -> Self {
+        self.deadline = Some((clock, deadline));
+        self
     }
 }
 
@@ -148,6 +186,13 @@ impl LockGuard for MemGuard {
         !self.released && self.table.is_held(&self.key, self.grant)
     }
 
+    fn fencing_token(&self) -> Option<u64> {
+        // The table's grant counter is already monotonic per table, so it
+        // doubles as a fencing token: an evicted-then-re-granted entry's
+        // new holder always carries a larger token.
+        Some(self.grant)
+    }
+
     fn leak(&mut self) {
         // In-memory lock info vanishes with a process crash (§3.4.2); for
         // an in-process simulation the entry simply stays until evicted or
@@ -158,7 +203,7 @@ impl LockGuard for MemGuard {
 
 impl AdHocLock for MemLock {
     fn lock(&self, key: &str) -> Result<Guard, LockError> {
-        let grant = self.table.acquire(key);
+        let grant = self.table.acquire(key, self.deadline.as_ref())?;
         Ok(Guard::new(Box::new(MemGuard {
             table: Arc::clone(&self.table),
             key: key.to_string(),
@@ -178,6 +223,7 @@ impl AdHocLock for MemLock {
 #[derive(Clone)]
 pub struct MemLruLock {
     table: Arc<LockTable>,
+    deadline: Option<WaitBound>,
 }
 
 impl MemLruLock {
@@ -190,7 +236,15 @@ impl MemLruLock {
                 cv: Condvar::new(),
                 capacity: Some(capacity),
             }),
+            deadline: None,
         }
+    }
+
+    /// Bound every acquisition wait by an absolute [`Deadline`] on
+    /// `clock` (see [`MemLock::with_deadline`]).
+    pub fn with_deadline(mut self, clock: SharedClock, deadline: Deadline) -> Self {
+        self.deadline = Some((clock, deadline));
+        self
     }
 
     /// How many held-or-idle entries have been evicted so far.
@@ -201,7 +255,7 @@ impl MemLruLock {
 
 impl AdHocLock for MemLruLock {
     fn lock(&self, key: &str) -> Result<Guard, LockError> {
-        let grant = self.table.acquire(key);
+        let grant = self.table.acquire(key, self.deadline.as_ref())?;
         Ok(Guard::new(Box::new(MemGuard {
             table: Arc::clone(&self.table),
             key: key.to_string(),
@@ -239,6 +293,43 @@ mod tests {
         assert!(!h.is_finished());
         g.unlock().unwrap();
         h.join().unwrap();
+    }
+
+    #[test]
+    fn mem_lock_deadline_bounds_the_wait() {
+        let clock = adhoc_sim::RealClock::shared();
+        let lock = MemLock::new();
+        let g = lock.lock("k").unwrap();
+        let bounded = lock.clone().with_deadline(
+            clock.clone(),
+            Deadline::after(clock.as_ref(), std::time::Duration::from_millis(40)),
+        );
+        let started = std::time::Instant::now();
+        let err = bounded.lock("k").unwrap_err();
+        assert!(matches!(err, LockError::Timeout { .. }));
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "the deadline, not an unbounded condvar wait, ended the attempt"
+        );
+        // The holder is untouched and the table still works.
+        assert!(g.is_valid());
+        g.unlock().unwrap();
+        lock.lock("k").unwrap().unlock().unwrap();
+    }
+
+    #[test]
+    fn mem_guards_expose_monotonic_fencing_tokens() {
+        let lock = MemLruLock::new(2);
+        let g1 = lock.lock("a").unwrap();
+        let t1 = g1.fencing_token().expect("mem guards are fenced");
+        let _g2 = lock.lock("b").unwrap();
+        let _g3 = lock.lock("c").unwrap(); // evicts "a"
+        let g1b = lock.lock("a").unwrap();
+        let t2 = g1b.fencing_token().unwrap();
+        assert!(
+            t2 > t1,
+            "the re-granted entry's token must dominate the evicted holder's"
+        );
     }
 
     #[test]

@@ -164,6 +164,16 @@ pub trait LockGuard: Send {
     /// Stop releasing on drop — simulates the holder crashing while inside
     /// the critical section (§3.4.2 crash handling).
     fn leak(&mut self);
+
+    /// The monotonic fencing token granted with this hold, when the
+    /// implementation supports fencing (see
+    /// [`KvSetNxLock::with_fencing`](kv::KvSetNxLock::with_fencing)).
+    /// Guarded writes carry it so the storage side can reject a zombie
+    /// holder whose lease was silently re-granted — the robust fix for the
+    /// TTL-steal bug, stronger than the advisory `is_valid` check.
+    fn fencing_token(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// An owned, droppable lock guard. Dropping releases the lock unless
@@ -190,6 +200,12 @@ impl Guard {
     /// Simulate the holder crashing: the lock is never released by us.
     pub fn leak(mut self) {
         self.0.leak();
+    }
+
+    /// The fencing token granted with this hold, when the implementation
+    /// supports fencing (`None` otherwise).
+    pub fn fencing_token(&self) -> Option<u64> {
+        self.0.fencing_token()
     }
 }
 

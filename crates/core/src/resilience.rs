@@ -1,0 +1,238 @@
+//! Partition- and overload-hardening primitives: deadlines, retry
+//! budgets, circuit breakers, and an admission-control front door.
+//!
+//! The paper's ad hoc transactions fail in two directions. Under
+//! *partitions*, hand-rolled coordination either blocks forever (a lock
+//! wait with no deadline) or retries forever (a loop with no budget) —
+//! §3.4's failure-handling catalog is full of both. Under *overload*, the
+//! same loops amplify the problem: every timed-out request is retried,
+//! every retry adds load, and the system settles into a metastable state
+//! where goodput stays near zero even after the original fault clears.
+//!
+//! This module collects the counter-measures the toolkit threads through
+//! the stack, so applications opt into all of them at one place:
+//!
+//! * [`Deadline`] — one absolute point in (virtual) time propagated
+//!   through every layer a request touches: KV round trips
+//!   (`kv::Client::with_deadline`), storage statements and lock waits
+//!   (`Transaction::with_deadline`), and retry loops
+//!   ([`RetryTimer::until`](adhoc_sim::RetryTimer::until));
+//! * [`RetryBudget`] — a token bucket shared by a service's retry loops
+//!   so retries are a bounded *fraction* of traffic, not a multiplier on
+//!   it;
+//! * [`CircuitBreaker`] — deterministic closed/open/half-open breaker
+//!   installed on the KV client (`kv::Client::with_breaker`) and the
+//!   database statement path (`Database::install_breaker`);
+//! * [`FrontDoor`] — bounded-concurrency admission control with load
+//!   shedding and a per-app read-only degraded mode, sitting in front of
+//!   the eight modeled application workloads.
+//!
+//! All four are deterministic on the simulator's virtual clock, so the
+//! metastability oracle can replay an overload storm bit-for-bit.
+
+pub use adhoc_sim::{BreakerState, CircuitBreaker, Deadline, RetryBudget};
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Why the front door refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejected {
+    /// The bounded queue is full: the request is shed immediately rather
+    /// than parked behind work that will miss its deadline anyway.
+    Shed,
+    /// The app is in read-only degraded mode and the request is a write.
+    ReadOnly,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::Shed => write!(f, "shed: admission queue full"),
+            Rejected::ReadOnly => write!(f, "rejected: app is in read-only degraded mode"),
+        }
+    }
+}
+
+/// Whether an admitted request intends to write.
+///
+/// Degraded mode only refuses [`Workload::Write`]; reads keep flowing, so
+/// a partitioned backend degrades to stale-but-available instead of
+/// unavailable — the per-app knob the overload runbooks in the studied
+/// applications implement by hand (when they implement it at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Read-only request: admitted even in degraded mode.
+    Read,
+    /// Mutating request: refused while degraded.
+    Write,
+}
+
+/// Bounded-concurrency admission control for one application.
+///
+/// The front door is the first thing a request meets: at most `capacity`
+/// requests are in flight at once, and everything beyond that is shed
+/// *immediately* ([`Rejected::Shed`]) instead of queueing. Shedding at
+/// the door is the anti-metastability move — queued work behind a slow
+/// backend keeps deadlines expiring and retries flowing long after the
+/// fault clears, while shed work leaves the system the moment it arrives.
+///
+/// Operators (or the breaker-watching automation in the oracle) can also
+/// flip the app into read-only degraded mode: writes are refused with
+/// [`Rejected::ReadOnly`] while reads pass, bounding the blast radius of
+/// a partitioned write path.
+///
+/// All state is atomic; the door takes no locks and never blocks.
+#[derive(Debug)]
+pub struct FrontDoor {
+    /// Application label (diagnostics only).
+    app: &'static str,
+    capacity: usize,
+    in_flight: AtomicUsize,
+    read_only: AtomicBool,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    refused_writes: AtomicU64,
+}
+
+/// Counters describing what a [`FrontDoor`] has done so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DoorStats {
+    /// Requests admitted (permits handed out).
+    pub admitted: u64,
+    /// Requests shed because the door was at capacity.
+    pub shed: u64,
+    /// Writes refused while in read-only degraded mode.
+    pub refused_writes: u64,
+    /// Requests in flight right now.
+    pub in_flight: usize,
+}
+
+impl FrontDoor {
+    /// A front door admitting at most `capacity` concurrent requests for
+    /// the application labelled `app`.
+    pub fn new(app: &'static str, capacity: usize) -> Arc<Self> {
+        Arc::new(Self {
+            app,
+            capacity: capacity.max(1),
+            in_flight: AtomicUsize::new(0),
+            read_only: AtomicBool::new(false),
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            refused_writes: AtomicU64::new(0),
+        })
+    }
+
+    /// The application this door fronts.
+    pub fn app(&self) -> &'static str {
+        self.app
+    }
+
+    /// Try to admit one request. Returns an RAII [`Permit`] releasing the
+    /// slot on drop, or the reason the request was refused. Never blocks.
+    pub fn admit(self: &Arc<Self>, workload: Workload) -> Result<Permit, Rejected> {
+        if workload == Workload::Write && self.read_only.load(Ordering::Acquire) {
+            self.refused_writes.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejected::ReadOnly);
+        }
+        // Optimistically take a slot; back out if it overshot capacity.
+        let prev = self.in_flight.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.capacity {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejected::Shed);
+        }
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(Permit {
+            door: Arc::clone(self),
+        })
+    }
+
+    /// Enter or leave read-only degraded mode.
+    pub fn set_read_only(&self, degraded: bool) {
+        self.read_only.store(degraded, Ordering::Release);
+    }
+
+    /// Is the app currently degraded to read-only?
+    pub fn is_read_only(&self) -> bool {
+        self.read_only.load(Ordering::Acquire)
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> DoorStats {
+        DoorStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            refused_writes: self.refused_writes.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// RAII admission permit from [`FrontDoor::admit`]; dropping it frees the
+/// concurrency slot.
+#[derive(Debug)]
+pub struct Permit {
+    door: Arc<FrontDoor>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.door.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn door_bounds_concurrency_and_sheds_the_rest() {
+        let door = FrontDoor::new("discourse", 2);
+        let a = door.admit(Workload::Write).unwrap();
+        let _b = door.admit(Workload::Read).unwrap();
+        assert_eq!(door.admit(Workload::Read).unwrap_err(), Rejected::Shed);
+        assert_eq!(door.stats().shed, 1);
+        assert_eq!(door.stats().in_flight, 2);
+        // Releasing a permit frees the slot immediately.
+        drop(a);
+        let _c = door.admit(Workload::Write).unwrap();
+        assert_eq!(door.stats().admitted, 3);
+    }
+
+    #[test]
+    fn read_only_mode_refuses_writes_but_admits_reads() {
+        let door = FrontDoor::new("mastodon", 8);
+        door.set_read_only(true);
+        assert!(door.is_read_only());
+        assert_eq!(door.admit(Workload::Write).unwrap_err(), Rejected::ReadOnly);
+        let _r = door.admit(Workload::Read).unwrap();
+        assert_eq!(door.stats().refused_writes, 1);
+        assert_eq!(door.stats().admitted, 1);
+        // Leaving degraded mode restores writes.
+        door.set_read_only(false);
+        let _w = door.admit(Workload::Write).unwrap();
+    }
+
+    #[test]
+    fn permits_release_on_panic_unwind() {
+        let door = FrontDoor::new("spree", 1);
+        let result = std::panic::catch_unwind({
+            let door = Arc::clone(&door);
+            move || {
+                let _p = door.admit(Workload::Write).unwrap();
+                panic!("handler died");
+            }
+        });
+        assert!(result.is_err());
+        assert_eq!(door.stats().in_flight, 0, "permit released by unwind");
+        door.admit(Workload::Write).unwrap();
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let door = FrontDoor::new("redmine", 0);
+        let _p = door.admit(Workload::Read).unwrap();
+        assert_eq!(door.admit(Workload::Read).unwrap_err(), Rejected::Shed);
+    }
+}

@@ -220,6 +220,23 @@ mod tests {
     }
 
     #[test]
+    fn backoff_cap_is_hard_at_both_edges_through_the_toolkit_reexport() {
+        // The toolkit re-exports the simulator's BackoffPolicy, so every
+        // coordination loop shares one clamp. Edge 1: attempt counts large
+        // enough to overflow the shift still land exactly on the cap.
+        let b = BackoffPolicy::exponential(Duration::from_millis(5), Duration::from_secs(1));
+        assert_eq!(b.delay(0, u32::MAX), Duration::from_secs(1));
+        // Edge 2: jitter's upward half must not carry a capped delay past
+        // the cap — sample many streams at a capped attempt.
+        let j = BackoffPolicy::exponential(Duration::from_millis(5), Duration::from_secs(1))
+            .with_jitter(0.5)
+            .with_seed(7);
+        for stream in 0..256 {
+            assert!(j.delay(stream, 30) <= Duration::from_secs(1));
+        }
+    }
+
+    #[test]
     fn run_with_policy_succeeds_after_transient_failures() {
         let policy = RetryPolicy::exponential(5, Duration::ZERO, Duration::ZERO);
         let mut calls = 0;

@@ -4,7 +4,9 @@
 
 use crate::store::{KvError, SetMode, Store, Ttl, WriteOp};
 use adhoc_sim::latency::Cost;
-use adhoc_sim::{FaultKind, FaultPlan, LatencyModel, OpClass, SharedClock};
+use adhoc_sim::{
+    CircuitBreaker, Deadline, FaultKind, FaultPlan, LatencyModel, OpClass, SharedClock,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -20,6 +22,11 @@ pub struct Client {
     latency: LatencyModel,
     round_trips: Arc<AtomicU64>,
     faults: Option<FaultPlan>,
+    /// Absolute deadline: commands past it fail fast *before* the wire.
+    deadline: Option<Deadline>,
+    /// Circuit breaker around the connection: consecutive connection
+    /// losses open it; while open, commands are rejected locally.
+    breaker: Option<Arc<CircuitBreaker>>,
 }
 
 impl Client {
@@ -32,21 +39,48 @@ impl Client {
             latency,
             round_trips: Arc::new(AtomicU64::new(0)),
             faults: None,
+            deadline: None,
+            breaker: None,
         }
     }
 
     /// Attach a fault plan: every fallible command consults it (class
     /// [`OpClass::KvCommand`]) and may lose its reply, lose its connection,
-    /// stall, or find the store freshly restarted. Fault consultation
-    /// charges no extra round trips.
+    /// partition, stall, skew the server clock, or find the store freshly
+    /// restarted. Fault consultation charges no extra round trips.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Attach an absolute deadline: once the clock passes it, fallible
+    /// commands fail fast with [`KvError::DeadlineExceeded`] *without*
+    /// paying a round trip (the command never leaves the client, so the
+    /// failure is unambiguous and retry-safe against a fresh deadline).
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Wrap the connection in a circuit breaker: consecutive
+    /// [`KvError::ConnectionLost`] outcomes open it, and while open,
+    /// fallible commands fail fast with [`KvError::CircuitOpen`] without
+    /// paying a round trip — the retry-storm dampener. Share one breaker
+    /// (via the `Arc`) across every client clone talking to one server.
+    pub fn with_breaker(mut self, breaker: Arc<CircuitBreaker>) -> Self {
+        self.breaker = Some(breaker);
         self
     }
 
     /// The underlying store (for assertions in tests).
     pub fn store(&self) -> &Store {
         &self.store
+    }
+
+    /// The clock this connection charges latency against — shared with
+    /// callers that need to evaluate [`Deadline`]s consistently.
+    pub fn clock(&self) -> adhoc_sim::SharedClock {
+        self.clock.clone()
     }
 
     /// Round trips this client (and its clones) have paid so far.
@@ -63,27 +97,58 @@ impl Client {
         self.clock.now()
     }
 
-    /// One fault-eligible round trip: pay, consult the plan, then run
-    /// `apply` against the store at the (possibly delayed) server-side
-    /// arrival time.
+    /// One fault-eligible round trip: check deadline and breaker (both
+    /// fail fast *without* paying the wire or yielding to the scheduler,
+    /// so opting in never perturbs pinned schedules), pay, consult the
+    /// plan, then run `apply` against the store at the (possibly delayed
+    /// or skewed) server-side arrival time.
     ///
-    /// * `ConnError` — the command never reaches the server: `apply` is
-    ///   skipped and the caller sees [`KvError::ConnectionLost`].
-    /// * `ReplyLost` — `apply` runs (the server did the work) but the
-    ///   caller still sees [`KvError::ConnectionLost`]: the ambiguous
-    ///   outcome of §3.4.1.
+    /// * `ConnError` / `PartitionInbound` — the command never reaches the
+    ///   server: `apply` is skipped and the caller sees
+    ///   [`KvError::ConnectionLost`].
+    /// * `ReplyLost` / `PartitionOutbound` — `apply` runs (the server did
+    ///   the work) but the caller still sees [`KvError::ConnectionLost`]:
+    ///   the ambiguous outcome of §3.4.1.
     /// * `LatencySpike` — the command stalls in flight for the injected
     ///   delay before being applied; with a virtual clock this is how a
     ///   holder overstays its lease.
+    /// * `ReplyDelay` — the *reply* stalls: the server applies at the
+    ///   original arrival instant, the client resumes late with a stale
+    ///   answer (the asymmetric half of a partition).
+    /// * `ClockSkew` — the server evaluates the command at a clock skewed
+    ///   forward by the injected delay, so TTLs expire early there.
     /// * `StoreRestart` — the server bounces (volatile entries lost) just
     ///   before serving the command, which then succeeds normally.
     fn round_trip<R>(&self, apply: impl FnOnce(Duration) -> R) -> Result<R, KvError> {
+        if let Some(deadline) = &self.deadline {
+            if deadline.expired(&*self.clock) {
+                return Err(KvError::DeadlineExceeded);
+            }
+        }
+        if let Some(breaker) = &self.breaker {
+            if !breaker.allow(self.clock.now()) {
+                return Err(KvError::CircuitOpen);
+            }
+        }
+        let result = self.round_trip_faulted(apply);
+        if let Some(breaker) = &self.breaker {
+            match &result {
+                Err(KvError::ConnectionLost) => breaker.record_failure(self.clock.now()),
+                _ => breaker.record_success(),
+            }
+        }
+        result
+    }
+
+    fn round_trip_faulted<R>(&self, apply: impl FnOnce(Duration) -> R) -> Result<R, KvError> {
         let mut now = self.pay();
         if let Some(plan) = &self.faults {
-            if let Some(fault) = plan.arm(OpClass::KvCommand) {
+            if let Some(fault) = plan.arm_at(OpClass::KvCommand, now) {
                 match fault.kind {
-                    FaultKind::ConnError => return Err(KvError::ConnectionLost),
-                    FaultKind::ReplyLost => {
+                    FaultKind::ConnError | FaultKind::PartitionInbound => {
+                        return Err(KvError::ConnectionLost)
+                    }
+                    FaultKind::ReplyLost | FaultKind::PartitionOutbound => {
                         apply(now);
                         return Err(KvError::ConnectionLost);
                     }
@@ -91,12 +156,20 @@ impl Client {
                         self.clock.sleep(fault.delay);
                         now = self.clock.now();
                     }
+                    FaultKind::ReplyDelay => {
+                        let reply = apply(now);
+                        self.clock.sleep(fault.delay);
+                        return Ok(reply);
+                    }
+                    FaultKind::ClockSkew => now += fault.delay,
                     FaultKind::StoreRestart => self.store.restart(now),
-                    // DbCommit kinds never arm on OpClass::KvCommand.
+                    // DbCommit/DbStatement kinds never arm on
+                    // OpClass::KvCommand.
                     FaultKind::CommitFailed
                     | FaultKind::CrashAfterDurable
                     | FaultKind::CrashBeforeDurable
-                    | FaultKind::TornWrite => {}
+                    | FaultKind::TornWrite
+                    | FaultKind::DbPartitioned => {}
                 }
             }
         }
@@ -127,10 +200,12 @@ impl Client {
         })?
     }
 
-    /// `DEL key`; true when a live key was removed.
-    pub fn del(&self, key: &str) -> bool {
-        let now = self.pay();
-        self.store.del(key, now)
+    /// `DEL key`; true when a live key was removed. Fault-eligible: on the
+    /// lease-release path a lost reply means the caller cannot tell
+    /// whether the lease is still held — treating it as released is the
+    /// §3.4.1 bug.
+    pub fn del(&self, key: &str) -> Result<bool, KvError> {
+        self.round_trip(|now| self.store.del(key, now))
     }
 
     /// `EXISTS key`.
@@ -139,10 +214,42 @@ impl Client {
         self.store.exists(key, now)
     }
 
-    /// `EXPIRE key ttl`; false when the key is missing.
-    pub fn expire(&self, key: &str, ttl: Duration) -> bool {
-        let now = self.pay();
-        self.store.expire(key, ttl, now)
+    /// `EXPIRE key ttl`; `Ok(false)` when the key is missing.
+    /// Fault-eligible: a heartbeat that loses its reply has *not* provably
+    /// extended the lease.
+    pub fn expire(&self, key: &str, ttl: Duration) -> Result<bool, KvError> {
+        self.round_trip(|now| self.store.expire(key, ttl, now))
+    }
+
+    /// Fenced lease acquisition: `SET key owner NX PX ttl` plus a
+    /// monotonic fencing token, in one round trip (server-side this would
+    /// be a small Lua script). `Ok(None)` means a live holder exists.
+    pub fn acquire_lease(
+        &self,
+        key: &str,
+        owner: &str,
+        ttl: Duration,
+    ) -> Result<Option<u64>, KvError> {
+        self.round_trip(|now| self.store.acquire_lease(key, owner, ttl, now))
+    }
+
+    /// A guarded write validated against the key's fence floor:
+    /// `Ok(false)` means `token` was stale (the lease was reaped and
+    /// re-granted past this holder) and nothing was written.
+    pub fn fenced_set(&self, key: &str, value: &str, token: u64) -> Result<bool, KvError> {
+        self.round_trip(|now| self.store.fenced_set(key, value, token, now))
+    }
+
+    /// The fence floor of a guarded key (0 when never fenced-written).
+    pub fn fence_floor(&self, key: &str) -> Result<u64, KvError> {
+        self.round_trip(|_now| self.store.fence_floor(key))
+    }
+
+    /// The token of the live lease on `key` when held by `owner` — the
+    /// readback that resolves an ambiguous [`acquire_lease`](Self::acquire_lease)
+    /// reply (did my grant land before the connection dropped?).
+    pub fn lease_token(&self, key: &str, owner: &str) -> Result<Option<u64>, KvError> {
+        self.round_trip(|now| self.store.lease_token(key, owner, now))
     }
 
     /// `TTL key`.
@@ -279,7 +386,7 @@ mod tests {
         let c = client();
         c.set("a", "1").unwrap();
         c.get("a").unwrap();
-        c.del("a");
+        c.del("a").unwrap();
         assert_eq!(c.round_trips(), 3);
     }
 
@@ -395,6 +502,130 @@ mod tests {
         plan.enable();
         assert_eq!(c.get("lease").unwrap(), None, "lease gone after restart");
         assert_eq!(c.get("durable").unwrap(), Some("v".into()));
+    }
+
+    #[test]
+    fn inbound_partition_drops_the_request() {
+        use adhoc_sim::{FaultKind, FaultPlan, FaultRule};
+        let plan = FaultPlan::new(
+            1,
+            vec![FaultRule::at_ops(FaultKind::PartitionInbound, &[0])],
+        );
+        let c = client().with_faults(plan);
+        assert_eq!(c.set("k", "v"), Err(KvError::ConnectionLost));
+        assert_eq!(c.get("k").unwrap(), None, "request never arrived");
+    }
+
+    #[test]
+    fn outbound_partition_applies_but_drops_the_reply() {
+        use adhoc_sim::{FaultKind, FaultPlan, FaultRule};
+        let plan = FaultPlan::new(
+            1,
+            vec![FaultRule::at_ops(FaultKind::PartitionOutbound, &[0])],
+        );
+        let c = client().with_faults(plan);
+        assert_eq!(c.del("k"), Err(KvError::ConnectionLost));
+        // The one-way partition is indistinguishable from ReplyLost at the
+        // client; the server-side effect is what the fault models.
+        assert_eq!(c.set_nx("k", "v"), Ok(true), "DEL did apply server-side");
+    }
+
+    #[test]
+    fn reply_delay_serves_at_the_original_instant() {
+        use adhoc_sim::{FaultKind, FaultPlan, FaultRule};
+        let plan = FaultPlan::new(
+            1,
+            vec![FaultRule::at_ops(FaultKind::ReplyDelay, &[1]).delay(Duration::from_secs(9))],
+        );
+        let clock = Arc::new(VirtualClock::new());
+        let c = Client::new(Store::new(), clock.clone(), LatencyModel::zero()).with_faults(plan);
+        assert!(c.set_nx_px("lease", "a", Duration::from_secs(5)).unwrap());
+        // Op 1's *reply* stalls 9s: the server granted nothing (lease "a"
+        // was live at arrival) and the client learns that 9s late — by
+        // which time the lease has actually expired.
+        assert!(!c.set_nx_px("lease", "b", Duration::from_secs(5)).unwrap());
+        assert_eq!(clock.now(), Duration::from_secs(9));
+        assert_eq!(c.get("lease").unwrap(), None, "lease expired mid-reply");
+    }
+
+    #[test]
+    fn clock_skew_expires_ttls_early_on_the_server() {
+        use adhoc_sim::{FaultKind, FaultPlan, FaultRule};
+        let plan = FaultPlan::new(
+            1,
+            vec![FaultRule::at_ops(FaultKind::ClockSkew, &[1]).delay(Duration::from_secs(9))],
+        );
+        let clock = Arc::new(VirtualClock::new());
+        let c = Client::new(Store::new(), clock.clone(), LatencyModel::zero()).with_faults(plan);
+        assert!(c.set_nx_px("lease", "a", Duration::from_secs(5)).unwrap());
+        // The server evaluates op 1 at now+9s, so the 5s lease looks
+        // already expired there — a second holder is admitted while the
+        // first still believes itself covered.
+        assert!(c.set_nx_px("lease", "b", Duration::from_secs(5)).unwrap());
+        assert_eq!(clock.now(), Duration::ZERO, "client clock never moved");
+    }
+
+    #[test]
+    fn deadline_fails_fast_without_paying_the_wire() {
+        let clock = Arc::new(VirtualClock::new());
+        let deadline = Deadline::after(&*clock, Duration::from_secs(1));
+        let c =
+            Client::new(Store::new(), clock.clone(), LatencyModel::zero()).with_deadline(deadline);
+        assert_eq!(c.set("k", "v"), Ok(()));
+        clock.advance(Duration::from_secs(2));
+        assert_eq!(c.set("k", "w"), Err(KvError::DeadlineExceeded));
+        assert_eq!(c.round_trips(), 1, "the expired attempt never paid");
+        assert_eq!(
+            c.store().get("k", clock.now()).unwrap(),
+            Some("v".into()),
+            "nothing reached the server past the deadline"
+        );
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_losses_and_recovers() {
+        use adhoc_sim::{FaultKind, FaultPlan, FaultRule};
+        let plan = FaultPlan::new(1, vec![FaultRule::at_ops(FaultKind::ConnError, &[0, 1, 2])]);
+        let clock = Arc::new(VirtualClock::new());
+        let breaker = Arc::new(CircuitBreaker::new(2, Duration::from_secs(10)));
+        let c = Client::new(Store::new(), clock.clone(), LatencyModel::zero())
+            .with_faults(plan)
+            .with_breaker(breaker.clone());
+        assert_eq!(c.set("k", "1"), Err(KvError::ConnectionLost));
+        assert_eq!(c.set("k", "2"), Err(KvError::ConnectionLost));
+        // Two consecutive losses tripped it: rejected locally, no wire.
+        assert_eq!(c.set("k", "3"), Err(KvError::CircuitOpen));
+        assert_eq!(c.round_trips(), 2);
+        // After the cooldown one probe goes through; fault op 2 kills it
+        // and re-opens the breaker.
+        clock.advance(Duration::from_secs(10));
+        assert_eq!(c.set("k", "4"), Err(KvError::ConnectionLost));
+        assert_eq!(c.set("k", "5"), Err(KvError::CircuitOpen));
+        // Next probe succeeds (plan exhausted) and the circuit closes.
+        clock.advance(Duration::from_secs(10));
+        assert_eq!(c.set("k", "6"), Ok(()));
+        assert_eq!(c.get("k").unwrap(), Some("6".into()));
+        assert_eq!(breaker.times_opened(), 2);
+    }
+
+    #[test]
+    fn fenced_lease_round_trips_and_rejects_zombies() {
+        let clock = Arc::new(VirtualClock::new());
+        let c = Client::new(Store::new(), clock.clone(), LatencyModel::zero());
+        let old = c
+            .acquire_lease("lease", "a", Duration::from_secs(5))
+            .unwrap()
+            .unwrap();
+        clock.advance(Duration::from_secs(6));
+        let fresh = c
+            .acquire_lease("lease", "b", Duration::from_secs(5))
+            .unwrap()
+            .unwrap();
+        assert!(fresh > old);
+        assert!(c.fenced_set("guarded", "b", fresh).unwrap());
+        assert!(!c.fenced_set("guarded", "a", old).unwrap());
+        assert_eq!(c.fence_floor("guarded").unwrap(), fresh);
+        assert_eq!(c.get("guarded").unwrap(), Some("b".into()));
     }
 
     #[test]

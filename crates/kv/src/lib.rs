@@ -29,7 +29,7 @@
 //! // A lease-style lock entry, Figure 1b's `SETNX`:
 //! assert!(client.set_nx_px("redeem:1", "owner-a", Duration::from_secs(5))?);
 //! assert!(!client.set_nx_px("redeem:1", "owner-b", Duration::from_secs(5))?);
-//! client.del("redeem:1");
+//! client.del("redeem:1")?;
 //! # Ok::<(), adhoc_kv::KvError>(())
 //! ```
 

@@ -57,6 +57,14 @@ pub enum KvError {
     /// the command was applied — the ambiguity §3.4.1 of the paper turns
     /// on.
     ConnectionLost,
+    /// The client's absolute deadline passed before the command was sent.
+    /// Unlike [`ConnectionLost`](Self::ConnectionLost) this is
+    /// *unambiguous*: the command never left the client, so nothing was
+    /// applied and a retry (against a fresh deadline) is always safe.
+    DeadlineExceeded,
+    /// The client's circuit breaker is open: the command was rejected
+    /// locally without a round trip. Also unambiguous — nothing was sent.
+    CircuitOpen,
 }
 
 impl fmt::Display for KvError {
@@ -70,6 +78,12 @@ impl fmt::Display for KvError {
             }
             KvError::ConnectionLost => {
                 write!(f, "connection lost; command outcome unknown")
+            }
+            KvError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before the command was sent")
+            }
+            KvError::CircuitOpen => {
+                write!(f, "circuit breaker open; command rejected locally")
             }
         }
     }
@@ -185,6 +199,15 @@ struct Stripe {
     /// Per-key modification counters used by `WATCH`. Counters survive
     /// deletion so that delete→recreate is visible to watchers.
     versions: HashMap<String, u64>,
+    /// Per-lease-key monotonic grant counters: each successful
+    /// [`Store::acquire_lease`] hands out the next token. Like `versions`,
+    /// counters survive deletion/expiry — a lease that expires and is
+    /// re-granted always yields a strictly larger token.
+    grants: HashMap<String, u64>,
+    /// Per-guarded-key fence floors: the highest token that has written the
+    /// key via [`Store::fenced_set`]. A write carrying a smaller token is a
+    /// zombie holder (its lease was reaped and re-granted) and is rejected.
+    floors: HashMap<String, u64>,
 }
 
 impl Stripe {
@@ -488,6 +511,91 @@ impl Store {
                 self.log_write(now, &op);
             }
             applied
+        })
+    }
+
+    /// Atomically grant a fenced lease: `SET key owner NX PX ttl` plus a
+    /// monotonically increasing fencing token, all under one stripe lock
+    /// (the server-side script a real deployment would run in Lua).
+    ///
+    /// Returns `Some(token)` when the lease was granted, `None` when a live
+    /// holder exists. Tokens are per-lease-key, start at 1, and never
+    /// repeat or decrease — even across expiry, deletion, or an AOF
+    /// [`restart`](Self::restart) (grant counters live outside the entry
+    /// map, like `WATCH` versions).
+    pub fn acquire_lease(
+        &self,
+        key: &str,
+        owner: &str,
+        ttl: Duration,
+        now: Duration,
+    ) -> Option<u64> {
+        let op = WriteOp::Set {
+            key: key.to_string(),
+            value: owner.to_string(),
+            mode: SetMode::IfAbsent,
+            ttl: Some(ttl),
+        };
+        self.locked(key, |i| {
+            let granted = i.apply(&op, now).expect("SET NX is type-agnostic");
+            if !granted {
+                return None;
+            }
+            self.log_write(now, &op);
+            let token = i.grants.entry(key.to_string()).or_insert(0);
+            *token += 1;
+            Some(*token)
+        })
+    }
+
+    /// A guarded write that only applies when `token` is at least the key's
+    /// fence floor; on success the floor rises to `token`. Returns whether
+    /// the write applied.
+    ///
+    /// This is the §3.4.3 TTL-steal fix: a holder whose lease silently
+    /// expired (GC pause, injected delay) and was re-granted to someone
+    /// else carries a stale token, and the *storage side* rejects its
+    /// write — correctness no longer depends on the client noticing its
+    /// lease is gone.
+    pub fn fenced_set(&self, key: &str, value: &str, token: u64, now: Duration) -> bool {
+        let op = WriteOp::Set {
+            key: key.to_string(),
+            value: value.to_string(),
+            mode: SetMode::Always,
+            ttl: None,
+        };
+        self.locked(key, |i| {
+            let floor = i.floors.get(key).copied().unwrap_or(0);
+            if token < floor {
+                return false;
+            }
+            i.floors.insert(key.to_string(), token);
+            i.apply(&op, now).expect("unconditional SET cannot fail");
+            self.log_write(now, &op);
+            true
+        })
+    }
+
+    /// The current fence floor of a guarded key (0 when no fenced write has
+    /// ever touched it). Diagnostic/oracle helper.
+    pub fn fence_floor(&self, key: &str) -> u64 {
+        self.locked(key, |i| i.floors.get(key).copied().unwrap_or(0))
+    }
+
+    /// The fencing token of the current live lease on `key`, provided its
+    /// holder is `owner` — the readback a client uses to resolve an
+    /// ambiguous [`acquire_lease`](Self::acquire_lease) reply. Sound
+    /// because the grant counter is exactly the token the live holder was
+    /// handed.
+    pub fn lease_token(&self, key: &str, owner: &str, now: Duration) -> Option<u64> {
+        self.locked(key, |i| {
+            if !i.reap(key, now) {
+                return None;
+            }
+            match &i.entries[key].value {
+                Value::Str(s) if s == owner => i.grants.get(key).copied(),
+                _ => None,
+            }
         })
     }
 
@@ -823,6 +931,52 @@ mod tests {
         assert_eq!(s.ttl("k", T0), Ttl::NoExpiry);
         assert!(s.expire("k", at(50), T0));
         assert!(!s.exists("k", at(60)));
+    }
+
+    #[test]
+    fn lease_tokens_are_monotonic_across_expiry() {
+        let s = Store::new();
+        let t1 = s.acquire_lease("lease", "a", at(10), T0).unwrap();
+        assert_eq!(t1, 1);
+        // Live holder blocks a second grant.
+        assert_eq!(s.acquire_lease("lease", "b", at(10), at(5)), None);
+        // After expiry the next grant yields a strictly larger token.
+        let t2 = s.acquire_lease("lease", "b", at(10), at(20)).unwrap();
+        assert!(t2 > t1);
+        // Explicit deletion does not reset the counter either.
+        s.del("lease", at(21));
+        let t3 = s.acquire_lease("lease", "c", at(10), at(22)).unwrap();
+        assert!(t3 > t2);
+    }
+
+    #[test]
+    fn fenced_set_rejects_stale_tokens() {
+        let s = Store::new();
+        let old = s.acquire_lease("lease", "a", at(10), T0).unwrap();
+        // The first holder stalls; its lease expires and is re-granted.
+        let fresh = s.acquire_lease("lease", "b", at(10), at(15)).unwrap();
+        // Fresh holder writes first: the floor rises to its token.
+        assert!(s.fenced_set("guarded", "b-wrote", fresh, at(16)));
+        assert_eq!(s.fence_floor("guarded"), fresh);
+        // The zombie's late write bounces off the floor; state is untouched.
+        assert!(!s.fenced_set("guarded", "a-wrote", old, at(17)));
+        assert_eq!(s.get("guarded", at(18)).unwrap().unwrap(), "b-wrote");
+        // Same-token rewrites by the live holder stay allowed.
+        assert!(s.fenced_set("guarded", "b-again", fresh, at(19)));
+    }
+
+    #[test]
+    fn fence_state_survives_aof_restart() {
+        let s = Store::with_aof();
+        let t1 = s.acquire_lease("lease", "a", at(10), T0).unwrap();
+        assert!(s.fenced_set("guarded", "v1", t1, at(1)));
+        s.restart(at(2));
+        // Grant counters and floors live outside the entry map, so the
+        // restart replay cannot rewind them.
+        assert_eq!(s.fence_floor("guarded"), t1);
+        let t2 = s.acquire_lease("lease", "b", at(10), at(20)).unwrap();
+        assert!(t2 > t1);
+        assert!(!s.fenced_set("guarded", "stale", t1.saturating_sub(1), at(21)));
     }
 
     #[test]

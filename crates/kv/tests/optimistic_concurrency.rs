@@ -111,7 +111,7 @@ fn setnx_del_churn_maintains_exclusion() {
                         max_seen.fetch_max(now, Ordering::SeqCst);
                         std::thread::yield_now();
                         inside.fetch_sub(1, Ordering::SeqCst);
-                        c.del("mutex");
+                        c.del("mutex").unwrap();
                     }
                 }
             });

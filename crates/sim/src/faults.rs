@@ -38,13 +38,20 @@ pub enum OpClass {
     KvCommand,
     /// One storage-engine commit attempt.
     DbCommit,
+    /// One storage-engine statement (the client↔DB request path before
+    /// commit — where a network partition surfaces as a failed statement).
+    DbStatement,
 }
+
+/// Number of [`OpClass`] variants (sizes the per-class counters).
+const OP_CLASSES: usize = 3;
 
 impl OpClass {
     fn index(self) -> usize {
         match self {
             OpClass::KvCommand => 0,
             OpClass::DbCommit => 1,
+            OpClass::DbStatement => 2,
         }
     }
 
@@ -53,6 +60,7 @@ impl OpClass {
         match self {
             OpClass::KvCommand => "kv-command",
             OpClass::DbCommit => "db-commit",
+            OpClass::DbStatement => "db-statement",
         }
     }
 }
@@ -90,6 +98,33 @@ pub enum FaultKind {
     /// record on the durable medium — recovery must detect the bad frame
     /// via its checksum and truncate the tail.
     TornWrite,
+    /// KV: client→server half of the link is down — the request is dropped
+    /// before it reaches the store, nothing is applied, and the client sees
+    /// a connection error. One direction of an asymmetric partition.
+    PartitionInbound,
+    /// KV: server→client half of the link is down — the request arrives and
+    /// is applied, but the reply is dropped. The other direction of an
+    /// asymmetric partition: indistinguishable from [`PartitionInbound`] at
+    /// the client, opposite server-side truth.
+    ///
+    /// [`PartitionInbound`]: FaultKind::PartitionInbound
+    PartitionOutbound,
+    /// KV: asymmetric one-way delay — the request arrives on time and is
+    /// applied at the original instant, but the *reply* is delayed by the
+    /// rule's `delay`. The client resumes late while the server-side state
+    /// (and any TTL it started) is already `delay` old.
+    ReplyDelay,
+    /// KV: the store serves this command with its clock skewed *forward*
+    /// by the rule's `delay` — TTLs evaluated under the skew expire early,
+    /// so a lease the client believes it still holds is already reaped
+    /// server-side (the lease-expiry hazard without any real delay).
+    ClockSkew,
+    /// DB: the client↔DB link is partitioned at a statement boundary — the
+    /// statement never reaches the engine. Unlike a commit-time
+    /// [`CommitFailed`](FaultKind::CommitFailed) there is no ambiguity:
+    /// nothing was submitted for commit, so re-running the transaction is
+    /// safe.
+    DbPartitioned,
 }
 
 impl FaultKind {
@@ -104,6 +139,11 @@ impl FaultKind {
             FaultKind::CrashAfterDurable => "crash-after-durable",
             FaultKind::CrashBeforeDurable => "crash-before-durable",
             FaultKind::TornWrite => "torn-write",
+            FaultKind::PartitionInbound => "partition-inbound",
+            FaultKind::PartitionOutbound => "partition-outbound",
+            FaultKind::ReplyDelay => "reply-delay",
+            FaultKind::ClockSkew => "clock-skew",
+            FaultKind::DbPartitioned => "db-partitioned",
         }
     }
 
@@ -113,11 +153,16 @@ impl FaultKind {
             FaultKind::ReplyLost
             | FaultKind::ConnError
             | FaultKind::LatencySpike
-            | FaultKind::StoreRestart => OpClass::KvCommand,
+            | FaultKind::StoreRestart
+            | FaultKind::PartitionInbound
+            | FaultKind::PartitionOutbound
+            | FaultKind::ReplyDelay
+            | FaultKind::ClockSkew => OpClass::KvCommand,
             FaultKind::CommitFailed
             | FaultKind::CrashAfterDurable
             | FaultKind::CrashBeforeDurable
             | FaultKind::TornWrite => OpClass::DbCommit,
+            FaultKind::DbPartitioned => OpClass::DbStatement,
         }
     }
 }
@@ -146,8 +191,12 @@ pub struct FaultRule {
     trigger: Trigger,
     /// Stop firing after this many injections (`None` = unlimited).
     max_fires: Option<u32>,
-    /// Injected delay; only meaningful for [`FaultKind::LatencySpike`].
+    /// Injected delay (latency spikes, reply delays) or clock skew.
     delay: Duration,
+    /// Virtual-clock window `[start, end)` the rule is live in. Windowed
+    /// rules only match when armed through [`FaultPlan::arm_at`] with a
+    /// time inside the window; see [`FaultRule::during`].
+    window: Option<(Duration, Duration)>,
 }
 
 impl FaultRule {
@@ -159,6 +208,7 @@ impl FaultRule {
             trigger: Trigger::AtOps(ops.to_vec()),
             max_fires: None,
             delay: Duration::ZERO,
+            window: None,
         }
     }
 
@@ -171,6 +221,7 @@ impl FaultRule {
             trigger: Trigger::Probability((clamped * f64::from(u32::MAX)) as u32),
             max_fires: None,
             delay: Duration::ZERO,
+            window: None,
         }
     }
 
@@ -180,10 +231,36 @@ impl FaultRule {
         self
     }
 
-    /// Set the injected delay (used by [`FaultKind::LatencySpike`]).
+    /// Set the injected delay ([`LatencySpike`], [`ReplyDelay`]) or the
+    /// forward clock skew ([`ClockSkew`]).
+    ///
+    /// [`LatencySpike`]: FaultKind::LatencySpike
+    /// [`ReplyDelay`]: FaultKind::ReplyDelay
+    /// [`ClockSkew`]: FaultKind::ClockSkew
     pub fn delay(mut self, d: Duration) -> Self {
         self.delay = d;
         self
+    }
+
+    /// Restrict the rule to the virtual-clock window `[start, end)` — the
+    /// shape of a real outage, which begins and heals at points in *time*
+    /// rather than at operation counts. A windowed rule matches only when
+    /// the substrate arms through [`FaultPlan::arm_at`] with a time inside
+    /// the window; [`FaultPlan::arm`] (no time) never matches it.
+    pub fn during(mut self, start: Duration, end: Duration) -> Self {
+        self.window = Some((start, end));
+        self
+    }
+
+    /// A correlated fault *storm*: one windowed probability rule per kind,
+    /// all sharing the same window and probability — the simultaneous,
+    /// correlated failures (partition + delay + skew at once) that trigger
+    /// metastable collapse, as opposed to independent single faults.
+    pub fn storm(kinds: &[FaultKind], p: f64, start: Duration, end: Duration) -> Vec<Self> {
+        kinds
+            .iter()
+            .map(|&kind| Self::with_probability(kind, p).during(start, end))
+            .collect()
     }
 }
 
@@ -241,7 +318,7 @@ struct PlanInner {
     seed: u64,
     rules: Vec<RuleState>,
     /// Per-[`OpClass`] operation counters (indexed by `OpClass::index`).
-    counters: [AtomicU64; 2],
+    counters: [AtomicU64; OP_CLASSES],
     enabled: AtomicBool,
     log: Mutex<Vec<FaultRecord>>,
     listener: Mutex<Option<FaultListener>>,
@@ -273,7 +350,7 @@ impl FaultPlan {
                         fires: AtomicU32::new(0),
                     })
                     .collect(),
-                counters: [AtomicU64::new(0), AtomicU64::new(0)],
+                counters: std::array::from_fn(|_| AtomicU64::new(0)),
                 enabled: AtomicBool::new(true),
                 log: Mutex::new(Vec::new()),
                 listener: Mutex::new(None),
@@ -326,8 +403,22 @@ impl FaultPlan {
     ///
     /// Advances the class's operation counter and returns the fault to
     /// inject there, if any (first matching rule wins). Returns `None`
-    /// without counting when the plan is disabled.
+    /// without counting when the plan is disabled. Window-gated rules
+    /// never match through this entry point — time-aware substrates use
+    /// [`arm_at`](FaultPlan::arm_at).
     pub fn arm(&self, class: OpClass) -> Option<InjectedFault> {
+        self.arm_inner(class, None)
+    }
+
+    /// Time-aware [`arm`](FaultPlan::arm): `now` is the substrate's virtual
+    /// clock reading, checked against each rule's
+    /// [`during`](FaultRule::during) window. Un-windowed rules behave
+    /// exactly as under `arm`, so passing a time is always safe.
+    pub fn arm_at(&self, class: OpClass, now: Duration) -> Option<InjectedFault> {
+        self.arm_inner(class, Some(now))
+    }
+
+    fn arm_inner(&self, class: OpClass, now: Option<Duration>) -> Option<InjectedFault> {
         if !self.inner.enabled.load(Ordering::SeqCst) {
             return None;
         }
@@ -335,6 +426,12 @@ impl FaultPlan {
         for (idx, state) in self.inner.rules.iter().enumerate() {
             if state.rule.kind.class() != class {
                 continue;
+            }
+            if let Some((start, end)) = state.rule.window {
+                match now {
+                    Some(t) if t >= start && t < end => {}
+                    _ => continue,
+                }
             }
             let hit = match &state.rule.trigger {
                 Trigger::AtOps(ops) => ops.contains(&op),
@@ -593,6 +690,72 @@ mod tests {
         let fault = plan.arm(OpClass::KvCommand).expect("rule at op 0");
         assert_eq!(fault.delay, Duration::from_millis(50));
         assert_eq!(seen.lock().as_slice(), plan.log().as_slice());
+    }
+
+    #[test]
+    fn windowed_rule_fires_only_inside_its_window() {
+        let ms = Duration::from_millis;
+        let plan = FaultPlan::new(
+            1,
+            vec![
+                FaultRule::with_probability(FaultKind::PartitionInbound, 1.0)
+                    .during(ms(100), ms(200)),
+            ],
+        );
+        assert!(plan.arm_at(OpClass::KvCommand, ms(50)).is_none());
+        assert!(plan.arm_at(OpClass::KvCommand, ms(100)).is_some());
+        assert!(plan.arm_at(OpClass::KvCommand, ms(199)).is_some());
+        assert!(
+            plan.arm_at(OpClass::KvCommand, ms(200)).is_none(),
+            "end is exclusive"
+        );
+        // Timeless arming can never hit a windowed rule.
+        assert!(plan.arm(OpClass::KvCommand).is_none());
+        // Ops outside the window still advanced the counter.
+        assert_eq!(plan.ops_seen(OpClass::KvCommand), 5);
+    }
+
+    #[test]
+    fn storm_rules_are_correlated_in_one_window() {
+        let ms = Duration::from_millis;
+        let kinds = [
+            FaultKind::PartitionInbound,
+            FaultKind::PartitionOutbound,
+            FaultKind::ClockSkew,
+        ];
+        let plan = FaultPlan::new(7, FaultRule::storm(&kinds, 1.0, ms(10), ms(20)));
+        assert!(plan.arm_at(OpClass::KvCommand, ms(5)).is_none());
+        let hit = plan
+            .arm_at(OpClass::KvCommand, ms(15))
+            .expect("inside the storm");
+        assert_eq!(hit.kind, FaultKind::PartitionInbound, "first rule wins");
+        assert!(
+            plan.arm_at(OpClass::KvCommand, ms(25)).is_none(),
+            "storm healed"
+        );
+    }
+
+    #[test]
+    fn db_statement_class_has_its_own_counter_and_kind() {
+        let plan = FaultPlan::new(1, vec![FaultRule::at_ops(FaultKind::DbPartitioned, &[1])]);
+        assert!(plan.arm(OpClass::DbStatement).is_none()); // stmt 0
+        assert!(plan.arm(OpClass::KvCommand).is_none()); // unrelated class
+        assert!(plan.arm(OpClass::DbCommit).is_none()); // unrelated class
+        assert!(plan.arm(OpClass::DbStatement).is_some(), "stmt 1 fires");
+        assert_eq!(plan.ops_seen(OpClass::DbStatement), 2);
+        assert_eq!(FaultKind::DbPartitioned.class(), OpClass::DbStatement);
+    }
+
+    #[test]
+    fn partition_kinds_attach_to_kv_commands() {
+        for kind in [
+            FaultKind::PartitionInbound,
+            FaultKind::PartitionOutbound,
+            FaultKind::ReplyDelay,
+            FaultKind::ClockSkew,
+        ] {
+            assert_eq!(kind.class(), OpClass::KvCommand, "{kind}");
+        }
     }
 
     #[test]

@@ -22,12 +22,17 @@
 //! * [`sched`] — a cooperative deterministic scheduler plus an interleaving
 //!   explorer, so the paper's races are found and replayed by *schedule*
 //!   (compact `SCHED=` witness strings), not by wall-clock luck.
+//! * [`resilience`] — absolute [`Deadline`]s, token-bucket
+//!   [`RetryBudget`]s and a deterministic [`CircuitBreaker`], the
+//!   primitives that keep a fault storm from becoming a metastable
+//!   retry storm.
 
 #![warn(missing_docs)]
 
 pub mod clock;
 pub mod faults;
 pub mod latency;
+pub mod resilience;
 pub mod retry;
 pub mod rng;
 pub mod sched;
@@ -36,6 +41,7 @@ pub mod stats;
 pub use clock::{Clock, RealClock, SharedClock, VirtualClock};
 pub use faults::{FaultKind, FaultPlan, FaultRecord, FaultRule, InjectedFault, OpClass};
 pub use latency::LatencyModel;
+pub use resilience::{BreakerState, CircuitBreaker, Deadline, RetryBudget};
 pub use retry::{BackoffPolicy, GiveUp, RetryObserver, RetryPolicy, RetryTimer};
 pub use sched::{
     record, replay, yield_point, CounterExample, Exploration, Explorer, SchedPoint, Trial,

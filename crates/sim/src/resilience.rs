@@ -1,0 +1,440 @@
+//! Resilience primitives: absolute deadlines, retry budgets, and a
+//! deterministic circuit breaker.
+//!
+//! §3.4 of the paper shows what failure handling looks like when every
+//! call site improvises it: unbounded retries, no deadline, and no notion
+//! of shared blame when a backend degrades. Under a correlated fault storm
+//! those habits compose into *metastable* collapse — each request retries
+//! independently, the retry traffic keeps the backend saturated, and the
+//! system stays down after the original fault has healed. The three
+//! primitives here are the standard antidotes, built deterministically on
+//! the virtual clock so every test and every schedule witness replays
+//! bit-for-bit:
+//!
+//! * [`Deadline`] — an *absolute* point on the clock's timeline, passed
+//!   down through KV round trips, storage operations and lock waits, so a
+//!   request's total latency is bounded once, at the edge, instead of by
+//!   an uncoordinated product of per-layer timeouts.
+//! * [`RetryBudget`] — a token bucket shared by all retry loops that hit
+//!   the same backend: retries spend, successes earn. A fault storm can
+//!   then cost at most the bucket, never an amplifying retry storm.
+//! * [`CircuitBreaker`] — the closed → open → half-open machine that stops
+//!   sending work to a backend that keeps failing, probes it once per
+//!   cooldown, and closes again on the first success.
+
+use crate::clock::Clock;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Deadline
+// ---------------------------------------------------------------------------
+
+/// An absolute deadline on a [`Clock`]'s timeline.
+///
+/// Copyable and clock-agnostic: the deadline stores only the absolute
+/// instant (as the clock's `Duration`-since-start reading), so one value
+/// propagates unchanged through every layer a request touches. Each layer
+/// evaluates it against *its* clock — which is the same shared clock in
+/// any one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Deadline {
+    at: Duration,
+}
+
+impl Deadline {
+    /// A deadline at the absolute clock reading `at`.
+    pub fn at(at: Duration) -> Self {
+        Self { at }
+    }
+
+    /// A deadline `timeout` from the clock's current reading.
+    pub fn after(clock: &dyn Clock, timeout: Duration) -> Self {
+        Self {
+            at: clock.now().saturating_add(timeout),
+        }
+    }
+
+    /// The absolute instant of the deadline.
+    pub fn instant(self) -> Duration {
+        self.at
+    }
+
+    /// True once the clock has reached (or passed) the deadline.
+    pub fn expired(self, clock: &dyn Clock) -> bool {
+        clock.now() >= self.at
+    }
+
+    /// Time left before the deadline (zero when expired).
+    pub fn remaining(self, clock: &dyn Clock) -> Duration {
+        self.at.saturating_sub(clock.now())
+    }
+
+    /// The earlier of two deadlines — layering a stricter local bound
+    /// under a caller's deadline.
+    pub fn min(self, other: Self) -> Self {
+        Self {
+            at: self.at.min(other.at),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RetryBudget
+// ---------------------------------------------------------------------------
+
+/// A token-bucket retry budget: first attempts are always free, *retries*
+/// withdraw a token, and successes deposit a configurable fraction of one.
+///
+/// Shared (via `Arc`) by every retry loop that targets the same backend,
+/// the bucket bounds the fleet-wide retry amplification factor: with a
+/// deposit rate of `ppk` parts-per-1024 per success, steady-state retry
+/// traffic can be at most `ppk/1024` of the success traffic, and a burst
+/// can draw at most the bucket capacity. That is what turns a fault storm
+/// into a bounded error spike instead of a self-sustaining retry storm.
+///
+/// Deterministic: pure integer arithmetic, no clock, no randomness. Token
+/// accounting is in millitokens so fractional deposit rates stay exact.
+#[derive(Debug)]
+pub struct RetryBudget {
+    /// Bucket capacity, in millitokens.
+    capacity: u64,
+    /// Current balance, in millitokens.
+    balance: AtomicU64,
+    /// Deposit per recorded success, in millitokens.
+    deposit: u64,
+    /// Retries granted.
+    granted: AtomicU64,
+    /// Retries denied (budget empty).
+    denied: AtomicU64,
+}
+
+/// One retry withdraws this many millitokens.
+const RETRY_COST: u64 = 1000;
+
+impl RetryBudget {
+    /// A budget holding `capacity` retry tokens, starting full, earning
+    /// 10% of a token per success (the classic 10% retry ratio).
+    pub fn new(capacity: u32) -> Self {
+        Self::with_deposit_ppk(capacity, 102)
+    }
+
+    /// A budget earning `ppk` parts-per-1024 of a token per success.
+    pub fn with_deposit_ppk(capacity: u32, ppk: u32) -> Self {
+        let capacity = u64::from(capacity) * RETRY_COST;
+        Self {
+            capacity,
+            balance: AtomicU64::new(capacity),
+            deposit: u64::from(ppk) * RETRY_COST / 1024,
+            granted: AtomicU64::new(0),
+            denied: AtomicU64::new(0),
+        }
+    }
+
+    /// Try to pay for one retry. `false` means the budget is exhausted and
+    /// the caller must give up instead of retrying.
+    pub fn try_withdraw(&self) -> bool {
+        let mut cur = self.balance.load(Ordering::SeqCst);
+        loop {
+            if cur < RETRY_COST {
+                self.denied.fetch_add(1, Ordering::SeqCst);
+                return false;
+            }
+            match self.balance.compare_exchange(
+                cur,
+                cur - RETRY_COST,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    self.granted.fetch_add(1, Ordering::SeqCst);
+                    return true;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Record one success, earning the deposit fraction back (saturating
+    /// at capacity).
+    pub fn deposit(&self) {
+        let mut cur = self.balance.load(Ordering::SeqCst);
+        loop {
+            let next = (cur + self.deposit).min(self.capacity);
+            if next == cur {
+                return;
+            }
+            match self
+                .balance
+                .compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Whole retry tokens currently available.
+    pub fn tokens(&self) -> u64 {
+        self.balance.load(Ordering::SeqCst) / RETRY_COST
+    }
+
+    /// Retries granted so far.
+    pub fn granted(&self) -> u64 {
+        self.granted.load(Ordering::SeqCst)
+    }
+
+    /// Retries denied so far (each denial is a retry loop giving up).
+    pub fn denied(&self) -> u64 {
+        self.denied.load(Ordering::SeqCst)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker
+// ---------------------------------------------------------------------------
+
+/// Where the breaker's state machine currently sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: every call passes through.
+    Closed,
+    /// Tripped: every call is rejected without touching the backend.
+    Open,
+    /// Cooldown elapsed: exactly one probe call is allowed through; its
+    /// outcome decides between `Closed` and another `Open` round.
+    HalfOpen,
+}
+
+/// A deterministic closed / open / half-open circuit breaker.
+///
+/// `failure_threshold` *consecutive* failures trip the breaker open; it
+/// stays open for `cooldown` on the supplied clock reading, then admits a
+/// single half-open probe. A probe success closes the breaker (and resets
+/// the failure count); a probe failure re-opens it for another cooldown.
+///
+/// All transitions are pure functions of the recorded outcomes and the
+/// clock readings passed in, so a breaker-wrapped client remains fully
+/// deterministic under the virtual clock and the schedule explorer.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    core: Mutex<BreakerCore>,
+    /// Calls rejected while open (fast-failed, never sent).
+    rejected: AtomicU64,
+    /// Times the breaker tripped from closed or half-open to open.
+    opened: AtomicU64,
+}
+
+#[derive(Debug)]
+struct BreakerCore {
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// Clock reading at which the breaker last opened.
+    opened_at: Duration,
+    /// A half-open probe has been admitted and not yet resolved.
+    probe_in_flight: bool,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker tripping after `failure_threshold` consecutive
+    /// failures and cooling down for `cooldown` before each probe.
+    pub fn new(failure_threshold: u32, cooldown: Duration) -> Self {
+        Self {
+            threshold: failure_threshold.max(1),
+            cooldown,
+            core: Mutex::new(BreakerCore {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: Duration::ZERO,
+                probe_in_flight: false,
+            }),
+            rejected: AtomicU64::new(0),
+            opened: AtomicU64::new(0),
+        }
+    }
+
+    /// May a call proceed at clock reading `now`? `false` is a fast-fail:
+    /// the caller must error without touching the backend. Admitting the
+    /// half-open probe is part of this call, so concurrent callers cannot
+    /// both be "the" probe.
+    pub fn allow(&self, now: Duration) -> bool {
+        let mut core = self.core.lock();
+        match core.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now >= core.opened_at.saturating_add(self.cooldown) {
+                    core.state = BreakerState::HalfOpen;
+                    core.probe_in_flight = true;
+                    true
+                } else {
+                    self.rejected.fetch_add(1, Ordering::SeqCst);
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if core.probe_in_flight {
+                    self.rejected.fetch_add(1, Ordering::SeqCst);
+                    false
+                } else {
+                    core.probe_in_flight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Record a successful call: closes a half-open breaker, clears the
+    /// consecutive-failure count.
+    pub fn record_success(&self) {
+        let mut core = self.core.lock();
+        core.consecutive_failures = 0;
+        core.probe_in_flight = false;
+        core.state = BreakerState::Closed;
+    }
+
+    /// Record a failed call at clock reading `now`: re-opens a half-open
+    /// breaker immediately, trips a closed one at the threshold.
+    pub fn record_failure(&self, now: Duration) {
+        let mut core = self.core.lock();
+        match core.state {
+            BreakerState::HalfOpen => {
+                core.probe_in_flight = false;
+                core.state = BreakerState::Open;
+                core.opened_at = now;
+                self.opened.fetch_add(1, Ordering::SeqCst);
+            }
+            BreakerState::Closed => {
+                core.consecutive_failures += 1;
+                if core.consecutive_failures >= self.threshold {
+                    core.state = BreakerState::Open;
+                    core.opened_at = now;
+                    self.opened.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            // Failures recorded while open (in-flight calls that started
+            // before the trip) don't restart the cooldown.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// The state the breaker would act from at clock reading `now`
+    /// (reports `HalfOpen` for an open breaker whose cooldown elapsed,
+    /// without admitting a probe).
+    pub fn state(&self, now: Duration) -> BreakerState {
+        let core = self.core.lock();
+        match core.state {
+            BreakerState::Open if now >= core.opened_at.saturating_add(self.cooldown) => {
+                BreakerState::HalfOpen
+            }
+            s => s,
+        }
+    }
+
+    /// Calls fast-failed while the breaker was open.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::SeqCst)
+    }
+
+    /// Times the breaker has tripped open.
+    pub fn times_opened(&self) -> u64 {
+        self.opened.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use std::sync::Arc;
+
+    const MS: fn(u64) -> Duration = Duration::from_millis;
+
+    #[test]
+    fn deadline_is_absolute_on_the_virtual_clock() {
+        let clock = VirtualClock::new();
+        let d = Deadline::after(&clock, MS(100));
+        assert!(!d.expired(&clock));
+        assert_eq!(d.remaining(&clock), MS(100));
+        clock.advance(MS(60));
+        assert_eq!(d.remaining(&clock), MS(40));
+        clock.advance(MS(40));
+        assert!(d.expired(&clock));
+        assert_eq!(d.remaining(&clock), Duration::ZERO);
+        // Absolute: re-deriving from the instant gives the same deadline.
+        assert_eq!(Deadline::at(d.instant()), d);
+        assert_eq!(d.min(Deadline::at(MS(50))), Deadline::at(MS(50)));
+    }
+
+    #[test]
+    fn budget_bounds_burst_and_earns_back() {
+        let b = RetryBudget::new(3);
+        assert_eq!(b.tokens(), 3);
+        assert!(b.try_withdraw());
+        assert!(b.try_withdraw());
+        assert!(b.try_withdraw());
+        assert!(!b.try_withdraw(), "capacity is a hard burst bound");
+        assert_eq!(b.granted(), 3);
+        assert_eq!(b.denied(), 1);
+        // Successes at the default ~10% deposit rate (99 millitokens
+        // after integer truncation) earn one retry back after 11.
+        for _ in 0..11 {
+            b.deposit();
+        }
+        assert!(b.try_withdraw());
+        assert!(!b.try_withdraw());
+    }
+
+    #[test]
+    fn budget_deposit_saturates_at_capacity() {
+        let b = RetryBudget::with_deposit_ppk(2, 1024);
+        for _ in 0..100 {
+            b.deposit();
+        }
+        assert_eq!(b.tokens(), 2);
+    }
+
+    #[test]
+    fn breaker_trips_cools_probes_and_recovers() {
+        let clock = Arc::new(VirtualClock::new());
+        let br = CircuitBreaker::new(3, MS(100));
+        let now = || clock.now();
+        // Two failures: still closed.
+        br.record_failure(now());
+        br.record_failure(now());
+        assert_eq!(br.state(now()), BreakerState::Closed);
+        assert!(br.allow(now()));
+        // Third consecutive failure trips it.
+        br.record_failure(now());
+        assert_eq!(br.state(now()), BreakerState::Open);
+        assert!(!br.allow(now()), "open fast-fails");
+        assert_eq!(br.rejected(), 1);
+        // Cooldown elapses: exactly one probe goes through.
+        clock.advance(MS(100));
+        assert_eq!(br.state(now()), BreakerState::HalfOpen);
+        assert!(br.allow(now()), "the probe");
+        assert!(!br.allow(now()), "only one probe at a time");
+        // Probe fails: open again, cooldown restarts from now.
+        br.record_failure(now());
+        assert!(!br.allow(now()));
+        clock.advance(MS(100));
+        assert!(br.allow(now()), "second probe");
+        br.record_success();
+        assert_eq!(br.state(now()), BreakerState::Closed);
+        assert!(br.allow(now()));
+        assert_eq!(br.times_opened(), 2);
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_failure_count() {
+        let br = CircuitBreaker::new(2, MS(50));
+        br.record_failure(MS(0));
+        br.record_success();
+        br.record_failure(MS(1));
+        assert_eq!(br.state(MS(1)), BreakerState::Closed, "streak was broken");
+        br.record_failure(MS(2));
+        assert_eq!(br.state(MS(2)), BreakerState::Open);
+    }
+}

@@ -13,8 +13,11 @@
 //! SplitMix-style mixing as [`crate::rng`] — so a replayed run backs off by
 //! identical amounts.
 
+use crate::clock::{Clock, SharedClock};
+use crate::resilience::{Deadline, RetryBudget};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Backoff sleep that turns into a scheduling point under the
@@ -95,19 +98,29 @@ impl BackoffPolicy {
 
     /// The delay to wait after failed attempt `attempt` (0-based), for the
     /// given jitter stream. Pure: same inputs, same answer.
+    ///
+    /// `cap` is a *hard* ceiling: neither attempt-count growth (saturating
+    /// shift, so `attempt = u32::MAX` cannot overflow) nor jitter can push
+    /// the returned delay past it.
     pub fn delay(&self, stream: u64, attempt: u32) -> Duration {
-        let mut nanos = self.base.as_nanos() as u64;
+        let cap = self.cap.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let mut nanos = self.base.as_nanos().min(u128::from(u64::MAX)) as u64;
         if self.exponential {
             let shift = attempt.min(32);
-            nanos = nanos.saturating_shl(shift).min(self.cap.as_nanos() as u64);
+            nanos = nanos.saturating_shl(shift).min(cap);
         }
-        nanos = nanos.min(self.cap.as_nanos() as u64);
+        nanos = nanos.min(cap);
         if self.jitter_ppk > 0 && nanos > 0 {
             // Offset in [-jitter, +jitter] · delay, in 1/1024ths.
             let amplitude = (nanos / 1024).saturating_mul(u64::from(self.jitter_ppk));
             let span = amplitude.saturating_mul(2).max(1);
             let offset = self.mix(stream, attempt) % span;
-            nanos = nanos.saturating_sub(amplitude).saturating_add(offset);
+            // Re-clamp after jitter: the upward half of the offset must
+            // not carry a capped delay past the cap.
+            nanos = nanos
+                .saturating_sub(amplitude)
+                .saturating_add(offset)
+                .min(cap);
         }
         Duration::from_nanos(nanos)
     }
@@ -177,6 +190,8 @@ impl RetryPolicy {
             stream: NEXT_STREAM.fetch_add(1, Ordering::Relaxed),
             started: Instant::now(),
             attempts: 0,
+            budget: None,
+            clock_deadline: None,
         }
     }
 
@@ -191,6 +206,22 @@ impl RetryPolicy {
         label: &str,
         observer: Option<&dyn RetryObserver>,
         retryable: impl Fn(&E) -> bool,
+        body: impl FnMut(u32) -> Result<T, E>,
+    ) -> Result<T, GiveUp<E>> {
+        self.run_resilient(label, observer, Resilience::default(), retryable, body)
+    }
+
+    /// [`run`](RetryPolicy::run) under an external resilience context: an
+    /// absolute [`Deadline`] on a caller-supplied clock (checked before
+    /// every retry, so a retry loop can never outlive its request) and a
+    /// shared [`RetryBudget`] (each retry withdraws a token and an
+    /// exhausted budget ends the loop; success deposits back).
+    pub fn run_resilient<T, E>(
+        &self,
+        label: &str,
+        observer: Option<&dyn RetryObserver>,
+        ctx: Resilience<'_>,
+        retryable: impl Fn(&E) -> bool,
         mut body: impl FnMut(u32) -> Result<T, E>,
     ) -> Result<T, GiveUp<E>> {
         // Both the jitter stream and the deadline clock are only needed
@@ -200,7 +231,12 @@ impl RetryPolicy {
         let mut attempt = 0u32;
         loop {
             match body(attempt) {
-                Ok(v) => return Ok(v),
+                Ok(v) => {
+                    if let Some(budget) = ctx.budget {
+                        budget.deposit();
+                    }
+                    return Ok(v);
+                }
                 Err(e) => {
                     let attempts = attempt + 1;
                     if !retryable(&e) {
@@ -215,9 +251,22 @@ impl RetryPolicy {
                         (Some(d), Some(started)) => started.elapsed() < d,
                         _ => true,
                     };
-                    if !budget_left || !time_left {
+                    let deadline_left = match (ctx.deadline, ctx.clock) {
+                        (Some(d), Some(clock)) => !d.expired(clock),
+                        _ => true,
+                    };
+                    let tokens_left = deadline_left && ctx.budget.is_none_or(|b| b.try_withdraw());
+                    if !budget_left || !time_left || !deadline_left || !tokens_left {
                         if let Some(obs) = observer {
-                            let reason = if budget_left { "deadline" } else { "attempts" };
+                            let reason = if !budget_left {
+                                "attempts"
+                            } else if !deadline_left {
+                                "deadline"
+                            } else if !tokens_left {
+                                "retry-budget"
+                            } else {
+                                "deadline"
+                            };
                             obs.on_give_up(label, attempts, reason);
                         }
                         return Err(GiveUp {
@@ -266,21 +315,91 @@ impl<E: fmt::Display> fmt::Display for GiveUp<E> {
     }
 }
 
+/// External resilience context for one [`RetryPolicy::run_resilient`]
+/// call: an absolute deadline evaluated on a caller-supplied clock, and a
+/// shared retry budget. Both optional and independent.
+#[derive(Clone, Copy, Default)]
+pub struct Resilience<'a> {
+    /// Clock the deadline is evaluated against.
+    pub clock: Option<&'a dyn Clock>,
+    /// Absolute give-up point; checked before every retry.
+    pub deadline: Option<Deadline>,
+    /// Shared token bucket; every retry withdraws, every success deposits.
+    pub budget: Option<&'a RetryBudget>,
+}
+
+impl<'a> Resilience<'a> {
+    /// A context bounding the loop by `deadline` on `clock`.
+    pub fn with_deadline(clock: &'a dyn Clock, deadline: Deadline) -> Self {
+        Self {
+            clock: Some(clock),
+            deadline: Some(deadline),
+            budget: None,
+        }
+    }
+
+    /// Attach a shared retry budget.
+    pub fn with_budget(mut self, budget: &'a RetryBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+}
+
+impl fmt::Debug for Resilience<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Resilience")
+            .field("deadline", &self.deadline)
+            .field("has_clock", &self.clock.is_some())
+            .field("has_budget", &self.budget.is_some())
+            .finish()
+    }
+}
+
 /// Stateful companion for hand-written polling loops (lock acquisition):
 /// call [`next_delay`](RetryTimer::next_delay) after each failed attempt;
 /// `None` means the policy says give up.
-#[derive(Debug)]
 pub struct RetryTimer {
     policy: RetryPolicy,
     label: &'static str,
     stream: u64,
     started: Instant,
     attempts: u32,
+    /// Shared retry budget: each `next_delay` withdraws one token.
+    budget: Option<Arc<RetryBudget>>,
+    /// Absolute deadline on a shared clock, checked before every retry.
+    clock_deadline: Option<(SharedClock, Deadline)>,
+}
+
+impl fmt::Debug for RetryTimer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RetryTimer")
+            .field("policy", &self.policy)
+            .field("label", &self.label)
+            .field("attempts", &self.attempts)
+            .field("has_budget", &self.budget.is_some())
+            .field("deadline", &self.clock_deadline.as_ref().map(|(_, d)| *d))
+            .finish()
+    }
 }
 
 impl RetryTimer {
+    /// Attach a shared [`RetryBudget`]: each retry decision withdraws one
+    /// token, and an empty bucket turns the decision into give-up.
+    pub fn with_budget(mut self, budget: Arc<RetryBudget>) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Bound the loop by an absolute [`Deadline`] on `clock`, layered
+    /// under the policy's own attempt/timeout limits.
+    pub fn until(mut self, clock: SharedClock, deadline: Deadline) -> Self {
+        self.clock_deadline = Some((clock, deadline));
+        self
+    }
+
     /// Record a failed attempt. Returns the delay to sleep before the next
-    /// attempt, or `None` when the attempt budget or deadline is exhausted.
+    /// attempt, or `None` when the attempt budget, deadline, or shared
+    /// retry budget is exhausted.
     pub fn next_delay(&mut self) -> Option<Duration> {
         let attempt = self.attempts;
         self.attempts += 1;
@@ -289,8 +408,17 @@ impl RetryTimer {
             .policy
             .deadline
             .is_none_or(|d| self.started.elapsed() < d);
-        if !budget_left || !time_left {
+        let deadline_left = self
+            .clock_deadline
+            .as_ref()
+            .is_none_or(|(clock, d)| !d.expired(clock.as_ref()));
+        if !budget_left || !time_left || !deadline_left {
             return None;
+        }
+        if let Some(budget) = &self.budget {
+            if !budget.try_withdraw() {
+                return None;
+            }
         }
         Some(self.policy.backoff.delay(self.stream, attempt))
     }
@@ -370,7 +498,9 @@ mod tests {
 
     #[test]
     fn jitter_is_deterministic_and_bounded() {
-        let b = BackoffPolicy::fixed(Duration::from_millis(10)).with_jitter(0.25);
+        // cap > base so the jitter band has headroom on both sides.
+        let b = BackoffPolicy::exponential(Duration::from_millis(10), Duration::from_millis(40))
+            .with_jitter(0.25);
         let d1 = b.delay(3, 0);
         assert_eq!(d1, b.delay(3, 0), "same (stream, attempt) -> same delay");
         assert_ne!(
@@ -383,6 +513,43 @@ mod tests {
             assert!(d >= Duration::from_micros(7500), "{d:?} below -25%");
             assert!(d <= Duration::from_micros(12500), "{d:?} above +25%");
         }
+    }
+
+    #[test]
+    fn jitter_never_exceeds_the_cap() {
+        // At the cap the jitter band's upper half would overshoot; the
+        // post-jitter clamp must hold the ceiling on every stream.
+        let cap = Duration::from_millis(10);
+        let b = BackoffPolicy::fixed(cap).with_jitter(0.25);
+        let mut below = 0;
+        for stream in 0..256 {
+            let d = b.delay(stream, 0);
+            assert!(d <= cap, "stream {stream}: {d:?} exceeds cap {cap:?}");
+            assert!(d >= Duration::from_micros(7500), "{d:?} below -25%");
+            below += usize::from(d < cap);
+        }
+        assert!(below > 0, "jitter must still vary below the cap");
+    }
+
+    #[test]
+    fn huge_attempt_counts_saturate_at_the_cap() {
+        // The other edge: attempt-count growth. Shifting by u32::MAX must
+        // saturate (not wrap to zero or overflow), landing exactly on the
+        // cap — with and without jitter.
+        let cap = Duration::from_secs(2);
+        let b = BackoffPolicy::exponential(Duration::from_millis(1), cap);
+        for attempt in [24, 32, 63, 64, 1000, u32::MAX] {
+            assert_eq!(b.delay(0, attempt), cap, "attempt {attempt}");
+        }
+        let jittered = b.with_jitter(1.0);
+        for attempt in [63, u32::MAX] {
+            for stream in 0..64 {
+                assert!(jittered.delay(stream, attempt) <= cap);
+            }
+        }
+        // Degenerate extreme: a base already above the cap stays capped.
+        let b = BackoffPolicy::exponential(Duration::from_secs(u64::MAX), cap).with_jitter(0.5);
+        assert!(b.delay(9, u32::MAX) <= cap);
     }
 
     #[test]
@@ -484,6 +651,81 @@ mod tests {
                 .lock()
                 .push(format!("give-up {label}@{attempts} ({reason})"));
         }
+    }
+
+    #[test]
+    fn run_resilient_stops_at_the_clock_deadline() {
+        use crate::clock::VirtualClock;
+        let clock = VirtualClock::new();
+        let deadline = Deadline::after(&clock, Duration::from_millis(10));
+        let policy =
+            RetryPolicy::exponential(1000, Duration::from_nanos(1), Duration::from_nanos(1));
+        let mut calls = 0u32;
+        let out: Result<(), GiveUp<&str>> = policy.run_resilient(
+            "t",
+            None,
+            Resilience::with_deadline(&clock, deadline),
+            |_| true,
+            |_| {
+                calls += 1;
+                clock.advance(Duration::from_millis(6));
+                Err("busy")
+            },
+        );
+        let give_up = out.unwrap_err();
+        assert!(give_up.retryable);
+        // First failure at t=6ms: deadline not reached, retry. Second at
+        // t=12ms: expired — give up without burning the attempt budget.
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn run_resilient_respects_and_refills_the_shared_budget() {
+        let budget = RetryBudget::with_deposit_ppk(2, 0);
+        let policy =
+            RetryPolicy::exponential(1000, Duration::from_nanos(1), Duration::from_nanos(1));
+        let ctx = Resilience::default().with_budget(&budget);
+        let mut calls = 0u32;
+        let out: Result<(), GiveUp<&str>> = policy.run_resilient(
+            "t",
+            None,
+            ctx,
+            |_| true,
+            |_| {
+                calls += 1;
+                Err("busy")
+            },
+        );
+        assert!(out.is_err());
+        assert_eq!(calls, 3, "2 tokens = first try + 2 retries");
+        assert_eq!(budget.denied(), 1);
+        // Successes deposit back into the same bucket.
+        let budget = RetryBudget::with_deposit_ppk(1, 1024);
+        assert!(budget.try_withdraw());
+        let ctx = Resilience::default().with_budget(&budget);
+        let out: Result<u32, GiveUp<&str>> = policy.run_resilient("t", None, ctx, |_| true, Ok);
+        assert_eq!(out.unwrap(), 0);
+        assert_eq!(budget.tokens(), 1, "the success earned the token back");
+    }
+
+    #[test]
+    fn timer_honors_clock_deadline_and_budget() {
+        use crate::clock::VirtualClock;
+        let clock = Arc::new(VirtualClock::new());
+        let shared: SharedClock = clock.clone();
+        let policy =
+            RetryPolicy::exponential(1000, Duration::from_nanos(1), Duration::from_nanos(1));
+        let deadline = Deadline::after(shared.as_ref(), Duration::from_millis(5));
+        let mut timer = policy.timer("t").until(shared.clone(), deadline);
+        assert!(timer.next_delay().is_some());
+        clock.advance(Duration::from_millis(5));
+        assert!(timer.next_delay().is_none(), "deadline expired");
+
+        let budget = Arc::new(RetryBudget::with_deposit_ppk(1, 0));
+        let mut timer = policy.timer("t").with_budget(Arc::clone(&budget));
+        assert!(timer.next_delay().is_some());
+        assert!(timer.next_delay().is_none(), "bucket empty");
+        assert_eq!(budget.denied(), 1);
     }
 
     #[test]

@@ -112,6 +112,12 @@ pub(crate) struct DbInner {
     /// Fast path: true once a fault plan was installed, so the common
     /// commit never clones a `FaultPlan`.
     faults_armed: AtomicBool,
+    /// Circuit breaker around the client↔DB connection path; installed
+    /// after construction like the fault plan. While open, statements are
+    /// rejected client-side with [`DbError::CircuitOpen`].
+    breaker: RwLock<Option<Arc<adhoc_sim::CircuitBreaker>>>,
+    /// Fast path: true once a breaker was installed.
+    breaker_armed: AtomicBool,
     /// Observer of [`run_with_retries`](Database::run_with_retries)
     /// decisions (retries and give-ups); the hazard monitor attaches here.
     pub retry_observer: RwLock<Option<Arc<dyn RetryObserver>>>,
@@ -184,6 +190,8 @@ impl Database {
                 observers_attached,
                 faults: RwLock::new(None),
                 faults_armed: AtomicBool::new(false),
+                breaker: RwLock::new(None),
+                breaker_armed: AtomicBool::new(false),
                 retry_observer: RwLock::new(None),
                 retry_observed: AtomicBool::new(false),
                 catalog: RwLock::new(Catalog::default()),
@@ -580,6 +588,67 @@ impl Database {
         }
         let plan = self.inner.faults.read().clone()?;
         plan.arm(OpClass::DbCommit).map(|f| f.kind)
+    }
+
+    /// Install a circuit breaker around the connection path: consecutive
+    /// connection-level failures (dropped statements, lost commit
+    /// acknowledgements) open it, and while open every statement fails
+    /// fast with [`DbError::CircuitOpen`] without paying a round trip.
+    pub fn install_breaker(&self, breaker: Arc<adhoc_sim::CircuitBreaker>) {
+        *self.inner.breaker.write() = Some(breaker);
+        self.inner.breaker_armed.store(true, Ordering::Release);
+    }
+
+    fn breaker(&self) -> Option<Arc<adhoc_sim::CircuitBreaker>> {
+        if !self.inner.breaker_armed.load(Ordering::Acquire) {
+            return None;
+        }
+        self.inner.breaker.read().clone()
+    }
+
+    /// The engine's clock reading (virtual under simulation).
+    pub(crate) fn now(&self) -> std::time::Duration {
+        self.inner.config.clock.now()
+    }
+
+    /// Note a connection-level failure on the breaker (commit path: the
+    /// acknowledgement was lost).
+    pub(crate) fn breaker_note_failure(&self) {
+        if let Some(breaker) = self.breaker() {
+            breaker.record_failure(self.now());
+        }
+    }
+
+    /// One fallible statement round trip: breaker fast-fail (no round trip
+    /// paid, no scheduler yield — opting in never perturbs pinned
+    /// schedules), then the usual charge, then the statement-class fault
+    /// plan ([`OpClass::DbStatement`]): a partitioned statement never
+    /// reaches the engine and surfaces as [`DbError::Partitioned`].
+    pub(crate) fn statement_gate(&self, txn: TxnId) -> Result<()> {
+        let breaker = self.breaker();
+        if let Some(breaker) = &breaker {
+            if !breaker.allow(self.now()) {
+                return Err(DbError::CircuitOpen { txn });
+            }
+        }
+        self.charge_statement();
+        if self.inner.faults_armed.load(Ordering::Acquire) {
+            let plan = self.inner.faults.read().clone();
+            if let Some(plan) = plan {
+                if let Some(fault) = plan.arm_at(OpClass::DbStatement, self.now()) {
+                    if fault.kind == FaultKind::DbPartitioned {
+                        if let Some(breaker) = &breaker {
+                            breaker.record_failure(self.now());
+                        }
+                        return Err(DbError::Partitioned { txn });
+                    }
+                }
+            }
+        }
+        if let Some(breaker) = &breaker {
+            breaker.record_success();
+        }
+        Ok(())
     }
 
     /// Allocate a session id for session-scoped advisory locks (the

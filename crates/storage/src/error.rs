@@ -136,6 +136,33 @@ pub enum DbError {
         /// The table the log named.
         table: String,
     },
+    /// A statement never reached the engine: the client↔DB link is
+    /// partitioned (injected via
+    /// [`FaultKind::DbPartitioned`](adhoc_sim::FaultKind::DbPartitioned)).
+    /// Unlike [`ConnectionLost`](Self::ConnectionLost) this is
+    /// unambiguous — the statement (not a commit) was lost before any
+    /// effect, so retrying the transaction is safe and the classification
+    /// allows it.
+    Partitioned {
+        /// The transaction whose statement was dropped.
+        txn: TxnId,
+    },
+    /// The transaction's absolute deadline passed before this statement
+    /// was sent. Nothing was transmitted; fail fast instead of queueing
+    /// more work behind a request nobody is waiting for. Not retryable —
+    /// the whole request is over.
+    DeadlineExceeded {
+        /// The out-of-time transaction.
+        txn: TxnId,
+    },
+    /// The database circuit breaker is open: the statement was rejected
+    /// client-side without a round trip. Not retryable from inside the
+    /// request (that would defeat the breaker); callers back off or
+    /// degrade.
+    CircuitOpen {
+        /// The rejected transaction.
+        txn: TxnId,
+    },
 }
 
 impl DbError {
@@ -147,6 +174,7 @@ impl DbError {
             DbError::Deadlock { .. }
                 | DbError::SerializationFailure { .. }
                 | DbError::LockWaitTimeout { .. }
+                | DbError::Partitioned { .. }
         )
     }
 }
@@ -204,6 +232,18 @@ impl fmt::Display for DbError {
             DbError::RecoveryFailed { table } => {
                 write!(f, "recovery: log references unknown table {table:?}")
             }
+            DbError::Partitioned { txn } => {
+                write!(f, "statement of txn {txn} lost to a network partition")
+            }
+            DbError::DeadlineExceeded { txn } => {
+                write!(
+                    f,
+                    "deadline exceeded before statement of txn {txn} was sent"
+                )
+            }
+            DbError::CircuitOpen { txn } => {
+                write!(f, "circuit breaker open; statement of txn {txn} rejected")
+            }
         }
     }
 }
@@ -233,6 +273,12 @@ mod tests {
         // Ambiguous outcome: blind retry could double-apply, so the
         // classification refuses it.
         assert!(!DbError::ConnectionLost { txn: 1 }.is_retryable());
+        // A dropped *statement* is unambiguous (nothing reached the
+        // engine), so retrying the transaction is safe.
+        assert!(DbError::Partitioned { txn: 1 }.is_retryable());
+        // Fail-fast rejections must not feed back into retry loops.
+        assert!(!DbError::DeadlineExceeded { txn: 1 }.is_retryable());
+        assert!(!DbError::CircuitOpen { txn: 1 }.is_retryable());
     }
 
     #[test]

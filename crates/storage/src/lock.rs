@@ -184,17 +184,49 @@ impl LockManager {
 
     /// Acquire a record lock, blocking until granted, deadlock, or timeout.
     pub fn lock_record(&self, txn: TxnId, table: usize, row: i64, mode: LockMode) -> Result<()> {
-        self.lock_resource(txn, ResourceId::Record(table, row), mode)
+        self.lock_record_within(txn, table, row, mode, None)
+    }
+
+    /// [`lock_record`](Self::lock_record) with the wait additionally
+    /// capped by `cap` (a transaction deadline's remaining time): the
+    /// effective timeout is the smaller of the engine-wide limit and the
+    /// cap.
+    pub fn lock_record_within(
+        &self,
+        txn: TxnId,
+        table: usize,
+        row: i64,
+        mode: LockMode,
+        cap: Option<Duration>,
+    ) -> Result<()> {
+        self.lock_resource(txn, ResourceId::Record(table, row), mode, cap)
     }
 
     /// Acquire an explicit table lock.
     pub fn lock_table(&self, txn: TxnId, table: usize, mode: LockMode) -> Result<()> {
-        self.lock_resource(txn, ResourceId::Table(table), mode)
+        self.lock_table_within(txn, table, mode, None)
+    }
+
+    /// [`lock_table`](Self::lock_table) with a deadline-derived wait cap.
+    pub fn lock_table_within(
+        &self,
+        txn: TxnId,
+        table: usize,
+        mode: LockMode,
+        cap: Option<Duration>,
+    ) -> Result<()> {
+        self.lock_resource(txn, ResourceId::Table(table), mode, cap)
     }
 
     /// Acquire an advisory (user) lock. Reentrant per transaction.
     pub fn lock_advisory(&self, txn: TxnId, key: i64) -> Result<()> {
-        self.lock_resource(txn, ResourceId::Advisory(key), LockMode::Exclusive)
+        self.lock_advisory_within(txn, key, None)
+    }
+
+    /// [`lock_advisory`](Self::lock_advisory) with a deadline-derived wait
+    /// cap.
+    pub fn lock_advisory_within(&self, txn: TxnId, key: i64, cap: Option<Duration>) -> Result<()> {
+        self.lock_resource(txn, ResourceId::Advisory(key), LockMode::Exclusive, cap)
     }
 
     /// Exclusively lock a unique-index key prior to the uniqueness check.
@@ -205,10 +237,24 @@ impl LockManager {
         column: usize,
         value: Value,
     ) -> Result<()> {
+        self.lock_unique_key_within(txn, table, column, value, None)
+    }
+
+    /// [`lock_unique_key`](Self::lock_unique_key) with a deadline-derived
+    /// wait cap.
+    pub fn lock_unique_key_within(
+        &self,
+        txn: TxnId,
+        table: usize,
+        column: usize,
+        value: Value,
+        cap: Option<Duration>,
+    ) -> Result<()> {
         self.lock_resource(
             txn,
             ResourceId::UniqueKey(table, column, value),
             LockMode::Exclusive,
+            cap,
         )
     }
 
@@ -276,7 +322,13 @@ impl LockManager {
         true
     }
 
-    fn lock_resource(&self, txn: TxnId, id: ResourceId, mode: LockMode) -> Result<()> {
+    fn lock_resource(
+        &self,
+        txn: TxnId,
+        id: ResourceId,
+        mode: LockMode,
+        cap: Option<Duration>,
+    ) -> Result<()> {
         let mut deadline = None;
         loop {
             {
@@ -292,7 +344,7 @@ impl LockManager {
                     return Ok(());
                 }
                 let blockers = state.conflicting(txn, mode);
-                if !self.block_on(&mut inner, txn, blockers, &mut deadline)? {
+                if !self.block_on(&mut inner, txn, blockers, &mut deadline, cap)? {
                     continue;
                 }
             }
@@ -315,6 +367,19 @@ impl LockManager {
     /// Insert-intention check: wait while any *other* transaction holds a
     /// gap lock covering `key` on this index.
     pub fn check_insert(&self, txn: TxnId, table: usize, column: usize, key: &Value) -> Result<()> {
+        self.check_insert_within(txn, table, column, key, None)
+    }
+
+    /// [`check_insert`](Self::check_insert) with a deadline-derived wait
+    /// cap on the gap-holder wait.
+    pub fn check_insert_within(
+        &self,
+        txn: TxnId,
+        table: usize,
+        column: usize,
+        key: &Value,
+        cap: Option<Duration>,
+    ) -> Result<()> {
         let mut deadline = None;
         loop {
             {
@@ -333,7 +398,7 @@ impl LockManager {
                     inner.waits_for.remove(&txn);
                     return Ok(());
                 }
-                if !self.block_on(&mut inner, txn, blockers, &mut deadline)? {
+                if !self.block_on(&mut inner, txn, blockers, &mut deadline, cap)? {
                     continue;
                 }
             }
@@ -369,6 +434,7 @@ impl LockManager {
         txn: TxnId,
         blockers: Vec<TxnId>,
         deadline: &mut Option<Instant>,
+        cap: Option<Duration>,
     ) -> Result<bool> {
         debug_assert!(!blockers.is_empty());
         self.waits.fetch_add(1, Ordering::Relaxed);
@@ -381,7 +447,10 @@ impl LockManager {
         }
         // The timeout clock starts at the first real wait, not at lock
         // entry: the granted-without-waiting path never reads the clock.
-        let deadline = *deadline.get_or_insert_with(|| Instant::now() + self.timeout);
+        // A transaction deadline caps the wait below the engine-wide
+        // limit — an out-of-time request must not camp in the wait queue.
+        let wait = cap.map_or(self.timeout, |c| c.min(self.timeout));
+        let deadline = *deadline.get_or_insert_with(|| Instant::now() + wait);
         if adhoc_sim::sched::under_scheduler() {
             return Ok(true);
         }

@@ -78,6 +78,10 @@ pub struct Transaction {
     read_ranges: Vec<(usize, usize, ValueInterval)>,
     savepoints: Vec<(String, usize)>,
     active: bool,
+    /// Absolute deadline on the engine clock: statements past it fail
+    /// fast with [`DbError::DeadlineExceeded`] before touching the wire,
+    /// and lock waits are capped by the remaining time.
+    deadline: Option<adhoc_sim::Deadline>,
 }
 
 impl Transaction {
@@ -92,7 +96,36 @@ impl Transaction {
             read_ranges: Vec::new(),
             savepoints: Vec::new(),
             active: true,
+            deadline: None,
         }
+    }
+
+    /// Attach an absolute deadline: once the engine clock passes it, every
+    /// subsequent statement fails fast with [`DbError::DeadlineExceeded`]
+    /// (unambiguous — nothing was sent), and lock waits give up once the
+    /// remaining time is spent. The in-flight work is not interrupted;
+    /// this bounds how much *new* work an out-of-time request can queue.
+    pub fn with_deadline(mut self, deadline: adhoc_sim::Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// One statement round trip: deadline fast-fail, then the database's
+    /// breaker/fault gate (see `Database::statement_gate`).
+    fn statement(&self) -> Result<()> {
+        if let Some(deadline) = &self.deadline {
+            if deadline.instant() <= self.db.now() {
+                return Err(DbError::DeadlineExceeded { txn: self.id });
+            }
+        }
+        self.db.statement_gate(self.id)
+    }
+
+    /// How long lock waits may still run under the transaction deadline
+    /// (`None` = only the engine-wide lock-wait timeout applies).
+    fn wait_cap(&self) -> Option<std::time::Duration> {
+        self.deadline
+            .map(|d| d.instant().saturating_sub(self.db.now()))
     }
 
     /// This transaction's id.
@@ -264,7 +297,7 @@ impl Transaction {
 
     fn get_inner(&mut self, table: &str, id: i64) -> Result<Option<Row>> {
         self.ensure_active()?;
-        self.db.charge_statement();
+        self.statement()?;
         let t = self.resolve(table)?;
         let tid = t.id;
         if let Some(p) = self.pending_row(tid, id) {
@@ -272,9 +305,13 @@ impl Transaction {
         }
         match (self.profile(), self.iso) {
             (EngineProfile::MySqlLike, IsolationLevel::Serializable) => {
-                self.db
-                    .locks()
-                    .lock_record(self.id, tid, id, LockMode::Shared)?;
+                self.db.locks().lock_record_within(
+                    self.id,
+                    tid,
+                    id,
+                    LockMode::Shared,
+                    self.wait_cap(),
+                )?;
                 Ok(self.latest(tid, id))
             }
             (profile, iso) => {
@@ -294,7 +331,7 @@ impl Transaction {
     /// set — both at the gap granularity §3.3.2 describes.
     pub fn scan(&mut self, table: &str, pred: &Predicate) -> Result<Vec<(i64, Row)>> {
         self.ensure_active()?;
-        self.db.charge_statement();
+        self.statement()?;
         let t = self.resolve(table)?;
         let tid = t.id;
         let plan = self.plan(&t, pred)?;
@@ -302,9 +339,13 @@ impl Transaction {
         let mut matched: BTreeMap<i64, Row> = BTreeMap::new();
         if self.profile() == EngineProfile::MySqlLike && self.iso == IsolationLevel::Serializable {
             for id in &plan.ids {
-                self.db
-                    .locks()
-                    .lock_record(self.id, tid, *id, LockMode::Shared)?;
+                self.db.locks().lock_record_within(
+                    self.id,
+                    tid,
+                    *id,
+                    LockMode::Shared,
+                    self.wait_cap(),
+                )?;
             }
             self.db
                 .locks()
@@ -376,7 +417,7 @@ impl Transaction {
     /// this access out of coordination (§3.1.1's partial coordination).
     pub fn get_read_committed(&mut self, table: &str, id: i64) -> Result<Option<Row>> {
         self.ensure_active()?;
-        self.db.charge_statement();
+        self.statement()?;
         let t = self.resolve(table)?;
         if let Some(p) = self.pending_row(t.id, id) {
             return Ok(p.cloned());
@@ -398,14 +439,18 @@ impl Transaction {
     ///   transaction snapshot (first-updater-wins).
     pub fn select_for_update(&mut self, table: &str, pred: &Predicate) -> Result<Vec<(i64, Row)>> {
         self.ensure_active()?;
-        self.db.charge_statement();
+        self.statement()?;
         let t = self.resolve(table)?;
         let tid = t.id;
         let plan = self.plan(&t, pred)?;
         for id in &plan.ids {
-            self.db
-                .locks()
-                .lock_record(self.id, tid, *id, LockMode::Exclusive)?;
+            self.db.locks().lock_record_within(
+                self.id,
+                tid,
+                *id,
+                LockMode::Exclusive,
+                self.wait_cap(),
+            )?;
         }
         if self.profile() == EngineProfile::MySqlLike && self.iso >= IsolationLevel::RepeatableRead
         {
@@ -458,12 +503,16 @@ impl Transaction {
 
     fn get_for_update_inner(&mut self, table: &str, id: i64) -> Result<Option<Row>> {
         self.ensure_active()?;
-        self.db.charge_statement();
+        self.statement()?;
         let t = self.resolve(table)?;
         let tid = t.id;
-        self.db
-            .locks()
-            .lock_record(self.id, tid, id, LockMode::Exclusive)?;
+        self.db.locks().lock_record_within(
+            self.id,
+            tid,
+            id,
+            LockMode::Exclusive,
+            self.wait_cap(),
+        )?;
         if let Some(p) = self.pending_row(tid, id) {
             return Ok(p.cloned());
         }
@@ -503,7 +552,7 @@ impl Transaction {
     /// semantics, the blocking side of §3.3.2's false conflicts).
     pub fn insert(&mut self, table: &str, pairs: &[(&str, Value)]) -> Result<i64> {
         self.ensure_active()?;
-        self.db.charge_statement();
+        self.statement()?;
         let t = self.resolve(table)?;
         let tid = t.id;
         let pk_name = t.schema.columns[t.schema.primary_key].name.clone();
@@ -537,24 +586,38 @@ impl Transaction {
         // Gap-lock (insert intention) checks, MySQL-like only.
         let indexed = t.indexed_columns();
         if self.profile() == EngineProfile::MySqlLike {
-            self.db
-                .locks()
-                .check_insert(self.id, tid, t.schema.primary_key, &Value::Int(id))?;
+            self.db.locks().check_insert_within(
+                self.id,
+                tid,
+                t.schema.primary_key,
+                &Value::Int(id),
+                self.wait_cap(),
+            )?;
             for col in &indexed {
-                self.db
-                    .locks()
-                    .check_insert(self.id, tid, *col, row.at(*col))?;
+                self.db.locks().check_insert_within(
+                    self.id,
+                    tid,
+                    *col,
+                    row.at(*col),
+                    self.wait_cap(),
+                )?;
             }
         }
 
         // Lock the record and any unique keys, then check uniqueness.
-        self.db
-            .locks()
-            .lock_record(self.id, tid, id, LockMode::Exclusive)?;
+        self.db.locks().lock_record_within(
+            self.id,
+            tid,
+            id,
+            LockMode::Exclusive,
+            self.wait_cap(),
+        )?;
         for col in indexed.iter().filter(|c| t.index_on(**c) == Some(true)) {
             let key = row.at(*col).clone();
             if !key.is_null() {
-                self.db.locks().lock_unique_key(self.id, tid, *col, key)?;
+                self.db
+                    .locks()
+                    .lock_unique_key_within(self.id, tid, *col, key, self.wait_cap())?;
             }
         }
         t.check_unique(&row, None)?;
@@ -593,12 +656,16 @@ impl Transaction {
     /// snapshot (first-committer/updater-wins).
     pub fn update(&mut self, table: &str, id: i64, pairs: &[(&str, Value)]) -> Result<()> {
         self.ensure_active()?;
-        self.db.charge_statement();
+        self.statement()?;
         let t = self.resolve(table)?;
         let tid = t.id;
-        self.db
-            .locks()
-            .lock_record(self.id, tid, id, LockMode::Exclusive)?;
+        self.db.locks().lock_record_within(
+            self.id,
+            tid,
+            id,
+            LockMode::Exclusive,
+            self.wait_cap(),
+        )?;
 
         let base: Row = match self.pending_row(tid, id) {
             Some(Some(row)) => row.clone(),
@@ -677,7 +744,9 @@ impl Transaction {
             if key.is_null() || base.at(col) == &key {
                 continue;
             }
-            self.db.locks().lock_unique_key(self.id, t.id, col, key)?;
+            self.db
+                .locks()
+                .lock_unique_key_within(self.id, t.id, col, key, self.wait_cap())?;
             t.check_unique(new_row, Some(id))?;
         }
         Ok(())
@@ -696,14 +765,18 @@ impl Transaction {
         pairs: &[(&str, Value)],
     ) -> Result<usize> {
         self.ensure_active()?;
-        self.db.charge_statement();
+        self.statement()?;
         let t = self.resolve(table)?;
         let tid = t.id;
         let plan = self.plan(&t, pred)?;
         for id in &plan.ids {
-            self.db
-                .locks()
-                .lock_record(self.id, tid, *id, LockMode::Exclusive)?;
+            self.db.locks().lock_record_within(
+                self.id,
+                tid,
+                *id,
+                LockMode::Exclusive,
+                self.wait_cap(),
+            )?;
         }
         if self.profile() == EngineProfile::MySqlLike && self.iso >= IsolationLevel::RepeatableRead
         {
@@ -774,12 +847,16 @@ impl Transaction {
     /// `DELETE FROM table WHERE pk = id`. Returns whether a row existed.
     pub fn delete(&mut self, table: &str, id: i64) -> Result<bool> {
         self.ensure_active()?;
-        self.db.charge_statement();
+        self.statement()?;
         let t = self.resolve(table)?;
         let tid = t.id;
-        self.db
-            .locks()
-            .lock_record(self.id, tid, id, LockMode::Exclusive)?;
+        self.db.locks().lock_record_within(
+            self.id,
+            tid,
+            id,
+            LockMode::Exclusive,
+            self.wait_cap(),
+        )?;
         let existed = match self.pending_row(tid, id) {
             Some(Some(_)) => true,
             Some(None) => false,
@@ -812,17 +889,21 @@ impl Transaction {
     /// Explicit table lock (the coordination hint of §6 / Table 7a).
     pub fn lock_table(&mut self, table: &str, mode: LockMode) -> Result<()> {
         self.ensure_active()?;
-        self.db.charge_statement();
+        self.statement()?;
         let t = self.resolve(table)?;
-        self.db.locks().lock_table(self.id, t.id, mode)
+        self.db
+            .locks()
+            .lock_table_within(self.id, t.id, mode, self.wait_cap())
     }
 
     /// Transaction-scoped advisory lock (released at commit/abort), like
     /// PostgreSQL's `pg_advisory_xact_lock`.
     pub fn advisory_lock(&mut self, key: i64) -> Result<()> {
         self.ensure_active()?;
-        self.db.charge_statement();
-        self.db.locks().lock_advisory(self.id, key)
+        self.statement()?;
+        self.db
+            .locks()
+            .lock_advisory_within(self.id, key, self.wait_cap())
     }
 
     /// `SAVEPOINT name`.
@@ -860,6 +941,7 @@ impl Transaction {
             // transaction back and the client sees a dropped connection.
             Some(adhoc_sim::FaultKind::CommitFailed) => {
                 self.finish(false);
+                self.db.breaker_note_failure();
                 return Err(DbError::ConnectionLost { txn: self.id });
             }
             // The commit goes through and becomes durable, but the
@@ -897,6 +979,7 @@ impl Transaction {
         match self.try_commit(outcome) {
             Ok(()) => {
                 self.finish(true);
+                self.db.breaker_note_failure();
                 Err(DbError::ConnectionLost { txn: self.id })
             }
             Err(e) => {

@@ -94,3 +94,178 @@ fn fault_free_plan_changes_nothing() {
     insert_row(&db, 1).unwrap();
     assert_eq!(db.stats().commits, 1);
 }
+
+// --- Partition, deadline, and circuit-breaker resilience ------------------
+
+use adhoc_sim::{CircuitBreaker, Deadline, LatencyModel, OpClass, VirtualClock};
+use adhoc_storage::DbConfig;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn networked_db_with_table(clock: adhoc_sim::SharedClock) -> Database {
+    let db = Database::new(DbConfig::networked(
+        EngineProfile::PostgresLike,
+        clock,
+        LatencyModel::zero(),
+    ));
+    db.create_table(
+        Schema::new(
+            "t",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("v", ColumnType::Int),
+            ],
+            "id",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn statement_partition_is_unambiguous_and_retryable() {
+    let db = db_with_table();
+    db.inject_faults(FaultPlan::new(
+        1,
+        vec![FaultRule::at_ops(FaultKind::DbPartitioned, &[0])],
+    ));
+    let err = insert_row(&db, 1).unwrap_err();
+    // The statement never reached the engine, so unlike ConnectionLost the
+    // failure is unambiguous and the classification allows a retry.
+    assert!(matches!(err, DbError::Partitioned { .. }));
+    assert!(err.is_retryable());
+    assert_eq!(db.latest_committed("t", 1).unwrap(), None);
+    insert_row(&db, 1).unwrap();
+    assert_eq!(db.stats().commits, 1, "the retry applied exactly once");
+}
+
+#[test]
+fn run_with_retries_rides_out_a_statement_partition() {
+    let db = db_with_table();
+    db.inject_faults(FaultPlan::new(
+        1,
+        vec![FaultRule::at_ops(FaultKind::DbPartitioned, &[0, 1])],
+    ));
+    db.run_with_retries(db.default_isolation(), 5, |txn| {
+        txn.insert("t", &[("id", Value::Int(9)), ("v", Value::Int(1))])
+    })
+    .unwrap();
+    assert_eq!(db.stats().commits, 1);
+}
+
+#[test]
+fn transaction_deadline_fails_fast_before_any_statement() {
+    let clock = Arc::new(VirtualClock::new());
+    let db = networked_db_with_table(clock.clone());
+    let deadline = Deadline::at(Duration::from_millis(50));
+    clock.advance(Duration::from_millis(100));
+    let mut txn = db.begin().with_deadline(deadline);
+    let err = txn
+        .insert("t", &[("id", Value::Int(1)), ("v", Value::Int(1))])
+        .unwrap_err();
+    assert!(matches!(err, DbError::DeadlineExceeded { .. }));
+    // Fail-fast rejections must not feed back into retry loops.
+    assert!(!err.is_retryable());
+    txn.abort();
+    assert_eq!(db.latest_committed("t", 1).unwrap(), None);
+}
+
+#[test]
+fn deadline_caps_lock_waits_below_the_engine_timeout() {
+    let clock = adhoc_sim::RealClock::shared();
+    let mut config = DbConfig::networked(
+        EngineProfile::PostgresLike,
+        clock.clone(),
+        LatencyModel::zero(),
+    );
+    config.lock_wait_timeout = Duration::from_secs(30);
+    let db = Database::new(config);
+    db.create_table(
+        Schema::new(
+            "t",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("v", ColumnType::Int),
+            ],
+            "id",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    insert_row(&db, 1).unwrap();
+
+    // Holder: an uncommitted exclusive record lock.
+    let mut holder = db.begin();
+    holder.update("t", 1, &[("v", Value::Int(2))]).unwrap();
+
+    // Waiter: a 50 ms deadline caps the wait far below the 30 s engine
+    // timeout, so the overload can't pile requests up behind a dead one.
+    let mut waiter = db
+        .begin()
+        .with_deadline(Deadline::after(&*clock, Duration::from_millis(50)));
+    let started = std::time::Instant::now();
+    let err = waiter.update("t", 1, &[("v", Value::Int(3))]).unwrap_err();
+    assert!(matches!(err, DbError::LockWaitTimeout { .. }));
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "wait was capped by the deadline, not the engine timeout"
+    );
+    waiter.abort();
+    holder.commit().unwrap();
+}
+
+#[test]
+fn db_breaker_opens_after_partition_failures_and_recovers() {
+    let clock = Arc::new(VirtualClock::new());
+    let db = networked_db_with_table(clock.clone());
+    let plan = FaultPlan::new(
+        1,
+        vec![FaultRule::at_ops(FaultKind::DbPartitioned, &[0, 1])],
+    );
+    db.inject_faults(plan.clone());
+    let breaker = Arc::new(CircuitBreaker::new(2, Duration::from_secs(10)));
+    db.install_breaker(breaker.clone());
+
+    for id in 1..=2 {
+        let err = insert_row(&db, id).unwrap_err();
+        assert!(matches!(err, DbError::Partitioned { .. }));
+    }
+    // Two consecutive losses tripped the breaker: the next statement is
+    // rejected locally without consuming a wire operation.
+    let err = insert_row(&db, 3).unwrap_err();
+    assert!(matches!(err, DbError::CircuitOpen { .. }));
+    assert_eq!(
+        plan.ops_seen(OpClass::DbStatement),
+        2,
+        "the rejected statement never reached the fault plan"
+    );
+
+    // After the cooldown a single probe is admitted; its success closes
+    // the breaker and traffic resumes.
+    clock.advance(Duration::from_secs(11));
+    insert_row(&db, 3).unwrap();
+    insert_row(&db, 4).unwrap();
+    assert_eq!(breaker.times_opened(), 1);
+    assert_eq!(db.stats().commits, 2);
+}
+
+#[test]
+fn commit_faults_feed_the_db_breaker() {
+    let clock = Arc::new(VirtualClock::new());
+    let db = networked_db_with_table(clock.clone());
+    db.inject_faults(FaultPlan::new(
+        1,
+        vec![FaultRule::at_ops(FaultKind::CommitFailed, &[0])],
+    ));
+    let breaker = Arc::new(CircuitBreaker::new(1, Duration::from_secs(10)));
+    db.install_breaker(breaker.clone());
+
+    let err = insert_row(&db, 1).unwrap_err();
+    assert!(matches!(err, DbError::ConnectionLost { .. }));
+    // The failed commit tripped the one-strike breaker: statements are now
+    // rejected at the front door.
+    let err = insert_row(&db, 2).unwrap_err();
+    assert!(matches!(err, DbError::CircuitOpen { .. }));
+    assert_eq!(breaker.times_opened(), 1);
+}

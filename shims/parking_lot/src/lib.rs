@@ -146,6 +146,24 @@ impl Condvar {
         guard.0 = Some(self.0.wait(inner).unwrap_or_else(|e| e.into_inner()));
     }
 
+    /// Wait until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard already taken");
+        let (inner, result) = match self.0.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(e) => {
+                let (g, r) = e.into_inner();
+                (g, r)
+            }
+        };
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result.timed_out())
+    }
+
     /// Wait until notified or `deadline` passes.
     pub fn wait_until<T>(
         &self,

@@ -64,6 +64,16 @@ pub const SCENARIOS: &[(&str, Expect, Scenario)] = &[
         Expect::Pass,
         ttl_steal_checked_unlock,
     ),
+    (
+        "ttl-steal-unfenced-write",
+        Expect::Fail,
+        ttl_steal_unfenced_write,
+    ),
+    (
+        "ttl-steal-fenced-write",
+        Expect::Pass,
+        ttl_steal_fenced_write,
+    ),
     ("validation-scope-gap", Expect::Fail, validation_scope_gap),
     ("validation-atomic", Expect::Pass, validation_atomic),
     (
@@ -310,6 +320,86 @@ pub fn ttl_steal_unchecked_unlock(trial: &mut Trial) -> Result<(), String> {
 /// deleting someone else's lease.
 pub fn ttl_steal_checked_unlock(trial: &mut Trial) -> Result<(), String> {
     ttl_steal(trial, true)
+}
+
+/// The write-side of the TTL steal: a zombie holder whose lease expired
+/// writes to the guarded resource anyway. Unfenced, some schedule lets
+/// the stale write land *after* the live holder's and corrupt it; with
+/// monotonic fencing tokens the store's fence floor bounces every stale
+/// write, in every schedule.
+fn ttl_steal_write(trial: &mut Trial, fenced: bool) -> Result<(), String> {
+    let clock = Arc::new(VirtualClock::new());
+    let kv = Client::new(Store::new(), clock.clone(), LatencyModel::zero());
+    let mut lock = KvSetNxLock::new(kv.clone()).with_ttl(Duration::from_millis(100));
+    if fenced {
+        lock = lock.with_fencing();
+    }
+    let lock = Arc::new(lock);
+    let corrupted = Arc::new(AtomicBool::new(false));
+
+    // Task 0 acquires, overstays its lease, then blindly writes the
+    // guarded payload — never consulting its guard (the §4.1.1 bug).
+    {
+        let lock = Arc::clone(&lock);
+        let clock = Arc::clone(&clock);
+        let kv = kv.clone();
+        trial.task("zombie", move || {
+            let guard = lock.lock("cred:1").unwrap();
+            let token = guard.fencing_token();
+            clock.advance(Duration::from_millis(200)); // lease expires here
+            match token {
+                Some(t) => {
+                    // The fence: the store rejects the write when a newer
+                    // lease has raised the floor.
+                    let _ = kv.fenced_set("cred:1:payload", "zombie", t);
+                }
+                None => {
+                    let _ = kv.set("cred:1:payload", "zombie");
+                }
+            }
+            // No unlock: the zombie believes it still holds the lease.
+        });
+    }
+    // Task 1 acquires after the expiry, writes, and must read its own
+    // write back — the zombie's stale write must never clobber it.
+    {
+        let lock = Arc::clone(&lock);
+        let corrupted = Arc::clone(&corrupted);
+        trial.task("victim", move || {
+            let guard = lock.lock("cred:1").unwrap();
+            match guard.fencing_token() {
+                Some(t) => {
+                    assert!(
+                        kv.fenced_set("cred:1:payload", "victim", t).unwrap(),
+                        "the live holder's token dominates every earlier grant"
+                    );
+                }
+                None => {
+                    kv.set("cred:1:payload", "victim").unwrap();
+                }
+            }
+            if kv.get("cred:1:payload").unwrap().as_deref() != Some("victim") {
+                corrupted.store(true, Ordering::SeqCst);
+            }
+            let _ = guard.unlock();
+        });
+    }
+    trial.run()?;
+    if corrupted.load(Ordering::SeqCst) {
+        return Err("TTL steal: a zombie write clobbered the live holder's payload".into());
+    }
+    Ok(())
+}
+
+/// Buggy: the zombie's unfenced write can land after the live holder's.
+pub fn ttl_steal_unfenced_write(trial: &mut Trial) -> Result<(), String> {
+    ttl_steal_write(trial, false)
+}
+
+/// Correct: fencing tokens make the TTL steal race-free in every
+/// schedule — stale writes bounce off the store's fence floor.
+pub fn ttl_steal_fenced_write(trial: &mut Trial) -> Result<(), String> {
+    ttl_steal_write(trial, true)
 }
 
 // ---------------------------------------------------------------------------

@@ -137,6 +137,104 @@ fn fenced_holder_survives_the_ambiguous_setnx() {
 }
 
 // ---------------------------------------------------------------------------
+// Ambiguous replies on the lease-*release* path: EXPIRE and DEL (§3.4.2).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lost_del_reply_is_not_a_held_lease() {
+    let clock = Arc::new(VirtualClock::new());
+    // Op 0 is the SETNX acquire; op 1 is the unlock's DEL, whose reply the
+    // partition eats *after* the server applied it.
+    let plan = FaultPlan::new(
+        SEED,
+        vec![FaultRule::at_ops(FaultKind::PartitionOutbound, &[1])],
+    );
+    let client = faulted_client(clock, plan.clone());
+    let lock = KvSetNxLock::new(client.clone());
+    let guard = lock.lock("job:42").expect("uncontended acquire");
+
+    // The release errors ambiguously — but the DEL landed. Treating the
+    // error as "release failed, the lock is still mine" and carrying on
+    // with the critical section is the bug: the entry is gone and the
+    // next acquirer walks straight in.
+    let err = guard.unlock().unwrap_err();
+    assert!(matches!(err, LockError::Backend(_)));
+    assert_eq!(plan.fired(), 1);
+    assert_eq!(
+        client.store().get("job:42", Duration::ZERO).unwrap(),
+        None,
+        "the DEL applied server-side despite the lost reply"
+    );
+    let second = lock.lock("job:42").expect("the lock is genuinely free");
+
+    // The sound recovery: DEL is idempotent, so re-issuing it and reading
+    // `false` (nothing to delete — someone may already hold a *new*
+    // grant) confirms release without clobbering the new holder.
+    assert!(client.del("job:42").unwrap());
+    let _ = second; // second's entry was removed by the blind retry —
+                    // which is exactly why correct unlocks check ownership
+                    // (see store_restart_loses_leases_but_not_persistent_locks).
+}
+
+#[test]
+fn owner_checked_unlock_survives_the_lost_del_reply() {
+    let clock = Arc::new(VirtualClock::new());
+    // After the SETNX acquire (op 0), the leased unlock conversation
+    // pays GET (op 1) and EXEC (op 2): lose the EXEC reply after the
+    // atomic delete commits.
+    let plan = FaultPlan::new(
+        SEED,
+        vec![FaultRule::at_ops(FaultKind::PartitionOutbound, &[2])],
+    );
+    let client = faulted_client(clock, plan.clone());
+    let lock = KvSetNxLock::new(client.clone()).with_ttl(Duration::from_secs(60));
+    let guard = lock.lock("job:43").expect("uncontended acquire");
+    let result = guard.unlock();
+    // Whatever the unlock reported, the entry must be gone (the atomic
+    // delete committed) and a fresh acquirer must succeed — an ambiguous
+    // release may confuse the *old* holder but never blocks the *next*.
+    assert_eq!(client.store().get("job:43", Duration::ZERO).unwrap(), None);
+    lock.lock("job:43")
+        .expect("released lease is acquirable")
+        .unlock()
+        .unwrap();
+    drop(result);
+}
+
+#[test]
+fn lost_expire_reply_still_arms_the_ttl() {
+    let clock = Arc::new(VirtualClock::new());
+    // Op 0: SET session token. Op 1: EXPIRE whose reply is lost after the
+    // server armed the TTL.
+    let plan = FaultPlan::new(SEED, vec![FaultRule::at_ops(FaultKind::ReplyLost, &[1])]);
+    let client = faulted_client(clock.clone(), plan.clone());
+    client.set("session:9", "tok").unwrap();
+    let err = client
+        .expire("session:9", Duration::from_millis(100))
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        adhoc_transactions::kv::KvError::ConnectionLost
+    ));
+    assert_eq!(plan.fired(), 1);
+    // The naive reading of the error — "the EXPIRE didn't take, the entry
+    // is durable" — is wrong: the TTL is live and the entry will vanish.
+    assert!(
+        matches!(
+            client.ttl("session:9"),
+            adhoc_transactions::kv::Ttl::Remaining(_)
+        ),
+        "TTL armed despite the lost reply"
+    );
+    clock.advance(Duration::from_millis(200));
+    assert_eq!(
+        client.get("session:9").unwrap(),
+        None,
+        "the session expired exactly as the server was told"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // §3.4.1 strategy 1 — error return (Mastodon invites).
 // ---------------------------------------------------------------------------
 

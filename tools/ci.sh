@@ -37,12 +37,20 @@ timeout 120 cargo test -q --release --test crash_recovery_oracle -- \
 echo "==> WAL format fuzz smoke (<60s)"
 timeout 60 cargo test -q --release -p adhoc-storage --test wal_properties
 
+# Chaos smoke gate: the metastability oracle — a seeded 30-tick partition
+# storm through the full resilience stack (deadlines, retry budget,
+# breaker, admission doors, fencing) vs the naive ablation, plus the
+# ambiguous-reply fault family. Fully virtual-clock-driven and
+# deterministic; the timeout guards only against accidental inflation.
+echo "==> chaos smoke gate (partition storm + fault suite, <60s)"
+timeout 60 cargo test -q --release --test resilience_oracle --test fault_suite
+
 # Tiny-duty-cycle scaling-bench smoke: proves the sweeps run end to end
-# and emit well-formed BENCH_fig2.json/BENCH_fig3.json/BENCH_wal.json.
+# and emit well-formed BENCH_{fig2,fig3,wal,resilience}.json.
 # Numbers from the smoke windows are noise — the committed artifacts come
 # from ./tools/bench.sh with full windows.
 echo "==> bench smoke (BENCH_SCALE=smoke)"
 BENCH_SCALE=smoke ./tools/bench.sh target/bench-smoke >/dev/null
-python3 -c "import json; [json.load(open(f'target/bench-smoke/BENCH_{n}.json')) for n in ('fig2', 'fig3', 'wal')]"
+python3 -c "import json; [json.load(open(f'target/bench-smoke/BENCH_{n}.json')) for n in ('fig2', 'fig3', 'wal', 'resilience')]"
 
 echo "==> CI green"
