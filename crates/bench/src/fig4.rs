@@ -225,23 +225,32 @@ mod tests {
             image_cost: Duration::from_millis(8),
             ..Fig4Config::default()
         };
-        let rows: Vec<Fig4Row> = strategies()
-            .into_iter()
-            .map(|s| run_rollback(s, &cfg))
-            .collect();
-        let min = rows.iter().map(|r| r.mean_latency).min().expect("rows");
-        let max = rows.iter().map(|r| r.mean_latency).max().expect("rows");
-        assert!(
-            max < min * 3,
-            "no-conflict latencies should be comparable: {rows:?}"
-        );
-        for r in &rows {
-            assert_eq!(
-                r.restarts, 0,
-                "{:?} restarted without conflicts",
-                r.strategy
-            );
+        // Mean latency is wall-clock: a measurement round that loses the
+        // CPU to a concurrent test binary can skew one strategy. The
+        // similarity band only has to hold for an undisturbed round, so
+        // retry a few times before declaring the latencies divergent. The
+        // zero-restart invariant is deterministic and must hold each round.
+        let mut last = String::new();
+        for _ in 0..5 {
+            let rows: Vec<Fig4Row> = strategies()
+                .into_iter()
+                .map(|s| run_rollback(s, &cfg))
+                .collect();
+            for r in &rows {
+                assert_eq!(
+                    r.restarts, 0,
+                    "{:?} restarted without conflicts",
+                    r.strategy
+                );
+            }
+            let min = rows.iter().map(|r| r.mean_latency).min().expect("rows");
+            let max = rows.iter().map(|r| r.mean_latency).max().expect("rows");
+            if max < min * 3 {
+                return;
+            }
+            last = format!("{rows:?}");
         }
+        panic!("no-conflict latencies should be comparable: {last}");
     }
 
     #[test]

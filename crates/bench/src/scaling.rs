@@ -64,12 +64,45 @@ pub struct ScalingCell {
 /// its own private ids).
 const ROWS_PER_THREAD: i64 = 16;
 
+/// Durability mode of one WAL-ablation cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalMode {
+    /// No write-ahead log at all.
+    Off,
+    /// Per-commit fsync (`WalSyncPolicy::OnCommit`): the safe policy,
+    /// paid on every commit.
+    OnCommit,
+    /// Group commit (`WalSyncPolicy::GroupCommit`): still acked ⇒ durable,
+    /// but concurrent commits share one leader fsync.
+    GroupCommit,
+}
+
+impl WalMode {
+    /// JSON/label name.
+    pub fn label(self) -> &'static str {
+        match self {
+            WalMode::Off => "off",
+            WalMode::OnCommit => "on_commit",
+            WalMode::GroupCommit => "group_commit",
+        }
+    }
+
+    /// Whether a log exists at all.
+    pub fn enabled(self) -> bool {
+        self != WalMode::Off
+    }
+}
+
 /// Build the bench table and seed every row the sweep will touch.
-/// `wal` turns on the write-ahead log (OnCommit sync policy) so the same
-/// workload measures durability overhead.
-fn seed_db(threads_max: usize, wal: bool) -> Database {
+/// `wal` selects the write-ahead-log policy so the same workload measures
+/// durability overhead.
+fn seed_db(threads_max: usize, wal: WalMode) -> Database {
     let cfg = DbConfig::in_memory(EngineProfile::PostgresLike);
-    let db = Database::new(if wal { cfg.with_wal() } else { cfg });
+    let db = Database::new(match wal {
+        WalMode::Off => cfg,
+        WalMode::OnCommit => cfg.with_wal(),
+        WalMode::GroupCommit => cfg.with_wal_group_commit(),
+    });
     db.create_table(
         Schema::new(
             "bench_rows",
@@ -94,7 +127,15 @@ fn seed_db(threads_max: usize, wal: bool) -> Database {
 
 /// Measure one (threads, pattern) cell for `window` on a fresh database.
 fn measure_commits(threads: usize, pattern: KeyPattern, window: Duration) -> ScalingCell {
-    measure_commits_wal(threads, pattern, window, false)
+    measure_commits_wal(threads, pattern, window, WalMode::Off)
+}
+
+/// Warmup slice run before the measured window of each cell: lets thread
+/// spawn cost, allocator steady state, and (with batching) the first
+/// timestamp-block grants settle before counting starts. The counters are
+/// zeroed at the warmup/measure boundary.
+fn warmup_of(window: Duration) -> Duration {
+    window / 4
 }
 
 /// Like [`measure_commits`], with the WAL switchable on.
@@ -102,7 +143,7 @@ fn measure_commits_wal(
     threads: usize,
     pattern: KeyPattern,
     window: Duration,
-    wal: bool,
+    wal: WalMode,
 ) -> ScalingCell {
     let db = seed_db(threads, wal);
     let stop = Arc::new(AtomicBool::new(false));
@@ -138,6 +179,9 @@ fn measure_commits_wal(
                 }
             });
         }
+        std::thread::sleep(warmup_of(window));
+        committed.store(0, Ordering::Relaxed);
+        attempts.store(0, Ordering::Relaxed);
         std::thread::sleep(window);
         stop.store(true, Ordering::Relaxed);
     });
@@ -180,26 +224,40 @@ fn measure_kv(threads: usize, pattern: KeyPattern, window: Duration) -> ScalingC
             let committed = Arc::clone(&committed);
             let attempts = Arc::clone(&attempts);
             s.spawn(move || {
+                use std::fmt::Write;
+                // Precompute the key set and reuse one watched tuple + one
+                // buffered op: the steady-state loop then allocates nothing,
+                // so the sweep measures the store, not the workload's
+                // formatting.
+                let keys: Vec<String> = match pattern {
+                    KeyPattern::Disjoint => (0..16).map(|k| format!("k:{t}:{k}")).collect(),
+                    KeyPattern::SameKey => vec!["hot".to_string()],
+                };
+                let mut watched = vec![(String::new(), 0u64)];
+                let mut ops = vec![WriteOp::Set {
+                    key: String::new(),
+                    value: String::new(),
+                    mode: SetMode::Always,
+                    ttl: None,
+                }];
                 let mut i: u64 = 0;
                 while !stop.load(Ordering::Relaxed) {
-                    let key = match pattern {
-                        KeyPattern::Disjoint => format!("k:{t}:{}", i % 16),
-                        KeyPattern::SameKey => "hot".to_string(),
-                    };
+                    let key = &keys[(i as usize) % keys.len()];
                     attempts.fetch_add(1, Ordering::Relaxed);
-                    let ver = store.version(&key, t0);
-                    let applied = store
-                        .exec(
-                            &[(key.clone(), ver)],
-                            &[WriteOp::Set {
-                                key: key.clone(),
-                                value: i.to_string(),
-                                mode: SetMode::Always,
-                                ttl: None,
-                            }],
-                            t0,
-                        )
-                        .expect("exec");
+                    let ver = store.version(key, t0);
+                    watched[0].0.clear();
+                    watched[0].0.push_str(key);
+                    watched[0].1 = ver;
+                    if let WriteOp::Set {
+                        key: k, value: v, ..
+                    } = &mut ops[0]
+                    {
+                        k.clear();
+                        k.push_str(key);
+                        v.clear();
+                        let _ = write!(v, "{i}");
+                    }
+                    let applied = store.exec(&watched, &ops, t0).expect("exec");
                     if applied {
                         committed.fetch_add(1, Ordering::Relaxed);
                     }
@@ -207,6 +265,9 @@ fn measure_kv(threads: usize, pattern: KeyPattern, window: Duration) -> ScalingC
                 }
             });
         }
+        std::thread::sleep(warmup_of(window));
+        committed.store(0, Ordering::Relaxed);
+        attempts.store(0, Ordering::Relaxed);
         std::thread::sleep(window);
         stop.store(true, Ordering::Relaxed);
     });
@@ -231,27 +292,28 @@ pub fn kv_scaling(thread_counts: &[usize], window: Duration) -> Vec<ScalingCell>
     out
 }
 
-/// One WAL-ablation cell: the commit workload with the log on vs off.
+/// One WAL-ablation cell: the commit workload under one durability mode.
 #[derive(Debug, Clone)]
 pub struct WalCell {
-    /// Whether the write-ahead log (OnCommit sync) was enabled.
-    pub wal: bool,
+    /// Durability mode of this cell.
+    pub mode: WalMode,
     /// The measured cell.
     pub cell: ScalingCell,
 }
 
-/// Durability-overhead sweep: the fig-2 commit workload, WAL off vs WAL
-/// on (OnCommit sync), over `thread_counts`. WAL-off cells double as the
-/// regression guard that `wal: None` keeps the sharded commit path free
-/// of durability cost.
+/// Durability-overhead sweep: the fig-2 commit workload under WAL off,
+/// per-commit fsync, and group commit, over `thread_counts`. WAL-off
+/// cells double as the regression guard that `wal: None` keeps the
+/// sharded commit path free of durability cost; the group-commit column
+/// shows how much of the per-commit-fsync tax amortization recovers.
 pub fn wal_commit_scaling(thread_counts: &[usize], window: Duration) -> Vec<WalCell> {
     let mut out = Vec::new();
     for &threads in thread_counts {
         for pattern in [KeyPattern::Disjoint, KeyPattern::SameKey] {
-            for wal in [false, true] {
+            for mode in [WalMode::Off, WalMode::OnCommit, WalMode::GroupCommit] {
                 out.push(WalCell {
-                    wal,
-                    cell: measure_commits_wal(threads, pattern, window, wal),
+                    mode,
+                    cell: measure_commits_wal(threads, pattern, window, mode),
                 });
             }
         }
@@ -260,7 +322,8 @@ pub fn wal_commit_scaling(thread_counts: &[usize], window: Duration) -> Vec<WalC
 }
 
 /// Render the WAL ablation as `BENCH_wal.json`: same row shape as fig 2
-/// plus a `"wal"` flag, so on/off pairs sit side by side in one file.
+/// plus a `"wal"` flag and a `"policy"` label, so the modes sit side by
+/// side in one file.
 pub fn render_wal_json(cells: &[WalCell]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -269,10 +332,11 @@ pub fn render_wal_json(cells: &[WalCell]) -> String {
     out.push_str("  \"rows\": [\n");
     for (i, w) in cells.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"threads\": {}, \"pattern\": \"{}\", \"wal\": {}, \"throughput_ops\": {:.1}, \"abort_rate\": {:.6}}}{}\n",
+            "    {{\"threads\": {}, \"pattern\": \"{}\", \"wal\": {}, \"policy\": \"{}\", \"throughput_ops\": {:.1}, \"abort_rate\": {:.6}}}{}\n",
             w.cell.threads,
             w.cell.pattern.label(),
-            w.wal,
+            w.mode.enabled(),
+            w.mode.label(),
             w.cell.throughput_ops,
             w.cell.abort_rate,
             if i + 1 == cells.len() { "" } else { "," }
@@ -369,12 +433,13 @@ mod tests {
     fn wal_ablation_smoke() {
         let _serial = crate::SERIAL_MEASUREMENTS.lock();
         let cells = wal_commit_scaling(&[2], Duration::from_millis(20));
-        assert_eq!(cells.len(), 4); // 2 patterns x {off, on}
+        assert_eq!(cells.len(), 6); // 2 patterns x {off, on_commit, group_commit}
         for w in &cells {
             assert!(w.cell.throughput_ops > 0.0, "{w:?}");
         }
         let json = render_wal_json(&cells);
         assert!(json.contains("\"wal\": true"));
         assert!(json.contains("\"wal\": false"));
+        assert!(json.contains("\"policy\": \"group_commit\""));
     }
 }

@@ -85,14 +85,16 @@ impl Client {
 
     /// Round trips this client (and its clones) have paid so far.
     pub fn round_trips(&self) -> u64 {
-        self.round_trips.load(Ordering::SeqCst)
+        self.round_trips.load(Ordering::Relaxed)
     }
 
     fn pay(&self) -> Duration {
         // Every simulated round trip is a potential preemption point under
         // the deterministic scheduler (no-op otherwise).
         adhoc_sim::sched::yield_point(adhoc_sim::sched::SchedPoint::KvRoundTrip);
-        self.round_trips.fetch_add(1, Ordering::SeqCst);
+        // Relaxed: a pure occurrence counter — nothing is published through
+        // it, and SeqCst here puts a full fence on every simulated wire hop.
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
         self.latency.charge(&*self.clock, Cost::KvRoundTrip);
         self.clock.now()
     }

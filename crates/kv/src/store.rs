@@ -8,10 +8,24 @@
 //! The keyspace is striped ([`STRIPE_COUNT`] ways, by a deterministic hash
 //! of the key bytes): commands on keys in different stripes never share a
 //! lock, and a `WATCH`/`MULTI`/`EXEC` block locks only the stripes its
-//! keys touch, in ascending index order. Command counters live outside
-//! the stripe locks so observability reads never block the data path.
+//! keys touch, in ascending index order.
+//!
+//! Reads are lock-shared: each stripe sits behind a reader-writer lock and
+//! every read-only command (`GET`, `EXISTS`, `TTL`, `SMEMBERS`, …) runs
+//! under a *shared* guard, so concurrent readers of the same stripe never
+//! serialize against each other. The one mutation a read can imply — lazy
+//! expiry of a dead entry — escalates to the exclusive guard only when the
+//! probe actually hits an expired entry, which keeps the hot path (live or
+//! missing key) entirely write-lock-free. Each stripe carries a mutation
+//! epoch that advances once per observable modification; reads leave it
+//! untouched, and the test suite pins that invariant.
+//!
+//! Command counters are striped per thread into cache-line-padded slots so
+//! the counting a public command does never bounces a shared line between
+//! cores — and observability reads ([`Store::command_count`]) never block,
+//! or are blocked by, the data path.
 
-use parking_lot::{Mutex, MutexGuard};
+use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -193,9 +207,25 @@ struct Entry {
     expires_at: Option<Duration>,
 }
 
+/// What a read-only probe found under the shared stripe guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Liveness {
+    /// No entry at all.
+    Missing,
+    /// A live entry (no deadline, or deadline still ahead).
+    Live,
+    /// An entry whose deadline has passed — it must be reaped, which
+    /// needs the exclusive guard.
+    Expired,
+}
+
 #[derive(Debug, Default)]
 struct Stripe {
     entries: HashMap<String, Entry>,
+    /// Mutation epoch: advances once per observable modification of this
+    /// stripe (every [`bump`](Self::bump)). Read-only commands never move
+    /// it — the pinned witness that the read path takes no write lock.
+    epoch: u64,
     /// Per-key modification counters used by `WATCH`. Counters survive
     /// deletion so that delete→recreate is visible to watchers.
     versions: HashMap<String, u64>,
@@ -212,7 +242,23 @@ struct Stripe {
 
 impl Stripe {
     fn bump(&mut self, key: &str) {
-        *self.versions.entry(key.to_string()).or_insert(0) += 1;
+        self.epoch += 1;
+        if let Some(v) = self.versions.get_mut(key) {
+            *v += 1;
+        } else {
+            self.versions.insert(key.to_string(), 1);
+        }
+    }
+
+    /// Non-mutating liveness probe (the shared-guard half of `reap`).
+    fn probe(&self, key: &str, now: Duration) -> Liveness {
+        match self.entries.get(key) {
+            None => Liveness::Missing,
+            Some(e) => match e.expires_at {
+                Some(deadline) if now >= deadline => Liveness::Expired,
+                _ => Liveness::Live,
+            },
+        }
     }
 
     /// Reap `key` if expired; returns true when the key is live afterwards.
@@ -247,13 +293,27 @@ impl Stripe {
                 if !proceed {
                     return Ok(false);
                 }
-                self.entries.insert(
-                    key.clone(),
-                    Entry {
-                        value: Value::Str(value.clone()),
-                        expires_at: ttl.map(|t| now + t),
-                    },
-                );
+                let expires_at = ttl.map(|t| now + t);
+                // Overwrite in place when the slot already holds a string:
+                // the common SET-over-SET case then allocates nothing.
+                if let Some(e) = self.entries.get_mut(key) {
+                    match &mut e.value {
+                        Value::Str(s) => {
+                            s.clear();
+                            s.push_str(value);
+                        }
+                        v => *v = Value::Str(value.clone()),
+                    }
+                    e.expires_at = expires_at;
+                } else {
+                    self.entries.insert(
+                        key.clone(),
+                        Entry {
+                            value: Value::Str(value.clone()),
+                            expires_at,
+                        },
+                    );
+                }
                 self.bump(key);
                 Ok(true)
             }
@@ -330,15 +390,39 @@ struct Aof {
     log: Vec<(Duration, WriteOp)>,
 }
 
+/// Number of per-thread command-counter slots. Threads are assigned slots
+/// round-robin; two threads share a slot (and its cache line) only past
+/// [`STAT_SLOTS`] concurrent threads.
+const STAT_SLOTS: usize = 16;
+
+/// One command-counter slot, padded to its own cache line so counting on
+/// one thread never invalidates another thread's line.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct StatCell(AtomicU64);
+
+/// The calling thread's counter slot: a process-wide round-robin
+/// assignment, cached per thread.
+fn stat_slot() -> usize {
+    use std::sync::atomic::AtomicUsize;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SLOT: usize = NEXT.fetch_add(1, Ordering::Relaxed) % STAT_SLOTS;
+    }
+    SLOT.with(|s| *s)
+}
+
 #[derive(Debug)]
 struct StoreInner {
-    /// Key-striped data: commands on keys in different stripes never
-    /// share a lock. Index with [`stripe_of`].
-    stripes: [Mutex<Stripe>; STRIPE_COUNT],
-    /// Total commands processed. Kept out of the stripe mutexes so
-    /// observability reads ([`Store::command_count`]) never block — or are
-    /// blocked by — the data path.
-    commands: AtomicU64,
+    /// Key-striped data behind reader-writer locks: commands on keys in
+    /// different stripes never share a lock, and read-only commands on the
+    /// *same* stripe share its guard. Index with [`stripe_of`].
+    stripes: [RwLock<Stripe>; STRIPE_COUNT],
+    /// Commands processed, striped per thread into padded slots (sum them
+    /// for the total). Kept out of the stripe locks so observability reads
+    /// ([`Store::command_count`]) never block — or are blocked by — the
+    /// data path, and relaxed so the count costs one private-line add.
+    commands: [StatCell; STAT_SLOTS],
     /// Append-only persistence log; `None` runs the store fully volatile
     /// (the default, matching the pre-durability behaviour). Always locked
     /// *after* any stripe lock, never before.
@@ -362,24 +446,12 @@ impl Default for Store {
     fn default() -> Self {
         Self {
             inner: Arc::new(StoreInner {
-                stripes: std::array::from_fn(|_| Mutex::new(Stripe::default())),
-                commands: AtomicU64::new(0),
+                stripes: std::array::from_fn(|_| RwLock::new(Stripe::default())),
+                commands: std::array::from_fn(|_| StatCell::default()),
                 aof: None,
             }),
         }
     }
-}
-
-/// The stripe holding `key`, from a sorted guard list (`EXEC` path).
-fn stripe_for<'a, 'g>(
-    guards: &'a mut [(usize, MutexGuard<'g, Stripe>)],
-    key: &str,
-) -> &'a mut Stripe {
-    let idx = stripe_of(key);
-    let pos = guards
-        .binary_search_by_key(&idx, |(i, _)| *i)
-        .expect("stripe is locked");
-    &mut guards[pos].1
 }
 
 impl Store {
@@ -396,8 +468,8 @@ impl Store {
     pub fn with_aof() -> Self {
         Self {
             inner: Arc::new(StoreInner {
-                stripes: std::array::from_fn(|_| Mutex::new(Stripe::default())),
-                commands: AtomicU64::new(0),
+                stripes: std::array::from_fn(|_| RwLock::new(Stripe::default())),
+                commands: std::array::from_fn(|_| StatCell::default()),
                 aof: Some(Mutex::new(Aof::default())),
             }),
         }
@@ -423,27 +495,59 @@ impl Store {
         }
     }
 
+    /// Count one public command on the calling thread's padded slot.
+    fn count_command(&self) {
+        self.inner.commands[stat_slot()]
+            .0
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// One public command against one key: count it and run `f` under the
-    /// key's stripe lock.
+    /// key's exclusive stripe guard.
     fn locked<R>(&self, key: &str, f: impl FnOnce(&mut Stripe) -> R) -> R {
-        self.inner.commands.fetch_add(1, Ordering::Relaxed);
-        let mut stripe = self.inner.stripes[stripe_of(key)].lock();
+        self.count_command();
+        let mut stripe = self.inner.stripes[stripe_of(key)].write();
         f(&mut stripe)
     }
 
+    /// One read-only command against one key: count it and run `f` under
+    /// the key's *shared* stripe guard with a precomputed liveness flag.
+    ///
+    /// The hot path — the key is live or missing — never takes the write
+    /// lock, so concurrent readers of one stripe proceed in parallel. Only
+    /// a probe that hits an *expired* entry escalates: the shared guard is
+    /// dropped, the exclusive guard taken, and the entry reaped (bumping
+    /// its version so watchers observe the expiry, exactly as the old
+    /// mutex path did) before `f` runs with `live = false`.
+    fn locked_read<R>(&self, key: &str, now: Duration, f: impl FnOnce(&Stripe, bool) -> R) -> R {
+        self.count_command();
+        let lock = &self.inner.stripes[stripe_of(key)];
+        {
+            let stripe = lock.read();
+            match stripe.probe(key, now) {
+                Liveness::Live => return f(&stripe, true),
+                Liveness::Missing => return f(&stripe, false),
+                Liveness::Expired => {}
+            }
+        }
+        let mut stripe = lock.write();
+        let live = stripe.reap(key, now);
+        f(&stripe, live)
+    }
+
     /// One public command spanning the whole keyspace: count it and run
-    /// `f` with every stripe locked in ascending index order.
-    fn locked_all<R>(&self, f: impl FnOnce(&mut [MutexGuard<'_, Stripe>]) -> R) -> R {
-        self.inner.commands.fetch_add(1, Ordering::Relaxed);
-        let mut guards: Vec<MutexGuard<'_, Stripe>> =
-            self.inner.stripes.iter().map(|s| s.lock()).collect();
+    /// `f` with every stripe exclusively locked in ascending index order.
+    fn locked_all<R>(&self, f: impl FnOnce(&mut [RwLockWriteGuard<'_, Stripe>]) -> R) -> R {
+        self.count_command();
+        let mut guards: Vec<RwLockWriteGuard<'_, Stripe>> =
+            self.inner.stripes.iter().map(|s| s.write()).collect();
         f(&mut guards)
     }
 
     /// `GET key`.
     pub fn get(&self, key: &str, now: Duration) -> Result<Option<String>, KvError> {
-        self.locked(key, |i| {
-            if !i.reap(key, now) {
+        self.locked_read(key, now, |i, live| {
+            if !live {
                 return Ok(None);
             }
             match &i.entries[key].value {
@@ -496,7 +600,7 @@ impl Store {
 
     /// `EXISTS key`.
     pub fn exists(&self, key: &str, now: Duration) -> bool {
-        self.locked(key, |i| i.reap(key, now))
+        self.locked_read(key, now, |_, live| live)
     }
 
     /// `EXPIRE key ttl`. Returns false when the key is missing.
@@ -577,9 +681,12 @@ impl Store {
     }
 
     /// The current fence floor of a guarded key (0 when no fenced write has
-    /// ever touched it). Diagnostic/oracle helper.
+    /// ever touched it). Diagnostic/oracle helper. Pure read: runs under
+    /// the shared stripe guard (floors are TTL-free, so no reap can arise).
     pub fn fence_floor(&self, key: &str) -> u64 {
-        self.locked(key, |i| i.floors.get(key).copied().unwrap_or(0))
+        self.count_command();
+        let stripe = self.inner.stripes[stripe_of(key)].read();
+        stripe.floors.get(key).copied().unwrap_or(0)
     }
 
     /// The fencing token of the current live lease on `key`, provided its
@@ -588,8 +695,8 @@ impl Store {
     /// because the grant counter is exactly the token the live holder was
     /// handed.
     pub fn lease_token(&self, key: &str, owner: &str, now: Duration) -> Option<u64> {
-        self.locked(key, |i| {
-            if !i.reap(key, now) {
+        self.locked_read(key, now, |i, live| {
+            if !live {
                 return None;
             }
             match &i.entries[key].value {
@@ -601,8 +708,8 @@ impl Store {
 
     /// `TTL key`.
     pub fn ttl(&self, key: &str, now: Duration) -> Ttl {
-        self.locked(key, |i| {
-            if !i.reap(key, now) {
+        self.locked_read(key, now, |i, live| {
+            if !live {
                 return Ttl::Missing;
             }
             match i.entries[key].expires_at {
@@ -633,17 +740,26 @@ impl Store {
             };
             let next = current + 1;
             let expires_at = if live {
-                i.entries[key].expires_at
+                use std::fmt::Write;
+                let e = i.entries.get_mut(key).expect("reap said live");
+                match &mut e.value {
+                    Value::Str(s) => {
+                        s.clear();
+                        let _ = write!(s, "{next}");
+                    }
+                    _ => unreachable!("non-string rejected above"),
+                }
+                e.expires_at
             } else {
+                i.entries.insert(
+                    key.to_string(),
+                    Entry {
+                        value: Value::Str(next.to_string()),
+                        expires_at: None,
+                    },
+                );
                 None
             };
-            i.entries.insert(
-                key.to_string(),
-                Entry {
-                    value: Value::Str(next.to_string()),
-                    expires_at,
-                },
-            );
             i.bump(key);
             // INCR logs as the SET of its result; a surviving deadline is
             // re-established by a trailing EXPIRE (both replay with `now`).
@@ -701,8 +817,8 @@ impl Store {
 
     /// `SMEMBERS key`.
     pub fn smembers(&self, key: &str, now: Duration) -> Result<Vec<String>, KvError> {
-        self.locked(key, |i| {
-            if !i.reap(key, now) {
+        self.locked_read(key, now, |i, live| {
+            if !live {
                 return Ok(Vec::new());
             }
             match &i.entries[key].value {
@@ -717,8 +833,8 @@ impl Store {
 
     /// `SISMEMBER key member`.
     pub fn sismember(&self, key: &str, member: &str, now: Duration) -> Result<bool, KvError> {
-        self.locked(key, |i| {
-            if !i.reap(key, now) {
+        self.locked_read(key, now, |i, live| {
+            if !live {
                 return Ok(false);
             }
             match &i.entries[key].value {
@@ -733,10 +849,7 @@ impl Store {
 
     /// Current modification counter for a key (the `WATCH` snapshot).
     pub fn version(&self, key: &str, now: Duration) -> u64 {
-        self.locked(key, |i| {
-            i.reap(key, now);
-            i.versions.get(key).copied().unwrap_or(0)
-        })
+        self.locked_read(key, now, |i, _| i.versions.get(key).copied().unwrap_or(0))
     }
 
     /// `EXEC` of a `MULTI` block with a prior `WATCH` set.
@@ -750,30 +863,38 @@ impl Store {
         ops: &[WriteOp],
         now: Duration,
     ) -> Result<bool, KvError> {
-        self.inner.commands.fetch_add(1, Ordering::Relaxed);
+        self.count_command();
         // Lock exactly the stripes the block touches, ascending — two EXECs
         // over disjoint stripe sets never coordinate, and overlapping sets
-        // are acquired in a global order so they cannot deadlock.
-        let mut idxs: Vec<usize> = watched
-            .iter()
-            .map(|(k, _)| stripe_of(k))
-            .chain(ops.iter().map(|op| stripe_of(op.key())))
-            .collect();
-        idxs.sort_unstable();
-        idxs.dedup();
-        let mut guards: Vec<(usize, MutexGuard<'_, Stripe>)> = idxs
-            .into_iter()
-            .map(|i| (i, self.inner.stripes[i].lock()))
-            .collect();
+        // are acquired in a global order so they cannot deadlock. The want
+        // set and guard table are fixed-size stack arrays, so an EXEC heap-
+        // allocates nothing of its own.
+        let mut want = [false; STRIPE_COUNT];
+        for (key, _) in watched {
+            want[stripe_of(key)] = true;
+        }
+        for op in ops {
+            want[stripe_of(op.key())] = true;
+        }
+        let mut guards: [Option<RwLockWriteGuard<'_, Stripe>>; STRIPE_COUNT] =
+            std::array::from_fn(|_| None);
+        for (i, wanted) in want.iter().enumerate() {
+            if *wanted {
+                guards[i] = Some(self.inner.stripes[i].write());
+            }
+        }
         for (key, ver) in watched {
-            let stripe = stripe_for(&mut guards, key);
+            let stripe = guards[stripe_of(key)].as_mut().expect("stripe is locked");
             stripe.reap(key, now);
             if stripe.versions.get(key.as_str()).copied().unwrap_or(0) != *ver {
                 return Ok(false);
             }
         }
         for op in ops {
-            stripe_for(&mut guards, op.key()).apply(op, now)?;
+            let stripe = guards[stripe_of(op.key())]
+                .as_mut()
+                .expect("stripe is locked");
+            stripe.apply(op, now)?;
             self.log_write(now, op);
         }
         Ok(true)
@@ -797,10 +918,23 @@ impl Store {
         self.len(now) == 0
     }
 
-    /// Total commands processed since creation. Reads an atomic — never
-    /// touches (or waits on) a data-path stripe lock.
+    /// Total commands processed since creation: the sum over the padded
+    /// per-thread slots. Reads atomics only — never touches (or waits on)
+    /// a data-path stripe lock.
     pub fn command_count(&self) -> u64 {
-        self.inner.commands.load(Ordering::Relaxed)
+        self.inner
+            .commands
+            .iter()
+            .map(|c| c.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum of the per-stripe mutation epochs: advances once per observable
+    /// modification anywhere in the store and is *untouched* by read-only
+    /// commands on live or missing keys. Diagnostic/test hook pinning the
+    /// read path's no-write-lock guarantee.
+    pub fn mutation_epoch(&self) -> u64 {
+        self.inner.stripes.iter().map(|s| s.read().epoch).sum()
     }
 
     /// Snapshot of the command counters (see [`command_count`](Self::command_count)).
@@ -1188,6 +1322,49 @@ mod tests {
         s.len(T0);
         assert_eq!(s.command_count(), 5);
         assert_eq!(s.stats().commands, 5);
+    }
+
+    #[test]
+    fn read_path_leaves_mutation_epochs_untouched() {
+        let s = Store::new();
+        s.set("live", "v", SetMode::Always, None, T0).unwrap();
+        s.sadd("members", "m", T0).unwrap();
+        let epoch = s.mutation_epoch();
+        // Reads on live and missing keys stay on the shared guard and
+        // cannot move any stripe's mutation epoch.
+        s.get("live", T0).unwrap();
+        s.get("missing", T0).unwrap();
+        assert!(!s.exists("missing", T0));
+        s.ttl("live", T0);
+        s.smembers("members", T0).unwrap();
+        s.sismember("members", "m", T0).unwrap();
+        s.version("live", T0);
+        s.fence_floor("live");
+        s.lease_token("live", "v", T0);
+        assert_eq!(s.mutation_epoch(), epoch);
+        // A read that trips over an *expired* entry escalates and reaps —
+        // that one is a modification and must advance the epoch.
+        s.set("lease", "v", SetMode::Always, Some(at(10)), T0)
+            .unwrap();
+        let epoch = s.mutation_epoch();
+        assert_eq!(s.get("lease", at(20)).unwrap(), None);
+        assert!(s.mutation_epoch() > epoch);
+    }
+
+    #[test]
+    fn command_count_sums_across_threads() {
+        let s = Store::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        s.get(&format!("k{i}"), T0).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(s.command_count(), 8 * 50);
     }
 
     #[test]

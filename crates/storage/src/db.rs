@@ -13,15 +13,18 @@
 //! with disjoint footprints proceed in parallel with no shared lock; the
 //! old engine-global `commit_gate` is gone.
 //!
-//! Commit timestamps come from an atomic counter, drawn while the shard
-//! locks are held, so each shard's log stays timestamp-ordered. Because
-//! timestamps can be drawn out of order *across* shards, snapshots come
-//! from a separate `applied_ts` watermark that only advances once every
+//! Commit timestamps come from per-thread epoch blocks (refilled from a
+//! shared counter once per block — see [`crate::epoch`]), drawn while the
+//! shard locks are held, so each shard's log stays timestamp-ordered.
+//! Because timestamps can be drawn out of order *across* shards, snapshots
+//! come from a separate `applied` watermark that only advances once every
 //! commit at or below it has fully installed — a begin can never observe a
 //! half-applied commit (the old single-gate design enforced this with the
-//! global mutex; the watermark enforces it without one).
+//! global mutex; the watermark enforces it without one, batch-advancing
+//! per epoch through a lock-free completion ring).
 
 use crate::engine::{AccessEvent, DbConfig, EngineProfile, IsolationLevel, StatementObserver};
+use crate::epoch::EpochSpine;
 use crate::error::{DbError, TxnId};
 use crate::fasthash::FastMap;
 use crate::lock::{LockManager, LockStats};
@@ -34,10 +37,9 @@ use crate::wal::Wal;
 use crate::Result;
 use adhoc_sim::latency::Cost;
 use adhoc_sim::{BackoffPolicy, FaultKind, FaultPlan, OpClass, RetryObserver, RetryPolicy};
-use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use parking_lot::{Mutex, MutexGuard, RwLock};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A committed transaction's footprint, retained for SSI certification of
@@ -89,14 +91,6 @@ pub struct DbStats {
     pub lock_stats: LockStats,
 }
 
-/// Out-of-order commit completions waiting to advance the `applied_ts`
-/// watermark (min-heap of drawn-but-not-yet-consecutive timestamps).
-#[derive(Default)]
-struct Watermark {
-    pending: BinaryHeap<Reverse<CommitTs>>,
-    waiters: usize,
-}
-
 pub(crate) struct DbInner {
     pub config: DbConfig,
     /// Observer installed after construction (in addition to any in the
@@ -131,19 +125,11 @@ pub(crate) struct DbInner {
     shards: Box<[Mutex<Shard>]>,
     pub locks: LockManager,
     next_txn: AtomicU64,
-    /// Commit-timestamp allocator (drawn under the committing transaction's
-    /// shard locks).
-    next_commit_ts: AtomicU64,
-    /// Snapshot watermark: every commit with `ts <= applied_ts` is fully
-    /// installed. Begins read this; it trails `next_commit_ts` only while a
-    /// commit is mid-install.
-    applied_ts: AtomicU64,
-    watermark: Mutex<Watermark>,
-    watermark_cv: Condvar,
-    /// Threads parked on the watermark (out-of-order committers plus
-    /// barrier waiters). The in-order completion fast path skips the
-    /// `watermark` mutex entirely while this is zero.
-    watermark_parked: AtomicUsize,
+    /// Commit-timestamp allocator and `applied` watermark, fused: blocks
+    /// of timestamps are drawn per thread (under the committing
+    /// transaction's shard locks) and the watermark batch-advances per
+    /// epoch via a completion ring — see [`crate::epoch`].
+    epoch: EpochSpine,
     /// Active transactions and their begin snapshots, striped by
     /// `txn_id % ACTIVE_STRIPES` so begin/finish on different transactions
     /// don't share a lock.
@@ -200,11 +186,7 @@ impl Database {
                     .collect(),
                 locks: LockManager::new(timeout),
                 next_txn: AtomicU64::new(1),
-                next_commit_ts: AtomicU64::new(0),
-                applied_ts: AtomicU64::new(0),
-                watermark: Mutex::new(Watermark::default()),
-                watermark_cv: Condvar::new(),
-                watermark_parked: AtomicUsize::new(0),
+                epoch: EpochSpine::new(),
                 active: (0..ACTIVE_STRIPES)
                     .map(|_| Mutex::new(FastMap::default()))
                     .collect(),
@@ -323,90 +305,33 @@ impl Database {
         min
     }
 
-    /// Draw the next commit timestamp. Must be called with the write-set
-    /// shard locks held so every shard log stays timestamp-ordered.
+    /// Draw the next commit timestamp (from the calling thread's epoch
+    /// block when it has one). Must be called with the write-set shard
+    /// locks held so every shard log stays timestamp-ordered.
     pub(crate) fn draw_commit_ts(&self) -> CommitTs {
-        self.inner.next_commit_ts.fetch_add(1, Ordering::Relaxed) + 1
+        self.inner.epoch.draw()
     }
 
-    /// Retire a drawn commit timestamp into the `applied_ts` watermark and
+    /// Retire a drawn commit timestamp into the `applied` watermark and
     /// wait until the watermark covers it, so the committer's next begin
     /// (and everyone else's) sees the commit. Called *after* the shard
     /// guards are dropped. Under the deterministic scheduler the wait never
-    /// triggers: there is no yield point between drawing a timestamp and
-    /// retiring it, so completions arrive in draw order.
+    /// parks: there is no yield point between drawing a timestamp and
+    /// retiring it, and any timestamp gap is an unclaimed block remainder
+    /// the epoch sweep revokes synchronously.
     pub(crate) fn complete_commit(&self, ts: CommitTs) {
-        // In-order fast path: a consecutive completion with nobody parked
-        // advances the watermark with one CAS and never takes the mutex.
-        // SeqCst pairs with the parked counter (Dekker-style): a parker
-        // increments `watermark_parked` before re-reading `applied_ts`, so
-        // either we see the parker (and drain/notify under the mutex) or
-        // the parker sees our advance (and doesn't sleep on it).
-        if self
-            .inner
-            .applied_ts
-            .compare_exchange(ts - 1, ts, Ordering::SeqCst, Ordering::Relaxed)
-            .is_ok()
-        {
-            if self.inner.watermark_parked.load(Ordering::SeqCst) == 0 {
-                return;
-            }
-            let mut wm = self.inner.watermark.lock();
-            let applied = self.inner.applied_ts.load(Ordering::Relaxed);
-            let mut next = applied;
-            while wm
-                .pending
-                .peek()
-                .map(|Reverse(t)| *t == next + 1)
-                .unwrap_or(false)
-            {
-                wm.pending.pop();
-                next += 1;
-            }
-            if next != applied {
-                self.inner.applied_ts.store(next, Ordering::Release);
-            }
-            if wm.waiters > 0 {
-                self.inner.watermark_cv.notify_all();
-            }
-            return;
-        }
-        // Out of order: park under the mutex until the gap closes.
-        self.inner.watermark_parked.fetch_add(1, Ordering::SeqCst);
-        let mut wm = self.inner.watermark.lock();
-        let applied = self.inner.applied_ts.load(Ordering::Relaxed);
-        if applied + 1 == ts {
-            // The gap closed while we acquired the mutex.
-            let mut next = ts;
-            while wm
-                .pending
-                .peek()
-                .map(|Reverse(t)| *t == next + 1)
-                .unwrap_or(false)
-            {
-                wm.pending.pop();
-                next += 1;
-            }
-            self.inner.applied_ts.store(next, Ordering::Release);
-            if wm.waiters > 0 {
-                self.inner.watermark_cv.notify_all();
-            }
-        } else {
-            debug_assert!(ts > applied + 1, "timestamp retired twice");
-            wm.pending.push(Reverse(ts));
-            wm.waiters += 1;
-            while self.inner.applied_ts.load(Ordering::Relaxed) < ts {
-                self.inner.watermark_cv.wait(&mut wm);
-            }
-            wm.waiters -= 1;
-        }
-        drop(wm);
-        self.inner.watermark_parked.fetch_sub(1, Ordering::SeqCst);
+        self.inner.epoch.complete(ts);
     }
 
     /// The snapshot new begins / Read Committed statements read at.
     pub(crate) fn current_snapshot(&self) -> CommitTs {
-        self.inner.applied_ts.load(Ordering::Acquire)
+        self.inner.epoch.snapshot()
+    }
+
+    /// The applied-watermark reading, exposed for visibility oracles: a
+    /// snapshot handed to any begin is never ahead of this frontier.
+    pub fn applied_watermark(&self) -> CommitTs {
+        self.inner.epoch.snapshot()
     }
 
     /// Begin a transaction at the engine's default isolation level.
@@ -463,21 +388,12 @@ impl Database {
         if self.inner.ssi_seen.load(Ordering::Relaxed) {
             return;
         }
-        let last_drawn = self.inner.next_commit_ts.load(Ordering::Acquire);
-        {
-            self.inner.watermark_parked.fetch_add(1, Ordering::SeqCst);
-            let mut wm = self.inner.watermark.lock();
-            wm.waiters += 1;
-            // Under the deterministic scheduler this never waits: commits
-            // have no interior yield point, so none is in flight at a
-            // scheduling boundary and the watermark is already caught up.
-            while self.inner.applied_ts.load(Ordering::Acquire) < last_drawn {
-                self.inner.watermark_cv.wait(&mut wm);
-            }
-            wm.waiters -= 1;
-            drop(wm);
-            self.inner.watermark_parked.fetch_sub(1, Ordering::SeqCst);
-        }
+        // Holding every shard mutex stops new timestamps from being drawn,
+        // so waiting out the allocator frontier leaves no commit that could
+        // conflict with a future serializable read unlogged. Unclaimed
+        // block remainders below the frontier are revoked by the sweep, so
+        // under the deterministic scheduler this never parks.
+        self.inner.epoch.wait_covered(self.inner.epoch.last_drawn());
         self.inner.ssi_seen.store(true, Ordering::SeqCst);
         drop(guards);
     }
@@ -844,12 +760,12 @@ impl Database {
         });
     }
 
-    /// Advance the timestamp counters to cover a recovered commit, so
+    /// Advance the timestamp frontiers to cover a recovered commit (and
+    /// invalidate any cached timestamp blocks that now sit below them), so
     /// post-recovery commits draw fresh timestamps and new snapshots see
     /// every recovered version.
     pub(crate) fn note_recovered_ts(&self, ts: CommitTs) {
-        self.inner.next_commit_ts.fetch_max(ts, Ordering::Relaxed);
-        self.inner.applied_ts.fetch_max(ts, Ordering::SeqCst);
+        self.inner.epoch.note_recovered(ts);
     }
 
     /// Charge the durable-commit flush (only when configured durable).

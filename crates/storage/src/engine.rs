@@ -181,11 +181,21 @@ impl DbConfig {
         self
     }
 
-    /// Enable the write-ahead log under a group-commit policy: records are
-    /// buffered and fsynced when `every` elapses on the configured clock,
-    /// opening an acked-but-undurable window between syncs.
+    /// Enable the write-ahead log under a time-window batching policy:
+    /// records are buffered and fsynced when `every` elapses on the
+    /// configured clock, opening an acked-but-undurable window between
+    /// syncs.
     pub fn with_wal_interval(mut self, every: Duration) -> Self {
         self.wal = Some(crate::wal::WalSyncPolicy::Interval(every));
+        self
+    }
+
+    /// Enable the write-ahead log under group commit: commits within an
+    /// epoch share one leader fsync (followers free-ride on the flushed
+    /// tail) while every acked commit is still durable — the safe policy
+    /// with the amortized flush cost.
+    pub fn with_wal_group_commit(mut self) -> Self {
+        self.wal = Some(crate::wal::WalSyncPolicy::GroupCommit);
         self
     }
 }

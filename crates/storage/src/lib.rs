@@ -60,6 +60,7 @@
 
 pub mod db;
 pub mod engine;
+pub(crate) mod epoch;
 pub mod error;
 pub mod fasthash;
 pub mod lock;

@@ -21,7 +21,7 @@ use crate::schema::{row_from_pairs, Row};
 use crate::shard::{shard_of, Footprint, ShardSet};
 use crate::table::{CommitTs, RowVersion, Table};
 use crate::value::Value;
-use crate::wal::{WalRecord, WalWrite};
+use crate::wal::WalEncoder;
 use crate::Result;
 use parking_lot::MutexGuard;
 use std::collections::{BTreeMap, HashSet};
@@ -108,6 +108,14 @@ impl Transaction {
     pub fn with_deadline(mut self, deadline: adhoc_sim::Deadline) -> Self {
         self.deadline = Some(deadline);
         self
+    }
+
+    /// The commit timestamp this transaction's snapshot reads at. Exposed
+    /// for visibility oracles: paired with
+    /// [`Database::applied_watermark`], it lets a test assert that no
+    /// begin ever observes a timestamp ahead of the applied frontier.
+    pub fn snapshot_ts(&self) -> CommitTs {
+        self.snapshot
     }
 
     /// One statement round trip: deadline fast-fail, then the database's
@@ -1108,12 +1116,52 @@ impl Transaction {
             Vec::new()
         };
         let mut keys = Vec::new();
+        // Stream the write-ahead record into the log *before* the rows are
+        // moved into their chains, while the shard guards are already
+        // held: writers of a row serialize on its shard mutex, so each
+        // row's log order matches its version-chain order exactly, and the
+        // streamed encoder needs no intermediate record, cloned table
+        // name, or copied row. Under `GroupCommit` the frame's durability
+        // is settled after the guards drop (see below).
         let wal = self.db.wal();
-        let mut wal_writes = if wal.is_some() {
-            Vec::with_capacity(self.pending.len())
-        } else {
-            Vec::new()
-        };
+        let mut group_lsn = None;
+        if let Some(wal) = wal {
+            let mut wal_table: Option<Arc<Table>> = None;
+            let db = &self.db;
+            let pending = &self.pending;
+            let encode = move |enc: &mut WalEncoder<'_>| {
+                for p in pending {
+                    let t = match &wal_table {
+                        Some(t) if t.id == p.table => t,
+                        _ => wal_table.insert(db.table_by_id(p.table)),
+                    };
+                    enc.write(
+                        &t.schema.table,
+                        p.id,
+                        p.row.as_ref().map(|r| r.values.as_slice()),
+                    );
+                }
+            };
+            match wal_outcome {
+                WalOutcome::Policy => {
+                    let append = wal.append_streamed(commit_ts, encode);
+                    if !append.durable && wal.policy() == crate::wal::WalSyncPolicy::GroupCommit {
+                        group_lsn = Some(append.end);
+                    }
+                }
+                WalOutcome::Forced => {
+                    wal.append_streamed_no_sync(commit_ts, encode);
+                    wal.sync();
+                }
+                WalOutcome::NoSync => {
+                    wal.append_streamed_no_sync(commit_ts, encode);
+                }
+                WalOutcome::Torn => {
+                    wal.append_streamed_no_sync(commit_ts, encode);
+                    wal.sync_torn();
+                }
+            }
+        }
         // Commits overwhelmingly touch one table; cache the last resolved
         // handle instead of building a map.
         let mut last_table: Option<Arc<Table>> = None;
@@ -1167,13 +1215,6 @@ impl Transaction {
             if log_enabled {
                 rows.push((p.table, p.id));
             }
-            if wal.is_some() {
-                wal_writes.push(WalWrite {
-                    table: t.schema.table.clone(),
-                    id: p.id,
-                    row: p.row.as_ref().map(|r| r.values.clone()),
-                });
-            }
             // An in-place update that moves no indexed key (the common
             // case) leaves pk membership and every index entry untouched —
             // skip the table's index lock entirely.
@@ -1196,30 +1237,14 @@ impl Transaction {
                 &mut guards,
             );
         }
-        // Append the write-ahead record while the shard guards are still
-        // held: writers of a row serialize on its shard mutex, so each
-        // row's log order matches its version-chain order exactly.
-        if let Some(wal) = wal {
-            let record = WalRecord {
-                commit_ts,
-                writes: wal_writes,
-            };
-            match wal_outcome {
-                WalOutcome::Policy => {
-                    wal.append(&record);
-                }
-                WalOutcome::Forced => {
-                    wal.append_no_sync(&record);
-                    wal.sync();
-                }
-                WalOutcome::NoSync => wal.append_no_sync(&record),
-                WalOutcome::Torn => {
-                    wal.append_no_sync(&record);
-                    wal.sync_torn();
-                }
-            }
-        }
         drop(guards);
+        // Group-commit durability point, *after* the shard guards drop so
+        // concurrent committers batch behind one leader fsync: free-ride
+        // if a leader already flushed past our frame, else lead. Runs
+        // before the completion/ack below, preserving acked ⇒ durable.
+        if let (Some(wal), Some(lsn)) = (wal, group_lsn) {
+            wal.ensure_durable(lsn);
+        }
         // Make the commit visible to snapshots (in timestamp order) before
         // acknowledging it to the client.
         self.db.complete_commit(commit_ts);

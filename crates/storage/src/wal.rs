@@ -14,7 +14,18 @@
 //! safe default the crash oracle assumes), `Interval` batches commits into
 //! group flushes and only syncs when the clock crosses the next deadline —
 //! acknowledged-but-undurable commits are exactly the window that policy
-//! opens, and the recovery tests measure it.
+//! opens, and the recovery tests measure it. `GroupCommit` keeps the
+//! acked-⇒-durable contract *and* amortizes the fsync: appends never sync
+//! inline, and each committer calls [`Wal::ensure_durable`] after
+//! releasing its shard locks — either free-riding on a leader's fsync
+//! that already covered its record, or becoming the leader and syncing
+//! the whole accumulated tail in one flush.
+//!
+//! Commit records are framed **streamed**: [`Wal::append_streamed`] hands
+//! the committer a [`WalEncoder`] that serializes the write set directly
+//! into the log buffer (length and CRC backpatched), so the hot commit
+//! path allocates no intermediate record, clones no table name, and
+//! copies each row exactly once.
 //!
 //! A torn write ([`Wal::sync_torn`], driven by
 //! [`FaultKind::TornWrite`](adhoc_sim::FaultKind)) advances the fsync
@@ -26,6 +37,7 @@
 use crate::value::Value;
 use adhoc_sim::SharedClock;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -35,11 +47,17 @@ pub enum WalSyncPolicy {
     /// Fsync inside every commit, before the client is acknowledged: an
     /// acked commit is always durable (PostgreSQL `synchronous_commit=on`).
     OnCommit,
-    /// Group commit: the tail only syncs when the deterministic clock has
-    /// advanced past the previous sync by at least this much. Commits
-    /// acknowledged between boundaries are lost by a crash — deliberately
-    /// unsafe, kept to measure what the boundary costs.
+    /// Time-window batching: the tail only syncs when the deterministic
+    /// clock has advanced past the previous sync by at least this much.
+    /// Commits acknowledged between boundaries are lost by a crash —
+    /// deliberately unsafe, kept to measure what the boundary costs.
     Interval(Duration),
+    /// Group commit: appends never sync inline. Each committer calls
+    /// [`Wal::ensure_durable`] *after* dropping its shard locks and before
+    /// acknowledging the client; one leader fsync covers every record
+    /// appended since the last boundary, so concurrent commits share a
+    /// flush while an acked commit is still always durable.
+    GroupCommit,
 }
 
 /// One write inside a commit record: `row = None` is a deletion tombstone.
@@ -85,10 +103,19 @@ struct WalInner {
     last_sync_at: Duration,
 }
 
+#[derive(Debug)]
+struct WalShared {
+    state: Mutex<WalInner>,
+    /// Mirror of `durable_len`, readable without the mutex: the
+    /// group-commit free-ride check ([`Wal::ensure_durable`]) must not
+    /// serialize followers behind the leader's flush.
+    durable: AtomicUsize,
+}
+
 /// The shared log handle. Cheap to clone (`Arc` inside).
 #[derive(Clone)]
 pub struct Wal {
-    inner: Arc<Mutex<WalInner>>,
+    shared: Arc<WalShared>,
     policy: WalSyncPolicy,
     clock: SharedClock,
 }
@@ -107,13 +134,16 @@ impl Wal {
     pub fn new(policy: WalSyncPolicy, clock: SharedClock) -> Self {
         let start = clock.now();
         Self {
-            inner: Arc::new(Mutex::new(WalInner {
-                buf: Vec::new(),
-                durable_len: 0,
-                records: 0,
-                syncs: 0,
-                last_sync_at: start,
-            })),
+            shared: Arc::new(WalShared {
+                state: Mutex::new(WalInner {
+                    buf: Vec::new(),
+                    durable_len: 0,
+                    records: 0,
+                    syncs: 0,
+                    last_sync_at: start,
+                }),
+                durable: AtomicUsize::new(0),
+            }),
             policy,
             clock,
         }
@@ -127,48 +157,128 @@ impl Wal {
     /// Append one commit record to the volatile tail, then sync according
     /// to the policy. Returns whether the record is durable on return —
     /// under `OnCommit` always true, under `Interval` only when this
-    /// append crossed the group-commit boundary.
+    /// append crossed the group-commit boundary, under `GroupCommit`
+    /// never (the committer follows up with [`ensure_durable`]).
+    ///
+    /// [`ensure_durable`]: Self::ensure_durable
     pub fn append(&self, record: &WalRecord) -> bool {
-        let mut inner = self.inner.lock();
-        encode_record(record, &mut inner.buf);
-        inner.records += 1;
-        match self.policy {
-            WalSyncPolicy::OnCommit => {
-                Self::sync_locked(&mut inner, self.clock.now());
-                true
+        self.append_streamed(record.commit_ts, |enc| {
+            for w in &record.writes {
+                enc.write(&w.table, w.id, w.row.as_deref());
             }
-            WalSyncPolicy::Interval(every) => {
-                let now = self.clock.now();
-                if now >= inner.last_sync_at + every {
-                    Self::sync_locked(&mut inner, now);
-                    true
-                } else {
-                    false
-                }
-            }
-        }
+        })
+        .durable
     }
 
     /// Append one commit record *without* syncing, regardless of policy —
     /// the `CrashBeforeDurable` shape: the record made it into the page
     /// cache, the fsync never happened.
     pub fn append_no_sync(&self, record: &WalRecord) {
-        let mut inner = self.inner.lock();
-        encode_record(record, &mut inner.buf);
+        self.append_streamed_no_sync(record.commit_ts, |enc| {
+            for w in &record.writes {
+                enc.write(&w.table, w.id, w.row.as_deref());
+            }
+        });
+    }
+
+    /// Append one commit record by streaming its writes straight into the
+    /// log buffer — no intermediate payload allocation — then sync
+    /// according to the policy. `f` receives a [`WalEncoder`] and must
+    /// write the record's rows in install order. Returns whether the
+    /// record is durable and the end offset (LSN) of the appended frame,
+    /// for [`ensure_durable`](Self::ensure_durable).
+    pub fn append_streamed(
+        &self,
+        commit_ts: u64,
+        f: impl FnOnce(&mut WalEncoder<'_>),
+    ) -> WalAppend {
+        let mut inner = self.shared.state.lock();
+        Self::encode_streamed(&mut inner, commit_ts, f);
+        let end = inner.buf.len();
+        let durable = match self.policy {
+            WalSyncPolicy::OnCommit => {
+                self.sync_inner(&mut inner, self.clock.now());
+                true
+            }
+            WalSyncPolicy::Interval(every) => {
+                let now = self.clock.now();
+                if now >= inner.last_sync_at + every {
+                    self.sync_inner(&mut inner, now);
+                    true
+                } else {
+                    false
+                }
+            }
+            WalSyncPolicy::GroupCommit => false,
+        };
+        WalAppend { durable, end }
+    }
+
+    /// Append one streamed record *without* syncing, regardless of policy
+    /// (the crash-shaped commit paths). Returns the frame's end offset.
+    pub fn append_streamed_no_sync(
+        &self,
+        commit_ts: u64,
+        f: impl FnOnce(&mut WalEncoder<'_>),
+    ) -> usize {
+        let mut inner = self.shared.state.lock();
+        Self::encode_streamed(&mut inner, commit_ts, f);
+        inner.buf.len()
+    }
+
+    fn encode_streamed(inner: &mut WalInner, commit_ts: u64, f: impl FnOnce(&mut WalEncoder<'_>)) {
+        let frame_at = inner.buf.len();
+        // Reserve the frame header ([len][crc]) and write the payload in
+        // place; both header fields are backpatched once the payload is
+        // complete.
+        inner.buf.extend_from_slice(&[0u8; 8]);
+        let payload_at = inner.buf.len();
+        put_u64(&mut inner.buf, commit_ts);
+        put_u32(&mut inner.buf, 0); // write count, backpatched
+        let mut enc = WalEncoder {
+            buf: &mut inner.buf,
+            count: 0,
+        };
+        f(&mut enc);
+        let count = enc.count;
+        let payload_len = inner.buf.len() - payload_at;
+        inner.buf[payload_at + 8..payload_at + 12].copy_from_slice(&count.to_le_bytes());
+        let crc = crc32(&inner.buf[payload_at..]);
+        inner.buf[frame_at..frame_at + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+        inner.buf[frame_at + 4..frame_at + 8].copy_from_slice(&crc.to_le_bytes());
         inner.records += 1;
+    }
+
+    /// Group-commit durability point: return once every byte up to `lsn`
+    /// is durable. The free-ride fast path is one atomic load — when a
+    /// concurrent leader's fsync already covered our frame, we are done.
+    /// Otherwise become the leader and sync the whole accumulated tail:
+    /// one flush covers every commit that appended since the last
+    /// boundary.
+    pub fn ensure_durable(&self, lsn: usize) {
+        if self.shared.durable.load(Ordering::Acquire) >= lsn {
+            return;
+        }
+        let mut inner = self.shared.state.lock();
+        if inner.durable_len < lsn {
+            self.sync_inner(&mut inner, self.clock.now());
+        }
     }
 
     /// Force the whole tail durable.
     pub fn sync(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shared.state.lock();
         let now = self.clock.now();
-        Self::sync_locked(&mut inner, now);
+        self.sync_inner(&mut inner, now);
     }
 
-    fn sync_locked(inner: &mut WalInner, now: Duration) {
+    fn sync_inner(&self, inner: &mut WalInner, now: Duration) {
         inner.durable_len = inner.buf.len();
         inner.syncs += 1;
         inner.last_sync_at = now;
+        self.shared
+            .durable
+            .store(inner.durable_len, Ordering::Release);
     }
 
     /// A torn flush: advance the fsync watermark into the *middle* of the
@@ -177,7 +287,7 @@ impl Wal {
     /// the durable medium for recovery to truncate. No-op on an empty
     /// tail.
     pub fn sync_torn(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shared.state.lock();
         let tail = inner.buf.len() - inner.durable_len;
         if tail == 0 {
             return;
@@ -188,39 +298,80 @@ impl Wal {
         inner.syncs += 1;
         let now = self.clock.now();
         inner.last_sync_at = now;
+        self.shared
+            .durable
+            .store(inner.durable_len, Ordering::Release);
     }
 
     /// What a restarted process reads back: the durable prefix only. The
     /// volatile tail died with the page cache.
     pub fn durable_bytes(&self) -> Vec<u8> {
-        let inner = self.inner.lock();
+        let inner = self.shared.state.lock();
         inner.buf[..inner.durable_len].to_vec()
     }
 
     /// The full log image, volatile tail included (diagnostics only — a
     /// crashed process never sees this).
     pub fn all_bytes(&self) -> Vec<u8> {
-        self.inner.lock().buf.clone()
+        self.shared.state.lock().buf.clone()
     }
 
     /// Truncate the log to empty (both tail and durable prefix). Paired
     /// with [`Database::reset`](crate::Database::reset): a reset database
     /// must not replay its old history.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shared.state.lock();
         inner.buf.clear();
         inner.durable_len = 0;
+        self.shared.durable.store(0, Ordering::Release);
     }
 
     /// Counters snapshot.
     pub fn stats(&self) -> WalStats {
-        let inner = self.inner.lock();
+        let inner = self.shared.state.lock();
         WalStats {
             records: inner.records,
             syncs: inner.syncs,
             len: inner.buf.len(),
             durable_len: inner.durable_len,
         }
+    }
+}
+
+/// Result of [`Wal::append_streamed`]: whether the frame is already
+/// durable, and its end offset for [`Wal::ensure_durable`].
+#[derive(Debug, Clone, Copy)]
+pub struct WalAppend {
+    /// The appended frame is below the fsync watermark already.
+    pub durable: bool,
+    /// End offset (LSN) of the appended frame in the log.
+    pub end: usize,
+}
+
+/// Streaming record serializer handed out by [`Wal::append_streamed`]:
+/// writes row frames directly into the log buffer, in install order,
+/// producing byte-for-byte the same encoding as [`encode_payload`].
+pub struct WalEncoder<'a> {
+    buf: &'a mut Vec<u8>,
+    count: u32,
+}
+
+impl WalEncoder<'_> {
+    /// Append one write: `row = None` is a deletion tombstone.
+    pub fn write(&mut self, table: &str, id: i64, row: Option<&[Value]>) {
+        put_str(self.buf, table);
+        put_i64(self.buf, id);
+        match row {
+            None => self.buf.push(0),
+            Some(values) => {
+                self.buf.push(1);
+                put_u16(self.buf, values.len() as u16);
+                for v in values {
+                    put_value(self.buf, v);
+                }
+            }
+        }
+        self.count += 1;
     }
 }
 
@@ -321,13 +472,6 @@ pub fn encode_payload(record: &WalRecord) -> Vec<u8> {
         }
     }
     p
-}
-
-fn encode_record(record: &WalRecord, buf: &mut Vec<u8>) {
-    let payload = encode_payload(record);
-    put_u32(buf, payload.len() as u32);
-    put_u32(buf, crc32(&payload));
-    buf.extend_from_slice(&payload);
 }
 
 /// Why decoding stopped before the end of the byte stream.
@@ -607,6 +751,44 @@ mod tests {
         let image = decode_stream(&bytes);
         assert_eq!(image.records.len(), 1);
         assert!(matches!(image.tail, WalTail::Corrupt { .. }));
+    }
+
+    #[test]
+    fn streamed_append_matches_reference_encoding() {
+        let (streamed, _) = test_wal(WalSyncPolicy::OnCommit);
+        let (reference, _) = test_wal(WalSyncPolicy::OnCommit);
+        let r = sample(42);
+        streamed.append_streamed(r.commit_ts, |enc| {
+            for w in &r.writes {
+                enc.write(&w.table, w.id, w.row.as_deref());
+            }
+        });
+        let mut buf = Vec::new();
+        let payload = encode_payload(&r);
+        put_u32(&mut buf, payload.len() as u32);
+        put_u32(&mut buf, crc32(&payload));
+        buf.extend_from_slice(&payload);
+        reference.sync();
+        assert_eq!(streamed.all_bytes(), buf);
+        assert_eq!(decode_stream(&streamed.durable_bytes()).records, vec![r]);
+    }
+
+    #[test]
+    fn group_commit_leader_syncs_for_followers() {
+        let (wal, _) = test_wal(WalSyncPolicy::GroupCommit);
+        let a = wal.append_streamed(1, |enc| enc.write("t", 1, None));
+        let b = wal.append_streamed(2, |enc| enc.write("t", 2, None));
+        assert!(!a.durable && !b.durable, "group commit never syncs inline");
+        assert_eq!(wal.stats().durable_len, 0);
+        // The first committer to reach the durability point is the leader:
+        // its one fsync covers both frames.
+        wal.ensure_durable(a.end);
+        assert_eq!(wal.stats().syncs, 1);
+        assert_eq!(wal.stats().durable_len, b.end);
+        // The second committer free-rides.
+        wal.ensure_durable(b.end);
+        assert_eq!(wal.stats().syncs, 1, "follower must not sync again");
+        assert_eq!(decode_stream(&wal.durable_bytes()).records.len(), 2);
     }
 
     #[test]

@@ -1,9 +1,17 @@
 //! WAL format fuzzing: encode/decode round-trips exactly, and recovery's
 //! decode never invents data — any truncation or single-byte corruption of
 //! a valid stream yields a strict prefix of the original records.
+//!
+//! The group-commit properties drive the real `Wal` under
+//! `WalSyncPolicy::GroupCommit`: a batch of streamed appends produces a
+//! byte stream identical to reference framing (so every format property
+//! above transfers to batched frames verbatim), one `ensure_durable` at
+//! the batch's end LSN makes the whole group durable with a single sync,
+//! and truncating the group's bytes anywhere still yields a record prefix.
 
-use adhoc_storage::wal::{crc32, decode_payload, decode_stream, encode_payload};
-use adhoc_storage::{Value, WalRecord, WalTail, WalWrite};
+use adhoc_sim::RealClock;
+use adhoc_storage::wal::{crc32, decode_payload, decode_stream, encode_payload, Wal};
+use adhoc_storage::{Value, WalRecord, WalSyncPolicy, WalTail, WalWrite};
 use proptest::prelude::*;
 
 fn value() -> impl Strategy<Value = Value> {
@@ -125,6 +133,61 @@ proptest! {
         let pos = (buf.len() as u64 * pos_frac as u64 / 1000) as usize % buf.len();
         buf[pos] ^= flip;
         let image = decode_stream(&buf);
+        assert_prefix(&image.records, &records);
+    }
+
+    /// A group-commit batch — streamed appends with no inline sync, then
+    /// one `ensure_durable` at the batch's end — produces byte-for-byte the
+    /// reference framing, becomes durable as a whole with exactly one
+    /// sync, and round-trips to exactly the appended records.
+    #[test]
+    fn group_commit_batch_roundtrips_with_one_sync(
+        records in proptest::collection::vec(wal_record(), 1..8),
+    ) {
+        let wal = Wal::new(WalSyncPolicy::GroupCommit, RealClock::shared());
+        let mut end = 0;
+        for r in &records {
+            let a = wal.append_streamed(r.commit_ts, |enc| {
+                for w in &r.writes {
+                    enc.write(&w.table, w.id, w.row.as_deref());
+                }
+            });
+            prop_assert!(!a.durable, "GroupCommit must never sync inline");
+            end = a.end;
+        }
+        prop_assert_eq!(wal.stats().syncs, 0);
+        prop_assert_eq!(wal.durable_bytes().len(), 0);
+        wal.ensure_durable(end);
+        prop_assert_eq!(wal.stats().syncs, 1, "one leader sync per batch");
+        let mut reference = Vec::new();
+        for r in &records {
+            frame(r, &mut reference);
+        }
+        prop_assert_eq!(wal.durable_bytes(), reference);
+        let image = decode_stream(&wal.durable_bytes());
+        prop_assert_eq!(image.tail, WalTail::Clean);
+        prop_assert_eq!(image.records, records);
+    }
+
+    /// Truncating a group-commit batch's bytes at ANY offset still yields
+    /// a record prefix — a crash mid-group loses a suffix of the batch,
+    /// never a middle record and never garbage.
+    #[test]
+    fn group_commit_truncation_is_a_batch_record_prefix(
+        records in proptest::collection::vec(wal_record(), 1..6),
+        cut_frac in 0u32..=1000,
+    ) {
+        let wal = Wal::new(WalSyncPolicy::GroupCommit, RealClock::shared());
+        for r in &records {
+            wal.append_streamed(r.commit_ts, |enc| {
+                for w in &r.writes {
+                    enc.write(&w.table, w.id, w.row.as_deref());
+                }
+            });
+        }
+        let buf = wal.all_bytes();
+        let cut = (buf.len() as u64 * cut_frac as u64 / 1000) as usize;
+        let image = decode_stream(&buf[..cut]);
         assert_prefix(&image.records, &records);
     }
 }

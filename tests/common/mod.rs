@@ -27,7 +27,9 @@ use adhoc_transactions::kv::{Client, Store};
 use adhoc_transactions::orm::{EntityDef, Orm, Registry};
 use adhoc_transactions::sim::sched::Trial;
 use adhoc_transactions::sim::{FaultKind, FaultPlan, FaultRule, LatencyModel, VirtualClock};
-use adhoc_transactions::storage::{Column, ColumnType, Database, EngineProfile, Schema};
+use adhoc_transactions::storage::{
+    Column, ColumnType, Database, EngineProfile, IsolationLevel, Schema,
+};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -98,6 +100,11 @@ pub const SCENARIOS: &[(&str, Expect, Scenario)] = &[
         "monitor-quiet-on-correct-flow",
         Expect::Pass,
         monitor_quiet_on_correct_flow,
+    ),
+    (
+        "epoch-watermark-advance",
+        Expect::Pass,
+        epoch_watermark_advance,
     ),
 ];
 
@@ -788,6 +795,87 @@ pub fn vote_occ(trial: &mut Trial) -> Result<(), String> {
     let (a, b) = social.poll_totals(1).map_err(err_str)?;
     if (a, b) != (2, 0) {
         return Err(format!("votes lost: tallies ({a}, {b}), expected (2, 0)"));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Commit-spine epoch advance: acked ⇒ visible under every interleaving.
+// ---------------------------------------------------------------------------
+
+/// Correct: the epoch-batched commit spine under interleaved completions.
+/// Three tasks commit rounds of updates to disjoint rows — their commit
+/// timestamps come from per-slot blocks, and the scheduler interleaves the
+/// completions so the applied watermark must repeatedly close gaps (and
+/// revoke abandoned block remainders) before any ack returns. Each task
+/// then reads its own row back: an acked commit that a later snapshot
+/// cannot see means the watermark jumped a gap or lagged its ack.
+pub fn epoch_watermark_advance(trial: &mut Trial) -> Result<(), String> {
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    db.create_table(
+        Schema::new(
+            "rows",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("val", ColumnType::Int),
+            ],
+            "id",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.run(IsolationLevel::ReadCommitted, |t| {
+        for id in 0..3i64 {
+            t.insert("rows", &[("id", id.into()), ("val", 0.into())])?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    let stale = Arc::new(AtomicBool::new(false));
+    for t in 0..3i64 {
+        let db = db.clone();
+        let stale = Arc::clone(&stale);
+        trial.task(&format!("committer-{t}"), move || {
+            for round in 1..=2i64 {
+                db.run(IsolationLevel::ReadCommitted, |x| {
+                    x.update("rows", t, &[("val", round.into())])
+                })
+                .unwrap();
+                // Acked ⇒ a later snapshot includes the commit.
+                let seen = db
+                    .run(IsolationLevel::ReadCommitted, |x| x.get("rows", t))
+                    .unwrap()
+                    .map(|r| r.values[1].as_int());
+                if seen != Some(round) {
+                    stale.store(true, Ordering::SeqCst);
+                }
+            }
+        });
+    }
+    trial.run()?;
+    if stale.load(Ordering::SeqCst) {
+        return Err(
+            "acked commit invisible to a later snapshot: the applied watermark lagged its ack"
+                .into(),
+        );
+    }
+    // Quiescent: the watermark covered every one of the 7 write commits
+    // (timestamps are unique, so the highest is at least 7), and no final
+    // value was lost to a mis-advanced epoch.
+    if db.applied_watermark() < 7 {
+        return Err(format!(
+            "applied watermark stalled at {} with 7 commits acked",
+            db.applied_watermark()
+        ));
+    }
+    for id in 0..3i64 {
+        let v = db
+            .latest_committed("rows", id)
+            .map_err(err_str)?
+            .map(|r| r.values[1].as_int());
+        if v != Some(2) {
+            return Err(format!("row {id} lost its final commit (saw {v:?})"));
+        }
     }
     Ok(())
 }

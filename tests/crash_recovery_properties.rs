@@ -6,7 +6,10 @@
 
 use adhoc_transactions::apps::{spree, Mode};
 use adhoc_transactions::core::locks::MemLock;
-use adhoc_transactions::storage::{Database, EngineProfile};
+use adhoc_transactions::sim::{FaultKind, FaultPlan, FaultRule};
+use adhoc_transactions::storage::{
+    restart_from, Column, ColumnType, Database, DbConfig, EngineProfile, IsolationLevel, Schema,
+};
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -37,8 +40,130 @@ fn crash_op() -> impl Strategy<Value = CrashOp> {
     ]
 }
 
+/// Group-commit durability, fuzzed: a random interleaving of acked
+/// commits and commits that die *before* the fsync boundary
+/// (`CrashBeforeDurable`), on a database whose WAL runs under
+/// `WalSyncPolicy::GroupCommit`. After the crash and a WAL replay into a
+/// fresh database:
+///
+/// * the durable history is a **prefix** of commit order — recovery never
+///   skips a middle commit or invents one;
+/// * every **acked** commit is inside that prefix (acked ⇒ durable even
+///   though group commit defers the fsync to a shared leader sync);
+/// * an **unacked tail** (crashed commits with no later acked commit
+///   behind them) vanishes atomically — all of its records, or none.
+fn group_commit_prefix_property(commits: &[(i64, bool)]) {
+    const SEED: u64 = 0x6a5f;
+    let db =
+        Database::new(DbConfig::in_memory(EngineProfile::PostgresLike).with_wal_group_commit());
+    db.create_table(
+        Schema::new(
+            "accounts",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("balance", ColumnType::Int),
+            ],
+            "id",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.run(IsolationLevel::ReadCommitted, |t| {
+        for id in 1..=4 {
+            t.insert("accounts", &[("id", id.into()), ("balance", 0.into())])?;
+        }
+        Ok(())
+    })
+    .unwrap();
+
+    // Replay the schedule: each commit writes `val = position + 1` to its
+    // row. A crashing commit gets a one-shot plan armed at its own commit.
+    let mut history: Vec<(i64, i64)> = Vec::new(); // (id, val) in commit order
+    let mut last_acked: Option<usize> = None;
+    for (pos, &(id, crash)) in commits.iter().enumerate() {
+        let val = pos as i64 + 1;
+        if crash {
+            let plan = FaultPlan::new(
+                SEED,
+                vec![FaultRule::at_ops(FaultKind::CrashBeforeDurable, &[0])],
+            );
+            db.inject_faults(plan);
+            let err = db.run(IsolationLevel::ReadCommitted, |t| {
+                t.update("accounts", id, &[("balance", val.into())])
+            });
+            assert!(err.is_err(), "CrashBeforeDurable must not ack");
+            db.inject_faults(FaultPlan::new(SEED, vec![]));
+        } else {
+            db.run(IsolationLevel::ReadCommitted, |t| {
+                t.update("accounts", id, &[("balance", val.into())])
+            })
+            .unwrap();
+            last_acked = Some(pos);
+        }
+        history.push((id, val));
+    }
+
+    // Crash: only the WAL's durable prefix survives into the new process.
+    let reborn =
+        Database::new(DbConfig::in_memory(EngineProfile::PostgresLike).with_wal_group_commit());
+    reborn
+        .create_table(
+            Schema::new(
+                "accounts",
+                vec![
+                    Column::new("id", ColumnType::Int),
+                    Column::new("balance", ColumnType::Int),
+                ],
+                "id",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let report = restart_from(&db, &reborn).unwrap();
+    assert!(report.clean(), "group frames never tear in a clean crash");
+
+    // records_applied counts the seed commit too when it became durable.
+    let seeded = report.records_applied > 0;
+    let replayed = report.records_applied.saturating_sub(1) as usize;
+    assert!(replayed <= history.len());
+    if let Some(acked) = last_acked {
+        assert!(seeded, "an acked commit implies the seed is durable too");
+        assert!(
+            replayed > acked,
+            "acked commit at position {acked} lost: only {replayed} replayed"
+        );
+    }
+    // Prefix check: each row's recovered balance is exactly the last value
+    // the first `replayed` commits wrote to it (0 if none and the seed
+    // survived; absent entirely if nothing was durable).
+    for id in 1..=4 {
+        let expected = if seeded {
+            history[..replayed]
+                .iter()
+                .rev()
+                .find(|(h, _)| *h == id)
+                .map_or(Some(0), |(_, v)| Some(*v))
+        } else {
+            None
+        };
+        let got = reborn
+            .latest_committed("accounts", id)
+            .unwrap()
+            .map(|r| r.values[1].as_int());
+        assert_eq!(got, expected, "row {id} diverges from the durable prefix");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// See [`group_commit_prefix_property`].
+    #[test]
+    fn group_commit_acked_survives_and_unacked_tail_vanishes(
+        commits in proptest::collection::vec((1i64..=4, any::<bool>()), 1..24),
+    ) {
+        group_commit_prefix_property(&commits);
+    }
 
     /// Every return value matches the state machine, completed payments
     /// never regress, and a final boot recovery always makes every order

@@ -260,6 +260,108 @@ fn disjoint_and_same_key_contention_both_serialize_exactly() {
     }
 }
 
+/// Epoch-watermark visibility stress, mixed footprints: four threads RMW
+/// their own disjoint rows (commit-ts blocks drain in parallel, mostly in
+/// order) while four more hammer one hot row (certification aborts force
+/// retries and leave drawn-but-revoked timestamps behind). After every
+/// acked commit each thread opens a probe snapshot and checks the two
+/// sides of the epoch contract:
+///
+/// * **never ahead** — the probe's snapshot timestamp is at or below the
+///   applied watermark. With per-thread timestamp *batching* the global
+///   `next` counter runs far ahead of the applied frontier, so a snapshot
+///   accidentally derived from `next` (instead of the watermark) fails
+///   this immediately under load;
+/// * **never behind an ack** — the snapshot is at or above the watermark
+///   read *before* the commit, and the probe reads back the thread's own
+///   acked write (disjoint rows exactly, the hot row at least) — the
+///   watermark may lag raw timestamp allocation, never an acknowledgement.
+#[test]
+fn snapshots_never_run_ahead_of_the_applied_watermark() {
+    const DISJOINT: i64 = 4;
+    const HOT_WRITERS: i64 = 4;
+    const HOT_ROW: i64 = DISJOINT + 1;
+    const OPS: i64 = 40;
+    for profile in [EngineProfile::PostgresLike, EngineProfile::MySqlLike] {
+        let db = Arc::new(db_with_accounts(profile, HOT_ROW, 0));
+        let schema = db.schema("acct").unwrap();
+        std::thread::scope(|s| {
+            for thread in 1..=(DISJOINT + HOT_WRITERS) {
+                let db = Arc::clone(&db);
+                let schema = &schema;
+                let row = if thread <= DISJOINT { thread } else { HOT_ROW };
+                s.spawn(move || {
+                    for i in 1..=OPS {
+                        let wm_before = db.applied_watermark();
+                        db.run_with_retries(IsolationLevel::Serializable, 10_000, |t| {
+                            let cur = t.get("acct", row)?.expect("seeded account");
+                            let bal = cur.get_int(schema, "bal").expect("bal column");
+                            t.update("acct", row, &[("bal", (bal + 1).into())])
+                        })
+                        .expect("stress writer converges");
+
+                        let mut probe = db.begin_with(IsolationLevel::RepeatableRead);
+                        let snap = probe.snapshot_ts();
+                        let wm_after = db.applied_watermark();
+                        assert!(
+                            snap <= wm_after,
+                            "{profile:?}: snapshot {snap} ahead of applied \
+                             watermark {wm_after}"
+                        );
+                        assert!(
+                            snap >= wm_before,
+                            "{profile:?}: watermark regressed across a commit \
+                             ({snap} < {wm_before})"
+                        );
+                        let seen = probe
+                            .get("acct", row)
+                            .unwrap()
+                            .expect("row survives")
+                            .get_int(schema, "bal")
+                            .unwrap();
+                        if row == HOT_ROW {
+                            assert!(
+                                seen >= i,
+                                "{profile:?}: acked hot-row increment invisible \
+                                 (saw {seen}, acked {i})"
+                            );
+                        } else {
+                            assert_eq!(
+                                seen, i,
+                                "{profile:?}: disjoint row {row} snapshot diverges"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        for row in 1..=DISJOINT {
+            let bal = db
+                .latest_committed("acct", row)
+                .unwrap()
+                .expect("row survives")
+                .get_int(&schema, "bal")
+                .unwrap();
+            assert_eq!(bal, OPS, "{profile:?}: disjoint row {row} lost updates");
+        }
+        let hot = db
+            .latest_committed("acct", HOT_ROW)
+            .unwrap()
+            .expect("row survives")
+            .get_int(&schema, "bal")
+            .unwrap();
+        assert_eq!(hot, HOT_WRITERS * OPS, "{profile:?}: hot row lost updates");
+        // Every acked commit retired into the watermark: 5 seed commits
+        // plus one per increment, even though retries and revoked block
+        // remainders churned far more raw timestamps than that.
+        let commits = (HOT_ROW + (DISJOINT + HOT_WRITERS) * OPS) as u64;
+        assert!(
+            db.applied_watermark() >= commits,
+            "{profile:?}: watermark below the acked-commit count"
+        );
+    }
+}
+
 /// Negative control: the same oracle *fails* below Serializable. Two
 /// crossing Copy programs at Snapshot Isolation, forced to overlap with a
 /// barrier, commit a write-skewed state no serial order allows —

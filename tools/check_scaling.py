@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Scaling-regression gate over fresh BENCH_fig2/fig3 runs.
+
+Compares a just-measured sweep (any duty cycle — CI uses the smoke
+windows) against the committed pre-refactor baselines in tools/baselines/
+and against its own 1-thread row, and fails loudly when the sharded spines
+regress. Three checks:
+
+  1. fig2 storage-commit scaling, disjoint keys, 1T -> 8T. The demanded
+     ratio is hardware-aware: a single-CPU box time-slices its worker
+     threads and *cannot* scale, so there the gate only rejects a collapse
+     (8T falling under half of 1T). With 8+ CPUs the full 3x of the issue
+     is demanded (inside the tolerance band); in between, no-worse-than-
+     flat.
+  2. fig2 8T disjoint must beat the committed pre-shard baseline
+     (tools/baselines/fig2_pre_shard.json) within tolerance — the sharded
+     + epoch-batched commit path can never fall back to the global-mutex
+     era.
+  3. fig3 KV disjoint throughput must meet or exceed the committed
+     pre-stripe baseline (tools/baselines/fig3_pre_shard.json) at EVERY
+     thread count within tolerance — the lock-shared read path has to
+     recover what the striping refactor originally cost.
+
+Tolerance: SCALING_GATE_TOL (fractional, default 0.25) absorbs the noise
+of short smoke windows; the committed full-window artifacts have much
+wider margins than the band.
+
+Usage: check_scaling.py <BENCH_fig2.json> <BENCH_fig3.json> [baseline_dir]
+Exits non-zero on any regression.
+"""
+
+import json
+import os
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {(r["threads"], r["pattern"]): r["throughput_ops"] for r in doc["rows"]}
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    fig2_path, fig3_path = sys.argv[1], sys.argv[2]
+    baseline_dir = (
+        sys.argv[3]
+        if len(sys.argv) > 3
+        else os.path.join(os.path.dirname(os.path.abspath(__file__)), "baselines")
+    )
+    tol = float(os.environ.get("SCALING_GATE_TOL", "0.25"))
+    cpus = os.cpu_count() or 1
+
+    fig2 = load_rows(fig2_path)
+    fig3 = load_rows(fig3_path)
+    base2 = load_rows(os.path.join(baseline_dir, "fig2_pre_shard.json"))
+    base3 = load_rows(os.path.join(baseline_dir, "fig3_pre_shard.json"))
+
+    failures = []
+
+    # -- Check 1: fig2 disjoint thread scaling, hardware-aware.
+    t1 = fig2[(1, "disjoint")]
+    t8 = fig2[(8, "disjoint")]
+    ratio = t8 / t1 if t1 > 0 else 0.0
+    if cpus >= 8:
+        need = 3.0 * (1.0 - tol)
+        label = f">= {need:.2f}x (3x within tolerance, {cpus} CPUs)"
+    elif cpus > 1:
+        need = 1.0 - tol
+        label = f">= {need:.2f}x (no-worse-than-flat, {cpus} CPUs)"
+    else:
+        need = 0.5
+        label = ">= 0.50x (no-collapse floor, single CPU)"
+    status = "ok" if ratio >= need else "FAIL"
+    print(f"[{status}] fig2 disjoint 1T->8T: {ratio:.2f}x, demanded {label}")
+    if ratio < need:
+        failures.append("fig2 disjoint 1T->8T scaling")
+
+    # -- Check 2: fig2 8T disjoint vs the pre-shard (global-mutex) era.
+    floor = base2[(8, "disjoint")] * (1.0 - tol)
+    status = "ok" if t8 >= floor else "FAIL"
+    print(
+        f"[{status}] fig2 disjoint 8T: {t8:,.0f} ops/s "
+        f"vs pre-shard floor {floor:,.0f}"
+    )
+    if t8 < floor:
+        failures.append("fig2 8T disjoint vs pre-shard baseline")
+
+    # -- Check 3: fig3 KV disjoint vs the pre-stripe baseline, every count.
+    for (threads, pattern), base_ops in sorted(base3.items()):
+        if pattern != "disjoint":
+            continue
+        fresh = fig3[(threads, pattern)]
+        floor = base_ops * (1.0 - tol)
+        status = "ok" if fresh >= floor else "FAIL"
+        print(
+            f"[{status}] fig3 disjoint {threads}T: {fresh:,.0f} ops/s "
+            f"vs pre-stripe floor {floor:,.0f}"
+        )
+        if fresh < floor:
+            failures.append(f"fig3 {threads}T disjoint vs pre-stripe baseline")
+
+    if failures:
+        print("scaling gate FAILED: " + "; ".join(failures))
+        sys.exit(1)
+    print("scaling gate passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -53,4 +53,12 @@ echo "==> bench smoke (BENCH_SCALE=smoke)"
 BENCH_SCALE=smoke ./tools/bench.sh target/bench-smoke >/dev/null
 python3 -c "import json; [json.load(open(f'target/bench-smoke/BENCH_{n}.json')) for n in ('fig2', 'fig3', 'wal', 'resilience')]"
 
+# Scaling-regression gate: the fresh smoke sweep must not fall behind the
+# committed pre-refactor baselines (tools/baselines/) — fig3 KV disjoint
+# at every thread count, fig2 commit scaling hardware-aware (full 3x only
+# demanded with 8+ CPUs; no-collapse on a single-CPU box). Tolerance band
+# via SCALING_GATE_TOL absorbs smoke-window noise.
+echo "==> scaling-regression gate (fresh smoke vs tools/baselines/)"
+python3 tools/check_scaling.py target/bench-smoke/BENCH_fig2.json target/bench-smoke/BENCH_fig3.json
+
 echo "==> CI green"
