@@ -18,7 +18,8 @@
 use crate::{Mode, Result, DBT_RETRIES};
 use adhoc_core::checker::{BootRecovery, CheckRule, Report, Violation};
 use adhoc_core::locks::AdHocLock;
-use adhoc_orm::{EntityDef, Orm, Registry};
+use adhoc_orm::occ::run_occ;
+use adhoc_orm::{Coordinator, EntityDef, Orm, OrmError, Registry};
 use adhoc_storage::{Column, ColumnType, Database, IsolationLevel, Predicate, Schema, Value};
 use std::sync::Arc;
 
@@ -65,6 +66,7 @@ pub fn setup(db: &Database) -> Result<Orm> {
 pub struct Broadleaf {
     orm: Orm,
     lock: Arc<dyn AdHocLock>,
+    coord: Coordinator,
     mode: Mode,
     omit_sku_coordination: bool,
     /// Application-server CPU burned per request attempt (see
@@ -75,9 +77,11 @@ pub struct Broadleaf {
 impl Broadleaf {
     /// Build the application model over `orm`, coordinating with `lock` in the given [`Mode`].
     pub fn new(orm: Orm, lock: Arc<dyn AdHocLock>, mode: Mode) -> Self {
+        let coord = Coordinator::new(orm.db().clone());
         Self {
             orm,
             lock,
+            coord,
             mode,
             omit_sku_coordination: false,
             request_cpu_work: std::time::Duration::ZERO,
@@ -175,6 +179,34 @@ impl Broadleaf {
                 })?;
                 Ok(())
             }
+            Mode::Cured => {
+                // §7 cure: the cart total depends on a predicate scan, so
+                // the façade serializes writers per cart and one default-
+                // isolation transaction makes insert + recompute atomic —
+                // no Fig. 1a lost-total window, no Serializable deadlocks.
+                let guard = self.coord.user_lock(&format!("cart:{cart_id}"))?;
+                self.orm.transaction(|t| {
+                    t.create(
+                        "items",
+                        &[
+                            ("cart_id", cart_id.into()),
+                            ("qty", qty.into()),
+                            ("price", price.into()),
+                        ],
+                    )?;
+                    let items = t.raw().scan("items", &Predicate::eq("cart_id", cart_id))?;
+                    let schema = self.orm.db().schema("items")?;
+                    let mut total = 0;
+                    for (_, item) in &items {
+                        total += item.get_int(&schema, "qty")? * item.get_int(&schema, "price")?;
+                    }
+                    t.raw()
+                        .update("carts", cart_id, &[("total", total.into())])?;
+                    Ok(())
+                })?;
+                guard.unlock()?;
+                Ok(())
+            }
         }
     }
 
@@ -234,6 +266,35 @@ impl Broadleaf {
                             ("sold", (sold + qty).into()),
                         ],
                     )?;
+                    Ok(true)
+                })?)
+            }
+            Mode::Cured => {
+                // §7 cure: one optimistic validate-and-commit per attempt,
+                // field-granular on exactly the two columns the decision
+                // reads. `omit_sku_coordination` is irrelevant here — there
+                // is no separate lock for a developer to forget (§4.2).
+                crate::busy_work(self.request_cpu_work);
+                Ok(run_occ(&self.orm, &crate::cured_policy(), None, |occ| {
+                    let sku = occ
+                        .read_fields(&self.orm, "skus", sku_id, &["quantity", "sold"])?
+                        .ok_or(OrmError::RecordNotFound {
+                            entity: "skus".into(),
+                            id: sku_id,
+                        })?;
+                    let quantity = sku.get_int("quantity")?;
+                    let sold = sku.get_int("sold")?;
+                    if quantity < qty {
+                        return Ok(false);
+                    }
+                    occ.stage_update(
+                        "skus",
+                        sku_id,
+                        &[
+                            ("quantity", (quantity - qty).into()),
+                            ("sold", (sold + qty).into()),
+                        ],
+                    );
                     Ok(true)
                 })?)
             }

@@ -23,7 +23,8 @@ use adhoc_core::checker::{BootRecovery, CheckRule, Report, Violation};
 use adhoc_core::locks::AdHocLock;
 use adhoc_core::taxonomy::FailureHandling;
 use adhoc_core::validation::{validated_write, CommitOutcome, ValidationCheck, ValidationStrategy};
-use adhoc_orm::{EntityDef, Orm, Registry};
+use adhoc_orm::occ::run_occ;
+use adhoc_orm::{Coordinator, EntityDef, Orm, OrmError, Registry};
 use adhoc_storage::{
     Column, ColumnType, Database, DbError, IsolationLevel, Predicate, Row, Schema,
 };
@@ -153,6 +154,7 @@ pub struct ShrinkReport {
 pub struct Discourse {
     orm: Orm,
     lock: Arc<dyn AdHocLock>,
+    coord: Coordinator,
     mode: Mode,
     /// §4.1.1 \[76\]: read the post *before* acquiring its lock.
     lock_after_read: bool,
@@ -172,9 +174,11 @@ pub struct Discourse {
 impl Discourse {
     /// Build the application model over `orm`, coordinating with `lock` in the given [`Mode`].
     pub fn new(orm: Orm, lock: Arc<dyn AdHocLock>, mode: Mode) -> Self {
+        let coord = Coordinator::new(orm.db().clone());
         Self {
             orm,
             lock,
+            coord,
             mode,
             lock_after_read: false,
             incomplete_repair: false,
@@ -330,6 +334,37 @@ impl Discourse {
                     },
                 )?)
             }
+            Mode::Cured => {
+                // §7 cure: the façade serializes sequence allocation per
+                // topic, and one default-isolation transaction makes the
+                // insert + counter bump atomic. The lock key is its own
+                // namespace, so `toggle_answer` (different columns of the
+                // same Topics row) still runs in parallel — the CBC win.
+                crate::busy_work(self.request_cpu_work);
+                let guard = self.coord.user_lock(&format!("create_post:{topic_id}"))?;
+                let post_id = self.orm.transaction(|t| {
+                    let topic = t.find_required("topics", topic_id)?;
+                    let seq = topic.get_int("max_post")? + 1;
+                    let post = t.create(
+                        "posts",
+                        &[
+                            ("topic_id", topic_id.into()),
+                            ("seq", seq.into()),
+                            ("content", content.into()),
+                            ("ver", 0.into()),
+                            ("view_cnt", 0.into()),
+                            ("like_cnt", 0.into()),
+                            ("img_id", 0.into()),
+                            ("is_answer", false.into()),
+                        ],
+                    )?;
+                    t.raw()
+                        .update("topics", topic_id, &[("max_post", seq.into())])?;
+                    Ok(post.id)
+                })?;
+                guard.unlock()?;
+                Ok(post_id)
+            }
         }
     }
 
@@ -363,6 +398,19 @@ impl Discourse {
                         Ok(())
                     },
                 )?;
+                Ok(())
+            }
+            Mode::Cured => {
+                // §7 cure: two blind writes become one optimistic commit —
+                // nothing is read, so nothing can conflict, and the pair is
+                // atomic. Writing only the `answer`/`is_answer` columns
+                // keeps it commuting with `create_post` (CBC).
+                crate::busy_work(self.request_cpu_work);
+                run_occ(&self.orm, &crate::cured_policy(), None, |occ| {
+                    occ.stage_update("posts", post_id, &[("is_answer", true.into())]);
+                    occ.stage_update("topics", topic_id, &[("answer", post_id.into())]);
+                    Ok(())
+                })?;
                 Ok(())
             }
         }
@@ -427,6 +475,34 @@ impl Discourse {
                         t.update("topics", topic_id, &[("total_likes", (total + 1).into())])?;
                         Ok(())
                     })?;
+                Ok(())
+            }
+            Mode::Cured => {
+                // §7 cure for AA: one optimistic transaction over both
+                // counters, field-granular on exactly the columns read —
+                // no topic lock, no Serializable aborts; conflicting likes
+                // retry automatically.
+                crate::busy_work(self.request_cpu_work);
+                run_occ(&self.orm, &crate::cured_policy(), None, |occ| {
+                    let post = occ
+                        .read_fields(&self.orm, "posts", post_id, &["topic_id", "like_cnt"])?
+                        .ok_or(OrmError::RecordNotFound {
+                            entity: "posts".into(),
+                            id: post_id,
+                        })?;
+                    let topic_id = post.get_int("topic_id")?;
+                    let likes = post.get_int("like_cnt")?;
+                    let topic = occ
+                        .read_fields(&self.orm, "topics", topic_id, &["total_likes"])?
+                        .ok_or(OrmError::RecordNotFound {
+                            entity: "topics".into(),
+                            id: topic_id,
+                        })?;
+                    let total = topic.get_int("total_likes")?;
+                    occ.stage_update("posts", post_id, &[("like_cnt", (likes + 1).into())]);
+                    occ.stage_update("topics", topic_id, &[("total_likes", (total + 1).into())]);
+                    Ok(())
+                })?;
                 Ok(())
             }
         }
@@ -783,7 +859,10 @@ impl Discourse {
     ) -> Result<DraftOutcome> {
         let schema = self.orm.db().schema("drafts")?;
         let iso = match self.mode {
-            Mode::AdHoc => IsolationLevel::ReadCommitted,
+            // Draft-save is one of the paper's *good* ad hoc transactions:
+            // the cured variant keeps the same single-transaction
+            // SELECT-FOR-UPDATE shape at the weakest sufficient level.
+            Mode::AdHoc | Mode::Cured => IsolationLevel::ReadCommitted,
             Mode::DatabaseTxn => IsolationLevel::Serializable,
         };
         let ukey = format!("{user_id}:{dkey}");

@@ -8,7 +8,7 @@
 use crate::{Mode, Result, DBT_RETRIES};
 use adhoc_core::checker::{BootRecovery, CheckRule, Report, Violation};
 use adhoc_core::locks::AdHocLock;
-use adhoc_orm::{EntityDef, Orm, Registry};
+use adhoc_orm::{Coordinator, EntityDef, Orm, Registry};
 use adhoc_storage::{Column, ColumnType, Database, DbError, IsolationLevel, Predicate, Schema};
 use std::sync::Arc;
 
@@ -78,13 +78,20 @@ pub fn setup(db: &Database) -> Result<Orm> {
 pub struct JumpServer {
     orm: Orm,
     lock: Arc<dyn AdHocLock>,
+    coord: Coordinator,
     mode: Mode,
 }
 
 impl JumpServer {
     /// Build the application model over `orm`, coordinating with `lock` in the given [`Mode`].
     pub fn new(orm: Orm, lock: Arc<dyn AdHocLock>, mode: Mode) -> Self {
-        Self { orm, lock, mode }
+        let coord = Coordinator::new(orm.db().clone());
+        Self {
+            orm,
+            lock,
+            coord,
+            mode,
+        }
     }
 
     /// The underlying ORM handle (for assertions and seeding).
@@ -145,6 +152,18 @@ impl JumpServer {
                 self.orm
                     .db()
                     .run_with_retries(IsolationLevel::Serializable, DBT_RETRIES, body)?;
+                Ok(())
+            }
+            Mode::Cured => {
+                // §7 cure: the grant's existence check is a predicate scan,
+                // so the façade serializes per (user, asset) — the same
+                // sound shape JumpServer hand-rolled, minus the hand-rolled
+                // lock plumbing.
+                let guard = self
+                    .coord
+                    .user_lock(&format!("grant:{user_id}:{asset_id}"))?;
+                self.orm.db().run(IsolationLevel::ReadCommitted, body)?;
+                guard.unlock()?;
                 Ok(())
             }
         }

@@ -17,7 +17,8 @@
 use crate::{Mode, Result, DBT_RETRIES};
 use adhoc_core::checker::{BootRecovery, CheckRule, Report, Violation};
 use adhoc_core::locks::AdHocLock;
-use adhoc_orm::{EntityDef, Orm, Registry};
+use adhoc_orm::occ::run_occ;
+use adhoc_orm::{Coordinator, EntityDef, Orm, OrmError, Registry};
 use adhoc_storage::{Column, ColumnType, Database, DbError, IsolationLevel, Predicate, Schema};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -86,6 +87,7 @@ pub struct Mastodon {
     orm: Orm,
     kv: adhoc_kv::Client,
     lock: Arc<dyn AdHocLock>,
+    coord: Coordinator,
     mode: Mode,
     /// Stretches critical sections (past a lease TTL, when injected).
     pub critical_section_delay: Duration,
@@ -94,10 +96,12 @@ pub struct Mastodon {
 impl Mastodon {
     /// Build the application model over `orm`, coordinating with `lock` in the given [`Mode`].
     pub fn new(orm: Orm, kv: adhoc_kv::Client, lock: Arc<dyn AdHocLock>, mode: Mode) -> Self {
+        let coord = Coordinator::new(orm.db().clone());
         Self {
             orm,
             kv,
             lock,
+            coord,
             mode,
             critical_section_delay: Duration::ZERO,
         }
@@ -153,6 +157,22 @@ impl Mastodon {
     /// §3.1.3: insert the post row and add its id to the follower's Redis
     /// timeline, under one post lock.
     pub fn create_post(&self, follower_id: i64, post_id: i64, content: &str) -> Result<()> {
+        if self.mode == Mode::Cured {
+            // §7 cure for the §4.1.1 lease bug: the façade's user lock has
+            // ownership semantics, not a TTL — it cannot silently expire
+            // mid-critical-section, however long the section runs.
+            let guard = self.coord.user_lock(&format!("post:{post_id}"))?;
+            self.orm.create(
+                "posts",
+                &[("id", post_id.into()), ("content", content.into())],
+            )?;
+            std::thread::sleep(self.critical_section_delay);
+            self.kv
+                .sadd(&Self::timeline_key(follower_id), &post_id.to_string())
+                .map_err(|e| adhoc_core::LockError::Backend(e.to_string()))?;
+            guard.unlock()?;
+            return Ok(());
+        }
         let guard = self.lock.lock(&format!("post:{post_id}"))?;
         self.orm.create(
             "posts",
@@ -170,6 +190,16 @@ impl Mastodon {
 
     /// §3.1.3: remove the timeline entry, then the post row.
     pub fn delete_post(&self, follower_id: i64, post_id: i64) -> Result<()> {
+        if self.mode == Mode::Cured {
+            let guard = self.coord.user_lock(&format!("post:{post_id}"))?;
+            self.kv
+                .srem(&Self::timeline_key(follower_id), &post_id.to_string())
+                .map_err(|e| adhoc_core::LockError::Backend(e.to_string()))?;
+            std::thread::sleep(self.critical_section_delay);
+            self.orm.delete("posts", post_id)?;
+            guard.unlock()?;
+            return Ok(());
+        }
         let guard = self.lock.lock(&format!("post:{post_id}"))?;
         self.kv
             .srem(&Self::timeline_key(follower_id), &post_id.to_string())
@@ -247,6 +277,29 @@ impl Mastodon {
                     },
                 )?)
             }
+            Mode::Cured => {
+                // §7 cure for Fig. 1b: no lock, no TTL to get wrong — one
+                // optimistic validate-and-commit over exactly the columns
+                // the limit check reads. The stretch delay sits between
+                // read and commit; a stale read surfaces as a conflict and
+                // retries instead of over-redeeming.
+                Ok(run_occ(&self.orm, &crate::cured_policy(), None, |occ| {
+                    let invite = occ
+                        .read_fields(&self.orm, "invites", invite_id, &["redeems", "max_redeems"])?
+                        .ok_or(OrmError::RecordNotFound {
+                            entity: "invites".into(),
+                            id: invite_id,
+                        })?;
+                    let redeems = invite.get_int("redeems")?;
+                    let max = invite.get_int("max_redeems")?;
+                    std::thread::sleep(self.critical_section_delay);
+                    if redeems >= max {
+                        return Ok(false);
+                    }
+                    occ.stage_update("invites", invite_id, &[("redeems", (redeems + 1).into())]);
+                    Ok(true)
+                })?)
+            }
         }
     }
 
@@ -316,6 +369,27 @@ impl Mastodon {
 
     /// Figure 1c: optimistic vote with the version-checked retry loop.
     pub fn vote(&self, poll_id: i64, choice: Choice) -> Result<()> {
+        if self.mode == Mode::Cured {
+            // §7 cure for Fig. 1c: the declarative loop replaces the
+            // hand-rolled one, and the field-granular footprint beats the
+            // `ver` column — A-votes and B-votes no longer conflict at all.
+            let col = match choice {
+                Choice::A => "tally_a",
+                Choice::B => "tally_b",
+            };
+            run_occ(&self.orm, &crate::cured_policy(), None, |occ| {
+                let poll = occ
+                    .read_fields(&self.orm, "polls", poll_id, &[col])?
+                    .ok_or(OrmError::RecordNotFound {
+                        entity: "polls".into(),
+                        id: poll_id,
+                    })?;
+                let tally = poll.get_int(col)?;
+                occ.stage_update("polls", poll_id, &[(col, (tally + 1).into())]);
+                Ok(())
+            })?;
+            return Ok(());
+        }
         loop {
             let poll = self.orm.find_required("polls", poll_id)?;
             let ver = poll.get_int("ver")?;

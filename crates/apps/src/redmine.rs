@@ -11,7 +11,8 @@
 
 use crate::{Mode, Result, DBT_RETRIES};
 use adhoc_core::checker::{BootRecovery, CheckRule, Report, Violation};
-use adhoc_orm::{EntityDef, Orm, OrmError, Registry};
+use adhoc_orm::occ::run_occ;
+use adhoc_orm::{Coordinator, EntityDef, Orm, OrmError, Registry};
 use adhoc_storage::{Column, ColumnType, Database, DbError, IsolationLevel, Predicate, Schema};
 
 /// Create Redmine's tables and entity registry.
@@ -73,13 +74,15 @@ pub fn setup(db: &Database) -> Result<Orm> {
 /// The Redmine application model.
 pub struct Redmine {
     orm: Orm,
+    coord: Coordinator,
     mode: Mode,
 }
 
 impl Redmine {
     /// Build the application model over `orm`, coordinating with `lock` in the given [`Mode`].
     pub fn new(orm: Orm, mode: Mode) -> Self {
-        Self { orm, mode }
+        let coord = Coordinator::new(orm.db().clone());
+        Self { orm, coord, mode }
     }
 
     /// The underlying ORM handle (for assertions and seeding).
@@ -129,15 +132,40 @@ impl Redmine {
     /// Assign an issue and bump its progress: a FOR-UPDATE-coordinated
     /// read–modify–write (the correct Redmine pattern).
     pub fn advance_issue(&self, issue_id: i64, assignee: i64, progress: i64) -> Result<()> {
+        if self.mode == Mode::Cured {
+            // §7 cure: the FOR-UPDATE RMW becomes one optimistic
+            // validate-and-commit, field-granular on the one column the
+            // computation reads (`assignee` is a blind write).
+            run_occ(&self.orm, &crate::cured_policy(), None, |occ| {
+                let issue = occ
+                    .read_fields(&self.orm, "issues", issue_id, &["done_ratio"])?
+                    .ok_or(OrmError::RecordNotFound {
+                        entity: "issues".into(),
+                        id: issue_id,
+                    })?;
+                let done = issue.get_int("done_ratio")?;
+                occ.stage_update(
+                    "issues",
+                    issue_id,
+                    &[
+                        ("assignee", assignee.into()),
+                        ("done_ratio", (done + progress).min(100).into()),
+                    ],
+                );
+                Ok(())
+            })?;
+            return Ok(());
+        }
         let iso = match self.mode {
             Mode::AdHoc => IsolationLevel::ReadCommitted, // SFU does the work
             Mode::DatabaseTxn => IsolationLevel::Serializable,
+            Mode::Cured => unreachable!("cured path returned above"),
         };
         let schema = self.orm.db().schema("issues")?;
         self.orm.db().run_with_retries(iso, DBT_RETRIES, |t| {
             let issue = match self.mode {
                 Mode::AdHoc => t.get_for_update("issues", issue_id)?,
-                Mode::DatabaseTxn => t.get("issues", issue_id)?,
+                Mode::DatabaseTxn | Mode::Cured => t.get("issues", issue_id)?,
             }
             .ok_or(DbError::NoSuchRow {
                 table: "issues".into(),
@@ -191,15 +219,38 @@ impl Redmine {
     /// with `SELECT … FOR UPDATE` on the issue row (AdHoc) or a
     /// serializable transaction (DatabaseTxn).
     pub fn add_attachment(&self, issue_id: i64, filename: &str) -> Result<i64> {
+        if self.mode == Mode::Cured {
+            // §7 cure: the façade's portable row-lock hint replaces the
+            // hand-rolled SELECT … FOR UPDATE, and one transaction keeps
+            // the attachment row and its counter cache atomic.
+            let id = self.orm.transaction(|t| {
+                self.coord.row_lock(t.raw(), "issues", issue_id)?;
+                let count = t
+                    .find_required("issues", issue_id)?
+                    .get_int("attachments_count")?;
+                let attachment = t.create(
+                    "attachments",
+                    &[("issue_id", issue_id.into()), ("filename", filename.into())],
+                )?;
+                t.raw().update(
+                    "issues",
+                    issue_id,
+                    &[("attachments_count", (count + 1).into())],
+                )?;
+                Ok(attachment.id)
+            })?;
+            return Ok(id);
+        }
         let iso = match self.mode {
             Mode::AdHoc => IsolationLevel::ReadCommitted,
             Mode::DatabaseTxn => IsolationLevel::Serializable,
+            Mode::Cured => unreachable!("cured path returned above"),
         };
         let schema = self.orm.db().schema("issues")?;
         let id = self.orm.db().run_with_retries(iso, DBT_RETRIES, |t| {
             let issue = match self.mode {
                 Mode::AdHoc => t.get_for_update("issues", issue_id)?,
-                Mode::DatabaseTxn => t.get("issues", issue_id)?,
+                Mode::DatabaseTxn | Mode::Cured => t.get("issues", issue_id)?,
             }
             .ok_or(DbError::NoSuchRow {
                 table: "issues".into(),
@@ -236,9 +287,28 @@ impl Redmine {
     /// Target an open issue at a version, refusing closed versions — one
     /// half of the `redmine/version-close` check-then-act pair.
     pub fn assign_version(&self, issue_id: i64, version_id: i64) -> Result<bool> {
+        if self.mode == Mode::Cured {
+            // §7 cure: both halves of the check-then-act pair take the
+            // same façade lock on the version, so the cross-row invariant
+            // (no open issue on a closed version) cannot interleave away —
+            // and no Serializable phantoms are needed to see it.
+            let guard = self.coord.user_lock(&format!("version:{version_id}"))?;
+            let ok = self.orm.transaction(|t| {
+                let version = t.find_required("versions", version_id)?;
+                if version.get_int("open")? == 0 {
+                    return Ok(false);
+                }
+                t.raw()
+                    .update("issues", issue_id, &[("version_id", version_id.into())])?;
+                Ok(true)
+            })?;
+            guard.unlock()?;
+            return Ok(ok);
+        }
         let iso = match self.mode {
             Mode::AdHoc => IsolationLevel::ReadCommitted,
             Mode::DatabaseTxn => IsolationLevel::Serializable,
+            Mode::Cured => unreachable!("cured path returned above"),
         };
         let schema = self.orm.db().schema("versions")?;
         Ok(self.orm.db().run_with_retries(iso, DBT_RETRIES, |t| {
@@ -246,7 +316,7 @@ impl Redmine {
                 // FOR UPDATE on the version row serializes against
                 // `close_version`, which locks the same row.
                 Mode::AdHoc => t.get_for_update("versions", version_id)?,
-                Mode::DatabaseTxn => t.get("versions", version_id)?,
+                Mode::DatabaseTxn | Mode::Cured => t.get("versions", version_id)?,
             }
             .ok_or(DbError::NoSuchRow {
                 table: "versions".into(),
@@ -265,9 +335,29 @@ impl Redmine {
     /// first (AdHoc/SFU) or runs serializable (DatabaseTxn, where SSI's
     /// index-range certification catches the phantom issue).
     pub fn close_version(&self, version_id: i64) -> Result<bool> {
+        if self.mode == Mode::Cured {
+            let guard = self.coord.user_lock(&format!("version:{version_id}"))?;
+            let issues = self.orm.db().schema("issues")?;
+            let ok = self.orm.transaction(|t| {
+                let targeting = t
+                    .raw()
+                    .scan("issues", &Predicate::eq("version_id", version_id))?;
+                for (_, issue) in &targeting {
+                    if issue.get_int(&issues, "open")? == 1 {
+                        return Ok(false);
+                    }
+                }
+                t.raw()
+                    .update("versions", version_id, &[("open", 0.into())])?;
+                Ok(true)
+            })?;
+            guard.unlock()?;
+            return Ok(ok);
+        }
         let iso = match self.mode {
             Mode::AdHoc => IsolationLevel::ReadCommitted,
             Mode::DatabaseTxn => IsolationLevel::Serializable,
+            Mode::Cured => unreachable!("cured path returned above"),
         };
         let issues = self.orm.db().schema("issues")?;
         Ok(self.orm.db().run_with_retries(iso, DBT_RETRIES, |t| {

@@ -11,7 +11,8 @@
 use crate::{Mode, Result, DBT_RETRIES};
 use adhoc_core::checker::{BootRecovery, CheckRule, Report, Violation};
 use adhoc_core::locks::AdHocLock;
-use adhoc_orm::{EntityDef, Orm, Registry};
+use adhoc_orm::occ::run_occ;
+use adhoc_orm::{Coordinator, EntityDef, Orm, OrmError, Registry};
 use adhoc_storage::{Column, ColumnType, Database, DbError, IsolationLevel, Predicate, Schema};
 use std::sync::Arc;
 use std::time::Duration;
@@ -61,6 +62,7 @@ pub struct Saleor {
     orm: Orm,
     /// The capture lock (public so tests can exercise re-entrancy).
     pub lock: Arc<dyn AdHocLock>,
+    coord: Coordinator,
     mode: Mode,
     /// Stretches the capture critical section (past a lease TTL when the
     /// injected lock has one).
@@ -70,9 +72,11 @@ pub struct Saleor {
 impl Saleor {
     /// Build the application model over `orm`, coordinating with `lock` in the given [`Mode`].
     pub fn new(orm: Orm, lock: Arc<dyn AdHocLock>, mode: Mode) -> Self {
+        let coord = Coordinator::new(orm.db().clone());
         Self {
             orm,
             lock,
+            coord,
             mode,
             capture_delay: Duration::ZERO,
         }
@@ -168,12 +172,76 @@ impl Saleor {
                 DBT_RETRIES,
                 run,
             )?),
+            Mode::Cured => {
+                // §7 cure: §3.2.1 is the pattern the paper praises; the
+                // cured variant keeps its shape but takes the locks through
+                // the façade's portable row-lock hint instead of
+                // hand-written FOR UPDATE, in one Read Committed
+                // transaction. Same lock order as the original.
+                Ok(self.orm.transaction(|t| {
+                    let allocs = t
+                        .raw()
+                        .scan("allocations", &Predicate::eq("item_id", item_id))?;
+                    let Some((alloc_id, _)) = allocs.into_iter().next() else {
+                        return Ok(false);
+                    };
+                    self.coord.row_lock(t.raw(), "allocations", alloc_id)?;
+                    let alloc = t.find_required("allocations", alloc_id)?;
+                    let stock_id = alloc.get_int("stock_id")?;
+                    self.coord.row_lock(t.raw(), "stocks", stock_id)?;
+                    let stock = t.find_required("stocks", stock_id)?;
+                    let alloc_qty = alloc.get_int("qty")?;
+                    let stock_qty = stock.get_int("qty")?;
+                    if alloc_qty > stock_qty {
+                        return Ok(false);
+                    }
+                    t.raw()
+                        .update("allocations", alloc_id, &[("qty", 0.into())])?;
+                    t.raw().update(
+                        "stocks",
+                        stock_id,
+                        &[("qty", (stock_qty - alloc_qty).into())],
+                    )?;
+                    Ok(true)
+                })?)
+            }
         }
     }
 
     /// Capture part of an authorized payment under the re-entrant KV lock.
     /// Returns `false` when the capture would exceed the authorization.
     pub fn capture_payment(&self, order_id: i64, cents: i64) -> Result<bool> {
+        if self.mode == Mode::Cured {
+            // §7 cure for Table 5b overcharging: no lock and no TTL to
+            // outlive — one optimistic validate-and-commit on exactly the
+            // two cents columns. However long the stretch delay, a stale
+            // read conflicts and retries instead of double-capturing.
+            return Ok(run_occ(&self.orm, &crate::cured_policy(), None, |occ| {
+                let capture = occ
+                    .read_fields(
+                        &self.orm,
+                        "captures",
+                        order_id,
+                        &["authorized_cents", "captured_cents"],
+                    )?
+                    .ok_or(OrmError::RecordNotFound {
+                        entity: "captures".into(),
+                        id: order_id,
+                    })?;
+                let authorized = capture.get_int("authorized_cents")?;
+                let captured = capture.get_int("captured_cents")?;
+                std::thread::sleep(self.capture_delay);
+                if captured + cents > authorized {
+                    return Ok(false);
+                }
+                occ.stage_update(
+                    "captures",
+                    order_id,
+                    &[("captured_cents", (captured + cents).into())],
+                );
+                Ok(true)
+            })?);
+        }
         let guard = self.lock.lock(&format!("capture:{order_id}"))?;
         let capture = self.orm.find_required("captures", order_id)?;
         let authorized = capture.get_int("authorized_cents")?;

@@ -14,7 +14,8 @@ use crate::{Mode, Result, DBT_RETRIES};
 use adhoc_core::checker::{column_invariant, BootRecovery, Report};
 use adhoc_core::locks::AdHocLock;
 use adhoc_core::validation::{validated_write, CommitOutcome, ValidationCheck, ValidationStrategy};
-use adhoc_orm::{EntityDef, Orm, Registry};
+use adhoc_orm::occ::run_occ;
+use adhoc_orm::{EntityDef, Orm, OrmError, Registry};
 use adhoc_storage::{Column, ColumnType, Database, DbError, IsolationLevel, Predicate, Schema};
 use std::sync::Arc;
 
@@ -95,6 +96,29 @@ impl ScmSuite {
     /// Adjust an account balance (credit/debit), refusing overdrafts.
     pub fn adjust_balance(&self, account_id: i64, delta: i64) -> Result<bool> {
         match self.mode {
+            Mode::Cured => {
+                // §7 cure: optimistic RMW over just the `balance` field —
+                // no `synchronized` monitor to mis-scope (§4.1.1 [91]).
+                Ok(run_occ(&self.orm, &crate::cured_policy(), None, |occ| {
+                    let account = occ
+                        .read_fields(&self.orm, "accounts", account_id, &["balance"])?
+                        .ok_or(OrmError::RecordNotFound {
+                            entity: "accounts".into(),
+                            id: account_id,
+                        })?;
+                    let balance = account.get_int("balance")?;
+                    std::thread::yield_now(); // business logic between R and W
+                    if balance + delta < 0 {
+                        return Ok(false);
+                    }
+                    occ.stage_update(
+                        "accounts",
+                        account_id,
+                        &[("balance", (balance + delta).into())],
+                    );
+                    Ok(true)
+                })?)
+            }
             Mode::AdHoc => {
                 let guard = self.lock.lock(&format!("account:{account_id}"))?;
                 let account = self.orm.find_required("accounts", account_id)?;
@@ -147,6 +171,36 @@ impl ScmSuite {
     /// multi-lock cases deadlock-free).
     pub fn transfer(&self, from: i64, to: i64, amount: i64) -> Result<bool> {
         assert!(amount >= 0);
+        if self.mode == Mode::Cured {
+            // §7 cure: no locks, no ordering discipline to get wrong —
+            // both balances validate at commit, deadlock-free by design.
+            return Ok(run_occ(&self.orm, &crate::cured_policy(), None, |occ| {
+                let from_balance = occ
+                    .read_fields(&self.orm, "accounts", from, &["balance"])?
+                    .ok_or(OrmError::RecordNotFound {
+                        entity: "accounts".into(),
+                        id: from,
+                    })?
+                    .get_int("balance")?;
+                if from_balance < amount {
+                    return Ok(false);
+                }
+                let to_balance = occ
+                    .read_fields(&self.orm, "accounts", to, &["balance"])?
+                    .ok_or(OrmError::RecordNotFound {
+                        entity: "accounts".into(),
+                        id: to,
+                    })?
+                    .get_int("balance")?;
+                occ.stage_update(
+                    "accounts",
+                    from,
+                    &[("balance", (from_balance - amount).into())],
+                );
+                occ.stage_update("accounts", to, &[("balance", (to_balance + amount).into())]);
+                Ok(true)
+            })?);
+        }
         let (first, second) = if from <= to { (from, to) } else { (to, from) };
         let g1 = self.lock.lock(&format!("account:{first}"))?;
         let g2 = self.lock.lock(&format!("account:{second}"))?;
@@ -179,6 +233,22 @@ impl ScmSuite {
     /// validation (manual, §3.2.2). `atomic = false` reproduces the
     /// non-atomic validate-and-commit.
     pub fn track_stock(&self, id: i64, delta: i64, atomic: bool) -> Result<CommitOutcome> {
+        if self.mode == Mode::Cured {
+            // §7 cure: the ORM's validate-on-save replaces SCM Suite's
+            // hand-crafted (and non-atomically appliable) version check.
+            run_occ(&self.orm, &crate::cured_policy(), None, |occ| {
+                let obj = occ
+                    .read_fields(&self.orm, "merchandise", id, &["stock"])?
+                    .ok_or(OrmError::RecordNotFound {
+                        entity: "merchandise".into(),
+                        id,
+                    })?;
+                let stock = obj.get_int("stock")?;
+                occ.stage_update("merchandise", id, &[("stock", (stock + delta).into())]);
+                Ok(())
+            })?;
+            return Ok(CommitOutcome::Committed);
+        }
         let obj = self.orm.find_required("merchandise", id)?;
         let stock = obj.get_int("stock")?;
         let strategy = if atomic {

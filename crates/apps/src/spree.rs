@@ -26,7 +26,8 @@ use crate::{Mode, Result, DBT_RETRIES};
 
 use adhoc_core::checker::{stuck_state, BootRecovery, Report};
 use adhoc_core::locks::AdHocLock;
-use adhoc_orm::{EntityDef, Orm, Registry, TouchVia};
+use adhoc_orm::occ::run_occ;
+use adhoc_orm::{Coordinator, EntityDef, Orm, OrmError, Registry, TouchVia};
 use adhoc_storage::{Column, ColumnType, Database, DbError, IsolationLevel, Predicate, Schema};
 use std::sync::Arc;
 
@@ -113,6 +114,7 @@ pub fn setup(db: &Database) -> Result<Orm> {
 pub struct Spree {
     orm: Orm,
     lock: Arc<dyn AdHocLock>,
+    coord: Coordinator,
     mode: Mode,
     /// §4.2 (issue \[61\]'s second half): leave the order-status write
     /// uncoordinated.
@@ -125,9 +127,11 @@ pub struct Spree {
 impl Spree {
     /// Build the application model over `orm`, coordinating with `lock` in the given [`Mode`].
     pub fn new(orm: Orm, lock: Arc<dyn AdHocLock>, mode: Mode) -> Self {
+        let coord = Coordinator::new(orm.db().clone());
         Self {
             orm,
             lock,
+            coord,
             mode,
             omit_status_coordination: false,
             request_cpu_work: std::time::Duration::ZERO,
@@ -220,6 +224,46 @@ impl Spree {
     /// insufficient stock.
     pub fn decrement_stock(&self, order_id: i64, sku_id: i64, requested: i64) -> Result<bool> {
         match self.mode {
+            Mode::Cured => {
+                // §7 cure: field-granular OCC validates only the columns
+                // actually read (`quantity`). The touch cascade and the
+                // order-status write are staged as blind writes — they
+                // carry no read footprint, so concurrent orders sharing a
+                // category never conflict (the §3.1.1 aborts vanish), yet
+                // everything commits in one atomic validate-on-save.
+                Ok(run_occ(&self.orm, &crate::cured_policy(), None, |occ| {
+                    let sku = occ
+                        .read_fields(&self.orm, "skus", sku_id, &["quantity", "product_id"])?
+                        .ok_or(OrmError::RecordNotFound {
+                            entity: "skus".into(),
+                            id: sku_id,
+                        })?;
+                    let quantity = sku.get_int("quantity")?;
+                    if quantity < requested {
+                        return Ok(false);
+                    }
+                    let product_id = sku.get_int("product_id")?;
+                    occ.stage_update(
+                        "skus",
+                        sku_id,
+                        &[("quantity", (quantity - requested).into())],
+                    );
+                    occ.stage_update("products", product_id, &[("updated_at", 1.into())]);
+                    let pc_schema = self.orm.db().schema("product_categories")?;
+                    let links = self.orm.transaction(|t| {
+                        Ok(t.raw().scan(
+                            "product_categories",
+                            &Predicate::eq("product_id", product_id),
+                        )?)
+                    })?;
+                    for (_, link) in &links {
+                        let cat = link.get_int(&pc_schema, "category_id")?;
+                        occ.stage_update("categories", cat, &[("updated_at", 1.into())]);
+                    }
+                    occ.stage_update("orders", order_id, &[("state", "confirmed".into())]);
+                    Ok(true)
+                })?)
+            }
             Mode::AdHoc => {
                 let guard = self.lock.lock(&format!("sku:{sku_id}"))?;
                 let mut sku = self.orm.find_required("skus", sku_id)?;
@@ -312,6 +356,31 @@ impl Spree {
     /// Returns whether a payment was created.
     pub fn add_payment(&self, order_id: i64) -> Result<bool> {
         match self.mode {
+            Mode::Cured => {
+                crate::busy_work(self.request_cpu_work);
+                // §7 cure: the same exact-equality predicate key the ad hoc
+                // lock used, routed through the coordination façade — the
+                // value granularity is kept, the hand-rolled lock table is
+                // not.
+                let guard = self
+                    .coord
+                    .user_lock(&format!("payments:order_id={order_id}"))?;
+                let created = self.orm.transaction(|t| {
+                    let existing = t
+                        .raw()
+                        .scan("payments", &Predicate::eq("order_id", order_id))?;
+                    if !existing.is_empty() {
+                        return Ok(false);
+                    }
+                    t.raw().insert(
+                        "payments",
+                        &[("order_id", order_id.into()), ("state", "new".into())],
+                    )?;
+                    Ok(true)
+                })?;
+                guard.unlock()?;
+                Ok(created)
+            }
             Mode::AdHoc => {
                 crate::busy_work(self.request_cpu_work);
                 // Predicate lock on the exact equality `order_id = ?`
@@ -387,6 +456,32 @@ impl Spree {
     /// simulates the application server dying after marking the payment
     /// `processing` but before completing it.
     pub fn process_payment(&self, order_id: i64, crash_midway: bool) -> Result<bool> {
+        if self.mode == Mode::Cured {
+            // §7 cure: one atomic state transition. The intermediate
+            // `processing` mark never commits on its own, so a mid-flight
+            // crash leaves nothing stuck — §4.3 [60] cannot occur and the
+            // boot-time fsck has nothing to repair.
+            let schema = self.orm.db().schema("payments")?;
+            return Ok(self.orm.transaction(|t| {
+                let payments = t
+                    .raw()
+                    .scan("payments", &Predicate::eq("order_id", order_id))?;
+                let Some((payment_id, row)) = payments.into_iter().next() else {
+                    return Ok(false);
+                };
+                if row.get_str(&schema, "state")? != "new" {
+                    return Ok(false);
+                }
+                if crash_midway {
+                    // The handler dies here; the transaction never commits
+                    // and the payment stays processable.
+                    return Ok(false);
+                }
+                t.raw()
+                    .update("payments", payment_id, &[("state", "completed".into())])?;
+                Ok(true)
+            })?);
+        }
         let schema = self.orm.db().schema("payments")?;
         let payments = self.orm.transaction(|t| {
             Ok(t.raw()

@@ -10,7 +10,8 @@
 //!
 //! `bench-json` runs the engine-scaling sweeps and writes machine-readable
 //! `BENCH_fig2.json` (storage commit scaling), `BENCH_fig3.json` (KV
-//! command scaling), `BENCH_wal.json` (WAL overhead), and
+//! command scaling), `BENCH_wal.json` (WAL overhead),
+//! `BENCH_occ.json` (cured `orm::occ` vs hand-rolled AHT), and
 //! `BENCH_resilience.json` (metastability ablation) into `outdir`
 //! (default `.`). Set `BENCH_SCALE=smoke`
 //! for a tiny CI duty cycle. If `tools/baselines/fig2_pre_shard.json` /
@@ -199,14 +200,18 @@ fn run_bench_json(outdir: &str) {
     let (fig2_json, fig3_json) = scaling::bench_json(baseline2.as_deref(), baseline3.as_deref());
     std::fs::create_dir_all(outdir).expect("create outdir");
     let wal_json = scaling::wal_bench_json();
+    let baseline_occ = std::fs::read_to_string("tools/baselines/occ_pre_cure.json").ok();
+    let occ_json = scaling::occ_bench_json(baseline_occ.as_deref());
     let resilience_json = resilience::resilience_bench_json();
     let fig2_path = format!("{outdir}/BENCH_fig2.json");
     let fig3_path = format!("{outdir}/BENCH_fig3.json");
     let wal_path = format!("{outdir}/BENCH_wal.json");
+    let occ_path = format!("{outdir}/BENCH_occ.json");
     let resilience_path = format!("{outdir}/BENCH_resilience.json");
     std::fs::write(&fig2_path, &fig2_json).expect("write BENCH_fig2.json");
     std::fs::write(&fig3_path, &fig3_json).expect("write BENCH_fig3.json");
     std::fs::write(&wal_path, &wal_json).expect("write BENCH_wal.json");
+    std::fs::write(&occ_path, &occ_json).expect("write BENCH_occ.json");
     std::fs::write(&resilience_path, &resilience_json).expect("write BENCH_resilience.json");
     println!("wrote {fig2_path}");
     print!("{fig2_json}");
@@ -214,6 +219,8 @@ fn run_bench_json(outdir: &str) {
     print!("{fig3_json}");
     println!("wrote {wal_path}");
     print!("{wal_json}");
+    println!("wrote {occ_path}");
+    print!("{occ_json}");
     println!("wrote {resilience_path}");
     print!("{resilience_json}");
 }

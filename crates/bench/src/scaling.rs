@@ -18,8 +18,18 @@
 //! machine-readable `BENCH_fig2.json` / `BENCH_fig3.json` via
 //! [`render_json`] / [`bench_json`] (consumed by `tools/bench.sh` and the
 //! CI smoke gate).
+//!
+//! Two ablations ride on the same workload: [`wal_commit_scaling`]
+//! (durability policy × simulated fsync cost → `BENCH_wal.json`) and
+//! [`occ_scaling`] (the §7 cured `orm::occ` layer vs the hand-rolled
+//! lock + two-transaction AHT → `BENCH_occ.json`, gated by
+//! `tools/check_scaling.py` against `tools/baselines/occ_pre_cure.json`).
 
+use adhoc_core::locks::{AdHocLock, MemLock};
 use adhoc_kv::Store;
+use adhoc_orm::occ::run_occ;
+use adhoc_orm::{EntityDef, Orm, Registry};
+use adhoc_sim::RetryPolicy;
 use adhoc_storage::{
     Column, ColumnType, Database, DbConfig, EngineProfile, IsolationLevel, Schema,
 };
@@ -93,11 +103,20 @@ impl WalMode {
     }
 }
 
+/// Simulated per-fsync device latency of the nonzero-latency WAL
+/// ablation column, in microseconds. Charged to the engine's virtual
+/// clock (not wall time), it models the ~50µs a commodity NVMe flush
+/// costs — enough to make the per-commit-fsync tax visible and the
+/// group-commit amortization win measurable.
+pub const FSYNC_LATENCY_US: u64 = 50;
+
 /// Build the bench table and seed every row the sweep will touch.
 /// `wal` selects the write-ahead-log policy so the same workload measures
-/// durability overhead.
-fn seed_db(threads_max: usize, wal: WalMode) -> Database {
-    let cfg = DbConfig::in_memory(EngineProfile::PostgresLike);
+/// durability overhead; `fsync_latency_us` charges that much simulated
+/// device latency to every fsync the policy issues.
+fn seed_db(threads_max: usize, wal: WalMode, fsync_latency_us: u64) -> Database {
+    let cfg = DbConfig::in_memory(EngineProfile::PostgresLike)
+        .with_wal_fsync_latency(Duration::from_micros(fsync_latency_us));
     let db = Database::new(match wal {
         WalMode::Off => cfg,
         WalMode::OnCommit => cfg.with_wal(),
@@ -127,7 +146,7 @@ fn seed_db(threads_max: usize, wal: WalMode) -> Database {
 
 /// Measure one (threads, pattern) cell for `window` on a fresh database.
 fn measure_commits(threads: usize, pattern: KeyPattern, window: Duration) -> ScalingCell {
-    measure_commits_wal(threads, pattern, window, WalMode::Off)
+    measure_commits_wal(threads, pattern, window, WalMode::Off, 0)
 }
 
 /// Warmup slice run before the measured window of each cell: lets thread
@@ -138,14 +157,16 @@ fn warmup_of(window: Duration) -> Duration {
     window / 4
 }
 
-/// Like [`measure_commits`], with the WAL switchable on.
+/// Like [`measure_commits`], with the WAL switchable on and an optional
+/// simulated per-fsync device latency.
 fn measure_commits_wal(
     threads: usize,
     pattern: KeyPattern,
     window: Duration,
     wal: WalMode,
+    fsync_latency_us: u64,
 ) -> ScalingCell {
-    let db = seed_db(threads, wal);
+    let db = seed_db(threads, wal, fsync_latency_us);
     let stop = Arc::new(AtomicBool::new(false));
     let committed = Arc::new(AtomicU64::new(0));
     let attempts = Arc::new(AtomicU64::new(0));
@@ -297,6 +318,8 @@ pub fn kv_scaling(thread_counts: &[usize], window: Duration) -> Vec<ScalingCell>
 pub struct WalCell {
     /// Durability mode of this cell.
     pub mode: WalMode,
+    /// Simulated per-fsync device latency charged in this cell (µs).
+    pub fsync_latency_us: u64,
     /// The measured cell.
     pub cell: ScalingCell,
 }
@@ -306,6 +329,12 @@ pub struct WalCell {
 /// cells double as the regression guard that `wal: None` keeps the
 /// sharded commit path free of durability cost; the group-commit column
 /// shows how much of the per-commit-fsync tax amortization recovers.
+///
+/// Two latency columns per logging mode: free fsyncs (latency 0, the
+/// historical rows) and a simulated [`FSYNC_LATENCY_US`]-cost device.
+/// The costed column is where group commit earns its keep — per-commit
+/// fsync pays the device once per transaction, the leader-based group
+/// pays once per *batch*.
 pub fn wal_commit_scaling(thread_counts: &[usize], window: Duration) -> Vec<WalCell> {
     let mut out = Vec::new();
     for &threads in thread_counts {
@@ -313,7 +342,16 @@ pub fn wal_commit_scaling(thread_counts: &[usize], window: Duration) -> Vec<WalC
             for mode in [WalMode::Off, WalMode::OnCommit, WalMode::GroupCommit] {
                 out.push(WalCell {
                     mode,
-                    cell: measure_commits_wal(threads, pattern, window, mode),
+                    fsync_latency_us: 0,
+                    cell: measure_commits_wal(threads, pattern, window, mode, 0),
+                });
+            }
+            // The costed-device column: only the modes that fsync at all.
+            for mode in [WalMode::OnCommit, WalMode::GroupCommit] {
+                out.push(WalCell {
+                    mode,
+                    fsync_latency_us: FSYNC_LATENCY_US,
+                    cell: measure_commits_wal(threads, pattern, window, mode, FSYNC_LATENCY_US),
                 });
             }
         }
@@ -322,8 +360,8 @@ pub fn wal_commit_scaling(thread_counts: &[usize], window: Duration) -> Vec<WalC
 }
 
 /// Render the WAL ablation as `BENCH_wal.json`: same row shape as fig 2
-/// plus a `"wal"` flag and a `"policy"` label, so the modes sit side by
-/// side in one file.
+/// plus a `"wal"` flag, a `"policy"` label, and the simulated
+/// `"fsync_us"` device cost, so the modes sit side by side in one file.
 pub fn render_wal_json(cells: &[WalCell]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -332,11 +370,12 @@ pub fn render_wal_json(cells: &[WalCell]) -> String {
     out.push_str("  \"rows\": [\n");
     for (i, w) in cells.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"threads\": {}, \"pattern\": \"{}\", \"wal\": {}, \"policy\": \"{}\", \"throughput_ops\": {:.1}, \"abort_rate\": {:.6}}}{}\n",
+            "    {{\"threads\": {}, \"pattern\": \"{}\", \"wal\": {}, \"policy\": \"{}\", \"fsync_us\": {}, \"throughput_ops\": {:.1}, \"abort_rate\": {:.6}}}{}\n",
             w.cell.threads,
             w.cell.pattern.label(),
             w.mode.enabled(),
             w.mode.label(),
+            w.fsync_latency_us,
             w.cell.throughput_ops,
             w.cell.abort_rate,
             if i + 1 == cells.len() { "" } else { "," }
@@ -409,6 +448,205 @@ pub fn wal_bench_json() -> String {
     render_wal_json(&wal_commit_scaling(&default_threads(), window_from_env()))
 }
 
+// ---------------------------------------------------------------------------
+// OCC ablation: the §7 cured layer vs the hand-rolled AHT it replaces.
+// ---------------------------------------------------------------------------
+
+/// Implementation of one OCC-ablation cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccStrategy {
+    /// The hand-rolled ad hoc transaction the studied applications write:
+    /// in-process lock around a read in one database transaction and the
+    /// dependent write in a *second* one (the Figure 1a shape).
+    AdhocLock,
+    /// `orm::occ`: one optimistic transaction — field-granular read
+    /// footprint, validate-on-commit, automatic retry.
+    CuredOcc,
+}
+
+impl OccStrategy {
+    /// JSON/label name.
+    pub fn label(self) -> &'static str {
+        match self {
+            OccStrategy::AdhocLock => "adhoc",
+            OccStrategy::CuredOcc => "cured",
+        }
+    }
+}
+
+/// One measured OCC-ablation cell.
+#[derive(Debug, Clone)]
+pub struct OccCell {
+    /// Which implementation produced the cell.
+    pub strategy: OccStrategy,
+    /// The measured cell.
+    pub cell: ScalingCell,
+}
+
+/// Retry policy of the cured bench loop: effectively unbounded attempts
+/// with a backoff tuned for a microbenchmark's microsecond commits.
+fn occ_bench_policy() -> RetryPolicy {
+    RetryPolicy::exponential(
+        1_000_000,
+        Duration::from_micros(5),
+        Duration::from_micros(200),
+    )
+}
+
+/// Measure one (threads, pattern, strategy) cell: read-modify-write
+/// increments of `val`, disjoint or hot-key, via either implementation.
+/// Both sides go through the same ORM so the cell isolates the
+/// *coordination* cost, not object-mapping overhead.
+fn measure_occ(
+    threads: usize,
+    pattern: KeyPattern,
+    window: Duration,
+    strategy: OccStrategy,
+) -> ScalingCell {
+    let db = seed_db(threads, WalMode::Off, 0);
+    let orm = Orm::new(
+        db.clone(),
+        Registry::new().register(EntityDef::new("bench_rows")),
+    );
+    let lock = MemLock::new();
+    let policy = occ_bench_policy();
+    let stop = Arc::new(AtomicBool::new(false));
+    let committed = Arc::new(AtomicU64::new(0));
+    let attempts = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let orm = &orm;
+            let lock = lock.clone();
+            let policy = &policy;
+            let stop = Arc::clone(&stop);
+            let committed = Arc::clone(&committed);
+            let attempts = Arc::clone(&attempts);
+            s.spawn(move || {
+                let ids: Vec<i64> = match pattern {
+                    KeyPattern::Disjoint => {
+                        let base = 1 + (t as i64) * ROWS_PER_THREAD;
+                        (base..base + ROWS_PER_THREAD).collect()
+                    }
+                    KeyPattern::SameKey => vec![0],
+                };
+                let mut i: usize = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    let id = ids[i % ids.len()];
+                    attempts.fetch_add(1, Ordering::Relaxed);
+                    match strategy {
+                        OccStrategy::AdhocLock => {
+                            // Key formatted per acquisition — the idiom
+                            // every studied application writes
+                            // (`lock.lock(&format!("account:{id}"))`).
+                            let guard = lock.lock(&format!("row:{id}")).expect("lock");
+                            let val = orm
+                                .find_required("bench_rows", id)
+                                .expect("read")
+                                .get_int("val")
+                                .expect("val");
+                            std::thread::yield_now(); // business logic between R and W
+                            orm.transaction(|txn| {
+                                txn.raw()
+                                    .update("bench_rows", id, &[("val", (val + 1).into())])?;
+                                Ok(())
+                            })
+                            .expect("write");
+                            guard.unlock().expect("unlock");
+                        }
+                        OccStrategy::CuredOcc => {
+                            run_occ(orm, policy, None, |occ| {
+                                let val = occ
+                                    .read_fields(orm, "bench_rows", id, &["val"])?
+                                    .expect("seeded row")
+                                    .get_int("val")?;
+                                std::thread::yield_now(); // business logic between R and W
+                                occ.stage_update("bench_rows", id, &[("val", (val + 1).into())]);
+                                Ok(())
+                            })
+                            .expect("occ");
+                        }
+                    }
+                    committed.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+        std::thread::sleep(warmup_of(window));
+        committed.store(0, Ordering::Relaxed);
+        attempts.store(0, Ordering::Relaxed);
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let stats = db.stats();
+    let attempts = attempts.load(Ordering::Relaxed).max(1);
+    ScalingCell {
+        threads,
+        pattern,
+        throughput_ops: committed.load(Ordering::Relaxed) as f64 / window.as_secs_f64(),
+        // For the cured strategy every OCC validation failure rolled a
+        // transaction back; the lock strategy never aborts.
+        abort_rate: stats.aborts as f64 / (attempts + stats.aborts) as f64,
+    }
+}
+
+/// The cured-vs-adhoc throughput ablation over `thread_counts`, both key
+/// patterns. The §7 claim under test: on disjoint keys the optimistic
+/// layer (no lock round-trips, one transaction instead of two) meets or
+/// beats the hand-rolled AHT; under a hot key its retry loop stays within
+/// a small factor of the serialized lock queue.
+pub fn occ_scaling(thread_counts: &[usize], window: Duration) -> Vec<OccCell> {
+    let mut out = Vec::new();
+    for &threads in thread_counts {
+        for pattern in [KeyPattern::Disjoint, KeyPattern::SameKey] {
+            for strategy in [OccStrategy::AdhocLock, OccStrategy::CuredOcc] {
+                out.push(OccCell {
+                    strategy,
+                    cell: measure_occ(threads, pattern, window, strategy),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Render the OCC ablation as `BENCH_occ.json`: fig-2 row shape plus a
+/// `"strategy"` label. `baseline` (if any) is spliced in verbatim under
+/// `"baseline"`, like [`render_json`].
+pub fn render_occ_json(cells: &[OccCell], baseline: Option<&str>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"occ_vs_adhoc_scaling\",\n");
+    out.push_str("  \"unit\": \"ops_per_sec\",\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"pattern\": \"{}\", \"strategy\": \"{}\", \"throughput_ops\": {:.1}, \"abort_rate\": {:.6}}}{}\n",
+            c.cell.threads,
+            c.cell.pattern.label(),
+            c.strategy.label(),
+            c.cell.throughput_ops,
+            c.cell.abort_rate,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]");
+    if let Some(b) = baseline {
+        out.push_str(",\n  \"baseline\": ");
+        out.push_str(b.trim());
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Convenience used by `paper-eval bench-json`: run the OCC ablation and
+/// return the `BENCH_occ.json` body.
+pub fn occ_bench_json(baseline: Option<&str>) -> String {
+    render_occ_json(
+        &occ_scaling(&default_threads(), window_from_env()),
+        baseline,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,13 +671,35 @@ mod tests {
     fn wal_ablation_smoke() {
         let _serial = crate::SERIAL_MEASUREMENTS.lock();
         let cells = wal_commit_scaling(&[2], Duration::from_millis(20));
-        assert_eq!(cells.len(), 6); // 2 patterns x {off, on_commit, group_commit}
+        // 2 patterns x ({off, on_commit, group_commit} free + {on_commit,
+        // group_commit} costed-fsync)
+        assert_eq!(cells.len(), 10);
         for w in &cells {
             assert!(w.cell.throughput_ops > 0.0, "{w:?}");
+            if w.mode == WalMode::Off {
+                assert_eq!(w.fsync_latency_us, 0, "{w:?}");
+            }
         }
+        assert!(cells.iter().any(|w| w.fsync_latency_us == FSYNC_LATENCY_US));
         let json = render_wal_json(&cells);
         assert!(json.contains("\"wal\": true"));
         assert!(json.contains("\"wal\": false"));
         assert!(json.contains("\"policy\": \"group_commit\""));
+        assert!(json.contains(&format!("\"fsync_us\": {FSYNC_LATENCY_US}")));
+    }
+
+    #[test]
+    fn occ_ablation_smoke() {
+        let _serial = crate::SERIAL_MEASUREMENTS.lock();
+        let cells = occ_scaling(&[2], Duration::from_millis(20));
+        assert_eq!(cells.len(), 4); // 2 patterns x {adhoc, cured}
+        for c in &cells {
+            assert!(c.cell.throughput_ops > 0.0, "{c:?}");
+            assert!((0.0..=1.0).contains(&c.cell.abort_rate), "{c:?}");
+        }
+        let json = render_occ_json(&cells, Some("{\"note\": 1}"));
+        assert!(json.contains("\"strategy\": \"cured\""));
+        assert!(json.contains("\"strategy\": \"adhoc\""));
+        assert!(json.contains("\"baseline\""));
     }
 }

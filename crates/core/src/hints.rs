@@ -1,213 +1,117 @@
-//! The §6 "proxy module for existing hints".
+//! The §6 "proxy module for existing hints" — now a compatibility shim.
 //!
 //! Table 7a shows that engines disagree on which coordination hints exist
 //! (explicit user/table/row locks, per-operation isolation) and on their
 //! semantics. The paper proposes an application-level proxy that exposes
 //! one interface and falls back gracefully — "the module should provide a
 //! database table–based lock implementation as the fallback of explicit
-//! user locks". [`HintProxy`] is that module.
+//! user locks".
+//!
+//! That module now lives in [`adhoc_orm::coord`] as the unified
+//! coordination façade (it additionally routes fenced KV leases);
+//! [`HintProxy`] delegates to it and keeps the original toolkit-flavoured
+//! surface — [`crate::ToolkitError`] results, the same mechanism labels —
+//! for existing callers.
 
-use crate::locks::{AdHocLock, DbTableLock, Guard, LockError};
+use crate::locks::LockError;
 use crate::Result;
+use adhoc_orm::coord::{CoordGuard, Coordinator};
 use adhoc_storage::{Database, LockMode, Transaction};
 
 /// Capability flags for the engine behind the proxy (Table 7a rows).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct HintSupport {
-    /// Explicit user (advisory) locks: PostgreSQL, MySQL, Oracle.
-    pub user_locks: bool,
-    /// Explicit table locks.
-    pub table_locks: bool,
-    /// Explicit row locks (`SELECT … FOR UPDATE`).
-    pub row_locks: bool,
-    /// Per-operation isolation (SQL Server / Db2 table hints).
-    pub per_op_isolation: bool,
-}
-
-impl HintSupport {
-    /// Everything available (our engines implement all four).
-    pub fn full() -> Self {
-        Self {
-            user_locks: true,
-            table_locks: true,
-            row_locks: true,
-            per_op_isolation: true,
-        }
-    }
-
-    /// An engine without advisory locks (e.g., SQL Server per Table 7a) —
-    /// exercises the fallback path.
-    pub fn without_user_locks() -> Self {
-        Self {
-            user_locks: false,
-            ..Self::full()
-        }
-    }
-
-    /// An engine without per-operation isolation (e.g., PostgreSQL per
-    /// Table 7a).
-    pub fn without_per_op_isolation() -> Self {
-        Self {
-            per_op_isolation: false,
-            ..Self::full()
-        }
-    }
-}
+/// The canonical type is [`adhoc_orm::coord::CoordSupport`]; re-exported
+/// here under its historical name.
+pub use adhoc_orm::coord::CoordSupport as HintSupport;
 
 /// A held user-lock hint: advisory when the engine supports it, a
-/// database-table lock otherwise.
-pub enum UserLockGuard {
-    /// Backed by the engine's advisory locks.
-    Advisory {
-        /// Database the session lives on.
-        db: Database,
-        /// The advisory-lock session.
-        session: adhoc_storage::db::SessionId,
-        /// Hashed lock key.
-        key: i64,
-        /// Whether release already happened.
-        released: bool,
-    },
-    /// Backed by the database-table fallback lock.
-    Fallback(Option<Guard>),
+/// database-table lock otherwise. Wraps the façade's [`CoordGuard`].
+pub struct UserLockGuard {
+    inner: Option<CoordGuard>,
 }
 
 impl UserLockGuard {
     /// Release the lock.
     pub fn unlock(mut self) -> Result<()> {
-        self.release()
-    }
-
-    fn release(&mut self) -> Result<()> {
-        match self {
-            UserLockGuard::Advisory {
-                db,
-                session,
-                key,
-                released,
-            } => {
-                if !*released {
-                    *released = true;
-                    db.advisory_unlock(*session, *key);
-                    db.end_session(*session);
-                }
-                Ok(())
-            }
-            UserLockGuard::Fallback(guard) => {
-                if let Some(g) = guard.take() {
-                    g.unlock().map_err(crate::ToolkitError::from)?;
-                }
-                Ok(())
-            }
+        match self.inner.take() {
+            Some(guard) => guard
+                .unlock()
+                .map_err(|e| LockError::Backend(e.to_string()).into()),
+            None => Ok(()),
         }
     }
 
     /// Which mechanism backs this guard (diagnostics / tests).
     pub fn mechanism(&self) -> &'static str {
-        match self {
-            UserLockGuard::Advisory { .. } => "advisory",
-            UserLockGuard::Fallback(_) => "db-table-fallback",
-        }
+        self.inner
+            .as_ref()
+            .map(CoordGuard::mechanism)
+            .unwrap_or("released")
     }
 }
 
-impl Drop for UserLockGuard {
-    fn drop(&mut self) {
-        let _ = self.release();
-    }
-}
+// Dropping the inner CoordGuard releases the lock; an explicit Drop impl
+// would only forbid the field move in `unlock`.
 
-/// One portable interface over the engines' coordination hints.
+/// One portable interface over the engines' coordination hints,
+/// delegating to the [`Coordinator`] façade.
 pub struct HintProxy {
-    db: Database,
-    support: HintSupport,
-    fallback: DbTableLock,
+    coord: Coordinator,
 }
 
 impl HintProxy {
     /// A proxy assuming full hint support (see [`HintSupport::full`]).
     pub fn new(db: Database) -> Self {
         Self {
-            fallback: DbTableLock::new(db.clone()),
-            support: HintSupport::full(),
-            db,
+            coord: Coordinator::new(db),
         }
     }
 
     /// Pretend the engine lacks some hints, to exercise fallbacks.
     pub fn with_support(mut self, support: HintSupport) -> Self {
-        self.support = support;
+        self.coord = self.coord.with_support(support);
         self
+    }
+
+    /// The underlying coordination façade.
+    pub fn coordinator(&self) -> &Coordinator {
+        &self.coord
     }
 
     /// Explicit user lock on an application-chosen key. Uses the engine's
     /// advisory locks when available; otherwise the database-table
     /// fallback the paper calls for.
     pub fn user_lock(&self, key: &str) -> Result<UserLockGuard> {
-        if self.support.user_locks {
-            let session = self.db.new_session();
-            let key_hash = hash_key(key);
-            self.db
-                .advisory_lock(session, key_hash)
-                .map_err(crate::ToolkitError::from)?;
-            Ok(UserLockGuard::Advisory {
-                db: self.db.clone(),
-                session,
-                key: key_hash,
-                released: false,
-            })
-        } else {
-            let guard = self.fallback.lock(key).map_err(crate::ToolkitError::from)?;
-            Ok(UserLockGuard::Fallback(Some(guard)))
-        }
+        let guard = self
+            .coord
+            .user_lock(key)
+            .map_err(|e| LockError::Backend(e.to_string()))?;
+        Ok(UserLockGuard { inner: Some(guard) })
     }
 
     /// Try-variant of [`user_lock`](Self::user_lock): `None` when held
-    /// elsewhere. Only available on the advisory path (the table fallback
-    /// would need a polling probe).
+    /// elsewhere.
     pub fn try_user_lock(&self, key: &str) -> Result<Option<UserLockGuard>> {
-        if !self.support.user_locks {
-            return self.user_lock(key).map(Some);
-        }
-        let session = self.db.new_session();
-        let key_hash = hash_key(key);
-        if self.db.try_advisory_lock(session, key_hash) {
-            Ok(Some(UserLockGuard::Advisory {
-                db: self.db.clone(),
-                session,
-                key: key_hash,
-                released: false,
-            }))
-        } else {
-            self.db.end_session(session);
-            Ok(None)
-        }
+        let guard = self
+            .coord
+            .try_user_lock(key)
+            .map_err(|e| LockError::Backend(e.to_string()))?;
+        Ok(guard.map(|g| UserLockGuard { inner: Some(g) }))
     }
 
     /// Explicit row lock inside an open transaction (SQL Server's
     /// `HOLDLOCK`-style hint; our engines spell it `FOR UPDATE`). The lock
     /// persists until the transaction ends.
     pub fn row_lock(&self, txn: &mut Transaction, table: &str, id: i64) -> Result<()> {
-        if !self.support.row_locks {
-            return Err(
-                LockError::Backend("engine does not support explicit row locks".into()).into(),
-            );
-        }
-        txn.get_for_update(table, id)
-            .map_err(crate::ToolkitError::from)?;
-        Ok(())
+        self.coord
+            .row_lock(txn, table, id)
+            .map_err(|e| LockError::Backend(e.to_string()).into())
     }
 
     /// Explicit table lock inside an open transaction.
     pub fn table_lock(&self, txn: &mut Transaction, table: &str, mode: LockMode) -> Result<()> {
-        if !self.support.table_locks {
-            return Err(
-                LockError::Backend("engine does not support explicit table locks".into()).into(),
-            );
-        }
-        txn.lock_table(table, mode)
-            .map_err(crate::ToolkitError::from)?;
-        Ok(())
+        self.coord
+            .table_lock(txn, table, mode)
+            .map_err(|e| LockError::Backend(e.to_string()).into())
     }
 
     /// Per-operation isolation hint: read this row at Read Committed even
@@ -220,24 +124,10 @@ impl HintProxy {
         table: &str,
         id: i64,
     ) -> Result<Option<adhoc_storage::Row>> {
-        if !self.support.per_op_isolation {
-            return Err(LockError::Backend(
-                "engine does not support per-operation isolation".into(),
-            )
-            .into());
-        }
-        txn.get_read_committed(table, id)
-            .map_err(crate::ToolkitError::from)
+        self.coord
+            .read_committed_read(txn, table, id)
+            .map_err(|e| LockError::Backend(e.to_string()).into())
     }
-}
-
-fn hash_key(key: &str) -> i64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in key.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    (h & (i64::MAX as u64)) as i64
 }
 
 #[cfg(test)]

@@ -37,6 +37,40 @@ pub enum OrmError {
         /// The missing primary key.
         id: i64,
     },
+    /// Optimistic validation failed at commit: a field recorded in the
+    /// read set changed (or the row appeared/vanished) between read and
+    /// commit. Surfaced by [`OccTxn::commit`](crate::occ::OccTxn::commit);
+    /// [`run_occ`](crate::occ::run_occ) retries it automatically.
+    OccConflict {
+        /// Entity name.
+        entity: String,
+        /// Primary key of the conflicting row.
+        id: i64,
+        /// First recorded column whose value moved (`"<row>"` when the
+        /// row's very existence changed).
+        column: String,
+    },
+    /// An automatic OCC retry loop exhausted its policy's budget.
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: usize,
+    },
+    /// A continuation id was not present in the
+    /// [`ContinuationStore`](crate::occ::ContinuationStore) (expired,
+    /// already consumed, or never issued).
+    NoSuchContinuation {
+        /// The unknown continuation id.
+        id: u64,
+    },
+    /// A coordination request through [`coord`](crate::coord) failed on
+    /// its backing mechanism.
+    Coordination {
+        /// Which mechanism failed ("kv-lease", "advisory",
+        /// "db-table-fallback").
+        mechanism: &'static str,
+        /// Backend detail.
+        detail: String,
+    },
 }
 
 impl OrmError {
@@ -69,6 +103,21 @@ impl fmt::Display for OrmError {
             OrmError::UnknownEntity { entity } => write!(f, "unknown entity {entity:?}"),
             OrmError::RecordNotFound { entity, id } => {
                 write!(f, "record not found: {entity} #{id}")
+            }
+            OrmError::OccConflict { entity, id, column } => {
+                write!(
+                    f,
+                    "occ conflict: {entity} #{id} field {column} changed between read and commit"
+                )
+            }
+            OrmError::RetriesExhausted { attempts } => {
+                write!(f, "occ retries exhausted after {attempts} attempts")
+            }
+            OrmError::NoSuchContinuation { id } => {
+                write!(f, "no such continuation #{id}")
+            }
+            OrmError::Coordination { mechanism, detail } => {
+                write!(f, "coordination failed via {mechanism}: {detail}")
             }
         }
     }

@@ -49,13 +49,17 @@
 
 #![warn(missing_docs)]
 
+pub mod coord;
 pub mod entity;
 pub mod error;
+pub mod occ;
 #[allow(clippy::module_inception)]
 pub mod orm;
 
+pub use coord::{CoordGuard, CoordSupport, Coordinator};
 pub use entity::{EntityDef, Obj, Registry, TouchVia, Validation};
 pub use error::OrmError;
+pub use occ::{run_occ, ContinuationStore, OccTxn};
 pub use orm::{MiniSql, Orm, OrmTxn};
 
 /// Result alias for ORM operations.

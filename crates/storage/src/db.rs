@@ -166,9 +166,9 @@ impl Database {
     pub fn new(config: DbConfig) -> Self {
         let timeout = config.lock_wait_timeout;
         let observers_attached = AtomicBool::new(config.observer.is_some());
-        let wal = config
-            .wal
-            .map(|policy| Wal::new(policy, config.clock.clone()));
+        let wal = config.wal.map(|policy| {
+            Wal::new(policy, config.clock.clone()).with_fsync_latency(config.wal_fsync_latency)
+        });
         Self {
             inner: Arc::new(DbInner {
                 config,
@@ -234,6 +234,14 @@ impl Database {
         Ok(self.resolve_table(table)?.schema.clone())
     }
 
+    /// Run `f` against a table's schema without cloning it. Hot commit
+    /// paths that resolve column names per row (the OCC validation loop)
+    /// use this; [`schema`](Self::schema) clones the column vector on
+    /// every call.
+    pub fn with_schema<R>(&self, table: &str, f: impl FnOnce(&Schema) -> R) -> Result<R> {
+        Ok(f(&self.resolve_table(table)?.schema))
+    }
+
     /// Resolve a table by name to its shared handle (statements hold the
     /// `Arc`, never a catalog lock).
     pub(crate) fn resolve_table(&self, name: &str) -> Result<Arc<Table>> {
@@ -258,6 +266,14 @@ impl Database {
     /// coordination. Exposed so upper layers can compute footprints.
     pub fn shard_of_row(&self, table_id: usize, id: i64) -> usize {
         shard_of(table_id, id)
+    }
+
+    /// The catalog ordinal of a table, the `table_id` argument to
+    /// [`shard_of_row`](Self::shard_of_row). Stable for the lifetime of
+    /// the database (tables are never dropped), so upper layers can
+    /// compute a row's conflict shard without opening a transaction.
+    pub fn table_id(&self, table: &str) -> Result<usize> {
+        Ok(self.resolve_table(table)?.id)
     }
 
     /// Run `f` on the version chain of one row (shared read access under

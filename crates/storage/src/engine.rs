@@ -133,6 +133,12 @@ pub struct DbConfig {
     /// (commits still charge a flush when `durable`, but nothing is
     /// logged and crash recovery has nothing to replay).
     pub wal: Option<crate::wal::WalSyncPolicy>,
+    /// Simulated cost of one WAL fsync, charged on `clock` inside every
+    /// sync (zero by default — the in-process page-cache behaviour this
+    /// box actually exhibits). See [`Wal::with_fsync_latency`].
+    ///
+    /// [`Wal::with_fsync_latency`]: crate::wal::Wal::with_fsync_latency
+    pub wal_fsync_latency: Duration,
 }
 
 impl DbConfig {
@@ -146,6 +152,7 @@ impl DbConfig {
             lock_wait_timeout: Duration::from_secs(10),
             observer: None,
             wal: None,
+            wal_fsync_latency: Duration::ZERO,
         }
     }
 
@@ -159,6 +166,7 @@ impl DbConfig {
             lock_wait_timeout: Duration::from_secs(10),
             observer: None,
             wal: None,
+            wal_fsync_latency: Duration::ZERO,
         }
     }
 
@@ -196,6 +204,15 @@ impl DbConfig {
     /// with the amortized flush cost.
     pub fn with_wal_group_commit(mut self) -> Self {
         self.wal = Some(crate::wal::WalSyncPolicy::GroupCommit);
+        self
+    }
+
+    /// Charge a simulated device latency for every WAL fsync. Makes the
+    /// sync-policy ablation honest on hardware where a real fsync is
+    /// near-free: `OnCommit` pays it per commit, `GroupCommit` once per
+    /// batch.
+    pub fn with_wal_fsync_latency(mut self, latency: Duration) -> Self {
+        self.wal_fsync_latency = latency;
         self
     }
 }

@@ -36,7 +36,7 @@
 
 use crate::value::Value;
 use adhoc_sim::SharedClock;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -101,6 +101,11 @@ struct WalInner {
     records: u64,
     syncs: u64,
     last_sync_at: Duration,
+    /// A flush is in flight on the (single) simulated device. Held only
+    /// across a nonzero-latency flush, during which the buffer mutex is
+    /// RELEASED — appends and new commits proceed while the device is
+    /// busy, which is what lets one group-commit flush cover them.
+    flushing: bool,
 }
 
 #[derive(Debug)]
@@ -110,6 +115,8 @@ struct WalShared {
     /// group-commit free-ride check ([`Wal::ensure_durable`]) must not
     /// serialize followers behind the leader's flush.
     durable: AtomicUsize,
+    /// Signalled when an in-flight flush completes (`flushing` cleared).
+    flushed: Condvar,
 }
 
 /// The shared log handle. Cheap to clone (`Arc` inside).
@@ -118,6 +125,11 @@ pub struct Wal {
     shared: Arc<WalShared>,
     policy: WalSyncPolicy,
     clock: SharedClock,
+    /// Simulated cost of one fsync, charged on the engine clock inside
+    /// every sync. Zero (the default) charges nothing — the PR-4/PR-7
+    /// behaviour. Nonzero models a real storage device, which is where
+    /// group commit's one-flush-per-batch amortization shows its win.
+    fsync_latency: Duration,
 }
 
 impl std::fmt::Debug for Wal {
@@ -141,12 +153,30 @@ impl Wal {
                     records: 0,
                     syncs: 0,
                     last_sync_at: start,
+                    flushing: false,
                 }),
                 durable: AtomicUsize::new(0),
+                flushed: Condvar::new(),
             }),
             policy,
             clock,
+            fsync_latency: Duration::ZERO,
         }
+    }
+
+    /// Charge `latency` on the engine clock for every fsync. The sleep
+    /// happens with the log mutex *released* (a busy device does not
+    /// block writes into the OS buffer), so under `GroupCommit` one
+    /// leader pays it while followers keep appending and then free-ride —
+    /// exactly the amortization the policy exists for.
+    pub fn with_fsync_latency(mut self, latency: Duration) -> Self {
+        self.fsync_latency = latency;
+        self
+    }
+
+    /// The configured per-fsync latency charge.
+    pub fn fsync_latency(&self) -> Duration {
+        self.fsync_latency
     }
 
     /// The configured sync policy.
@@ -197,13 +227,15 @@ impl Wal {
         let end = inner.buf.len();
         let durable = match self.policy {
             WalSyncPolicy::OnCommit => {
-                self.sync_inner(&mut inner, self.clock.now());
+                // The naive discipline: this commit issues (and pays for)
+                // its own fsync, serialized on the device.
+                self.flush_locked(inner, end, false);
                 true
             }
             WalSyncPolicy::Interval(every) => {
                 let now = self.clock.now();
                 if now >= inner.last_sync_at + every {
-                    self.sync_inner(&mut inner, now);
+                    self.flush_locked(inner, end, true);
                     true
                 } else {
                     false
@@ -259,26 +291,57 @@ impl Wal {
         if self.shared.durable.load(Ordering::Acquire) >= lsn {
             return;
         }
-        let mut inner = self.shared.state.lock();
-        if inner.durable_len < lsn {
-            self.sync_inner(&mut inner, self.clock.now());
-        }
+        let inner = self.shared.state.lock();
+        self.flush_locked(inner, lsn, true);
     }
 
     /// Force the whole tail durable.
     pub fn sync(&self) {
-        let mut inner = self.shared.state.lock();
-        let now = self.clock.now();
-        self.sync_inner(&mut inner, now);
+        let inner = self.shared.state.lock();
+        let target = inner.buf.len();
+        self.flush_locked(inner, target, true);
     }
 
-    fn sync_inner(&self, inner: &mut WalInner, now: Duration) {
-        inner.durable_len = inner.buf.len();
+    /// Make every byte up to `target` durable. One flush is in flight at
+    /// a time (the simulated device is serial); a nonzero device latency
+    /// is slept with the buffer mutex RELEASED, so appends — and whole
+    /// commits — land while the device is busy.
+    ///
+    /// `share` distinguishes the two §7 durability disciplines: a shared
+    /// flush (group commit, interval, explicit `sync`) lets late arrivals
+    /// free-ride on a flush that already covered their bytes, while an
+    /// unshared one (the naive per-commit fsync) makes every caller pay
+    /// the device in turn — the serialization tax group commit exists to
+    /// amortize. Returns with `target` durable.
+    fn flush_locked<'a>(&'a self, mut inner: MutexGuard<'a, WalInner>, target: usize, share: bool) {
+        loop {
+            if share && inner.durable_len >= target {
+                return; // covered — free-ride on a completed flush
+            }
+            if !inner.flushing {
+                break; // device idle: become the leader
+            }
+            // Device busy: wait out the in-flight flush, then re-check.
+            self.shared.flushed.wait(&mut inner);
+        }
+        // A real fsync covers what reached the OS buffer when it started.
+        let covered = inner.buf.len();
+        if self.fsync_latency.is_zero() {
+            inner.durable_len = covered;
+        } else {
+            inner.flushing = true;
+            drop(inner);
+            self.clock.sleep(self.fsync_latency);
+            inner = self.shared.state.lock();
+            inner.flushing = false;
+            inner.durable_len = inner.durable_len.max(covered);
+        }
         inner.syncs += 1;
-        inner.last_sync_at = now;
+        inner.last_sync_at = self.clock.now();
         self.shared
             .durable
             .store(inner.durable_len, Ordering::Release);
+        self.shared.flushed.notify_all();
     }
 
     /// A torn flush: advance the fsync watermark into the *middle* of the

@@ -18,7 +18,9 @@
 
 #![allow(dead_code)] // each test binary uses a subset of the scenarios
 
-use adhoc_transactions::apps::{broadleaf, mastodon, Mode};
+use adhoc_transactions::apps::{
+    broadleaf, discourse, jumpserver, mastodon, redmine, saleor, scm_suite, spree, Mode,
+};
 use adhoc_transactions::core::locks::{AdHocLock, KvSetNxLock, MemLock};
 use adhoc_transactions::core::validation::{
     validated_write, CommitOutcome, ValidationCheck, ValidationStrategy,
@@ -106,6 +108,11 @@ pub const SCENARIOS: &[(&str, Expect, Scenario)] = &[
         Expect::Pass,
         epoch_watermark_advance,
     ),
+    (
+        "continuation-validation-race",
+        Expect::Pass,
+        continuation_validation_race,
+    ),
 ];
 
 /// Look a scenario up by its corpus name.
@@ -121,16 +128,93 @@ fn err_str<E: std::fmt::Display>(e: E) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Shared app fixtures. Ad hoc and cured variants register through one
+// constructor — `mode` is the only degree of freedom — so the scenario
+// registry and the cured-oracle suite cannot drift apart in how they
+// build an app.
+// ---------------------------------------------------------------------------
+
+/// A Broadleaf shop over a fresh MySQL-like engine and a MEM lock.
+pub fn broadleaf_app(mode: Mode) -> broadleaf::Broadleaf {
+    let db = Database::in_memory(EngineProfile::MySqlLike);
+    broadleaf::Broadleaf::new(
+        broadleaf::setup(&db).unwrap(),
+        Arc::new(MemLock::new()),
+        mode,
+    )
+}
+
+/// A Mastodon instance over a fresh PostgreSQL-like engine, a zero-latency
+/// KV store, and the `SETNX` lock.
+pub fn mastodon_app(mode: Mode) -> mastodon::Mastodon {
+    let clock = Arc::new(VirtualClock::new());
+    let kv = Client::new(Store::new(), clock, LatencyModel::zero());
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    mastodon::Mastodon::new(
+        mastodon::setup(&db).unwrap(),
+        kv.clone(),
+        Arc::new(KvSetNxLock::new(kv)),
+        mode,
+    )
+}
+
+/// A JumpServer instance over a fresh PostgreSQL-like engine and the
+/// `SETNX` lock.
+pub fn jumpserver_app(mode: Mode) -> jumpserver::JumpServer {
+    let clock = Arc::new(VirtualClock::new());
+    let kv = Client::new(Store::new(), clock, LatencyModel::zero());
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    jumpserver::JumpServer::new(
+        jumpserver::setup(&db).unwrap(),
+        Arc::new(KvSetNxLock::new(kv)),
+        mode,
+    )
+}
+
+/// A Spree shop over a fresh MySQL-like engine and a MEM lock.
+pub fn spree_app(mode: Mode) -> spree::Spree {
+    let db = Database::in_memory(EngineProfile::MySqlLike);
+    spree::Spree::new(spree::setup(&db).unwrap(), Arc::new(MemLock::new()), mode)
+}
+
+/// A Saleor instance over a fresh PostgreSQL-like engine and a MEM lock.
+pub fn saleor_app(mode: Mode) -> saleor::Saleor {
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    saleor::Saleor::new(saleor::setup(&db).unwrap(), Arc::new(MemLock::new()), mode)
+}
+
+/// A Discourse instance over a fresh PostgreSQL-like engine and a MEM lock.
+pub fn discourse_app(mode: Mode) -> discourse::Discourse {
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    discourse::Discourse::new(
+        discourse::setup(&db).unwrap(),
+        Arc::new(MemLock::new()),
+        mode,
+    )
+}
+
+/// A Redmine instance over a fresh PostgreSQL-like engine.
+pub fn redmine_app(mode: Mode) -> redmine::Redmine {
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    redmine::Redmine::new(redmine::setup(&db).unwrap(), mode)
+}
+
+/// An SCM Suite instance over a fresh MySQL-like engine and a MEM lock.
+pub fn scm_app(mode: Mode) -> scm_suite::ScmSuite {
+    let db = Database::in_memory(EngineProfile::MySqlLike);
+    scm_suite::ScmSuite::new(
+        scm_suite::setup(&db).unwrap(),
+        Arc::new(MemLock::new()),
+        mode,
+    )
+}
+
+// ---------------------------------------------------------------------------
 // Figure 1a/§3.1.1 — the uncoordinated SKU read-modify-write.
 // ---------------------------------------------------------------------------
 
 fn fig1_shop(coordinated: bool) -> Arc<broadleaf::Broadleaf> {
-    let db = Database::in_memory(EngineProfile::MySqlLike);
-    let mut shop = broadleaf::Broadleaf::new(
-        broadleaf::setup(&db).unwrap(),
-        Arc::new(MemLock::new()),
-        Mode::AdHoc,
-    );
+    let mut shop = broadleaf_app(Mode::AdHoc);
     if !coordinated {
         shop = shop.omit_sku_coordination();
     }
@@ -503,15 +587,7 @@ pub fn validation_atomic(trial: &mut Trial) -> Result<(), String> {
 // ---------------------------------------------------------------------------
 
 fn notify_social() -> Arc<mastodon::Mastodon> {
-    let clock = Arc::new(VirtualClock::new());
-    let kv = Client::new(Store::new(), clock, LatencyModel::zero());
-    let db = Database::in_memory(EngineProfile::PostgresLike);
-    Arc::new(mastodon::Mastodon::new(
-        mastodon::setup(&db).unwrap(),
-        kv.clone(),
-        Arc::new(KvSetNxLock::new(kv)),
-        Mode::AdHoc,
-    ))
+    Arc::new(mastodon_app(Mode::AdHoc))
 }
 
 /// Buggy: check-the-table-then-insert dedupe — the check-then-act window
@@ -561,12 +637,7 @@ pub fn notify_once_dedupe(trial: &mut Trial) -> Result<(), String> {
 /// Correct: two coordinated `add_to_cart` requests — the Figure 1a cart
 /// total stays consistent with its items on every schedule.
 pub fn cart_total_locked(trial: &mut Trial) -> Result<(), String> {
-    let db = Database::in_memory(EngineProfile::MySqlLike);
-    let shop = Arc::new(broadleaf::Broadleaf::new(
-        broadleaf::setup(&db).unwrap(),
-        Arc::new(MemLock::new()),
-        Mode::AdHoc,
-    ));
+    let shop = Arc::new(broadleaf_app(Mode::AdHoc));
     shop.seed_cart(1).unwrap();
     for t in 0..2 {
         let shop = Arc::clone(&shop);
@@ -652,15 +723,7 @@ pub fn reentrant_mutex(trial: &mut Trial) -> Result<(), String> {
 /// Correct: JumpServer's lock-guarded grant upsert — concurrent grants of
 /// the same (user, asset) never duplicate rows and keep the max level.
 pub fn grant_idempotent(trial: &mut Trial) -> Result<(), String> {
-    use adhoc_transactions::apps::jumpserver;
-    let clock = Arc::new(VirtualClock::new());
-    let kv = Client::new(Store::new(), clock, LatencyModel::zero());
-    let db = Database::in_memory(EngineProfile::PostgresLike);
-    let access = Arc::new(jumpserver::JumpServer::new(
-        jumpserver::setup(&db).unwrap(),
-        Arc::new(KvSetNxLock::new(kv)),
-        Mode::AdHoc,
-    ));
+    let access = Arc::new(jumpserver_app(Mode::AdHoc));
     for t in 0..2i64 {
         let access = Arc::clone(&access);
         trial.task(&format!("granter-{t}"), move || {
@@ -702,15 +765,7 @@ pub fn timeline_consistent(trial: &mut Trial) -> Result<(), String> {
 /// Correct: concurrent credential rotations under the per-asset lock —
 /// every resulting version has its audit row on every schedule.
 pub fn rotation_audit(trial: &mut Trial) -> Result<(), String> {
-    use adhoc_transactions::apps::jumpserver;
-    let clock = Arc::new(VirtualClock::new());
-    let kv = Client::new(Store::new(), clock, LatencyModel::zero());
-    let db = Database::in_memory(EngineProfile::PostgresLike);
-    let access = Arc::new(jumpserver::JumpServer::new(
-        jumpserver::setup(&db).unwrap(),
-        Arc::new(KvSetNxLock::new(kv)),
-        Mode::AdHoc,
-    ));
+    let access = Arc::new(jumpserver_app(Mode::AdHoc));
     access.seed_credential(1, "s0").unwrap();
     for t in 0..2 {
         let access = Arc::clone(&access);
@@ -876,6 +931,75 @@ pub fn epoch_watermark_advance(trial: &mut Trial) -> Result<(), String> {
         if v != Some(2) {
             return Err(format!("row {id} lost its final commit (saw {v:?})"));
         }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// §7 cure: an optimistic transaction spanning two simulated HTTP requests.
+// ---------------------------------------------------------------------------
+
+/// Correct: request 1 reads a post into an optimistic transaction and
+/// parks it in a [`ContinuationStore`]; request 2 restores it and commits
+/// with validate-on-save. On schedules where the concurrent writer lands
+/// between the requests, validation must reject the stale continuation
+/// and the redo loop repeat the RMW — both increments count on every
+/// schedule.
+pub fn continuation_validation_race(trial: &mut Trial) -> Result<(), String> {
+    use adhoc_transactions::orm::{ContinuationStore, OccTxn, OrmError};
+
+    fn bump(orm: &Orm) -> OccTxn {
+        let mut occ = OccTxn::new();
+        let obj = occ
+            .read_fields(orm, "posts", 1, &["view_cnt"])
+            .unwrap()
+            .expect("seeded post");
+        let next = obj.get_int("view_cnt").unwrap() + 1;
+        occ.stage_update("posts", 1, &[("view_cnt", next.into())]);
+        occ
+    }
+
+    fn commit_with_redo(orm: &Orm, mut pending: OccTxn) {
+        loop {
+            match pending.commit(orm) {
+                Ok(()) => return,
+                Err(OrmError::OccConflict { .. }) => pending = bump(orm),
+                Err(e) => panic!("continuation commit: {e}"),
+            }
+        }
+    }
+
+    let orm = Arc::new(validation_fixture());
+    let store = Arc::new(ContinuationStore::new());
+    {
+        let orm = Arc::clone(&orm);
+        let store = Arc::clone(&store);
+        trial.task("form-flow", move || {
+            // Request 1: read, stage, park the continuation.
+            let token = store.save(bump(&orm));
+            // Request 2: restore and commit, redoing on validation failure.
+            let pending = store.restore(token).unwrap();
+            commit_with_redo(&orm, pending);
+        });
+    }
+    {
+        let orm = Arc::clone(&orm);
+        trial.task("concurrent-writer", move || {
+            // The writer that invalidates the parked continuation when the
+            // scheduler places it between the two requests.
+            commit_with_redo(&orm, bump(&orm));
+        });
+    }
+    trial.run()?;
+    let view_cnt = orm
+        .find_required("posts", 1)
+        .map_err(err_str)?
+        .get_int("view_cnt")
+        .map_err(err_str)?;
+    if view_cnt != 2 {
+        return Err(format!(
+            "continuation race lost an increment: view_cnt = {view_cnt}, expected 2"
+        ));
     }
     Ok(())
 }

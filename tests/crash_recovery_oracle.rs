@@ -105,13 +105,9 @@ fn fail(name: &str, violations: Vec<String>) -> Vec<String> {
 // Per-app cases.
 // ---------------------------------------------------------------------------
 
-fn spree_case(db: &Database, seed: bool) -> Driver {
+fn spree_case_in(db: &Database, seed: bool, mode: Mode) -> Driver {
     let orm = spree::setup(db).unwrap();
-    let app = Arc::new(spree::Spree::new(
-        orm,
-        Arc::new(MemLock::new()),
-        Mode::AdHoc,
-    ));
+    let app = Arc::new(spree::Spree::new(orm, Arc::new(MemLock::new()), mode));
     if seed {
         app.seed_order(1).unwrap();
         app.seed_order(2).unwrap();
@@ -166,12 +162,20 @@ fn spree_case(db: &Database, seed: bool) -> Driver {
     }
 }
 
-fn broadleaf_case(db: &Database, seed: bool) -> Driver {
+fn spree_case(db: &Database, seed: bool) -> Driver {
+    spree_case_in(db, seed, Mode::AdHoc)
+}
+
+fn spree_cured_case(db: &Database, seed: bool) -> Driver {
+    spree_case_in(db, seed, Mode::Cured)
+}
+
+fn broadleaf_case_in(db: &Database, seed: bool, mode: Mode) -> Driver {
     let orm = broadleaf::setup(db).unwrap();
     let app = Arc::new(broadleaf::Broadleaf::new(
         orm,
         Arc::new(MemLock::new()),
-        Mode::AdHoc,
+        mode,
     ));
     if seed {
         app.seed_cart(1).unwrap();
@@ -242,12 +246,20 @@ fn broadleaf_case(db: &Database, seed: bool) -> Driver {
     }
 }
 
-fn discourse_case(db: &Database, seed: bool) -> Driver {
+fn broadleaf_case(db: &Database, seed: bool) -> Driver {
+    broadleaf_case_in(db, seed, Mode::AdHoc)
+}
+
+fn broadleaf_cured_case(db: &Database, seed: bool) -> Driver {
+    broadleaf_case_in(db, seed, Mode::Cured)
+}
+
+fn discourse_case_in(db: &Database, seed: bool, mode: Mode) -> Driver {
     let orm = discourse::setup(db).unwrap();
     let app = Arc::new(discourse::Discourse::new(
         orm,
         Arc::new(MemLock::new()),
-        Mode::AdHoc,
+        mode,
     ));
     if seed {
         app.seed_topic(1).unwrap();
@@ -302,7 +314,15 @@ fn discourse_case(db: &Database, seed: bool) -> Driver {
     }
 }
 
-fn mastodon_case(db: &Database, seed: bool) -> Driver {
+fn discourse_case(db: &Database, seed: bool) -> Driver {
+    discourse_case_in(db, seed, Mode::AdHoc)
+}
+
+fn discourse_cured_case(db: &Database, seed: bool) -> Driver {
+    discourse_case_in(db, seed, Mode::Cured)
+}
+
+fn mastodon_case_in(db: &Database, seed: bool, mode: Mode) -> Driver {
     let orm = mastodon::setup(db).unwrap();
     let kv = Client::new(
         Store::new(),
@@ -313,7 +333,7 @@ fn mastodon_case(db: &Database, seed: bool) -> Driver {
         orm,
         kv,
         Arc::new(MemLock::new()),
-        Mode::AdHoc,
+        mode,
     ));
     if seed {
         app.seed_invite(1, 5).unwrap();
@@ -366,12 +386,20 @@ fn mastodon_case(db: &Database, seed: bool) -> Driver {
     }
 }
 
-fn jumpserver_case(db: &Database, seed: bool) -> Driver {
+fn mastodon_case(db: &Database, seed: bool) -> Driver {
+    mastodon_case_in(db, seed, Mode::AdHoc)
+}
+
+fn mastodon_cured_case(db: &Database, seed: bool) -> Driver {
+    mastodon_case_in(db, seed, Mode::Cured)
+}
+
+fn jumpserver_case_in(db: &Database, seed: bool, mode: Mode) -> Driver {
     let orm = jumpserver::setup(db).unwrap();
     let app = Arc::new(jumpserver::JumpServer::new(
         orm,
         Arc::new(MemLock::new()),
-        Mode::AdHoc,
+        mode,
     ));
     if seed {
         app.seed_credential(1, "s0").unwrap();
@@ -382,10 +410,18 @@ fn jumpserver_case(db: &Database, seed: bool) -> Driver {
         ops: vec![
             // The split anti-pattern: credential bump and audit row in
             // separate commits — the crash between them is the finding.
+            // The cured variant pairs them in one transaction, so its
+            // sweep has nothing for boot-fsck to backfill.
             Box::new(move || {
-                a.rotate_credential_split(1, "s1", false)
-                    .map(|_| true)
-                    .map_err(|e| format!("{e:?}"))
+                if mode == Mode::Cured {
+                    a.rotate_credential(1, "s1")
+                        .map(|_| true)
+                        .map_err(|e| format!("{e:?}"))
+                } else {
+                    a.rotate_credential_split(1, "s1", false)
+                        .map(|_| true)
+                        .map_err(|e| format!("{e:?}"))
+                }
             }),
             Box::new(move || {
                 b.rotate_credential(1, "s2")
@@ -423,9 +459,17 @@ fn jumpserver_case(db: &Database, seed: bool) -> Driver {
     }
 }
 
-fn redmine_case(db: &Database, seed: bool) -> Driver {
+fn jumpserver_case(db: &Database, seed: bool) -> Driver {
+    jumpserver_case_in(db, seed, Mode::AdHoc)
+}
+
+fn jumpserver_cured_case(db: &Database, seed: bool) -> Driver {
+    jumpserver_case_in(db, seed, Mode::Cured)
+}
+
+fn redmine_case_in(db: &Database, seed: bool, mode: Mode) -> Driver {
     let orm = redmine::setup(db).unwrap();
-    let app = Arc::new(redmine::Redmine::new(orm, Mode::AdHoc));
+    let app = Arc::new(redmine::Redmine::new(orm, mode));
     if seed {
         app.seed_issue(1, "crash oracle").unwrap();
     }
@@ -480,13 +524,17 @@ fn redmine_case(db: &Database, seed: bool) -> Driver {
     }
 }
 
-fn saleor_case(db: &Database, seed: bool) -> Driver {
+fn redmine_case(db: &Database, seed: bool) -> Driver {
+    redmine_case_in(db, seed, Mode::AdHoc)
+}
+
+fn redmine_cured_case(db: &Database, seed: bool) -> Driver {
+    redmine_case_in(db, seed, Mode::Cured)
+}
+
+fn saleor_case_in(db: &Database, seed: bool, mode: Mode) -> Driver {
     let orm = saleor::setup(db).unwrap();
-    let app = Arc::new(saleor::Saleor::new(
-        orm,
-        Arc::new(MemLock::new()),
-        Mode::AdHoc,
-    ));
+    let app = Arc::new(saleor::Saleor::new(orm, Arc::new(MemLock::new()), mode));
     if seed {
         app.seed_stock(1, 10).unwrap();
         app.seed_allocation(1, 1, 2).unwrap();
@@ -531,12 +579,20 @@ fn saleor_case(db: &Database, seed: bool) -> Driver {
     }
 }
 
-fn scm_case(db: &Database, seed: bool) -> Driver {
+fn saleor_case(db: &Database, seed: bool) -> Driver {
+    saleor_case_in(db, seed, Mode::AdHoc)
+}
+
+fn saleor_cured_case(db: &Database, seed: bool) -> Driver {
+    saleor_case_in(db, seed, Mode::Cured)
+}
+
+fn scm_case_in(db: &Database, seed: bool, mode: Mode) -> Driver {
     let orm = scm_suite::setup(db).unwrap();
     let app = Arc::new(scm_suite::ScmSuite::new(
         orm,
         Arc::new(MemLock::new()),
-        Mode::AdHoc,
+        mode,
     ));
     if seed {
         app.seed_account(1, 100).unwrap();
@@ -597,7 +653,14 @@ fn scm_case(db: &Database, seed: bool) -> Driver {
 // The oracle loop.
 // ---------------------------------------------------------------------------
 
-/// `CRASH_ORACLE=app/kind/k` narrows the sweep to one replayable witness.
+fn scm_case(db: &Database, seed: bool) -> Driver {
+    scm_case_in(db, seed, Mode::AdHoc)
+}
+
+fn scm_cured_case(db: &Database, seed: bool) -> Driver {
+    scm_case_in(db, seed, Mode::Cured)
+}
+
 fn witness_filter() -> Option<(String, String, u64)> {
     let spec = std::env::var("CRASH_ORACLE").ok()?;
     let mut parts = spec.splitn(3, '/');
@@ -824,6 +887,71 @@ fn scm_crash_sweep_conserves_money() {
     if witness_filter().is_none() {
         assert!(findings.is_empty(), "unexpected findings: {findings:?}");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Cured variants: the §7 layer must empty the catalog. Each sweep runs the
+// same workload in `Mode::Cured` and asserts ZERO findings — no invariant
+// violation at any crash point, no state for boot-fsck to repair (the
+// repairs the ad hoc sweeps above rely on must simply never be needed).
+// Every point stays replayable: `CRASH_ORACLE=spree_cured/torn-write/2`
+// addresses the cured variants exactly like the ad hoc ones.
+// ---------------------------------------------------------------------------
+
+fn assert_cured_sweep_clean(name: &str, case: Case) {
+    let (findings, fixed) = sweep(name, case);
+    if witness_filter().is_none() {
+        assert!(
+            findings.is_empty() && fixed.is_empty(),
+            "{name}: the cure layer left work for boot-fsck: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn spree_cured_crash_sweep_has_zero_findings() {
+    // §4.3 [60] cured: the payment state machine advances in one atomic
+    // transaction, so no crash point can strand a `processing` row.
+    assert_cured_sweep_clean("spree_cured", spree_cured_case);
+}
+
+#[test]
+fn broadleaf_cured_crash_sweep_has_zero_findings() {
+    // Figure 1a cured: item insert + total recompute commit together.
+    assert_cured_sweep_clean("broadleaf_cured", broadleaf_cured_case);
+}
+
+#[test]
+fn discourse_cured_crash_sweep_has_zero_findings() {
+    // §4.2 cured: counter bumps ride the same commit as their rows.
+    assert_cured_sweep_clean("discourse_cured", discourse_cured_case);
+}
+
+#[test]
+fn mastodon_cured_crash_sweep_has_zero_findings() {
+    assert_cured_sweep_clean("mastodon_cured", mastodon_cured_case);
+}
+
+#[test]
+fn jumpserver_cured_crash_sweep_has_zero_findings() {
+    // The rotation audit is written with the version bump, not after it —
+    // nothing for the backfill rule to do at any crash point.
+    assert_cured_sweep_clean("jumpserver_cured", jumpserver_cured_case);
+}
+
+#[test]
+fn redmine_cured_crash_sweep_has_zero_findings() {
+    assert_cured_sweep_clean("redmine_cured", redmine_cured_case);
+}
+
+#[test]
+fn saleor_cured_crash_sweep_has_zero_findings() {
+    assert_cured_sweep_clean("saleor_cured", saleor_cured_case);
+}
+
+#[test]
+fn scm_cured_crash_sweep_has_zero_findings() {
+    assert_cured_sweep_clean("scm_suite_cured", scm_cured_case);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,514 @@
+//! Cured-variant oracle: the §7 cure layer must *empty the bug catalog*.
+//!
+//! Every scenario here drives a `Mode::Cured` app — rebased onto
+//! `orm::occ` (validate-on-save with field-granular footprints) and
+//! `orm::coord` (the unified coordination façade) — under the same
+//! thread-level contention that makes the faithful ad hoc variants lose
+//! updates, double-grant, overdraft, or deadlock. The assertions are
+//! exact: counters must equal the number of acknowledged operations,
+//! conservation invariants must hold to the unit, and no finding is
+//! tolerated. Together with `crash_recovery_oracle`'s `*_cured` sweeps
+//! (zero findings, zero repairs) this is the oracle half of the paper's
+//! cure claim; the throughput half lives in `BENCH_occ.json`.
+//!
+//! The continuation test at the bottom exercises the optimistic
+//! transaction that *spans simulated HTTP requests*: save → concurrent
+//! writer → restore → commit must validate, conflict, and retry.
+
+mod common;
+
+use adhoc_transactions::apps::{mastodon, Mode};
+use adhoc_transactions::orm::{run_occ, ContinuationStore, OccTxn, OrmError};
+use common::{
+    broadleaf_app, discourse_app, jumpserver_app, mastodon_app, redmine_app, saleor_app, scm_app,
+    spree_app,
+};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+const THREADS: i64 = 8;
+const OPS: i64 = 10;
+
+#[test]
+fn spree_cured_checkout_is_exact_despite_the_touch_cascade() {
+    // §3.1.1: the ad hoc lock covers only the SKU RMW and the DBT variant
+    // pays cascade aborts on shared category rows. The cured variant
+    // validates only the fields it read, so the cascade is conflict-free
+    // and the stock count is exact.
+    let app = Arc::new(spree_app(Mode::Cured));
+    app.seed_catalog(1, 1, &[10, 11], 1000).unwrap();
+    app.seed_order(1).unwrap();
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let app = Arc::clone(&app);
+            s.spawn(move || {
+                for _ in 0..OPS {
+                    assert!(app.decrement_stock(1, 1, 1).unwrap());
+                }
+            });
+        }
+    });
+    assert_eq!(app.sku_quantity(1).unwrap(), 1000 - THREADS * OPS);
+    assert_eq!(
+        app.orm()
+            .find_required("orders", 1)
+            .unwrap()
+            .get_str("state")
+            .unwrap(),
+        "confirmed"
+    );
+}
+
+#[test]
+fn spree_cured_add_payment_is_exactly_once() {
+    // Table 6 `PBC`: the exact-predicate key through the façade keeps the
+    // at-most-one-payment invariant without the hand-rolled lock table.
+    let app = Arc::new(spree_app(Mode::Cured));
+    app.seed_order(1).unwrap();
+    let created: usize = std::thread::scope(|s| {
+        (0..THREADS)
+            .map(|_| {
+                let app = Arc::clone(&app);
+                s.spawn(move || app.add_payment(1).unwrap() as usize)
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum()
+    });
+    assert_eq!(created, 1);
+    assert!(app.one_payment_per_order(1).unwrap());
+}
+
+#[test]
+fn broadleaf_cured_checkout_conserves_stock() {
+    // Figure 1a: the OCC RMW over (quantity, sold) can never lose a sale.
+    let app = Arc::new(broadleaf_app(Mode::Cured));
+    app.seed_sku(1, 1000).unwrap();
+    let successes = Arc::new(AtomicI64::new(0));
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let app = Arc::clone(&app);
+            let successes = Arc::clone(&successes);
+            s.spawn(move || {
+                for _ in 0..OPS {
+                    if app.check_out(1, 1).unwrap() {
+                        successes.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(successes.load(Ordering::SeqCst), THREADS * OPS);
+    assert!(app.sku_conserved(1, 1000).unwrap());
+    let sold = app
+        .orm()
+        .find_required("skus", 1)
+        .unwrap()
+        .get_int("sold")
+        .unwrap();
+    assert_eq!(sold, THREADS * OPS);
+}
+
+#[test]
+fn broadleaf_cured_cart_total_tracks_items() {
+    // Figure 1a's second half: item insert + total recompute in one
+    // façade-guarded transaction.
+    let app = Arc::new(broadleaf_app(Mode::Cured));
+    app.seed_cart(1).unwrap();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let app = Arc::clone(&app);
+            s.spawn(move || {
+                for i in 0..OPS {
+                    app.add_to_cart(1, 10 + t, 1 + (i % 2)).unwrap();
+                }
+            });
+        }
+    });
+    assert!(app.cart_total_consistent(1).unwrap());
+}
+
+#[test]
+fn saleor_cured_never_overcaptures() {
+    // Table 5b: concurrent captures race an authorization ceiling. The
+    // cured OCC path makes the check-and-add atomic: exactly the
+    // authorized amount is captured, never more.
+    let app = Arc::new(saleor_app(Mode::Cured));
+    app.seed_capture(1, 1000).unwrap();
+    let captured = Arc::new(AtomicI64::new(0));
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let app = Arc::clone(&app);
+            let captured = Arc::clone(&captured);
+            s.spawn(move || {
+                for _ in 0..2 {
+                    if app.capture_payment(1, 100).unwrap() {
+                        captured.fetch_add(100, Ordering::SeqCst);
+                    }
+                }
+            });
+        }
+    });
+    // 16 capture attempts of 100 against a 1000 ceiling: exactly 10 land.
+    assert_eq!(captured.load(Ordering::SeqCst), 1000);
+    assert!(app.capture_within_authorization(1).unwrap());
+}
+
+#[test]
+fn saleor_cured_allocations_never_oversell() {
+    // §3.2.1's praised FOR-UPDATE shape, now as façade row-lock hints:
+    // concurrent fulfillments of the same item never drive stock negative.
+    let app = Arc::new(saleor_app(Mode::Cured));
+    app.seed_stock(1, 6).unwrap();
+    // Eight items, each with one 2-unit allocation against the same
+    // 6-unit stock: exactly three fulfillments can land.
+    for item in 1..=THREADS {
+        app.seed_allocation(item, 1, 2).unwrap();
+    }
+    let fulfilled = Arc::new(AtomicI64::new(0));
+    std::thread::scope(|s| {
+        for item in 1..=THREADS {
+            let app = Arc::clone(&app);
+            let fulfilled = Arc::clone(&fulfilled);
+            s.spawn(move || {
+                if app.allocate(item).unwrap() {
+                    fulfilled.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+    });
+    assert_eq!(fulfilled.load(Ordering::SeqCst), 3);
+    let qty = app
+        .orm()
+        .find_required("stocks", 1)
+        .unwrap()
+        .get_int("qty")
+        .unwrap();
+    assert_eq!(qty, 0, "exactly the stock was allocated");
+}
+
+#[test]
+fn discourse_cured_counters_stay_consistent() {
+    // §4.2: post creation bumps `max_post` in the same transaction as the
+    // insert; likes are a field-granular OCC RMW over two counters.
+    let app = Arc::new(discourse_app(Mode::Cured));
+    app.seed_topic(1).unwrap();
+    let post = app.seed_post(1, "seed", 0).unwrap();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let app = Arc::clone(&app);
+            s.spawn(move || {
+                for i in 0..OPS {
+                    app.create_post(1, &format!("p{t}-{i}")).unwrap();
+                    app.like_post(post).unwrap();
+                }
+            });
+        }
+    });
+    assert!(app.topic_posts_consistent(1).unwrap());
+    assert!(app.likes_consistent(1).unwrap());
+    let like_cnt = app
+        .orm()
+        .find_required("posts", post)
+        .unwrap()
+        .get_int("like_cnt")
+        .unwrap();
+    assert_eq!(like_cnt, THREADS * OPS);
+}
+
+#[test]
+fn mastodon_cured_invites_respect_the_limit_exactly() {
+    // §3.4.2 / §4.1.1: no lease to expire, no SETNX reply to lose — the
+    // redeem is an OCC RMW, so exactly `max_redeems` succeed.
+    let app = Arc::new(mastodon_app(Mode::Cured));
+    app.seed_invite(1, 5).unwrap();
+    let granted = Arc::new(AtomicI64::new(0));
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let app = Arc::clone(&app);
+            let granted = Arc::clone(&granted);
+            s.spawn(move || {
+                if app.redeem_invite(1).unwrap() {
+                    granted.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+    });
+    assert_eq!(granted.load(Ordering::SeqCst), 5);
+    assert!(app.invite_within_limit(1).unwrap());
+}
+
+#[test]
+fn mastodon_cured_votes_count_exactly() {
+    // Figure 1c: A-votes and B-votes touch different columns, so with
+    // field-granular footprints they no longer conflict at all.
+    let app = Arc::new(mastodon_app(Mode::Cured));
+    app.seed_poll(1).unwrap();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let app = Arc::clone(&app);
+            s.spawn(move || {
+                let choice = if t % 2 == 0 {
+                    mastodon::Choice::A
+                } else {
+                    mastodon::Choice::B
+                };
+                for _ in 0..OPS {
+                    app.vote(1, choice).unwrap();
+                }
+            });
+        }
+    });
+    let (a, b) = app.poll_totals(1).unwrap();
+    assert_eq!((a, b), (THREADS / 2 * OPS, THREADS / 2 * OPS));
+}
+
+#[test]
+fn mastodon_cured_timeline_matches_posts() {
+    // §4.1.1 [65]: the façade's advisory user lock has ownership
+    // semantics — no TTL to expire mid-critical-section.
+    let app = Arc::new(mastodon_app(Mode::Cured));
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let app = Arc::clone(&app);
+            s.spawn(move || {
+                app.create_post(7, t, "hello").unwrap();
+                if t % 2 == 0 {
+                    app.delete_post(7, t).unwrap();
+                }
+            });
+        }
+    });
+    assert!(app.timeline_consistent(7).unwrap());
+}
+
+#[test]
+fn redmine_cured_progress_and_attachments_are_exact() {
+    let app = Arc::new(redmine_app(Mode::Cured));
+    app.seed_issue(1, "cured oracle").unwrap();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let app = Arc::clone(&app);
+            s.spawn(move || {
+                for i in 0..OPS {
+                    app.advance_issue(1, t, 1).unwrap();
+                    app.add_attachment(1, &format!("f{t}-{i}.png")).unwrap();
+                }
+            });
+        }
+    });
+    // Each advance adds 1 (min-capped at 100, unreachable here): exact sum.
+    assert_eq!(app.done_ratio(1).unwrap(), THREADS * OPS);
+    assert!(app.attachments_consistent(1).unwrap());
+}
+
+#[test]
+fn redmine_cured_version_close_excludes_assignment() {
+    // §3.3: both halves of the version invariant take the same façade
+    // key, so a close and an assignment can never interleave badly.
+    let app = Arc::new(redmine_app(Mode::Cured));
+    app.seed_version(1, "v1").unwrap();
+    for issue in 1..=THREADS {
+        app.seed_issue(issue, "versioned").unwrap();
+    }
+    std::thread::scope(|s| {
+        for issue in 1..=THREADS {
+            let app = Arc::clone(&app);
+            s.spawn(move || {
+                let _ = app.assign_version(issue, 1).unwrap();
+            });
+        }
+        let app = Arc::clone(&app);
+        s.spawn(move || {
+            let _ = app.close_version(1).unwrap();
+        });
+    });
+    assert!(app.versions_consistent().unwrap());
+}
+
+#[test]
+fn jumpserver_cured_grants_stay_unique() {
+    let app = Arc::new(jumpserver_app(Mode::Cured));
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let app = Arc::clone(&app);
+            s.spawn(move || {
+                app.grant(7, 1, t + 1).unwrap();
+            });
+        }
+    });
+    assert!(app.grants_unique(7).unwrap());
+}
+
+#[test]
+fn scm_cured_adjustments_and_transfers_are_exact() {
+    // §4.1.1 [91]: nothing to `synchronize` on — the OCC RMW counts every
+    // increment, and lock-free transfers conserve money with no ordering
+    // discipline to get wrong.
+    let app = Arc::new(scm_app(Mode::Cured));
+    app.seed_account(1, 1000).unwrap();
+    app.seed_account(2, 1000).unwrap();
+    app.seed_merchandise(1, 10_000).unwrap();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let app = Arc::clone(&app);
+            s.spawn(move || {
+                for _ in 0..OPS {
+                    assert!(app.adjust_balance(1, 1).unwrap());
+                    let (from, to) = if t % 2 == 0 { (1, 2) } else { (2, 1) };
+                    assert!(app.transfer(from, to, 3).unwrap());
+                    app.track_stock(1, -1, true).unwrap();
+                }
+            });
+        }
+    });
+    // +1 × THREADS × OPS on account 1; transfers cancel in total.
+    assert_eq!(app.total_balance(&[1, 2]).unwrap(), 2000 + THREADS * OPS);
+    assert_eq!(
+        app.orm()
+            .find_required("merchandise", 1)
+            .unwrap()
+            .get_int("stock")
+            .unwrap(),
+        10_000 - THREADS * OPS
+    );
+}
+
+// ---------------------------------------------------------------------------
+// The continuation flow: one optimistic transaction across two requests.
+// ---------------------------------------------------------------------------
+
+fn invite_fixture() -> (Arc<mastodon::Mastodon>, Arc<ContinuationStore>) {
+    let app = Arc::new(mastodon_app(Mode::Cured));
+    app.seed_invite(1, 100).unwrap();
+    (app, Arc::new(ContinuationStore::new()))
+}
+
+fn stage_redeem(orm: &adhoc_transactions::orm::Orm) -> OccTxn {
+    let mut occ = OccTxn::new();
+    let invite = occ
+        .read_fields(orm, "invites", 1, &["redeems"])
+        .unwrap()
+        .expect("seeded invite");
+    let next = invite.get_int("redeems").unwrap() + 1;
+    occ.stage_update("invites", 1, &[("redeems", next.into())]);
+    occ
+}
+
+/// The deterministic interleaving: request 1 parks the continuation, a
+/// writer commits between the requests, request 2's commit must *fail
+/// validation* (the stale read is detected), and the redo succeeds.
+#[test]
+fn continuation_save_restore_detects_an_intervening_write() {
+    let (app, store) = invite_fixture();
+    let orm = app.orm();
+
+    // Request 1: read + stage, park across the "HTTP" boundary.
+    let token = store.save(stage_redeem(orm));
+    assert_eq!(store.len(), 1);
+
+    // Between the requests: a concurrent redeem commits.
+    assert!(app.redeem_invite(1).unwrap());
+
+    // Request 2: restore and commit — validation must catch the conflict.
+    let pending = store.restore(token).unwrap();
+    let err = pending.commit(orm).unwrap_err();
+    assert!(
+        matches!(err, OrmError::OccConflict { ref entity, id: 1, .. } if entity == "invites"),
+        "expected an OCC conflict, got {err}"
+    );
+
+    // The continuation is consumed either way (one-shot restore).
+    assert!(matches!(
+        store.restore(token),
+        Err(OrmError::NoSuchContinuation { .. })
+    ));
+
+    // The redo path (what `run_occ` automates) lands the increment.
+    run_occ(
+        orm,
+        &adhoc_transactions::apps::cured_policy(),
+        None,
+        |occ| {
+            let invite = occ
+                .read_fields(orm, "invites", 1, &["redeems"])
+                .unwrap()
+                .expect("seeded invite");
+            let next = invite.get_int("redeems").unwrap() + 1;
+            occ.stage_update("invites", 1, &[("redeems", next.into())]);
+            Ok(())
+        },
+    )
+    .unwrap();
+    let redeems = orm
+        .find_required("invites", 1)
+        .unwrap()
+        .get_int("redeems")
+        .unwrap();
+    assert_eq!(redeems, 2, "both the writer and the redone flow count");
+}
+
+/// The quiet path: nobody writes between the requests, so the restored
+/// continuation commits first try.
+#[test]
+fn continuation_commits_clean_when_unchallenged() {
+    let (app, store) = invite_fixture();
+    let orm = app.orm();
+    let token = store.save(stage_redeem(orm));
+    store.restore(token).unwrap().commit(orm).unwrap();
+    assert!(store.is_empty());
+    let redeems = orm
+        .find_required("invites", 1)
+        .unwrap()
+        .get_int("redeems")
+        .unwrap();
+    assert_eq!(redeems, 1);
+}
+
+/// Many form flows race many direct writers; every flow retries its
+/// continuation until validation passes, and no increment is lost.
+#[test]
+fn continuation_flows_survive_concurrent_writers() {
+    let (app, store) = invite_fixture();
+    let flows = Arc::clone(&store);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let app = Arc::clone(&app);
+            let store = Arc::clone(&flows);
+            s.spawn(move || {
+                let orm = app.orm();
+                for _ in 0..OPS {
+                    let token = store.save(stage_redeem(orm));
+                    let mut pending = store.restore(token).unwrap();
+                    loop {
+                        match pending.commit(orm) {
+                            Ok(()) => break,
+                            Err(OrmError::OccConflict { .. }) => pending = stage_redeem(orm),
+                            Err(e) => panic!("continuation commit: {e}"),
+                        }
+                    }
+                }
+            });
+        }
+        for _ in 0..4 {
+            let app = Arc::clone(&app);
+            s.spawn(move || {
+                for _ in 0..OPS {
+                    assert!(app.redeem_invite(1).unwrap());
+                }
+            });
+        }
+    });
+    let redeems = app
+        .orm()
+        .find_required("invites", 1)
+        .unwrap()
+        .get_int("redeems")
+        .unwrap();
+    assert_eq!(
+        redeems,
+        8 * OPS,
+        "every flow and writer counted exactly once"
+    );
+}

@@ -155,6 +155,22 @@ fn corpus_covers_every_scenario() {
     }
 }
 
+/// Pins witnesses for scenarios that have none yet, leaving every existing
+/// `.sched` file untouched. Run after *adding* a scenario — the usual
+/// case — so the rest of the corpus stays byte-identical.
+#[test]
+#[ignore = "writes new files into tests/schedules/; run after adding a scenario"]
+fn regenerate_missing_witnesses() {
+    let dir = corpus_dir();
+    fs::create_dir_all(&dir).unwrap();
+    for (name, expect, scenario) in common::SCENARIOS {
+        if dir.join(format!("{name}.sched")).exists() {
+            continue;
+        }
+        write_witness(&dir, name, *expect, *scenario);
+    }
+}
+
 /// Rewrites the whole corpus from the current implementation: explore each
 /// buggy scenario for its minimized counterexample, record one seeded
 /// schedule for each corrected scenario. Run explicitly after an
@@ -165,35 +181,39 @@ fn regenerate_corpus() {
     let dir = corpus_dir();
     fs::create_dir_all(&dir).unwrap();
     for (name, expect, scenario) in common::SCENARIOS {
-        let (sched, msg) = match expect {
-            Expect::Fail => {
-                let cx = Explorer::new(SEED)
-                    .budget(BUDGET)
-                    .explore(*scenario)
-                    .counter_example()
-                    .unwrap_or_else(|| panic!("{name}: no counterexample within {BUDGET}"));
-                (cx.witness, Some(cx.message))
-            }
-            Expect::Pass => {
-                let (witness, outcome) = record(SEED, *scenario);
-                assert_eq!(outcome, Ok(()), "{name}: recorded schedule failed");
-                (witness, None)
-            }
-        };
-        let expect_str = match expect {
-            Expect::Fail => "fail",
-            Expect::Pass => "pass",
-        };
-        let mut text = format!(
-            "# Pinned schedule witness for `{name}` (expect: {expect_str}).\n\
-             # Regenerate: cargo test --test schedule_corpus regenerate_corpus -- --ignored\n\
-             scenario: {name}\n\
-             expect: {expect_str}\n\
-             sched: {sched}\n"
-        );
-        if let Some(msg) = msg {
-            text.push_str(&format!("msg: {msg}\n"));
-        }
-        fs::write(dir.join(format!("{name}.sched")), text).unwrap();
+        write_witness(&dir, name, *expect, *scenario);
     }
+}
+
+fn write_witness(dir: &std::path::Path, name: &str, expect: Expect, scenario: common::Scenario) {
+    let (sched, msg) = match expect {
+        Expect::Fail => {
+            let cx = Explorer::new(SEED)
+                .budget(BUDGET)
+                .explore(scenario)
+                .counter_example()
+                .unwrap_or_else(|| panic!("{name}: no counterexample within {BUDGET}"));
+            (cx.witness, Some(cx.message))
+        }
+        Expect::Pass => {
+            let (witness, outcome) = record(SEED, scenario);
+            assert_eq!(outcome, Ok(()), "{name}: recorded schedule failed");
+            (witness, None)
+        }
+    };
+    let expect_str = match expect {
+        Expect::Fail => "fail",
+        Expect::Pass => "pass",
+    };
+    let mut text = format!(
+        "# Pinned schedule witness for `{name}` (expect: {expect_str}).\n\
+         # Regenerate: cargo test --test schedule_corpus regenerate_corpus -- --ignored\n\
+         scenario: {name}\n\
+         expect: {expect_str}\n\
+         sched: {sched}\n"
+    );
+    if let Some(msg) = msg {
+        text.push_str(&format!("msg: {msg}\n"));
+    }
+    fs::write(dir.join(format!("{name}.sched")), text).unwrap();
 }

@@ -2,10 +2,12 @@
 # Engine-scaling benchmark: writes BENCH_fig2.json (storage commit
 # scaling, disjoint vs same-key), BENCH_fig3.json (KV command scaling),
 # BENCH_wal.json (the same commit workload with the write-ahead log on
-# vs off — durability overhead) and BENCH_resilience.json (the
-# metastability ablation under a partition storm) into the repository
-# root, with the committed pre-refactor baselines from tools/baselines/
-# embedded for before/after comparison.
+# vs off, free and costed fsyncs — durability overhead), BENCH_occ.json
+# (the §7 cured orm::occ layer vs the hand-rolled lock + two-transaction
+# AHT) and BENCH_resilience.json (the metastability ablation under a
+# partition storm) into the repository root, with the committed
+# pre-refactor baselines from tools/baselines/ embedded for before/after
+# comparison.
 #
 # Usage:
 #   ./tools/bench.sh              # full windows (~200ms per cell)

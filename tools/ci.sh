@@ -32,6 +32,16 @@ timeout 120 cargo test -q --release --test crash_recovery_oracle -- \
   spree_crash_sweep_surfaces_and_repairs_stuck_payments \
   scm_crash_sweep_conserves_money
 
+# Cured-apps oracle gate: all eight `Mode::Cured` variants against the
+# serializability workloads (tests/cured_oracle.rs: exact counters,
+# conservation, continuation flows) AND the full crash sweep — the §7
+# layer must leave ZERO findings and nothing for boot-fsck to repair.
+# CRASH_ORACLE=spree_cured/kind/k replays any cured crash point alone.
+echo "==> cured-apps oracle gate (8 apps x serializability + crash, <120s)"
+timeout 120 cargo test -q --release --test cured_oracle
+timeout 120 cargo test -q --release --test crash_recovery_oracle -- \
+  cured_crash_sweep_has_zero_findings
+
 # WAL-format fuzz smoke: encode/decode round-trip plus truncation- and
 # corruption-yields-a-prefix properties (tools/../crates/storage/tests).
 echo "==> WAL format fuzz smoke (<60s)"
@@ -46,19 +56,21 @@ echo "==> chaos smoke gate (partition storm + fault suite, <60s)"
 timeout 60 cargo test -q --release --test resilience_oracle --test fault_suite
 
 # Tiny-duty-cycle scaling-bench smoke: proves the sweeps run end to end
-# and emit well-formed BENCH_{fig2,fig3,wal,resilience}.json.
+# and emit well-formed BENCH_{fig2,fig3,wal,occ,resilience}.json.
 # Numbers from the smoke windows are noise — the committed artifacts come
 # from ./tools/bench.sh with full windows.
 echo "==> bench smoke (BENCH_SCALE=smoke)"
 BENCH_SCALE=smoke ./tools/bench.sh target/bench-smoke >/dev/null
-python3 -c "import json; [json.load(open(f'target/bench-smoke/BENCH_{n}.json')) for n in ('fig2', 'fig3', 'wal', 'resilience')]"
+python3 -c "import json; [json.load(open(f'target/bench-smoke/BENCH_{n}.json')) for n in ('fig2', 'fig3', 'wal', 'occ', 'resilience')]"
 
 # Scaling-regression gate: the fresh smoke sweep must not fall behind the
 # committed pre-refactor baselines (tools/baselines/) — fig3 KV disjoint
 # at every thread count, fig2 commit scaling hardware-aware (full 3x only
-# demanded with 8+ CPUs; no-collapse on a single-CPU box). Tolerance band
-# via SCALING_GATE_TOL absorbs smoke-window noise.
+# demanded with 8+ CPUs; no-collapse on a single-CPU box), and the cured
+# orm::occ path vs the hand-rolled AHT (disjoint parity, hot-key 0.9x,
+# pre-cure absolute floor). Tolerance band via SCALING_GATE_TOL absorbs
+# smoke-window noise.
 echo "==> scaling-regression gate (fresh smoke vs tools/baselines/)"
-python3 tools/check_scaling.py target/bench-smoke/BENCH_fig2.json target/bench-smoke/BENCH_fig3.json
+python3 tools/check_scaling.py target/bench-smoke/BENCH_fig2.json target/bench-smoke/BENCH_fig3.json target/bench-smoke/BENCH_occ.json
 
 echo "==> CI green"
