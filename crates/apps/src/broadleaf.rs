@@ -179,7 +179,7 @@ impl Broadleaf {
                 })?;
                 Ok(())
             }
-            Mode::Cured => {
+            Mode::Cured | Mode::Confluent => {
                 // §7 cure: the cart total depends on a predicate scan, so
                 // the façade serializes writers per cart and one default-
                 // isolation transaction makes insert + recompute atomic —
@@ -269,7 +269,7 @@ impl Broadleaf {
                     Ok(true)
                 })?)
             }
-            Mode::Cured => {
+            Mode::Cured | Mode::Confluent => {
                 // §7 cure: one optimistic validate-and-commit per attempt,
                 // field-granular on exactly the two columns the decision
                 // reads. `omit_sku_coordination` is irrelevant here — there

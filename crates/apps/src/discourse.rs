@@ -334,7 +334,10 @@ impl Discourse {
                     },
                 )?)
             }
-            Mode::Cured => {
+            // Post-number allocation is *not* invariant-confluent (numbers
+            // must stay dense and ordered), so Confluent inherits the
+            // coordinated cure unchanged.
+            Mode::Cured | Mode::Confluent => {
                 // §7 cure: the façade serializes sequence allocation per
                 // topic, and one default-isolation transaction makes the
                 // insert + counter bump atomic. The lock key is its own
@@ -400,7 +403,7 @@ impl Discourse {
                 )?;
                 Ok(())
             }
-            Mode::Cured => {
+            Mode::Cured | Mode::Confluent => {
                 // §7 cure: two blind writes become one optimistic commit —
                 // nothing is read, so nothing can conflict, and the pair is
                 // atomic. Writing only the `answer`/`is_answer` columns
@@ -475,6 +478,24 @@ impl Discourse {
                         t.update("topics", topic_id, &[("total_likes", (total + 1).into())])?;
                         Ok(())
                     })?;
+                Ok(())
+            }
+            Mode::Confluent => {
+                // Like-counts are invariant-confluent: two likes commute,
+                // no invariant orders them. Both bumps commit as
+                // commutative deltas in one transaction — no lock, no
+                // validated read, no retry loop. The only read is the
+                // post's immutable topic_id.
+                crate::busy_work(self.request_cpu_work);
+                let topic_id = self
+                    .orm
+                    .find_required("posts", post_id)?
+                    .get_int("topic_id")?;
+                self.orm.transaction(|t| {
+                    t.raw().add_delta("posts", post_id, "like_cnt", 1)?;
+                    t.raw().add_delta("topics", topic_id, "total_likes", 1)?;
+                    Ok(())
+                })?;
                 Ok(())
             }
             Mode::Cured => {
@@ -862,7 +883,7 @@ impl Discourse {
             // Draft-save is one of the paper's *good* ad hoc transactions:
             // the cured variant keeps the same single-transaction
             // SELECT-FOR-UPDATE shape at the weakest sufficient level.
-            Mode::AdHoc | Mode::Cured => IsolationLevel::ReadCommitted,
+            Mode::AdHoc | Mode::Cured | Mode::Confluent => IsolationLevel::ReadCommitted,
             Mode::DatabaseTxn => IsolationLevel::Serializable,
         };
         let ukey = format!("{user_id}:{dkey}");
@@ -1265,6 +1286,37 @@ mod tests {
                 "{mode:?}"
             );
         }
+    }
+
+    #[test]
+    fn confluent_likes_converge_and_fsck_stays_clean() {
+        let app = Arc::new(fixture(Mode::Confluent));
+        let p1 = app.seed_post(1, "a", 0).unwrap();
+        let p2 = app.seed_post(1, "b", 0).unwrap();
+        std::thread::scope(|s| {
+            for i in 0..6 {
+                let app = Arc::clone(&app);
+                let post = if i % 2 == 0 { p1 } else { p2 };
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        app.like_post(post).unwrap();
+                    }
+                });
+            }
+        });
+        assert!(app.likes_consistent(1).unwrap());
+        assert_eq!(
+            app.orm
+                .find_required("topics", 1)
+                .unwrap()
+                .get_int("total_likes")
+                .unwrap(),
+            60
+        );
+        // Deltas materialize into ordinary row images at commit, so the
+        // counter-recompute fsck rules see nothing special to repair.
+        let report = app.recover_on_boot();
+        assert!(report.is_clean() && report.fixed == 0, "{report:?}");
     }
 
     #[test]

@@ -154,7 +154,7 @@ impl JumpServer {
                     .run_with_retries(IsolationLevel::Serializable, DBT_RETRIES, body)?;
                 Ok(())
             }
-            Mode::Cured => {
+            Mode::Cured | Mode::Confluent => {
                 // §7 cure: the grant's existence check is a predicate scan,
                 // so the façade serializes per (user, asset) — the same
                 // sound shape JumpServer hand-rolled, minus the hand-rolled

@@ -45,6 +45,14 @@ pub enum Mode {
     /// is one atomic validate-and-commit, so the paper's bug catalog
     /// empties (the cured oracle sweeps assert zero findings).
     Cured,
+    /// Coordination-avoiding execution: operations whose invariants are
+    /// invariant-confluent (counter bumps, dedupe-set inserts) commit as
+    /// commutative deltas with **no** validation footprint, and budget
+    /// invariants (`stock >= 0`) run under escrow reservations that only
+    /// coordinate near exhaustion. Operations that genuinely require
+    /// coordination (see `adhoc-study`'s `confluence` classification)
+    /// fall back to the [`Cured`](Self::Cured) path unchanged.
+    Confluent,
 }
 
 impl Mode {
@@ -54,7 +62,16 @@ impl Mode {
             Mode::AdHoc => "AHT",
             Mode::DatabaseTxn => "DBT",
             Mode::Cured => "CURED",
+            Mode::Confluent => "CONF",
         }
+    }
+
+    /// True for the modes that run on the declarative §7 layer (OCC +
+    /// coordination façade): `Confluent` is `Cured` plus the
+    /// coordination-avoiding fast paths, so every operation without a
+    /// specialized confluent path executes the cured one.
+    pub fn on_cured_layer(self) -> bool {
+        matches!(self, Mode::Cured | Mode::Confluent)
     }
 }
 

@@ -40,6 +40,13 @@ pub fn setup(db: &Database) -> Result<Orm> {
             Column::new("id", ColumnType::Int),
             Column::new("redeems", ColumnType::Int),
             Column::new("max_redeems", ColumnType::Int),
+            // Remaining redemptions, the escrow budget column: seeded to
+            // max_redeems and decremented alongside each redeem, so
+            // `redeems <= max_redeems` becomes `slots >= 0` — the shape
+            // escrow reservations enforce without a lock. Only the
+            // Confluent path maintains it; the other modes guard the
+            // invariant with their own coordination.
+            Column::new("slots", ColumnType::Int),
         ],
         "id",
     )?)?;
@@ -65,11 +72,22 @@ pub fn setup(db: &Database) -> Result<Orm> {
         )?
         .with_index("user_id")?,
     )?;
+    // Per-user unread badge, maintained as a commutative delta column by
+    // the Confluent notification path (one row per user, keyed by user id).
+    db.create_table(Schema::new(
+        "notify_counts",
+        vec![
+            Column::new("user_id", ColumnType::Int),
+            Column::new("unread", ColumnType::Int),
+        ],
+        "user_id",
+    )?)?;
     let registry = Registry::new()
         .register(EntityDef::new("posts"))
         .register(EntityDef::new("invites"))
         .register(EntityDef::new("polls"))
-        .register(EntityDef::new("notifications"));
+        .register(EntityDef::new("notifications"))
+        .register(EntityDef::new("notify_counts"));
     Ok(Orm::new(db.clone(), registry))
 }
 
@@ -131,6 +149,7 @@ impl Mastodon {
                 ("id", invite_id.into()),
                 ("redeems", 0.into()),
                 ("max_redeems", max_redeems.into()),
+                ("slots", max_redeems.into()),
             ],
         )?;
         Ok(())
@@ -157,7 +176,7 @@ impl Mastodon {
     /// §3.1.3: insert the post row and add its id to the follower's Redis
     /// timeline, under one post lock.
     pub fn create_post(&self, follower_id: i64, post_id: i64, content: &str) -> Result<()> {
-        if self.mode == Mode::Cured {
+        if self.mode.on_cured_layer() {
             // §7 cure for the §4.1.1 lease bug: the façade's user lock has
             // ownership semantics, not a TTL — it cannot silently expire
             // mid-critical-section, however long the section runs.
@@ -190,7 +209,7 @@ impl Mastodon {
 
     /// §3.1.3: remove the timeline entry, then the post row.
     pub fn delete_post(&self, follower_id: i64, post_id: i64) -> Result<()> {
-        if self.mode == Mode::Cured {
+        if self.mode.on_cured_layer() {
             let guard = self.coord.user_lock(&format!("post:{post_id}"))?;
             self.kv
                 .srem(&Self::timeline_key(follower_id), &post_id.to_string())
@@ -277,6 +296,27 @@ impl Mastodon {
                     },
                 )?)
             }
+            Mode::Confluent => {
+                // `redeems <= max_redeems` is not confluent, but as the
+                // budget `slots >= 0` it admits escrow: reserve one slot
+                // (a lock-free atomic — contenders only serialize near
+                // exhaustion), then commit both commutative deltas and
+                // confirm. Exhaustion is the business answer "invite used
+                // up", not a conflict to retry.
+                let reservation = match self.coord.reserve("invites", invite_id, "slots", 1) {
+                    Ok(r) => r,
+                    Err(OrmError::Db(DbError::EscrowExhausted { .. })) => return Ok(false),
+                    Err(e) => return Err(e.into()),
+                };
+                std::thread::sleep(self.critical_section_delay);
+                self.orm.transaction(|t| {
+                    t.raw().add_delta("invites", invite_id, "slots", -1)?;
+                    t.raw().add_delta("invites", invite_id, "redeems", 1)?;
+                    Ok(())
+                })?;
+                reservation.confirm();
+                Ok(true)
+            }
             Mode::Cured => {
                 // §7 cure for Fig. 1b: no lock, no TTL to get wrong — one
                 // optimistic validate-and-commit over exactly the columns
@@ -320,7 +360,49 @@ impl Mastodon {
             "notifications",
             &[("user_id", user_id.into()), ("event", event.into())],
         )?;
+        if self.mode == Mode::Confluent {
+            // The unread badge is a confluent counter: concurrent
+            // deliveries to the same user bump it with commutative deltas
+            // and never contend. A crash between the insert above and
+            // this bump leaves the badge one behind — boot-fsck's
+            // counter-sync rule recomputes it from the rows.
+            self.bump_unread(user_id)?;
+        }
         Ok(true)
+    }
+
+    /// Bump the per-user unread badge by one, creating the counter row on
+    /// first use (the create race resolves to a retryable delta).
+    fn bump_unread(&self, user_id: i64) -> Result<()> {
+        let bump = self.orm.transaction(|t| {
+            t.raw().add_delta("notify_counts", user_id, "unread", 1)?;
+            Ok(())
+        });
+        match bump {
+            Err(OrmError::Db(DbError::NoSuchRow { .. })) => {
+                match self.orm.create(
+                    "notify_counts",
+                    &[("user_id", user_id.into()), ("unread", 0.into())],
+                ) {
+                    Ok(_) | Err(OrmError::Db(DbError::UniqueViolation { .. })) => {}
+                    Err(e) => return Err(e.into()),
+                }
+                self.orm.transaction(|t| {
+                    t.raw().add_delta("notify_counts", user_id, "unread", 1)?;
+                    Ok(())
+                })?;
+                Ok(())
+            }
+            other => Ok(other?),
+        }
+    }
+
+    /// The user's unread-notification badge (0 when never notified).
+    pub fn unread_count(&self, user_id: i64) -> Result<i64> {
+        match self.orm.find("notify_counts", user_id)? {
+            Some(row) => Ok(row.get_int("unread")?),
+            None => Ok(0),
+        }
     }
 
     /// The uncoordinated variant: check the table, then insert — the
@@ -369,6 +451,22 @@ impl Mastodon {
 
     /// Figure 1c: optimistic vote with the version-checked retry loop.
     pub fn vote(&self, poll_id: i64, choice: Choice) -> Result<()> {
+        if self.mode == Mode::Confluent {
+            // Tallies are pure counters — invariant-confluent. One
+            // commutative delta replaces Fig. 1c's whole version-checked
+            // retry loop: concurrent votes (same choice or not) merge at
+            // install, so there is nothing to validate and nothing to
+            // retry.
+            let col = match choice {
+                Choice::A => "tally_a",
+                Choice::B => "tally_b",
+            };
+            self.orm.transaction(|t| {
+                t.raw().add_delta("polls", poll_id, col, 1)?;
+                Ok(())
+            })?;
+            return Ok(());
+        }
         if self.mode == Mode::Cured {
             // §7 cure for Fig. 1c: the declarative loop replaces the
             // hand-rolled one, and the field-granular footprint beats the
@@ -433,7 +531,63 @@ impl Mastodon {
 /// The Redis-side timeline is volatile state the app rebuilds lazily — the
 /// database rules here cover only what survives a restart.
 pub fn boot_fsck() -> BootRecovery {
-    BootRecovery::new("mastodon").rule(duplicate_notification_rule())
+    BootRecovery::new("mastodon")
+        .rule(duplicate_notification_rule())
+        .rule(unread_counter_sync_rule())
+}
+
+/// The Confluent path's unread badge is a delta column fed by a separate
+/// transaction from the notification insert, so a crash between them
+/// leaves the badge out of sync with the rows. The rule *recomputes* the
+/// expected value instead of flagging the delta column as corruption:
+/// any drift (behind after a crash, ahead after a lost insert) is
+/// repaired to the row count.
+fn unread_counter_sync_rule() -> CheckRule {
+    let name = "mastodon:unread-counter-sync";
+    CheckRule::new(name, move |db| {
+        let (Ok(counts), Ok(schema)) = (db.dump_table("notify_counts"), db.schema("notify_counts"))
+        else {
+            return Vec::new();
+        };
+        let (Ok(rows), Ok(nschema)) = (db.dump_table("notifications"), db.schema("notifications"))
+        else {
+            return Vec::new();
+        };
+        counts
+            .iter()
+            .filter_map(|(user_id, row)| {
+                let unread = row.get_int(&schema, "unread").ok()?;
+                let actual = rows
+                    .iter()
+                    .filter(|(_, n)| n.get_int(&nschema, "user_id") == Ok(*user_id))
+                    .count() as i64;
+                (unread != actual).then(|| Violation {
+                    rule: name.to_string(),
+                    table: "notify_counts".to_string(),
+                    row_id: *user_id,
+                    message: format!(
+                        "unread badge {unread} for user {user_id} but {actual} notification rows"
+                    ),
+                })
+            })
+            .collect()
+    })
+    .with_fix(|db, v| {
+        let Ok(schema) = db.schema("notifications") else {
+            return false;
+        };
+        let Ok(rows) = db.dump_table("notifications") else {
+            return false;
+        };
+        let actual = rows
+            .iter()
+            .filter(|(_, n)| n.get_int(&schema, "user_id") == Ok(v.row_id))
+            .count() as i64;
+        db.run(IsolationLevel::ReadCommitted, |t| {
+            t.update(&v.table, v.row_id, &[("unread", actual.into())])
+        })
+        .is_ok()
+    })
 }
 
 /// Flag every notification whose (user, event) pair already appeared on a

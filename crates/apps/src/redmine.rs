@@ -132,7 +132,7 @@ impl Redmine {
     /// Assign an issue and bump its progress: a FOR-UPDATE-coordinated
     /// read–modify–write (the correct Redmine pattern).
     pub fn advance_issue(&self, issue_id: i64, assignee: i64, progress: i64) -> Result<()> {
-        if self.mode == Mode::Cured {
+        if self.mode.on_cured_layer() {
             // §7 cure: the FOR-UPDATE RMW becomes one optimistic
             // validate-and-commit, field-granular on the one column the
             // computation reads (`assignee` is a blind write).
@@ -159,13 +159,13 @@ impl Redmine {
         let iso = match self.mode {
             Mode::AdHoc => IsolationLevel::ReadCommitted, // SFU does the work
             Mode::DatabaseTxn => IsolationLevel::Serializable,
-            Mode::Cured => unreachable!("cured path returned above"),
+            Mode::Cured | Mode::Confluent => unreachable!("cured path returned above"),
         };
         let schema = self.orm.db().schema("issues")?;
         self.orm.db().run_with_retries(iso, DBT_RETRIES, |t| {
             let issue = match self.mode {
                 Mode::AdHoc => t.get_for_update("issues", issue_id)?,
-                Mode::DatabaseTxn | Mode::Cured => t.get("issues", issue_id)?,
+                Mode::DatabaseTxn | Mode::Cured | Mode::Confluent => t.get("issues", issue_id)?,
             }
             .ok_or(DbError::NoSuchRow {
                 table: "issues".into(),
@@ -219,7 +219,7 @@ impl Redmine {
     /// with `SELECT … FOR UPDATE` on the issue row (AdHoc) or a
     /// serializable transaction (DatabaseTxn).
     pub fn add_attachment(&self, issue_id: i64, filename: &str) -> Result<i64> {
-        if self.mode == Mode::Cured {
+        if self.mode.on_cured_layer() {
             // §7 cure: the façade's portable row-lock hint replaces the
             // hand-rolled SELECT … FOR UPDATE, and one transaction keeps
             // the attachment row and its counter cache atomic.
@@ -244,13 +244,13 @@ impl Redmine {
         let iso = match self.mode {
             Mode::AdHoc => IsolationLevel::ReadCommitted,
             Mode::DatabaseTxn => IsolationLevel::Serializable,
-            Mode::Cured => unreachable!("cured path returned above"),
+            Mode::Cured | Mode::Confluent => unreachable!("cured path returned above"),
         };
         let schema = self.orm.db().schema("issues")?;
         let id = self.orm.db().run_with_retries(iso, DBT_RETRIES, |t| {
             let issue = match self.mode {
                 Mode::AdHoc => t.get_for_update("issues", issue_id)?,
-                Mode::DatabaseTxn | Mode::Cured => t.get("issues", issue_id)?,
+                Mode::DatabaseTxn | Mode::Cured | Mode::Confluent => t.get("issues", issue_id)?,
             }
             .ok_or(DbError::NoSuchRow {
                 table: "issues".into(),
@@ -287,7 +287,7 @@ impl Redmine {
     /// Target an open issue at a version, refusing closed versions — one
     /// half of the `redmine/version-close` check-then-act pair.
     pub fn assign_version(&self, issue_id: i64, version_id: i64) -> Result<bool> {
-        if self.mode == Mode::Cured {
+        if self.mode.on_cured_layer() {
             // §7 cure: both halves of the check-then-act pair take the
             // same façade lock on the version, so the cross-row invariant
             // (no open issue on a closed version) cannot interleave away —
@@ -308,7 +308,7 @@ impl Redmine {
         let iso = match self.mode {
             Mode::AdHoc => IsolationLevel::ReadCommitted,
             Mode::DatabaseTxn => IsolationLevel::Serializable,
-            Mode::Cured => unreachable!("cured path returned above"),
+            Mode::Cured | Mode::Confluent => unreachable!("cured path returned above"),
         };
         let schema = self.orm.db().schema("versions")?;
         Ok(self.orm.db().run_with_retries(iso, DBT_RETRIES, |t| {
@@ -316,7 +316,9 @@ impl Redmine {
                 // FOR UPDATE on the version row serializes against
                 // `close_version`, which locks the same row.
                 Mode::AdHoc => t.get_for_update("versions", version_id)?,
-                Mode::DatabaseTxn | Mode::Cured => t.get("versions", version_id)?,
+                Mode::DatabaseTxn | Mode::Cured | Mode::Confluent => {
+                    t.get("versions", version_id)?
+                }
             }
             .ok_or(DbError::NoSuchRow {
                 table: "versions".into(),
@@ -335,7 +337,7 @@ impl Redmine {
     /// first (AdHoc/SFU) or runs serializable (DatabaseTxn, where SSI's
     /// index-range certification catches the phantom issue).
     pub fn close_version(&self, version_id: i64) -> Result<bool> {
-        if self.mode == Mode::Cured {
+        if self.mode.on_cured_layer() {
             let guard = self.coord.user_lock(&format!("version:{version_id}"))?;
             let issues = self.orm.db().schema("issues")?;
             let ok = self.orm.transaction(|t| {
@@ -357,7 +359,7 @@ impl Redmine {
         let iso = match self.mode {
             Mode::AdHoc => IsolationLevel::ReadCommitted,
             Mode::DatabaseTxn => IsolationLevel::Serializable,
-            Mode::Cured => unreachable!("cured path returned above"),
+            Mode::Cured | Mode::Confluent => unreachable!("cured path returned above"),
         };
         let issues = self.orm.db().schema("issues")?;
         Ok(self.orm.db().run_with_retries(iso, DBT_RETRIES, |t| {

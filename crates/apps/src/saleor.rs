@@ -172,6 +172,53 @@ impl Saleor {
                 DBT_RETRIES,
                 run,
             )?),
+            Mode::Confluent => {
+                // Escrow split of `stock.qty >= 0`: the stock decrement —
+                // the hot, contended half — needs no FOR UPDATE lock at
+                // all. A reservation against the escrow ledger guarantees
+                // the budget, a commutative delta applies it, and only the
+                // cold allocation row is OCC-validated (it guards against
+                // double-consuming the *same* allocation, a per-item race,
+                // not the hot per-stock one).
+                let allocs = self.orm.transaction(|t| {
+                    Ok(t.raw()
+                        .scan("allocations", &Predicate::eq("item_id", item_id))?)
+                })?;
+                let Some((alloc_id, _)) = allocs.into_iter().next() else {
+                    return Ok(false);
+                };
+                let mut holder: Option<adhoc_storage::EscrowReservation> = None;
+                let ok = run_occ(&self.orm, &crate::cured_policy(), None, |occ| {
+                    // A retry re-runs the body; release the failed
+                    // attempt's reservation first.
+                    holder.take();
+                    let alloc = occ
+                        .read_fields(&self.orm, "allocations", alloc_id, &["stock_id", "qty"])?
+                        .ok_or(OrmError::RecordNotFound {
+                            entity: "allocations".into(),
+                            id: alloc_id,
+                        })?;
+                    let stock_id = alloc.get_int("stock_id")?;
+                    let alloc_qty = alloc.get_int("qty")?;
+                    if alloc_qty == 0 {
+                        return Ok(false);
+                    }
+                    match self.coord.reserve("stocks", stock_id, "qty", alloc_qty) {
+                        Ok(r) => holder = Some(r),
+                        Err(OrmError::Db(DbError::EscrowExhausted { .. })) => return Ok(false),
+                        Err(e) => return Err(e),
+                    }
+                    occ.stage_update("allocations", alloc_id, &[("qty", 0.into())]);
+                    occ.add_delta("stocks", stock_id, "qty", -alloc_qty);
+                    Ok(true)
+                })?;
+                if ok {
+                    if let Some(r) = holder {
+                        r.confirm();
+                    }
+                }
+                Ok(ok)
+            }
             Mode::Cured => {
                 // §7 cure: §3.2.1 is the pattern the paper praises; the
                 // cured variant keeps its shape but takes the locks through
@@ -211,7 +258,7 @@ impl Saleor {
     /// Capture part of an authorized payment under the re-entrant KV lock.
     /// Returns `false` when the capture would exceed the authorization.
     pub fn capture_payment(&self, order_id: i64, cents: i64) -> Result<bool> {
-        if self.mode == Mode::Cured {
+        if self.mode.on_cured_layer() {
             // §7 cure for Table 5b overcharging: no lock and no TTL to
             // outlive — one optimistic validate-and-commit on exactly the
             // two cents columns. However long the stretch delay, a stale

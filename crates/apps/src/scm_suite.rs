@@ -96,6 +96,35 @@ impl ScmSuite {
     /// Adjust an account balance (credit/debit), refusing overdrafts.
     pub fn adjust_balance(&self, account_id: i64, delta: i64) -> Result<bool> {
         match self.mode {
+            Mode::Confluent => {
+                // `balance >= 0` split by escrow: credits are pure
+                // commutative deposits; debits reserve their amount off
+                // the ledger first (one lock-free atomic) and only then
+                // commit the delta. Concurrent debits never validate
+                // against each other — they only coordinate when the
+                // balance is nearly drained, and exhaustion is the
+                // overdraft refusal, not a retry.
+                let db = self.orm.db();
+                if delta >= 0 {
+                    db.escrow_deposit("accounts", account_id, "balance", delta)?;
+                    return Ok(true);
+                }
+                let amount = -delta;
+                let reservation = match db.escrow_reserve("accounts", account_id, "balance", amount)
+                {
+                    Ok(r) => r,
+                    Err(DbError::EscrowExhausted { .. }) => return Ok(false),
+                    Err(e) => return Err(e.into()),
+                };
+                std::thread::yield_now(); // business logic between R and W
+                self.orm.transaction(|t| {
+                    t.raw()
+                        .add_delta("accounts", account_id, "balance", delta)?;
+                    Ok(())
+                })?;
+                reservation.confirm();
+                Ok(true)
+            }
             Mode::Cured => {
                 // §7 cure: optimistic RMW over just the `balance` field —
                 // no `synchronized` monitor to mis-scope (§4.1.1 [91]).
@@ -171,7 +200,10 @@ impl ScmSuite {
     /// multi-lock cases deadlock-free).
     pub fn transfer(&self, from: i64, to: i64, amount: i64) -> Result<bool> {
         assert!(amount >= 0);
-        if self.mode == Mode::Cured {
+        if self.mode.on_cured_layer() {
+            // Transfers stay on the validated path even in Confluent mode:
+            // atomic conservation across *two* rows is not expressible as
+            // independent commutative deltas plus a single-row escrow.
             // §7 cure: no locks, no ordering discipline to get wrong —
             // both balances validate at commit, deadlock-free by design.
             return Ok(run_occ(&self.orm, &crate::cured_policy(), None, |occ| {
@@ -233,6 +265,18 @@ impl ScmSuite {
     /// validation (manual, §3.2.2). `atomic = false` reproduces the
     /// non-atomic validate-and-commit.
     pub fn track_stock(&self, id: i64, delta: i64, atomic: bool) -> Result<CommitOutcome> {
+        if self.mode == Mode::Confluent {
+            // Stock tracking has no bound to defend (receives and ships
+            // are recorded as-is), so the version check SCM Suite
+            // hand-crafted guards nothing: a commutative delta is the
+            // whole operation, and concurrent adjustments merge instead
+            // of invalidating each other.
+            self.orm.transaction(|t| {
+                t.raw().add_delta("merchandise", id, "stock", delta)?;
+                Ok(())
+            })?;
+            return Ok(CommitOutcome::Committed);
+        }
         if self.mode == Mode::Cured {
             // §7 cure: the ORM's validate-on-save replaces SCM Suite's
             // hand-crafted (and non-atomically appliable) version check.

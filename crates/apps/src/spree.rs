@@ -224,6 +224,48 @@ impl Spree {
     /// insufficient stock.
     pub fn decrement_stock(&self, order_id: i64, sku_id: i64, requested: i64) -> Result<bool> {
         match self.mode {
+            Mode::Confluent => {
+                // `quantity >= 0` is a budget invariant: escrow the
+                // requested units off the per-SKU ledger (one lock-free
+                // atomic, coordinating only near exhaustion), then commit
+                // the decrement as a commutative delta alongside the blind
+                // cascade writes. Concurrent orders on the same SKU never
+                // validate against each other, so the §3.1.1 hot-SKU
+                // aborts cannot exist even in principle.
+                let reservation = match self
+                    .orm
+                    .db()
+                    .escrow_reserve("skus", sku_id, "quantity", requested)
+                {
+                    Ok(r) => r,
+                    Err(DbError::EscrowExhausted { .. }) => return Ok(false),
+                    Err(e) => return Err(e.into()),
+                };
+                let product_id = self
+                    .orm
+                    .find_required("skus", sku_id)?
+                    .get_int("product_id")?;
+                let pc_schema = self.orm.db().schema("product_categories")?;
+                self.orm.transaction(|t| {
+                    t.raw().add_delta("skus", sku_id, "quantity", -requested)?;
+                    t.raw()
+                        .update("products", product_id, &[("updated_at", 1.into())])?;
+                    let links = t.raw().scan(
+                        "product_categories",
+                        &Predicate::eq("product_id", product_id),
+                    )?;
+                    for (_, link) in &links {
+                        let cat = link.get_int(&pc_schema, "category_id")?;
+                        t.raw()
+                            .update("categories", cat, &[("updated_at", 1.into())])?;
+                    }
+                    t.raw()
+                        .update("orders", order_id, &[("state", "confirmed".into())])?;
+                    Ok(())
+                })?;
+                reservation.confirm();
+                Ok(true)
+            }
             Mode::Cured => {
                 // §7 cure: field-granular OCC validates only the columns
                 // actually read (`quantity`). The touch cascade and the
@@ -356,7 +398,10 @@ impl Spree {
     /// Returns whether a payment was created.
     pub fn add_payment(&self, order_id: i64) -> Result<bool> {
         match self.mode {
-            Mode::Cured => {
+            // Uniqueness ("at most one payment per order") is not
+            // invariant-confluent — two coordination-free inserts merge
+            // into a duplicate — so Confluent inherits the cure unchanged.
+            Mode::Cured | Mode::Confluent => {
                 crate::busy_work(self.request_cpu_work);
                 // §7 cure: the same exact-equality predicate key the ad hoc
                 // lock used, routed through the coordination façade — the
@@ -456,7 +501,7 @@ impl Spree {
     /// simulates the application server dying after marking the payment
     /// `processing` but before completing it.
     pub fn process_payment(&self, order_id: i64, crash_midway: bool) -> Result<bool> {
-        if self.mode == Mode::Cured {
+        if self.mode.on_cured_layer() {
             // §7 cure: one atomic state transition. The intermediate
             // `processing` mark never commits on its own, so a mid-flight
             // crash leaves nothing stuck — §4.3 [60] cannot occur and the

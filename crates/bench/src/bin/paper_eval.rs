@@ -136,6 +136,7 @@ fn print_tables() {
     print_table6();
     println!("{}", report::render_table7a());
     println!("{}", report::render_table7b());
+    println!("{}", report::render_confluence());
 }
 
 fn run_ttl_ablation() {
@@ -202,16 +203,20 @@ fn run_bench_json(outdir: &str) {
     let wal_json = scaling::wal_bench_json();
     let baseline_occ = std::fs::read_to_string("tools/baselines/occ_pre_cure.json").ok();
     let occ_json = scaling::occ_bench_json(baseline_occ.as_deref());
+    let baseline_conf = std::fs::read_to_string("tools/baselines/confluence.json").ok();
+    let confluence_json = scaling::confluence_bench_json(baseline_conf.as_deref());
     let resilience_json = resilience::resilience_bench_json();
     let fig2_path = format!("{outdir}/BENCH_fig2.json");
     let fig3_path = format!("{outdir}/BENCH_fig3.json");
     let wal_path = format!("{outdir}/BENCH_wal.json");
     let occ_path = format!("{outdir}/BENCH_occ.json");
+    let confluence_path = format!("{outdir}/BENCH_confluence.json");
     let resilience_path = format!("{outdir}/BENCH_resilience.json");
     std::fs::write(&fig2_path, &fig2_json).expect("write BENCH_fig2.json");
     std::fs::write(&fig3_path, &fig3_json).expect("write BENCH_fig3.json");
     std::fs::write(&wal_path, &wal_json).expect("write BENCH_wal.json");
     std::fs::write(&occ_path, &occ_json).expect("write BENCH_occ.json");
+    std::fs::write(&confluence_path, &confluence_json).expect("write BENCH_confluence.json");
     std::fs::write(&resilience_path, &resilience_json).expect("write BENCH_resilience.json");
     println!("wrote {fig2_path}");
     print!("{fig2_json}");
@@ -221,6 +226,8 @@ fn run_bench_json(outdir: &str) {
     print!("{wal_json}");
     println!("wrote {occ_path}");
     print!("{occ_json}");
+    println!("wrote {confluence_path}");
+    print!("{confluence_json}");
     println!("wrote {resilience_path}");
     print!("{resilience_json}");
 }
@@ -237,6 +244,7 @@ fn main() {
         "table6" => print_table6(),
         "table7a" => print!("{}", report::render_table7a()),
         "table7b" => print!("{}", report::render_table7b()),
+        "confluence" => print!("{}", report::render_confluence()),
         "findings" => print!("{}", report::render_findings()),
         "playbook" => print!("{}", report::render_playbook()),
         "fig2" => run_fig2(),
@@ -264,7 +272,7 @@ fn main() {
         other => {
             eprintln!("unknown target {other:?}");
             eprintln!(
-                "usage: paper-eval [table1|table2|table3|table4|table5a|table5b|table6|table7a|table7b|findings|playbook|fig2|fig3|fig4|ablation-ttl|ablation-isolation|ablation-resilience|bench-json|tables|all]"
+                "usage: paper-eval [table1|table2|table3|table4|table5a|table5b|table6|table7a|table7b|confluence|findings|playbook|fig2|fig3|fig4|ablation-ttl|ablation-isolation|ablation-resilience|bench-json|tables|all]"
             );
             std::process::exit(2);
         }

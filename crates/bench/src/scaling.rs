@@ -462,6 +462,11 @@ pub enum OccStrategy {
     /// `orm::occ`: one optimistic transaction — field-granular read
     /// footprint, validate-on-commit, automatic retry.
     CuredOcc,
+    /// The PR-9 coordination-avoiding path: the increment is a
+    /// commutative delta (`add_delta`), so the transaction carries no
+    /// read footprint at all — nothing to validate, nothing to retry,
+    /// concurrent bumps merge at install.
+    Confluent,
 }
 
 impl OccStrategy {
@@ -470,6 +475,7 @@ impl OccStrategy {
         match self {
             OccStrategy::AdhocLock => "adhoc",
             OccStrategy::CuredOcc => "cured",
+            OccStrategy::Confluent => "confluent",
         }
     }
 }
@@ -565,6 +571,17 @@ fn measure_occ(
                             })
                             .expect("occ");
                         }
+                        OccStrategy::Confluent => {
+                            // The increment commits as a delta: no read,
+                            // no lock, no validation — so there is no
+                            // R-to-W window for business logic to sit in,
+                            // and no retry loop around the commit.
+                            orm.transaction(|txn| {
+                                txn.raw().add_delta("bench_rows", id, "val", 1)?;
+                                Ok(())
+                            })
+                            .expect("delta");
+                        }
                     }
                     committed.fetch_add(1, Ordering::Relaxed);
                     i += 1;
@@ -647,6 +664,74 @@ pub fn occ_bench_json(baseline: Option<&str>) -> String {
     )
 }
 
+// ---------------------------------------------------------------------------
+// Confluence ablation: coordination-avoiding deltas vs both coordinated
+// implementations of the same hot-counter increment.
+// ---------------------------------------------------------------------------
+
+/// The PR-9 hot-key ablation over `thread_counts`, both key patterns,
+/// all three strategies. The claim under test: on the single hot counter
+/// key the confluent delta path — no lock queue, no OCC retry loop —
+/// clears the cured layer by an integer factor with a zero abort rate,
+/// while on disjoint keys (where there is no coordination to avoid) it
+/// stays at parity.
+pub fn confluence_scaling(thread_counts: &[usize], window: Duration) -> Vec<OccCell> {
+    let mut out = Vec::new();
+    for &threads in thread_counts {
+        for pattern in [KeyPattern::Disjoint, KeyPattern::SameKey] {
+            for strategy in [
+                OccStrategy::AdhocLock,
+                OccStrategy::CuredOcc,
+                OccStrategy::Confluent,
+            ] {
+                out.push(OccCell {
+                    strategy,
+                    cell: measure_occ(threads, pattern, window, strategy),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Render the confluence ablation as `BENCH_confluence.json`: the
+/// `BENCH_occ.json` row shape under its own bench name, gated by
+/// `tools/check_scaling.py` against `tools/baselines/confluence.json`.
+pub fn render_confluence_json(cells: &[OccCell], baseline: Option<&str>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"confluent_counter_scaling\",\n");
+    out.push_str("  \"unit\": \"ops_per_sec\",\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"pattern\": \"{}\", \"strategy\": \"{}\", \"throughput_ops\": {:.1}, \"abort_rate\": {:.6}}}{}\n",
+            c.cell.threads,
+            c.cell.pattern.label(),
+            c.strategy.label(),
+            c.cell.throughput_ops,
+            c.cell.abort_rate,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]");
+    if let Some(b) = baseline {
+        out.push_str(",\n  \"baseline\": ");
+        out.push_str(b.trim());
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Convenience used by `paper-eval bench-json`: run the confluence
+/// ablation and return the `BENCH_confluence.json` body.
+pub fn confluence_bench_json(baseline: Option<&str>) -> String {
+    render_confluence_json(
+        &confluence_scaling(&default_threads(), window_from_env()),
+        baseline,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -701,5 +786,23 @@ mod tests {
         assert!(json.contains("\"strategy\": \"cured\""));
         assert!(json.contains("\"strategy\": \"adhoc\""));
         assert!(json.contains("\"baseline\""));
+    }
+
+    #[test]
+    fn confluence_ablation_smoke() {
+        let _serial = crate::SERIAL_MEASUREMENTS.lock();
+        let cells = confluence_scaling(&[2], Duration::from_millis(20));
+        assert_eq!(cells.len(), 6); // 2 patterns x {adhoc, cured, confluent}
+        for c in &cells {
+            assert!(c.cell.throughput_ops > 0.0, "{c:?}");
+            assert!((0.0..=1.0).contains(&c.cell.abort_rate), "{c:?}");
+            // Commutative deltas never validate, so they never roll back.
+            if c.strategy == OccStrategy::Confluent {
+                assert_eq!(c.cell.abort_rate, 0.0, "{c:?}");
+            }
+        }
+        let json = render_confluence_json(&cells, None);
+        assert!(json.contains("\"bench\": \"confluent_counter_scaling\""));
+        assert!(json.contains("\"strategy\": \"confluent\""));
     }
 }

@@ -411,6 +411,36 @@ impl Coordinator {
         Ok(())
     }
 
+    /// Escrow reservation on a budget column (`stock >= 0` split into
+    /// local reservations): the fast path is one lock-free atomic on the
+    /// engine's escrow ledger — no row lock, no validated read — and
+    /// contenders only coordinate when the remaining budget is nearly
+    /// exhausted. The caller's transaction must apply the matching
+    /// `add_delta(column, -amount)` and then
+    /// [`confirm`](adhoc_storage::EscrowReservation::confirm) the guard
+    /// (or drop it on abort,
+    /// [`abandon`](adhoc_storage::EscrowReservation::abandon) it on an
+    /// ambiguous outcome). Exhaustion surfaces as
+    /// [`DbError::EscrowExhausted`](adhoc_storage::DbError) — not
+    /// retryable; report "out of stock" or fall back to a coordinated
+    /// path.
+    pub fn reserve(
+        &self,
+        table: &str,
+        id: i64,
+        column: &str,
+        amount: i64,
+    ) -> Result<adhoc_storage::EscrowReservation> {
+        Ok(self.db.escrow_reserve(table, id, column, amount)?)
+    }
+
+    /// Escrow deposit into a budget column: a committed commutative
+    /// increment plus the matching ledger credit, ordered so the credit
+    /// is never double-counted.
+    pub fn deposit(&self, table: &str, id: i64, column: &str, amount: i64) -> Result<()> {
+        Ok(self.db.escrow_deposit(table, id, column, amount)?)
+    }
+
     /// Per-operation isolation hint: read this row at Read Committed even
     /// inside a snapshot transaction (Table 7b — §3.1.1's non-critical
     /// reads can opt out of the strict level).

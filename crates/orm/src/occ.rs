@@ -76,6 +76,18 @@ struct InsertRecord {
     pairs: Vec<(String, Value)>,
 }
 
+/// A buffered commutative increment ([`OccTxn::add_delta`]): applied at
+/// commit via the engine's merge-on-install delta path, with **no**
+/// validation — a confluent write cannot conflict, so it contributes
+/// nothing for the OCC read set to defend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DeltaRecord {
+    entity: String,
+    id: i64,
+    column: String,
+    delta: i64,
+}
+
 /// A detached optimistic transaction: reads execute immediately (each in
 /// its own autocommit snapshot), writes are buffered, and
 /// [`commit`](Self::commit) re-validates every recorded field under
@@ -88,6 +100,7 @@ pub struct OccTxn {
     writes: Vec<WriteRecord>,
     saves: Vec<SaveRecord>,
     inserts: Vec<InsertRecord>,
+    deltas: Vec<DeltaRecord>,
 }
 
 impl OccTxn {
@@ -215,14 +228,32 @@ impl OccTxn {
         });
     }
 
+    /// Buffer a commutative increment of an integer column, applied at
+    /// commit through the engine's merge-on-install delta path
+    /// ([`Transaction::add_delta`](adhoc_storage::Transaction::add_delta)).
+    /// No read is recorded and no validation runs for it: increments
+    /// commute, so a concurrent bump of the same counter neither aborts
+    /// this transaction nor is lost by it. Use for invariant-confluent
+    /// state (counters, tallies) — never for values whose invariant
+    /// constrains them (use escrow via
+    /// [`Coordinator::reserve`](crate::Coordinator::reserve) instead).
+    pub fn add_delta(&mut self, entity: &str, id: i64, column: &str, delta: i64) {
+        self.deltas.push(DeltaRecord {
+            entity: entity.to_string(),
+            id,
+            column: column.to_string(),
+            delta,
+        });
+    }
+
     /// Number of recorded reads.
     pub fn read_set_len(&self) -> usize {
         self.reads.len()
     }
 
-    /// Number of buffered writes (updates + saves + inserts).
+    /// Number of buffered writes (updates + saves + inserts + deltas).
     pub fn write_set_len(&self) -> usize {
-        self.writes.len() + self.saves.len() + self.inserts.len()
+        self.writes.len() + self.saves.len() + self.inserts.len() + self.deltas.len()
     }
 
     /// True when nothing has been read or staged.
@@ -254,6 +285,10 @@ impl OccTxn {
                 fp.writes
                     .insert(db.shard_of_row(db.table_id(&i.entity)?, *id));
             }
+        }
+        for d in &self.deltas {
+            fp.writes
+                .insert(db.shard_of_row(db.table_id(&d.entity)?, d.id));
         }
         Ok(fp)
     }
@@ -314,6 +349,9 @@ impl OccTxn {
                     .map(|(n, v)| (n.as_str(), v.clone()))
                     .collect();
                 t.create(&i.entity, &pairs)?;
+            }
+            for d in &self.deltas {
+                t.raw().add_delta(&d.entity, d.id, &d.column, d.delta)?;
             }
             Ok(())
         })
@@ -617,6 +655,60 @@ mod tests {
                                 .expect("seeded");
                             let sold = sku.get_int("sold")?;
                             occ.stage_update("skus", 1, &[("sold", (sold + 1).into())]);
+                            Ok(())
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            orm.find_required("skus", 1)
+                .unwrap()
+                .get_int("sold")
+                .unwrap(),
+            120
+        );
+    }
+
+    #[test]
+    fn delta_commit_merges_with_concurrent_writers() {
+        let orm = fixture();
+        let mut occ = OccTxn::new();
+        occ.add_delta("skus", 1, "sold", 1);
+        assert_eq!(occ.write_set_len(), 1);
+        // A concurrent writer bumps the same column between stage and
+        // commit — with a validated read this would conflict; the delta
+        // simply merges on top of it.
+        orm.transaction(|t| {
+            t.raw().update("skus", 1, &[("sold", 5.into())])?;
+            Ok(())
+        })
+        .unwrap();
+        occ.commit(&orm).unwrap();
+        assert_eq!(
+            orm.find_required("skus", 1)
+                .unwrap()
+                .get_int("sold")
+                .unwrap(),
+            6
+        );
+    }
+
+    #[test]
+    fn concurrent_delta_bumps_all_land_without_retries() {
+        let orm = fixture();
+        // The same 6×20 increment workload as run_occ_retries_…, but via
+        // deltas: a no-retry policy proves no attempt ever conflicts.
+        let no_retry =
+            RetryPolicy::exponential(0, Duration::from_micros(1), Duration::from_micros(1));
+        std::thread::scope(|s| {
+            for _ in 0..6 {
+                let orm = orm.clone();
+                s.spawn(move || {
+                    for _ in 0..20 {
+                        run_occ(&orm, &no_retry, None, |occ| {
+                            occ.add_delta("skus", 1, "sold", 1);
                             Ok(())
                         })
                         .unwrap();

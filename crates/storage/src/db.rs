@@ -147,6 +147,10 @@ pub(crate) struct DbInner {
     /// Commits append their write set under their shard guards, so each
     /// row's log order matches its version-chain order.
     wal: Option<Wal>,
+    /// Escrow ledger for budget columns (`stock >= 0`), lazily populated
+    /// from committed state and — like the lock table — forgotten on
+    /// crash. See [`crate::escrow`].
+    pub(crate) escrow: crate::escrow::EscrowLedger,
 }
 
 #[derive(Default)]
@@ -192,6 +196,7 @@ impl Database {
                     .collect(),
                 ssi_seen: AtomicBool::new(false),
                 wal,
+                escrow: crate::escrow::EscrowLedger::default(),
                 commits: AtomicU64::new(0),
                 aborts: AtomicU64::new(0),
                 statements: AtomicU64::new(0),
@@ -667,6 +672,10 @@ impl Database {
         // advisory locks alike (§3.4.2: advisory locks do not survive a
         // server restart).
         self.inner.locks.clear_all();
+        // Likewise the escrow ledger: outstanding reservations were
+        // volatile intents. Entries re-derive from committed state on
+        // first use after restart.
+        self.inner.escrow.clear();
     }
 
     /// Reset to empty: forget active transactions (releasing their locks),
@@ -687,6 +696,7 @@ impl Database {
         // is volatile server memory and is dropped wholesale — not just the
         // locks of the transactions the drain happened to find.
         self.inner.locks.clear_all();
+        self.inner.escrow.clear();
         for table in self.inner.catalog.read().list.iter() {
             table.clear_index();
         }

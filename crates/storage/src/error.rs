@@ -163,6 +163,23 @@ pub enum DbError {
         /// The rejected transaction.
         txn: TxnId,
     },
+    /// An escrow reservation could not be granted: the remaining budget of
+    /// the column (committed value minus outstanding reservations) is
+    /// smaller than the requested amount, even after serializing on the
+    /// entry's slow path. Not retryable — the caller either reports
+    /// "insufficient stock" or falls back to a coordinated path.
+    EscrowExhausted {
+        /// Table owning the escrow column.
+        table: String,
+        /// The escrow-guarded column.
+        column: String,
+        /// Primary key of the row.
+        id: i64,
+        /// Amount the caller asked to reserve.
+        requested: i64,
+        /// Budget that remained at the final check.
+        available: i64,
+    },
 }
 
 impl DbError {
@@ -244,6 +261,16 @@ impl fmt::Display for DbError {
             DbError::CircuitOpen { txn } => {
                 write!(f, "circuit breaker open; statement of txn {txn} rejected")
             }
+            DbError::EscrowExhausted {
+                table,
+                column,
+                id,
+                requested,
+                available,
+            } => write!(
+                f,
+                "escrow exhausted on {table}.{column} row {id}: requested {requested}, available {available}"
+            ),
         }
     }
 }

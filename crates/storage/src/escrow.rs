@@ -1,0 +1,392 @@
+//! Escrow reservations: coordination-avoiding enforcement of budget
+//! invariants (`stock >= 0`, `redeemed <= max`).
+//!
+//! The invariant `column >= 0` is not invariant-confluent — two
+//! uncoordinated decrements can jointly overdraw a budget that either
+//! alone would respect — but it admits *escrow*: split the committed
+//! budget into local reservations granted off one atomic counter, and
+//! only serialize contenders when the remaining budget is nearly
+//! exhausted. The fast path is a single `fetch_sub`; no record lock, no
+//! read-validate-write, no abort/retry loop.
+//!
+//! The ledger is volatile server memory (like the lock table): a crash
+//! forgets every outstanding reservation, and entries lazily re-init
+//! from the committed column value. Committed state is only ever moved
+//! by the reservation's transaction (a commutative delta, see
+//! [`Transaction::add_delta`](crate::txn::Transaction::add_delta)), so
+//! crash recovery needs no escrow-specific repair.
+//!
+//! Discipline (enforced by convention, checked by the confluence
+//! oracle): an escrow-managed column is decremented only through
+//! [`Database::escrow_reserve`] + [`EscrowReservation::confirm`], and
+//! incremented only through [`Database::escrow_deposit`]. Writes that
+//! bypass the ledger desynchronize `available` from the committed value
+//! until the next restart.
+
+use crate::db::Database;
+use crate::error::DbError;
+use crate::fasthash::FastMap;
+use crate::value::ColumnType;
+use crate::Result;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// `(table_id, row_id, column_index)` — one escrow-managed cell.
+type EscrowKey = (usize, i64, usize);
+
+/// Per-cell escrow state.
+struct EscrowEntry {
+    /// Remaining budget: committed column value minus outstanding
+    /// reservations. Granting a reservation is one lock-free
+    /// `fetch_sub`; releasing is one `fetch_add`.
+    available: AtomicI64,
+    /// The escalation point: a reservation that finds the fast path
+    /// overdrawn serializes here, so contenders racing over the last few
+    /// units coordinate instead of live-locking each other — the
+    /// "coordinate only near exhaustion" half of the escrow bargain.
+    slow: Mutex<()>,
+}
+
+/// The per-database escrow ledger: lazily populated, cleared on crash
+/// and reset (reservations are volatile intents, never durable state).
+#[derive(Default)]
+pub(crate) struct EscrowLedger {
+    entries: Mutex<FastMap<EscrowKey, Arc<EscrowEntry>>>,
+}
+
+impl EscrowLedger {
+    /// Forget every entry and outstanding reservation (crash/reset):
+    /// entries re-init from committed state on next use. Guards still
+    /// holding an `Arc` to a detached entry settle against it harmlessly.
+    pub(crate) fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+/// A granted escrow reservation of `amount` units of one budget column.
+///
+/// Lifecycle: hold it across the transaction that consumes the budget
+/// (which must stage `add_delta(column, -amount)`), then settle it:
+///
+/// * [`confirm`](Self::confirm) after the transaction commits — the
+///   budget is permanently consumed, `available` already reflects it.
+/// * drop (or [`release`](Self::release)) when the transaction aborts —
+///   the reserved units return to the budget.
+/// * [`abandon`](Self::abandon) when the commit outcome is *ambiguous*
+///   (`ConnectionLost`, §3.4.2): the units are conservatively treated as
+///   consumed. The budget may undersell until the next restart re-derives
+///   the ledger, but can never oversell.
+#[derive(Debug)]
+pub struct EscrowReservation {
+    entry: Arc<EscrowEntry>,
+    table: String,
+    column: String,
+    id: i64,
+    amount: i64,
+    settled: bool,
+}
+
+impl std::fmt::Debug for EscrowEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EscrowEntry")
+            .field("available", &self.available.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl EscrowReservation {
+    /// The reserved amount.
+    pub fn amount(&self) -> i64 {
+        self.amount
+    }
+
+    /// The table the reservation draws from.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// The budget column.
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+
+    /// The reserved row.
+    pub fn id(&self) -> i64 {
+        self.id
+    }
+
+    /// Settle after the consuming transaction committed: the units are
+    /// gone from the committed value and from the outstanding set at
+    /// once, so `available` is untouched.
+    pub fn confirm(mut self) {
+        self.settled = true;
+    }
+
+    /// Settle after the consuming transaction *aborted*: return the
+    /// units to the budget. Dropping the guard does the same.
+    pub fn release(self) {
+        drop(self);
+    }
+
+    /// Settle an *ambiguous* outcome (the §3.4.2 lost-commit-ack): the
+    /// commit may or may not be durable, so the units are conservatively
+    /// kept out of the budget. Never oversells; a restart re-derives the
+    /// true budget from committed state.
+    pub fn abandon(mut self) {
+        self.settled = true;
+    }
+}
+
+impl Drop for EscrowReservation {
+    fn drop(&mut self) {
+        if !self.settled {
+            self.entry
+                .available
+                .fetch_add(self.amount, Ordering::AcqRel);
+        }
+    }
+}
+
+impl Database {
+    /// Resolve (or lazily initialize) the escrow entry for one cell. The
+    /// first use reads the committed column value under the row's shard
+    /// lock while holding the ledger lock, so no deposit or reservation
+    /// can interleave with initialization (both resolve the entry first).
+    fn escrow_entry(
+        &self,
+        table: &str,
+        id: i64,
+        column: &str,
+    ) -> Result<(Arc<EscrowEntry>, usize)> {
+        let t = self.resolve_table(table)?;
+        let col = t.schema.column_index(column)?;
+        if t.schema.columns[col].ty != ColumnType::Int {
+            return Err(DbError::TypeMismatch {
+                table: table.to_string(),
+                column: column.to_string(),
+                expected: ColumnType::Int,
+                found: Some(t.schema.columns[col].ty),
+            });
+        }
+        let key = (t.id, id, col);
+        let mut entries = self.inner.escrow.entries.lock();
+        if let Some(entry) = entries.get(&key) {
+            return Ok((Arc::clone(entry), col));
+        }
+        let committed = self.with_chain(t.id, id, |c| {
+            c.and_then(|c| c.latest()).map(|row| row.at(col).as_int())
+        });
+        let Some(committed) = committed else {
+            return Err(DbError::NoSuchRow {
+                table: table.to_string(),
+                id,
+            });
+        };
+        let entry = Arc::new(EscrowEntry {
+            available: AtomicI64::new(committed),
+            slow: Mutex::new(()),
+        });
+        entries.insert(key, Arc::clone(&entry));
+        Ok((entry, col))
+    }
+
+    /// Reserve `amount` units of the budget column `table.column` on row
+    /// `id`, without taking any record lock or read footprint. Fast path:
+    /// one atomic `fetch_sub`. When the budget is nearly exhausted the
+    /// request escalates to the entry's slow path (serializing
+    /// contenders) and retries once; a budget still short of `amount`
+    /// fails with [`DbError::EscrowExhausted`].
+    ///
+    /// The caller's consuming transaction must stage the matching
+    /// `add_delta(column, -amount)` and settle the guard per its commit
+    /// outcome (see [`EscrowReservation`]).
+    pub fn escrow_reserve(
+        &self,
+        table: &str,
+        id: i64,
+        column: &str,
+        amount: i64,
+    ) -> Result<EscrowReservation> {
+        assert!(amount >= 0, "escrow reservations are non-negative");
+        let (entry, _) = self.escrow_entry(table, id, column)?;
+        let grant = |entry: &EscrowEntry| {
+            let prev = entry.available.fetch_sub(amount, Ordering::AcqRel);
+            if prev >= amount {
+                true
+            } else {
+                entry.available.fetch_add(amount, Ordering::AcqRel);
+                false
+            }
+        };
+        if !grant(&entry) {
+            // Escalate: serialize near-exhaustion contenders, then make
+            // one coordinated final attempt.
+            let _slow = entry.slow.lock();
+            if !grant(&entry) {
+                let available = entry.available.load(Ordering::Acquire);
+                return Err(DbError::EscrowExhausted {
+                    table: table.to_string(),
+                    column: column.to_string(),
+                    id,
+                    requested: amount,
+                    available,
+                });
+            }
+        }
+        Ok(EscrowReservation {
+            entry,
+            table: table.to_string(),
+            column: column.to_string(),
+            id,
+            amount,
+            settled: false,
+        })
+    }
+
+    /// Deposit `amount` units into an escrow-managed budget column: one
+    /// committed commutative delta plus the matching ledger credit. The
+    /// entry is resolved *before* the transaction commits, so the credit
+    /// is never double-counted against a lazy initialization.
+    pub fn escrow_deposit(&self, table: &str, id: i64, column: &str, amount: i64) -> Result<()> {
+        assert!(amount >= 0, "escrow deposits are non-negative");
+        let (entry, _) = self.escrow_entry(table, id, column)?;
+        self.run(crate::engine::IsolationLevel::ReadCommitted, |t| {
+            t.add_delta(table, id, column, amount)
+        })?;
+        entry.available.fetch_add(amount, Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// The remaining budget of an escrow cell (committed value minus
+    /// outstanding reservations), initializing the entry if needed.
+    /// Oracle/introspection use.
+    pub fn escrow_available(&self, table: &str, id: i64, column: &str) -> Result<i64> {
+        let (entry, _) = self.escrow_entry(table, id, column)?;
+        Ok(entry.available.load(Ordering::Acquire))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineProfile, IsolationLevel};
+    use crate::schema::{Column, Schema};
+
+    fn fixture(stock: i64) -> Database {
+        let db = Database::in_memory(EngineProfile::PostgresLike);
+        db.create_table(
+            Schema::new(
+                "stocks",
+                vec![
+                    Column::new("id", ColumnType::Int),
+                    Column::new("qty", ColumnType::Int),
+                ],
+                "id",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.run(IsolationLevel::ReadCommitted, |t| {
+            t.insert("stocks", &[("id", 1.into()), ("qty", stock.into())])
+        })
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn reserve_confirm_consumes_budget_exactly_once() {
+        let db = fixture(10);
+        let r = db.escrow_reserve("stocks", 1, "qty", 4).unwrap();
+        assert_eq!(db.escrow_available("stocks", 1, "qty").unwrap(), 6);
+        db.run(IsolationLevel::ReadCommitted, |t| {
+            t.add_delta("stocks", 1, "qty", -4)
+        })
+        .unwrap();
+        r.confirm();
+        assert_eq!(db.escrow_available("stocks", 1, "qty").unwrap(), 6);
+        let committed = db.latest_committed("stocks", 1).unwrap().unwrap();
+        assert_eq!(committed.values[1].as_int(), 6);
+    }
+
+    #[test]
+    fn dropped_reservation_returns_units() {
+        let db = fixture(5);
+        {
+            let _r = db.escrow_reserve("stocks", 1, "qty", 5).unwrap();
+            assert_eq!(db.escrow_available("stocks", 1, "qty").unwrap(), 0);
+        }
+        assert_eq!(db.escrow_available("stocks", 1, "qty").unwrap(), 5);
+    }
+
+    #[test]
+    fn exhaustion_fails_and_never_overdraws() {
+        let db = fixture(3);
+        let _a = db.escrow_reserve("stocks", 1, "qty", 2).unwrap();
+        let err = db.escrow_reserve("stocks", 1, "qty", 2).unwrap_err();
+        match err {
+            DbError::EscrowExhausted {
+                requested,
+                available,
+                ..
+            } => {
+                assert_eq!(requested, 2);
+                assert_eq!(available, 1);
+            }
+            other => panic!("expected EscrowExhausted, got {other}"),
+        }
+        assert_eq!(db.escrow_available("stocks", 1, "qty").unwrap(), 1);
+    }
+
+    #[test]
+    fn abandon_is_conservative_and_restart_rederives() {
+        let db = fixture(10);
+        let r = db.escrow_reserve("stocks", 1, "qty", 3).unwrap();
+        // Ambiguous outcome: the delta never committed, but the client
+        // cannot know that — abandon keeps the units out of the budget.
+        r.abandon();
+        assert_eq!(db.escrow_available("stocks", 1, "qty").unwrap(), 7);
+        // A restart forgets the ledger and re-derives from committed state.
+        db.simulate_crash();
+        assert_eq!(db.escrow_available("stocks", 1, "qty").unwrap(), 10);
+    }
+
+    #[test]
+    fn deposit_credits_ledger_and_committed_state() {
+        let db = fixture(1);
+        let _hold = db.escrow_reserve("stocks", 1, "qty", 1).unwrap();
+        db.escrow_deposit("stocks", 1, "qty", 4).unwrap();
+        assert_eq!(db.escrow_available("stocks", 1, "qty").unwrap(), 4);
+        let committed = db.latest_committed("stocks", 1).unwrap().unwrap();
+        assert_eq!(committed.values[1].as_int(), 5);
+    }
+
+    #[test]
+    fn concurrent_reservations_never_oversell() {
+        let db = fixture(100);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let db = db.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        match db.escrow_reserve("stocks", 1, "qty", 1) {
+                            Ok(r) => {
+                                db.run(IsolationLevel::ReadCommitted, |t| {
+                                    t.add_delta("stocks", 1, "qty", -1)
+                                })
+                                .unwrap();
+                                r.confirm();
+                            }
+                            Err(DbError::EscrowExhausted { .. }) => {}
+                            Err(e) => panic!("reserve: {e}"),
+                        }
+                    }
+                });
+            }
+        });
+        let committed = db.latest_committed("stocks", 1).unwrap().unwrap();
+        // 400 attempts against a budget of 100: exactly 100 succeed.
+        assert_eq!(committed.values[1].as_int(), 0);
+        assert_eq!(db.escrow_available("stocks", 1, "qty").unwrap(), 0);
+    }
+}

@@ -62,6 +62,7 @@ pub mod db;
 pub mod engine;
 pub(crate) mod epoch;
 pub mod error;
+pub mod escrow;
 pub mod fasthash;
 pub mod lock;
 pub mod predicate;
@@ -76,6 +77,7 @@ pub mod wal;
 pub use db::Database;
 pub use engine::{AccessEvent, DbConfig, EngineProfile, IsolationLevel, StatementObserver};
 pub use error::DbError;
+pub use escrow::EscrowReservation;
 pub use lock::LockMode;
 pub use predicate::Predicate;
 pub use recovery::{recover, restart_from, RecoveryReport};

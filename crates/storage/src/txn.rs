@@ -20,7 +20,7 @@ use crate::predicate::{Predicate, ValueInterval};
 use crate::schema::{row_from_pairs, Row};
 use crate::shard::{shard_of, Footprint, ShardSet};
 use crate::table::{CommitTs, RowVersion, Table};
-use crate::value::Value;
+use crate::value::{ColumnType, Value};
 use crate::wal::WalEncoder;
 use crate::Result;
 use parking_lot::MutexGuard;
@@ -55,6 +55,20 @@ struct Pending {
     row: Option<Row>,
 }
 
+/// One buffered commutative delta ([`Transaction::add_delta`]): an
+/// increment of an integer column that carries no read footprint and
+/// takes no record lock. Materialized into a full-row image at commit,
+/// under the row's shard guard, against whatever version is latest
+/// *then* — which is exactly why two concurrent bumps of the same row
+/// both commit instead of one aborting the other.
+#[derive(Debug, Clone)]
+struct PendingDelta {
+    table: usize,
+    id: i64,
+    column: usize,
+    delta: i64,
+}
+
 /// How a scan found its candidates, and the interval gap/SSI tracking uses.
 struct ScanPlan {
     ids: Vec<i64>,
@@ -74,9 +88,13 @@ pub struct Transaction {
     iso: IsolationLevel,
     snapshot: CommitTs,
     pending: Vec<Pending>,
+    /// Commutative increments, kept separate from `pending` because they
+    /// have no pre-image: they merge against the latest committed version
+    /// at install time instead of overwriting it.
+    deltas: Vec<PendingDelta>,
     read_rows: HashSet<(usize, i64)>,
     read_ranges: Vec<(usize, usize, ValueInterval)>,
-    savepoints: Vec<(String, usize)>,
+    savepoints: Vec<(String, usize, usize)>,
     active: bool,
     /// Absolute deadline on the engine clock: statements past it fail
     /// fast with [`DbError::DeadlineExceeded`] before touching the wire,
@@ -92,6 +110,7 @@ impl Transaction {
             iso,
             snapshot,
             pending: Vec::new(),
+            deltas: Vec::new(),
             read_rows: HashSet::new(),
             read_ranges: Vec::new(),
             savepoints: Vec::new(),
@@ -151,9 +170,10 @@ impl Transaction {
         self.active
     }
 
-    /// True when the transaction has buffered writes.
+    /// True when the transaction has buffered writes (including
+    /// commutative deltas).
     pub fn has_writes(&self) -> bool {
-        !self.pending.is_empty()
+        !self.pending.is_empty() || !self.deltas.is_empty()
     }
 
     /// The transaction's current conflict footprint: the shards its
@@ -167,7 +187,9 @@ impl Transaction {
         let writes: ShardSet = self
             .pending
             .iter()
-            .map(|p| shard_of(p.table, p.id))
+            .map(|p| (p.table, p.id))
+            .chain(self.deltas.iter().map(|d| (d.table, d.id)))
+            .map(|(t, id)| shard_of(t, id))
             .collect();
         let reads = if self.read_ranges.is_empty() {
             self.read_rows
@@ -732,6 +754,47 @@ impl Transaction {
         Ok(())
     }
 
+    /// `UPDATE table SET col = col + delta WHERE pk = id`, executed as a
+    /// *commutative delta*: no record lock, no read footprint, no
+    /// first-updater check. The increment is merged against whatever row
+    /// version is latest at install time, under the row's shard guard —
+    /// so two concurrent bumps of the same row both commit (neither
+    /// aborts, neither is lost), which is the coordination-free execution
+    /// invariant-confluent operations admit.
+    ///
+    /// Restrictions keep the operation genuinely confluent: the column
+    /// must be a non-primary-key integer, and the row must exist at
+    /// commit time (a missing row aborts the commit with
+    /// [`DbError::NoSuchRow`]). Mixing `add_delta` with a plain
+    /// read-modify-write of the *same column* in concurrent transactions
+    /// forfeits the guarantee — the RMW overwrites, it does not merge.
+    pub fn add_delta(&mut self, table: &str, id: i64, column: &str, delta: i64) -> Result<()> {
+        self.ensure_active()?;
+        self.statement()?;
+        let t = self.resolve(table)?;
+        let col = t.schema.column_index(column)?;
+        assert_ne!(
+            col, t.schema.primary_key,
+            "add_delta on the primary key would rekey the row, not merge it"
+        );
+        if t.schema.columns[col].ty != ColumnType::Int {
+            return Err(DbError::TypeMismatch {
+                table: table.to_string(),
+                column: column.to_string(),
+                expected: ColumnType::Int,
+                found: Some(t.schema.columns[col].ty),
+            });
+        }
+        self.deltas.push(PendingDelta {
+            table: t.id,
+            id,
+            column: col,
+            delta,
+        });
+        self.observe_write(table, id);
+        Ok(())
+    }
+
     /// Lock and re-check unique keys whose value this write actually
     /// changes. Unchanged keys need no lock: the row's record lock already
     /// serializes writers, and taking the key lock anyway would needlessly
@@ -916,19 +979,22 @@ impl Transaction {
 
     /// `SAVEPOINT name`.
     pub fn savepoint(&mut self, name: &str) {
-        self.savepoints.push((name.to_string(), self.pending.len()));
+        self.savepoints
+            .push((name.to_string(), self.pending.len(), self.deltas.len()));
     }
 
     /// `ROLLBACK TO SAVEPOINT name`: discards writes made after the
     /// savepoint. Locks acquired since are retained, as in real engines.
     pub fn rollback_to(&mut self, name: &str) -> Result<()> {
-        let Some(pos) = self.savepoints.iter().rposition(|(n, _)| n == name) else {
+        let Some(pos) = self.savepoints.iter().rposition(|(n, _, _)| n == name) else {
             return Err(DbError::NoSuchSavepoint {
                 name: name.to_string(),
             });
         };
-        let mark = self.savepoints[pos].1;
+        let (_, mark, delta_mark) = &self.savepoints[pos];
+        let (mark, delta_mark) = (*mark, *delta_mark);
         self.pending.truncate(mark);
+        self.deltas.truncate(delta_mark);
         self.savepoints.truncate(pos + 1);
         Ok(())
     }
@@ -1046,7 +1112,9 @@ impl Transaction {
         let writes: ShardSet = self
             .pending
             .iter()
-            .map(|p| shard_of(p.table, p.id))
+            .map(|p| (p.table, p.id))
+            .chain(self.deltas.iter().map(|d| (d.table, d.id)))
+            .map(|(t, id)| shard_of(t, id))
             .collect();
         let mut lock_set = writes;
         let mut cert_reads: HashSet<(usize, i64)> = HashSet::new();
@@ -1097,6 +1165,65 @@ impl Transaction {
                     .serialization_failures
                     .fetch_add(1, Ordering::Relaxed);
                 return Err(e);
+            }
+        }
+        // Materialize commutative deltas into full-row images *now*,
+        // under the shard guards, against the version that is latest at
+        // this instant. Deltas passed no certification and took no record
+        // lock, yet no concurrent increment can be lost: all writers of
+        // the row serialize on its shard mutex, so each commit merges on
+        // top of the other's installed version. This happens before the
+        // WAL is streamed so the log carries ordinary post-images and
+        // recovery stays oblivious to deltas.
+        if !self.deltas.is_empty() {
+            for d in std::mem::take(&mut self.deltas) {
+                // A delta on a row this transaction already wrote folds
+                // into its own buffered image.
+                if let Some(p) = self
+                    .pending
+                    .iter_mut()
+                    .rev()
+                    .find(|p| p.table == d.table && p.id == d.id)
+                {
+                    match &mut p.row {
+                        Some(row) => {
+                            let v = row.values[d.column].as_int();
+                            row.values[d.column] = Value::Int(v + d.delta);
+                            continue;
+                        }
+                        // Own deletion followed by a delta: the row is gone.
+                        None => {
+                            let t = self.db.table_by_id(d.table);
+                            return Err(DbError::NoSuchRow {
+                                table: t.schema.table.clone(),
+                                id: d.id,
+                            });
+                        }
+                    }
+                }
+                let gpos = guards
+                    .binary_search_by_key(&shard_of(d.table, d.id), |(idx, _)| *idx)
+                    .expect("delta shard is locked");
+                let base = guards[gpos]
+                    .1
+                    .rows
+                    .get(&(d.table, d.id))
+                    .and_then(|c| c.latest())
+                    .cloned();
+                let Some(mut row) = base else {
+                    let t = self.db.table_by_id(d.table);
+                    return Err(DbError::NoSuchRow {
+                        table: t.schema.table.clone(),
+                        id: d.id,
+                    });
+                };
+                let v = row.values[d.column].as_int();
+                row.values[d.column] = Value::Int(v + d.delta);
+                self.pending.push(Pending {
+                    table: d.table,
+                    id: d.id,
+                    row: Some(row),
+                });
             }
         }
         if self.pending.is_empty() {
@@ -1263,6 +1390,7 @@ impl Transaction {
         }
         self.active = false;
         self.pending.clear();
+        self.deltas.clear();
         self.db.deregister(self.id);
         self.db.locks().release_all(self.id);
         if committed {
@@ -1292,6 +1420,7 @@ impl std::fmt::Debug for Transaction {
             .field("iso", &self.iso)
             .field("snapshot", &self.snapshot)
             .field("pending", &self.pending.len())
+            .field("deltas", &self.deltas.len())
             .field("active", &self.active)
             .finish()
     }

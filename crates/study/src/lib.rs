@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod case;
+pub mod confluence;
 pub mod corpus;
 pub mod corpus_data;
 pub mod findings;

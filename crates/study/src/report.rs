@@ -215,6 +215,70 @@ pub fn render_table7b() -> String {
     out
 }
 
+/// The invariant-confluence classification of the corpus: per-app bucket
+/// counts plus the legend explaining what each bucket buys at runtime.
+pub fn render_confluence() -> String {
+    use crate::confluence::{Confluence, CLASSIFICATION};
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Confluence: how much coordination each case's invariant actually requires."
+    )
+    .unwrap();
+    write!(out, "  {:<11}", "App.").unwrap();
+    for class in Confluence::all() {
+        write!(out, " {:>6}", class.label()).unwrap();
+    }
+    writeln!(out, " {:>6}", "Total").unwrap();
+    for app in crate::App::all() {
+        let ids: Vec<&str> = crate::CASES
+            .iter()
+            .filter(|case| case.app == app)
+            .map(|case| case.id)
+            .collect();
+        write!(out, "  {:<11}", app.name()).unwrap();
+        for class in Confluence::all() {
+            let n = CLASSIFICATION
+                .iter()
+                .filter(|c| c.class == class && ids.contains(&c.id))
+                .count();
+            write!(out, " {n:>6}").unwrap();
+        }
+        writeln!(out, " {:>6}", ids.len()).unwrap();
+    }
+    write!(out, "  {:<11}", "Total").unwrap();
+    for (_, n) in crate::confluence::counts() {
+        write!(out, " {n:>6}").unwrap();
+    }
+    writeln!(out, " {:>6}", CLASSIFICATION.len()).unwrap();
+    writeln!(
+        out,
+        "  Legend: CONF  = invariant-confluent; commits as a commutative delta,"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "                  no validation footprint, zero aborts."
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "          ESCR  = budget invariant (x >= 0, uses <= max); escrow"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "                  reservations coordinate only near exhaustion."
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "          COORD = order-sensitive; inherits the cured OCC/facade path."
+    )
+    .unwrap();
+    out
+}
+
 /// The playbook: flagship cases and the artifacts demonstrating them.
 pub fn render_playbook() -> String {
     let mut out = String::new();
@@ -334,6 +398,18 @@ mod tests {
         let f = render_findings();
         assert!(f.contains("71 of 91"));
         assert!(f.contains("Finding 8"));
+    }
+
+    #[test]
+    fn confluence_rendering_counts_the_whole_corpus() {
+        let r = render_confluence();
+        assert!(r.contains("CONF"));
+        assert!(r.contains("ESCR"));
+        assert!(r.contains("COORD"));
+        assert!(r.contains("Legend"));
+        let total: usize = crate::confluence::counts().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 91);
+        assert!(r.contains("    91"), "totals row must count all 91 cases");
     }
 
     #[test]

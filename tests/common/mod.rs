@@ -113,6 +113,7 @@ pub const SCENARIOS: &[(&str, Expect, Scenario)] = &[
         Expect::Pass,
         continuation_validation_race,
     ),
+    ("delta-merge-crash", Expect::Pass, delta_merge_crash),
 ];
 
 /// Look a scenario up by its corpus name.
@@ -931,6 +932,88 @@ pub fn epoch_watermark_advance(trial: &mut Trial) -> Result<(), String> {
         if v != Some(2) {
             return Err(format!("row {id} lost its final commit (saw {v:?})"));
         }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Coordination avoidance: commutative-counter merge under a crash.
+// ---------------------------------------------------------------------------
+
+/// Correct: two concurrent commutative bumps of one hot counter, with a
+/// crash the scheduler may land anywhere — including between a commit's
+/// apply and its ack. Deltas merge instead of conflicting, so on every
+/// schedule: an acked bump survives the crash (acked ⇒ durable), no bump
+/// applies twice, and the counter keeps accepting deltas after restart.
+pub fn delta_merge_crash(trial: &mut Trial) -> Result<(), String> {
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    db.create_table(
+        Schema::new(
+            "counters",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("hits", ColumnType::Int),
+            ],
+            "id",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.run(IsolationLevel::ReadCommitted, |t| {
+        t.insert("counters", &[("id", 1.into()), ("hits", 0.into())])
+    })
+    .unwrap();
+    let acked = Arc::new(AtomicI64::new(0));
+    for t in 0..2 {
+        let db = db.clone();
+        let acked = Arc::clone(&acked);
+        trial.task(&format!("bumper-{t}"), move || {
+            // A crash racing the commit may surface as an error here; the
+            // invariant below covers both outcomes of that ambiguity.
+            if db
+                .run(IsolationLevel::ReadCommitted, |x| {
+                    x.add_delta("counters", 1, "hits", 1)
+                })
+                .is_ok()
+            {
+                acked.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+    }
+    {
+        let db = db.clone();
+        trial.task("crash", move || db.simulate_crash());
+    }
+    trial.run()?;
+    let hits = db
+        .latest_committed("counters", 1)
+        .map_err(err_str)?
+        .map(|r| r.values[1].as_int())
+        .unwrap_or(0);
+    let acked = acked.load(Ordering::SeqCst);
+    if hits < acked {
+        return Err(format!(
+            "acked bump lost across the crash: hits = {hits}, acked = {acked}"
+        ));
+    }
+    if hits > 2 {
+        return Err(format!("a bump applied twice: hits = {hits} of 2 sent"));
+    }
+    // The counter must still merge deltas after restart (chain state and
+    // the volatile ledgers re-derive from committed rows).
+    db.run(IsolationLevel::ReadCommitted, |x| {
+        x.add_delta("counters", 1, "hits", 1)
+    })
+    .map_err(err_str)?;
+    let after = db
+        .latest_committed("counters", 1)
+        .map_err(err_str)?
+        .map(|r| r.values[1].as_int());
+    if after != Some(hits + 1) {
+        return Err(format!(
+            "post-restart bump merged wrong: {after:?}, expected {}",
+            hits + 1
+        ));
     }
     Ok(())
 }

@@ -406,6 +406,126 @@ fn naive_world_stays_metastable_after_the_storm_clears() {
     assert_eq!(m.times_opened, 0, "the ablation runs without a breaker");
 }
 
+/// PR-8 leftover closed: the partition storm meets the cured layer. A
+/// closed-loop worker drives three bump variants of one workload every
+/// tick — a `run_occ` optimistic RMW (cured), a commutative `add_delta`
+/// (confluent), and a KV-lock-guarded ad hoc RMW — while the same seeded
+/// storm from the main oracle partitions the KV. The database is local,
+/// so the cured and confluent paths must ride the storm out with *zero*
+/// failed ticks; only the ad hoc path (whose coordination lives on the
+/// partitioned KV) degrades, and it must recover once the storm clears.
+/// Every path must conserve its counter exactly.
+#[test]
+fn run_occ_rides_out_a_kv_partition_storm() {
+    use adhoc_transactions::core::locks::{AdHocLock, KvSetNxLock};
+    use adhoc_transactions::orm::occ::run_occ;
+    use adhoc_transactions::orm::{EntityDef, Orm, OrmError, Registry};
+    use adhoc_transactions::sim::RetryPolicy;
+    use adhoc_transactions::storage::{
+        Column, ColumnType, Database, EngineProfile, IsolationLevel, Schema,
+    };
+    let clock = Arc::new(VirtualClock::new());
+    let storm = FaultRule::storm(
+        &[FaultKind::PartitionInbound],
+        1.0,
+        at_tick(STORM_START),
+        at_tick(STORM_END),
+    );
+    let kv = Client::new(Store::new(), clock.clone(), LatencyModel::zero())
+        .with_faults(FaultPlan::new(SEED, storm));
+    let lock = KvSetNxLock::new(kv);
+
+    let db = Database::in_memory(EngineProfile::PostgresLike);
+    db.create_table(
+        Schema::new(
+            "counters",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::new("hits", ColumnType::Int),
+            ],
+            "id",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.run(IsolationLevel::ReadCommitted, |t| {
+        for id in 1..=3i64 {
+            t.insert("counters", &[("id", id.into()), ("hits", 0.into())])?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    let orm = Orm::new(
+        db.clone(),
+        Registry::new().register(EntityDef::new("counters")),
+    );
+    // Single-threaded loop: a conflict would be a bug, so no retries.
+    let policy = RetryPolicy::exponential(0, TICK, TICK);
+
+    let (mut occ_ok, mut delta_ok, mut adhoc_ok) = (0i64, 0i64, 0i64);
+    let (mut adhoc_storm_errors, mut adhoc_post_storm_errors) = (0u64, 0u64);
+    for tick in 0..TICKS {
+        let storming = (STORM_START..STORM_END).contains(&tick);
+
+        // Cured: the optimistic RMW never leaves the local database.
+        let committed = run_occ(&orm, &policy, None, |occ| {
+            let row = occ.read_fields(&orm, "counters", 1, &["hits"])?.ok_or(
+                OrmError::RecordNotFound {
+                    entity: "counters".into(),
+                    id: 1,
+                },
+            )?;
+            let hits = row.get_int("hits")?;
+            occ.stage_update("counters", 1, &[("hits", (hits + 1).into())]);
+            Ok(true)
+        })
+        .expect("run_occ must not observe the KV partition");
+        assert!(committed);
+        occ_ok += 1;
+
+        // Confluent: the delta does not even read.
+        db.run(IsolationLevel::ReadCommitted, |t| {
+            t.add_delta("counters", 2, "hits", 1)
+        })
+        .expect("add_delta must not observe the KV partition");
+        delta_ok += 1;
+
+        // Ad hoc: coordination lives on the partitioned KV.
+        match lock.lock("counters:3") {
+            Ok(guard) => {
+                let hits = db.latest_committed("counters", 3).unwrap().unwrap().values[1].as_int();
+                db.run(IsolationLevel::ReadCommitted, |t| {
+                    t.update("counters", 3, &[("hits", (hits + 1).into())])
+                })
+                .unwrap();
+                guard.unlock().unwrap();
+                adhoc_ok += 1;
+            }
+            Err(_) if storming => adhoc_storm_errors += 1,
+            Err(_) => adhoc_post_storm_errors += 1,
+        }
+        clock.advance(TICK);
+    }
+
+    // The local paths never noticed; the KV-coordinated path collapsed
+    // for the storm's full duration and nothing else.
+    assert_eq!(occ_ok, TICKS as i64);
+    assert_eq!(delta_ok, TICKS as i64);
+    assert_eq!(adhoc_storm_errors, STORM_END - STORM_START);
+    assert_eq!(
+        adhoc_post_storm_errors, 0,
+        "the ad hoc path must recover the tick the partition heals"
+    );
+    assert_eq!(adhoc_ok, (TICKS - (STORM_END - STORM_START)) as i64);
+
+    // Conservation per path: every acked bump is in the counter, and
+    // nothing else is.
+    for (id, expected) in [(1, occ_ok), (2, delta_ok), (3, adhoc_ok)] {
+        let hits = db.latest_committed("counters", id).unwrap().unwrap().values[1].as_int();
+        assert_eq!(hits, expected, "counter {id} lost or invented a bump");
+    }
+}
+
 #[test]
 fn oracle_replays_bit_for_bit() {
     let a = run_world(true);

@@ -4,7 +4,9 @@
 # BENCH_wal.json (the same commit workload with the write-ahead log on
 # vs off, free and costed fsyncs — durability overhead), BENCH_occ.json
 # (the §7 cured orm::occ layer vs the hand-rolled lock + two-transaction
-# AHT) and BENCH_resilience.json (the metastability ablation under a
+# AHT), BENCH_confluence.json (the PR-9 coordination-avoiding delta path
+# vs both coordinated implementations of the same hot-counter increment)
+# and BENCH_resilience.json (the metastability ablation under a
 # partition storm) into the repository root, with the committed
 # pre-refactor baselines from tools/baselines/ embedded for before/after
 # comparison.

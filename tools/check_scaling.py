@@ -34,11 +34,30 @@ With a BENCH_occ.json argument, three more checks gate the §7 cure layer
   6. cured 8T disjoint must beat the committed pre-cure AHT floor
      (tools/baselines/occ_pre_cure.json) within tolerance.
 
+With a BENCH_confluence.json argument, three more checks gate the PR-9
+coordination-avoiding layer (commutative deltas + escrow) against both
+coordinated implementations of the same hot-counter increment:
+
+  7. confluent abort_rate == 0 on EVERY row — commutative deltas carry no
+     read footprint, so nothing ever validates or rolls back. This is a
+     correctness property of the mechanism, not a throughput number, and
+     is demanded on any hardware.
+  8. On the single hot key, confluent >= 2x cured at 8 threads (within
+     tolerance) — the headline: dropping the retry loop beats retrying
+     it. On a single-CPU box the demand relaxes to no-worse-than-cured
+     (time-slicing hides the coordination gap the check measures).
+  9. On disjoint keys, confluent >= cured at every thread count (within
+     tolerance) — avoiding coordination must be free when there is no
+     coordination to avoid. And 8T same_key must beat the committed
+     floor in tools/baselines/confluence.json (the cured row: the
+     coordination ceiling this layer exists to clear), skipped on a
+     single-CPU box like check 2.
+
 Tolerance: SCALING_GATE_TOL (fractional, default 0.25) absorbs the noise
 of short smoke windows; the committed full-window artifacts have much
 wider margins than the band.
 
-Usage: check_scaling.py <BENCH_fig2.json> <BENCH_fig3.json> [BENCH_occ.json] [baseline_dir]
+Usage: check_scaling.py <BENCH_fig2.json> <BENCH_fig3.json> [BENCH_occ.json] [BENCH_confluence.json] [baseline_dir]
 Exits non-zero on any regression.
 """
 
@@ -62,12 +81,22 @@ def load_occ_rows(path):
     }
 
 
+def load_abort_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {
+        (r["threads"], r["pattern"], r.get("strategy", "adhoc")): r.get("abort_rate", 0.0)
+        for r in doc["rows"]
+    }
+
+
 def main():
     if len(sys.argv) < 3:
         sys.exit(__doc__)
     fig2_path, fig3_path = sys.argv[1], sys.argv[2]
     rest = sys.argv[3:]
     occ_path = rest.pop(0) if rest and rest[0].endswith(".json") else None
+    conf_path = rest.pop(0) if rest and rest[0].endswith(".json") else None
     baseline_dir = (
         rest[0]
         if rest
@@ -175,6 +204,70 @@ def main():
         )
         if cured8 < floor:
             failures.append("occ 8T disjoint vs pre-cure baseline")
+
+    # -- Checks 7-9: the confluence ablation, when BENCH_confluence.json
+    #    is given.
+    if conf_path:
+        conf = load_occ_rows(conf_path)
+        aborts = load_abort_rows(conf_path)
+        threads = sorted({t for (t, _, _) in conf})
+
+        # 7. Zero aborts: a mechanism property, demanded on any hardware.
+        for (t, pattern, strategy), rate in sorted(aborts.items()):
+            if strategy != "confluent":
+                continue
+            status = "ok" if rate == 0.0 else "FAIL"
+            print(
+                f"[{status}] confluence {pattern} {t}T: "
+                f"confluent abort_rate {rate:.6f}, demanded 0"
+            )
+            if rate != 0.0:
+                failures.append(f"confluence {t}T {pattern} confluent abort rate")
+
+        # 8. Hot key at 8T: drop the retry loop, clear the cured layer 2x.
+        cured_hot = conf[(8, "same_key", "cured")]
+        conf_hot = conf[(8, "same_key", "confluent")]
+        if cpus == 1:
+            need = cured_hot * (1.0 - tol)
+            label = "no-worse-than-cured (single-CPU box)"
+        else:
+            need = 2.0 * cured_hot * (1.0 - tol)
+            label = f"2x cured within tolerance ({cpus} CPUs)"
+        status = "ok" if conf_hot >= need else "FAIL"
+        print(
+            f"[{status}] confluence same_key 8T: confluent {conf_hot:,.0f} ops/s "
+            f"vs {need:,.0f} demanded ({label})"
+        )
+        if conf_hot < need:
+            failures.append("confluence 8T same_key confluent vs cured")
+
+        # 9a. Disjoint parity: avoidance is free when nothing contends.
+        for t in threads:
+            cured = conf[(t, "disjoint", "cured")]
+            confluent = conf[(t, "disjoint", "confluent")]
+            floor = cured * (1.0 - tol)
+            status = "ok" if confluent >= floor else "FAIL"
+            print(
+                f"[{status}] confluence disjoint {t}T: confluent "
+                f"{confluent:,.0f} ops/s vs cured floor {floor:,.0f}"
+            )
+            if confluent < floor:
+                failures.append(f"confluence {t}T disjoint confluent vs cured")
+
+        # 9b. Absolute floor: 8T hot key vs the committed coordination
+        #     ceiling (the baseline's cured row).
+        if cpus == 1:
+            print("[skip] confluence same_key 8T absolute floor: single-CPU box")
+        else:
+            base_conf = load_occ_rows(os.path.join(baseline_dir, "confluence.json"))
+            floor = base_conf[(8, "same_key", "cured")] * (1.0 - tol)
+            status = "ok" if conf_hot >= floor else "FAIL"
+            print(
+                f"[{status}] confluence same_key 8T: confluent {conf_hot:,.0f} ops/s "
+                f"vs committed cured ceiling {floor:,.0f}"
+            )
+            if conf_hot < floor:
+                failures.append("confluence 8T same_key vs committed baseline")
 
     if failures:
         print("scaling gate FAILED: " + "; ".join(failures))

@@ -42,6 +42,14 @@ timeout 120 cargo test -q --release --test cured_oracle
 timeout 120 cargo test -q --release --test crash_recovery_oracle -- \
   cured_crash_sweep_has_zero_findings
 
+# Confluence oracle gate: the PR-9 coordination-avoiding layer — hot-key
+# convergence and escrow budget exactness under real threads, plus the
+# WAL-backed crash sweep over the Confluent app paths (every commit point
+# x all four crash kinds, zero fsck repairs demanded). Replay one crash
+# point alone via CONFLUENCE_ORACLE=app/kind/k.
+echo "==> confluence oracle gate (convergence + escrow + crash sweep, <60s)"
+timeout 60 cargo test -q --release --test confluence_oracle
+
 # WAL-format fuzz smoke: encode/decode round-trip plus truncation- and
 # corruption-yields-a-prefix properties (tools/../crates/storage/tests).
 echo "==> WAL format fuzz smoke (<60s)"
@@ -61,16 +69,18 @@ timeout 60 cargo test -q --release --test resilience_oracle --test fault_suite
 # from ./tools/bench.sh with full windows.
 echo "==> bench smoke (BENCH_SCALE=smoke)"
 BENCH_SCALE=smoke ./tools/bench.sh target/bench-smoke >/dev/null
-python3 -c "import json; [json.load(open(f'target/bench-smoke/BENCH_{n}.json')) for n in ('fig2', 'fig3', 'wal', 'occ', 'resilience')]"
+python3 -c "import json; [json.load(open(f'target/bench-smoke/BENCH_{n}.json')) for n in ('fig2', 'fig3', 'wal', 'occ', 'confluence', 'resilience')]"
 
 # Scaling-regression gate: the fresh smoke sweep must not fall behind the
 # committed pre-refactor baselines (tools/baselines/) — fig3 KV disjoint
 # at every thread count, fig2 commit scaling hardware-aware (full 3x only
-# demanded with 8+ CPUs; no-collapse on a single-CPU box), and the cured
+# demanded with 8+ CPUs; no-collapse on a single-CPU box), the cured
 # orm::occ path vs the hand-rolled AHT (disjoint parity, hot-key 0.9x,
-# pre-cure absolute floor). Tolerance band via SCALING_GATE_TOL absorbs
-# smoke-window noise.
+# pre-cure absolute floor), and the confluent delta path vs both
+# (zero aborts everywhere, 2x cured on the 8T hot key on multi-CPU
+# hardware, disjoint parity). Tolerance band via SCALING_GATE_TOL
+# absorbs smoke-window noise.
 echo "==> scaling-regression gate (fresh smoke vs tools/baselines/)"
-python3 tools/check_scaling.py target/bench-smoke/BENCH_fig2.json target/bench-smoke/BENCH_fig3.json target/bench-smoke/BENCH_occ.json
+python3 tools/check_scaling.py target/bench-smoke/BENCH_fig2.json target/bench-smoke/BENCH_fig3.json target/bench-smoke/BENCH_occ.json target/bench-smoke/BENCH_confluence.json
 
 echo "==> CI green"
