@@ -25,7 +25,7 @@ fn lan() -> LatencyModel {
         kv_round_trip: Duration::from_micros(25),
         sql_round_trip: Duration::from_micros(50),
         durable_flush: Duration::from_micros(100),
-        in_memory_op: Duration::ZERO,
+        ..LatencyModel::zero()
     }
 }
 

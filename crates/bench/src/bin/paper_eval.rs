@@ -11,8 +11,9 @@
 //! `bench-json` runs the engine-scaling sweeps and writes machine-readable
 //! `BENCH_fig2.json` (storage commit scaling), `BENCH_fig3.json` (KV
 //! command scaling), `BENCH_wal.json` (WAL overhead),
-//! `BENCH_occ.json` (cured `orm::occ` vs hand-rolled AHT), and
-//! `BENCH_resilience.json` (metastability ablation) into `outdir`
+//! `BENCH_occ.json` (cured `orm::occ` vs hand-rolled AHT),
+//! `BENCH_resilience.json` (metastability ablation), and
+//! `BENCH_traffic.json` (open-loop traffic SLO ablation) into `outdir`
 //! (default `.`). Set `BENCH_SCALE=smoke`
 //! for a tiny CI duty cycle. If `tools/baselines/fig2_pre_shard.json` /
 //! `fig3_pre_shard.json` exist relative to the current directory, they are
@@ -195,6 +196,47 @@ fn run_resilience_ablation() {
     println!();
 }
 
+fn run_traffic_ablation() {
+    println!("Ablation: open-loop traffic against the service front door.");
+    println!(
+        "  Goodput = completions within the {}ms SLO. Past saturation the",
+        adhoc_traffic::SLO.as_millis()
+    );
+    println!("  full stack refuses/sheds at the edge and plateaus; naive serves");
+    println!("  everything late, so its goodput collapses on a healthy backend.");
+    let scale = adhoc_traffic::TrafficScale::from_env();
+    println!("  saturation: {:.0} req/s", scale.saturation_rps());
+    println!(
+        "  {:<14} {:>6} {:>8} {:>11} {:>11} {:>8} {:>8} {:>9} {:>10} {:>6}",
+        "configuration",
+        "load_x",
+        "arrivals",
+        "offered/s",
+        "goodput/s",
+        "p50_ms",
+        "p99_ms",
+        "limited",
+        "queue_full",
+        "shed"
+    );
+    for r in adhoc_traffic::traffic_sweep(&scale) {
+        println!(
+            "  {:<14} {:>6.2} {:>8} {:>11.1} {:>11.1} {:>8.2} {:>8.2} {:>9} {:>10} {:>6}",
+            r.config,
+            r.load_x,
+            r.arrivals,
+            r.offered_rps,
+            r.goodput_rps,
+            r.p50_ms,
+            r.p99_ms,
+            r.rate_limited,
+            r.queue_full,
+            r.shed
+        );
+    }
+    println!();
+}
+
 fn run_bench_json(outdir: &str) {
     let baseline2 = std::fs::read_to_string("tools/baselines/fig2_pre_shard.json").ok();
     let baseline3 = std::fs::read_to_string("tools/baselines/fig3_pre_shard.json").ok();
@@ -206,18 +248,21 @@ fn run_bench_json(outdir: &str) {
     let baseline_conf = std::fs::read_to_string("tools/baselines/confluence.json").ok();
     let confluence_json = scaling::confluence_bench_json(baseline_conf.as_deref());
     let resilience_json = resilience::resilience_bench_json();
+    let traffic_json = adhoc_traffic::traffic_bench_json();
     let fig2_path = format!("{outdir}/BENCH_fig2.json");
     let fig3_path = format!("{outdir}/BENCH_fig3.json");
     let wal_path = format!("{outdir}/BENCH_wal.json");
     let occ_path = format!("{outdir}/BENCH_occ.json");
     let confluence_path = format!("{outdir}/BENCH_confluence.json");
     let resilience_path = format!("{outdir}/BENCH_resilience.json");
+    let traffic_path = format!("{outdir}/BENCH_traffic.json");
     std::fs::write(&fig2_path, &fig2_json).expect("write BENCH_fig2.json");
     std::fs::write(&fig3_path, &fig3_json).expect("write BENCH_fig3.json");
     std::fs::write(&wal_path, &wal_json).expect("write BENCH_wal.json");
     std::fs::write(&occ_path, &occ_json).expect("write BENCH_occ.json");
     std::fs::write(&confluence_path, &confluence_json).expect("write BENCH_confluence.json");
     std::fs::write(&resilience_path, &resilience_json).expect("write BENCH_resilience.json");
+    std::fs::write(&traffic_path, &traffic_json).expect("write BENCH_traffic.json");
     println!("wrote {fig2_path}");
     print!("{fig2_json}");
     println!("wrote {fig3_path}");
@@ -230,6 +275,8 @@ fn run_bench_json(outdir: &str) {
     print!("{confluence_json}");
     println!("wrote {resilience_path}");
     print!("{resilience_json}");
+    println!("wrote {traffic_path}");
+    print!("{traffic_json}");
 }
 
 fn main() {
@@ -246,6 +293,7 @@ fn main() {
         "table7b" => print!("{}", report::render_table7b()),
         "confluence" => print!("{}", report::render_confluence()),
         "findings" => print!("{}", report::render_findings()),
+        "extension" => print!("{}", adhoc_study::render_extension()),
         "playbook" => print!("{}", report::render_playbook()),
         "fig2" => run_fig2(),
         "fig3" => run_fig3(),
@@ -253,6 +301,7 @@ fn main() {
         "ablation-ttl" => run_ttl_ablation(),
         "ablation-isolation" => run_isolation_ablation(),
         "ablation-resilience" => run_resilience_ablation(),
+        "ablation-traffic" => run_traffic_ablation(),
         "bench-json" => {
             let outdir = std::env::args().nth(2).unwrap_or_else(|| ".".to_string());
             run_bench_json(&outdir);
@@ -262,17 +311,19 @@ fn main() {
             print_tables();
             println!("{}", report::render_findings());
             println!("{}", report::render_playbook());
+            println!("{}", adhoc_study::render_extension());
             run_fig2();
             run_fig3();
             run_fig4();
             run_ttl_ablation();
             run_isolation_ablation();
             run_resilience_ablation();
+            run_traffic_ablation();
         }
         other => {
             eprintln!("unknown target {other:?}");
             eprintln!(
-                "usage: paper-eval [table1|table2|table3|table4|table5a|table5b|table6|table7a|table7b|confluence|findings|playbook|fig2|fig3|fig4|ablation-ttl|ablation-isolation|ablation-resilience|bench-json|tables|all]"
+                "usage: paper-eval [table1|table2|table3|table4|table5a|table5b|table6|table7a|table7b|confluence|findings|extension|playbook|fig2|fig3|fig4|ablation-ttl|ablation-isolation|ablation-resilience|ablation-traffic|bench-json|tables|all]"
             );
             std::process::exit(2);
         }

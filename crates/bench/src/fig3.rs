@@ -93,7 +93,7 @@ impl Default for Fig3Config {
                 kv_round_trip: Duration::from_micros(10),
                 sql_round_trip: Duration::from_micros(50),
                 durable_flush: Duration::from_micros(100),
-                in_memory_op: Duration::ZERO,
+                ..LatencyModel::zero()
             },
             request_cpu_work: Duration::from_micros(150),
             contention: true,

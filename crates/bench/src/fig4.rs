@@ -52,7 +52,7 @@ impl Default for Fig4Config {
                 kv_round_trip: Duration::from_micros(10),
                 sql_round_trip: Duration::from_micros(50),
                 durable_flush: Duration::from_micros(100),
-                in_memory_op: Duration::ZERO,
+                ..LatencyModel::zero()
             },
             conflicts: true,
         }

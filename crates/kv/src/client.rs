@@ -3,30 +3,25 @@
 //! Discourse's Redis lock drives the protocol (§3.2.1 of the paper).
 
 use crate::store::{KvError, SetMode, Store, Ttl, WriteOp};
-use adhoc_sim::latency::Cost;
 use adhoc_sim::{
-    CircuitBreaker, Deadline, FaultKind, FaultPlan, LatencyModel, OpClass, SharedClock,
+    CircuitBreaker, Deadline, FaultKind, FaultPlan, LatencyModel, OpClass, SharedClock, Transport,
 };
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// A connection to a [`Store`] that charges `kv_round_trip` per command.
+///
+/// The wire discipline (deadline/breaker admission, yield + count + latency
+/// charge per hop) lives in the shared [`Transport`] shim; this client adds
+/// the KV command surface and the §3.4 fault semantics on top of it.
 ///
 /// Clones share the round-trip counter (they model one process talking to
 /// one server, possibly from several threads).
 #[derive(Clone)]
 pub struct Client {
     store: Store,
-    clock: SharedClock,
-    latency: LatencyModel,
-    round_trips: Arc<AtomicU64>,
+    transport: Transport,
     faults: Option<FaultPlan>,
-    /// Absolute deadline: commands past it fail fast *before* the wire.
-    deadline: Option<Deadline>,
-    /// Circuit breaker around the connection: consecutive connection
-    /// losses open it; while open, commands are rejected locally.
-    breaker: Option<Arc<CircuitBreaker>>,
 }
 
 impl Client {
@@ -35,12 +30,8 @@ impl Client {
     pub fn new(store: Store, clock: SharedClock, latency: LatencyModel) -> Self {
         Self {
             store,
-            clock,
-            latency,
-            round_trips: Arc::new(AtomicU64::new(0)),
+            transport: Transport::kv(clock, latency),
             faults: None,
-            deadline: None,
-            breaker: None,
         }
     }
 
@@ -58,7 +49,7 @@ impl Client {
     /// paying a round trip (the command never leaves the client, so the
     /// failure is unambiguous and retry-safe against a fresh deadline).
     pub fn with_deadline(mut self, deadline: Deadline) -> Self {
-        self.deadline = Some(deadline);
+        self.transport = self.transport.with_deadline(deadline);
         self
     }
 
@@ -68,7 +59,7 @@ impl Client {
     /// paying a round trip — the retry-storm dampener. Share one breaker
     /// (via the `Arc`) across every client clone talking to one server.
     pub fn with_breaker(mut self, breaker: Arc<CircuitBreaker>) -> Self {
-        self.breaker = Some(breaker);
+        self.transport = self.transport.with_breaker(breaker);
         self
     }
 
@@ -80,23 +71,16 @@ impl Client {
     /// The clock this connection charges latency against — shared with
     /// callers that need to evaluate [`Deadline`]s consistently.
     pub fn clock(&self) -> adhoc_sim::SharedClock {
-        self.clock.clone()
+        self.transport.clock()
     }
 
     /// Round trips this client (and its clones) have paid so far.
     pub fn round_trips(&self) -> u64 {
-        self.round_trips.load(Ordering::Relaxed)
+        self.transport.round_trips()
     }
 
     fn pay(&self) -> Duration {
-        // Every simulated round trip is a potential preemption point under
-        // the deterministic scheduler (no-op otherwise).
-        adhoc_sim::sched::yield_point(adhoc_sim::sched::SchedPoint::KvRoundTrip);
-        // Relaxed: a pure occurrence counter — nothing is published through
-        // it, and SeqCst here puts a full fence on every simulated wire hop.
-        self.round_trips.fetch_add(1, Ordering::Relaxed);
-        self.latency.charge(&*self.clock, Cost::KvRoundTrip);
-        self.clock.now()
+        self.transport.pay()
     }
 
     /// One fault-eligible round trip: check deadline and breaker (both
@@ -122,23 +106,10 @@ impl Client {
     /// * `StoreRestart` — the server bounces (volatile entries lost) just
     ///   before serving the command, which then succeeds normally.
     fn round_trip<R>(&self, apply: impl FnOnce(Duration) -> R) -> Result<R, KvError> {
-        if let Some(deadline) = &self.deadline {
-            if deadline.expired(&*self.clock) {
-                return Err(KvError::DeadlineExceeded);
-            }
-        }
-        if let Some(breaker) = &self.breaker {
-            if !breaker.allow(self.clock.now()) {
-                return Err(KvError::CircuitOpen);
-            }
-        }
+        self.transport.admit()?;
         let result = self.round_trip_faulted(apply);
-        if let Some(breaker) = &self.breaker {
-            match &result {
-                Err(KvError::ConnectionLost) => breaker.record_failure(self.clock.now()),
-                _ => breaker.record_success(),
-            }
-        }
+        self.transport
+            .record_outcome(matches!(&result, Err(KvError::ConnectionLost)));
         result
     }
 
@@ -155,12 +126,12 @@ impl Client {
                         return Err(KvError::ConnectionLost);
                     }
                     FaultKind::LatencySpike => {
-                        self.clock.sleep(fault.delay);
-                        now = self.clock.now();
+                        self.transport.sleep(fault.delay);
+                        now = self.transport.now();
                     }
                     FaultKind::ReplyDelay => {
                         let reply = apply(now);
-                        self.clock.sleep(fault.delay);
+                        self.transport.sleep(fault.delay);
                         return Ok(reply);
                     }
                     FaultKind::ClockSkew => now += fault.delay,

@@ -105,6 +105,15 @@ impl fmt::Display for KvError {
 
 impl std::error::Error for KvError {}
 
+impl From<adhoc_sim::TransportError> for KvError {
+    fn from(e: adhoc_sim::TransportError) -> Self {
+        match e {
+            adhoc_sim::TransportError::DeadlineExceeded => KvError::DeadlineExceeded,
+            adhoc_sim::TransportError::CircuitOpen => KvError::CircuitOpen,
+        }
+    }
+}
+
 /// Conditional-set behaviour for `SET`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SetMode {

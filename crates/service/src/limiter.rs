@@ -1,0 +1,249 @@
+//! Per-client rate limiting, written both ways.
+//!
+//! The catalog case this module adds: a web tier fronting the studied
+//! applications limits each client's request rate. The idiomatic
+//! quick-fix — a **fixed-window counter** kept in the KV store — is an ad
+//! hoc transaction: `GET` the window's count, compare against the limit,
+//! then `INCR`. Check and act are two separate round trips with no
+//! coordination between them, so two concurrent requests from one client
+//! can both read `limit - 1` and both be admitted — the same
+//! check-then-act anomaly as the paper's Fig. 1a, applied to admission
+//! state (and the same coordination-avoidance tradeoff Bailis et al.
+//! study: the counter is *not* invariant-confluent against the cap).
+//!
+//! The cure is the **token bucket**: refill-and-debit as one atomic
+//! in-process decision, so admission over the cap is impossible by
+//! construction. `tests/schedules/rate-limit-window-race.sched` pins the
+//! fixed-window race as schedule witness 25.
+
+use crate::ServiceError;
+use adhoc_kv::{Client, KvError};
+use adhoc_sim::SharedClock;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Per-client admission: `Ok(true)` admits, `Ok(false)` rate-limits.
+pub trait RateLimiter: Send + Sync {
+    /// Decide admission for one request from `client`.
+    fn try_admit(&self, client: u64) -> Result<bool, ServiceError>;
+    /// Which implementation this is (for reports).
+    fn label(&self) -> &'static str;
+    /// Requests refused so far.
+    fn limited(&self) -> u64;
+}
+
+/// The racy fixed-window counter over the KV store (catalog case).
+///
+/// `admitted(client, window) < limit` is checked with a `GET`, then the
+/// count is bumped with an `INCR` — two wire round trips, with the
+/// check-then-act window in between. Under the deterministic scheduler
+/// both hops are preemption points, which is exactly how witness 25
+/// derives the double-admission.
+pub struct FixedWindowLimiter {
+    kv: Client,
+    clock: SharedClock,
+    limit: i64,
+    window: Duration,
+    limited: AtomicU64,
+}
+
+impl FixedWindowLimiter {
+    /// Allow `limit` requests per `window` per client, counted in `kv`.
+    pub fn new(kv: Client, limit: i64, window: Duration) -> Self {
+        assert!(limit > 0 && !window.is_zero());
+        let clock = kv.clock();
+        Self {
+            kv,
+            clock,
+            limit,
+            window,
+            limited: AtomicU64::new(0),
+        }
+    }
+
+    fn window_key(&self, client: u64) -> String {
+        let idx = self.clock.now().as_nanos() / self.window.as_nanos();
+        format!("rl:{client}:{idx}")
+    }
+}
+
+impl RateLimiter for FixedWindowLimiter {
+    fn try_admit(&self, client: u64) -> Result<bool, ServiceError> {
+        let key = self.window_key(client);
+        // Round trip 1: the check.
+        let count: i64 = match self.kv.get(&key).map_err(kv_err)? {
+            Some(s) => s.parse().unwrap_or(0),
+            None => 0,
+        };
+        if count >= self.limit {
+            self.limited.fetch_add(1, Ordering::Relaxed);
+            return Ok(false);
+        }
+        // Round trip 2: the act. Nothing revalidates the count read above —
+        // a concurrent request admitted in between pushes the window past
+        // its limit (the pinned race).
+        self.kv.incr(&key).map_err(kv_err)?;
+        Ok(true)
+    }
+
+    fn label(&self) -> &'static str {
+        "fixed-window"
+    }
+
+    fn limited(&self) -> u64 {
+        self.limited.load(Ordering::Relaxed)
+    }
+}
+
+fn kv_err(e: KvError) -> ServiceError {
+    match e {
+        KvError::CircuitOpen => ServiceError::CircuitOpen,
+        other => ServiceError::Backend(other.to_string()),
+    }
+}
+
+struct Bucket {
+    /// Millitokens, so refill arithmetic stays in integers (deterministic
+    /// across platforms).
+    millitokens: u64,
+    last_refill: Duration,
+}
+
+/// The cured limiter: a token bucket refilled and debited under one lock.
+///
+/// Admission is a single atomic decision on in-process state, so the cap
+/// holds by construction — no wire, no check-then-act window. This is the
+/// shape production gateways converge on once the fixed-window race bites.
+pub struct TokenBucketLimiter {
+    clock: SharedClock,
+    rate_millitokens_per_sec: u64,
+    burst_millitokens: u64,
+    buckets: Mutex<HashMap<u64, Bucket>>,
+    limited: AtomicU64,
+}
+
+impl TokenBucketLimiter {
+    /// Allow a sustained `rate_per_sec` with bursts up to `burst`, per
+    /// client.
+    pub fn new(clock: SharedClock, rate_per_sec: u64, burst: u64) -> Self {
+        assert!(rate_per_sec > 0 && burst > 0);
+        Self {
+            clock,
+            rate_millitokens_per_sec: rate_per_sec * 1000,
+            burst_millitokens: burst * 1000,
+            buckets: Mutex::new(HashMap::new()),
+            limited: AtomicU64::new(0),
+        }
+    }
+}
+
+impl RateLimiter for TokenBucketLimiter {
+    fn try_admit(&self, client: u64) -> Result<bool, ServiceError> {
+        let now = self.clock.now();
+        let mut buckets = self.buckets.lock();
+        let bucket = buckets.entry(client).or_insert(Bucket {
+            millitokens: self.burst_millitokens,
+            last_refill: now,
+        });
+        let elapsed = now.saturating_sub(bucket.last_refill);
+        let refill =
+            (elapsed.as_nanos() * self.rate_millitokens_per_sec as u128 / 1_000_000_000) as u64;
+        if refill > 0 {
+            let refilled = bucket.millitokens + refill;
+            if refilled >= self.burst_millitokens {
+                bucket.millitokens = self.burst_millitokens;
+                bucket.last_refill = now;
+            } else {
+                bucket.millitokens = refilled;
+                // Advance only by the time the granted refill covers, so
+                // sub-token remainders are not lost to truncation.
+                let covered =
+                    refill as u128 * 1_000_000_000 / self.rate_millitokens_per_sec as u128;
+                bucket.last_refill += Duration::from_nanos(covered as u64);
+            }
+        }
+        if bucket.millitokens >= 1000 {
+            bucket.millitokens -= 1000;
+            Ok(true)
+        } else {
+            self.limited.fetch_add(1, Ordering::Relaxed);
+            Ok(false)
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "token-bucket"
+    }
+
+    fn limited(&self) -> u64 {
+        self.limited.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_kv::Store;
+    use adhoc_sim::{LatencyModel, VirtualClock};
+    use std::sync::Arc;
+
+    fn kv(clock: Arc<VirtualClock>) -> Client {
+        Client::new(Store::new(), clock, LatencyModel::zero())
+    }
+
+    #[test]
+    fn fixed_window_admits_up_to_limit_then_refuses() {
+        let clock = Arc::new(VirtualClock::new());
+        let l = FixedWindowLimiter::new(kv(clock.clone()), 3, Duration::from_secs(1));
+        for _ in 0..3 {
+            assert!(l.try_admit(7).unwrap());
+        }
+        assert!(!l.try_admit(7).unwrap());
+        assert_eq!(l.limited(), 1);
+        // A different client has its own window.
+        assert!(l.try_admit(8).unwrap());
+        // The next window resets the count.
+        clock.advance(Duration::from_secs(1));
+        assert!(l.try_admit(7).unwrap());
+    }
+
+    #[test]
+    fn fixed_window_check_and_act_are_separate_round_trips() {
+        let clock = Arc::new(VirtualClock::new());
+        let client = kv(clock);
+        let l = FixedWindowLimiter::new(client.clone(), 5, Duration::from_secs(1));
+        let before = client.round_trips();
+        l.try_admit(1).unwrap();
+        assert_eq!(
+            client.round_trips() - before,
+            2,
+            "GET then INCR — the race window lives between them"
+        );
+    }
+
+    #[test]
+    fn token_bucket_enforces_burst_then_rate() {
+        let clock = Arc::new(VirtualClock::new());
+        let l = TokenBucketLimiter::new(clock.clone(), 10, 3);
+        for _ in 0..3 {
+            assert!(l.try_admit(7).unwrap());
+        }
+        assert!(!l.try_admit(7).unwrap(), "burst exhausted");
+        // 100 ms at 10/s refills exactly one token.
+        clock.advance(Duration::from_millis(100));
+        assert!(l.try_admit(7).unwrap());
+        assert!(!l.try_admit(7).unwrap());
+        assert_eq!(l.limited(), 2);
+    }
+
+    #[test]
+    fn token_bucket_is_per_client() {
+        let clock = Arc::new(VirtualClock::new());
+        let l = TokenBucketLimiter::new(clock, 1, 1);
+        assert!(l.try_admit(1).unwrap());
+        assert!(!l.try_admit(1).unwrap());
+        assert!(l.try_admit(2).unwrap(), "client 2 has its own bucket");
+    }
+}

@@ -1,0 +1,127 @@
+//! A bounded pool of pooled service connections.
+//!
+//! Each session wraps a clone of the shared [`Transport`] shim — the same
+//! wire discipline the KV client uses, wired to
+//! [`Cost::ServiceRoundTrip`](adhoc_sim::latency::Cost) — so every request
+//! pays exactly one service round trip through whichever pooled
+//! connection it drew. The pool is the first bounded resource a request
+//! meets: when every connection is busy the caller learns immediately
+//! (fail-fast), instead of queueing invisibly inside a connection layer.
+
+use adhoc_sim::Transport;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A fixed-size pool of service connections sharing one [`Transport`]
+/// counter.
+pub struct SessionPool {
+    transport: Transport,
+    capacity: usize,
+    in_use: AtomicUsize,
+    exhausted: AtomicU64,
+}
+
+impl SessionPool {
+    /// A pool of `capacity` connections over `transport` (clones share
+    /// the round-trip counter and breaker).
+    pub fn new(transport: Transport, capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self {
+            transport,
+            capacity,
+            in_use: AtomicUsize::new(0),
+            exhausted: AtomicU64::new(0),
+        }
+    }
+
+    /// Try to draw a connection; `None` (counted) when all are busy.
+    pub fn try_acquire(&self) -> Option<Session<'_>> {
+        // Optimistic claim with back-out, same shape as FrontDoor::admit.
+        let claimed = self.in_use.fetch_add(1, Ordering::AcqRel) + 1;
+        if claimed > self.capacity {
+            self.in_use.fetch_sub(1, Ordering::AcqRel);
+            self.exhausted.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        Some(Session {
+            pool: self,
+            transport: self.transport.clone(),
+        })
+    }
+
+    /// Pool size.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Connections currently checked out.
+    pub fn in_use(&self) -> usize {
+        self.in_use.load(Ordering::Acquire)
+    }
+
+    /// Acquisitions refused because the pool was empty.
+    pub fn exhausted(&self) -> u64 {
+        self.exhausted.load(Ordering::Relaxed)
+    }
+
+    /// Service round trips paid through this pool so far.
+    pub fn round_trips(&self) -> u64 {
+        self.transport.round_trips()
+    }
+}
+
+/// One checked-out connection (RAII: dropping returns it to the pool).
+pub struct Session<'a> {
+    pool: &'a SessionPool,
+    transport: Transport,
+}
+
+impl Session<'_> {
+    /// The pooled connection's transport (pay the service round trip
+    /// through this).
+    pub fn transport(&self) -> &Transport {
+        &self.transport
+    }
+}
+
+impl Drop for Session<'_> {
+    fn drop(&mut self) {
+        self.pool.in_use.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhoc_sim::{LatencyModel, VirtualClock};
+
+    fn pool(capacity: usize) -> SessionPool {
+        SessionPool::new(
+            Transport::service(VirtualClock::shared(), LatencyModel::zero()),
+            capacity,
+        )
+    }
+
+    #[test]
+    fn pool_bounds_checkouts_and_counts_exhaustion() {
+        let p = pool(2);
+        let a = p.try_acquire().unwrap();
+        let _b = p.try_acquire().unwrap();
+        assert!(p.try_acquire().is_none());
+        assert_eq!(p.exhausted(), 1);
+        assert_eq!(p.in_use(), 2);
+        drop(a);
+        assert_eq!(p.in_use(), 1);
+        assert!(p.try_acquire().is_some());
+    }
+
+    #[test]
+    fn sessions_share_the_round_trip_counter() {
+        let p = pool(2);
+        let a = p.try_acquire().unwrap();
+        a.transport().pay();
+        drop(a);
+        let b = p.try_acquire().unwrap();
+        b.transport().pay();
+        assert_eq!(p.round_trips(), 2);
+    }
+}

@@ -27,6 +27,9 @@ pub struct LatencyModel {
     /// An in-process operation (map lookup, mutex acquire). Usually zero;
     /// non-zero values model very slow machines in tests.
     pub in_memory_op: Duration,
+    /// One client → application-service → client request round trip (the
+    /// wire cost in front of any substrate work the handler then performs).
+    pub service_round_trip: Duration,
 }
 
 impl LatencyModel {
@@ -37,6 +40,7 @@ impl LatencyModel {
             sql_round_trip: Duration::ZERO,
             durable_flush: Duration::ZERO,
             in_memory_op: Duration::ZERO,
+            service_round_trip: Duration::ZERO,
         }
     }
 
@@ -52,6 +56,7 @@ impl LatencyModel {
             sql_round_trip: Duration::from_micros(300),
             durable_flush: Duration::from_millis(10),
             in_memory_op: Duration::ZERO,
+            service_round_trip: Duration::from_micros(500),
         }
     }
 
@@ -65,6 +70,7 @@ impl LatencyModel {
             sql_round_trip: p.sql_round_trip / 10,
             durable_flush: p.durable_flush / 10,
             in_memory_op: Duration::ZERO,
+            service_round_trip: p.service_round_trip / 10,
         }
     }
 
@@ -83,6 +89,7 @@ impl LatencyModel {
             Cost::SqlRoundTrip => self.sql_round_trip,
             Cost::DurableFlush => self.durable_flush,
             Cost::InMemoryOp => self.in_memory_op,
+            Cost::ServiceRoundTrip => self.service_round_trip,
         }
     }
 }
@@ -104,6 +111,8 @@ pub enum Cost {
     DurableFlush,
     /// An in-process operation (usually free).
     InMemoryOp,
+    /// One client ↔ application-service request round trip.
+    ServiceRoundTrip,
 }
 
 #[cfg(test)]
@@ -140,6 +149,7 @@ mod tests {
             Cost::SqlRoundTrip,
             Cost::DurableFlush,
             Cost::InMemoryOp,
+            Cost::ServiceRoundTrip,
         ] {
             m.charge(&clock, c);
         }

@@ -26,6 +26,10 @@
 //!   [`RetryBudget`]s and a deterministic [`CircuitBreaker`], the
 //!   primitives that keep a fault storm from becoming a metastable
 //!   retry storm.
+//! * [`transport`] — the shared simulated-wire shim ([`Transport`]):
+//!   admission (deadline + breaker), the wire hop (yield + count + latency
+//!   charge), and outcome bookkeeping, extracted once for the KV client and
+//!   the service front door.
 
 #![warn(missing_docs)]
 
@@ -37,6 +41,7 @@ pub mod retry;
 pub mod rng;
 pub mod sched;
 pub mod stats;
+pub mod transport;
 
 pub use clock::{Clock, RealClock, SharedClock, VirtualClock};
 pub use faults::{FaultKind, FaultPlan, FaultRecord, FaultRule, InjectedFault, OpClass};
@@ -46,4 +51,5 @@ pub use retry::{BackoffPolicy, GiveUp, RetryObserver, RetryPolicy, RetryTimer};
 pub use sched::{
     record, replay, yield_point, CounterExample, Exploration, Explorer, SchedPoint, Trial,
 };
-pub use stats::Summary;
+pub use stats::{Histogram, Summary};
+pub use transport::{Transport, TransportError};

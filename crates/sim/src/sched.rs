@@ -112,6 +112,9 @@ pub enum SchedPoint {
     LockWait,
     /// A retry loop's backoff sleep turned cooperative.
     Backoff,
+    /// One simulated client ↔ service request round trip (the service
+    /// front door — e.g. a rate-limiter's check-then-act window).
+    ServiceRequest,
 }
 
 impl SchedPoint {

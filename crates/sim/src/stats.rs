@@ -50,6 +50,156 @@ impl Summary {
     }
 }
 
+/// HDR-style log-linear latency histogram.
+///
+/// Values are bucketed by octave (power of two) with [`Histogram::SUB_BUCKETS`]
+/// linear sub-buckets per octave, giving ≤ ~3% relative error at any
+/// magnitude from nanoseconds to minutes in constant memory. Unlike
+/// [`Summary::from_samples`] it never retains the raw samples, so the
+/// open-loop traffic harness can record millions of latencies per load level
+/// and still report p50/p99/p999 exactly the same way a production HDR
+/// recorder would.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    total_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Linear sub-buckets per power-of-two octave (32 ⇒ ~3% worst-case
+    /// relative quantile error).
+    pub const SUB_BUCKETS: usize = 32;
+    const SUB_SHIFT: u32 = 5; // log2(SUB_BUCKETS)
+                              // Octaves 0..=63 cover the whole u64 nanosecond range.
+    const OCTAVES: usize = 64;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; Self::OCTAVES * Self::SUB_BUCKETS],
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    fn index_of(ns: u64) -> usize {
+        if ns < Self::SUB_BUCKETS as u64 {
+            // First octave is exact: one bucket per nanosecond.
+            return ns as usize;
+        }
+        let octave = 63 - ns.leading_zeros();
+        let sub = (ns >> (octave - Self::SUB_SHIFT)) as usize & (Self::SUB_BUCKETS - 1);
+        // Octave SUB_SHIFT lands at the start of the table by construction.
+        ((octave - Self::SUB_SHIFT + 1) as usize) * Self::SUB_BUCKETS + sub
+    }
+
+    /// Lowest value mapping to bucket `idx` (the reported quantile value).
+    fn value_of(idx: usize) -> u64 {
+        if idx < Self::SUB_BUCKETS {
+            return idx as u64;
+        }
+        let octave = (idx / Self::SUB_BUCKETS) as u32 + Self::SUB_SHIFT - 1;
+        let sub = (idx % Self::SUB_BUCKETS) as u64;
+        (1u64 << octave) + (sub << (octave - Self::SUB_SHIFT))
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, value: Duration) {
+        let ns = u64::try_from(value.as_nanos()).unwrap_or(u64::MAX);
+        self.buckets[Self::index_of(ns)] += 1;
+        self.count += 1;
+        self.total_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded sample (zero when empty).
+    pub fn min(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(self.min_ns)
+        }
+    }
+
+    /// Largest recorded sample (zero when empty).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Arithmetic mean of the recorded samples (exact, not bucketed).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.total_ns / self.count as u128) as u64)
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, within one bucket (~3%).
+    ///
+    /// Returns the exact recorded extreme for `q` at or beyond the ends.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        if q >= 1.0 {
+            return self.max();
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Duration::from_nanos(Self::value_of(idx).max(self.min_ns));
+            }
+        }
+        self.max()
+    }
+
+    /// Median.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile — the tail the SLO gate watches.
+    pub fn p999(&self) -> Duration {
+        self.quantile(0.999)
+    }
+
+    /// Fold another histogram into this one (for merging per-scenario or
+    /// per-worker recorders into a run total).
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
 /// Requests per second given a completed-request count and elapsed time.
 pub fn throughput(completed: usize, elapsed: Duration) -> f64 {
     if elapsed.is_zero() {
@@ -137,5 +287,88 @@ mod tests {
         assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 us");
         assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
         assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+
+    #[test]
+    fn histogram_empty_reports_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), Duration::ZERO);
+        assert_eq!(h.p999(), Duration::ZERO);
+        assert_eq!(h.min(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn histogram_single_sample_is_exact() {
+        let mut h = Histogram::new();
+        h.record(ms(7));
+        assert_eq!(h.p50(), ms(7));
+        assert_eq!(h.p999(), ms(7));
+        assert_eq!(h.min(), ms(7));
+        assert_eq!(h.max(), ms(7));
+        assert_eq!(h.mean(), ms(7));
+    }
+
+    #[test]
+    fn histogram_quantiles_within_relative_error() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(Duration::from_micros(v));
+        }
+        for (q, exact_us) in [(0.50, 5_000.0), (0.99, 9_900.0), (0.999, 9_990.0)] {
+            let got = h.quantile(q).as_secs_f64() * 1e6;
+            let rel = (got - exact_us).abs() / exact_us;
+            assert!(
+                rel < 0.04,
+                "q={q}: got {got} us vs exact {exact_us} us (rel err {rel:.4})"
+            );
+        }
+        assert_eq!(h.min(), Duration::from_micros(1));
+        assert_eq!(h.max(), Duration::from_micros(10_000));
+    }
+
+    #[test]
+    fn histogram_matches_summary_on_shared_quantiles() {
+        let samples: Vec<Duration> = (1..=1000).map(|v| Duration::from_micros(v * 37)).collect();
+        let summary = Summary::from_samples(&samples).unwrap();
+        let mut h = Histogram::new();
+        for s in &samples {
+            h.record(*s);
+        }
+        for (hq, sq) in [(h.p50(), summary.p50), (h.p99(), summary.p99)] {
+            let rel = (hq.as_secs_f64() - sq.as_secs_f64()).abs() / sq.as_secs_f64();
+            assert!(rel < 0.04, "histogram {hq:?} vs summary {sq:?}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge_equals_union() {
+        let mut all = Histogram::new();
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for v in 1..=500u64 {
+            all.record(ms(v));
+            left.record(ms(v));
+        }
+        for v in 501..=900u64 {
+            all.record(ms(v));
+            right.record(ms(v));
+        }
+        left.merge(&right);
+        assert_eq!(left, all);
+    }
+
+    #[test]
+    fn histogram_handles_extreme_magnitudes() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_nanos(1));
+        h.record(Duration::from_secs(3600));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Duration::from_nanos(1));
+        // Bucket value of an hour is within 3% of an hour.
+        let p = h.quantile(1.0).as_secs_f64();
+        assert!((3500.0..=3600.0).contains(&p), "got {p}");
     }
 }

@@ -1,0 +1,127 @@
+//! Corpus extension: ad hoc transactions *around* the applications.
+//!
+//! The paper's 91 cases all live inside the eight applications' request
+//! handlers. Building the traffic harness surfaced the same species one
+//! layer up, in the web tier itself: a per-client rate limiter kept as a
+//! fixed-window counter in the KV store is a check-then-act ad hoc
+//! transaction (GET the count, compare, INCR — two round trips, nothing
+//! revalidated), and it admits over the cap under exactly the
+//! interleaving the deterministic scheduler pins as witness 25. The
+//! token bucket is its cure: refill-and-debit as one atomic in-process
+//! decision.
+//!
+//! These records deliberately do **not** join [`crate::CASES`] — the
+//! corpus count (91) and every Table 1–5 figure derived from it are the
+//! paper's numbers and stay pinned. The extension is reported separately.
+
+use adhoc_core::taxonomy::{CcAlgorithm, IssueCategory};
+
+/// One ad hoc transaction found outside the studied applications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtensionCase {
+    /// Stable identifier, `layer/api-slug`.
+    pub id: &'static str,
+    /// Where it lives (the layer, since it is not one of the eight apps).
+    pub layer: &'static str,
+    /// What the coordinated logic does.
+    pub api: &'static str,
+    /// Pessimistic or optimistic flavour.
+    pub cc: CcAlgorithm,
+    /// Issue categories exhibited (empty = correct).
+    pub issues: &'static [IssueCategory],
+    /// The cured counterpart's id, if this case is the buggy half.
+    pub cured_by: Option<&'static str>,
+    /// Schedule witness replaying the anomaly, if pinned.
+    pub witness: Option<&'static str>,
+    /// One-line story for the report.
+    pub note: &'static str,
+}
+
+/// The web-tier rate-limiter pair the traffic harness added.
+pub const EXTENSION_CASES: [ExtensionCase; 2] = [
+    ExtensionCase {
+        id: "web-tier/rate-limit-fixed-window",
+        layer: "web tier",
+        api: "per-client request rate limiting",
+        cc: CcAlgorithm::Optimistic,
+        issues: &[IssueCategory::NonAtomicValidateCommit],
+        cured_by: Some("web-tier/rate-limit-token-bucket"),
+        witness: Some("tests/schedules/rate-limit-window-race.sched"),
+        note: "GET the window's count, compare against the limit, INCR: \
+               check and act are separate KV round trips, so two \
+               concurrent requests from one client both read limit-1 and \
+               both get admitted past the cap",
+    },
+    ExtensionCase {
+        id: "web-tier/rate-limit-token-bucket",
+        layer: "web tier",
+        api: "per-client request rate limiting",
+        cc: CcAlgorithm::Pessimistic,
+        issues: &[],
+        cured_by: None,
+        witness: None,
+        note: "refill-and-debit under one lock: admission over the cap is \
+               impossible by construction, the shape gateways converge on \
+               once the fixed-window race bites",
+    },
+];
+
+/// Render the extension table for the report.
+pub fn render_extension() -> String {
+    let mut out = String::new();
+    out.push_str("Corpus extension: ad hoc transactions in the web tier (service layer).\n");
+    out.push_str("  Not counted in the paper's 91 cases; found while building the\n");
+    out.push_str("  open-loop traffic harness, same taxonomy applied.\n");
+    out.push_str(&format!(
+        "  {:<36} {:<12} {:<12} {:<28}\n",
+        "case", "cc", "buggy", "witness"
+    ));
+    for c in &EXTENSION_CASES {
+        out.push_str(&format!(
+            "  {:<36} {:<12} {:<12} {:<28}\n",
+            c.id,
+            match c.cc {
+                CcAlgorithm::Pessimistic => "pessimistic",
+                CcAlgorithm::Optimistic => "optimistic",
+            },
+            if c.issues.is_empty() {
+                "no (cure)"
+            } else {
+                "yes"
+            },
+            c.witness.unwrap_or("-"),
+        ));
+    }
+    for c in &EXTENSION_CASES {
+        out.push_str(&format!("\n  {}:\n    {}\n", c.id, c.note));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_pair_is_a_buggy_case_and_its_cure() {
+        let buggy = &EXTENSION_CASES[0];
+        let cure = &EXTENSION_CASES[1];
+        assert!(!buggy.issues.is_empty());
+        assert_eq!(buggy.cured_by, Some(cure.id));
+        assert!(cure.issues.is_empty());
+        assert!(buggy.witness.is_some(), "the race must be pinned");
+    }
+
+    #[test]
+    fn extension_does_not_inflate_the_paper_corpus() {
+        assert_eq!(crate::CASES.len(), 91, "paper corpus stays pinned");
+    }
+
+    #[test]
+    fn render_mentions_both_cases() {
+        let s = render_extension();
+        assert!(s.contains("rate-limit-fixed-window"));
+        assert!(s.contains("rate-limit-token-bucket"));
+        assert!(s.contains("not counted") || s.contains("Not counted"));
+    }
+}

@@ -25,6 +25,7 @@ pub mod case;
 pub mod confluence;
 pub mod corpus;
 pub mod corpus_data;
+pub mod extension;
 pub mod findings;
 pub mod hints;
 pub mod playbook;
@@ -34,3 +35,4 @@ pub mod tables;
 
 pub use case::{App, Case};
 pub use corpus_data::CASES;
+pub use extension::{render_extension, ExtensionCase, EXTENSION_CASES};

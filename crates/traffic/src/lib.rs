@@ -1,0 +1,26 @@
+//! Deterministic open-loop traffic: a million modeled users against the
+//! service front door, on the virtual clock.
+//!
+//! * [`workload`] — the mixed request stream: zipfian clients (a
+//!   million-user population), zipfian object keys, endpoints drawn by
+//!   weight across all eight studied applications.
+//! * [`harness`] — the open-loop tick loop: Poisson or bursty arrivals
+//!   that do not slow down when the service falls behind, HDR latency
+//!   histograms, goodput-within-SLO accounting, and the
+//!   naive / breaker-only / full front-door ablation rendered to
+//!   `BENCH_traffic.json`.
+//!
+//! Everything is seeded and clocked virtually: the same seed reproduces
+//! the same arrival instants, the same request stream, and the same
+//! latency curves, bit for bit.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod workload;
+
+pub use harness::{
+    render_traffic_json, run_cell, traffic_bench_json, traffic_sweep, ArrivalKind, TrafficRow,
+    TrafficScale, SEED, SLO, TICK,
+};
+pub use workload::{average_cost_units, MixedWorkload, CLIENT_POPULATION};

@@ -1,0 +1,145 @@
+//! The mixed workload: who asks for what.
+//!
+//! One request stream models a web tier shared by all eight studied
+//! applications. Client identity is zipfian over a (by default)
+//! million-user population — a handful of hot clients dominate, the way
+//! API consumers actually behave — and the object key each handler
+//! targets is zipfian over the seeded rows, so hot carts, hot polls, and
+//! hot SKUs stay hot across clients. The endpoint itself is drawn from
+//! the per-endpoint weights ([`Endpoint::weight`]), a read-dominated mix.
+
+use adhoc_service::{Endpoint, Request};
+use adhoc_sim::rng::{self, Zipfian};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::time::Duration;
+
+/// Modeled client population: a million users behind the front door.
+pub const CLIENT_POPULATION: u64 = 1_000_000;
+
+/// Weighted-zipfian request generator (deterministic from its seed).
+pub struct MixedWorkload {
+    rng: StdRng,
+    clients: Zipfian,
+    keys: Zipfian,
+    /// Cumulative weight table over [`Endpoint::ALL`].
+    cumulative: Vec<(u32, Endpoint)>,
+    total_weight: u32,
+    next_id: u64,
+}
+
+impl MixedWorkload {
+    /// A workload over `clients` users and `objects` seeded rows per app.
+    pub fn new(seed: u64, clients: u64, objects: u64) -> Self {
+        let mut cumulative = Vec::with_capacity(Endpoint::ALL.len());
+        let mut running = 0;
+        for e in Endpoint::ALL {
+            running += e.weight();
+            cumulative.push((running, e));
+        }
+        Self {
+            rng: rng::seeded(seed),
+            clients: Zipfian::new(clients),
+            keys: Zipfian::new(objects),
+            cumulative,
+            total_weight: running,
+            next_id: 0,
+        }
+    }
+
+    /// Draw the next request, arriving at `arrived`.
+    pub fn next_request(&mut self, arrived: Duration) -> Request {
+        let id = self.next_id;
+        self.next_id += 1;
+        let draw = self.rng.gen_range(0..self.total_weight);
+        let endpoint = self
+            .cumulative
+            .iter()
+            .find(|(edge, _)| draw < *edge)
+            .expect("draw below total weight")
+            .1;
+        // Scrambled ranks so the hot clients and hot rows are not the
+        // same literal low ids across every run shape.
+        let client = self.clients.next_scrambled(&mut self.rng);
+        let key = self.keys.next_scrambled(&mut self.rng);
+        Request {
+            id,
+            client,
+            key,
+            endpoint,
+            arrived,
+        }
+    }
+
+    /// Requests generated so far.
+    pub fn generated(&self) -> u64 {
+        self.next_id
+    }
+}
+
+/// Mean service cost of one request in capacity units, under the default
+/// endpoint weights — the conversion between a tick's capacity budget and
+/// its request-throughput saturation point.
+pub fn average_cost_units() -> f64 {
+    let weighted: u32 = Endpoint::ALL.iter().map(|e| e.weight() * e.cost()).sum();
+    let total: u32 = Endpoint::ALL.iter().map(|e| e.weight()).sum();
+    f64::from(weighted) / f64::from(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn same_seed_same_request_stream() {
+        let mut a = MixedWorkload::new(7, CLIENT_POPULATION, 128);
+        let mut b = MixedWorkload::new(7, CLIENT_POPULATION, 128);
+        for i in 0..1000 {
+            let t = Duration::from_micros(i);
+            assert_eq!(a.next_request(t), b.next_request(t));
+        }
+    }
+
+    #[test]
+    fn endpoint_mix_tracks_the_weights() {
+        let mut w = MixedWorkload::new(11, CLIENT_POPULATION, 128);
+        let mut counts: HashMap<Endpoint, u64> = HashMap::new();
+        let n = 20_000;
+        for _ in 0..n {
+            let req = w.next_request(Duration::ZERO);
+            *counts.entry(req.endpoint).or_default() += 1;
+        }
+        for e in Endpoint::ALL {
+            let observed = *counts.get(&e).unwrap_or(&0) as f64 / n as f64;
+            let expected = f64::from(e.weight()) / 100.0;
+            assert!(
+                (observed - expected).abs() < 0.02,
+                "{}: observed {observed:.3} expected {expected:.3}",
+                e.label()
+            );
+        }
+    }
+
+    #[test]
+    fn clients_are_zipfian_hot() {
+        let mut w = MixedWorkload::new(13, CLIENT_POPULATION, 128);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..20_000 {
+            let req = w.next_request(Duration::ZERO);
+            *counts.entry(req.client).or_default() += 1;
+        }
+        let hottest = *counts.values().max().unwrap();
+        // Rank 1 of a million-key zipfian draws ~6% of traffic.
+        assert!(
+            hottest > 20_000 / 25,
+            "hottest client drew only {hottest} of 20000"
+        );
+    }
+
+    #[test]
+    fn average_cost_is_between_min_and_max_endpoint_cost() {
+        let avg = average_cost_units();
+        assert!(avg > 1.0 && avg < 4.0, "avg {avg}");
+    }
+}

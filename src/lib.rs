@@ -14,6 +14,10 @@
 //!   framework, and the coordination-hints proxy.
 //! * [`adhoc_apps`] — modeled workloads for the eight studied applications.
 //! * [`adhoc_study`] — the 91-case study corpus and paper-table generators.
+//! * [`adhoc_service`] — the web-tier front door over the eight apps:
+//!   endpoints, session pools, rate limiting, admission and shedding.
+//! * [`adhoc_traffic`] — the deterministic open-loop traffic harness and
+//!   its SLO/goodput ablation.
 
 #![warn(missing_docs)]
 
@@ -21,6 +25,8 @@ pub use adhoc_apps as apps;
 pub use adhoc_core as core;
 pub use adhoc_kv as kv;
 pub use adhoc_orm as orm;
+pub use adhoc_service as service;
 pub use adhoc_sim as sim;
 pub use adhoc_storage as storage;
 pub use adhoc_study as study;
+pub use adhoc_traffic as traffic;

@@ -114,6 +114,11 @@ pub const SCENARIOS: &[(&str, Expect, Scenario)] = &[
         continuation_validation_race,
     ),
     ("delta-merge-crash", Expect::Pass, delta_merge_crash),
+    (
+        "rate-limit-window-race",
+        Expect::Fail,
+        rate_limit_window_race,
+    ),
 ];
 
 /// Look a scenario up by its corpus name.
@@ -1082,6 +1087,43 @@ pub fn continuation_validation_race(trial: &mut Trial) -> Result<(), String> {
     if view_cnt != 2 {
         return Err(format!(
             "continuation race lost an increment: view_cnt = {view_cnt}, expected 2"
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Corpus extension — the web-tier fixed-window rate limiter (witness 25).
+// ---------------------------------------------------------------------------
+
+/// Buggy: the service layer's fixed-window rate limiter is a
+/// check-then-act ad hoc transaction over the KV store — `GET` the
+/// window's count, compare against the limit, `INCR`. Two concurrent
+/// requests from the same client both read `0` against a 1-per-window
+/// limit and both get admitted; no coordination spans the two round
+/// trips. The token-bucket cure (one atomic in-process decision) has no
+/// such window — see `adhoc_transactions::service::TokenBucketLimiter`.
+pub fn rate_limit_window_race(trial: &mut Trial) -> Result<(), String> {
+    use adhoc_transactions::service::{FixedWindowLimiter, RateLimiter};
+
+    let clock = Arc::new(VirtualClock::new());
+    let kv = Client::new(Store::new(), clock, LatencyModel::zero());
+    let limiter = Arc::new(FixedWindowLimiter::new(kv, 1, Duration::from_secs(1)));
+    let admitted = Arc::new(AtomicI64::new(0));
+    for t in 0..2 {
+        let limiter = Arc::clone(&limiter);
+        let admitted = Arc::clone(&admitted);
+        trial.task(&format!("request-{t}"), move || {
+            if limiter.try_admit(42).unwrap() {
+                admitted.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+    }
+    trial.run()?;
+    let n = admitted.load(Ordering::SeqCst);
+    if n > 1 {
+        return Err(format!(
+            "over-admission: {n} requests passed a 1-per-window limit"
         ));
     }
     Ok(())

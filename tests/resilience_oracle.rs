@@ -538,3 +538,132 @@ fn oracle_replays_bit_for_bit() {
     assert_eq!(c.goodput, d.goodput);
     assert_eq!(c.end_queue, d.end_queue);
 }
+
+// ---------------------------------------------------------------------------
+// Breaker half-open re-entry and degraded-mode exit, end to end through
+// the KV client on the virtual clock.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn breaker_half_open_probe_reopens_on_failure_and_closes_on_success() {
+    let clock = Arc::new(VirtualClock::new());
+    let cooldown = Duration::from_secs(1);
+    // Every command dropped for the first 1.5 virtual seconds.
+    let plan = FaultPlan::new(
+        SEED,
+        FaultRule::storm(
+            &[FaultKind::ConnError],
+            1.0,
+            Duration::ZERO,
+            Duration::from_millis(1500),
+        ),
+    );
+    let breaker = Arc::new(CircuitBreaker::new(3, cooldown));
+    let client = Client::new(Store::new(), clock.clone(), LatencyModel::zero())
+        .with_faults(plan)
+        .with_breaker(Arc::clone(&breaker));
+
+    // Trip: three straight failures open the breaker.
+    for _ in 0..3 {
+        assert!(matches!(client.set("k", "v"), Err(KvError::ConnectionLost)));
+    }
+    assert_eq!(breaker.state(clock.now()), BreakerState::Open);
+    assert_eq!(breaker.times_opened(), 1);
+
+    // Open: rejected before the wire — no round trip is paid.
+    let before = client.round_trips();
+    assert!(matches!(client.get("k"), Err(KvError::CircuitOpen)));
+    assert_eq!(client.round_trips(), before, "open breaker must fail fast");
+
+    // Cooldown elapses: exactly one probe goes through, still inside the
+    // storm, so it pays the wire, fails, and re-opens the breaker.
+    clock.advance(cooldown);
+    assert_eq!(breaker.state(clock.now()), BreakerState::HalfOpen);
+    let before = client.round_trips();
+    assert!(matches!(client.get("k"), Err(KvError::ConnectionLost)));
+    assert_eq!(client.round_trips(), before + 1, "probe reaches the wire");
+    assert_eq!(
+        breaker.state(clock.now()),
+        BreakerState::Open,
+        "failed probe re-opens"
+    );
+    assert_eq!(breaker.times_opened(), 2);
+    // Re-entry: back to failing fast without wire traffic.
+    let before = client.round_trips();
+    assert!(matches!(client.get("k"), Err(KvError::CircuitOpen)));
+    assert_eq!(client.round_trips(), before);
+
+    // Second cooldown lands past the storm: the probe succeeds and closes
+    // the breaker; traffic resumes.
+    clock.advance(cooldown);
+    assert_eq!(breaker.state(clock.now()), BreakerState::HalfOpen);
+    client
+        .set("k", "v")
+        .expect("probe succeeds after the storm");
+    assert_eq!(breaker.state(clock.now()), BreakerState::Closed);
+    client.get("k").expect("closed breaker admits everything");
+}
+
+#[test]
+fn half_open_admits_exactly_one_probe_concurrently() {
+    let clock = Arc::new(VirtualClock::new());
+    let breaker = CircuitBreaker::new(1, Duration::from_secs(1));
+    assert!(breaker.allow(clock.now()));
+    breaker.record_failure(clock.now());
+    clock.advance(Duration::from_secs(1));
+    // Cooldown elapsed: the first caller becomes the probe, a concurrent
+    // second caller is rejected while the probe is in flight.
+    assert!(breaker.allow(clock.now()), "one probe admitted");
+    assert!(!breaker.allow(clock.now()), "no second concurrent probe");
+    breaker.record_success();
+    assert_eq!(breaker.state(clock.now()), BreakerState::Closed);
+    assert!(breaker.allow(clock.now()));
+}
+
+#[test]
+fn degraded_mode_exits_when_the_breaker_closes() {
+    let clock = Arc::new(VirtualClock::new());
+    let cooldown = Duration::from_secs(1);
+    let plan = FaultPlan::new(
+        SEED,
+        FaultRule::storm(
+            &[FaultKind::ConnError],
+            1.0,
+            Duration::ZERO,
+            Duration::from_millis(500),
+        ),
+    );
+    let breaker = Arc::new(CircuitBreaker::new(2, cooldown));
+    let client = Client::new(Store::new(), clock.clone(), LatencyModel::zero())
+        .with_faults(plan)
+        .with_breaker(Arc::clone(&breaker));
+    let admission = Admission::new(DOOR_CAPACITY);
+
+    // Storm trips the breaker; the world degrades writes.
+    for _ in 0..2 {
+        let _ = client.set("k", "v");
+    }
+    assert_eq!(breaker.state(clock.now()), BreakerState::Open);
+    admission.degrade_writes(true);
+
+    // Degraded: writes are refused at the door, reads still pass.
+    assert!(admission.admit(APPS[0], Workload::Write).is_err());
+    let permit = admission
+        .admit(APPS[0], Workload::Read)
+        .expect("reads pass in degraded mode");
+    drop(permit);
+
+    // Cooldown elapsed and the storm is over: the probe succeeds, the
+    // breaker closes, and the world exits degraded mode.
+    clock.advance(cooldown);
+    client.set("k", "v").expect("probe succeeds");
+    assert_eq!(breaker.state(clock.now()), BreakerState::Closed);
+    admission.degrade_writes(false);
+
+    // Writes resume through the same doors.
+    let permit = admission
+        .admit(APPS[0], Workload::Write)
+        .expect("writes resume after degraded-mode exit");
+    drop(permit);
+    assert!(!admission.door(APPS[0]).is_read_only());
+}

@@ -6,8 +6,10 @@
 # (the §7 cured orm::occ layer vs the hand-rolled lock + two-transaction
 # AHT), BENCH_confluence.json (the PR-9 coordination-avoiding delta path
 # vs both coordinated implementations of the same hot-counter increment)
-# and BENCH_resilience.json (the metastability ablation under a
-# partition storm) into the repository root, with the committed
+# BENCH_resilience.json (the metastability ablation under a
+# partition storm) and BENCH_traffic.json (the open-loop traffic-SLO
+# ablation: naive / breaker_only / full front door across load levels)
+# into the repository root, with the committed
 # pre-refactor baselines from tools/baselines/ embedded for before/after
 # comparison.
 #

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Traffic-SLO gate over a fresh BENCH_traffic.json run.
+
+The open-loop traffic ablation runs entirely on the virtual clock, so its
+numbers are deterministic — the same seed produces the same curves on any
+hardware, and this gate demands the *shape* the harness exists to
+reproduce:
+
+  1. Sub-saturation SLO: at every Poisson load level at or below 0.9x
+     saturation, every front-door arm serves p99 within the SLO. Below
+     saturation there is no excuse for latency.
+  2. Graceful degradation: past saturation (the highest swept level, 2x
+     by default) the `full` front door holds a goodput plateau — at
+     least half of its own best level. Refusing and shedding at the
+     edge keeps the work it does accept fast.
+  3. Metastable collapse: the same overload drives `naive` goodput
+     (completions within the SLO) to at most 15% of its own sub-
+     saturation best — it still serves thousands of requests, all late.
+  4. Breakers are not an overload cure: `breaker_only` collapses like
+     naive. A breaker guards a failing backend, not a healthy backend
+     drowning in queued work.
+  5. Bursty arrivals at nominal load stay within the SLO for `full` —
+     deadline shedding absorbs the bursts.
+
+Tolerance: TRAFFIC_GATE_TOL (fractional, default 0.1) pads the ratio
+checks; determinism means it exists only to keep the gate from pinning
+exact floats.
+
+Usage: check_traffic.py <BENCH_traffic.json>
+Exits non-zero when the shape is violated.
+"""
+
+import json
+import os
+import sys
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+    slo_ms = doc["slo_ms"]
+    rows = doc["rows"]
+    tol = float(os.environ.get("TRAFFIC_GATE_TOL", "0.1"))
+    configs = sorted({r["config"] for r in rows})
+    failures = []
+
+    def poisson(config):
+        return [r for r in rows if r["config"] == config and r["arrivals"] == "poisson"]
+
+    # -- Check 1: everyone meets the SLO below saturation.
+    for config in configs:
+        for r in poisson(config):
+            if r["load_x"] > 0.9:
+                continue
+            ok = r["p99_ms"] <= slo_ms * (1.0 + tol)
+            status = "ok" if ok else "FAIL"
+            print(
+                f"[{status}] {config} @{r['load_x']:.2f}x: p99 "
+                f"{r['p99_ms']:.1f}ms vs SLO {slo_ms}ms"
+            )
+            if not ok:
+                failures.append(f"{config} sub-saturation p99")
+
+    # -- Checks 2-4: the plateau-vs-collapse shape past saturation.
+    for config in configs:
+        levels = poisson(config)
+        peak = max(r["goodput_rps"] for r in levels)
+        worst = max(levels, key=lambda r: r["load_x"])
+        ratio = worst["goodput_rps"] / peak if peak > 0 else 0.0
+        if config == "full":
+            need = 0.5 * (1.0 - tol)
+            ok = ratio >= need
+            label = f">= {need:.2f} of its peak (plateau)"
+        else:
+            cap = 0.15 * (1.0 + tol)
+            ok = ratio <= cap
+            label = f"<= {cap:.2f} of its peak (collapse)"
+        status = "ok" if ok else "FAIL"
+        print(
+            f"[{status}] {config} @{worst['load_x']:.2f}x: goodput "
+            f"{worst['goodput_rps']:.0f}/s = {ratio:.2f} of peak "
+            f"{peak:.0f}/s, demanded {label}"
+        )
+        if not ok:
+            failures.append(f"{config} past-saturation goodput shape")
+
+    # -- Check 5: full absorbs bursts within the SLO at nominal load.
+    bursty = [
+        r for r in rows if r["config"] == "full" and r["arrivals"] == "bursty"
+    ]
+    for r in bursty:
+        ok = r["p99_ms"] <= slo_ms * (1.0 + tol)
+        status = "ok" if ok else "FAIL"
+        print(
+            f"[{status}] full bursty @{r['load_x']:.2f}x: p99 "
+            f"{r['p99_ms']:.1f}ms vs SLO {slo_ms}ms"
+        )
+        if not ok:
+            failures.append("full bursty p99")
+    if not bursty:
+        print("[FAIL] no full/bursty row present")
+        failures.append("missing bursty row")
+
+    if failures:
+        print("traffic gate FAILED: " + "; ".join(failures))
+        sys.exit(1)
+    print("traffic gate passed")
+
+
+if __name__ == "__main__":
+    main()

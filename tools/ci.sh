@@ -69,7 +69,7 @@ timeout 60 cargo test -q --release --test resilience_oracle --test fault_suite
 # from ./tools/bench.sh with full windows.
 echo "==> bench smoke (BENCH_SCALE=smoke)"
 BENCH_SCALE=smoke ./tools/bench.sh target/bench-smoke >/dev/null
-python3 -c "import json; [json.load(open(f'target/bench-smoke/BENCH_{n}.json')) for n in ('fig2', 'fig3', 'wal', 'occ', 'confluence', 'resilience')]"
+python3 -c "import json; [json.load(open(f'target/bench-smoke/BENCH_{n}.json')) for n in ('fig2', 'fig3', 'wal', 'occ', 'confluence', 'resilience', 'traffic')]"
 
 # Scaling-regression gate: the fresh smoke sweep must not fall behind the
 # committed pre-refactor baselines (tools/baselines/) — fig3 KV disjoint
@@ -82,5 +82,13 @@ python3 -c "import json; [json.load(open(f'target/bench-smoke/BENCH_{n}.json')) 
 # absorbs smoke-window noise.
 echo "==> scaling-regression gate (fresh smoke vs tools/baselines/)"
 python3 tools/check_scaling.py target/bench-smoke/BENCH_fig2.json target/bench-smoke/BENCH_fig3.json target/bench-smoke/BENCH_occ.json target/bench-smoke/BENCH_confluence.json
+
+# Traffic-SLO gate: the open-loop ablation is virtual-clock deterministic,
+# so the shape is demanded on any hardware — every arm meets the p99 SLO
+# below saturation; past saturation the full front door plateaus (>= 50%
+# of its own peak goodput) while naive and breaker_only collapse (<= 15%);
+# full absorbs bursty arrivals within the SLO.
+echo "==> traffic-SLO gate (plateau vs metastable collapse)"
+python3 tools/check_traffic.py target/bench-smoke/BENCH_traffic.json
 
 echo "==> CI green"
